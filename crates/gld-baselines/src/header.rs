@@ -1,0 +1,117 @@
+//! Compressed-stream headers shared by the rule-based codecs.
+
+use gld_tensor::Tensor;
+
+/// Magic byte identifying the codec that produced a stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Codec {
+    /// Prediction-based (SZ3-like) stream.
+    SzLike = 1,
+    /// Transform-based (ZFP-like) stream.
+    ZfpLike = 2,
+}
+
+impl Codec {
+    fn from_u8(v: u8) -> Codec {
+        match v {
+            1 => Codec::SzLike,
+            2 => Codec::ZfpLike,
+            other => panic!("unknown codec id {other}"),
+        }
+    }
+}
+
+/// Header describing the original tensor and the error bound used.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockHeader {
+    /// Which codec wrote the stream.
+    pub codec: Codec,
+    /// Original tensor dimensions (up to 4; unused entries are 0).
+    pub dims: Vec<usize>,
+    /// Absolute error bound used at compression time.
+    pub abs_error: f32,
+}
+
+impl BlockHeader {
+    /// Creates a header for a tensor.
+    pub fn new(codec: Codec, data: &Tensor, abs_error: f32) -> Self {
+        assert!(
+            data.rank() >= 1 && data.rank() <= 4,
+            "rule-based codecs support rank 1–4, got {}",
+            data.rank()
+        );
+        BlockHeader {
+            codec,
+            dims: data.dims().to_vec(),
+            abs_error,
+        }
+    }
+
+    /// Serialised header size in bytes.
+    pub fn byte_len(&self) -> usize {
+        1 + 1 + self.dims.len() * 4 + 4
+    }
+
+    /// Writes the header at the start of `out`.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.push(self.codec as u8);
+        out.push(self.dims.len() as u8);
+        for &d in &self.dims {
+            out.extend_from_slice(&(d as u32).to_le_bytes());
+        }
+        out.extend_from_slice(&self.abs_error.to_le_bytes());
+    }
+
+    /// Reads a header, returning it and the number of bytes consumed.
+    pub fn read(bytes: &[u8]) -> (Self, usize) {
+        assert!(bytes.len() >= 2, "truncated header");
+        let codec = Codec::from_u8(bytes[0]);
+        let rank = bytes[1] as usize;
+        let mut off = 2;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize);
+            off += 4;
+        }
+        let abs_error = f32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        off += 4;
+        (
+            BlockHeader {
+                codec,
+                dims,
+                abs_error,
+            },
+            off,
+        )
+    }
+
+    /// Total element count of the described tensor.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let t = Tensor::zeros(&[3, 16, 16]);
+        let h = BlockHeader::new(Codec::SzLike, &t, 1e-3);
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(buf.len(), h.byte_len());
+        let (back, used) = BlockHeader::read(&buf);
+        assert_eq!(used, buf.len());
+        assert_eq!(back, h);
+        assert_eq!(back.numel(), 3 * 16 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown codec")]
+    fn unknown_codec_rejected() {
+        let bytes = [99u8, 1, 4, 0, 0, 0, 0, 0, 0, 0];
+        let _ = BlockHeader::read(&bytes);
+    }
+}

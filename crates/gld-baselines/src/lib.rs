@@ -1,0 +1,62 @@
+//! # gld-baselines
+//!
+//! Rule-based error-bounded lossy compressors used as the paper's
+//! non-learned baselines:
+//!
+//! * [`szlike::SzCompressor`] — a prediction-based coder in the spirit of
+//!   SZ3: a Lorenzo/interpolation predictor over the reconstructed
+//!   neighbourhood, uniform quantisation of the prediction residual with a
+//!   user-supplied absolute error bound, and arithmetic coding of the
+//!   quantisation codes.
+//! * [`zfplike::ZfpLikeCompressor`] — a transform-based coder in the spirit
+//!   of ZFP: the data is tiled into small blocks, each block is decorrelated
+//!   with the ZFP lifting transform, and coefficients are uniformly
+//!   quantised with a conservatively chosen step so the reconstruction stays
+//!   inside the requested bound.
+//!
+//! Both implement the [`ErrorBoundedCompressor`] trait so the benchmark
+//! harness can sweep them alongside the learned pipeline.  Absolute ratios
+//! differ from the heavily engineered C++ codecs, but the relevant ordering —
+//! prediction-based beats transform-based on smooth scientific fields, and
+//! both trail learned compressors at matched NRMSE — is preserved, which is
+//! what the paper's Figure 3 relies on.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod header;
+pub mod szlike;
+pub mod zfplike;
+
+pub use header::BlockHeader;
+pub use szlike::SzCompressor;
+pub use zfplike::ZfpLikeCompressor;
+
+use gld_tensor::Tensor;
+
+/// A lossy compressor that guarantees a point-wise absolute error bound.
+pub trait ErrorBoundedCompressor {
+    /// Short display name used in benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Compresses `data` so that every reconstructed value differs from the
+    /// original by at most `abs_error`.
+    fn compress(&self, data: &Tensor, abs_error: f32) -> Vec<u8>;
+
+    /// Reconstructs the tensor from a buffer produced by
+    /// [`ErrorBoundedCompressor::compress`].
+    fn decompress(&self, bytes: &[u8]) -> Tensor;
+
+    /// Convenience helper returning `(reconstruction, compressed_size)`.
+    fn roundtrip(&self, data: &Tensor, abs_error: f32) -> (Tensor, usize) {
+        let bytes = self.compress(data, abs_error);
+        let size = bytes.len();
+        (self.decompress(&bytes), size)
+    }
+}
+
+/// Compression ratio of an f32 tensor against a compressed byte size.
+pub fn compression_ratio(data: &Tensor, compressed_bytes: usize) -> f64 {
+    let raw = data.numel() * std::mem::size_of::<f32>();
+    raw as f64 / compressed_bytes.max(1) as f64
+}

@@ -1,0 +1,302 @@
+//! SZ3-like prediction-based error-bounded compressor.
+//!
+//! The scheme follows the classic SZ recipe:
+//!
+//! 1. walk the volume in raster order and predict every value with a 3-D
+//!    Lorenzo predictor evaluated on already-reconstructed neighbours,
+//! 2. quantise the prediction residual uniformly with bin width `2·eb`
+//!    (which bounds the point-wise error by `eb`),
+//! 3. entropy-code the quantisation codes with a histogram model and an
+//!    arithmetic coder; values whose residual falls outside the code range
+//!    are stored verbatim ("unpredictable" escapes) and therefore carry zero
+//!    error.
+//!
+//! Like SZ3 itself the method excels on smooth fields, where almost every
+//! residual lands in the zero bin.
+
+use crate::header::{BlockHeader, Codec};
+use crate::ErrorBoundedCompressor;
+use gld_entropy::{ArithmeticDecoder, ArithmeticEncoder, HistogramModel};
+use gld_tensor::Tensor;
+
+/// Largest representable quantisation code; residuals beyond this are stored
+/// as raw floats.
+const MAX_CODE: i32 = 4096;
+/// Sentinel code marking an unpredictable (verbatim) value.
+const UNPREDICTABLE: i32 = MAX_CODE + 1;
+
+/// Prediction-based error-bounded compressor (SZ3-like).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SzCompressor;
+
+impl SzCompressor {
+    /// Creates the compressor.
+    pub fn new() -> Self {
+        SzCompressor
+    }
+
+    /// Reinterprets an arbitrary rank-1..4 tensor as a 3-D volume
+    /// `[planes, rows, cols]` without copying semantics that matter for
+    /// prediction quality: trailing dimensions remain spatial.
+    fn as_volume_dims(dims: &[usize]) -> (usize, usize, usize) {
+        match dims.len() {
+            1 => (1, 1, dims[0]),
+            2 => (1, dims[0], dims[1]),
+            3 => (dims[0], dims[1], dims[2]),
+            4 => (dims[0] * dims[1], dims[2], dims[3]),
+            r => panic!("unsupported rank {r}"),
+        }
+    }
+}
+
+/// 3-D Lorenzo prediction from reconstructed neighbours.
+#[inline]
+fn lorenzo_predict(
+    recon: &[f32],
+    (d0, d1, d2): (usize, usize, usize),
+    i: usize,
+    j: usize,
+    k: usize,
+) -> f32 {
+    let at = |ii: isize, jj: isize, kk: isize| -> f32 {
+        if ii < 0 || jj < 0 || kk < 0 {
+            0.0
+        } else {
+            recon[(ii as usize * d1 + jj as usize) * d2 + kk as usize]
+        }
+    };
+    let (i, j, k) = (i as isize, j as isize, k as isize);
+    let _ = d0;
+    at(i - 1, j, k) + at(i, j - 1, k) + at(i, j, k - 1) - at(i - 1, j - 1, k)
+        - at(i - 1, j, k - 1)
+        - at(i, j - 1, k - 1)
+        + at(i - 1, j - 1, k - 1)
+}
+
+impl ErrorBoundedCompressor for SzCompressor {
+    fn name(&self) -> &'static str {
+        "SZ3-like"
+    }
+
+    fn compress(&self, data: &Tensor, abs_error: f32) -> Vec<u8> {
+        assert!(abs_error > 0.0, "absolute error bound must be positive");
+        let dims = Self::as_volume_dims(data.dims());
+        let (d0, d1, d2) = dims;
+        let n = d0 * d1 * d2;
+        assert_eq!(n, data.numel());
+        let src = data.data();
+        let mut recon = vec![0.0f32; n];
+        let mut codes = Vec::with_capacity(n);
+        let mut raw_values: Vec<f32> = Vec::new();
+        let two_eb = 2.0 * abs_error;
+
+        // Pass 1: prediction + quantisation.
+        for i in 0..d0 {
+            for j in 0..d1 {
+                for k in 0..d2 {
+                    let idx = (i * d1 + j) * d2 + k;
+                    let val = src[idx];
+                    let pred = lorenzo_predict(&recon, dims, i, j, k);
+                    let diff = val - pred;
+                    let q = (diff / two_eb).round();
+                    if q.abs() <= MAX_CODE as f32 {
+                        let q = q as i32;
+                        let r = pred + q as f32 * two_eb;
+                        if (r - val).abs() <= abs_error && r.is_finite() {
+                            codes.push(q);
+                            recon[idx] = r;
+                            continue;
+                        }
+                    }
+                    codes.push(UNPREDICTABLE);
+                    raw_values.push(val);
+                    recon[idx] = val;
+                }
+            }
+        }
+
+        // Pass 2: entropy coding.
+        let model = HistogramModel::fit(&codes);
+        let mut out = Vec::new();
+        BlockHeader::new(Codec::SzLike, data, abs_error).write(&mut out);
+        let model_bytes = model.to_bytes();
+        out.extend_from_slice(&(model_bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&model_bytes);
+        let mut enc = ArithmeticEncoder::new();
+        let mut raw_iter = raw_values.iter();
+        for &c in &codes {
+            model.encode(&mut enc, &[c]);
+            if c == UNPREDICTABLE {
+                let raw = raw_iter.next().expect("raw value missing");
+                enc.encode_bits_raw(raw.to_bits() as u64, 32);
+            }
+        }
+        let stream = enc.finish();
+        out.extend_from_slice(&(stream.len() as u32).to_le_bytes());
+        out.extend_from_slice(&stream);
+        out
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Tensor {
+        let (header, mut off) = BlockHeader::read(bytes);
+        assert_eq!(header.codec, Codec::SzLike, "not an SZ3-like stream");
+        let model_len =
+            u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        let (model, used) = HistogramModel::from_bytes(&bytes[off..off + model_len]);
+        assert_eq!(used, model_len);
+        off += model_len;
+        let stream_len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        let stream = &bytes[off..off + stream_len];
+
+        let dims = Self::as_volume_dims(&header.dims);
+        let (d0, d1, d2) = dims;
+        let n = header.numel();
+        let two_eb = 2.0 * header.abs_error;
+        let mut dec = ArithmeticDecoder::new(stream);
+        let mut recon = vec![0.0f32; n];
+        for i in 0..d0 {
+            for j in 0..d1 {
+                for k in 0..d2 {
+                    let idx = (i * d1 + j) * d2 + k;
+                    let code = model.decode(&mut dec, 1)[0];
+                    if code == UNPREDICTABLE {
+                        let bits = dec.decode_bits_raw(32) as u32;
+                        recon[idx] = f32::from_bits(bits);
+                    } else {
+                        let pred = lorenzo_predict(&recon, dims, i, j, k);
+                        recon[idx] = pred + code as f32 * two_eb;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(recon, &header.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compression_ratio;
+    use gld_datasets::{generate, DatasetKind, FieldSpec};
+    use gld_tensor::stats::max_abs_error;
+    use gld_tensor::TensorRng;
+    use proptest::prelude::*;
+
+    fn check_bound(data: &Tensor, eb: f32) -> (f64, f32) {
+        let sz = SzCompressor::new();
+        let (recon, size) = sz.roundtrip(data, eb);
+        assert_eq!(recon.dims(), data.dims());
+        let err = max_abs_error(data, &recon);
+        assert!(
+            err <= eb * 1.0001,
+            "error {err} exceeds bound {eb} for dims {:?}",
+            data.dims()
+        );
+        (compression_ratio(data, size), err)
+    }
+
+    #[test]
+    fn error_bound_holds_on_all_synthetic_datasets() {
+        let spec = FieldSpec::new(1, 8, 16, 16);
+        for kind in DatasetKind::all() {
+            let ds = generate(kind, &spec, 3);
+            let frames = &ds.variables[0].frames;
+            let range = frames.max() - frames.min();
+            for rel in [1e-2, 1e-3] {
+                let (ratio, _) = check_bound(frames, rel * range);
+                assert!(ratio > 1.0, "no compression achieved on {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn larger_bound_gives_higher_ratio() {
+        let spec = FieldSpec::new(1, 8, 16, 16);
+        let ds = generate(DatasetKind::E3sm, &spec, 5);
+        let frames = &ds.variables[0].frames;
+        let range = frames.max() - frames.min();
+        let sz = SzCompressor::new();
+        let loose = sz.compress(frames, 1e-2 * range).len();
+        let tight = sz.compress(frames, 1e-4 * range).len();
+        assert!(loose < tight, "loose {loose} should be smaller than tight {tight}");
+    }
+
+    #[test]
+    fn smooth_data_compresses_much_better_than_noise() {
+        let mut rng = TensorRng::new(1);
+        let noise = rng.randn(&[4, 16, 16]);
+        let smooth = Tensor::from_vec(
+            (0..4 * 16 * 16)
+                .map(|i| ((i % 256) as f32 / 40.0).sin())
+                .collect(),
+            &[4, 16, 16],
+        );
+        let sz = SzCompressor::new();
+        let eb = 1e-3;
+        let noise_size = sz.compress(&noise, eb).len();
+        let smooth_size = sz.compress(&smooth, eb).len();
+        assert!(
+            smooth_size * 2 < noise_size,
+            "smooth {smooth_size} vs noise {noise_size}"
+        );
+    }
+
+    #[test]
+    fn handles_constant_and_tiny_inputs() {
+        let sz = SzCompressor::new();
+        let constant = Tensor::full(&[4, 4, 4], 3.75);
+        let (recon, size) = sz.roundtrip(&constant, 1e-6);
+        assert!(max_abs_error(&constant, &recon) <= 1e-6);
+        assert!(size < constant.numel() * 4);
+        let single = Tensor::from_vec(vec![42.0], &[1]);
+        let (recon, _) = sz.roundtrip(&single, 1e-3);
+        assert!((recon.data()[0] - 42.0).abs() <= 1e-3);
+    }
+
+    #[test]
+    fn rank2_and_rank4_inputs_supported() {
+        let mut rng = TensorRng::new(2);
+        let sz = SzCompressor::new();
+        let img = rng.randn(&[24, 24]);
+        let (recon, _) = sz.roundtrip(&img, 1e-2);
+        assert!(max_abs_error(&img, &recon) <= 1e-2 * 1.0001);
+        let vol4 = rng.randn(&[2, 3, 8, 8]);
+        let (recon, _) = sz.roundtrip(&vol4, 1e-2);
+        assert_eq!(recon.dims(), vol4.dims());
+        assert!(max_abs_error(&vol4, &recon) <= 1e-2 * 1.0001);
+    }
+
+    #[test]
+    fn outliers_are_stored_verbatim() {
+        // A field with huge spikes: the spikes must round-trip within bound.
+        let mut data = Tensor::zeros(&[2, 8, 8]);
+        data.set(&[0, 3, 3], 1e20);
+        data.set(&[1, 7, 7], -1e20);
+        let sz = SzCompressor::new();
+        let (recon, _) = sz.roundtrip(&data, 1e-3);
+        assert!((recon.at(&[0, 3, 3]) - 1e20).abs() <= 1e14); // f32 precision, not bound
+        assert!(max_abs_error(&data, &recon) <= 1e14);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_error_bound_always_holds(
+            seed in 0u64..500,
+            eb_exp in -4i32..-1,
+            d0 in 1usize..4,
+            d1 in 4usize..12,
+            d2 in 4usize..12,
+        ) {
+            let mut rng = TensorRng::new(seed);
+            let data = rng.randn(&[d0, d1, d2]).scale(5.0);
+            let eb = 10f32.powi(eb_exp) * 10.0;
+            let sz = SzCompressor::new();
+            let (recon, _) = sz.roundtrip(&data, eb);
+            prop_assert!(max_abs_error(&data, &recon) <= eb * 1.0001);
+        }
+    }
+}

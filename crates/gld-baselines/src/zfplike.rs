@@ -1,0 +1,349 @@
+//! ZFP-like transform-based error-bounded compressor.
+//!
+//! The volume is padded to a multiple of 4 in every direction and tiled into
+//! `4 × 4 × 4` blocks.  Each block is decorrelated with a separable
+//! orthonormal 4-point DCT-II (a near-orthogonal transform in the same
+//! spirit as ZFP's lifted transform), the coefficients are uniformly
+//! quantised with a step chosen so that the worst-case reconstruction error
+//! stays below the requested bound, and the quantisation codes are
+//! arithmetic-coded with a histogram model.
+//!
+//! Because the transform is orthonormal along each axis, a per-coefficient
+//! quantisation error of `δ` can grow by at most a factor of `2` per axis in
+//! the reconstructed samples (`Σ|basis| ≤ 2` for the 4-point DCT rows), so a
+//! step of `eb / 8` guarantees `|x − x̂| ≤ eb` for 3-D blocks.
+
+use crate::header::{BlockHeader, Codec};
+use crate::ErrorBoundedCompressor;
+use gld_entropy::{ArithmeticDecoder, ArithmeticEncoder, HistogramModel};
+use gld_tensor::Tensor;
+
+/// Block edge length.
+const BLOCK: usize = 4;
+/// Largest histogram-coded quantisation code; larger magnitudes escape to
+/// raw 32-bit storage.
+const MAX_CODE: i32 = 8191;
+/// Sentinel marking an escaped coefficient.
+const ESCAPE: i32 = MAX_CODE + 1;
+/// Worst-case amplification of per-coefficient quantisation error for a
+/// separable 3-D orthonormal DCT (2 per axis).
+const ERROR_AMPLIFICATION: f32 = 8.0;
+
+/// Transform-based error-bounded compressor (ZFP-like).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZfpLikeCompressor;
+
+impl ZfpLikeCompressor {
+    /// Creates the compressor.
+    pub fn new() -> Self {
+        ZfpLikeCompressor
+    }
+
+    fn as_volume_dims(dims: &[usize]) -> (usize, usize, usize) {
+        match dims.len() {
+            1 => (1, 1, dims[0]),
+            2 => (1, dims[0], dims[1]),
+            3 => (dims[0], dims[1], dims[2]),
+            4 => (dims[0] * dims[1], dims[2], dims[3]),
+            r => panic!("unsupported rank {r}"),
+        }
+    }
+}
+
+/// Orthonormal 4-point DCT-II basis (rows are basis vectors).
+fn dct4_basis() -> [[f32; 4]; 4] {
+    let mut m = [[0.0f32; 4]; 4];
+    for (k, row) in m.iter_mut().enumerate() {
+        let scale = if k == 0 {
+            (1.0f32 / 4.0).sqrt()
+        } else {
+            (2.0f32 / 4.0).sqrt()
+        };
+        for (n, v) in row.iter_mut().enumerate() {
+            *v = scale
+                * ((std::f32::consts::PI / 4.0) * (n as f32 + 0.5) * k as f32).cos();
+        }
+    }
+    m
+}
+
+/// Applies the 4-point transform (or its inverse) along one axis of a
+/// `4×4×4` block stored as a flat array.
+fn transform_axis(block: &mut [f32; 64], axis: usize, inverse: bool) {
+    let basis = dct4_basis();
+    let stride = match axis {
+        0 => 16,
+        1 => 4,
+        2 => 1,
+        _ => unreachable!(),
+    };
+    for a in 0..BLOCK {
+        for b in 0..BLOCK {
+            // Base index of the 4-element line along `axis` at position (a, b)
+            // in the other two axes.
+            let base = match axis {
+                0 => a * 4 + b,
+                1 => a * 16 + b,
+                2 => a * 16 + b * 4,
+                _ => unreachable!(),
+            };
+            let mut line = [0.0f32; 4];
+            for i in 0..BLOCK {
+                line[i] = block[base + i * stride];
+            }
+            let mut out = [0.0f32; 4];
+            for (k, o) in out.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (n, &v) in line.iter().enumerate() {
+                    // Forward: y_k = Σ basis[k][n] x_n;  inverse uses the
+                    // transpose (orthonormal).
+                    acc += if inverse { basis[n][k] } else { basis[k][n] } * v;
+                }
+                *o = acc;
+            }
+            for i in 0..BLOCK {
+                block[base + i * stride] = out[i];
+            }
+        }
+    }
+}
+
+fn forward_transform(block: &mut [f32; 64]) {
+    for axis in 0..3 {
+        transform_axis(block, axis, false);
+    }
+}
+
+fn inverse_transform(block: &mut [f32; 64]) {
+    for axis in (0..3).rev() {
+        transform_axis(block, axis, true);
+    }
+}
+
+impl ErrorBoundedCompressor for ZfpLikeCompressor {
+    fn name(&self) -> &'static str {
+        "ZFP-like"
+    }
+
+    fn compress(&self, data: &Tensor, abs_error: f32) -> Vec<u8> {
+        assert!(abs_error > 0.0, "absolute error bound must be positive");
+        let (d0, d1, d2) = Self::as_volume_dims(data.dims());
+        let (p0, p1, p2) = (d0.div_ceil(BLOCK) * BLOCK, d1.div_ceil(BLOCK) * BLOCK, d2.div_ceil(BLOCK) * BLOCK);
+        let src = data.data();
+        // Pad by edge replication so padding does not create artificial
+        // discontinuities (wasted bits).
+        let padded_at = |i: usize, j: usize, k: usize| -> f32 {
+            let i = i.min(d0 - 1);
+            let j = j.min(d1 - 1);
+            let k = k.min(d2 - 1);
+            src[(i * d1 + j) * d2 + k]
+        };
+        let step = abs_error / ERROR_AMPLIFICATION;
+        let mut codes: Vec<i32> = Vec::with_capacity(p0 * p1 * p2);
+        let mut escapes: Vec<i32> = Vec::new();
+        for bi in (0..p0).step_by(BLOCK) {
+            for bj in (0..p1).step_by(BLOCK) {
+                for bk in (0..p2).step_by(BLOCK) {
+                    let mut block = [0.0f32; 64];
+                    for i in 0..BLOCK {
+                        for j in 0..BLOCK {
+                            for k in 0..BLOCK {
+                                block[i * 16 + j * 4 + k] = padded_at(bi + i, bj + j, bk + k);
+                            }
+                        }
+                    }
+                    forward_transform(&mut block);
+                    for &c in block.iter() {
+                        let q = (c / step).round();
+                        if q.abs() <= MAX_CODE as f32 && q.is_finite() {
+                            codes.push(q as i32);
+                        } else {
+                            codes.push(ESCAPE);
+                            escapes.push(q.clamp(i32::MIN as f32, i32::MAX as f32) as i32);
+                        }
+                    }
+                }
+            }
+        }
+
+        let model = HistogramModel::fit(&codes);
+        let mut out = Vec::new();
+        BlockHeader::new(Codec::ZfpLike, data, abs_error).write(&mut out);
+        let model_bytes = model.to_bytes();
+        out.extend_from_slice(&(model_bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&model_bytes);
+        let mut enc = ArithmeticEncoder::new();
+        let mut esc_iter = escapes.iter();
+        for &c in &codes {
+            model.encode(&mut enc, &[c]);
+            if c == ESCAPE {
+                let raw = *esc_iter.next().expect("escape value missing");
+                enc.encode_bits_raw(raw as u32 as u64, 32);
+            }
+        }
+        let stream = enc.finish();
+        out.extend_from_slice(&(stream.len() as u32).to_le_bytes());
+        out.extend_from_slice(&stream);
+        out
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Tensor {
+        let (header, mut off) = BlockHeader::read(bytes);
+        assert_eq!(header.codec, Codec::ZfpLike, "not a ZFP-like stream");
+        let model_len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        let (model, used) = HistogramModel::from_bytes(&bytes[off..off + model_len]);
+        assert_eq!(used, model_len);
+        off += model_len;
+        let stream_len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        let stream = &bytes[off..off + stream_len];
+
+        let (d0, d1, d2) = Self::as_volume_dims(&header.dims);
+        let (p0, p1, p2) = (d0.div_ceil(BLOCK) * BLOCK, d1.div_ceil(BLOCK) * BLOCK, d2.div_ceil(BLOCK) * BLOCK);
+        let step = header.abs_error / ERROR_AMPLIFICATION;
+        let mut dec = ArithmeticDecoder::new(stream);
+        let mut recon = vec![0.0f32; d0 * d1 * d2];
+        for bi in (0..p0).step_by(BLOCK) {
+            for bj in (0..p1).step_by(BLOCK) {
+                for bk in (0..p2).step_by(BLOCK) {
+                    let mut block = [0.0f32; 64];
+                    for v in block.iter_mut() {
+                        let code = model.decode(&mut dec, 1)[0];
+                        let q = if code == ESCAPE {
+                            dec.decode_bits_raw(32) as u32 as i32
+                        } else {
+                            code
+                        };
+                        *v = q as f32 * step;
+                    }
+                    inverse_transform(&mut block);
+                    for i in 0..BLOCK {
+                        for j in 0..BLOCK {
+                            for k in 0..BLOCK {
+                                let (gi, gj, gk) = (bi + i, bj + j, bk + k);
+                                if gi < d0 && gj < d1 && gk < d2 {
+                                    recon[(gi * d1 + gj) * d2 + gk] = block[i * 16 + j * 4 + k];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(recon, &header.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compression_ratio;
+    use crate::szlike::SzCompressor;
+    use gld_datasets::{generate, DatasetKind, FieldSpec};
+    use gld_tensor::stats::max_abs_error;
+    use gld_tensor::TensorRng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dct_basis_is_orthonormal() {
+        let b = dct4_basis();
+        for i in 0..4 {
+            for j in 0..4 {
+                let dot: f32 = (0..4).map(|k| b[i][k] * b[j][k]).sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-5, "basis not orthonormal at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_roundtrip_is_identity() {
+        let mut rng = TensorRng::new(0);
+        let original: Vec<f32> = rng.randn(&[64]).into_vec();
+        let mut block = [0.0f32; 64];
+        block.copy_from_slice(&original);
+        forward_transform(&mut block);
+        inverse_transform(&mut block);
+        for (a, b) in block.iter().zip(original.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_on_all_synthetic_datasets() {
+        let spec = FieldSpec::new(1, 8, 16, 16);
+        let zfp = ZfpLikeCompressor::new();
+        for kind in DatasetKind::all() {
+            let ds = generate(kind, &spec, 4);
+            let frames = &ds.variables[0].frames;
+            let range = frames.max() - frames.min();
+            let eb = 1e-2 * range;
+            let (recon, size) = zfp.roundtrip(frames, eb);
+            let err = max_abs_error(frames, &recon);
+            assert!(err <= eb * 1.0001, "error {err} exceeds bound {eb} on {kind:?}");
+            assert!(compression_ratio(frames, size) > 1.0, "no compression on {kind:?}");
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_on_non_multiple_of_four_shapes() {
+        let mut rng = TensorRng::new(9);
+        let zfp = ZfpLikeCompressor::new();
+        for dims in [vec![3usize, 7, 9], vec![5, 5], vec![17]] {
+            let data = rng.randn(&dims).scale(3.0);
+            let (recon, _) = zfp.roundtrip(&data, 0.05);
+            assert_eq!(recon.dims(), data.dims());
+            assert!(max_abs_error(&data, &recon) <= 0.05 * 1.0001, "dims {dims:?}");
+        }
+    }
+
+    #[test]
+    fn larger_bound_gives_higher_ratio() {
+        let spec = FieldSpec::new(1, 8, 16, 16);
+        let ds = generate(DatasetKind::S3d, &spec, 8);
+        let frames = &ds.variables[0].frames;
+        let range = frames.max() - frames.min();
+        let zfp = ZfpLikeCompressor::new();
+        let loose = zfp.compress(frames, 1e-2 * range).len();
+        let tight = zfp.compress(frames, 1e-4 * range).len();
+        assert!(loose < tight);
+    }
+
+    #[test]
+    fn prediction_based_beats_transform_based_on_smooth_fields() {
+        // The paper's Figure 3 shows SZ3 dominating ZFP on these datasets;
+        // verify the same ordering for our reimplementations on the smooth
+        // climate-like data at a matched error bound.
+        let spec = FieldSpec::new(1, 8, 16, 16);
+        let ds = generate(DatasetKind::E3sm, &spec, 6);
+        let frames = &ds.variables[0].frames;
+        let range = frames.max() - frames.min();
+        let eb = 1e-3 * range;
+        let sz_size = SzCompressor::new().compress(frames, eb).len();
+        let zfp_size = ZfpLikeCompressor::new().compress(frames, eb).len();
+        assert!(
+            sz_size < zfp_size,
+            "SZ3-like ({sz_size} B) should beat ZFP-like ({zfp_size} B) on smooth data"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_error_bound_always_holds(
+            seed in 0u64..300,
+            d0 in 1usize..5,
+            d1 in 3usize..10,
+            d2 in 3usize..10,
+            eb in 0.01f32..0.5,
+        ) {
+            let mut rng = TensorRng::new(seed);
+            let data = rng.randn(&[d0, d1, d2]).scale(4.0);
+            let zfp = ZfpLikeCompressor::new();
+            let (recon, _) = zfp.roundtrip(&data, eb);
+            prop_assert!(max_abs_error(&data, &recon) <= eb * 1.0001);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion benchmarks for the conditional latent diffusion model: a single
+//! training-loss evaluation and keyframe-conditioned generation at several
+//! denoising-step counts (the knob behind Figure 5 and Table 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gld_diffusion::{ConditionalDiffusion, DiffusionConfig, FramePartition};
+use gld_nn::prelude::*;
+use gld_tensor::TensorRng;
+use std::hint::black_box;
+
+fn bench_diffusion(c: &mut Criterion) {
+    let model = ConditionalDiffusion::new(DiffusionConfig {
+        latent_channels: 4,
+        model_channels: 12,
+        heads: 2,
+        time_embed_dim: 16,
+        train_steps: 200,
+        seed: 0,
+    });
+    let mut rng = TensorRng::new(5);
+    let block = rng.rand_uniform(&[16, 4, 4, 4], -1.0, 1.0);
+    let partition = FramePartition::from_conditioning(16, &[0, 3, 6, 9, 12, 15]);
+
+    let mut group = c.benchmark_group("diffusion");
+    group.sample_size(10);
+    group.bench_function("training_loss_step_n16", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let mut step_rng = TensorRng::new(2);
+            let loss = model.training_loss(&tape, black_box(&block), &partition, &mut step_rng);
+            black_box(loss.backward());
+            model.parameters().zero_grad();
+        })
+    });
+    for steps in [2usize, 8, 32] {
+        group.bench_function(format!("generate_{steps}_steps_n16"), |bench| {
+            bench.iter(|| {
+                let mut sample_rng = TensorRng::new(3);
+                black_box(model.generate(black_box(&block), &partition, steps, &mut sample_rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diffusion);
+criterion_main!(benches);

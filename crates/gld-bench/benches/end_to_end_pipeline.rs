@@ -1,0 +1,42 @@
+//! Criterion benchmark for the full pipeline: block compression and
+//! decompression with a briefly trained model (wall-clock for the complete
+//! encode/decode paths, the quantities Table 2 reports as MB/s).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gld_core::{GldCompressor, GldConfig, GldTrainingBudget};
+use gld_datasets::{generate, DatasetKind, FieldSpec};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::tiny(), 13);
+    let config = GldConfig::tiny();
+    let budget = GldTrainingBudget {
+        vae_steps: 60,
+        diffusion_steps: 60,
+        fine_tune_steps: 0,
+        fine_tune_schedule: 16,
+    };
+    let compressor = GldCompressor::train(config, &ds.variables, budget);
+    let block = ds.variables[0].frames.slice_axis(0, 0, config.block_frames);
+    let compressed = compressor.compress_block(&block, None);
+    let compressed_bounded = compressor.compress_block(&block, Some(1e-2));
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("compress_block_no_bound", |bench| {
+        bench.iter(|| black_box(compressor.compress_block(black_box(&block), None)))
+    });
+    group.bench_function("compress_block_with_bound_1e-2", |bench| {
+        bench.iter(|| black_box(compressor.compress_block(black_box(&block), Some(1e-2))))
+    });
+    group.bench_function("decompress_block", |bench| {
+        bench.iter(|| black_box(compressor.decompress_block(black_box(&compressed))))
+    });
+    group.bench_function("decompress_block_with_correction", |bench| {
+        bench.iter(|| black_box(compressor.decompress_block(black_box(&compressed_bounded))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

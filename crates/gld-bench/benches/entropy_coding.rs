@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks for the entropy-coding substrate: raw range
+//! coding, the Gaussian conditional model and the histogram model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gld_entropy::{ArithmeticDecoder, ArithmeticEncoder, GaussianConditionalModel, HistogramModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_entropy(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 4096;
+    let symbols: Vec<i32> = (0..n).map(|_| rng.gen_range(-20..21)).collect();
+    let means: Vec<f32> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+    let scales: Vec<f32> = (0..n).map(|_| rng.gen_range(0.5..4.0)).collect();
+    let histogram = HistogramModel::fit(&symbols);
+    let gaussian = GaussianConditionalModel::new();
+
+    let gaussian_stream = {
+        let mut enc = ArithmeticEncoder::new();
+        gaussian.encode(&mut enc, &symbols, &means, &scales);
+        enc.finish()
+    };
+
+    let mut group = c.benchmark_group("entropy_coding");
+    group.sample_size(20);
+    group.bench_function("histogram_encode_4k", |bench| {
+        bench.iter(|| {
+            let mut enc = ArithmeticEncoder::new();
+            histogram.encode(&mut enc, black_box(&symbols));
+            black_box(enc.finish())
+        })
+    });
+    group.bench_function("gaussian_encode_4k", |bench| {
+        bench.iter(|| {
+            let mut enc = ArithmeticEncoder::new();
+            gaussian.encode(&mut enc, black_box(&symbols), &means, &scales);
+            black_box(enc.finish())
+        })
+    });
+    group.bench_function("gaussian_decode_4k", |bench| {
+        bench.iter(|| {
+            let mut dec = ArithmeticDecoder::new(black_box(&gaussian_stream));
+            black_box(gaussian.decode(&mut dec, &means, &scales))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_entropy);
+criterion_main!(benches);

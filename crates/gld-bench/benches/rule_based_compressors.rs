@@ -1,0 +1,38 @@
+//! Criterion benchmarks for the rule-based baselines on a realistic
+//! climate-like block, at two error bounds (loose/tight).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gld_baselines::{ErrorBoundedCompressor, SzCompressor, ZfpLikeCompressor};
+use gld_datasets::{generate, DatasetKind, FieldSpec};
+use std::hint::black_box;
+
+fn bench_rule_based(c: &mut Criterion) {
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 16, 32, 32), 9);
+    let block = ds.variables[0].frames.clone();
+    let range = block.max() - block.min();
+    let sz = SzCompressor::new();
+    let zfp = ZfpLikeCompressor::new();
+    let sz_stream = sz.compress(&block, 1e-3 * range);
+    let zfp_stream = zfp.compress(&block, 1e-3 * range);
+
+    let mut group = c.benchmark_group("rule_based_compressors");
+    group.sample_size(10);
+    for (label, rel) in [("loose_1e-2", 1e-2f32), ("tight_1e-4", 1e-4)] {
+        group.bench_function(format!("sz_like_compress_{label}"), |bench| {
+            bench.iter(|| black_box(sz.compress(&block, rel * range)))
+        });
+        group.bench_function(format!("zfp_like_compress_{label}"), |bench| {
+            bench.iter(|| black_box(zfp.compress(&block, rel * range)))
+        });
+    }
+    group.bench_function("sz_like_decompress", |bench| {
+        bench.iter(|| black_box(sz.decompress(&sz_stream)))
+    });
+    group.bench_function("zfp_like_decompress", |bench| {
+        bench.iter(|| black_box(zfp.decompress(&zfp_stream)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_based);
+criterion_main!(benches);

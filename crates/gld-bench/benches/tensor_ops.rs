@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks for the tensor substrate: matmul, convolution
+//! and softmax at the sizes the VAE/UNet actually use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gld_tensor::conv::{conv2d, Conv2dGeometry};
+use gld_tensor::TensorRng;
+use std::hint::black_box;
+
+fn bench_tensor_ops(c: &mut Criterion) {
+    let mut rng = TensorRng::new(0);
+    let a = rng.randn(&[64, 64]);
+    let b = rng.randn(&[64, 64]);
+    let batched_a = rng.randn(&[16, 64, 16]);
+    let batched_b = rng.randn(&[16, 16, 64]);
+    let image = rng.randn(&[4, 8, 16, 16]);
+    let kernel = rng.randn(&[8, 8, 3, 3]).scale(0.1);
+    let logits = rng.randn(&[64, 256]);
+
+    let mut group = c.benchmark_group("tensor_ops");
+    group.sample_size(20);
+    group.bench_function("matmul_64x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+    group.bench_function("batched_matmul_16x64x16", |bench| {
+        bench.iter(|| black_box(batched_a.matmul(&batched_b)))
+    });
+    group.bench_function("conv2d_4x8x16x16_k3", |bench| {
+        bench.iter(|| black_box(conv2d(&image, &kernel, None, Conv2dGeometry::new(3, 1, 1))))
+    });
+    group.bench_function("softmax_64x256", |bench| {
+        bench.iter(|| black_box(logits.softmax_last()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tensor_ops);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmarks for the VAE: rate–distortion training step
+//! (forward + backward) and inference-time latent quantisation / decoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gld_nn::prelude::*;
+use gld_tensor::TensorRng;
+use gld_vae::{Vae, VaeConfig};
+use std::hint::black_box;
+
+fn bench_vae(c: &mut Criterion) {
+    let vae = Vae::new(VaeConfig::default());
+    let mut rng = TensorRng::new(4);
+    let frames = rng.rand_uniform(&[2, 1, 16, 16], -0.5, 0.5);
+    let latents = vae.quantize_latent(&frames);
+
+    let mut group = c.benchmark_group("vae");
+    group.sample_size(10);
+    group.bench_function("rd_loss_forward_backward_b2_16x16", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let mut step_rng = TensorRng::new(1);
+            let (loss, _) = vae.rd_loss(&tape, black_box(&frames), &mut step_rng);
+            black_box(loss.backward());
+            vae.parameters().zero_grad();
+        })
+    });
+    group.bench_function("quantize_latent_b2_16x16", |bench| {
+        bench.iter(|| black_box(vae.quantize_latent(black_box(&frames))))
+    });
+    group.bench_function("decode_latent_b2", |bench| {
+        bench.iter(|| black_box(vae.decode_latent(black_box(&latents))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vae);
+criterion_main!(benches);

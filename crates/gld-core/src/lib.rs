@@ -1,0 +1,33 @@
+//! # gld-core
+//!
+//! The end-to-end generative latent diffusion compressor — the paper's
+//! primary contribution — together with everything the evaluation section
+//! needs:
+//!
+//! * [`keyframes`] — keyframe selection strategies (§4.4): prediction-based,
+//!   interpolation-based and mixed, plus the interval sweep of §4.5;
+//! * [`error_bound`] — the PCA residual post-processing module that turns
+//!   the lossy reconstruction into one with a guaranteed error bound (§3.5);
+//! * [`pipeline`] — [`pipeline::GldCompressor`]: VAE + hyperprior keyframe
+//!   coding, conditional latent diffusion interpolation of the remaining
+//!   frames, and compression-ratio accounting (Eq. 11);
+//! * [`learned_baselines`] — analogues of CDC-X/CDC-ε, GCD and VAE-SR that
+//!   share the same VAE substrate but store latents for *every* frame, the
+//!   structural difference the paper's comparison isolates;
+//! * [`sweep`] — rate–distortion sweep helpers used by the benchmark
+//!   harness to regenerate Figure 3 and the headline claims.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error_bound;
+pub mod keyframes;
+pub mod learned_baselines;
+pub mod pipeline;
+pub mod sweep;
+
+pub use error_bound::{ErrorBoundConfig, ErrorBoundOutcome, PcaErrorBound};
+pub use keyframes::{KeyframeStrategy, KeyframeSummary};
+pub use learned_baselines::{LearnedBaseline, LearnedBaselineKind};
+pub use pipeline::{CompressedBlock, GldCompressor, GldConfig, GldTrainingBudget};
+pub use sweep::{RatePoint, RateSweep};

@@ -1,0 +1,266 @@
+//! Spatiotemporal block pipeline: temporal windows, spatial patches and the
+//! training-sample iterator used by the VAE and diffusion trainers.
+
+use crate::field::Variable;
+use gld_tensor::{Tensor, TensorRng};
+
+/// Geometry of the blocks fed to the compressors: `frames` consecutive
+/// timesteps of `patch × patch` crops (the paper uses N = 16 frames and
+/// 256 × 256 crops; this reproduction scales the spatial size down).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockSpec {
+    /// Temporal length N of a block.
+    pub frames: usize,
+    /// Spatial patch edge length.
+    pub patch: usize,
+}
+
+impl BlockSpec {
+    /// Creates a block spec.
+    pub fn new(frames: usize, patch: usize) -> Self {
+        assert!(frames > 0 && patch > 0, "block spec must be positive");
+        BlockSpec { frames, patch }
+    }
+}
+
+/// A contiguous temporal window of a variable: frames `[start, start + len)`.
+#[derive(Clone, Debug)]
+pub struct TemporalWindow {
+    /// Index of the first frame.
+    pub start: usize,
+    /// The `[len, H, W]` data.
+    pub data: Tensor,
+}
+
+impl TemporalWindow {
+    /// Number of frames in the window.
+    pub fn len(&self) -> usize {
+        self.data.dim(0)
+    }
+
+    /// True when the window holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Splits a variable into non-overlapping temporal windows of `frames`
+/// timesteps, dropping a final partial window (matching how block-based
+/// compressors tile the time axis).
+pub fn temporal_windows(variable: &Variable, frames: usize) -> Vec<TemporalWindow> {
+    assert!(frames > 0, "window length must be positive");
+    let t_total = variable.timesteps();
+    let mut windows = Vec::new();
+    let mut start = 0;
+    while start + frames <= t_total {
+        windows.push(TemporalWindow {
+            start,
+            data: variable.frames.slice_axis(0, start, start + frames),
+        });
+        start += frames;
+    }
+    windows
+}
+
+/// Iterator over deterministic, non-overlapping spatial tiles of a temporal
+/// window (used at compression time so every pixel belongs to exactly one
+/// block).
+pub struct BlockIterator<'a> {
+    window: &'a TemporalWindow,
+    patch: usize,
+    next_y: usize,
+    next_x: usize,
+}
+
+impl<'a> BlockIterator<'a> {
+    /// Creates a tile iterator.  The window's spatial extent must be a
+    /// multiple of the patch size.
+    pub fn new(window: &'a TemporalWindow, patch: usize) -> Self {
+        let h = window.data.dim(1);
+        let w = window.data.dim(2);
+        assert!(
+            h % patch == 0 && w % patch == 0,
+            "spatial extent {h}x{w} must be divisible by patch {patch}"
+        );
+        BlockIterator {
+            window,
+            patch,
+            next_y: 0,
+            next_x: 0,
+        }
+    }
+}
+
+/// A spatiotemporal block: `[N, patch, patch]` plus its source location.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Frame offset of the source window.
+    pub t_start: usize,
+    /// Row offset within the frame.
+    pub y: usize,
+    /// Column offset within the frame.
+    pub x: usize,
+    /// The `[N, patch, patch]` data.
+    pub data: Tensor,
+}
+
+impl<'a> Iterator for BlockIterator<'a> {
+    type Item = Block;
+
+    fn next(&mut self) -> Option<Block> {
+        let h = self.window.data.dim(1);
+        let w = self.window.data.dim(2);
+        if self.next_y + self.patch > h {
+            return None;
+        }
+        let (y, x) = (self.next_y, self.next_x);
+        let data = self
+            .window
+            .data
+            .slice_axis(1, y, y + self.patch)
+            .slice_axis(2, x, x + self.patch);
+        self.next_x += self.patch;
+        if self.next_x + self.patch > w {
+            self.next_x = 0;
+            self.next_y += self.patch;
+        }
+        Some(Block {
+            t_start: self.window.start,
+            y,
+            x,
+            data,
+        })
+    }
+}
+
+/// Reassembles non-overlapping blocks (as produced by [`BlockIterator`])
+/// back into a `[N, H, W]` window.
+pub fn assemble_blocks(blocks: &[Block], frames: usize, height: usize, width: usize) -> Tensor {
+    let mut out = Tensor::zeros(&[frames, height, width]);
+    for block in blocks {
+        let patch_h = block.data.dim(1);
+        let patch_w = block.data.dim(2);
+        for t in 0..frames {
+            for dy in 0..patch_h {
+                for dx in 0..patch_w {
+                    out.set(
+                        &[t, block.y + dy, block.x + dx],
+                        block.data.at(&[t, dy, dx]),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Draws a random training sample: `frames` consecutive timesteps and a
+/// random `patch × patch` crop, as in the paper's training procedure
+/// ("randomly sample N consecutive frames … randomly crop patches").
+pub fn sample_training_block(
+    variable: &Variable,
+    spec: BlockSpec,
+    rng: &mut TensorRng,
+) -> Tensor {
+    let t_total = variable.timesteps();
+    let h = variable.frames.dim(1);
+    let w = variable.frames.dim(2);
+    assert!(t_total >= spec.frames, "not enough timesteps for a block");
+    assert!(
+        h >= spec.patch && w >= spec.patch,
+        "frame {h}x{w} smaller than patch {}",
+        spec.patch
+    );
+    let t0 = rng.sample_index(t_total - spec.frames + 1);
+    let y0 = rng.sample_index(h - spec.patch + 1);
+    let x0 = rng.sample_index(w - spec.patch + 1);
+    variable
+        .frames
+        .slice_axis(0, t0, t0 + spec.frames)
+        .slice_axis(1, y0, y0 + spec.patch)
+        .slice_axis(2, x0, x0 + spec.patch)
+}
+
+/// Converts a `[N, H, W]` block into the NCHW layout expected by the VAE
+/// (each frame becomes a single-channel image): `[N, 1, H, W]`.
+pub fn block_to_nchw(block: &Tensor) -> Tensor {
+    assert_eq!(block.rank(), 3, "block must be [N, H, W]");
+    let (n, h, w) = (block.dim(0), block.dim(1), block.dim(2));
+    block.reshape(&[n, 1, h, w])
+}
+
+/// Inverse of [`block_to_nchw`].
+pub fn nchw_to_block(frames: &Tensor) -> Tensor {
+    assert_eq!(frames.rank(), 4, "frames must be [N, 1, H, W]");
+    assert_eq!(frames.dim(1), 1, "expected a single channel");
+    let (n, h, w) = (frames.dim(0), frames.dim(2), frames.dim(3));
+    frames.reshape(&[n, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FieldSpec;
+    use gld_tensor::TensorRng;
+
+    fn variable() -> Variable {
+        let mut rng = TensorRng::new(0);
+        let spec = FieldSpec::tiny();
+        crate::e3sm::generate(&spec, &mut rng).variables.remove(0)
+    }
+
+    #[test]
+    fn temporal_windows_tile_the_time_axis() {
+        let v = variable(); // 16 frames
+        let windows = temporal_windows(&v, 8);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].start, 0);
+        assert_eq!(windows[1].start, 8);
+        assert_eq!(windows[0].data.dims(), &[8, 16, 16]);
+        // Partial windows are dropped.
+        let windows = temporal_windows(&v, 7);
+        assert_eq!(windows.len(), 2);
+    }
+
+    #[test]
+    fn block_iterator_covers_every_pixel_once() {
+        let v = variable();
+        let windows = temporal_windows(&v, 16);
+        let blocks: Vec<Block> = BlockIterator::new(&windows[0], 8).collect();
+        assert_eq!(blocks.len(), 4); // 16x16 into 8x8 tiles
+        let rebuilt = assemble_blocks(&blocks, 16, 16, 16);
+        assert_eq!(rebuilt, windows[0].data);
+    }
+
+    #[test]
+    fn training_sampler_respects_spec_and_seed() {
+        let v = variable();
+        let spec = BlockSpec::new(4, 8);
+        let mut r1 = TensorRng::new(9);
+        let mut r2 = TensorRng::new(9);
+        let a = sample_training_block(&v, spec, &mut r1);
+        let b = sample_training_block(&v, spec, &mut r2);
+        assert_eq!(a.dims(), &[4, 8, 8]);
+        assert_eq!(a, b);
+        // Subsequent draws differ (with overwhelming probability).
+        let c = sample_training_block(&v, spec, &mut r1);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn nchw_roundtrip() {
+        let v = variable();
+        let block = v.frames.slice_axis(0, 0, 4);
+        let nchw = block_to_nchw(&block);
+        assert_eq!(nchw.dims(), &[4, 1, 16, 16]);
+        assert_eq!(nchw_to_block(&nchw), block);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn block_iterator_rejects_indivisible_patch() {
+        let v = variable();
+        let windows = temporal_windows(&v, 16);
+        let _ = BlockIterator::new(&windows[0], 5);
+    }
+}

@@ -1,0 +1,200 @@
+//! Synthetic E3SM-like climate fields.
+//!
+//! The real E3SM high-resolution atmosphere output consists of smooth,
+//! planetary-scale fields (temperature, humidity, winds, surface pressure,
+//! precipitation proxies) that evolve slowly between hourly snapshots, carry
+//! strong periodic (diurnal) forcing, and span wildly different absolute
+//! magnitudes per variable.  Those are exactly the properties that decide how
+//! well a temporal-interpolation compressor works, and they are what this
+//! generator reproduces:
+//!
+//! * a superposition of low-wavenumber harmonics advected slowly in time
+//!   (large-scale weather patterns),
+//! * a diurnal sinusoidal modulation,
+//! * a small amount of spatially correlated noise (mesoscale variability),
+//! * per-variable offsets/scales spanning several orders of magnitude.
+
+use crate::field::{DatasetKind, FieldSpec, ScientificDataset, Variable};
+use gld_tensor::{Tensor, TensorRng};
+
+/// Per-variable physical scales loosely modelled on E3SM atmosphere output.
+/// `(name, offset, scale)` — the generated unit-range signal is mapped to
+/// `offset + scale * signal`.
+const VARIABLE_SCALES: [(&str, f32, f32); 5] = [
+    ("surface_temperature", 288.0, 40.0),
+    ("specific_humidity", 8e-3, 6e-3),
+    ("zonal_wind", 0.0, 25.0),
+    ("surface_pressure", 1.0e5, 5.0e3),
+    ("shortwave_flux", 3.4e2, 3.4e2),
+];
+
+/// Number of large-scale harmonics superimposed per variable.
+const NUM_MODES: usize = 6;
+
+struct Mode {
+    kx: f32,
+    ky: f32,
+    phase: f32,
+    omega: f32,
+    amplitude: f32,
+    drift_x: f32,
+    drift_y: f32,
+}
+
+/// Generates an E3SM-like dataset.
+pub fn generate(spec: &FieldSpec, rng: &mut TensorRng) -> ScientificDataset {
+    let mut variables = Vec::with_capacity(spec.variables);
+    for vi in 0..spec.variables {
+        let (name, offset, scale) = VARIABLE_SCALES[vi % VARIABLE_SCALES.len()];
+        let name = if vi < VARIABLE_SCALES.len() {
+            name.to_string()
+        } else {
+            format!("{name}_{vi}")
+        };
+        let frames = generate_variable(spec, rng, offset, scale);
+        variables.push(Variable::new(name, frames));
+    }
+    ScientificDataset {
+        kind: DatasetKind::E3sm,
+        spec: *spec,
+        variables,
+    }
+}
+
+fn generate_variable(spec: &FieldSpec, rng: &mut TensorRng, offset: f32, scale: f32) -> Tensor {
+    let (t_len, h, w) = (spec.timesteps, spec.height, spec.width);
+    // Large-scale modes: low wavenumbers, slow temporal rotation, slow drift.
+    let modes: Vec<Mode> = (0..NUM_MODES)
+        .map(|m| Mode {
+            kx: rng.sample_uniform(0.5, 3.0) * 2.0 * std::f32::consts::PI / w as f32,
+            ky: rng.sample_uniform(0.5, 3.0) * 2.0 * std::f32::consts::PI / h as f32,
+            phase: rng.sample_uniform(0.0, 2.0 * std::f32::consts::PI),
+            omega: rng.sample_uniform(0.01, 0.08),
+            amplitude: 1.0 / (m as f32 + 1.0),
+            drift_x: rng.sample_uniform(-0.4, 0.4),
+            drift_y: rng.sample_uniform(-0.25, 0.25),
+        })
+        .collect();
+    let diurnal_phase = rng.sample_uniform(0.0, 2.0 * std::f32::consts::PI);
+    // Smooth spatial noise texture, fixed in time, modulated slowly: mimics
+    // orography-locked variability without destroying temporal coherence.
+    let texture = smooth_noise(h, w, rng);
+
+    let mut data = vec![0.0f32; t_len * h * w];
+    for t in 0..t_len {
+        let tt = t as f32;
+        let diurnal = 0.25 * (2.0 * std::f32::consts::PI * tt / 24.0 + diurnal_phase).sin();
+        for y in 0..h {
+            for x in 0..w {
+                let mut v = 0.0f32;
+                for mode in &modes {
+                    let xx = x as f32 - mode.drift_x * tt;
+                    let yy = y as f32 - mode.drift_y * tt;
+                    v += mode.amplitude
+                        * (mode.kx * xx + mode.ky * yy + mode.phase + mode.omega * tt).sin();
+                }
+                v = v / NUM_MODES as f32 + diurnal + 0.1 * texture[y * w + x] * (1.0 + 0.2 * diurnal);
+                data[(t * h + y) * w + x] = offset + scale * v;
+            }
+        }
+    }
+    Tensor::from_vec(data, &[t_len, h, w])
+}
+
+/// Smooth unit-variance spatial noise built from a handful of random
+/// medium-wavenumber harmonics.
+fn smooth_noise(h: usize, w: usize, rng: &mut TensorRng) -> Vec<f32> {
+    let mut out = vec![0.0f32; h * w];
+    let modes = 8;
+    for _ in 0..modes {
+        let kx = rng.sample_uniform(2.0, 6.0) * 2.0 * std::f32::consts::PI / w as f32;
+        let ky = rng.sample_uniform(2.0, 6.0) * 2.0 * std::f32::consts::PI / h as f32;
+        let phase = rng.sample_uniform(0.0, 2.0 * std::f32::consts::PI);
+        let amp = rng.sample_uniform(0.5, 1.0);
+        for y in 0..h {
+            for x in 0..w {
+                out[y * w + x] += amp * (kx * x as f32 + ky * y as f32 + phase).sin();
+            }
+        }
+    }
+    let norm = (modes as f32).sqrt();
+    for v in &mut out {
+        *v /= norm;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gld_tensor::stats::nrmse;
+
+    fn small() -> ScientificDataset {
+        let mut rng = TensorRng::new(7);
+        generate(&FieldSpec::tiny(), &mut rng)
+    }
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.variables.len(), 2);
+        assert_eq!(a.variables[0].frames.dims(), &[16, 16, 16]);
+        assert_eq!(a.variables[0].frames, b.variables[0].frames);
+        assert_eq!(a.variables[0].name, "surface_temperature");
+    }
+
+    #[test]
+    fn variables_span_different_magnitudes() {
+        let mut rng = TensorRng::new(3);
+        let ds = generate(&FieldSpec::new(4, 8, 16, 16), &mut rng);
+        let t_range = ds.variables[0].range();
+        let q_range = ds.variables[1].range();
+        // Temperature ~ hundreds of K, humidity ~ 1e-2: ratio of scales must
+        // be large (the property that forces per-frame normalisation).
+        assert!(t_range.1.abs() / q_range.1.abs() > 1e3);
+    }
+
+    #[test]
+    fn fields_are_temporally_smooth() {
+        // Consecutive frames must be much closer than frames far apart —
+        // the property that makes keyframe interpolation viable.
+        let ds = small();
+        let frames = &ds.variables[0].frames;
+        let f0 = frames.slice_axis(0, 0, 1);
+        let f1 = frames.slice_axis(0, 1, 2);
+        let f8 = frames.slice_axis(0, 8, 9);
+        let near = nrmse(&f0, &f1);
+        let far = nrmse(&f0, &f8);
+        assert!(near < far, "near {near} far {far}");
+        assert!(near < 0.1, "consecutive frames too different: {near}");
+    }
+
+    #[test]
+    fn fields_are_spatially_smooth() {
+        // Neighbouring pixels are highly correlated (large-scale structure).
+        let ds = small();
+        let f = ds.variables[0].frame(0);
+        let (h, w) = (f.dim(0), f.dim(1));
+        let range = f.max() - f.min();
+        let mut diff_sum = 0.0;
+        let mut count = 0;
+        for y in 0..h {
+            for x in 1..w {
+                diff_sum += (f.at(&[y, x]) - f.at(&[y, x - 1])).abs();
+                count += 1;
+            }
+        }
+        let mean_step = diff_sum / count as f32;
+        assert!(mean_step < 0.2 * range, "mean step {mean_step} vs range {range}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_weather() {
+        let mut r1 = TensorRng::new(1);
+        let mut r2 = TensorRng::new(2);
+        let a = generate(&FieldSpec::tiny(), &mut r1);
+        let b = generate(&FieldSpec::tiny(), &mut r2);
+        assert_ne!(a.variables[0].frames, b.variables[0].frames);
+    }
+}

@@ -1,0 +1,53 @@
+//! # gld-datasets
+//!
+//! Synthetic spatiotemporal scientific datasets standing in for the paper's
+//! E3SM (climate), S3D (combustion) and JHTDB (turbulence) evaluation data,
+//! plus the block pipeline that feeds them to the compressors.
+//!
+//! The real datasets are tens of gigabytes of restricted simulation output;
+//! the generators here reproduce the statistical regimes that matter to a
+//! compressor (see `DESIGN.md` §1 for the substitution argument):
+//!
+//! * [`e3sm`] — smooth, strongly temporally-correlated multi-variable fields
+//!   with periodic forcing and extreme dynamic range.
+//! * [`s3d`] — reaction–diffusion ignition kernels: sharp moving fronts over
+//!   smooth backgrounds, many coupled species channels.
+//! * [`jhtdb`] — divergence-free synthetic turbulence with a k^(-5/3)-like
+//!   spectrum and moderate temporal correlation.
+//!
+//! All generators are deterministic given a seed and a
+//! [`FieldSpec`], so every experiment in `gld-bench` is reproducible.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod blocks;
+pub mod e3sm;
+pub mod field;
+pub mod jhtdb;
+pub mod s3d;
+
+pub use blocks::{BlockIterator, BlockSpec, TemporalWindow};
+pub use field::{DatasetInfo, DatasetKind, FieldSpec, ScientificDataset, Variable};
+
+use gld_tensor::TensorRng;
+
+/// Generates the named dataset with the given spec and seed.
+pub fn generate(kind: DatasetKind, spec: &FieldSpec, seed: u64) -> ScientificDataset {
+    let mut rng = TensorRng::new(seed);
+    match kind {
+        DatasetKind::E3sm => e3sm::generate(spec, &mut rng),
+        DatasetKind::S3d => s3d::generate(spec, &mut rng),
+        DatasetKind::Jhtdb => jhtdb::generate(spec, &mut rng),
+    }
+}
+
+/// Returns the paper's Table 1 (dataset inventory) for the original data and
+/// the corresponding synthetic stand-ins produced by this crate.
+pub fn table1_rows(spec: &FieldSpec) -> Vec<(DatasetInfo, DatasetInfo)> {
+    vec![
+        (DatasetInfo::paper_e3sm(), DatasetInfo::synthetic(DatasetKind::E3sm, spec)),
+        (DatasetInfo::paper_s3d(), DatasetInfo::synthetic(DatasetKind::S3d, spec)),
+        (DatasetInfo::paper_jhtdb(), DatasetInfo::synthetic(DatasetKind::Jhtdb, spec)),
+    ]
+}

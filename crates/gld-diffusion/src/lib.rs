@@ -1,0 +1,34 @@
+//! # gld-diffusion
+//!
+//! Conditional latent diffusion for generative interpolation of spatio-
+//! temporal latents (paper §3.2–§3.4):
+//!
+//! * [`schedule::NoiseSchedule`] — the forward-process β/ᾱ schedule (Eq. 3–4)
+//!   plus respacing for few-step sampling;
+//! * [`unet::SpaceTimeUnet`] — the denoising network with factorized
+//!   temporal/spatial attention (§3.2, "Denoising UNet");
+//! * [`model::ConditionalDiffusion`] — keyframe conditioning (§3.3): noise is
+//!   added only to the frames to be generated, the clean keyframe latents are
+//!   spliced in with the ⊕ operator, and the loss is restricted to the
+//!   generated frames (Eq. 7 / Algorithm 1);
+//! * [`train::DiffusionTrainer`] — the two-phase training loop (many-step
+//!   training followed by few-step fine-tuning, §4.6).
+//!
+//! The module operates purely on latent blocks `[N, C, h, w]`; producing
+//! those latents (and decoding the generated ones) is the job of `gld-vae`
+//! and the pipeline crate `gld-core`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod model;
+pub mod schedule;
+pub mod train;
+pub mod unet;
+
+pub use config::DiffusionConfig;
+pub use model::{ConditionalDiffusion, FramePartition};
+pub use schedule::NoiseSchedule;
+pub use train::{DiffusionTrainer, DiffusionTrainReport};
+pub use unet::SpaceTimeUnet;

@@ -1,0 +1,29 @@
+//! # gld-entropy
+//!
+//! Entropy coding for the GLD compression stack.
+//!
+//! Three pieces live here:
+//!
+//! * [`arith`] — a binary-renormalising arithmetic coder (encoder/decoder
+//!   pair) operating on cumulative-frequency intervals.  This is the
+//!   lossless back end shared by every compressor in the workspace.
+//! * [`gaussian`] — numerically careful normal CDF / inverse utilities.
+//! * [`models`] — the symbol models on top of the coder: the
+//!   **Gaussian conditional** model used for VAE latents `y` (whose per
+//!   element mean/scale come from the hyperprior, paper Eq. 1–2), the
+//!   **histogram factorized prior** used for hyper-latents `z`, and a raw
+//!   **bypass** coder for escape values.
+//!
+//! The crate is deliberately framework-free: it works on plain `i32` symbol
+//! slices so that both the learned compressors (`gld-vae`) and the rule-based
+//! baselines (`gld-baselines`) can reuse it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arith;
+pub mod gaussian;
+pub mod models;
+
+pub use arith::{ArithmeticDecoder, ArithmeticEncoder};
+pub use models::{BitCounter, BypassCoder, GaussianConditionalModel, HistogramModel};

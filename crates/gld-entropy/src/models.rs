@@ -1,0 +1,572 @@
+//! Symbol models layered on the arithmetic coder.
+//!
+//! * [`GaussianConditionalModel`] codes quantised latents `y` whose per
+//!   element mean and scale are predicted by the hyperprior (paper Eq. 1–2).
+//! * [`HistogramModel`] codes hyper-latents `z` with a data-built factorised
+//!   histogram prior that is serialised into the stream header — the
+//!   practical stand-in for the paper's non-parametric density model [4].
+//! * [`BypassCoder`] writes raw integers for escape paths.
+//! * [`BitCounter`] accumulates theoretical code lengths for rate accounting.
+
+use crate::arith::{ArithmeticDecoder, ArithmeticEncoder, MAX_TOTAL};
+use crate::gaussian::{normal_cdf, quantized_gaussian_bits};
+
+/// Total frequency budget used when quantising probability models.
+const MODEL_TOTAL: u32 = MAX_TOTAL / 2;
+
+/// Number of standard deviations covered by the explicit symbol window of the
+/// Gaussian conditional model; values outside are escape-coded.
+const TAIL_SIGMAS: f64 = 8.0;
+
+/// Maximum half-width of the explicit symbol window.
+const MAX_HALF_WIDTH: i64 = 255;
+
+// ----------------------------------------------------------------------
+// Bypass coding of raw integers
+// ----------------------------------------------------------------------
+
+/// Raw (model-free) integer coding used for escape values.
+pub struct BypassCoder;
+
+impl BypassCoder {
+    /// Encodes a signed 32-bit integer with a zig-zag mapping.
+    pub fn encode_i32(enc: &mut ArithmeticEncoder, value: i32) {
+        let zigzag = ((value << 1) ^ (value >> 31)) as u32;
+        enc.encode_bits_raw(zigzag as u64, 32);
+    }
+
+    /// Decodes a signed 32-bit integer written by
+    /// [`BypassCoder::encode_i32`].
+    pub fn decode_i32(dec: &mut ArithmeticDecoder<'_>) -> i32 {
+        let zigzag = dec.decode_bits_raw(32) as u32;
+        ((zigzag >> 1) as i32) ^ -((zigzag & 1) as i32)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Gaussian conditional model
+// ----------------------------------------------------------------------
+
+/// Entropy model for quantised latents with per-element Gaussian parameters.
+///
+/// For each element the model builds a quantised CDF over an integer window
+/// centred at the predicted mean, plus an escape symbol for outliers; escapes
+/// carry a raw 32-bit payload.  Encoding and decoding must be driven with the
+/// *same* mean/scale sequences (both sides derive them from the decoded
+/// hyper-latents), which makes the scheme lossless for the quantised symbols.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianConditionalModel;
+
+struct Window {
+    lo: i64,
+    freqs: Vec<u32>,
+    cdf: Vec<u32>,
+}
+
+impl GaussianConditionalModel {
+    /// Creates the model (stateless; provided for API symmetry).
+    pub fn new() -> Self {
+        GaussianConditionalModel
+    }
+
+    fn window(mean: f64, std: f64) -> Window {
+        let std = std.max(1e-3);
+        let centre = mean.round() as i64;
+        let half = ((std * TAIL_SIGMAS).ceil() as i64).clamp(1, MAX_HALF_WIDTH);
+        let lo = centre - half;
+        let hi = centre + half;
+        let n_bins = (hi - lo + 1) as usize + 1; // + escape
+        let budget = MODEL_TOTAL - n_bins as u32;
+        // Probability mass of each symbol in the window.
+        let span_lo = normal_cdf(lo as f64 - 0.5, mean, std);
+        let span_hi = normal_cdf(hi as f64 + 0.5, mean, std);
+        let span = (span_hi - span_lo).max(1e-12);
+        let mut freqs = Vec::with_capacity(n_bins);
+        let mut allocated = 0u32;
+        for k in lo..=hi {
+            let p = (normal_cdf(k as f64 + 0.5, mean, std) - normal_cdf(k as f64 - 0.5, mean, std))
+                .max(0.0)
+                / span;
+            let f = 1 + (p * budget as f64) as u32;
+            allocated += f;
+            freqs.push(f);
+        }
+        // Escape bin absorbs whatever is left of the budget (at least 1).
+        let escape = MODEL_TOTAL - allocated - 1;
+        freqs.push(escape.max(1));
+        let mut cdf = Vec::with_capacity(freqs.len() + 1);
+        let mut acc = 0u32;
+        cdf.push(0);
+        for &f in &freqs {
+            acc += f;
+            cdf.push(acc);
+        }
+        Window { lo, freqs, cdf }
+    }
+
+    fn total(window: &Window) -> u32 {
+        *window.cdf.last().unwrap()
+    }
+
+    /// Encodes `symbols[i]` under `N(means[i], scales[i]²)`.
+    pub fn encode(
+        &self,
+        enc: &mut ArithmeticEncoder,
+        symbols: &[i32],
+        means: &[f32],
+        scales: &[f32],
+    ) {
+        assert_eq!(symbols.len(), means.len(), "means length mismatch");
+        assert_eq!(symbols.len(), scales.len(), "scales length mismatch");
+        for ((&s, &m), &sd) in symbols.iter().zip(means).zip(scales) {
+            let w = Self::window(m as f64, sd as f64);
+            let total = Self::total(&w);
+            let idx = s as i64 - w.lo;
+            let escape_idx = w.freqs.len() - 1;
+            if idx >= 0 && (idx as usize) < escape_idx {
+                let idx = idx as usize;
+                enc.encode(w.cdf[idx], w.cdf[idx + 1], total);
+            } else {
+                enc.encode(w.cdf[escape_idx], w.cdf[escape_idx + 1], total);
+                BypassCoder::encode_i32(enc, s);
+            }
+        }
+    }
+
+    /// Decodes a symbol sequence; `means`/`scales` must match encoding.
+    pub fn decode(
+        &self,
+        dec: &mut ArithmeticDecoder<'_>,
+        means: &[f32],
+        scales: &[f32],
+    ) -> Vec<i32> {
+        assert_eq!(means.len(), scales.len(), "scales length mismatch");
+        let mut out = Vec::with_capacity(means.len());
+        for (&m, &sd) in means.iter().zip(scales) {
+            let w = Self::window(m as f64, sd as f64);
+            let total = Self::total(&w);
+            let target = dec.decode_target(total);
+            let bin = w.cdf.partition_point(|&c| c <= target) - 1;
+            dec.decode_update(w.cdf[bin], w.cdf[bin + 1], total);
+            let escape_idx = w.freqs.len() - 1;
+            if bin == escape_idx {
+                out.push(BypassCoder::decode_i32(dec));
+            } else {
+                out.push((w.lo + bin as i64) as i32);
+            }
+        }
+        out
+    }
+
+    /// Theoretical number of bits for the symbol stream (without actually
+    /// coding it); useful for fast rate estimates.
+    pub fn estimate_bits(&self, symbols: &[i32], means: &[f32], scales: &[f32]) -> f64 {
+        symbols
+            .iter()
+            .zip(means)
+            .zip(scales)
+            .map(|((&s, &m), &sd)| quantized_gaussian_bits(s as i64, m as f64, (sd as f64).max(1e-3)))
+            .sum()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Histogram (factorized prior) model
+// ----------------------------------------------------------------------
+
+/// A static histogram model built from the data itself and shipped in the
+/// stream header — the factorized prior for hyper-latents `z`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramModel {
+    min: i32,
+    freqs: Vec<u32>,
+    cdf: Vec<u32>,
+}
+
+impl HistogramModel {
+    /// Builds a histogram over the symbol range present in `symbols`.  Only
+    /// observed symbols receive probability mass (the model is always fitted
+    /// on exactly the stream it will encode), which keeps the serialised
+    /// header proportional to the number of *distinct* symbols rather than
+    /// the symbol range.  An empty slice yields a degenerate single-bin
+    /// model.
+    pub fn fit(symbols: &[i32]) -> Self {
+        if symbols.is_empty() {
+            return Self::from_freqs(0, vec![1]);
+        }
+        let min = *symbols.iter().min().unwrap();
+        let max = *symbols.iter().max().unwrap();
+        let bins = (max - min + 1) as usize;
+        assert!(
+            bins <= (MODEL_TOTAL / 2) as usize,
+            "symbol range {bins} too wide for a histogram model"
+        );
+        let mut counts = vec![0u64; bins];
+        for &s in symbols {
+            counts[(s - min) as usize] += 1;
+        }
+        let total_count: u64 = counts.iter().sum();
+        // Rescale observed bins to the fixed coding budget, keeping every
+        // observed bin ≥ 1 and unobserved bins at exactly 0.
+        let budget = MODEL_TOTAL as u64;
+        let mut freqs: Vec<u32> = counts
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    0
+                } else {
+                    (((c * budget) / total_count) as u32).max(1)
+                }
+            })
+            .collect();
+        // Fix the total exactly to MODEL_TOTAL by trimming/boosting the
+        // largest bins while keeping observed bins ≥ 1.
+        let mut sum: u32 = freqs.iter().sum();
+        if sum < MODEL_TOTAL {
+            let largest = freqs
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &f)| f)
+                .map(|(i, _)| i)
+                .unwrap();
+            freqs[largest] += MODEL_TOTAL - sum;
+        } else {
+            while sum > MODEL_TOTAL {
+                let largest = freqs
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &f)| f)
+                    .map(|(i, _)| i)
+                    .unwrap();
+                let take = (sum - MODEL_TOTAL).min(freqs[largest].saturating_sub(1));
+                assert!(take > 0, "histogram rescale could not converge");
+                freqs[largest] -= take;
+                sum -= take;
+            }
+        }
+        Self::from_freqs(min, freqs)
+    }
+
+    fn from_freqs(min: i32, freqs: Vec<u32>) -> Self {
+        let mut cdf = Vec::with_capacity(freqs.len() + 1);
+        let mut acc = 0u32;
+        cdf.push(0);
+        for &f in &freqs {
+            acc += f;
+            cdf.push(acc);
+        }
+        HistogramModel { min, freqs, cdf }
+    }
+
+    /// Lowest representable symbol.
+    pub fn min_symbol(&self) -> i32 {
+        self.min
+    }
+
+    /// Highest representable symbol.
+    pub fn max_symbol(&self) -> i32 {
+        self.min + self.freqs.len() as i32 - 1
+    }
+
+    fn total(&self) -> u32 {
+        *self.cdf.last().unwrap()
+    }
+
+    /// Serialises the model (to be stored in the compressed header).  The
+    /// encoding is sparse — only bins with non-zero frequency are written —
+    /// so the header cost scales with the number of distinct symbols.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let nonzero: Vec<(u32, u32)> = self
+            .freqs
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0)
+            .map(|(i, &f)| (i as u32, f))
+            .collect();
+        let mut out = Vec::with_capacity(12 + nonzero.len() * 8);
+        out.extend_from_slice(&self.min.to_le_bytes());
+        out.extend_from_slice(&(self.freqs.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(nonzero.len() as u32).to_le_bytes());
+        for (offset, freq) in nonzero {
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&freq.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialises a model written by [`HistogramModel::to_bytes`].
+    /// Returns the model and the number of bytes consumed.
+    pub fn from_bytes(bytes: &[u8]) -> (Self, usize) {
+        assert!(bytes.len() >= 12, "truncated histogram header");
+        let min = i32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        let len = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        let nonzero = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let mut freqs = vec![0u32; len];
+        let mut off = 12;
+        for _ in 0..nonzero {
+            let idx = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            let f = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+            freqs[idx] = f;
+            off += 8;
+        }
+        (Self::from_freqs(min, freqs), off)
+    }
+
+    /// Size of the serialised header in bytes.
+    pub fn header_bytes(&self) -> usize {
+        12 + self.freqs.iter().filter(|&&f| f > 0).count() * 8
+    }
+
+    /// Encodes a symbol sequence.  Every symbol must lie in the fitted range.
+    pub fn encode(&self, enc: &mut ArithmeticEncoder, symbols: &[i32]) {
+        let total = self.total();
+        for &s in symbols {
+            assert!(
+                s >= self.min_symbol() && s <= self.max_symbol(),
+                "symbol {s} outside histogram range [{}, {}]",
+                self.min_symbol(),
+                self.max_symbol()
+            );
+            let idx = (s - self.min) as usize;
+            enc.encode(self.cdf[idx], self.cdf[idx + 1], total);
+        }
+    }
+
+    /// Decodes `count` symbols.
+    pub fn decode(&self, dec: &mut ArithmeticDecoder<'_>, count: usize) -> Vec<i32> {
+        let total = self.total();
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let target = dec.decode_target(total);
+            let bin = self.cdf.partition_point(|&c| c <= target) - 1;
+            dec.decode_update(self.cdf[bin], self.cdf[bin + 1], total);
+            out.push(self.min + bin as i32);
+        }
+        out
+    }
+
+    /// Theoretical bits to code `symbols` under this model.
+    pub fn estimate_bits(&self, symbols: &[i32]) -> f64 {
+        let total = self.total() as f64;
+        symbols
+            .iter()
+            .map(|&s| {
+                let idx = (s - self.min) as usize;
+                let p = self.freqs[idx] as f64 / total;
+                -p.log2()
+            })
+            .sum()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Bit counter
+// ----------------------------------------------------------------------
+
+/// Accumulates theoretical code lengths, used by the rate-accounting paths
+/// that want sizes without running the coder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitCounter {
+    bits: f64,
+}
+
+impl BitCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        BitCounter { bits: 0.0 }
+    }
+
+    /// Adds the cost of a quantised-Gaussian symbol.
+    pub fn add_gaussian(&mut self, symbol: i32, mean: f32, scale: f32) {
+        self.bits += quantized_gaussian_bits(symbol as i64, mean as f64, (scale as f64).max(1e-3));
+    }
+
+    /// Adds a fixed number of raw bits.
+    pub fn add_raw_bits(&mut self, bits: f64) {
+        self.bits += bits;
+    }
+
+    /// Total accumulated bits.
+    pub fn bits(&self) -> f64 {
+        self.bits
+    }
+
+    /// Total accumulated size in bytes (rounded up).
+    pub fn bytes(&self) -> usize {
+        (self.bits / 8.0).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn gaussian_model_roundtrip_typical_latents() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 2000;
+        let means: Vec<f32> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let scales: Vec<f32> = (0..n).map(|_| rng.gen_range(0.2..4.0)).collect();
+        let symbols: Vec<i32> = means
+            .iter()
+            .zip(&scales)
+            .map(|(&m, &s)| (m + rng.gen_range(-3.0..3.0) * s).round() as i32)
+            .collect();
+        let model = GaussianConditionalModel::new();
+        let mut enc = ArithmeticEncoder::new();
+        model.encode(&mut enc, &symbols, &means, &scales);
+        let bytes = enc.finish();
+        let mut dec = ArithmeticDecoder::new(&bytes);
+        let decoded = model.decode(&mut dec, &means, &scales);
+        assert_eq!(decoded, symbols);
+    }
+
+    #[test]
+    fn gaussian_model_handles_outliers_via_escape() {
+        let means = vec![0.0f32; 8];
+        let scales = vec![0.5f32; 8];
+        // Symbols far outside the 8-sigma window.
+        let symbols = vec![0, 1, 100_000, -70_000, 2, -1, i32::MAX / 2, 0];
+        let model = GaussianConditionalModel::new();
+        let mut enc = ArithmeticEncoder::new();
+        model.encode(&mut enc, &symbols, &means, &scales);
+        let bytes = enc.finish();
+        let mut dec = ArithmeticDecoder::new(&bytes);
+        assert_eq!(model.decode(&mut dec, &means, &scales), symbols);
+    }
+
+    #[test]
+    fn gaussian_model_rate_tracks_scale() {
+        // Coding symbols drawn from a narrow predicted distribution is much
+        // cheaper than from a wide one.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 4000;
+        let model = GaussianConditionalModel::new();
+        let mut sizes = Vec::new();
+        for &scale in &[0.6f32, 8.0f32] {
+            let means = vec![0.0f32; n];
+            let scales = vec![scale; n];
+            let symbols: Vec<i32> = (0..n)
+                .map(|_| (rng.gen_range(-2.0..2.0) * scale).round() as i32)
+                .collect();
+            let mut enc = ArithmeticEncoder::new();
+            model.encode(&mut enc, &symbols, &means, &scales);
+            sizes.push(enc.finish().len());
+        }
+        assert!(
+            sizes[0] * 2 < sizes[1],
+            "narrow {} vs wide {} bytes",
+            sizes[0],
+            sizes[1]
+        );
+    }
+
+    #[test]
+    fn gaussian_estimate_close_to_actual_size() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 3000;
+        let means = vec![0.0f32; n];
+        let scales = vec![2.0f32; n];
+        let symbols: Vec<i32> = (0..n)
+            .map(|_| rng.gen_range(-6.0f32..6.0).round() as i32)
+            .collect();
+        let model = GaussianConditionalModel::new();
+        let est_bits = model.estimate_bits(&symbols, &means, &scales);
+        let mut enc = ArithmeticEncoder::new();
+        model.encode(&mut enc, &symbols, &means, &scales);
+        let actual_bits = (enc.finish().len() * 8) as f64;
+        let ratio = actual_bits / est_bits;
+        assert!(ratio > 0.9 && ratio < 1.2, "estimate {est_bits} vs actual {actual_bits}");
+    }
+
+    #[test]
+    fn histogram_roundtrip_and_serialization() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let symbols: Vec<i32> = (0..5000).map(|_| rng.gen_range(-12..13)).collect();
+        let model = HistogramModel::fit(&symbols);
+        let bytes = model.to_bytes();
+        let (restored, used) = HistogramModel::from_bytes(&bytes);
+        assert_eq!(used, bytes.len());
+        assert_eq!(restored, model);
+
+        let mut enc = ArithmeticEncoder::new();
+        model.encode(&mut enc, &symbols);
+        let stream = enc.finish();
+        let mut dec = ArithmeticDecoder::new(&stream);
+        assert_eq!(restored.decode(&mut dec, symbols.len()), symbols);
+    }
+
+    #[test]
+    fn histogram_skewed_data_compresses_well() {
+        // 95% zeros should code far below 1 byte/symbol and close to entropy.
+        let mut rng = StdRng::seed_from_u64(9);
+        let symbols: Vec<i32> = (0..8000)
+            .map(|_| if rng.gen_bool(0.95) { 0 } else { rng.gen_range(-3..4) })
+            .collect();
+        let model = HistogramModel::fit(&symbols);
+        let mut enc = ArithmeticEncoder::new();
+        model.encode(&mut enc, &symbols);
+        let bytes = enc.finish().len();
+        assert!(bytes * 8 < symbols.len(), "took {} bits for {} symbols", bytes * 8, symbols.len());
+        let est = model.estimate_bits(&symbols);
+        assert!(((bytes * 8) as f64) < est * 1.1 + 64.0);
+    }
+
+    #[test]
+    fn histogram_empty_and_constant_inputs() {
+        let empty = HistogramModel::fit(&[]);
+        assert_eq!(empty.min_symbol(), 0);
+        let constant = HistogramModel::fit(&[42; 100]);
+        assert_eq!(constant.min_symbol(), 42);
+        assert_eq!(constant.max_symbol(), 42);
+        let mut enc = ArithmeticEncoder::new();
+        constant.encode(&mut enc, &[42; 100]);
+        let stream = enc.finish();
+        let mut dec = ArithmeticDecoder::new(&stream);
+        assert_eq!(constant.decode(&mut dec, 100), vec![42; 100]);
+    }
+
+    #[test]
+    fn bit_counter_accumulates() {
+        let mut c = BitCounter::new();
+        c.add_raw_bits(12.0);
+        c.add_gaussian(0, 0.0, 1.0);
+        assert!(c.bits() > 12.0);
+        assert!(c.bytes() >= 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_gaussian_model_roundtrip(
+            seed in 0u64..500,
+            n in 1usize..400,
+            scale in 0.1f32..6.0,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let means: Vec<f32> = (0..n).map(|_| rng.gen_range(-20.0..20.0)).collect();
+            let scales: Vec<f32> = (0..n).map(|_| rng.gen_range(0.05..scale.max(0.06))).collect();
+            let symbols: Vec<i32> = (0..n).map(|_| rng.gen_range(-200..200)).collect();
+            let model = GaussianConditionalModel::new();
+            let mut enc = ArithmeticEncoder::new();
+            model.encode(&mut enc, &symbols, &means, &scales);
+            let bytes = enc.finish();
+            let mut dec = ArithmeticDecoder::new(&bytes);
+            prop_assert_eq!(model.decode(&mut dec, &means, &scales), symbols);
+        }
+
+        #[test]
+        fn prop_histogram_roundtrip(symbols in prop::collection::vec(-300i32..300, 1..500)) {
+            let model = HistogramModel::fit(&symbols);
+            let mut enc = ArithmeticEncoder::new();
+            model.encode(&mut enc, &symbols);
+            let bytes = enc.finish();
+            let mut dec = ArithmeticDecoder::new(&bytes);
+            prop_assert_eq!(model.decode(&mut dec, symbols.len()), symbols);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # gld-nn
+//!
+//! A small reverse-mode automatic-differentiation engine and neural-network
+//! layer zoo built on top of [`gld_tensor`].  It provides exactly the pieces
+//! needed to train the paper's models on a CPU:
+//!
+//! * a tape-based autograd ([`tape::Tape`], [`tape::Var`]) with broadcast-aware
+//!   element-wise ops, batched matmul, convolution, group normalisation,
+//!   softmax, pooling and upsampling;
+//! * trainable [`param::Parameter`]s and composable layers
+//!   ([`layers::Conv2d`], [`layers::Linear`], [`layers::GroupNorm`],
+//!   [`layers::SelfAttention`], [`layers::TimeEmbedding`], …);
+//! * optimizers ([`optim::Adam`], [`optim::Sgd`]) and learning-rate
+//!   schedules ([`optim::LrSchedule`]).
+//!
+//! The engine favours clarity and testability over raw speed: every op's
+//! backward rule is validated against finite differences in the test suite,
+//! because a silently wrong gradient is the most expensive bug a learned
+//! compressor can have.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod param;
+pub mod tape;
+
+pub use layers::{Conv2d, GroupNorm, Linear, Module, SelfAttention, Sequentialish, TimeEmbedding};
+pub use loss::{l1_loss, mse_loss};
+pub use optim::{Adam, AdamConfig, LrSchedule, Sgd};
+pub use param::{Parameter, ParameterSet};
+pub use tape::{Tape, Var};
+
+/// Prelude with the types needed by downstream model crates.
+pub mod prelude {
+    pub use crate::layers::*;
+    pub use crate::loss::{l1_loss, mse_loss};
+    pub use crate::optim::{Adam, AdamConfig, LrSchedule, Sgd};
+    pub use crate::param::{Parameter, ParameterSet};
+    pub use crate::tape::{Tape, Var};
+}

@@ -1,0 +1,105 @@
+//! Loss functions shared by the VAE and diffusion training loops.
+
+use crate::tape::Var;
+
+/// Mean squared error between a prediction and a target, as a scalar
+/// variable suitable for `backward`.
+pub fn mse_loss(prediction: &Var, target: &Var) -> Var {
+    prediction.sub(target).square().mean()
+}
+
+/// Mean absolute error between a prediction and a target.
+pub fn l1_loss(prediction: &Var, target: &Var) -> Var {
+    prediction.sub(target).abs().mean()
+}
+
+/// Mean squared error restricted to a subset of frames along axis 0.
+///
+/// This is the conditional-diffusion objective of the paper (Eq. 7): the loss
+/// is computed only on the frames designated for generation, never on the
+/// conditioning keyframes.
+pub fn masked_frame_mse(prediction: &Var, target: &Var, frame_indices: &[usize]) -> Var {
+    assert!(!frame_indices.is_empty(), "masked_frame_mse needs at least one frame");
+    let pred_sel = select_frames(prediction, frame_indices);
+    let tgt_sel = select_frames(target, frame_indices);
+    pred_sel.sub(&tgt_sel).square().mean()
+}
+
+fn select_frames(v: &Var, frame_indices: &[usize]) -> Var {
+    // Frames are assumed contiguous ranges rarely, so gather one-by-one and
+    // concatenate along axis 0 (cheap for the N ≤ 16 frames used here).
+    let slices: Vec<Var> = frame_indices
+        .iter()
+        .map(|&i| v.slice_axis(0, i, i + 1))
+        .collect();
+    if slices.len() == 1 {
+        return slices[0].clone();
+    }
+    let refs: Vec<&Var> = slices.iter().collect();
+    // All slices live on the same tape as `v`.
+    slices[0].tape_concat(&refs)
+}
+
+impl Var {
+    /// Concatenates `vars` (which must live on this variable's tape) along
+    /// axis 0.  Helper used by the frame-masked losses.
+    pub fn tape_concat(&self, vars: &[&Var]) -> Var {
+        self.tape().concat(vars, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use gld_tensor::{Tensor, TensorRng};
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let tape = Tape::new();
+        let a = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+        let b = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+        assert_eq!(mse_loss(&a, &b).value().item(), 0.0);
+        assert_eq!(l1_loss(&a, &b).value().item(), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let tape = Tape::new();
+        let a = tape.constant(Tensor::from_vec(vec![0.0, 0.0], &[2]));
+        let b = tape.constant(Tensor::from_vec(vec![2.0, 4.0], &[2]));
+        assert!((mse_loss(&a, &b).value().item() - 10.0).abs() < 1e-6);
+        assert!((l1_loss(&a, &b).value().item() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn masked_frame_mse_ignores_conditioning_frames() {
+        let tape = Tape::new();
+        let mut rng = TensorRng::new(0);
+        let target = rng.randn(&[4, 2, 3, 3]);
+        // Prediction is perfect on frames 1 and 3, garbage on 0 and 2.
+        let mut pred = target.clone();
+        let noise = rng.randn(&[1, 2, 3, 3]).scale(100.0);
+        pred.index_assign(0, &[0], &noise);
+        pred.index_assign(0, &[2], &noise);
+        let p = tape.constant(pred);
+        let t = tape.constant(target);
+        let loss_generated = masked_frame_mse(&p, &t, &[1, 3]);
+        assert!(loss_generated.value().item() < 1e-10);
+        let loss_all = mse_loss(&p, &t);
+        assert!(loss_all.value().item() > 1.0);
+    }
+
+    #[test]
+    fn mse_gradient_points_towards_target() {
+        let tape = Tape::new();
+        let pred = tape.leaf(Tensor::from_vec(vec![1.0, -1.0], &[2]));
+        let tgt = tape.constant(Tensor::from_vec(vec![0.0, 0.0], &[2]));
+        let loss = mse_loss(&pred, &tgt);
+        let grads = loss.backward();
+        let g = grads[pred.id()].clone().unwrap();
+        // d/dp of mean((p-t)^2) = 2(p-t)/n = (p-t) here (n = 2).
+        assert!((g.data()[0] - 1.0).abs() < 1e-6);
+        assert!((g.data()[1] + 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,765 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records every operation performed on its [`Var`]s.  Calling
+//! [`Var::backward`] walks the tape in reverse, accumulating gradients into
+//! the tape nodes and depositing them into any bound [`Parameter`]s.
+//!
+//! The op set is intentionally small — exactly the operations needed by the
+//! VAE, the hyperprior and the space-time UNet — and every backward rule is
+//! checked against finite differences in this module's tests.
+
+use crate::param::Parameter;
+use gld_tensor::conv::{col2im, im2col, nchw, Conv2dGeometry};
+use gld_tensor::pool::{
+    avg_pool2d, avg_pool2d_backward, upsample_nearest2d, upsample_nearest2d_backward,
+};
+use gld_tensor::tensor::matmul_block;
+use gld_tensor::Tensor;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<Tensor>>;
+
+struct Node {
+    value: Tensor,
+    parents: Vec<usize>,
+    backward: Option<BackwardFn>,
+    param: Option<Parameter>,
+}
+
+/// A recording tape for reverse-mode differentiation.
+///
+/// Tapes are cheap to create; the training loops in `gld-vae` and
+/// `gld-diffusion` build a fresh tape for every step.
+#[derive(Clone)]
+pub struct Tape {
+    nodes: Rc<RefCell<Vec<Node>>>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape {
+            nodes: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, node: Node) -> Var {
+        let mut nodes = self.nodes.borrow_mut();
+        let id = nodes.len();
+        nodes.push(node);
+        Var {
+            tape: self.clone(),
+            id,
+        }
+    }
+
+    /// Records a constant (non-differentiable) input.
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.push(Node {
+            value,
+            parents: vec![],
+            backward: None,
+            param: None,
+        })
+    }
+
+    /// Records a differentiable leaf whose gradient is discarded after
+    /// `backward` (useful in tests).
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.constant(value)
+    }
+
+    /// Records a leaf bound to a [`Parameter`]; `backward` accumulates the
+    /// leaf's gradient into the parameter.
+    pub fn param(&self, p: &Parameter) -> Var {
+        self.push(Node {
+            value: p.value(),
+            parents: vec![],
+            backward: None,
+            param: Some(p.clone()),
+        })
+    }
+
+    /// Concatenates variables along `axis`.
+    pub fn concat(&self, vars: &[&Var], axis: usize) -> Var {
+        assert!(!vars.is_empty(), "concat of zero vars");
+        let values: Vec<Tensor> = vars.iter().map(|v| v.value()).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let out = Tensor::concat(&refs, axis);
+        let extents: Vec<usize> = values.iter().map(|v| v.dim(axis)).collect();
+        let parents: Vec<usize> = vars.iter().map(|v| v.id).collect();
+        self.push(Node {
+            value: out,
+            parents,
+            backward: Some(Box::new(move |g: &Tensor| {
+                let mut grads = Vec::with_capacity(extents.len());
+                let mut start = 0usize;
+                for &e in &extents {
+                    grads.push(g.slice_axis(axis, start, start + e));
+                    start += e;
+                }
+                grads
+            })),
+            param: None,
+        })
+    }
+}
+
+/// A differentiable value recorded on a [`Tape`].
+#[derive(Clone)]
+pub struct Var {
+    tape: Tape,
+    id: usize,
+}
+
+/// Sums `grad` down to `target_dims` (undoing NumPy-style broadcasting) so
+/// that each parent of a broadcasting op receives a gradient of its own
+/// shape.
+pub fn reduce_to_shape(grad: &Tensor, target_dims: &[usize]) -> Tensor {
+    if grad.dims() == target_dims {
+        return grad.clone();
+    }
+    let mut g = grad.clone();
+    // Remove leading broadcast dimensions.
+    while g.rank() > target_dims.len() {
+        g = g.sum_axis(0, false);
+    }
+    // Sum over axes where the target extent is 1.
+    for axis in 0..target_dims.len() {
+        if target_dims[axis] == 1 && g.dim(axis) != 1 {
+            g = g.sum_axis(axis, true);
+        }
+    }
+    assert_eq!(
+        g.dims(),
+        target_dims,
+        "reduce_to_shape failed: {:?} -> {:?}",
+        grad.dims(),
+        target_dims
+    );
+    g
+}
+
+impl Var {
+    /// The node id on the tape (useful for debugging).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The tape this variable is recorded on.
+    pub fn tape(&self) -> &Tape {
+        &self.tape
+    }
+
+    /// A snapshot of the value.
+    pub fn value(&self) -> Tensor {
+        self.tape.nodes.borrow()[self.id].value.clone()
+    }
+
+    /// The dimension extents of the value.
+    pub fn dims(&self) -> Vec<usize> {
+        self.tape.nodes.borrow()[self.id].value.dims().to_vec()
+    }
+
+    /// Extent of dimension `axis`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.tape.nodes.borrow()[self.id].value.dim(axis)
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.tape.nodes.borrow()[self.id].value.numel()
+    }
+
+    fn unary(&self, value: Tensor, backward: impl Fn(&Tensor) -> Tensor + 'static) -> Var {
+        self.tape.push(Node {
+            value,
+            parents: vec![self.id],
+            backward: Some(Box::new(move |g| vec![backward(g)])),
+            param: None,
+        })
+    }
+
+    fn binary(
+        &self,
+        other: &Var,
+        value: Tensor,
+        backward: impl Fn(&Tensor) -> (Tensor, Tensor) + 'static,
+    ) -> Var {
+        assert!(
+            Rc::ptr_eq(&self.tape.nodes, &other.tape.nodes),
+            "variables must live on the same tape"
+        );
+        self.tape.push(Node {
+            value,
+            parents: vec![self.id, other.id],
+            backward: Some(Box::new(move |g| {
+                let (ga, gb) = backward(g);
+                vec![ga, gb]
+            })),
+            param: None,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Element-wise arithmetic (broadcasting)
+    // ------------------------------------------------------------------
+
+    /// Element-wise addition with broadcasting.
+    pub fn add(&self, other: &Var) -> Var {
+        let (a, b) = (self.value(), other.value());
+        let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
+        let value = a.add(&b);
+        self.binary(other, value, move |g| {
+            (reduce_to_shape(g, &da), reduce_to_shape(g, &db))
+        })
+    }
+
+    /// Element-wise subtraction with broadcasting.
+    pub fn sub(&self, other: &Var) -> Var {
+        let (a, b) = (self.value(), other.value());
+        let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
+        let value = a.sub(&b);
+        self.binary(other, value, move |g| {
+            (reduce_to_shape(g, &da), reduce_to_shape(&g.neg(), &db))
+        })
+    }
+
+    /// Element-wise multiplication with broadcasting.
+    pub fn mul(&self, other: &Var) -> Var {
+        let (a, b) = (self.value(), other.value());
+        let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
+        let value = a.mul(&b);
+        let (ac, bc) = (a.clone(), b.clone());
+        self.binary(other, value, move |g| {
+            (
+                reduce_to_shape(&g.mul(&bc), &da),
+                reduce_to_shape(&g.mul(&ac), &db),
+            )
+        })
+    }
+
+    /// Element-wise division with broadcasting.
+    pub fn div(&self, other: &Var) -> Var {
+        let (a, b) = (self.value(), other.value());
+        let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
+        let value = a.div(&b);
+        let (ac, bc) = (a.clone(), b.clone());
+        self.binary(other, value, move |g| {
+            let ga = g.div(&bc);
+            let gb = g.mul(&ac).div(&bc.square()).neg();
+            (reduce_to_shape(&ga, &da), reduce_to_shape(&gb, &db))
+        })
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Var {
+        self.unary(self.value().neg(), |g| g.neg())
+    }
+
+    /// Multiplication by a constant scalar.
+    pub fn scale(&self, s: f32) -> Var {
+        self.unary(self.value().scale(s), move |g| g.scale(s))
+    }
+
+    /// Addition of a constant scalar.
+    pub fn add_scalar(&self, s: f32) -> Var {
+        self.unary(self.value().add_scalar(s), |g| g.clone())
+    }
+
+    // ------------------------------------------------------------------
+    // Activations and element-wise math
+    // ------------------------------------------------------------------
+
+    /// ReLU activation.
+    pub fn relu(&self) -> Var {
+        let x = self.value();
+        let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        self.unary(x.relu(), move |g| g.mul(&mask))
+    }
+
+    /// SiLU activation (`x · σ(x)`).
+    pub fn silu(&self) -> Var {
+        let x = self.value();
+        let sig = x.sigmoid();
+        let deriv = sig.mul(&x.mul(&sig.neg().add_scalar(1.0)).add_scalar(1.0));
+        self.unary(x.silu(), move |g| g.mul(&deriv))
+    }
+
+    /// GELU activation (tanh approximation).
+    pub fn gelu(&self) -> Var {
+        let x = self.value();
+        let c = (2.0 / std::f32::consts::PI).sqrt();
+        let u = x.map(move |v| c * (v + 0.044715 * v * v * v));
+        let t = u.tanh();
+        let deriv = {
+            let one_plus_t = t.add_scalar(1.0);
+            let sech2 = t.square().neg().add_scalar(1.0);
+            let du = x.map(move |v| c * (1.0 + 3.0 * 0.044715 * v * v));
+            one_plus_t.scale(0.5).add(&x.mul(&sech2).mul(&du).scale(0.5))
+        };
+        self.unary(x.gelu(), move |g| g.mul(&deriv))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        let s = self.value().sigmoid();
+        let deriv = s.mul(&s.neg().add_scalar(1.0));
+        self.unary(s.clone(), move |g| g.mul(&deriv))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var {
+        let t = self.value().tanh();
+        let deriv = t.square().neg().add_scalar(1.0);
+        self.unary(t.clone(), move |g| g.mul(&deriv))
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&self) -> Var {
+        let e = self.value().exp();
+        let ec = e.clone();
+        self.unary(e, move |g| g.mul(&ec))
+    }
+
+    /// Element-wise natural logarithm.
+    pub fn ln(&self) -> Var {
+        let x = self.value();
+        let inv = x.map(|v| 1.0 / v);
+        self.unary(x.ln(), move |g| g.mul(&inv))
+    }
+
+    /// Element-wise square.
+    pub fn square(&self) -> Var {
+        let x = self.value();
+        let two_x = x.scale(2.0);
+        self.unary(x.square(), move |g| g.mul(&two_x))
+    }
+
+    /// Element-wise square root.
+    pub fn sqrt(&self) -> Var {
+        let s = self.value().sqrt();
+        let deriv = s.map(|v| 0.5 / v.max(1e-12));
+        self.unary(s.clone(), move |g| g.mul(&deriv))
+    }
+
+    /// Element-wise absolute value (sub-gradient 0 at zero).
+    pub fn abs(&self) -> Var {
+        let x = self.value();
+        let sign = x.map(|v| {
+            if v > 0.0 {
+                1.0
+            } else if v < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        self.unary(x.abs(), move |g| g.mul(&sign))
+    }
+
+    /// Softmax along the last axis.
+    pub fn softmax_last(&self) -> Var {
+        let s = self.value().softmax_last();
+        let sc = s.clone();
+        self.unary(s, move |g| {
+            let rank = sc.rank();
+            let weighted = g.mul(&sc);
+            let sum = weighted.sum_axis(rank - 1, true);
+            g.sub(&sum).mul(&sc)
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Shape ops
+    // ------------------------------------------------------------------
+
+    /// Reshape to new dimensions (same element count).
+    pub fn reshape(&self, dims: &[usize]) -> Var {
+        let old = self.dims();
+        self.unary(self.value().reshape(dims), move |g| g.reshape(&old))
+    }
+
+    /// Permutes dimensions.
+    pub fn permute(&self, perm: &[usize]) -> Var {
+        let perm_v = perm.to_vec();
+        let mut inverse = vec![0usize; perm.len()];
+        for (i, &p) in perm.iter().enumerate() {
+            inverse[p] = i;
+        }
+        self.unary(self.value().permute(&perm_v), move |g| g.permute(&inverse))
+    }
+
+    /// Slices the half-open range `[start, end)` along `axis`.
+    pub fn slice_axis(&self, axis: usize, start: usize, end: usize) -> Var {
+        let dims = self.dims();
+        self.unary(self.value().slice_axis(axis, start, end), move |g| {
+            // Embed the gradient back into a zero tensor of the input shape.
+            let mut full = Tensor::zeros(&dims);
+            let indices: Vec<usize> = (start..end).collect();
+            full.index_assign(axis, &indices, g);
+            full
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements as a scalar variable.
+    pub fn sum(&self) -> Var {
+        let dims = self.dims();
+        self.unary(Tensor::scalar(self.value().sum()), move |g| {
+            Tensor::full(&dims, g.item())
+        })
+    }
+
+    /// Mean of all elements as a scalar variable.
+    pub fn mean(&self) -> Var {
+        let dims = self.dims();
+        let n: usize = dims.iter().product();
+        self.unary(Tensor::scalar(self.value().mean()), move |g| {
+            Tensor::full(&dims, g.item() / n as f32)
+        })
+    }
+
+    /// Sum along one axis.
+    pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Var {
+        let dims = self.dims();
+        self.unary(self.value().sum_axis(axis, keepdim), move |g| {
+            let g = if keepdim {
+                g.clone()
+            } else {
+                // Reinsert the reduced axis so broadcasting works.
+                let mut d = g.dims().to_vec();
+                d.insert(axis, 1);
+                g.reshape(&d)
+            };
+            g.broadcast_to(&dims)
+        })
+    }
+
+    /// Mean along one axis.
+    pub fn mean_axis(&self, axis: usize, keepdim: bool) -> Var {
+        let n = self.dim(axis) as f32;
+        self.sum_axis(axis, keepdim).scale(1.0 / n)
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Matrix multiplication (rank-2×2 or batched rank-3×3, with batch
+    /// broadcasting of a singleton batch).
+    pub fn matmul(&self, other: &Var) -> Var {
+        let a = self.value();
+        let b = other.value();
+        let value = a.matmul(&b);
+        let (ac, bc) = (a.clone(), b.clone());
+        match (a.rank(), b.rank()) {
+            (2, 2) => self.binary(other, value, move |g| {
+                let ga = g.matmul(&bc.transpose2());
+                let gb = ac.transpose2().matmul(g);
+                (ga, gb)
+            }),
+            (3, 3) => {
+                let (ba, bb) = (a.dim(0), b.dim(0));
+                self.binary(other, value, move |g| {
+                    let bt = bc.permute(&[0, 2, 1]);
+                    let at = ac.permute(&[0, 2, 1]);
+                    let mut ga = g.matmul(&bt);
+                    let mut gb = at.matmul(g);
+                    // Undo batch broadcasting.
+                    if ba == 1 && ga.dim(0) != 1 {
+                        ga = ga.sum_axis(0, true);
+                    }
+                    if bb == 1 && gb.dim(0) != 1 {
+                        gb = gb.sum_axis(0, true);
+                    }
+                    (ga, gb)
+                })
+            }
+            (ra, rb) => panic!("matmul supports rank 2×2 or 3×3, got {ra}×{rb}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Convolution, normalisation, resampling
+    // ------------------------------------------------------------------
+
+    /// 2-D convolution (NCHW input, `[out_c, in_c, kh, kw]` weight, optional
+    /// bias of length `out_c`).
+    pub fn conv2d(&self, weight: &Var, bias: Option<&Var>, geom: Conv2dGeometry) -> Var {
+        let x = self.value();
+        let w = weight.value();
+        let (b, c, h, wd) = nchw(&x);
+        let out_c = w.dim(0);
+        let (oh, ow) = geom.output_size(h, wd);
+        let k = c * geom.kh * geom.kw;
+        let n = oh * ow;
+        let cols = im2col(&x, geom); // [b, k, n]
+        let wmat = w.reshape(&[out_c, k]);
+        let mut out = vec![0.0f32; b * out_c * n];
+        for bi in 0..b {
+            let colb = &cols.data()[bi * k * n..(bi + 1) * k * n];
+            matmul_block(
+                wmat.data(),
+                colb,
+                &mut out[bi * out_c * n..(bi + 1) * out_c * n],
+                out_c,
+                k,
+                n,
+            );
+        }
+        let mut value = Tensor::from_vec(out, &[b, out_c, oh, ow]);
+        if let Some(bias) = bias {
+            let bvec = bias.value();
+            value = value.add(&bvec.reshape(&[1, out_c, 1, 1]));
+        }
+
+        let cols_saved = cols;
+        let w_saved = w.clone();
+        let geom_saved = geom;
+        let weight_dims = w.dims().to_vec();
+        let (input_h, input_w) = (h, wd);
+        let mut parents = vec![self.id, weight.id];
+        if let Some(bv) = bias {
+            parents.push(bv.id);
+        }
+        let has_bias = bias.is_some();
+        self.tape.push(Node {
+            value,
+            parents,
+            backward: Some(Box::new(move |g: &Tensor| {
+                let gb_dims = g.dims();
+                let (bsz, oc, goh, gow) = (gb_dims[0], gb_dims[1], gb_dims[2], gb_dims[3]);
+                let n = goh * gow;
+                let k = weight_dims[1] * weight_dims[2] * weight_dims[3];
+                // grad wrt weight: sum_b g_b [oc, n] @ cols_b^T [n, k]
+                let mut gw = vec![0.0f32; oc * k];
+                let mut gcols = vec![0.0f32; bsz * k * n];
+                let wmat = w_saved.reshape(&[oc, k]);
+                // Transpose weight once: [k, oc]
+                let wt = wmat.transpose2();
+                for bi in 0..bsz {
+                    let gb = &g.data()[bi * oc * n..(bi + 1) * oc * n];
+                    let colb = &cols_saved.data()[bi * k * n..(bi + 1) * k * n];
+                    // gw[o, kk] += sum_j gb[o, j] * colb[kk, j], computed with
+                    // explicit loops to avoid materialising colbᵀ.
+                    for o in 0..oc {
+                        let grow = &gb[o * n..(o + 1) * n];
+                        for kk in 0..k {
+                            let crow = &colb[kk * n..(kk + 1) * n];
+                            let mut acc = 0.0f32;
+                            for j in 0..n {
+                                acc += grow[j] * crow[j];
+                            }
+                            gw[o * k + kk] += acc;
+                        }
+                    }
+                    // gcols_b = wt [k, oc] @ gb [oc, n]
+                    matmul_block(
+                        wt.data(),
+                        gb,
+                        &mut gcols[bi * k * n..(bi + 1) * k * n],
+                        k,
+                        oc,
+                        n,
+                    );
+                }
+                let gcols_t = Tensor::from_vec(gcols, &[bsz, k, n]);
+                let gx = col2im(&gcols_t, geom_saved, weight_dims[1], input_h, input_w);
+                let gw_t = Tensor::from_vec(gw, &weight_dims);
+                let mut grads = vec![gx, gw_t];
+                if has_bias {
+                    let gbias = g.sum_axis(3, false).sum_axis(2, false).sum_axis(0, false);
+                    grads.push(gbias);
+                }
+                grads
+            })),
+            param: None,
+        })
+    }
+
+    /// Group normalisation over an NCHW tensor with affine parameters
+    /// `gamma`/`beta` of length `C`.
+    pub fn group_norm(&self, groups: usize, gamma: &Var, beta: &Var, eps: f32) -> Var {
+        let x = self.value();
+        let (b, c, h, w) = nchw(&x);
+        assert!(c % groups == 0, "channels {c} not divisible by groups {groups}");
+        let cg = c / groups;
+        let group_elems = cg * h * w;
+        let gamma_v = gamma.value();
+        let beta_v = beta.value();
+        assert_eq!(gamma_v.numel(), c, "gamma length must equal channels");
+        assert_eq!(beta_v.numel(), c, "beta length must equal channels");
+
+        // Forward: per (batch, group) statistics.
+        let mut xhat = vec![0.0f32; x.numel()];
+        let mut inv_std = vec![0.0f32; b * groups];
+        let src = x.data();
+        for bi in 0..b {
+            for gi in 0..groups {
+                let start_c = gi * cg;
+                let mut mean = 0.0f64;
+                for ci in start_c..start_c + cg {
+                    for i in 0..h * w {
+                        mean += src[((bi * c + ci) * h * w) + i] as f64;
+                    }
+                }
+                mean /= group_elems as f64;
+                let mut var = 0.0f64;
+                for ci in start_c..start_c + cg {
+                    for i in 0..h * w {
+                        let d = src[((bi * c + ci) * h * w) + i] as f64 - mean;
+                        var += d * d;
+                    }
+                }
+                var /= group_elems as f64;
+                let istd = 1.0 / (var + eps as f64).sqrt();
+                inv_std[bi * groups + gi] = istd as f32;
+                for ci in start_c..start_c + cg {
+                    for i in 0..h * w {
+                        let idx = ((bi * c + ci) * h * w) + i;
+                        xhat[idx] = ((src[idx] as f64 - mean) * istd) as f32;
+                    }
+                }
+            }
+        }
+        let xhat_t = Tensor::from_vec(xhat, &[b, c, h, w]);
+        let value = xhat_t
+            .mul(&gamma_v.reshape(&[1, c, 1, 1]))
+            .add(&beta_v.reshape(&[1, c, 1, 1]));
+
+        let xhat_saved = xhat_t;
+        let gamma_saved = gamma_v;
+        let inv_std_saved = inv_std;
+        self.tape.push(Node {
+            value,
+            parents: vec![self.id, gamma.id, beta.id],
+            backward: Some(Box::new(move |g: &Tensor| {
+                let dims = g.dims();
+                let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+                let cg = c / (inv_std_saved.len() / b);
+                let groups = c / cg;
+                let group_elems = (cg * h * w) as f32;
+                // Affine parameter gradients.
+                let gxhat = g.mul(&gamma_saved.reshape(&[1, c, 1, 1]));
+                let dgamma = g
+                    .mul(&xhat_saved)
+                    .sum_axis(3, false)
+                    .sum_axis(2, false)
+                    .sum_axis(0, false);
+                let dbeta = g.sum_axis(3, false).sum_axis(2, false).sum_axis(0, false);
+                // Input gradient per (batch, group).
+                let mut dx = vec![0.0f32; g.numel()];
+                let gx = gxhat.data();
+                let xh = xhat_saved.data();
+                for bi in 0..b {
+                    for gi in 0..groups {
+                        let istd = inv_std_saved[bi * groups + gi];
+                        let start_c = gi * cg;
+                        let mut sum_g = 0.0f64;
+                        let mut sum_gx = 0.0f64;
+                        for ci in start_c..start_c + cg {
+                            for i in 0..h * w {
+                                let idx = ((bi * c + ci) * h * w) + i;
+                                sum_g += gx[idx] as f64;
+                                sum_gx += gx[idx] as f64 * xh[idx] as f64;
+                            }
+                        }
+                        let sum_g = sum_g as f32;
+                        let sum_gx = sum_gx as f32;
+                        for ci in start_c..start_c + cg {
+                            for i in 0..h * w {
+                                let idx = ((bi * c + ci) * h * w) + i;
+                                dx[idx] = istd / group_elems
+                                    * (group_elems * gx[idx] - sum_g - xh[idx] * sum_gx);
+                            }
+                        }
+                    }
+                }
+                vec![
+                    Tensor::from_vec(dx, &[b, c, h, w]),
+                    dgamma.reshape(gamma_saved.dims()),
+                    dbeta.reshape(gamma_saved.dims()),
+                ]
+            })),
+            param: None,
+        })
+    }
+
+    /// Average pooling with a square window.
+    pub fn avg_pool2d(&self, k: usize) -> Var {
+        let x = self.value();
+        let (_, _, h, w) = nchw(&x);
+        self.unary(avg_pool2d(&x, k), move |g| avg_pool2d_backward(g, k, h, w))
+    }
+
+    /// Nearest-neighbour upsampling by an integer factor.
+    pub fn upsample_nearest2d(&self, factor: usize) -> Var {
+        let x = self.value();
+        self.unary(upsample_nearest2d(&x, factor), move |g| {
+            upsample_nearest2d_backward(g, factor)
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from this (scalar) variable,
+    /// accumulating gradients into every bound [`Parameter`].
+    ///
+    /// Returns the gradient of each tape node so callers (and tests) can
+    /// inspect gradients of non-parameter leaves: `grads[var.id()]`.
+    pub fn backward(&self) -> Vec<Option<Tensor>> {
+        let nodes = self.tape.nodes.borrow();
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        let seed = Tensor::full(nodes[self.id].value.dims(), 1.0);
+        grads[self.id] = Some(seed);
+        for id in (0..=self.id).rev() {
+            let Some(grad) = grads[id].clone() else {
+                continue;
+            };
+            let node = &nodes[id];
+            if let Some(backward) = &node.backward {
+                let parent_grads = backward(&grad);
+                assert_eq!(
+                    parent_grads.len(),
+                    node.parents.len(),
+                    "backward returned {} grads for {} parents",
+                    parent_grads.len(),
+                    node.parents.len()
+                );
+                for (pid, pg) in node.parents.iter().zip(parent_grads) {
+                    match &mut grads[*pid] {
+                        Some(existing) => existing.add_assign(&pg),
+                        slot => *slot = Some(pg),
+                    }
+                }
+            }
+            if let Some(param) = &node.param {
+                param.accumulate_grad(&grad);
+            }
+        }
+        grads
+    }
+}

@@ -1,0 +1,343 @@
+//! Convolution support: zero/reflection padding, `im2col`/`col2im` and a
+//! direct reference conv2d used by the `gld-nn` layers and their tests.
+//!
+//! Layout convention is NCHW: `[batch, channels, height, width]`.
+
+use crate::tensor::{matmul_block, Tensor};
+use rayon::prelude::*;
+
+/// Convolution geometry: kernel size, stride and symmetric zero padding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride along height and width.
+    pub stride: usize,
+    /// Symmetric zero padding along height and width.
+    pub pad: usize,
+}
+
+impl Conv2dGeometry {
+    /// Creates a square-kernel geometry.
+    pub fn new(k: usize, stride: usize, pad: usize) -> Self {
+        Conv2dGeometry {
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad - self.kh) / self.stride + 1;
+        let ow = (w + 2 * self.pad - self.kw) / self.stride + 1;
+        (oh, ow)
+    }
+}
+
+/// Pads an NCHW tensor with zeros by `pad` on each spatial side.
+pub fn pad2d_zero(x: &Tensor, pad: usize) -> Tensor {
+    if pad == 0 {
+        return x.clone();
+    }
+    let (b, c, h, w) = nchw(x);
+    let mut out = Tensor::zeros(&[b, c, h + 2 * pad, w + 2 * pad]);
+    let ow = w + 2 * pad;
+    let src = x.data();
+    let dst = out.data_mut();
+    for bi in 0..b {
+        for ci in 0..c {
+            for hi in 0..h {
+                let s = ((bi * c + ci) * h + hi) * w;
+                let d = ((bi * c + ci) * (h + 2 * pad) + hi + pad) * ow + pad;
+                dst[d..d + w].copy_from_slice(&src[s..s + w]);
+            }
+        }
+    }
+    out
+}
+
+/// Pads an NCHW tensor by reflection (mirror without repeating the edge),
+/// matching the paper's treatment of datasets whose spatial extent is smaller
+/// than the training patch.
+pub fn pad2d_reflect(x: &Tensor, pad: usize) -> Tensor {
+    if pad == 0 {
+        return x.clone();
+    }
+    let (b, c, h, w) = nchw(x);
+    assert!(
+        pad < h && pad < w,
+        "reflection pad {pad} must be smaller than the spatial extent {h}x{w}"
+    );
+    let oh = h + 2 * pad;
+    let ow = w + 2 * pad;
+    let mut out = Tensor::zeros(&[b, c, oh, ow]);
+    let reflect = |i: isize, n: usize| -> usize {
+        let n = n as isize;
+        let mut i = i;
+        if i < 0 {
+            i = -i;
+        }
+        if i >= n {
+            i = 2 * (n - 1) - i;
+        }
+        i as usize
+    };
+    let src = x.data();
+    let dst = out.data_mut();
+    for bi in 0..b {
+        for ci in 0..c {
+            for hi in 0..oh {
+                let sh = reflect(hi as isize - pad as isize, h);
+                for wi in 0..ow {
+                    let sw = reflect(wi as isize - pad as isize, w);
+                    dst[((bi * c + ci) * oh + hi) * ow + wi] =
+                        src[((bi * c + ci) * h + sh) * w + sw];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Unfolds an NCHW tensor into column form for convolution-as-matmul.
+///
+/// Output shape: `[b, c*kh*kw, oh*ow]`.
+pub fn im2col(x: &Tensor, geom: Conv2dGeometry) -> Tensor {
+    let (b, c, h, w) = nchw(x);
+    let (oh, ow) = geom.output_size(h, w);
+    let cols = c * geom.kh * geom.kw;
+    let mut out = vec![0.0f32; b * cols * oh * ow];
+    let src = x.data();
+    let pad = geom.pad as isize;
+    out.par_chunks_mut(cols * oh * ow)
+        .enumerate()
+        .for_each(|(bi, chunk)| {
+            for ci in 0..c {
+                for khi in 0..geom.kh {
+                    for kwi in 0..geom.kw {
+                        let row = (ci * geom.kh + khi) * geom.kw + kwi;
+                        for ohi in 0..oh {
+                            let ih = (ohi * geom.stride) as isize + khi as isize - pad;
+                            for owi in 0..ow {
+                                let iw = (owi * geom.stride) as isize + kwi as isize - pad;
+                                let v = if ih >= 0 && iw >= 0 && (ih as usize) < h && (iw as usize) < w
+                                {
+                                    src[((bi * c + ci) * h + ih as usize) * w + iw as usize]
+                                } else {
+                                    0.0
+                                };
+                                chunk[row * oh * ow + ohi * ow + owi] = v;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    Tensor::from_vec(out, &[b, cols, oh * ow])
+}
+
+/// Folds column form back into an NCHW tensor, accumulating overlaps.
+/// This is the adjoint of [`im2col`] and is used in the convolution backward
+/// pass with respect to the input.
+pub fn col2im(
+    cols: &Tensor,
+    geom: Conv2dGeometry,
+    c: usize,
+    h: usize,
+    w: usize,
+) -> Tensor {
+    let b = cols.dim(0);
+    let (oh, ow) = geom.output_size(h, w);
+    assert_eq!(cols.dim(1), c * geom.kh * geom.kw, "col2im channel mismatch");
+    assert_eq!(cols.dim(2), oh * ow, "col2im spatial mismatch");
+    let mut out = vec![0.0f32; b * c * h * w];
+    let src = cols.data();
+    let pad = geom.pad as isize;
+    out.par_chunks_mut(c * h * w).enumerate().for_each(|(bi, chunk)| {
+        let base = bi * (c * geom.kh * geom.kw) * oh * ow;
+        for ci in 0..c {
+            for khi in 0..geom.kh {
+                for kwi in 0..geom.kw {
+                    let row = (ci * geom.kh + khi) * geom.kw + kwi;
+                    for ohi in 0..oh {
+                        let ih = (ohi * geom.stride) as isize + khi as isize - pad;
+                        if ih < 0 || ih as usize >= h {
+                            continue;
+                        }
+                        for owi in 0..ow {
+                            let iw = (owi * geom.stride) as isize + kwi as isize - pad;
+                            if iw < 0 || iw as usize >= w {
+                                continue;
+                            }
+                            chunk[(ci * h + ih as usize) * w + iw as usize] +=
+                                src[base + row * oh * ow + ohi * ow + owi];
+                        }
+                    }
+                }
+            }
+        }
+    });
+    Tensor::from_vec(out, &[b, c, h, w])
+}
+
+/// Reference convolution: NCHW input, `[out_c, in_c, kh, kw]` weight, bias of
+/// length `out_c`.  Implemented via im2col + matmul; this is both the
+/// production path used by `gld-nn` and the reference for its tests.
+pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, geom: Conv2dGeometry) -> Tensor {
+    let (b, c, h, w) = nchw(x);
+    assert_eq!(weight.rank(), 4, "conv2d weight must be [out_c, in_c, kh, kw]");
+    let out_c = weight.dim(0);
+    assert_eq!(weight.dim(1), c, "conv2d weight in-channel mismatch");
+    assert_eq!(weight.dim(2), geom.kh, "conv2d kernel height mismatch");
+    assert_eq!(weight.dim(3), geom.kw, "conv2d kernel width mismatch");
+    let (oh, ow) = geom.output_size(h, w);
+    let cols = im2col(x, geom); // [b, c*kh*kw, oh*ow]
+    let k = c * geom.kh * geom.kw;
+    let n = oh * ow;
+    let wmat = weight.reshape(&[out_c, k]);
+    let mut out = vec![0.0f32; b * out_c * n];
+    out.par_chunks_mut(out_c * n).enumerate().for_each(|(bi, chunk)| {
+        let colb = &cols.data()[bi * k * n..(bi + 1) * k * n];
+        matmul_block(wmat.data(), colb, chunk, out_c, k, n);
+        if let Some(bias) = bias {
+            for oc in 0..out_c {
+                let bv = bias.data()[oc];
+                for v in chunk[oc * n..(oc + 1) * n].iter_mut() {
+                    *v += bv;
+                }
+            }
+        }
+    });
+    Tensor::from_vec(out, &[b, out_c, oh, ow])
+}
+
+/// Splits an NCHW shape into its four extents.
+///
+/// # Panics
+/// Panics if the tensor is not rank 4.
+pub fn nchw(x: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(x.rank(), 4, "expected NCHW tensor, got shape {}", x.shape());
+    (x.dim(0), x.dim(1), x.dim(2), x.dim(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_conv2d(
+        x: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        geom: Conv2dGeometry,
+    ) -> Tensor {
+        let (b, c, h, w) = nchw(x);
+        let out_c = weight.dim(0);
+        let (oh, ow) = geom.output_size(h, w);
+        let mut out = Tensor::zeros(&[b, out_c, oh, ow]);
+        for bi in 0..b {
+            for oc in 0..out_c {
+                for ohi in 0..oh {
+                    for owi in 0..ow {
+                        let mut acc = bias.map(|bs| bs.data()[oc]).unwrap_or(0.0);
+                        for ci in 0..c {
+                            for khi in 0..geom.kh {
+                                for kwi in 0..geom.kw {
+                                    let ih = ohi as isize * geom.stride as isize + khi as isize
+                                        - geom.pad as isize;
+                                    let iw = owi as isize * geom.stride as isize + kwi as isize
+                                        - geom.pad as isize;
+                                    if ih < 0 || iw < 0 || ih as usize >= h || iw as usize >= w {
+                                        continue;
+                                    }
+                                    acc += x.at(&[bi, ci, ih as usize, iw as usize])
+                                        * weight.at(&[oc, ci, khi, kwi]);
+                                }
+                            }
+                        }
+                        out.set(&[bi, oc, ohi, owi], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn output_size_formula() {
+        let g = Conv2dGeometry::new(3, 1, 1);
+        assert_eq!(g.output_size(8, 8), (8, 8));
+        let g = Conv2dGeometry::new(3, 2, 1);
+        assert_eq!(g.output_size(8, 8), (4, 4));
+        let g = Conv2dGeometry::new(4, 2, 1);
+        assert_eq!(g.output_size(8, 8), (4, 4));
+    }
+
+    #[test]
+    fn pad_zero_places_values() {
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let p = pad2d_zero(&x, 1);
+        assert_eq!(p.dims(), &[1, 1, 4, 4]);
+        assert_eq!(p.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(p.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(p.at(&[0, 0, 2, 2]), 1.0);
+        assert_eq!(p.at(&[0, 0, 3, 3]), 0.0);
+    }
+
+    #[test]
+    fn pad_reflect_mirrors() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 1, 3, 3]);
+        let p = pad2d_reflect(&x, 1);
+        assert_eq!(p.dims(), &[1, 1, 5, 5]);
+        // Corner reflects both axes: the element at (1,1) of the original.
+        assert_eq!(p.at(&[0, 0, 0, 0]), 5.0);
+        // Top edge reflects row 1.
+        assert_eq!(p.at(&[0, 0, 0, 1]), 4.0);
+        // Interior untouched.
+        assert_eq!(p.at(&[0, 0, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn conv2d_matches_naive_reference() {
+        let mut rng = crate::random::TensorRng::new(7);
+        let x = rng.randn(&[2, 3, 6, 6]);
+        let w = rng.randn(&[4, 3, 3, 3]).scale(0.3);
+        let b = rng.randn(&[4]);
+        for (stride, pad) in [(1usize, 1usize), (2, 1), (1, 0)] {
+            let geom = Conv2dGeometry::new(3, stride, pad);
+            let fast = conv2d(&x, &w, Some(&b), geom);
+            let slow = naive_conv2d(&x, &w, Some(&b), geom);
+            assert_eq!(fast.dims(), slow.dims());
+            let err = fast.sub(&slow).abs().max();
+            assert!(err < 1e-4, "conv mismatch {err} at stride={stride} pad={pad}");
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjointness() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y: the defining
+        // property of an adjoint pair, which the conv backward pass relies on.
+        let mut rng = crate::random::TensorRng::new(11);
+        let geom = Conv2dGeometry::new(3, 2, 1);
+        let x = rng.randn(&[1, 2, 5, 5]);
+        let cols = im2col(&x, geom);
+        let y = rng.randn(cols.dims());
+        let lhs = cols.dot(&y);
+        let back = col2im(&y, geom, 2, 5, 5);
+        let rhs = x.dot(&back);
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // A 1x1 kernel with weight 1 reproduces the input channel.
+        let x = Tensor::arange(16).reshape(&[1, 1, 4, 4]);
+        let w = Tensor::ones(&[1, 1, 1, 1]);
+        let geom = Conv2dGeometry::new(1, 1, 0);
+        let y = conv2d(&x, &w, None, geom);
+        assert_eq!(y, x);
+    }
+}

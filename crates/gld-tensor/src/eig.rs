@@ -1,0 +1,209 @@
+//! Symmetric eigendecomposition (cyclic Jacobi) used by the PCA-based
+//! error-bound guarantee module in `gld-core`.
+//!
+//! The matrices involved are small covariance matrices (the residual blocks
+//! are projected onto at most a few hundred principal directions), so a
+//! straightforward Jacobi sweep is both simple and fast enough.
+
+use crate::tensor::Tensor;
+
+/// Result of a symmetric eigendecomposition: `a = v · diag(λ) · vᵀ`.
+#[derive(Clone, Debug)]
+pub struct SymmetricEigen {
+    /// Eigenvalues sorted in descending order.
+    pub eigenvalues: Vec<f32>,
+    /// Eigenvectors as the *columns* of an `n × n` matrix, in the same order
+    /// as [`SymmetricEigen::eigenvalues`].
+    pub eigenvectors: Tensor,
+}
+
+/// Computes the eigendecomposition of a symmetric `n × n` matrix with the
+/// cyclic Jacobi method.
+///
+/// # Panics
+/// Panics if the input is not a square rank-2 tensor.  The input is assumed
+/// symmetric; only the upper triangle is read when forming rotations but the
+/// full matrix is updated, so mild asymmetry from floating-point noise is
+/// tolerated.
+pub fn symmetric_eigen(a: &Tensor, max_sweeps: usize, tol: f32) -> SymmetricEigen {
+    assert_eq!(a.rank(), 2, "symmetric_eigen requires a matrix");
+    let n = a.dim(0);
+    assert_eq!(n, a.dim(1), "symmetric_eigen requires a square matrix");
+    let mut m: Vec<f64> = a.data().iter().map(|&x| x as f64).collect();
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let off_diag_norm = |m: &[f64]| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += m[i * n + j] * m[i * n + j];
+                }
+            }
+        }
+        s.sqrt()
+    };
+
+    for _ in 0..max_sweeps {
+        if off_diag_norm(&m) <= tol as f64 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation on rows/columns p and q.
+                for k in 0..n {
+                    let akp = m[k * n + p];
+                    let akq = m[k * n + q];
+                    m[k * n + p] = c * akp - s * akq;
+                    m[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[p * n + k];
+                    let aqk = m[q * n + k];
+                    m[p * n + k] = c * apk - s * aqk;
+                    m[q * n + k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Collect eigenpairs and sort by descending eigenvalue.
+    let mut pairs: Vec<(f32, Vec<f32>)> = (0..n)
+        .map(|i| {
+            let lambda = m[i * n + i] as f32;
+            let vec: Vec<f32> = (0..n).map(|r| v[r * n + i] as f32).collect();
+            (lambda, vec)
+        })
+        .collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let eigenvalues: Vec<f32> = pairs.iter().map(|(l, _)| *l).collect();
+    let mut vec_data = vec![0.0f32; n * n];
+    for (col, (_, veci)) in pairs.iter().enumerate() {
+        for row in 0..n {
+            vec_data[row * n + col] = veci[row];
+        }
+    }
+    SymmetricEigen {
+        eigenvalues,
+        eigenvectors: Tensor::from_vec(vec_data, &[n, n]),
+    }
+}
+
+/// Computes the top-`k` principal components of a data matrix `x` of shape
+/// `[samples, features]`.
+///
+/// Returns `(components, explained_variance)` where `components` has shape
+/// `[features, k]` with orthonormal columns.  The data is *not* centred; the
+/// caller decides whether to remove the mean (the error-bound module operates
+/// on residuals that are already near zero mean).
+pub fn principal_components(x: &Tensor, k: usize) -> (Tensor, Vec<f32>) {
+    assert_eq!(x.rank(), 2, "principal_components requires [samples, features]");
+    let features = x.dim(1);
+    let k = k.min(features);
+    // Covariance (Gram) matrix scaled by the sample count.
+    let xt = x.transpose2();
+    let cov = xt.matmul(x).scale(1.0 / x.dim(0).max(1) as f32);
+    let eig = symmetric_eigen(&cov, 64, 1e-9);
+    let components = eig.eigenvectors.slice_axis(1, 0, k);
+    let variance = eig.eigenvalues[..k].to_vec();
+    (components, variance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::TensorRng;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Tensor::from_vec(vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0], &[3, 3]);
+        let e = symmetric_eigen(&a, 32, 1e-10);
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-5);
+        assert!((e.eigenvalues[1] - 2.0).abs() < 1e-5);
+        assert!((e.eigenvalues[2] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn known_2x2_eigenpair() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = Tensor::from_vec(vec![2.0, 1.0, 1.0, 2.0], &[2, 2]);
+        let e = symmetric_eigen(&a, 32, 1e-10);
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-5);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-5);
+        // Leading eigenvector is (1,1)/sqrt(2) up to sign.
+        let v0 = (e.eigenvectors.at(&[0, 0]), e.eigenvectors.at(&[1, 0]));
+        assert!((v0.0.abs() - std::f32::consts::FRAC_1_SQRT_2).abs() < 1e-4);
+        assert!((v0.0 - v0.1).abs() < 1e-4);
+    }
+
+    #[test]
+    fn reconstruction_from_eigenpairs() {
+        let mut rng = TensorRng::new(21);
+        let b = rng.randn(&[5, 5]);
+        let a = b.matmul(&b.transpose2()); // symmetric PSD
+        let e = symmetric_eigen(&a, 64, 1e-10);
+        // Rebuild A = V diag(λ) Vᵀ.
+        let n = 5;
+        let mut lambda = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            lambda.set(&[i, i], e.eigenvalues[i]);
+        }
+        let rebuilt = e
+            .eigenvectors
+            .matmul(&lambda)
+            .matmul(&e.eigenvectors.transpose2());
+        let err = rebuilt.sub(&a).abs().max();
+        assert!(err < 1e-2, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let mut rng = TensorRng::new(33);
+        let b = rng.randn(&[6, 6]);
+        let a = b.matmul(&b.transpose2());
+        let e = symmetric_eigen(&a, 64, 1e-10);
+        let vtv = e.eigenvectors.transpose2().matmul(&e.eigenvectors);
+        let err = vtv.sub(&Tensor::eye(6)).abs().max();
+        assert!(err < 1e-3, "orthonormality error {err}");
+    }
+
+    #[test]
+    fn principal_components_capture_dominant_direction() {
+        // Samples concentrated along (1, 1): the first PC must align with it.
+        let mut rng = TensorRng::new(8);
+        let n = 200;
+        let mut data = Vec::with_capacity(n * 2);
+        for _ in 0..n {
+            let t = rng.sample_normal() * 5.0;
+            let noise = rng.sample_normal() * 0.1;
+            data.push(t + noise);
+            data.push(t - noise);
+        }
+        let x = Tensor::from_vec(data, &[n, 2]);
+        let (pcs, var) = principal_components(&x, 2);
+        assert_eq!(pcs.dims(), &[2, 2]);
+        assert!(var[0] > 10.0 * var[1]);
+        let ratio = (pcs.at(&[0, 0]) / pcs.at(&[1, 0])).abs();
+        assert!((ratio - 1.0).abs() < 0.05, "first PC not along (1,1): ratio {ratio}");
+    }
+}

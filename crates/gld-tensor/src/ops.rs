@@ -1,0 +1,264 @@
+//! Unary math, activations, normalisation helpers and softmax.
+//!
+//! Everything here operates element-wise or along the trailing axis and
+//! returns a new tensor; the autograd layer in `gld-nn` wraps these with
+//! backward rules.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+impl Tensor {
+    /// Element-wise exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Element-wise natural logarithm.
+    pub fn ln(&self) -> Tensor {
+        self.map(f32::ln)
+    }
+
+    /// Element-wise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Element-wise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Element-wise square.
+    pub fn square(&self) -> Tensor {
+        self.map(|x| x * x)
+    }
+
+    /// Element-wise power with a float exponent.
+    pub fn powf(&self, p: f32) -> Tensor {
+        self.map(move |x| x.powf(p))
+    }
+
+    /// Element-wise clamp into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        assert!(lo <= hi, "clamp requires lo <= hi");
+        self.map(move |x| x.clamp(lo, hi))
+    }
+
+    /// Element-wise rounding to the nearest integer (the quantizer used by
+    /// the learned compressors at inference time).
+    pub fn round(&self) -> Tensor {
+        self.map(f32::round)
+    }
+
+    /// Element-wise logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Element-wise hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Element-wise ReLU.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Element-wise SiLU (`x * sigmoid(x)`), the activation used throughout
+    /// the UNet and VAE.
+    pub fn silu(&self) -> Tensor {
+        self.map(|x| x / (1.0 + (-x).exp()))
+    }
+
+    /// Element-wise GELU (tanh approximation).
+    pub fn gelu(&self) -> Tensor {
+        self.map(|x| {
+            0.5 * x * (1.0 + ((2.0 / std::f32::consts::PI).sqrt() * (x + 0.044715 * x * x * x)).tanh())
+        })
+    }
+
+    /// Softmax along the last axis.
+    ///
+    /// The input is interpreted as a batch of rows; each row is normalised
+    /// independently with the usual max-subtraction trick for stability.
+    pub fn softmax_last(&self) -> Tensor {
+        let dims = self.dims().to_vec();
+        assert!(!dims.is_empty(), "softmax requires rank >= 1");
+        let row = *dims.last().unwrap();
+        let rows = self.numel() / row;
+        let mut out = vec![0.0f32; self.numel()];
+        out.par_chunks_mut(row)
+            .zip(self.data().par_chunks(row))
+            .for_each(|(o, x)| {
+                let m = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0f32;
+                for (oi, &xi) in o.iter_mut().zip(x.iter()) {
+                    let e = (xi - m).exp();
+                    *oi = e;
+                    sum += e;
+                }
+                let inv = 1.0 / sum;
+                for oi in o.iter_mut() {
+                    *oi *= inv;
+                }
+            });
+        debug_assert_eq!(rows * row, self.numel());
+        Tensor::from_vec(out, &dims)
+    }
+
+    /// Log-softmax along the last axis.
+    pub fn log_softmax_last(&self) -> Tensor {
+        let dims = self.dims().to_vec();
+        let row = *dims.last().unwrap();
+        let mut out = vec![0.0f32; self.numel()];
+        out.par_chunks_mut(row)
+            .zip(self.data().par_chunks(row))
+            .for_each(|(o, x)| {
+                let m = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let lse = x.iter().map(|&xi| (xi - m).exp()).sum::<f32>().ln() + m;
+                for (oi, &xi) in o.iter_mut().zip(x.iter()) {
+                    *oi = xi - lse;
+                }
+            });
+        Tensor::from_vec(out, &dims)
+    }
+
+    /// Min-max normalisation to `[-1, 1]`, returning the normalised tensor
+    /// together with the `(min, max)` pair needed to invert it.
+    ///
+    /// When the tensor is constant the scale degenerates; in that case the
+    /// output is all zeros and the recorded range is `(v, v)` so that
+    /// [`Tensor::denormalize_minmax`] still reproduces the original value
+    /// exactly (its scale becomes zero and only the offset survives).
+    pub fn normalize_minmax(&self) -> (Tensor, f32, f32) {
+        let min = self.data().iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = self.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        if !(max > min) {
+            return (Tensor::zeros(self.dims()), min, min);
+        }
+        let scale = 2.0 / (max - min);
+        let normalized = self.map(move |x| (x - min) * scale - 1.0);
+        (normalized, min, max)
+    }
+
+    /// Inverts [`Tensor::normalize_minmax`].
+    pub fn denormalize_minmax(&self, min: f32, max: f32) -> Tensor {
+        let scale = (max - min) / 2.0;
+        self.map(move |x| (x + 1.0) * scale + min)
+    }
+
+    /// Zero-mean / unit-range normalisation used for raw scientific frames
+    /// (the paper normalises each frame independently because values span
+    /// ~10^10).  Returns `(normalised, mean, range)`.
+    pub fn normalize_mean_range(&self) -> (Tensor, f32, f32) {
+        let n = self.numel() as f64;
+        let mean = (self.data().iter().map(|&x| x as f64).sum::<f64>() / n) as f32;
+        let min = self.data().iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = self.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let range = if max > min { max - min } else { 1.0 };
+        let inv = 1.0 / range;
+        let out = self.map(move |x| (x - mean) * inv);
+        (out, mean, range)
+    }
+
+    /// Inverts [`Tensor::normalize_mean_range`].
+    pub fn denormalize_mean_range(&self, mean: f32, range: f32) -> Tensor {
+        self.map(move |x| x * range + mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_ops_match_std() {
+        let t = Tensor::from_vec(vec![-2.0, -0.5, 0.0, 0.5, 2.0], &[5]);
+        assert!(t.exp().data()[4] - 2.0f32.exp() < 1e-6);
+        assert_eq!(t.abs().data()[0], 2.0);
+        assert_eq!(t.relu().data()[0], 0.0);
+        assert_eq!(t.relu().data()[4], 2.0);
+        assert_eq!(t.square().data()[0], 4.0);
+        assert_eq!(t.clamp(-1.0, 1.0).data()[0], -1.0);
+        assert_eq!(t.round().data()[1], -1.0); // -0.5 rounds away from zero
+    }
+
+    #[test]
+    fn sigmoid_silu_relationship() {
+        let t = Tensor::from_vec(vec![-3.0, 0.0, 3.0], &[3]);
+        let sig = t.sigmoid();
+        let silu = t.silu();
+        for i in 0..3 {
+            assert!((silu.data()[i] - t.data()[i] * sig.data()[i]).abs() < 1e-6);
+        }
+        assert!((sig.data()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 10.0, 10.0, 10.0], &[2, 3]);
+        let s = t.softmax_last();
+        for r in 0..2 {
+            let sum: f32 = (0..3).map(|c| s.at(&[r, c])).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Uniform logits give uniform probabilities.
+        assert!((s.at(&[1, 0]) - 1.0 / 3.0).abs() < 1e-5);
+        // Softmax is monotone in the logits.
+        assert!(s.at(&[0, 2]) > s.at(&[0, 1]));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let t = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]);
+        let s = t.softmax_last();
+        assert!(s.data().iter().all(|x| x.is_finite()));
+        assert!((s.at(&[0, 0]) + s.at(&[0, 1]) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let t = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[1, 3]);
+        let ls = t.log_softmax_last();
+        let s = t.softmax_last();
+        for i in 0..3 {
+            assert!((ls.at(&[0, i]) - s.at(&[0, i]).ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn minmax_normalization_roundtrip() {
+        let t = Tensor::from_vec(vec![-5.0, 0.0, 10.0, 2.5], &[4]);
+        let (n, min, max) = t.normalize_minmax();
+        assert!(n.data().iter().cloned().fold(f32::INFINITY, f32::min) >= -1.0 - 1e-6);
+        assert!(n.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max) <= 1.0 + 1e-6);
+        let back = n.denormalize_minmax(min, max);
+        for i in 0..4 {
+            assert!((back.data()[i] - t.data()[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn minmax_normalization_constant_input() {
+        let t = Tensor::full(&[8], 7.0);
+        let (n, min, max) = t.normalize_minmax();
+        assert!(n.data().iter().all(|&x| x == 0.0));
+        let back = n.denormalize_minmax(min, max);
+        // Constant fields must survive the round trip exactly enough.
+        for &v in back.data() {
+            assert!((v - 7.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mean_range_normalization_roundtrip() {
+        let t = Tensor::from_vec(vec![1e8, -2e8, 5e7, 0.0], &[4]);
+        let (n, mean, range) = t.normalize_mean_range();
+        assert!(n.data().iter().all(|x| x.abs() <= 1.0 + 1e-6));
+        let back = n.denormalize_mean_range(mean, range);
+        for i in 0..4 {
+            assert!((back.data()[i] - t.data()[i]).abs() < 1e2); // relative to 1e8 scale
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Spatial resampling: average pooling and nearest-neighbour upsampling.
+//!
+//! The VAE decoder uses nearest-neighbour upsampling followed by a
+//! convolution instead of transposed convolutions (this avoids checkerboard
+//! artefacts and keeps the backward pass simple), so only these two
+//! primitives are required.
+
+use crate::conv::nchw;
+use crate::tensor::Tensor;
+
+/// Average-pools an NCHW tensor with a square window and matching stride.
+pub fn avg_pool2d(x: &Tensor, k: usize) -> Tensor {
+    assert!(k > 0, "pool window must be positive");
+    let (b, c, h, w) = nchw(x);
+    assert!(
+        h % k == 0 && w % k == 0,
+        "avg_pool2d requires spatial dims divisible by the window ({h}x{w} vs {k})"
+    );
+    let oh = h / k;
+    let ow = w / k;
+    let mut out = Tensor::zeros(&[b, c, oh, ow]);
+    let inv = 1.0 / (k * k) as f32;
+    let src = x.data();
+    let dst = out.data_mut();
+    for bi in 0..b {
+        for ci in 0..c {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut acc = 0.0f32;
+                    for dh in 0..k {
+                        for dw in 0..k {
+                            acc += src[((bi * c + ci) * h + ohi * k + dh) * w + owi * k + dw];
+                        }
+                    }
+                    dst[((bi * c + ci) * oh + ohi) * ow + owi] = acc * inv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward of [`avg_pool2d`]: distributes each output gradient uniformly
+/// over its `k × k` input window.
+pub fn avg_pool2d_backward(grad_out: &Tensor, k: usize, h: usize, w: usize) -> Tensor {
+    let (b, c, oh, ow) = nchw(grad_out);
+    assert_eq!(oh * k, h, "avg_pool2d_backward height mismatch");
+    assert_eq!(ow * k, w, "avg_pool2d_backward width mismatch");
+    let mut out = Tensor::zeros(&[b, c, h, w]);
+    let inv = 1.0 / (k * k) as f32;
+    let src = grad_out.data();
+    let dst = out.data_mut();
+    for bi in 0..b {
+        for ci in 0..c {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let g = src[((bi * c + ci) * oh + ohi) * ow + owi] * inv;
+                    for dh in 0..k {
+                        for dw in 0..k {
+                            dst[((bi * c + ci) * h + ohi * k + dh) * w + owi * k + dw] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Nearest-neighbour upsampling of an NCHW tensor by an integer factor.
+pub fn upsample_nearest2d(x: &Tensor, factor: usize) -> Tensor {
+    assert!(factor > 0, "upsample factor must be positive");
+    let (b, c, h, w) = nchw(x);
+    let oh = h * factor;
+    let ow = w * factor;
+    let mut out = Tensor::zeros(&[b, c, oh, ow]);
+    let src = x.data();
+    let dst = out.data_mut();
+    for bi in 0..b {
+        for ci in 0..c {
+            for ohi in 0..oh {
+                let sh = ohi / factor;
+                for owi in 0..ow {
+                    let sw = owi / factor;
+                    dst[((bi * c + ci) * oh + ohi) * ow + owi] =
+                        src[((bi * c + ci) * h + sh) * w + sw];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward of [`upsample_nearest2d`]: sums the gradients of all output
+/// pixels that map to the same input pixel.
+pub fn upsample_nearest2d_backward(grad_out: &Tensor, factor: usize) -> Tensor {
+    let (b, c, oh, ow) = nchw(grad_out);
+    assert!(
+        oh % factor == 0 && ow % factor == 0,
+        "upsample backward requires dims divisible by the factor"
+    );
+    let h = oh / factor;
+    let w = ow / factor;
+    let mut out = Tensor::zeros(&[b, c, h, w]);
+    let src = grad_out.data();
+    let dst = out.data_mut();
+    for bi in 0..b {
+        for ci in 0..c {
+            for ohi in 0..oh {
+                let sh = ohi / factor;
+                for owi in 0..ow {
+                    let sw = owi / factor;
+                    dst[((bi * c + ci) * h + sh) * w + sw] +=
+                        src[((bi * c + ci) * oh + ohi) * ow + owi];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::TensorRng;
+
+    #[test]
+    fn avg_pool_known_values() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        );
+        let y = avg_pool2d(&x, 2);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 3.5);
+        assert_eq!(y.at(&[0, 0, 1, 1]), 13.5);
+    }
+
+    #[test]
+    fn upsample_then_pool_is_identity() {
+        let mut rng = TensorRng::new(3);
+        let x = rng.randn(&[2, 3, 4, 4]);
+        let up = upsample_nearest2d(&x, 2);
+        assert_eq!(up.dims(), &[2, 3, 8, 8]);
+        let back = avg_pool2d(&up, 2);
+        assert!(back.sub(&x).abs().max() < 1e-6);
+    }
+
+    #[test]
+    fn pool_backward_is_adjoint() {
+        let mut rng = TensorRng::new(5);
+        let x = rng.randn(&[1, 2, 4, 4]);
+        let y = avg_pool2d(&x, 2);
+        let gy = rng.randn(y.dims());
+        let gx = avg_pool2d_backward(&gy, 2, 4, 4);
+        // <pool(x), gy> == <x, pool_backward(gy)>
+        let lhs = y.dot(&gy);
+        let rhs = x.dot(&gx);
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn upsample_backward_is_adjoint() {
+        let mut rng = TensorRng::new(9);
+        let x = rng.randn(&[1, 2, 3, 3]);
+        let y = upsample_nearest2d(&x, 2);
+        let gy = rng.randn(y.dims());
+        let gx = upsample_nearest2d_backward(&gy, 2);
+        let lhs = y.dot(&gy);
+        let rhs = x.dot(&gx);
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn upsample_replicates_pixels() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = upsample_nearest2d(&x, 3);
+        assert_eq!(y.dims(), &[1, 1, 6, 6]);
+        assert_eq!(y.at(&[0, 0, 0, 2]), 1.0);
+        assert_eq!(y.at(&[0, 0, 2, 2]), 1.0);
+        assert_eq!(y.at(&[0, 0, 5, 5]), 4.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Seeded random tensor generation.
+//!
+//! All stochastic components of the stack (weight initialisation, diffusion
+//! noise, uniform quantisation noise, synthetic datasets) draw from a
+//! [`TensorRng`] so that every experiment is reproducible from a single seed.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random number source producing tensors.
+#[derive(Clone, Debug)]
+pub struct TensorRng {
+    rng: StdRng,
+}
+
+impl TensorRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        TensorRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; used to hand sub-seeds to
+    /// parallel workers deterministically.
+    pub fn fork(&mut self) -> TensorRng {
+        TensorRng::new(self.rng.gen::<u64>())
+    }
+
+    /// A single standard-normal sample (Box–Muller).
+    pub fn sample_normal(&mut self) -> f32 {
+        // Box–Muller transform from two uniforms in (0, 1].
+        let u1: f32 = 1.0 - self.rng.gen::<f32>();
+        let u2: f32 = self.rng.gen::<f32>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// A single uniform sample in `[lo, hi)`.
+    pub fn sample_uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        self.rng.gen::<f32>() * (hi - lo) + lo
+    }
+
+    /// A uniform integer in `[0, n)`.
+    pub fn sample_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "sample_index requires n > 0");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Standard-normal tensor of the given shape.
+    pub fn randn(&mut self, dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        let data: Vec<f32> = (0..n).map(|_| self.sample_normal()).collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Normal tensor with the given mean and standard deviation.
+    pub fn randn_scaled(&mut self, dims: &[usize], mean: f32, std: f32) -> Tensor {
+        let n: usize = dims.iter().product();
+        let data: Vec<f32> = (0..n).map(|_| self.sample_normal() * std + mean).collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Uniform tensor in `[lo, hi)`.
+    pub fn rand_uniform(&mut self, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+        let n: usize = dims.iter().product();
+        let data: Vec<f32> = (0..n).map(|_| self.sample_uniform(lo, hi)).collect();
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Kaiming/He-style initialisation for a layer with `fan_in` inputs,
+    /// the default for all convolution and linear weights in `gld-nn`.
+    pub fn kaiming(&mut self, dims: &[usize], fan_in: usize) -> Tensor {
+        assert!(fan_in > 0, "kaiming fan_in must be positive");
+        let std = (2.0 / fan_in as f32).sqrt();
+        self.randn_scaled(dims, 0.0, std)
+    }
+
+    /// Random permutation of `0..n` (Fisher–Yates).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.rng.gen_range(0..=i);
+            p.swap(i, j);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = TensorRng::new(42);
+        let mut b = TensorRng::new(42);
+        assert_eq!(a.randn(&[16]), b.randn(&[16]));
+        assert_eq!(a.rand_uniform(&[8], -1.0, 1.0), b.rand_uniform(&[8], -1.0, 1.0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TensorRng::new(1);
+        let mut b = TensorRng::new(2);
+        assert_ne!(a.randn(&[16]), b.randn(&[16]));
+    }
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut rng = TensorRng::new(7);
+        let t = rng.randn(&[20_000]);
+        assert!(t.mean().abs() < 0.05, "mean {}", t.mean());
+        assert!((t.variance() - 1.0).abs() < 0.1, "variance {}", t.variance());
+    }
+
+    #[test]
+    fn uniform_range_respected() {
+        let mut rng = TensorRng::new(3);
+        let t = rng.rand_uniform(&[10_000], -0.5, 0.5);
+        assert!(t.min() >= -0.5);
+        assert!(t.max() < 0.5);
+        assert!(t.mean().abs() < 0.05);
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let mut rng = TensorRng::new(11);
+        let big_fan = rng.kaiming(&[10_000], 1000);
+        let small_fan = rng.kaiming(&[10_000], 10);
+        assert!(big_fan.variance() < small_fan.variance());
+        assert!((big_fan.variance() - 2.0 / 1000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = TensorRng::new(5);
+        let p = rng.permutation(100);
+        let mut seen = vec![false; 100];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = TensorRng::new(9);
+        let mut child1 = parent.fork();
+        let mut child2 = parent.fork();
+        assert_ne!(child1.randn(&[8]), child2.randn(&[8]));
+    }
+
+    #[test]
+    fn sample_index_in_range() {
+        let mut rng = TensorRng::new(13);
+        for _ in 0..1000 {
+            assert!(rng.sample_index(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Shape arithmetic: dimension bookkeeping, row-major strides and NumPy-style
+//! broadcasting rules.
+
+use serde::{Deserialize, Serialize};
+
+/// A tensor shape: an ordered list of dimension extents.
+///
+/// `Shape` is a thin, copy-friendly wrapper around `Vec<usize>` providing the
+/// index arithmetic used throughout the crate.  The empty shape `[]` denotes a
+/// scalar with one element.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// The dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major (C order) strides in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// # Panics
+    /// Panics if the index rank does not match or any coordinate is out of
+    /// bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.0.len(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.0.len()
+        );
+        let strides = self.strides();
+        let mut off = 0usize;
+        for (axis, (&i, &d)) in index.iter().zip(self.0.iter()).enumerate() {
+            assert!(i < d, "index {i} out of bounds for axis {axis} with extent {d}");
+            off += i * strides[axis];
+        }
+        off
+    }
+
+    /// Converts a flat row-major offset back into a multi-dimensional index.
+    pub fn unravel(&self, mut offset: usize) -> Vec<usize> {
+        let mut index = vec![0usize; self.0.len()];
+        for axis in (0..self.0.len()).rev() {
+            let d = self.0[axis];
+            index[axis] = offset % d;
+            offset /= d;
+        }
+        index
+    }
+
+    /// Returns true when the two shapes are broadcast-compatible under
+    /// NumPy-style trailing alignment.
+    pub fn broadcastable_with(&self, other: &Shape) -> bool {
+        broadcast_shapes(self, other).is_some()
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Computes the broadcast shape of two shapes using NumPy trailing-dimension
+/// rules, or `None` when they are incompatible.
+///
+/// Dimensions are aligned from the right; a pair of extents is compatible if
+/// they are equal or either is 1.
+pub fn broadcast_shapes(a: &Shape, b: &Shape) -> Option<Shape> {
+    let rank = a.rank().max(b.rank());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let da = if i < a.rank() { a.0[a.rank() - 1 - i] } else { 1 };
+        let db = if i < b.rank() { b.0[b.rank() - 1 - i] } else { 1 };
+        let d = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return None;
+        };
+        out[rank - 1 - i] = d;
+    }
+    Some(Shape(out))
+}
+
+/// Iterator over all multi-dimensional indices of a shape in row-major order.
+pub struct IndexIter {
+    dims: Vec<usize>,
+    current: Vec<usize>,
+    remaining: usize,
+}
+
+impl IndexIter {
+    /// Creates a row-major index iterator over `shape`.
+    pub fn new(shape: &Shape) -> Self {
+        IndexIter {
+            dims: shape.0.clone(),
+            current: vec![0; shape.rank()],
+            remaining: shape.numel(),
+        }
+    }
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let item = self.current.clone();
+        self.remaining -= 1;
+        // Advance odometer.
+        for axis in (0..self.dims.len()).rev() {
+            self.current[axis] += 1;
+            if self.current[axis] < self.dims[axis] {
+                break;
+            }
+            self.current[axis] = 0;
+        }
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_and_unravel_are_inverse() {
+        let s = Shape::new(&[3, 4, 5]);
+        for flat in 0..s.numel() {
+            let idx = s.unravel(flat);
+            assert_eq!(s.offset(&idx), flat);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_out_of_bounds_panics() {
+        let s = Shape::new(&[2, 2]);
+        s.offset(&[2, 0]);
+    }
+
+    #[test]
+    fn broadcast_equal_shapes() {
+        let a = Shape::new(&[2, 3]);
+        let b = Shape::new(&[2, 3]);
+        assert_eq!(broadcast_shapes(&a, &b), Some(Shape::new(&[2, 3])));
+    }
+
+    #[test]
+    fn broadcast_with_ones() {
+        let a = Shape::new(&[4, 1, 3]);
+        let b = Shape::new(&[2, 1]);
+        assert_eq!(broadcast_shapes(&a, &b), Some(Shape::new(&[4, 2, 3])));
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let a = Shape::new(&[5, 7]);
+        let b = Shape::new(&[]);
+        assert_eq!(broadcast_shapes(&a, &b), Some(Shape::new(&[5, 7])));
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        let a = Shape::new(&[3, 2]);
+        let b = Shape::new(&[4, 2]);
+        assert_eq!(broadcast_shapes(&a, &b), None);
+        assert!(!a.broadcastable_with(&b));
+    }
+
+    #[test]
+    fn index_iter_visits_all_in_order() {
+        let s = Shape::new(&[2, 3]);
+        let all: Vec<_> = IndexIter::new(&s).collect();
+        assert_eq!(
+            all,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2]
+            ]
+        );
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(format!("{s}"), "[2, 3]");
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the tensor substrate.
+
+use gld_tensor::conv::{col2im, conv2d, im2col, Conv2dGeometry};
+use gld_tensor::stats::{max_abs_error, nrmse};
+use gld_tensor::{broadcast_shapes, Shape, Tensor, TensorRng};
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..4)
+}
+
+fn tensor_with_dims(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    prop::collection::vec(-100.0f32..100.0, n..=n)
+        .prop_map(move |data| Tensor::from_vec(data, &dims))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_is_commutative(dims in small_dims()) {
+        let mut rng = TensorRng::new(1);
+        let a = rng.randn(&dims);
+        let b = rng.randn(&dims);
+        let ab = a.add(&b);
+        let ba = b.add(&a);
+        prop_assert!(max_abs_error(&ab, &ba) < 1e-6);
+    }
+
+    #[test]
+    fn add_zero_is_identity(t in small_dims().prop_flat_map(tensor_with_dims)) {
+        let z = Tensor::zeros(t.dims());
+        prop_assert_eq!(t.add(&z), t.clone());
+    }
+
+    #[test]
+    fn mul_by_one_is_identity(t in small_dims().prop_flat_map(tensor_with_dims)) {
+        let ones = Tensor::ones(t.dims());
+        prop_assert!(max_abs_error(&t.mul(&ones), &t) < 1e-6);
+    }
+
+    #[test]
+    fn double_negation_is_identity(t in small_dims().prop_flat_map(tensor_with_dims)) {
+        prop_assert_eq!(t.neg().neg(), t.clone());
+    }
+
+    #[test]
+    fn reshape_preserves_sum(t in small_dims().prop_flat_map(tensor_with_dims)) {
+        let flat = t.reshape(&[t.numel()]);
+        prop_assert!((flat.sum() - t.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn broadcast_shapes_is_symmetric(a in small_dims(), b in small_dims()) {
+        let sa = Shape::new(&a);
+        let sb = Shape::new(&b);
+        prop_assert_eq!(broadcast_shapes(&sa, &sb), broadcast_shapes(&sb, &sa));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
+        let mut rng = TensorRng::new(seed);
+        let a = rng.randn(&[m, k]);
+        let b = rng.randn(&[k, n]);
+        let c = rng.randn(&[k, n]);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(max_abs_error(&lhs, &rhs) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let mut rng = TensorRng::new(seed);
+        let a = rng.randn(&[m, k]);
+        let b = rng.randn(&[k, n]);
+        let lhs = a.matmul(&b).transpose2();
+        let rhs = b.transpose2().matmul(&a.transpose2());
+        prop_assert!(max_abs_error(&lhs, &rhs) < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_are_probabilities(rows in 1usize..5, cols in 1usize..6, seed in 0u64..1000) {
+        let mut rng = TensorRng::new(seed);
+        let t = rng.randn(&[rows, cols]).scale(5.0);
+        let s = t.softmax_last();
+        for r in 0..rows {
+            let mut sum = 0.0;
+            for c in 0..cols {
+                let v = s.at(&[r, c]);
+                prop_assert!(v >= 0.0 && v <= 1.0 + 1e-6);
+                sum += v;
+            }
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sum_axis_totals_match_full_sum(seed in 0u64..1000) {
+        let mut rng = TensorRng::new(seed);
+        let t = rng.randn(&[3, 4, 5]);
+        for axis in 0..3 {
+            let partial = t.sum_axis(axis, false);
+            prop_assert!((partial.sum() - t.sum()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn minmax_normalization_bounds_and_roundtrip(t in small_dims().prop_flat_map(tensor_with_dims)) {
+        let (n, min, max) = t.normalize_minmax();
+        prop_assert!(n.min() >= -1.0 - 1e-5);
+        prop_assert!(n.max() <= 1.0 + 1e-5);
+        let back = n.denormalize_minmax(min, max);
+        prop_assert!(max_abs_error(&back, &t) < 1e-3);
+    }
+
+    #[test]
+    fn nrmse_zero_iff_equal(t in small_dims().prop_flat_map(tensor_with_dims)) {
+        prop_assert_eq!(nrmse(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn concat_then_slice_roundtrip(seed in 0u64..1000, left in 1usize..4, right in 1usize..4) {
+        let mut rng = TensorRng::new(seed);
+        let a = rng.randn(&[left, 3]);
+        let b = rng.randn(&[right, 3]);
+        let c = Tensor::concat(&[&a, &b], 0);
+        prop_assert_eq!(c.slice_axis(0, 0, left), a);
+        prop_assert_eq!(c.slice_axis(0, left, left + right), b);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(seed in 0u64..200, stride in 1usize..3) {
+        let mut rng = TensorRng::new(seed);
+        let geom = Conv2dGeometry::new(3, stride, 1);
+        let x = rng.randn(&[1, 2, 6, 6]);
+        let cols = im2col(&x, geom);
+        let y = rng.randn(cols.dims());
+        let lhs = cols.dot(&y);
+        let rhs = x.dot(&col2im(&y, geom, 2, 6, 6));
+        prop_assert!((lhs - rhs).abs() < 1e-2);
+    }
+
+    #[test]
+    fn conv2d_is_linear_in_input(seed in 0u64..200) {
+        let mut rng = TensorRng::new(seed);
+        let geom = Conv2dGeometry::new(3, 1, 1);
+        let w = rng.randn(&[2, 1, 3, 3]).scale(0.2);
+        let x1 = rng.randn(&[1, 1, 5, 5]);
+        let x2 = rng.randn(&[1, 1, 5, 5]);
+        let lhs = conv2d(&x1.add(&x2), &w, None, geom);
+        let rhs = conv2d(&x1, &w, None, geom).add(&conv2d(&x2, &w, None, geom));
+        prop_assert!(max_abs_error(&lhs, &rhs) < 1e-3);
+    }
+
+    #[test]
+    fn permutation_roundtrip_3d(seed in 0u64..1000) {
+        let mut rng = TensorRng::new(seed);
+        let t = rng.randn(&[2, 3, 4]);
+        let p = t.permute(&[1, 2, 0]);
+        let back = p.permute(&[2, 0, 1]);
+        prop_assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,31 @@
+//! # gld-vae
+//!
+//! Variational autoencoder with a scale hyperprior for learned transform
+//! coding of scientific frames (paper §3.1 and §3.4, stage-one training).
+//!
+//! The pipeline mirrors the Ballé/Minnen construction the paper builds on:
+//!
+//! * an **encoder** maps a frame `x` to a latent `y = E(x)`;
+//! * a **hyper-encoder** summarises `y` into a tiny hyper-latent
+//!   `z = Eh(y)`, which is quantised and coded with a factorized prior;
+//! * a **hyper-decoder** predicts per-element Gaussian parameters
+//!   `(μ, σ) = Dh(ẑ)` used both for the rate term during training and for
+//!   conditional arithmetic coding of the quantised latent `ŷ`;
+//! * a **decoder** reconstructs `x̂ = D(ŷ)`.
+//!
+//! Training follows Eq. 8: `L = MSE(x, x̂) + λ·(R_y + R_z)` with additive
+//! uniform noise standing in for quantisation.  Inference-time compression
+//! uses real rounding plus the arithmetic coder from `gld-entropy`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod config;
+pub mod model;
+pub mod train;
+
+pub use codec::{FrameCodec, LatentCodec};
+pub use config::VaeConfig;
+pub use model::{RateDistortion, Vae};
+pub use train::{TrainReport, VaeTrainer};

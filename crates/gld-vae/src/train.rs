@@ -1,0 +1,165 @@
+//! Stage-one training loop: fits the VAE + hyperprior on random crops drawn
+//! from a scientific dataset variable (paper §3.4, "VAE with hyperprior
+//! Training").
+
+use crate::config::VaeConfig;
+use crate::model::{RateDistortion, Vae};
+use gld_datasets::blocks::{block_to_nchw, sample_training_block, BlockSpec};
+use gld_datasets::Variable;
+use gld_nn::prelude::*;
+use gld_tensor::{Tensor, TensorRng};
+
+/// Summary of a training run.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Loss after the first evaluation.
+    pub initial_loss: f32,
+    /// Loss at the end of training.
+    pub final_loss: f32,
+    /// Rate–distortion diagnostics of the final step.
+    pub final_rd: RateDistortion,
+    /// Number of optimisation steps performed.
+    pub steps: usize,
+}
+
+/// Trainer owning the model, the optimiser and the sampling RNG.
+pub struct VaeTrainer {
+    vae: Vae,
+    optimizer: Adam,
+    rng: TensorRng,
+    patch: usize,
+    batch: usize,
+}
+
+impl VaeTrainer {
+    /// Creates a trainer.  `patch` is the square crop size fed to the model
+    /// (paper: 256; scaled down here) and `batch` the crops per step.
+    pub fn new(config: VaeConfig, patch: usize, batch: usize) -> Self {
+        let vae = Vae::new(config);
+        let params = vae.parameters();
+        // The paper uses 1e-3 with step decay; the scaled-down model prefers
+        // a slightly smaller rate with the same decay structure.
+        let schedule = LrSchedule::StepDecay {
+            base: 4e-3,
+            every: 400,
+            factor: 0.5,
+        };
+        let optimizer = Adam::new(
+            params,
+            schedule,
+            AdamConfig {
+                grad_clip: 5.0,
+                ..AdamConfig::default()
+            },
+        );
+        VaeTrainer {
+            vae,
+            optimizer,
+            rng: TensorRng::new(config.seed.wrapping_add(1)),
+            patch,
+            batch,
+        }
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &Vae {
+        &self.vae
+    }
+
+    /// Consumes the trainer, returning the trained model.
+    pub fn into_model(self) -> Vae {
+        self.vae
+    }
+
+    /// Draws one normalised training batch `[batch, 1, patch, patch]` from
+    /// the variables.  Frames are normalised to zero mean / unit range as in
+    /// the paper (scientific data spans ~10¹⁰).
+    fn sample_batch(&mut self, variables: &[Variable]) -> Tensor {
+        let spec = BlockSpec::new(1, self.patch);
+        let mut crops = Vec::with_capacity(self.batch);
+        for _ in 0..self.batch {
+            let var = &variables[self.rng.sample_index(variables.len())];
+            let block = sample_training_block(var, spec, &mut self.rng);
+            let (normalized, _, _) = block.normalize_mean_range();
+            crops.push(block_to_nchw(&normalized));
+        }
+        let refs: Vec<&Tensor> = crops.iter().collect();
+        Tensor::concat(&refs, 0)
+    }
+
+    /// Runs `steps` optimisation steps over the given variables and returns
+    /// a report.  Training is deterministic for a fixed config seed.
+    pub fn train(&mut self, variables: &[Variable], steps: usize) -> TrainReport {
+        assert!(!variables.is_empty(), "training requires at least one variable");
+        let mut initial_loss = f32::NAN;
+        let mut final_loss = f32::NAN;
+        let mut final_rd = RateDistortion {
+            mse: 0.0,
+            bits_y: 0.0,
+            bits_z: 0.0,
+            bpp: 0.0,
+        };
+        for step in 0..steps {
+            let batch = self.sample_batch(variables);
+            let tape = Tape::new();
+            let (loss, rd) = self.vae.rd_loss(&tape, &batch, &mut self.rng);
+            let loss_value = loss.value().item();
+            if step == 0 {
+                initial_loss = loss_value;
+            }
+            final_loss = loss_value;
+            final_rd = rd;
+            loss.backward();
+            self.optimizer.step();
+        }
+        TrainReport {
+            initial_loss,
+            final_loss,
+            final_rd,
+            steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gld_datasets::{generate, DatasetKind, FieldSpec};
+    use gld_tensor::stats::mse;
+
+    #[test]
+    fn training_reduces_the_loss() {
+        let ds = generate(DatasetKind::E3sm, &FieldSpec::tiny(), 7);
+        let mut trainer = VaeTrainer::new(VaeConfig::tiny(), 16, 2);
+        let report = trainer.train(&ds.variables, 60);
+        assert_eq!(report.steps, 60);
+        assert!(
+            report.final_loss < report.initial_loss,
+            "loss did not decrease: {} -> {}",
+            report.initial_loss,
+            report.final_loss
+        );
+        assert!(report.final_rd.bpp.is_finite());
+    }
+
+    #[test]
+    fn trained_model_reconstructs_better_than_untrained() {
+        let ds = generate(DatasetKind::E3sm, &FieldSpec::tiny(), 9);
+        let frames_raw = ds.variables[0].frames.slice_axis(0, 0, 2);
+        let (norm, _, _) = frames_raw.normalize_mean_range();
+        let frames = norm.reshape(&[2, 1, 16, 16]);
+
+        let untrained = Vae::new(VaeConfig::tiny());
+        let err_untrained = mse(&frames, &untrained.reconstruct(&frames));
+
+        let mut trainer = VaeTrainer::new(VaeConfig::tiny(), 16, 2);
+        trainer.train(&ds.variables, 150);
+        let trained = trainer.into_model();
+        let err_trained = mse(&frames, &trained.reconstruct(&frames));
+
+        assert!(
+            err_trained < err_untrained,
+            "training did not help: {err_trained} vs {err_untrained}"
+        );
+    }
+}

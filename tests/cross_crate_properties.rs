@@ -1,0 +1,111 @@
+//! Property-based integration tests spanning several crates: whatever the
+//! keyframe strategy, block geometry or error target, the pipeline's core
+//! invariants must hold.
+
+use gld_core::{ErrorBoundConfig, KeyframeStrategy, PcaErrorBound};
+use gld_datasets::blocks::{block_to_nchw, nchw_to_block};
+use gld_datasets::{generate, DatasetKind, FieldSpec};
+use gld_diffusion::FramePartition;
+use gld_tensor::stats::nrmse;
+use gld_tensor::{Tensor, TensorRng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn keyframe_partitions_are_always_valid(
+        n in 4usize..32,
+        interval in 2usize..8,
+        pred_count in 1usize..8,
+    ) {
+        for strategy in [
+            KeyframeStrategy::Interpolation { interval },
+            KeyframeStrategy::Prediction { count: pred_count },
+            KeyframeStrategy::Mixed { count: pred_count.max(2) },
+        ] {
+            let partition = strategy.partition(n);
+            prop_assert_eq!(partition.total, n);
+            prop_assert!(partition.num_generated() > 0);
+            prop_assert!(partition.num_conditioning() > 0);
+            let mut all: Vec<usize> = partition
+                .conditioning
+                .iter()
+                .chain(partition.generated.iter())
+                .copied()
+                .collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn error_bound_module_always_meets_nrmse_targets(
+        seed in 0u64..400,
+        noise in 0.01f32..2.0,
+        target_exp in -4i32..-1,
+    ) {
+        let mut rng = TensorRng::new(seed);
+        let original = rng.randn(&[4, 8, 8]).scale(5.0);
+        let recon = original.add(&rng.randn(&[4, 8, 8]).scale(noise));
+        let target = 10f32.powi(target_exp);
+        let module = PcaErrorBound::new(ErrorBoundConfig { chunk: 16 });
+        let tau = PcaErrorBound::tau_for_nrmse(&original, target);
+        let (corrected, aux, _) = module.apply(&original, &recon, tau);
+        prop_assert!(nrmse(&original, &corrected) <= target * 1.01);
+        let replay = module.apply_from_aux(&recon, &aux);
+        prop_assert!(replay.sub(&corrected).abs().max() < 1e-3);
+    }
+
+    #[test]
+    fn splice_then_partition_roundtrip(seed in 0u64..200, n in 3usize..10) {
+        let mut rng = TensorRng::new(seed);
+        let clean = rng.randn(&[n, 2, 4, 4]);
+        let noisy = rng.randn(&[n, 2, 4, 4]);
+        let strategy = KeyframeStrategy::Interpolation { interval: 3 };
+        let partition: FramePartition = strategy.partition(n);
+        let spliced = gld_diffusion::model::splice_frames(&noisy, &clean, &partition);
+        // Conditioning frames come from `clean`, generated frames from `noisy`.
+        for &c in &partition.conditioning {
+            prop_assert_eq!(spliced.index_select(0, &[c]), clean.index_select(0, &[c]));
+        }
+        for &g in &partition.generated {
+            prop_assert_eq!(spliced.index_select(0, &[g]), noisy.index_select(0, &[g]));
+        }
+    }
+
+    #[test]
+    fn block_layout_conversions_are_inverses(seed in 0u64..200, n in 1usize..6) {
+        let mut rng = TensorRng::new(seed);
+        let block = rng.randn(&[n, 8, 8]);
+        prop_assert_eq!(nchw_to_block(&block_to_nchw(&block)), block);
+    }
+}
+
+#[test]
+fn normalization_metadata_preserves_extreme_dynamic_range() {
+    // Values spanning many orders of magnitude (the E3SM regime) survive the
+    // per-frame normalisation round trip used throughout the pipeline.
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(4, 8, 16, 16), 5);
+    for variable in &ds.variables {
+        let frames = &variable.frames;
+        let mut frames_norm = Vec::new();
+        let mut params = Vec::new();
+        for t in 0..frames.dim(0) {
+            let f = frames.slice_axis(0, t, t + 1);
+            let (n, mean, range) = f.normalize_mean_range();
+            frames_norm.push(n);
+            params.push((mean, range));
+        }
+        let refs: Vec<&Tensor> = frames_norm.iter().collect();
+        let stacked = Tensor::concat(&refs, 0);
+        let mut rebuilt = Vec::new();
+        for (t, &(mean, range)) in params.iter().enumerate() {
+            rebuilt.push(stacked.slice_axis(0, t, t + 1).denormalize_mean_range(mean, range));
+        }
+        let refs: Vec<&Tensor> = rebuilt.iter().collect();
+        let back = Tensor::concat(&refs, 0);
+        let err = nrmse(frames, &back);
+        assert!(err < 1e-6, "variable {} round-trip NRMSE {err}", variable.name);
+    }
+}

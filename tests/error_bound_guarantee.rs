@@ -1,0 +1,73 @@
+//! Integration test for the paper's central reliability claim (§3.5): no
+//! matter how well or badly the learned pipeline reconstructs, the PCA
+//! post-processing step must always deliver the requested error bound, and
+//! the auxiliary stream must be decodable on the decoder side.
+
+use gld_core::{ErrorBoundConfig, GldCompressor, GldConfig, GldTrainingBudget, PcaErrorBound};
+use gld_datasets::{generate, DatasetKind, FieldSpec};
+use gld_tensor::stats::nrmse;
+use gld_tensor::TensorRng;
+
+#[test]
+fn bound_holds_across_targets_and_datasets() {
+    let spec = FieldSpec::tiny();
+    let budget = GldTrainingBudget {
+        vae_steps: 80,
+        diffusion_steps: 80,
+        fine_tune_steps: 0,
+        fine_tune_schedule: 16,
+    };
+    for kind in [DatasetKind::E3sm, DatasetKind::Jhtdb] {
+        let ds = generate(kind, &spec, 53);
+        let config = GldConfig::tiny();
+        let compressor = GldCompressor::train(config, &ds.variables, budget);
+        let block = ds.variables[0].frames.slice_axis(0, 0, config.block_frames);
+        for target in [2e-2f32, 5e-3, 1e-3] {
+            let compressed = compressor.compress_block(&block, Some(target));
+            let recon = compressor.decompress_block(&compressed);
+            let achieved = nrmse(&block, &recon);
+            assert!(
+                achieved <= target * 1.01,
+                "{kind:?} target {target}: achieved {achieved}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bound_holds_even_for_a_deliberately_bad_reconstruction() {
+    // The module must rescue an arbitrarily poor reconstruction; the cost is
+    // only a larger auxiliary stream.
+    let mut rng = TensorRng::new(99);
+    let original = rng.randn(&[8, 16, 16]).scale(100.0);
+    let garbage = rng.randn(&[8, 16, 16]); // uncorrelated with the original
+    let module = PcaErrorBound::new(ErrorBoundConfig::default());
+    let tau = PcaErrorBound::tau_for_nrmse(&original, 1e-3);
+    let (corrected, aux, outcome) = module.apply(&original, &garbage, tau);
+    assert!(nrmse(&original, &corrected) <= 1e-3 * 1.01);
+    assert!(outcome.coefficients > 0);
+    // Decoder-side replay matches the encoder-side corrected result.
+    let replay = module.apply_from_aux(&garbage, &aux);
+    assert!(replay.sub(&corrected).abs().max() < 1e-4);
+}
+
+#[test]
+fn aux_stream_size_scales_with_reconstruction_quality() {
+    // A better starting reconstruction needs a smaller correction stream —
+    // the property that makes "learned compressor + guarantee" worthwhile at
+    // all compared to coding the residual from scratch.
+    let mut rng = TensorRng::new(7);
+    let original = rng.randn(&[8, 16, 16]).scale(10.0);
+    let good = original.add(&rng.randn(&[8, 16, 16]).scale(0.1));
+    let bad = original.add(&rng.randn(&[8, 16, 16]).scale(3.0));
+    let module = PcaErrorBound::new(ErrorBoundConfig::default());
+    let tau = PcaErrorBound::tau_for_nrmse(&original, 2e-3);
+    let (_, aux_good, _) = module.apply(&original, &good, tau);
+    let (_, aux_bad, _) = module.apply(&original, &bad, tau);
+    assert!(
+        aux_good.len() < aux_bad.len(),
+        "good recon aux {} should be smaller than bad recon aux {}",
+        aux_good.len(),
+        aux_bad.len()
+    );
+}
