@@ -67,7 +67,8 @@ fn lorenzo_predict(
     };
     let (i, j, k) = (i as isize, j as isize, k as isize);
     let _ = d0;
-    at(i - 1, j, k) + at(i, j - 1, k) + at(i, j, k - 1) - at(i - 1, j - 1, k)
+    at(i - 1, j, k) + at(i, j - 1, k) + at(i, j, k - 1)
+        - at(i - 1, j - 1, k)
         - at(i - 1, j, k - 1)
         - at(i, j - 1, k - 1)
         + at(i - 1, j - 1, k - 1)
@@ -140,8 +141,7 @@ impl ErrorBoundedCompressor for SzCompressor {
     fn decompress(&self, bytes: &[u8]) -> Tensor {
         let (header, mut off) = BlockHeader::read(bytes);
         assert_eq!(header.codec, Codec::SzLike, "not an SZ3-like stream");
-        let model_len =
-            u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        let model_len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
         off += 4;
         let (model, used) = HistogramModel::from_bytes(&bytes[off..off + model_len]);
         assert_eq!(used, model_len);
@@ -220,7 +220,10 @@ mod tests {
         let sz = SzCompressor::new();
         let loose = sz.compress(frames, 1e-2 * range).len();
         let tight = sz.compress(frames, 1e-4 * range).len();
-        assert!(loose < tight, "loose {loose} should be smaller than tight {tight}");
+        assert!(
+            loose < tight,
+            "loose {loose} should be smaller than tight {tight}"
+        );
     }
 
     #[test]

@@ -60,8 +60,7 @@ fn dct4_basis() -> [[f32; 4]; 4] {
             (2.0f32 / 4.0).sqrt()
         };
         for (n, v) in row.iter_mut().enumerate() {
-            *v = scale
-                * ((std::f32::consts::PI / 4.0) * (n as f32 + 0.5) * k as f32).cos();
+            *v = scale * ((std::f32::consts::PI / 4.0) * (n as f32 + 0.5) * k as f32).cos();
         }
     }
     m
@@ -128,7 +127,11 @@ impl ErrorBoundedCompressor for ZfpLikeCompressor {
     fn compress(&self, data: &Tensor, abs_error: f32) -> Vec<u8> {
         assert!(abs_error > 0.0, "absolute error bound must be positive");
         let (d0, d1, d2) = Self::as_volume_dims(data.dims());
-        let (p0, p1, p2) = (d0.div_ceil(BLOCK) * BLOCK, d1.div_ceil(BLOCK) * BLOCK, d2.div_ceil(BLOCK) * BLOCK);
+        let (p0, p1, p2) = (
+            d0.div_ceil(BLOCK) * BLOCK,
+            d1.div_ceil(BLOCK) * BLOCK,
+            d2.div_ceil(BLOCK) * BLOCK,
+        );
         let src = data.data();
         // Pad by edge replication so padding does not create artificial
         // discontinuities (wasted bits).
@@ -200,7 +203,11 @@ impl ErrorBoundedCompressor for ZfpLikeCompressor {
         let stream = &bytes[off..off + stream_len];
 
         let (d0, d1, d2) = Self::as_volume_dims(&header.dims);
-        let (p0, p1, p2) = (d0.div_ceil(BLOCK) * BLOCK, d1.div_ceil(BLOCK) * BLOCK, d2.div_ceil(BLOCK) * BLOCK);
+        let (p0, p1, p2) = (
+            d0.div_ceil(BLOCK) * BLOCK,
+            d1.div_ceil(BLOCK) * BLOCK,
+            d2.div_ceil(BLOCK) * BLOCK,
+        );
         let step = header.abs_error / ERROR_AMPLIFICATION;
         let mut dec = ArithmeticDecoder::new(stream);
         let mut recon = vec![0.0f32; d0 * d1 * d2];
@@ -252,7 +259,10 @@ mod tests {
             for j in 0..4 {
                 let dot: f32 = (0..4).map(|k| b[i][k] * b[j][k]).sum();
                 let expected = if i == j { 1.0 } else { 0.0 };
-                assert!((dot - expected).abs() < 1e-5, "basis not orthonormal at ({i},{j})");
+                assert!(
+                    (dot - expected).abs() < 1e-5,
+                    "basis not orthonormal at ({i},{j})"
+                );
             }
         }
     }
@@ -281,8 +291,14 @@ mod tests {
             let eb = 1e-2 * range;
             let (recon, size) = zfp.roundtrip(frames, eb);
             let err = max_abs_error(frames, &recon);
-            assert!(err <= eb * 1.0001, "error {err} exceeds bound {eb} on {kind:?}");
-            assert!(compression_ratio(frames, size) > 1.0, "no compression on {kind:?}");
+            assert!(
+                err <= eb * 1.0001,
+                "error {err} exceeds bound {eb} on {kind:?}"
+            );
+            assert!(
+                compression_ratio(frames, size) > 1.0,
+                "no compression on {kind:?}"
+            );
         }
     }
 
@@ -294,7 +310,10 @@ mod tests {
             let data = rng.randn(&dims).scale(3.0);
             let (recon, _) = zfp.roundtrip(&data, 0.05);
             assert_eq!(recon.dims(), data.dims());
-            assert!(max_abs_error(&data, &recon) <= 0.05 * 1.0001, "dims {dims:?}");
+            assert!(
+                max_abs_error(&data, &recon) <= 0.05 * 1.0001,
+                "dims {dims:?}"
+            );
         }
     }
 

@@ -10,7 +10,10 @@ use gld_tensor::stats::nrmse;
 fn main() {
     let dataset = generate(DatasetKind::E3sm, &bench_spec(), 2025);
     let strategies = [
-        ("interpolation", KeyframeStrategy::Interpolation { interval: 3 }),
+        (
+            "interpolation",
+            KeyframeStrategy::Interpolation { interval: 3 },
+        ),
         ("prediction", KeyframeStrategy::Prediction { count: 6 }),
         ("mixed", KeyframeStrategy::Mixed { count: 6 }),
     ];

@@ -1,59 +1,24 @@
 //! Regenerates Figure 3 (a/b/c): compression-ratio vs NRMSE curves for the
 //! proposed method, the learned baselines (VAE-SR, CDC-X, CDC-ε, GCD) and
 //! the rule-based baselines (SZ3-like, ZFP-like) on the three synthetic
-//! datasets.  Every learned method shares the same PCA error-bound
-//! post-processing, exactly as in the paper's evaluation protocol (§4.1).
+//! datasets.
+//!
+//! Every compressor is driven through the unified [`Codec`] interface:
+//! [`Codec::compress_dataset`] tiles each variable into temporal blocks,
+//! compresses them in parallel into binary containers, and returns shared
+//! ratio/NRMSE accounting — the measured container size *is* the reported
+//! size.  The learned methods share the PCA error-bound post-processing
+//! inside their `Codec` impls, exactly as in the paper's protocol (§4.1).
 
-use gld_baselines::{ErrorBoundedCompressor, SzCompressor, ZfpLikeCompressor};
-use gld_bench::{train_on, write_result};
-use gld_core::{
-    ErrorBoundConfig, LearnedBaseline, LearnedBaselineKind, PcaErrorBound, RateSweep,
-};
-use gld_datasets::blocks::temporal_windows;
+use gld_baselines::{SzCompressor, ZfpLikeCompressor};
+use gld_bench::{codec_sweep as sweep, train_on, write_result};
+use gld_core::{LearnedBaseline, LearnedBaselineKind, RateSweep};
 use gld_datasets::DatasetKind;
-use gld_tensor::stats::nrmse;
-use gld_tensor::Tensor;
 
 /// NRMSE targets swept for the learned methods.
 const NRMSE_TARGETS: [f32; 4] = [2e-2, 1e-2, 5e-3, 2e-3];
-/// Relative (range-scaled) point-wise bounds swept for the rule-based codecs.
+/// Relative (range-scaled) bounds swept for the rule-based codecs.
 const REL_BOUNDS: [f32; 4] = [5e-2, 2e-2, 1e-2, 5e-3];
-
-fn learned_sweep(
-    name: &str,
-    dataset: &str,
-    blocks: &[Tensor],
-    compress: &dyn Fn(&Tensor) -> Vec<u8>,
-    decompress: &dyn Fn(&[u8]) -> Tensor,
-) -> RateSweep {
-    let module = PcaErrorBound::new(ErrorBoundConfig::default());
-    let mut sweep = RateSweep::new(name, dataset);
-    for &target in &NRMSE_TARGETS {
-        let mut orig_bytes = 0usize;
-        let mut comp_bytes = 0usize;
-        let mut sq = 0.0f64;
-        let mut count = 0usize;
-        let mut lo = f32::INFINITY;
-        let mut hi = f32::NEG_INFINITY;
-        for block in blocks {
-            let bytes = compress(block);
-            let recon = decompress(&bytes);
-            let tau = PcaErrorBound::tau_for_nrmse(block, target);
-            let (corrected, aux, _) = module.apply(block, &recon, tau);
-            orig_bytes += block.numel() * 4;
-            comp_bytes += bytes.len() + aux.len();
-            for (a, b) in block.data().iter().zip(corrected.data()) {
-                sq += ((a - b) as f64).powi(2);
-            }
-            count += block.numel();
-            lo = lo.min(block.min());
-            hi = hi.max(block.max());
-        }
-        let err = ((sq / count as f64).sqrt() as f32) / (hi - lo).max(1e-30);
-        sweep.push(orig_bytes as f64 / comp_bytes as f64, err);
-    }
-    sweep
-}
 
 fn main() {
     let mut csv = String::from("dataset,method,compression_ratio,nrmse\n");
@@ -61,84 +26,24 @@ fn main() {
         println!("=== Figure 3 — {} ===", kind.name());
         let (compressor, dataset) = train_on(kind, 31 + kind as u64);
         let n = compressor.config().block_frames;
-        let blocks: Vec<Tensor> = dataset
-            .variables
-            .iter()
-            .flat_map(|v| temporal_windows(v, n).into_iter().map(|w| w.data))
+
+        let sz = SzCompressor::new();
+        let zfp = ZfpLikeCompressor::new();
+        let learned: Vec<LearnedBaseline<'_>> = LearnedBaselineKind::all()
+            .into_iter()
+            .map(|bkind| LearnedBaseline::new(bkind, compressor.vae(), None))
             .collect();
 
         let mut sweeps: Vec<RateSweep> = Vec::new();
-
-        // Ours: keyframe latents + latent diffusion + error bound.
-        let mut ours = RateSweep::new("Ours", kind.name());
-        for &target in &NRMSE_TARGETS {
-            let mut orig = 0usize;
-            let mut comp = 0usize;
-            let mut sq = 0.0f64;
-            let mut count = 0usize;
-            let mut lo = f32::INFINITY;
-            let mut hi = f32::NEG_INFINITY;
-            for block in &blocks {
-                let c = compressor.compress_block(block, Some(target));
-                let recon = compressor.decompress_block(&c);
-                orig += c.original_bytes();
-                comp += c.total_bytes();
-                for (a, b) in block.data().iter().zip(recon.data()) {
-                    sq += ((a - b) as f64).powi(2);
-                }
-                count += block.numel();
-                lo = lo.min(block.min());
-                hi = hi.max(block.max());
-            }
-            let err = ((sq / count as f64).sqrt() as f32) / (hi - lo).max(1e-30);
-            ours.push(orig as f64 / comp as f64, err);
+        sweeps.push(sweep(&compressor, &dataset, n, &NRMSE_TARGETS));
+        for baseline in &learned {
+            sweeps.push(sweep(baseline, &dataset, n, &NRMSE_TARGETS));
         }
-        sweeps.push(ours);
-
-        // Learned baselines sharing the trained VAE.
-        for bkind in LearnedBaselineKind::all() {
-            let baseline = LearnedBaseline::new(bkind, compressor.vae(), None);
-            sweeps.push(learned_sweep(
-                bkind.name(),
-                kind.name(),
-                &blocks,
-                &|b| baseline.compress(b),
-                &|bytes| baseline.decompress(bytes),
-            ));
-        }
-
-        // Rule-based baselines (point-wise error bound sweep).
-        for (name, codec) in [
-            ("SZ3-like", &SzCompressor::new() as &dyn ErrorBoundedCompressor),
-            ("ZFP-like", &ZfpLikeCompressor::new() as &dyn ErrorBoundedCompressor),
-        ] {
-            let mut sweep = RateSweep::new(name, kind.name());
-            for &rel in &REL_BOUNDS {
-                let mut orig = 0usize;
-                let mut comp = 0usize;
-                let mut sq = 0.0f64;
-                let mut count = 0usize;
-                let mut lo = f32::INFINITY;
-                let mut hi = f32::NEG_INFINITY;
-                for block in &blocks {
-                    let range = block.max() - block.min();
-                    let (recon, size) = codec.roundtrip(block, rel * range);
-                    orig += block.numel() * 4;
-                    comp += size;
-                    sq += (nrmse(block, &recon) as f64).powi(2) * block.numel() as f64;
-                    count += block.numel();
-                    lo = lo.min(block.min());
-                    hi = hi.max(block.max());
-                }
-                let _ = (lo, hi);
-                let err = (sq / count as f64).sqrt() as f32;
-                sweep.push(orig as f64 / comp as f64, err);
-            }
-            sweeps.push(sweep);
-        }
+        sweeps.push(sweep(&sz, &dataset, n, &REL_BOUNDS));
+        sweeps.push(sweep(&zfp, &dataset, n, &REL_BOUNDS));
 
         // Report.
-        println!("{:<10} {}", "method", "points (ratio @ NRMSE)");
+        println!("{:<10} points (ratio @ NRMSE)", "method");
         for sweep in &sweeps {
             let pts: Vec<String> = sweep
                 .points

@@ -15,9 +15,7 @@ fn main() {
     let full_steps = config.diffusion.train_steps;
     let step_counts = [full_steps, 128, 32, 8, 2, 1];
 
-    println!(
-        "Figure 5 — denoising-step ablation (S3D-like), training schedule T = {full_steps}\n"
-    );
+    println!("Figure 5 — denoising-step ablation (S3D-like), training schedule T = {full_steps}\n");
     let mut compressor = GldCompressor::train(config, &dataset.variables, bench_budget());
 
     let mut csv = String::from("steps,compression_ratio,nrmse\n");

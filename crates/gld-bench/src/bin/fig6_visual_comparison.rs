@@ -64,7 +64,14 @@ fn main() {
     // Ours.
     let compressed = compressor.compress_block(&block, Some(target));
     let recon = compressor.decompress_block(&compressed);
-    report("Ours", &dir, &block, &recon, frame_idx, compressed.compression_ratio());
+    report(
+        "Ours",
+        &dir,
+        &block,
+        &recon,
+        frame_idx,
+        compressed.compression_ratio(),
+    );
 
     // Learned baselines.
     for kind in [LearnedBaselineKind::VaeSr, LearnedBaselineKind::CdcX] {
@@ -80,8 +87,14 @@ fn main() {
     // Rule-based baselines at a matched point-wise bound.
     let range = block.max() - block.min();
     for (name, codec) in [
-        ("SZ3-like", &SzCompressor::new() as &dyn ErrorBoundedCompressor),
-        ("ZFP-like", &ZfpLikeCompressor::new() as &dyn ErrorBoundedCompressor),
+        (
+            "SZ3-like",
+            &SzCompressor::new() as &dyn ErrorBoundedCompressor,
+        ),
+        (
+            "ZFP-like",
+            &ZfpLikeCompressor::new() as &dyn ErrorBoundedCompressor,
+        ),
     ] {
         let (recon, size) = codec.roundtrip(&block, target * range);
         let ratio = (block.numel() * 4) as f64 / size as f64;
@@ -90,10 +103,23 @@ fn main() {
     println!("PGM images written under {}", dir.display());
 }
 
-fn report(name: &str, dir: &std::path::Path, block: &Tensor, recon: &Tensor, frame_idx: usize, ratio: f64) {
+fn report(
+    name: &str,
+    dir: &std::path::Path,
+    block: &Tensor,
+    recon: &Tensor,
+    frame_idx: usize,
+    ratio: f64,
+) {
     let frame = recon.slice_axis(0, frame_idx, frame_idx + 1).squeeze(0);
     let err = nrmse(block, recon);
-    let file = dir.join(format!("{}.pgm", name.to_lowercase().replace(['-', ' '], "_")));
+    let file = dir.join(format!(
+        "{}.pgm",
+        name.to_lowercase().replace(['-', ' '], "_")
+    ));
     write_pgm(&file, &frame);
-    println!("{name:<10} ratio {ratio:7.1}x  NRMSE {err:.3e}\n{}", ascii_zoom(&frame));
+    println!(
+        "{name:<10} ratio {ratio:7.1}x  NRMSE {err:.3e}\n{}",
+        ascii_zoom(&frame)
+    );
 }

@@ -2,17 +2,17 @@
 //! improvement of the proposed method over the best rule-based compressor
 //! (SZ3) and over the strongest learned baseline (VAE-SR) at matched NRMSE,
 //! per dataset.  The paper reports 4–10× over SZ3 and 20–63% over VAE-SR.
+//!
+//! All three methods run through the unified [`Codec`] interface with shared
+//! container-based accounting.
 
-use gld_baselines::{ErrorBoundedCompressor, SzCompressor};
-use gld_bench::{train_on, write_result};
-use gld_core::{
-    ErrorBoundConfig, LearnedBaseline, LearnedBaselineKind, PcaErrorBound, RateSweep,
-};
-use gld_datasets::blocks::temporal_windows;
+use gld_baselines::SzCompressor;
+use gld_bench::{codec_sweep as sweep, train_on, write_result};
+use gld_core::{LearnedBaseline, LearnedBaselineKind};
 use gld_datasets::DatasetKind;
-use gld_tensor::Tensor;
 
 const NRMSE_TARGETS: [f32; 4] = [2e-2, 1e-2, 5e-3, 2e-3];
+const SZ_REL_BOUNDS: [f32; 5] = [5e-2, 2e-2, 1e-2, 5e-3, 2e-3];
 const MATCH_NRMSE: f32 = 1e-2;
 
 fn main() {
@@ -25,90 +25,26 @@ fn main() {
     for kind in DatasetKind::all() {
         let (compressor, dataset) = train_on(kind, 808 + kind as u64);
         let n = compressor.config().block_frames;
-        let blocks: Vec<Tensor> = dataset
-            .variables
-            .iter()
-            .flat_map(|v| temporal_windows(v, n).into_iter().map(|w| w.data))
-            .collect();
 
-        // Ours.
-        let mut ours = RateSweep::new("Ours", kind.name());
-        for &target in &NRMSE_TARGETS {
-            let (mut orig, mut comp, mut sq, mut count) = (0usize, 0usize, 0.0f64, 0usize);
-            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
-            for block in &blocks {
-                let c = compressor.compress_block(block, Some(target));
-                let recon = compressor.decompress_block(&c);
-                orig += c.original_bytes();
-                comp += c.total_bytes();
-                for (a, b) in block.data().iter().zip(recon.data()) {
-                    sq += ((a - b) as f64).powi(2);
-                }
-                count += block.numel();
-                lo = lo.min(block.min());
-                hi = hi.max(block.max());
-            }
-            ours.push(
-                orig as f64 / comp as f64,
-                ((sq / count as f64).sqrt() as f32) / (hi - lo).max(1e-30),
-            );
-        }
-
-        // VAE-SR baseline (per-frame latents + same post-processing).
-        let module = PcaErrorBound::new(ErrorBoundConfig::default());
         let vaesr = LearnedBaseline::new(LearnedBaselineKind::VaeSr, compressor.vae(), None);
-        let mut vaesr_sweep = RateSweep::new("VAE-SR", kind.name());
-        for &target in &NRMSE_TARGETS {
-            let (mut orig, mut comp, mut sq, mut count) = (0usize, 0usize, 0.0f64, 0usize);
-            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
-            for block in &blocks {
-                let bytes = vaesr.compress(block);
-                let recon = vaesr.decompress(&bytes);
-                let tau = PcaErrorBound::tau_for_nrmse(block, target);
-                let (corrected, aux, _) = module.apply(block, &recon, tau);
-                orig += block.numel() * 4;
-                comp += bytes.len() + aux.len();
-                for (a, b) in block.data().iter().zip(corrected.data()) {
-                    sq += ((a - b) as f64).powi(2);
-                }
-                count += block.numel();
-                lo = lo.min(block.min());
-                hi = hi.max(block.max());
-            }
-            vaesr_sweep.push(
-                orig as f64 / comp as f64,
-                ((sq / count as f64).sqrt() as f32) / (hi - lo).max(1e-30),
-            );
-        }
-
-        // SZ3-like baseline (relative point-wise bound sweep).
         let sz = SzCompressor::new();
-        let mut sz_sweep = RateSweep::new("SZ3-like", kind.name());
-        for &rel in &[5e-2f32, 2e-2, 1e-2, 5e-3, 2e-3] {
-            let (mut orig, mut comp, mut sq, mut count) = (0usize, 0usize, 0.0f64, 0usize);
-            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
-            for block in &blocks {
-                let range = block.max() - block.min();
-                let (recon, size) = sz.roundtrip(block, rel * range);
-                orig += block.numel() * 4;
-                comp += size;
-                for (a, b) in block.data().iter().zip(recon.data()) {
-                    sq += ((a - b) as f64).powi(2);
-                }
-                count += block.numel();
-                lo = lo.min(block.min());
-                hi = hi.max(block.max());
-            }
-            sz_sweep.push(
-                orig as f64 / comp as f64,
-                ((sq / count as f64).sqrt() as f32) / (hi - lo).max(1e-30),
-            );
-        }
+
+        let ours = sweep(&compressor, &dataset, n, &NRMSE_TARGETS);
+        let vaesr_sweep = sweep(&vaesr, &dataset, n, &NRMSE_TARGETS);
+        let sz_sweep = sweep(&sz, &dataset, n, &SZ_REL_BOUNDS);
 
         let vs_sz = ours.improvement_over(&sz_sweep, MATCH_NRMSE);
         let vs_vaesr = ours.improvement_over(&vaesr_sweep, MATCH_NRMSE);
-        let fmt = |v: Option<f64>| v.map(|x| format!("{x:.2}x")).unwrap_or_else(|| "n/a".into());
-        println!("{:<10} {:>16} {:>16}", kind.name(), fmt(vs_sz), fmt(vs_vaesr));
+        let fmt = |v: Option<f64>| {
+            v.map(|x| format!("{x:.2}x"))
+                .unwrap_or_else(|| "n/a".into())
+        };
+        println!(
+            "{:<10} {:>16} {:>16}",
+            kind.name(),
+            fmt(vs_sz),
+            fmt(vs_vaesr)
+        );
         csv.push_str(&format!(
             "{},{},{}\n",
             kind.name(),

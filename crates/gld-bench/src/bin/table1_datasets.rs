@@ -9,7 +9,12 @@ fn main() {
     println!("Table 1 — Datasets Information (paper vs synthetic stand-in)\n");
     println!(
         "{:<22} {:<12} {:<26} {:>12} | {:<26} {:>12}",
-        "Application", "Domain", "Paper dimensions", "Paper size", "Synthetic dimensions", "Synth size"
+        "Application",
+        "Domain",
+        "Paper dimensions",
+        "Paper size",
+        "Synthetic dimensions",
+        "Synth size"
     );
     let mut csv = String::from("application,domain,paper_dims,paper_size,synth_dims,synth_size\n");
     for (paper, synth) in table1_rows(&spec) {

@@ -5,9 +5,12 @@
 //! latent-space diffusion (Ours) decodes far faster than data-space
 //! diffusion (CDC/GCD analogues), and fewer denoising steps decode
 //! proportionally faster.
+//!
+//! Every method is timed through the unified [`Codec`] interface — one
+//! compress/decompress call path, byte frames in, byte frames out.
 
 use gld_bench::{train_on, write_result};
-use gld_core::{LearnedBaseline, LearnedBaselineKind};
+use gld_core::{Codec, LearnedBaseline, LearnedBaselineKind};
 use gld_datasets::DatasetKind;
 use gld_diffusion::{ConditionalDiffusion, DiffusionConfig};
 use gld_tensor::Tensor;
@@ -25,11 +28,34 @@ fn time<F: FnMut()>(mut f: F, repeats: usize) -> f64 {
     start.elapsed().as_secs_f64() / repeats as f64
 }
 
+/// Times one codec through the trait: returns `(encode MB/s, decode MB/s)`.
+fn throughput(
+    codec: &dyn Codec,
+    block: &Tensor,
+    enc_repeats: usize,
+    dec_repeats: usize,
+) -> (f64, f64) {
+    let raw_mb = mb(block.numel() * 4);
+    let frame = codec.compress_block(block, None);
+    let enc = time(
+        || {
+            let _ = codec.compress_block(block, None);
+        },
+        enc_repeats,
+    );
+    let dec = time(
+        || {
+            let _ = codec.decompress_block(&frame);
+        },
+        dec_repeats,
+    );
+    (raw_mb / enc, raw_mb / dec)
+}
+
 fn main() {
     let (mut compressor, dataset) = train_on(DatasetKind::S3d, 707);
     let n = compressor.config().block_frames;
     let block: Tensor = dataset.variables[0].frames.slice_axis(0, 0, n);
-    let raw_mb = mb(block.numel() * 4);
     // Data-space refinement model used by the CDC/GCD analogues (pixel-space
     // diffusion: same architecture, 1 input channel, full resolution).
     let refiner = ConditionalDiffusion::new(DiffusionConfig {
@@ -42,7 +68,10 @@ fn main() {
     });
 
     println!("Table 2 — encode/decode throughput (single-core CPU, MB/s)\n");
-    println!("{:<22} {:>18} {:>18}", "method", "encode (MB/s)", "decode (MB/s)");
+    println!(
+        "{:<22} {:>18} {:>18}",
+        "method", "encode (MB/s)", "decode (MB/s)"
+    );
     let mut csv = String::from("method,encode_mbps,decode_mbps\n");
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
 
@@ -54,19 +83,15 @@ fn main() {
         LearnedBaselineKind::Gcd,
     ] {
         let baseline = LearnedBaseline::new(kind, compressor.vae(), Some(&refiner));
-        let bytes = baseline.compress(&block);
-        let enc = time(|| { let _ = baseline.compress(&block); }, 2);
-        let dec = time(|| { let _ = baseline.decompress(&bytes); }, 1);
-        rows.push((kind.name().to_string(), raw_mb / enc, raw_mb / dec));
+        let (enc, dec) = throughput(&baseline, &block, 2, 1);
+        rows.push((baseline.kind().name().to_string(), enc, dec));
     }
 
     // Ours at several denoising-step counts.
     for steps in [128usize, 32, 8] {
         compressor.set_denoising_steps(steps);
-        let compressed = compressor.compress_block(&block, None);
-        let enc = time(|| { let _ = compressor.compress_block(&block, None); }, 1);
-        let dec = time(|| { let _ = compressor.decompress_block(&compressed); }, 1);
-        rows.push((format!("Ours-{steps} steps"), raw_mb / enc, raw_mb / dec));
+        let (enc, dec) = throughput(&compressor, &block, 1, 1);
+        rows.push((format!("Ours-{steps} steps"), enc, dec));
     }
 
     for (name, enc, dec) in &rows {

@@ -22,11 +22,36 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use gld_core::{GldCompressor, GldConfig, GldTrainingBudget, KeyframeStrategy};
+use gld_core::{
+    Codec, ErrorTarget, GldCompressor, GldConfig, GldTrainingBudget, KeyframeStrategy, RateSweep,
+};
 use gld_datasets::{generate, DatasetKind, FieldSpec, ScientificDataset};
 use gld_diffusion::DiffusionConfig;
 use gld_vae::VaeConfig;
 use std::path::{Path, PathBuf};
+
+/// Sweeps one codec over a dataset through the unified [`Codec`] interface:
+/// one [`gld_core::Container`]-accounted `compress_dataset` call per NRMSE
+/// target, collected into a labelled rate–distortion curve.  Shared by the
+/// Figure 3 and headline-claims binaries so both compute their curves
+/// identically.
+pub fn codec_sweep(
+    codec: &dyn Codec,
+    dataset: &ScientificDataset,
+    block_frames: usize,
+    targets: &[f32],
+) -> RateSweep {
+    let mut sweep = RateSweep::new(codec.name(), dataset.kind.name());
+    for &target in targets {
+        let (_, stats) = codec.compress_dataset(
+            &dataset.variables,
+            block_frames,
+            Some(ErrorTarget::Nrmse(target)),
+        );
+        sweep.push(stats.compression_ratio, stats.nrmse);
+    }
+    sweep
+}
 
 /// Dataset spec used by the figure/table binaries: 2 variables, 32 frames of
 /// 16×16.  Two complete N = 16 blocks per variable — small enough that the
@@ -61,6 +86,7 @@ pub fn bench_config() -> GldConfig {
         strategy: KeyframeStrategy::Interpolation { interval: 3 },
         denoising_steps: 8,
         error_bound: Default::default(),
+        seed: 0x6E1D_5EED,
     }
 }
 
@@ -126,6 +152,9 @@ mod tests {
 
     #[test]
     fn format_point_is_stable() {
-        assert_eq!(format_point(123.456, 1.5e-3), "CR    123.5x @ NRMSE 1.500e-3");
+        assert_eq!(
+            format_point(123.456, 1.5e-3),
+            "CR    123.5x @ NRMSE 1.500e-3"
+        );
     }
 }

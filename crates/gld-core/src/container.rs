@@ -1,0 +1,384 @@
+//! Framed binary container for compressed variables.
+//!
+//! Every compressor in the stack emits per-block byte *frames*; a container
+//! groups the frames of one variable behind a self-describing header so that
+//! multi-block compressed output is a single `Vec<u8>` / `Write` stream whose
+//! measured length **is** the reported compressed size (Eq. 11 denominator —
+//! no hand-counted header arithmetic).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"GLDC"
+//! 4       2     format version (currently 1)
+//! 6       1     codec id (see [`CodecId`])
+//! 7       1     flags (reserved, must be 0)
+//! 8       4     block count K
+//! 12      ...   K frames, each: u64 payload length + payload bytes
+//! ```
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Container magic bytes.
+pub const MAGIC: [u8; 4] = *b"GLDC";
+
+/// Current container format version.
+pub const VERSION: u16 = 1;
+
+/// Fixed header length in bytes (magic + version + codec + flags + count).
+pub const HEADER_LEN: usize = 12;
+
+/// Identifies which compressor produced the frames in a container.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CodecId {
+    /// The generative latent diffusion compressor ("Ours").
+    Gld = 1,
+    /// SZ3-like prediction-based rule compressor.
+    SzLike = 2,
+    /// ZFP-like transform-based rule compressor.
+    ZfpLike = 3,
+    /// CDC analogue, signal-predicting variant.
+    CdcX = 4,
+    /// CDC analogue, noise-predicting variant.
+    CdcEps = 5,
+    /// GCD analogue (3-D block-based CDC).
+    Gcd = 6,
+    /// VAE with super-resolution refinement.
+    VaeSr = 7,
+}
+
+impl CodecId {
+    /// Parses a codec id byte.
+    pub fn from_u8(byte: u8) -> Result<Self, ContainerError> {
+        Ok(match byte {
+            1 => CodecId::Gld,
+            2 => CodecId::SzLike,
+            3 => CodecId::ZfpLike,
+            4 => CodecId::CdcX,
+            5 => CodecId::CdcEps,
+            6 => CodecId::Gcd,
+            7 => CodecId::VaeSr,
+            other => return Err(ContainerError::UnknownCodec(other)),
+        })
+    }
+}
+
+/// Errors produced while decoding a container or a block frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ContainerError {
+    /// The stream does not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The stream's format version is not supported by this build.
+    UnsupportedVersion(u16),
+    /// The codec id byte is not a known [`CodecId`].
+    UnknownCodec(u8),
+    /// The stream ended before the declared content.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// Bytes remained after the declared content.
+    TrailingBytes(usize),
+    /// A block frame violated its own invariants.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContainerError::BadMagic(found) => {
+                write!(f, "bad container magic {found:?}, expected {MAGIC:?}")
+            }
+            ContainerError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported container version {v}, this build reads {VERSION}"
+                )
+            }
+            ContainerError::UnknownCodec(id) => write!(f, "unknown codec id {id}"),
+            ContainerError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated stream: needed {needed} bytes, had {available}"
+                )
+            }
+            ContainerError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after container content")
+            }
+            ContainerError::Corrupt(what) => write!(f, "corrupt block frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+/// Bounds-checked little-endian reader over a byte slice, shared by the
+/// container and block-frame decoders.
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts reading at the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Takes the next `len` raw bytes.
+    pub fn take(&mut self, len: usize) -> Result<&'a [u8], ContainerError> {
+        if self.remaining() < len {
+            return Err(ContainerError::Truncated {
+                // Saturate: `len` may be a corrupt u64 length prefix near
+                // usize::MAX, and a corrupt frame must surface as an error,
+                // never as an arithmetic-overflow panic.
+                needed: self.pos.saturating_add(len),
+                available: self.bytes.len(),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self) -> Result<u8, ContainerError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&mut self) -> Result<u16, ContainerError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self) -> Result<u32, ContainerError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self) -> Result<u64, ContainerError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `f32`.
+    pub fn read_f32(&mut self) -> Result<f32, ContainerError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed byte section (`u64` length + payload).
+    pub fn read_section(&mut self) -> Result<&'a [u8], ContainerError> {
+        let len = self.read_u64()? as usize;
+        self.take(len)
+    }
+
+    /// Asserts that the whole input was consumed.
+    pub fn expect_end(&self) -> Result<(), ContainerError> {
+        if self.remaining() != 0 {
+            return Err(ContainerError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+/// Appends a length-prefixed byte section (`u64` length + payload).
+pub fn write_section(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// A decoded (or under-construction) container: codec identity plus the
+/// per-block frames, in temporal order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Container {
+    codec: CodecId,
+    blocks: Vec<Vec<u8>>,
+}
+
+impl Container {
+    /// An empty container for `codec`.
+    pub fn new(codec: CodecId) -> Self {
+        Container {
+            codec,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Wraps existing frames.
+    pub fn from_blocks(codec: CodecId, blocks: Vec<Vec<u8>>) -> Self {
+        Container { codec, blocks }
+    }
+
+    /// The codec that produced these frames.
+    pub fn codec(&self) -> CodecId {
+        self.codec
+    }
+
+    /// The frames, in temporal order.
+    pub fn blocks(&self) -> &[Vec<u8>] {
+        &self.blocks
+    }
+
+    /// Consumes the container, returning the frames.
+    pub fn into_blocks(self) -> Vec<Vec<u8>> {
+        self.blocks
+    }
+
+    /// Appends one block frame.
+    pub fn push(&mut self, frame: Vec<u8>) {
+        self.blocks.push(frame);
+    }
+
+    /// Exact size of [`Container::encode`]'s output, without encoding.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.blocks.iter().map(|b| 8 + b.len()).sum::<usize>()
+    }
+
+    /// Serialises the container to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(self.codec as u8);
+        out.push(0); // flags
+        out.extend_from_slice(&(self.blocks.len() as u32).to_le_bytes());
+        for block in &self.blocks {
+            write_section(&mut out, block);
+        }
+        debug_assert_eq!(out.len(), self.encoded_len());
+        out
+    }
+
+    /// Streams the encoded container into `writer`.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        writer.write_all(&self.encode())
+    }
+
+    /// Parses a container, validating magic, version and codec id, and
+    /// rejecting truncated or over-long input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ContainerError> {
+        let mut reader = ByteReader::new(bytes);
+        let magic: [u8; 4] = reader.take(4)?.try_into().unwrap();
+        if magic != MAGIC {
+            return Err(ContainerError::BadMagic(magic));
+        }
+        let version = reader.read_u16()?;
+        if version != VERSION {
+            return Err(ContainerError::UnsupportedVersion(version));
+        }
+        let codec = CodecId::from_u8(reader.read_u8()?)?;
+        let flags = reader.read_u8()?;
+        if flags != 0 {
+            return Err(ContainerError::Corrupt("nonzero reserved flags"));
+        }
+        let count = reader.read_u32()? as usize;
+        let mut blocks = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            blocks.push(reader.read_section()?.to_vec());
+        }
+        reader.expect_end()?;
+        Ok(Container { codec, blocks })
+    }
+
+    /// Reads and parses a container from `reader` (e.g. a file or socket).
+    pub fn read_from<R: Read>(reader: &mut R) -> std::io::Result<Result<Self, ContainerError>> {
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        Ok(Self::decode(&bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Container {
+        Container::from_blocks(
+            CodecId::Gld,
+            vec![vec![1, 2, 3], Vec::new(), vec![0xFF; 300]],
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let c = sample();
+        let bytes = c.encode();
+        assert_eq!(bytes.len(), c.encoded_len());
+        let back = Container::decode(&bytes).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_codec() {
+        let mut bytes = sample().encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Container::decode(&bytes),
+            Err(ContainerError::BadMagic(_))
+        ));
+
+        let mut bytes = sample().encode();
+        bytes[4] = 0xEE;
+        assert!(matches!(
+            Container::decode(&bytes),
+            Err(ContainerError::UnsupportedVersion(_))
+        ));
+
+        let mut bytes = sample().encode();
+        bytes[6] = 0;
+        assert_eq!(
+            Container::decode(&bytes),
+            Err(ContainerError::UnknownCodec(0))
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_garbage() {
+        let bytes = sample().encode();
+        for cut in [3, HEADER_LEN - 1, HEADER_LEN + 4, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    Container::decode(&bytes[..cut]),
+                    Err(ContainerError::Truncated { .. })
+                ),
+                "cut at {cut} not detected"
+            );
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(
+            Container::decode(&long),
+            Err(ContainerError::TrailingBytes(1))
+        );
+
+        // A corrupt u64 section length near usize::MAX must surface as a
+        // Truncated error, not an arithmetic-overflow panic (the `needed`
+        // field saturates).
+        let mut huge_len = bytes.clone();
+        huge_len[HEADER_LEN..HEADER_LEN + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Container::decode(&huge_len),
+            Err(ContainerError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn write_to_matches_encode() {
+        let c = sample();
+        let mut sink = Vec::new();
+        c.write_to(&mut sink).unwrap();
+        assert_eq!(sink, c.encode());
+        let parsed = Container::read_from(&mut sink.as_slice()).unwrap().unwrap();
+        assert_eq!(parsed, c);
+    }
+}

@@ -69,7 +69,11 @@ impl PcaErrorBound {
     /// back to the DCT basis when too few samples are provided.
     pub fn fit(config: ErrorBoundConfig, residual_samples: &Tensor) -> Self {
         assert_eq!(residual_samples.rank(), 2, "samples must be [n, chunk]");
-        assert_eq!(residual_samples.dim(1), config.chunk, "sample width mismatch");
+        assert_eq!(
+            residual_samples.dim(1),
+            config.chunk,
+            "sample width mismatch"
+        );
         if residual_samples.dim(0) < config.chunk {
             return Self::new(config);
         }
@@ -284,21 +288,23 @@ fn orthonormalize(basis: &Tensor) -> Tensor {
         .map(|j| (0..d).map(|i| basis.at(&[i, j])).collect())
         .collect();
     for j in 0..k {
-        for prev in 0..j {
-            let dot: f32 = (0..d).map(|i| cols[j][i] * cols[prev][i]).sum();
-            for i in 0..d {
-                cols[j][i] -= dot * cols[prev][i];
+        let (done, rest) = cols.split_at_mut(j);
+        let col = &mut rest[0];
+        for prev in done.iter() {
+            let dot: f32 = col.iter().zip(prev.iter()).map(|(a, b)| a * b).sum();
+            for (v, p) in col.iter_mut().zip(prev.iter()) {
+                *v -= dot * p;
             }
         }
-        let norm: f32 = cols[j].iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
-        for v in cols[j].iter_mut() {
+        let norm: f32 = col.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
+        for v in col.iter_mut() {
             *v /= norm;
         }
     }
     let mut out = Tensor::zeros(&[d, k]);
-    for j in 0..k {
-        for i in 0..d {
-            out.set(&[i, j], cols[j][i]);
+    for (j, col) in cols.iter().enumerate() {
+        for (i, &v) in col.iter().enumerate() {
+            out.set(&[i, j], v);
         }
     }
     out
@@ -328,7 +334,10 @@ mod tests {
         let tau = before * 0.25;
         let (corrected, aux, outcome) = eb.apply(&original, &reconstruction, tau);
         let after = original.sub(&corrected).l2_norm();
-        assert!(after <= tau * 1.001, "corrected error {after} exceeds tau {tau}");
+        assert!(
+            after <= tau * 1.001,
+            "corrected error {after} exceeds tau {tau}"
+        );
         assert!((outcome.achieved - after).abs() < tau * 0.05);
         assert!(outcome.coefficients > 0);
         // Decoder-side reconstruction from the aux stream matches.
@@ -410,7 +419,10 @@ mod tests {
         let eb = PcaErrorBound::new(ErrorBoundConfig::default());
         let (corrected, _, _) = eb.apply(&original, &reconstruction, tau);
         let achieved = gld_tensor::stats::nrmse(&original, &corrected);
-        assert!(achieved <= target * 1.001, "NRMSE {achieved} exceeds target {target}");
+        assert!(
+            achieved <= target * 1.001,
+            "NRMSE {achieved} exceeds target {target}"
+        );
     }
 
     proptest! {

@@ -36,8 +36,12 @@ impl KeyframeStrategy {
     /// Human-readable name for tables and plots.
     pub fn name(&self) -> String {
         match self {
-            KeyframeStrategy::Interpolation { interval } => format!("interpolation (interval {interval})"),
-            KeyframeStrategy::Prediction { count } => format!("prediction ({count} leading keyframes)"),
+            KeyframeStrategy::Interpolation { interval } => {
+                format!("interpolation (interval {interval})")
+            }
+            KeyframeStrategy::Prediction { count } => {
+                format!("prediction ({count} leading keyframes)")
+            }
             KeyframeStrategy::Mixed { count } => format!("mixed ({count} keyframes)"),
         }
     }
@@ -165,7 +169,11 @@ mod tests {
 
     #[test]
     fn strategy_names_are_informative() {
-        assert!(KeyframeStrategy::paper_default().name().contains("interval 3"));
-        assert!(KeyframeStrategy::Prediction { count: 6 }.name().contains("prediction"));
+        assert!(KeyframeStrategy::paper_default()
+            .name()
+            .contains("interval 3"));
+        assert!(KeyframeStrategy::Prediction { count: 6 }
+            .name()
+            .contains("prediction"));
     }
 }

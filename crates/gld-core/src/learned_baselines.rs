@@ -23,6 +23,7 @@
 use gld_diffusion::{ConditionalDiffusion, FramePartition};
 use gld_entropy::{ArithmeticDecoder, ArithmeticEncoder, HistogramModel};
 use gld_tensor::{Tensor, TensorRng};
+use gld_vae::codec::{read_dims, write_dims};
 use gld_vae::{FrameCodec, Vae};
 use serde::{Deserialize, Serialize};
 
@@ -119,12 +120,8 @@ impl<'a> LearnedBaseline<'a> {
             let symbols: Vec<i32> = y.data().iter().map(|&v| v.round() as i32).collect();
             let model = HistogramModel::fit(&symbols);
             let mut out = Vec::new();
-            out.extend_from_slice(&(block.dim(0) as u32).to_le_bytes());
-            out.extend_from_slice(&(block.dim(1) as u32).to_le_bytes());
-            out.extend_from_slice(&(block.dim(2) as u32).to_le_bytes());
-            for dim in y.dims() {
-                out.extend_from_slice(&(*dim as u32).to_le_bytes());
-            }
+            write_dims(&mut out, block.dims());
+            write_dims(&mut out, y.dims());
             for norm in &norms {
                 out.extend_from_slice(&norm.mean.to_le_bytes());
                 out.extend_from_slice(&norm.range.to_le_bytes());
@@ -152,13 +149,11 @@ impl<'a> LearnedBaseline<'a> {
     }
 
     fn decompress_histogram(&self, bytes: &[u8]) -> Tensor {
-        let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
-        let mut off = 12;
-        let mut y_dims = [0usize; 4];
-        for d in y_dims.iter_mut() {
-            *d = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
-            off += 4;
-        }
+        let (block_dims, used) = read_dims(bytes);
+        let n = block_dims[0];
+        let mut off = used;
+        let (y_dims, used) = read_dims(&bytes[off..]);
+        off += used;
         let mut norms = Vec::with_capacity(n);
         for _ in 0..n {
             let mean = f32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
@@ -246,7 +241,10 @@ mod tests {
         let baseline = LearnedBaseline::new(LearnedBaselineKind::VaeSr, &vae, None);
         let small = baseline.compress(&block.slice_axis(0, 0, 2)).len();
         let large = baseline.compress(&block).len();
-        assert!(large > small * 2, "per-frame storage should scale with N: {small} vs {large}");
+        assert!(
+            large > small * 2,
+            "per-frame storage should scale with N: {small} vs {large}"
+        );
     }
 
     #[test]
@@ -270,7 +268,10 @@ mod tests {
     #[test]
     fn kind_metadata_is_consistent() {
         assert_eq!(LearnedBaselineKind::all().len(), 4);
-        assert!(LearnedBaselineKind::Gcd.refinement_steps() > LearnedBaselineKind::CdcX.refinement_steps());
+        assert!(
+            LearnedBaselineKind::Gcd.refinement_steps()
+                > LearnedBaselineKind::CdcX.refinement_steps()
+        );
         assert!(LearnedBaselineKind::VaeSr.uses_hyperprior_coding());
         assert!(!LearnedBaselineKind::CdcX.uses_hyperprior_coding());
         assert_eq!(LearnedBaselineKind::CdcEps.name(), "CDC-eps");

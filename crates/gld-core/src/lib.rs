@@ -15,19 +15,30 @@
 //!   share the same VAE substrate but store latents for *every* frame, the
 //!   structural difference the paper's comparison isolates;
 //! * [`sweep`] — rate–distortion sweep helpers used by the benchmark
-//!   harness to regenerate Figure 3 and the headline claims.
+//!   harness to regenerate Figure 3 and the headline claims;
+//! * [`codec`] — the unified [`codec::Codec`] trait every compressor family
+//!   implements, with shared parallel per-variable accounting;
+//! * [`container`] — the framed binary container (`GLDC` magic, version,
+//!   codec id, length-prefixed block frames) that makes compressed output a
+//!   plain byte stream whose measured size is the reported size.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod codec;
+pub mod container;
 pub mod error_bound;
 pub mod keyframes;
 pub mod learned_baselines;
 pub mod pipeline;
 pub mod sweep;
 
+pub use codec::{Codec, ErrorTarget, VariableStats};
+pub use container::{CodecId, Container, ContainerError};
 pub use error_bound::{ErrorBoundConfig, ErrorBoundOutcome, PcaErrorBound};
 pub use keyframes::{KeyframeStrategy, KeyframeSummary};
 pub use learned_baselines::{LearnedBaseline, LearnedBaselineKind};
-pub use pipeline::{CompressedBlock, GldCompressor, GldConfig, GldTrainingBudget};
+pub use pipeline::{
+    derive_block_seed, CompressedBlock, GldCompressor, GldConfig, GldError, GldTrainingBudget,
+};
 pub use sweep::{RatePoint, RateSweep};

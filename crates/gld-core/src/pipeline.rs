@@ -19,6 +19,8 @@
 //! The compression ratio follows Eq. 11: original bytes divided by the sum of
 //! the latent bitstream and the auxiliary correction stream.
 
+use crate::codec::{Codec, ErrorTarget};
+use crate::container::{write_section, ByteReader, CodecId, ContainerError};
 use crate::error_bound::{ErrorBoundConfig, ErrorBoundOutcome, PcaErrorBound};
 use crate::keyframes::KeyframeStrategy;
 use gld_datasets::Variable;
@@ -26,7 +28,9 @@ use gld_diffusion::{ConditionalDiffusion, DiffusionConfig, DiffusionTrainer, Fra
 use gld_tensor::{Tensor, TensorRng};
 use gld_vae::codec::FrameNorm;
 use gld_vae::{LatentCodec, Vae, VaeConfig, VaeTrainer};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Configuration of the full compressor.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -43,6 +47,11 @@ pub struct GldConfig {
     pub denoising_steps: usize,
     /// Error-bound module configuration.
     pub error_bound: ErrorBoundConfig,
+    /// Base sampling seed.  Every block's generation seed is derived from
+    /// this and the block's temporal index (see [`derive_block_seed`]), so
+    /// distinct blocks never share a noise realisation and parallel
+    /// compression is bit-identical to sequential.
+    pub seed: u64,
 }
 
 impl Default for GldConfig {
@@ -59,6 +68,7 @@ impl Default for GldConfig {
             strategy: KeyframeStrategy::paper_default(),
             denoising_steps: 8,
             error_bound: ErrorBoundConfig::default(),
+            seed: 0x051D_5EED,
         }
     }
 }
@@ -78,6 +88,7 @@ impl GldConfig {
             strategy: KeyframeStrategy::Interpolation { interval: 3 },
             denoising_steps: 4,
             error_bound: ErrorBoundConfig::default(),
+            seed: 0x051D_5EED,
         }
     }
 
@@ -136,12 +147,96 @@ pub struct CompressedBlock {
     pub denoising_steps: usize,
 }
 
+/// Derives the sampling seed of the block at temporal index `block_index`
+/// from the configuration's base seed (SplitMix64 mixing).  Distinct indices
+/// yield independent noise realisations; the same `(base, index)` pair always
+/// yields the same seed, which is what makes parallel compression
+/// bit-identical to sequential.
+pub fn derive_block_seed(base: u64, block_index: u64) -> u64 {
+    let mut z = base
+        ^ block_index
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl CompressedBlock {
-    /// Total compressed size in bytes (Eq. 11 denominator): latent stream,
-    /// correction stream and the small per-block header.
+    /// Total compressed size in bytes (Eq. 11 denominator).  This is exactly
+    /// `self.encode().len()` — the reported size *is* the serialized size
+    /// (proven by `tests/container_roundtrip.rs`).
     pub fn total_bytes(&self) -> usize {
-        let header = 4 * 3 + self.frame_norms.len() * 8 + 8 + 8 + 4;
-        header + self.keyframe_bytes.len() + self.aux_bytes.len()
+        // Fixed header: frames/height/width/steps (u32 each) + seed (u64) +
+        // latent range (2 × f32), then per-frame norms and the two
+        // length-prefixed streams.
+        16 + 8
+            + 8
+            + self.frame_norms.len() * 8
+            + (8 + self.keyframe_bytes.len())
+            + (8 + self.aux_bytes.len())
+    }
+
+    /// Serialises the block into its container frame (the exact layout
+    /// [`CompressedBlock::total_bytes`] accounts for).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_bytes());
+        out.extend_from_slice(&(self.frames as u32).to_le_bytes());
+        out.extend_from_slice(&(self.height as u32).to_le_bytes());
+        out.extend_from_slice(&(self.width as u32).to_le_bytes());
+        out.extend_from_slice(&(self.denoising_steps as u32).to_le_bytes());
+        out.extend_from_slice(&self.sampling_seed.to_le_bytes());
+        out.extend_from_slice(&self.latent_range.0.to_le_bytes());
+        out.extend_from_slice(&self.latent_range.1.to_le_bytes());
+        for &(mean, range) in &self.frame_norms {
+            out.extend_from_slice(&mean.to_le_bytes());
+            out.extend_from_slice(&range.to_le_bytes());
+        }
+        write_section(&mut out, &self.keyframe_bytes);
+        write_section(&mut out, &self.aux_bytes);
+        debug_assert_eq!(out.len(), self.total_bytes());
+        out
+    }
+
+    /// Parses a frame produced by [`CompressedBlock::encode`].
+    pub fn decode(frame: &[u8]) -> Result<Self, ContainerError> {
+        let mut reader = ByteReader::new(frame);
+        let frames = reader.read_u32()? as usize;
+        let height = reader.read_u32()? as usize;
+        let width = reader.read_u32()? as usize;
+        let denoising_steps = reader.read_u32()? as usize;
+        let sampling_seed = reader.read_u64()?;
+        let latent_range = (reader.read_f32()?, reader.read_f32()?);
+        if frames == 0 {
+            return Err(ContainerError::Corrupt("block frame declares zero frames"));
+        }
+        // Validate the declared count against the bytes actually present
+        // before allocating: a corrupt frame must surface as `Truncated`,
+        // not as a multi-gigabyte allocation.
+        if reader.remaining() / 8 < frames {
+            return Err(ContainerError::Truncated {
+                needed: frames.saturating_mul(8),
+                available: reader.remaining(),
+            });
+        }
+        let mut frame_norms = Vec::with_capacity(frames);
+        for _ in 0..frames {
+            frame_norms.push((reader.read_f32()?, reader.read_f32()?));
+        }
+        let keyframe_bytes = reader.read_section()?.to_vec();
+        let aux_bytes = reader.read_section()?.to_vec();
+        reader.expect_end()?;
+        Ok(CompressedBlock {
+            frames,
+            height,
+            width,
+            frame_norms,
+            latent_range,
+            keyframe_bytes,
+            aux_bytes,
+            sampling_seed,
+            denoising_steps,
+        })
     }
 
     /// Number of uncompressed bytes the block represents.
@@ -155,6 +250,37 @@ impl CompressedBlock {
     }
 }
 
+/// Errors surfaced by [`GldCompressor::try_train`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GldError {
+    /// `train` was called with no variables at all.
+    NoTrainingData,
+    /// The VAE and diffusion configs disagree on latent channel count.
+    LatentChannelMismatch {
+        /// Channels the VAE produces.
+        vae: usize,
+        /// Channels the diffusion model expects.
+        diffusion: usize,
+    },
+}
+
+impl fmt::Display for GldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GldError::NoTrainingData => write!(
+                f,
+                "GldCompressor::train requires at least one training variable, got an empty slice"
+            ),
+            GldError::LatentChannelMismatch { vae, diffusion } => write!(
+                f,
+                "VAE and diffusion latent channel counts must match (VAE {vae}, diffusion {diffusion})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GldError {}
+
 /// The trained generative latent diffusion compressor.
 pub struct GldCompressor {
     config: GldConfig,
@@ -165,14 +291,29 @@ pub struct GldCompressor {
 
 impl GldCompressor {
     /// Trains both stages on the given variables (paper §3.4) and returns
-    /// the ready-to-use compressor.
+    /// the ready-to-use compressor.  Panics with a descriptive message on
+    /// invalid input; use [`GldCompressor::try_train`] to handle the error.
     pub fn train(config: GldConfig, variables: &[Variable], budget: GldTrainingBudget) -> Self {
-        assert_eq!(
-            config.vae.latent_channels, config.diffusion.latent_channels,
-            "VAE and diffusion latent channel counts must match"
-        );
+        Self::try_train(config, variables, budget).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`GldCompressor::train`].
+    pub fn try_train(
+        config: GldConfig,
+        variables: &[Variable],
+        budget: GldTrainingBudget,
+    ) -> Result<Self, GldError> {
+        if config.vae.latent_channels != config.diffusion.latent_channels {
+            return Err(GldError::LatentChannelMismatch {
+                vae: config.vae.latent_channels,
+                diffusion: config.diffusion.latent_channels,
+            });
+        }
+        let Some(first) = variables.first() else {
+            return Err(GldError::NoTrainingData);
+        };
         // Stage one: VAE with hyperprior on random crops.
-        let patch = variables[0].frames.dim(1).min(variables[0].frames.dim(2)).min(16);
+        let patch = first.frames.dim(1).min(first.frames.dim(2)).min(16);
         let mut vae_trainer = VaeTrainer::new(config.vae, patch, 2);
         vae_trainer.train(variables, budget.vae_steps);
         let vae = vae_trainer.into_model();
@@ -193,7 +334,7 @@ impl GldCompressor {
         }
         let diffusion = diff_trainer.into_model();
 
-        Self::from_parts(config, vae, diffusion)
+        Ok(Self::from_parts(config, vae, diffusion))
     }
 
     /// Assembles a compressor from already-trained components.
@@ -235,23 +376,41 @@ impl GldCompressor {
     /// Builds normalised latent training blocks from full-resolution
     /// variables: each temporal window of N frames is encoded frame-by-frame
     /// with the frozen VAE, quantised and min-max normalised to `[-1, 1]`
-    /// (Algorithm 1, lines 3–5).
+    /// (Algorithm 1, lines 3–5).  Windows are encoded in parallel; the
+    /// returned order is deterministic (variable order, then temporal order)
+    /// regardless of worker scheduling.
     pub fn latent_training_blocks(
         config: &GldConfig,
         vae: &Vae,
         variables: &[Variable],
     ) -> Vec<Tensor> {
-        let mut blocks = Vec::new();
-        for variable in variables {
-            for window in gld_datasets::blocks::temporal_windows(variable, config.block_frames) {
+        let jobs: Vec<(usize, usize)> = variables
+            .iter()
+            .enumerate()
+            .flat_map(|(vi, variable)| {
+                let count =
+                    gld_datasets::blocks::temporal_window_count(variable, config.block_frames);
+                (0..count).map(move |wi| (vi, wi))
+            })
+            .collect();
+        assert!(
+            !jobs.is_empty(),
+            "no complete temporal windows available for training"
+        );
+        jobs.par_iter()
+            .with_min_len(1)
+            .map(|&(vi, wi)| {
+                let window = gld_datasets::blocks::temporal_window_at(
+                    &variables[vi],
+                    config.block_frames,
+                    wi,
+                );
                 let (normalized, _) = Self::normalize_frames(&window.data);
                 let y = vae.quantize_latent(&normalized);
                 let (y_norm, _, _) = y.normalize_minmax();
-                blocks.push(y_norm);
-            }
-        }
-        assert!(!blocks.is_empty(), "no complete temporal windows available for training");
-        blocks
+                y_norm
+            })
+            .collect()
     }
 
     fn normalize_frames(block: &Tensor) -> (Tensor, Vec<FrameNorm>) {
@@ -275,7 +434,10 @@ impl GldCompressor {
         let flat = frames.reshape(&[n, h, w]);
         let mut out = Vec::with_capacity(n);
         for (t, &(mean, range)) in norms.iter().enumerate() {
-            out.push(flat.slice_axis(0, t, t + 1).denormalize_mean_range(mean, range));
+            out.push(
+                flat.slice_axis(0, t, t + 1)
+                    .denormalize_mean_range(mean, range),
+            );
         }
         let refs: Vec<&Tensor> = out.iter().collect();
         Tensor::concat(&refs, 0)
@@ -283,7 +445,14 @@ impl GldCompressor {
 
     /// Compresses one block `[N, H, W]`.  When `nrmse_target` is given the
     /// error-bound module adds a correction stream guaranteeing that the
-    /// decompressed block satisfies the bound.
+    /// decompressed block satisfies the bound.  Standalone blocks use
+    /// temporal index 0; multi-block paths go through
+    /// [`Codec::compress_variable`] which passes each window's real index.
+    ///
+    /// Note: this inherent method (structured [`CompressedBlock`] in/out)
+    /// shadows [`Codec::compress_block`] (byte frames in/out) on the
+    /// concrete type; call the trait method via UFCS or a `&dyn Codec` when
+    /// you want the framed-bytes interface.
     pub fn compress_block(&self, block: &Tensor, nrmse_target: Option<f32>) -> CompressedBlock {
         let (compressed, _) = self.compress_block_with_outcome(block, nrmse_target);
         compressed
@@ -295,6 +464,19 @@ impl GldCompressor {
         &self,
         block: &Tensor,
         nrmse_target: Option<f32>,
+    ) -> (CompressedBlock, Option<ErrorBoundOutcome>) {
+        self.compress_block_with_outcome_at(block, nrmse_target, 0)
+    }
+
+    /// Index-aware compression: the sampling seed is derived from the config
+    /// seed and `block_index` so distinct blocks of one variable never share
+    /// a noise realisation (the derived seed is stored in the block, keeping
+    /// decompression deterministic).
+    pub fn compress_block_with_outcome_at(
+        &self,
+        block: &Tensor,
+        nrmse_target: Option<f32>,
+        block_index: u64,
     ) -> (CompressedBlock, Option<ErrorBoundOutcome>) {
         assert_eq!(block.rank(), 3, "block must be [N, H, W]");
         assert_eq!(
@@ -309,7 +491,7 @@ impl GldCompressor {
         let y_key = y_all.index_select(0, &partition.conditioning);
         let keyframe_bytes = LatentCodec::new(&self.vae).compress(&y_key);
 
-        let sampling_seed = 0x51D5EED;
+        let sampling_seed = derive_block_seed(self.config.seed, block_index);
         let mut compressed = CompressedBlock {
             frames: block.dim(0),
             height: block.dim(1),
@@ -367,46 +549,61 @@ impl GldCompressor {
         let mut recon = Self::denormalize_frames(&frames, &compressed.frame_norms);
         // 5. Apply the error-bound correction, if present.
         if !compressed.aux_bytes.is_empty() {
-            recon = self.error_bound.apply_from_aux(&recon, &compressed.aux_bytes);
+            recon = self
+                .error_bound
+                .apply_from_aux(&recon, &compressed.aux_bytes);
         }
         recon
     }
 
-    /// Compresses every complete temporal window of a variable, returning
-    /// the blocks plus aggregate `(compression_ratio, nrmse)` statistics.
+    /// Compresses every complete temporal window of a variable through the
+    /// unified [`Codec`] interface (parallel, container-framed), returning
+    /// the decoded per-block structures plus aggregate
+    /// `(compression_ratio, nrmse)` statistics.
     pub fn compress_variable(
         &self,
         variable: &Variable,
         nrmse_target: Option<f32>,
     ) -> (Vec<CompressedBlock>, f64, f32) {
-        let windows =
-            gld_datasets::blocks::temporal_windows(variable, self.config.block_frames);
-        assert!(!windows.is_empty(), "variable too short for one block");
-        let mut blocks = Vec::with_capacity(windows.len());
-        let mut original_bytes = 0usize;
-        let mut compressed_bytes = 0usize;
-        let mut sq_err = 0.0f64;
-        let mut count = 0usize;
-        let mut lo = f32::INFINITY;
-        let mut hi = f32::NEG_INFINITY;
-        for window in &windows {
-            let compressed = self.compress_block(&window.data, nrmse_target);
-            let recon = self.decompress_block(&compressed);
-            original_bytes += compressed.original_bytes();
-            compressed_bytes += compressed.total_bytes();
-            for (a, b) in window.data.data().iter().zip(recon.data()) {
-                let d = (*a - *b) as f64;
-                sq_err += d * d;
-            }
-            count += window.data.numel();
-            lo = lo.min(window.data.min());
-            hi = hi.max(window.data.max());
-            blocks.push(compressed);
-        }
-        let ratio = original_bytes as f64 / compressed_bytes.max(1) as f64;
-        let range = (hi - lo).max(1e-30);
-        let nrmse = ((sq_err / count as f64).sqrt() as f32) / range;
-        (blocks, ratio, nrmse)
+        let (container, stats) = Codec::compress_variable(
+            self,
+            variable,
+            self.config.block_frames,
+            nrmse_target.map(ErrorTarget::Nrmse),
+        );
+        let blocks = container
+            .blocks()
+            .iter()
+            .map(|frame| CompressedBlock::decode(frame).expect("self-produced frame"))
+            .collect();
+        (blocks, stats.compression_ratio, stats.nrmse)
+    }
+}
+
+impl Codec for GldCompressor {
+    fn name(&self) -> &str {
+        "Ours"
+    }
+
+    fn id(&self) -> CodecId {
+        CodecId::Gld
+    }
+
+    fn compress_block_at(
+        &self,
+        block: &Tensor,
+        target: Option<ErrorTarget>,
+        block_index: u64,
+    ) -> Vec<u8> {
+        let nrmse_target = target.map(|t| t.nrmse_for(block));
+        let (compressed, _) = self.compress_block_with_outcome_at(block, nrmse_target, block_index);
+        compressed.encode()
+    }
+
+    fn decompress_block(&self, frame: &[u8]) -> Tensor {
+        let compressed = CompressedBlock::decode(frame)
+            .unwrap_or_else(|e| panic!("invalid GLD block frame: {e}"));
+        self.decompress_block(&compressed)
     }
 }
 
@@ -473,7 +670,9 @@ mod tests {
         let (compressor, variable) = quick_compressor();
         let block = variable.frames.slice_axis(0, 0, 8);
         let ours = compressor.compress_block(&block, None).total_bytes();
-        let all_frames = gld_vae::FrameCodec::new(compressor.vae()).compress(&block).len();
+        let all_frames = gld_vae::FrameCodec::new(compressor.vae())
+            .compress(&block)
+            .len();
         assert!(
             ours < all_frames,
             "keyframe-only storage ({ours} B) should beat per-frame storage ({all_frames} B)"

@@ -58,8 +58,8 @@ impl RateSweep {
                 best = best.max(hi.compression_ratio);
             } else if lo.nrmse <= target && target < hi.nrmse {
                 let t = (target - lo.nrmse) / (hi.nrmse - lo.nrmse).max(1e-12);
-                let interp = lo.compression_ratio
-                    + (hi.compression_ratio - lo.compression_ratio) * t as f64;
+                let interp =
+                    lo.compression_ratio + (hi.compression_ratio - lo.compression_ratio) * t as f64;
                 best = best.max(interp);
             }
         }

@@ -44,22 +44,77 @@ impl TemporalWindow {
     }
 }
 
-/// Splits a variable into non-overlapping temporal windows of `frames`
-/// timesteps, dropping a final partial window (matching how block-based
+/// Number of complete non-overlapping `frames`-length temporal windows in a
+/// variable (a final partial window is dropped, matching how block-based
 /// compressors tile the time axis).
-pub fn temporal_windows(variable: &Variable, frames: usize) -> Vec<TemporalWindow> {
+pub fn temporal_window_count(variable: &Variable, frames: usize) -> usize {
     assert!(frames > 0, "window length must be positive");
-    let t_total = variable.timesteps();
-    let mut windows = Vec::new();
-    let mut start = 0;
-    while start + frames <= t_total {
-        windows.push(TemporalWindow {
-            start,
-            data: variable.frames.slice_axis(0, start, start + frames),
-        });
-        start += frames;
+    variable.timesteps() / frames
+}
+
+/// Materialises the window at `index` (windows are indexed `0..count` in
+/// temporal order).  Only this window's frames are copied, so parallel
+/// workers can pull windows by index without the caller building the whole
+/// window list.
+pub fn temporal_window_at(variable: &Variable, frames: usize, index: usize) -> TemporalWindow {
+    let count = temporal_window_count(variable, frames);
+    assert!(
+        index < count,
+        "window index {index} out of range (count {count})"
+    );
+    let start = index * frames;
+    TemporalWindow {
+        start,
+        data: variable.frames.slice_axis(0, start, start + frames),
     }
-    windows
+}
+
+/// Streaming iterator over a variable's complete temporal windows: each
+/// window is sliced out lazily on `next()`, so iterating never materialises
+/// more than one window beyond what the consumer holds.
+pub struct TemporalWindows<'a> {
+    variable: &'a Variable,
+    frames: usize,
+    next: usize,
+    count: usize,
+}
+
+impl Iterator for TemporalWindows<'_> {
+    type Item = TemporalWindow;
+
+    fn next(&mut self) -> Option<TemporalWindow> {
+        if self.next >= self.count {
+            return None;
+        }
+        let window = temporal_window_at(self.variable, self.frames, self.next);
+        self.next += 1;
+        Some(window)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.count - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for TemporalWindows<'_> {}
+
+/// Streams a variable's non-overlapping temporal windows of `frames`
+/// timesteps without building the whole window list.
+pub fn temporal_windows_iter(variable: &Variable, frames: usize) -> TemporalWindows<'_> {
+    TemporalWindows {
+        variable,
+        frames,
+        next: 0,
+        count: temporal_window_count(variable, frames),
+    }
+}
+
+/// Collects every complete temporal window into a `Vec`.  Prefer
+/// [`temporal_windows_iter`] (streaming) or [`temporal_window_at`] (random
+/// access for parallel workers) when the list is not needed all at once.
+pub fn temporal_windows(variable: &Variable, frames: usize) -> Vec<TemporalWindow> {
+    temporal_windows_iter(variable, frames).collect()
 }
 
 /// Iterator over deterministic, non-overlapping spatial tiles of a temporal
@@ -79,7 +134,7 @@ impl<'a> BlockIterator<'a> {
         let h = window.data.dim(1);
         let w = window.data.dim(2);
         assert!(
-            h % patch == 0 && w % patch == 0,
+            h.is_multiple_of(patch) && w.is_multiple_of(patch),
             "spatial extent {h}x{w} must be divisible by patch {patch}"
         );
         BlockIterator {
@@ -157,11 +212,7 @@ pub fn assemble_blocks(blocks: &[Block], frames: usize, height: usize, width: us
 /// Draws a random training sample: `frames` consecutive timesteps and a
 /// random `patch × patch` crop, as in the paper's training procedure
 /// ("randomly sample N consecutive frames … randomly crop patches").
-pub fn sample_training_block(
-    variable: &Variable,
-    spec: BlockSpec,
-    rng: &mut TensorRng,
-) -> Tensor {
+pub fn sample_training_block(variable: &Variable, spec: BlockSpec, rng: &mut TensorRng) -> Tensor {
     let t_total = variable.timesteps();
     let h = variable.frames.dim(1);
     let w = variable.frames.dim(2);
@@ -254,6 +305,34 @@ mod tests {
         let nchw = block_to_nchw(&block);
         assert_eq!(nchw.dims(), &[4, 1, 16, 16]);
         assert_eq!(nchw_to_block(&nchw), block);
+    }
+
+    #[test]
+    fn streaming_iterator_matches_collected_windows() {
+        let v = variable(); // 16 frames
+        assert_eq!(temporal_window_count(&v, 8), 2);
+        assert_eq!(temporal_window_count(&v, 7), 2);
+        assert_eq!(temporal_window_count(&v, 17), 0);
+        let streamed: Vec<TemporalWindow> = temporal_windows_iter(&v, 8).collect();
+        let collected = temporal_windows(&v, 8);
+        assert_eq!(streamed.len(), collected.len());
+        for (s, c) in streamed.iter().zip(&collected) {
+            assert_eq!(s.start, c.start);
+            assert_eq!(s.data, c.data);
+        }
+        let mut iter = temporal_windows_iter(&v, 8);
+        assert_eq!(iter.len(), 2);
+        iter.next();
+        assert_eq!(iter.len(), 1);
+        // Random access agrees with iteration order.
+        assert_eq!(temporal_window_at(&v, 8, 1).start, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn window_index_out_of_range_panics() {
+        let v = variable();
+        let _ = temporal_window_at(&v, 8, 2);
     }
 
     #[test]

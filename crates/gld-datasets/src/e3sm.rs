@@ -93,7 +93,9 @@ fn generate_variable(spec: &FieldSpec, rng: &mut TensorRng, offset: f32, scale: 
                     v += mode.amplitude
                         * (mode.kx * xx + mode.ky * yy + mode.phase + mode.omega * tt).sin();
                 }
-                v = v / NUM_MODES as f32 + diurnal + 0.1 * texture[y * w + x] * (1.0 + 0.2 * diurnal);
+                v = v / NUM_MODES as f32
+                    + diurnal
+                    + 0.1 * texture[y * w + x] * (1.0 + 0.2 * diurnal);
                 data[(t * h + y) * w + x] = offset + scale * v;
             }
         }
@@ -186,7 +188,10 @@ mod tests {
             }
         }
         let mean_step = diff_sum / count as f32;
-        assert!(mean_step < 0.2 * range, "mean step {mean_step} vs range {range}");
+        assert!(
+            mean_step < 0.2 * range,
+            "mean step {mean_step} vs range {range}"
+        );
     }
 
     #[test]

@@ -264,8 +264,14 @@ mod tests {
     #[test]
     fn dataset_stacks_variables() {
         let spec = FieldSpec::tiny();
-        let v0 = Variable::new("a", Tensor::zeros(&[spec.timesteps, spec.height, spec.width]));
-        let v1 = Variable::new("b", Tensor::ones(&[spec.timesteps, spec.height, spec.width]));
+        let v0 = Variable::new(
+            "a",
+            Tensor::zeros(&[spec.timesteps, spec.height, spec.width]),
+        );
+        let v1 = Variable::new(
+            "b",
+            Tensor::ones(&[spec.timesteps, spec.height, spec.width]),
+        );
         let ds = ScientificDataset {
             kind: DatasetKind::E3sm,
             spec,

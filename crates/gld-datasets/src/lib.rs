@@ -46,8 +46,17 @@ pub fn generate(kind: DatasetKind, spec: &FieldSpec, seed: u64) -> ScientificDat
 /// the corresponding synthetic stand-ins produced by this crate.
 pub fn table1_rows(spec: &FieldSpec) -> Vec<(DatasetInfo, DatasetInfo)> {
     vec![
-        (DatasetInfo::paper_e3sm(), DatasetInfo::synthetic(DatasetKind::E3sm, spec)),
-        (DatasetInfo::paper_s3d(), DatasetInfo::synthetic(DatasetKind::S3d, spec)),
-        (DatasetInfo::paper_jhtdb(), DatasetInfo::synthetic(DatasetKind::Jhtdb, spec)),
+        (
+            DatasetInfo::paper_e3sm(),
+            DatasetInfo::synthetic(DatasetKind::E3sm, spec),
+        ),
+        (
+            DatasetInfo::paper_s3d(),
+            DatasetInfo::synthetic(DatasetKind::S3d, spec),
+        ),
+        (
+            DatasetInfo::paper_jhtdb(),
+            DatasetInfo::synthetic(DatasetKind::Jhtdb, spec),
+        ),
     ]
 }

@@ -30,5 +30,5 @@ pub mod unet;
 pub use config::DiffusionConfig;
 pub use model::{ConditionalDiffusion, FramePartition};
 pub use schedule::NoiseSchedule;
-pub use train::{DiffusionTrainer, DiffusionTrainReport};
+pub use train::{DiffusionTrainReport, DiffusionTrainer};
 pub use unet::SpaceTimeUnet;

@@ -30,7 +30,10 @@ impl FramePartition {
         assert!(total > 0, "empty block");
         let mut seen = vec![false; total];
         for &c in conditioning {
-            assert!(c < total, "conditioning index {c} out of range (N = {total})");
+            assert!(
+                c < total,
+                "conditioning index {c} out of range (N = {total})"
+            );
             assert!(!seen[c], "duplicate conditioning index {c}");
             seen[c] = true;
         }
@@ -61,7 +64,11 @@ impl FramePartition {
 /// `noisy` on the generated indices.
 pub fn splice_frames(noisy: &Tensor, clean: &Tensor, partition: &FramePartition) -> Tensor {
     assert_eq!(noisy.dims(), clean.dims(), "splice shape mismatch");
-    assert_eq!(noisy.dim(0), partition.total, "partition does not match block");
+    assert_eq!(
+        noisy.dim(0),
+        partition.total,
+        "partition does not match block"
+    );
     let mut out = noisy.clone();
     let cond_frames = clean.index_select(0, &partition.conditioning);
     out.index_assign(0, &partition.conditioning, &cond_frames);
@@ -153,7 +160,10 @@ impl ConditionalDiffusion {
         let mut y = splice_frames(&noise, y_cond, partition);
         for (i, &t) in timesteps.iter().enumerate() {
             let tape = Tape::new();
-            let eps_hat = self.unet.forward(&tape, &tape.constant(y.clone()), t).value();
+            let eps_hat = self
+                .unet
+                .forward(&tape, &tape.constant(y.clone()), t)
+                .value();
             let t_prev = timesteps.get(i + 1).copied();
             let stepped = self.schedule.ddim_step(&y, &eps_hat, t, t_prev);
             y = splice_frames(&stepped, y_cond, partition);
@@ -176,7 +186,12 @@ mod tests {
         assert_eq!(p.num_conditioning(), 3);
         assert_eq!(p.num_generated(), 5);
         // G and C are disjoint and cover everything.
-        let mut all: Vec<usize> = p.conditioning.iter().chain(p.generated.iter()).copied().collect();
+        let mut all: Vec<usize> = p
+            .conditioning
+            .iter()
+            .chain(p.generated.iter())
+            .copied()
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..8).collect::<Vec<_>>());
     }
@@ -260,7 +275,10 @@ mod tests {
         let p = FramePartition::from_conditioning(4, &[0, 3]);
         for steps in [1usize, 2, 8] {
             let out = model.generate(&y_cond, &p, steps, &mut rng);
-            assert!(out.abs().max() < 100.0, "sampling diverged at {steps} steps");
+            assert!(
+                out.abs().max() < 100.0,
+                "sampling diverged at {steps} steps"
+            );
         }
     }
 }

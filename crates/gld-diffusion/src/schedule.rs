@@ -37,7 +37,11 @@ impl NoiseSchedule {
     pub fn cosine(steps: usize) -> Self {
         assert!(steps >= 1, "schedule needs at least one step");
         let s = 0.008f32;
-        let f = |t: f32| ((t + s) / (1.0 + s) * std::f32::consts::FRAC_PI_2).cos().powi(2);
+        let f = |t: f32| {
+            ((t + s) / (1.0 + s) * std::f32::consts::FRAC_PI_2)
+                .cos()
+                .powi(2)
+        };
         let mut betas = Vec::with_capacity(steps);
         for i in 0..steps {
             let t0 = i as f32 / steps as f32;
@@ -96,7 +100,8 @@ impl NoiseSchedule {
     /// Recovers the `y_0` estimate from `y_t` and a noise prediction.
     pub fn predict_y0(&self, y_t: &Tensor, eps_hat: &Tensor, t: usize) -> Tensor {
         let ab = self.alpha_bar(t);
-        y_t.sub(&eps_hat.scale((1.0 - ab).sqrt())).scale(1.0 / ab.sqrt())
+        y_t.sub(&eps_hat.scale((1.0 - ab).sqrt()))
+            .scale(1.0 / ab.sqrt())
     }
 
     /// Deterministic DDIM step from timestep `t` to `t_prev`
@@ -206,7 +211,10 @@ mod tests {
         let y_prev = s.ddim_step(&y_t, &eps, 99, Some(50));
         let before = y_t.sub(&y0).l2_norm();
         let after = y_prev.sub(&y0).l2_norm();
-        assert!(after < before, "DDIM step did not denoise: {after} vs {before}");
+        assert!(
+            after < before,
+            "DDIM step did not denoise: {after} vs {before}"
+        );
         let y_final = s.ddim_step(&y_t, &eps, 99, None);
         assert!(y_final.sub(&y0).abs().max() < 1e-2);
     }

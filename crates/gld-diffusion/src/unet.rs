@@ -37,7 +37,10 @@ impl ResBlock {
         let h = self.norm1.forward(tape, x).silu();
         let h = self.conv1.forward(tape, &h);
         // Timestep shift: [1, C] -> [1, C, 1, 1] broadcast over frames/space.
-        let shift = self.time_proj.forward(tape, temb).reshape(&[1, channels, 1, 1]);
+        let shift = self
+            .time_proj
+            .forward(tape, temb)
+            .reshape(&[1, channels, 1, 1]);
         let h = h.add(&shift);
         let h = self.norm2.forward(tape, &h).silu();
         let h = self.conv2.forward(tape, &h);
@@ -122,7 +125,15 @@ impl SpaceTimeUnet {
             res2: ResBlock::new("unet.res2", m, td, &mut rng),
             attn2: SpaceTimeAttention::new("unet.attn2", m, config.heads, &mut rng),
             norm_out: GroupNorm::new("unet.norm_out", 1, m),
-            conv_out: Conv2d::new("unet.conv_out", m, config.latent_channels, 3, 1, 1, &mut rng),
+            conv_out: Conv2d::new(
+                "unet.conv_out",
+                m,
+                config.latent_channels,
+                3,
+                1,
+                1,
+                &mut rng,
+            ),
         }
     }
 
@@ -224,10 +235,7 @@ mod tests {
         let out = unet.forward(&tape, &tape.constant(y), 5);
         out.square().mean().backward();
         let params = unet.parameters();
-        let with_grad = params
-            .iter()
-            .filter(|p| p.grad().abs().max() > 0.0)
-            .count();
+        let with_grad = params.iter().filter(|p| p.grad().abs().max() > 0.0).count();
         // All parameters except possibly a few dead-path biases must receive
         // gradient signal.
         assert!(

@@ -54,7 +54,11 @@ struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     fn new(bytes: &'a [u8]) -> Self {
-        BitReader { bytes, pos: 0, bit: 0 }
+        BitReader {
+            bytes,
+            pos: 0,
+            bit: 0,
+        }
     }
 
     fn next(&mut self) -> bool {
@@ -320,7 +324,7 @@ mod tests {
     #[test]
     fn skewed_distribution_compresses_below_uniform() {
         // A highly skewed stream must take fewer bits than 1 bit/symbol.
-        let freqs = vec![1000, 8];
+        let freqs = [1000, 8];
         let symbols: Vec<usize> = (0..2000).map(|i| usize::from(i % 100 == 0)).collect();
         let total: u32 = freqs.iter().sum();
         let cdf = [0u32, freqs[0], total];

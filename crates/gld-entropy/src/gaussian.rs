@@ -77,8 +77,13 @@ mod tests {
     #[test]
     fn pmf_sums_to_one_over_support() {
         for &(mean, std) in &[(0.0, 1.0), (3.7, 0.5), (-2.2, 4.0)] {
-            let sum: f64 = (-200..=200).map(|k| quantized_gaussian_pmf(k, mean, std)).sum();
-            assert!((sum - 1.0).abs() < 1e-6, "pmf sum {sum} for mean {mean} std {std}");
+            let sum: f64 = (-200..=200)
+                .map(|k| quantized_gaussian_pmf(k, mean, std))
+                .sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-6,
+                "pmf sum {sum} for mean {mean} std {std}"
+            );
         }
     }
 

@@ -165,7 +165,9 @@ impl GaussianConditionalModel {
             .iter()
             .zip(means)
             .zip(scales)
-            .map(|((&s, &m), &sd)| quantized_gaussian_bits(s as i64, m as f64, (sd as f64).max(1e-3)))
+            .map(|((&s, &m), &sd)| {
+                quantized_gaussian_bits(s as i64, m as f64, (sd as f64).max(1e-3))
+            })
             .sum()
     }
 }
@@ -479,7 +481,10 @@ mod tests {
         model.encode(&mut enc, &symbols, &means, &scales);
         let actual_bits = (enc.finish().len() * 8) as f64;
         let ratio = actual_bits / est_bits;
-        assert!(ratio > 0.9 && ratio < 1.2, "estimate {est_bits} vs actual {actual_bits}");
+        assert!(
+            ratio > 0.9 && ratio < 1.2,
+            "estimate {est_bits} vs actual {actual_bits}"
+        );
     }
 
     #[test]
@@ -504,13 +509,24 @@ mod tests {
         // 95% zeros should code far below 1 byte/symbol and close to entropy.
         let mut rng = StdRng::seed_from_u64(9);
         let symbols: Vec<i32> = (0..8000)
-            .map(|_| if rng.gen_bool(0.95) { 0 } else { rng.gen_range(-3..4) })
+            .map(|_| {
+                if rng.gen_bool(0.95) {
+                    0
+                } else {
+                    rng.gen_range(-3..4)
+                }
+            })
             .collect();
         let model = HistogramModel::fit(&symbols);
         let mut enc = ArithmeticEncoder::new();
         model.encode(&mut enc, &symbols);
         let bytes = enc.finish().len();
-        assert!(bytes * 8 < symbols.len(), "took {} bits for {} symbols", bytes * 8, symbols.len());
+        assert!(
+            bytes * 8 < symbols.len(),
+            "took {} bits for {} symbols",
+            bytes * 8,
+            symbols.len()
+        );
         let est = model.estimate_bits(&symbols);
         assert!(((bytes * 8) as f64) < est * 1.1 + 64.0);
     }

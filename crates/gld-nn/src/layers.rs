@@ -78,7 +78,13 @@ pub struct Linear {
 
 impl Linear {
     /// Creates a linear layer with Kaiming-initialised weights.
-    pub fn new(name: &str, in_features: usize, out_features: usize, bias: bool, rng: &mut TensorRng) -> Self {
+    pub fn new(
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+        rng: &mut TensorRng,
+    ) -> Self {
         let weight = Parameter::new(
             format!("{name}.weight"),
             rng.kaiming(&[in_features, out_features], in_features),
@@ -241,7 +247,10 @@ impl GroupNorm {
     /// Creates a group-norm layer over `channels` channels split into
     /// `groups` groups.
     pub fn new(name: &str, groups: usize, channels: usize) -> Self {
-        assert!(channels % groups == 0, "channels must divide into groups");
+        assert!(
+            channels.is_multiple_of(groups),
+            "channels must divide into groups"
+        );
         GroupNorm {
             gamma: Parameter::new(format!("{name}.gamma"), Tensor::ones(&[channels])),
             beta: Parameter::new(format!("{name}.beta"), Tensor::zeros(&[channels])),
@@ -288,7 +297,10 @@ pub struct SelfAttention {
 impl SelfAttention {
     /// Creates a multi-head attention block.
     pub fn new(name: &str, channels: usize, heads: usize, rng: &mut TensorRng) -> Self {
-        assert!(channels % heads == 0, "channels must divide into heads");
+        assert!(
+            channels.is_multiple_of(heads),
+            "channels must divide into heads"
+        );
         SelfAttention {
             wq: Linear::new(&format!("{name}.wq"), channels, channels, false, rng),
             wk: Linear::new(&format!("{name}.wk"), channels, channels, false, rng),
@@ -307,7 +319,11 @@ impl SelfAttention {
     /// Applies scaled dot-product self-attention.
     pub fn forward(&self, tape: &Tape, x: &Var) -> Var {
         let dims = x.dims();
-        assert_eq!(dims.len(), 3, "attention input must be [batch, len, channels]");
+        assert_eq!(
+            dims.len(),
+            3,
+            "attention input must be [batch, len, channels]"
+        );
         let (b, l, c) = (dims[0], dims[1], dims[2]);
         assert_eq!(c, self.channels, "attention channel mismatch");
         let h = self.heads;
@@ -362,7 +378,7 @@ impl TimeEmbedding {
     /// Creates an embedding with sinusoidal dimension `dim` and output
     /// dimension `out_dim`.
     pub fn new(name: &str, dim: usize, out_dim: usize, rng: &mut TensorRng) -> Self {
-        assert!(dim % 2 == 0, "sinusoidal dimension must be even");
+        assert!(dim.is_multiple_of(2), "sinusoidal dimension must be even");
         TimeEmbedding {
             mlp1: Linear::new(&format!("{name}.mlp1"), dim, out_dim, true, rng),
             mlp2: Linear::new(&format!("{name}.mlp2"), out_dim, out_dim, true, rng),
@@ -394,7 +410,7 @@ impl TimeEmbedding {
 
 /// Standard transformer/diffusion sinusoidal embedding of integer timesteps.
 pub fn sinusoidal_embedding(timesteps: &[usize], dim: usize) -> Tensor {
-    assert!(dim % 2 == 0, "sinusoidal dimension must be even");
+    assert!(dim.is_multiple_of(2), "sinusoidal dimension must be even");
     let half = dim / 2;
     let mut data = vec![0.0f32; timesteps.len() * dim];
     for (bi, &t) in timesteps.iter().enumerate() {

@@ -19,7 +19,10 @@ pub fn l1_loss(prediction: &Var, target: &Var) -> Var {
 /// is computed only on the frames designated for generation, never on the
 /// conditioning keyframes.
 pub fn masked_frame_mse(prediction: &Var, target: &Var, frame_indices: &[usize]) -> Var {
-    assert!(!frame_indices.is_empty(), "masked_frame_mse needs at least one frame");
+    assert!(
+        !frame_indices.is_empty(),
+        "masked_frame_mse needs at least one frame"
+    );
     let pred_sel = select_frames(prediction, frame_indices);
     let tgt_sel = select_frames(target, frame_indices);
     pred_sel.sub(&tgt_sel).square().mean()

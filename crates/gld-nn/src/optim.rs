@@ -37,8 +37,12 @@ impl LrSchedule {
     pub fn lr(&self, step: usize) -> f32 {
         match *self {
             LrSchedule::Constant(lr) => lr,
-            LrSchedule::StepDecay { base, every, factor } => {
-                let decays = if every == 0 { 0 } else { step / every } as i32;
+            LrSchedule::StepDecay {
+                base,
+                every,
+                factor,
+            } => {
+                let decays = step.checked_div(every).unwrap_or(0) as i32;
                 base * factor.powi(decays)
             }
             LrSchedule::WarmupCosine {
@@ -137,8 +141,14 @@ pub struct Adam {
 impl Adam {
     /// Creates an Adam optimizer over the given parameters.
     pub fn new(params: ParameterSet, schedule: LrSchedule, config: AdamConfig) -> Self {
-        let m = params.iter().map(|p| Tensor::zeros(p.value().dims())).collect();
-        let v = params.iter().map(|p| Tensor::zeros(p.value().dims())).collect();
+        let m = params
+            .iter()
+            .map(|p| Tensor::zeros(p.value().dims()))
+            .collect();
+        let v = params
+            .iter()
+            .map(|p| Tensor::zeros(p.value().dims()))
+            .collect();
         Adam {
             params,
             schedule,
@@ -175,7 +185,9 @@ impl Adam {
                 g = g.add(&p.value().scale(self.config.weight_decay));
             }
             // m = β1 m + (1-β1) g ;  v = β2 v + (1-β2) g²
-            self.m[i] = self.m[i].scale(self.config.beta1).add(&g.scale(1.0 - self.config.beta1));
+            self.m[i] = self.m[i]
+                .scale(self.config.beta1)
+                .add(&g.scale(1.0 - self.config.beta1));
             self.v[i] = self.v[i]
                 .scale(self.config.beta2)
                 .add(&g.square().scale(1.0 - self.config.beta2));
@@ -260,7 +272,11 @@ mod tests {
         let run = |adam: bool| -> f32 {
             let p = Parameter::new("x", Tensor::from_vec(vec![10.0, 10.0, 10.0], &[3]));
             let set: ParameterSet = [p.clone()].into_iter().collect();
-            let mut adam_opt = Adam::new(set.clone(), LrSchedule::Constant(0.1), AdamConfig::default());
+            let mut adam_opt = Adam::new(
+                set.clone(),
+                LrSchedule::Constant(0.1),
+                AdamConfig::default(),
+            );
             let mut sgd_opt = Sgd::new(set, LrSchedule::Constant(0.001));
             for _ in 0..500 {
                 let loss = make_loss(&p);
@@ -302,7 +318,10 @@ mod tests {
             loss.backward();
             opt.step();
         }
-        assert!(final_loss < 1e-2, "network failed to fit: loss {final_loss}");
+        assert!(
+            final_loss < 1e-2,
+            "network failed to fit: loss {final_loss}"
+        );
     }
 
     #[test]

@@ -142,8 +142,8 @@ pub fn reduce_to_shape(grad: &Tensor, target_dims: &[usize]) -> Tensor {
         g = g.sum_axis(0, false);
     }
     // Sum over axes where the target extent is 1.
-    for axis in 0..target_dims.len() {
-        if target_dims[axis] == 1 && g.dim(axis) != 1 {
+    for (axis, &dim) in target_dims.iter().enumerate() {
+        if dim == 1 && g.dim(axis) != 1 {
             g = g.sum_axis(axis, true);
         }
     }
@@ -313,7 +313,9 @@ impl Var {
             let one_plus_t = t.add_scalar(1.0);
             let sech2 = t.square().neg().add_scalar(1.0);
             let du = x.map(move |v| c * (1.0 + 3.0 * 0.044715 * v * v));
-            one_plus_t.scale(0.5).add(&x.mul(&sech2).mul(&du).scale(0.5))
+            one_plus_t
+                .scale(0.5)
+                .add(&x.mul(&sech2).mul(&du).scale(0.5))
         };
         self.unary(x.gelu(), move |g| g.mul(&deriv))
     }
@@ -603,7 +605,10 @@ impl Var {
     pub fn group_norm(&self, groups: usize, gamma: &Var, beta: &Var, eps: f32) -> Var {
         let x = self.value();
         let (b, c, h, w) = nchw(&x);
-        assert!(c % groups == 0, "channels {c} not divisible by groups {groups}");
+        assert!(
+            c % groups == 0,
+            "channels {c} not divisible by groups {groups}"
+        );
         let cg = c / groups;
         let group_elems = cg * h * w;
         let gamma_v = gamma.value();

@@ -87,7 +87,11 @@ fn gradcheck_binary_ops_with_broadcasting() {
         2e-2,
     );
     let denom = rng.rand_uniform(&[2, 3], 1.0, 2.0);
-    check_gradient(&move |t, v| v.div(&t.constant(denom.clone())).sum(), &x, 2e-2);
+    check_gradient(
+        &move |t, v| v.div(&t.constant(denom.clone())).sum(),
+        &x,
+        2e-2,
+    );
     let numer = rng.rand_uniform(&[2, 3], 1.0, 2.0);
     check_gradient(
         &move |t, v| t.constant(numer.clone()).div(v).sum(),
@@ -205,7 +209,11 @@ fn gradcheck_conv2d_input_weight_bias() {
     let geom2 = Conv2dGeometry::new(3, 2, 1);
     let wc3 = w.clone();
     check_gradient(
-        &move |t, v| v.conv2d(&t.constant(wc3.clone()), None, geom2).square().sum(),
+        &move |t, v| {
+            v.conv2d(&t.constant(wc3.clone()), None, geom2)
+                .square()
+                .sum()
+        },
         &x,
         3e-2,
     );
@@ -267,11 +275,7 @@ fn gradcheck_attention_layer() {
     let mut rng = TensorRng::new(9);
     let attn = SelfAttention::new("attn", 4, 2, &mut rng);
     let x = rng.randn(&[1, 3, 4]).scale(0.5);
-    check_gradient(
-        &move |t, v| attn.forward(t, v).square().sum(),
-        &x,
-        5e-2,
-    );
+    check_gradient(&move |t, v| attn.forward(t, v).square().sum(), &x, 5e-2);
 }
 
 #[test]

@@ -124,12 +124,13 @@ pub fn im2col(x: &Tensor, geom: Conv2dGeometry) -> Tensor {
                             let ih = (ohi * geom.stride) as isize + khi as isize - pad;
                             for owi in 0..ow {
                                 let iw = (owi * geom.stride) as isize + kwi as isize - pad;
-                                let v = if ih >= 0 && iw >= 0 && (ih as usize) < h && (iw as usize) < w
-                                {
-                                    src[((bi * c + ci) * h + ih as usize) * w + iw as usize]
-                                } else {
-                                    0.0
-                                };
+                                let v =
+                                    if ih >= 0 && iw >= 0 && (ih as usize) < h && (iw as usize) < w
+                                    {
+                                        src[((bi * c + ci) * h + ih as usize) * w + iw as usize]
+                                    } else {
+                                        0.0
+                                    };
                                 chunk[row * oh * ow + ohi * ow + owi] = v;
                             }
                         }
@@ -143,44 +144,44 @@ pub fn im2col(x: &Tensor, geom: Conv2dGeometry) -> Tensor {
 /// Folds column form back into an NCHW tensor, accumulating overlaps.
 /// This is the adjoint of [`im2col`] and is used in the convolution backward
 /// pass with respect to the input.
-pub fn col2im(
-    cols: &Tensor,
-    geom: Conv2dGeometry,
-    c: usize,
-    h: usize,
-    w: usize,
-) -> Tensor {
+pub fn col2im(cols: &Tensor, geom: Conv2dGeometry, c: usize, h: usize, w: usize) -> Tensor {
     let b = cols.dim(0);
     let (oh, ow) = geom.output_size(h, w);
-    assert_eq!(cols.dim(1), c * geom.kh * geom.kw, "col2im channel mismatch");
+    assert_eq!(
+        cols.dim(1),
+        c * geom.kh * geom.kw,
+        "col2im channel mismatch"
+    );
     assert_eq!(cols.dim(2), oh * ow, "col2im spatial mismatch");
     let mut out = vec![0.0f32; b * c * h * w];
     let src = cols.data();
     let pad = geom.pad as isize;
-    out.par_chunks_mut(c * h * w).enumerate().for_each(|(bi, chunk)| {
-        let base = bi * (c * geom.kh * geom.kw) * oh * ow;
-        for ci in 0..c {
-            for khi in 0..geom.kh {
-                for kwi in 0..geom.kw {
-                    let row = (ci * geom.kh + khi) * geom.kw + kwi;
-                    for ohi in 0..oh {
-                        let ih = (ohi * geom.stride) as isize + khi as isize - pad;
-                        if ih < 0 || ih as usize >= h {
-                            continue;
-                        }
-                        for owi in 0..ow {
-                            let iw = (owi * geom.stride) as isize + kwi as isize - pad;
-                            if iw < 0 || iw as usize >= w {
+    out.par_chunks_mut(c * h * w)
+        .enumerate()
+        .for_each(|(bi, chunk)| {
+            let base = bi * (c * geom.kh * geom.kw) * oh * ow;
+            for ci in 0..c {
+                for khi in 0..geom.kh {
+                    for kwi in 0..geom.kw {
+                        let row = (ci * geom.kh + khi) * geom.kw + kwi;
+                        for ohi in 0..oh {
+                            let ih = (ohi * geom.stride) as isize + khi as isize - pad;
+                            if ih < 0 || ih as usize >= h {
                                 continue;
                             }
-                            chunk[(ci * h + ih as usize) * w + iw as usize] +=
-                                src[base + row * oh * ow + ohi * ow + owi];
+                            for owi in 0..ow {
+                                let iw = (owi * geom.stride) as isize + kwi as isize - pad;
+                                if iw < 0 || iw as usize >= w {
+                                    continue;
+                                }
+                                chunk[(ci * h + ih as usize) * w + iw as usize] +=
+                                    src[base + row * oh * ow + ohi * ow + owi];
+                            }
                         }
                     }
                 }
             }
-        }
-    });
+        });
     Tensor::from_vec(out, &[b, c, h, w])
 }
 
@@ -189,7 +190,11 @@ pub fn col2im(
 /// production path used by `gld-nn` and the reference for its tests.
 pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, geom: Conv2dGeometry) -> Tensor {
     let (b, c, h, w) = nchw(x);
-    assert_eq!(weight.rank(), 4, "conv2d weight must be [out_c, in_c, kh, kw]");
+    assert_eq!(
+        weight.rank(),
+        4,
+        "conv2d weight must be [out_c, in_c, kh, kw]"
+    );
     let out_c = weight.dim(0);
     assert_eq!(weight.dim(1), c, "conv2d weight in-channel mismatch");
     assert_eq!(weight.dim(2), geom.kh, "conv2d kernel height mismatch");
@@ -200,18 +205,20 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, geom: Conv2dGe
     let n = oh * ow;
     let wmat = weight.reshape(&[out_c, k]);
     let mut out = vec![0.0f32; b * out_c * n];
-    out.par_chunks_mut(out_c * n).enumerate().for_each(|(bi, chunk)| {
-        let colb = &cols.data()[bi * k * n..(bi + 1) * k * n];
-        matmul_block(wmat.data(), colb, chunk, out_c, k, n);
-        if let Some(bias) = bias {
-            for oc in 0..out_c {
-                let bv = bias.data()[oc];
-                for v in chunk[oc * n..(oc + 1) * n].iter_mut() {
-                    *v += bv;
+    out.par_chunks_mut(out_c * n)
+        .enumerate()
+        .for_each(|(bi, chunk)| {
+            let colb = &cols.data()[bi * k * n..(bi + 1) * k * n];
+            matmul_block(wmat.data(), colb, chunk, out_c, k, n);
+            if let Some(bias) = bias {
+                for oc in 0..out_c {
+                    let bv = bias.data()[oc];
+                    for v in chunk[oc * n..(oc + 1) * n].iter_mut() {
+                        *v += bv;
+                    }
                 }
             }
-        }
-    });
+        });
     Tensor::from_vec(out, &[b, out_c, oh, ow])
 }
 
@@ -289,7 +296,10 @@ mod tests {
 
     #[test]
     fn pad_reflect_mirrors() {
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 1, 3, 3]);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 1, 3, 3],
+        );
         let p = pad2d_reflect(&x, 1);
         assert_eq!(p.dims(), &[1, 1, 5, 5]);
         // Corner reflects both axes: the element at (1,1) of the original.
@@ -312,7 +322,10 @@ mod tests {
             let slow = naive_conv2d(&x, &w, Some(&b), geom);
             assert_eq!(fast.dims(), slow.dims());
             let err = fast.sub(&slow).abs().max();
-            assert!(err < 1e-4, "conv mismatch {err} at stride={stride} pad={pad}");
+            assert!(
+                err < 1e-4,
+                "conv mismatch {err} at stride={stride} pad={pad}"
+            );
         }
     }
 

@@ -117,7 +117,11 @@ pub fn symmetric_eigen(a: &Tensor, max_sweeps: usize, tol: f32) -> SymmetricEige
 /// caller decides whether to remove the mean (the error-bound module operates
 /// on residuals that are already near zero mean).
 pub fn principal_components(x: &Tensor, k: usize) -> (Tensor, Vec<f32>) {
-    assert_eq!(x.rank(), 2, "principal_components requires [samples, features]");
+    assert_eq!(
+        x.rank(),
+        2,
+        "principal_components requires [samples, features]"
+    );
     let features = x.dim(1);
     let k = k.min(features);
     // Covariance (Gram) matrix scaled by the sample count.
@@ -204,6 +208,9 @@ mod tests {
         assert_eq!(pcs.dims(), &[2, 2]);
         assert!(var[0] > 10.0 * var[1]);
         let ratio = (pcs.at(&[0, 0]) / pcs.at(&[1, 0])).abs();
-        assert!((ratio - 1.0).abs() < 0.05, "first PC not along (1,1): ratio {ratio}");
+        assert!(
+            (ratio - 1.0).abs() < 0.05,
+            "first PC not along (1,1): ratio {ratio}"
+        );
     }
 }

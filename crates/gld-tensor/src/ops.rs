@@ -74,7 +74,8 @@ impl Tensor {
     /// Element-wise GELU (tanh approximation).
     pub fn gelu(&self) -> Tensor {
         self.map(|x| {
-            0.5 * x * (1.0 + ((2.0 / std::f32::consts::PI).sqrt() * (x + 0.044715 * x * x * x)).tanh())
+            0.5 * x
+                * (1.0 + ((2.0 / std::f32::consts::PI).sqrt() * (x + 0.044715 * x * x * x)).tanh())
         })
     }
 
@@ -133,8 +134,14 @@ impl Tensor {
     /// exactly (its scale becomes zero and only the offset survives).
     pub fn normalize_minmax(&self) -> (Tensor, f32, f32) {
         let min = self.data().iter().cloned().fold(f32::INFINITY, f32::min);
-        let max = self.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        if !(max > min) {
+        let max = self
+            .data()
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
+        // `partial_cmp` keeps the NaN behaviour explicit: any NaN (or a
+        // constant tensor) short-circuits to the degenerate branch.
+        if max.partial_cmp(&min) != Some(std::cmp::Ordering::Greater) {
             return (Tensor::zeros(self.dims()), min, min);
         }
         let scale = 2.0 / (max - min);
@@ -155,7 +162,11 @@ impl Tensor {
         let n = self.numel() as f64;
         let mean = (self.data().iter().map(|&x| x as f64).sum::<f64>() / n) as f32;
         let min = self.data().iter().cloned().fold(f32::INFINITY, f32::min);
-        let max = self.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let max = self
+            .data()
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
         let range = if max > min { max - min } else { 1.0 };
         let inv = 1.0 / range;
         let out = self.map(move |x| (x - mean) * inv);

@@ -96,7 +96,10 @@ mod tests {
         let mut a = TensorRng::new(42);
         let mut b = TensorRng::new(42);
         assert_eq!(a.randn(&[16]), b.randn(&[16]));
-        assert_eq!(a.rand_uniform(&[8], -1.0, 1.0), b.rand_uniform(&[8], -1.0, 1.0));
+        assert_eq!(
+            a.rand_uniform(&[8], -1.0, 1.0),
+            b.rand_uniform(&[8], -1.0, 1.0)
+        );
     }
 
     #[test]
@@ -111,7 +114,11 @@ mod tests {
         let mut rng = TensorRng::new(7);
         let t = rng.randn(&[20_000]);
         assert!(t.mean().abs() < 0.05, "mean {}", t.mean());
-        assert!((t.variance() - 1.0).abs() < 0.1, "variance {}", t.variance());
+        assert!(
+            (t.variance() - 1.0).abs() < 0.1,
+            "variance {}",
+            t.variance()
+        );
     }
 
     #[test]
@@ -136,7 +143,7 @@ mod tests {
     fn permutation_is_a_permutation() {
         let mut rng = TensorRng::new(5);
         let p = rng.permutation(100);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &i in &p {
             assert!(!seen[i]);
             seen[i] = true;

@@ -18,7 +18,10 @@ impl Tensor {
 
     /// Maximum element.
     pub fn max(&self) -> f32 {
-        self.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element.

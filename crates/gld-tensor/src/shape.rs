@@ -65,7 +65,10 @@ impl Shape {
         let strides = self.strides();
         let mut off = 0usize;
         for (axis, (&i, &d)) in index.iter().zip(self.0.iter()).enumerate() {
-            assert!(i < d, "index {i} out of bounds for axis {axis} with extent {d}");
+            assert!(
+                i < d,
+                "index {i} out of bounds for axis {axis} with extent {d}"
+            );
             off += i * strides[axis];
         }
         off
@@ -123,8 +126,16 @@ pub fn broadcast_shapes(a: &Shape, b: &Shape) -> Option<Shape> {
     let rank = a.rank().max(b.rank());
     let mut out = vec![0usize; rank];
     for i in 0..rank {
-        let da = if i < a.rank() { a.0[a.rank() - 1 - i] } else { 1 };
-        let db = if i < b.rank() { b.0[b.rank() - 1 - i] } else { 1 };
+        let da = if i < a.rank() {
+            a.0[a.rank() - 1 - i]
+        } else {
+            1
+        };
+        let db = if i < b.rank() {
+            b.0[b.rank() - 1 - i]
+        } else {
+            1
+        };
         let d = if da == db {
             da
         } else if da == 1 {

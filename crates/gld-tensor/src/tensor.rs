@@ -238,7 +238,10 @@ impl Tensor {
     /// Removes a size-1 dimension at `axis`.
     pub fn squeeze(&self, axis: usize) -> Tensor {
         let mut dims = self.dims().to_vec();
-        assert!(axis < dims.len() && dims[axis] == 1, "squeeze axis must have extent 1");
+        assert!(
+            axis < dims.len() && dims[axis] == 1,
+            "squeeze axis must have extent 1"
+        );
         dims.remove(axis);
         self.reshape(&dims)
     }
@@ -247,16 +250,15 @@ impl Tensor {
     pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
         assert!(!tensors.is_empty(), "concat of zero tensors");
         let rank = tensors[0].rank();
-        assert!(axis < rank, "concat axis {axis} out of range for rank {rank}");
+        assert!(
+            axis < rank,
+            "concat axis {axis} out of range for rank {rank}"
+        );
         for t in tensors {
             assert_eq!(t.rank(), rank, "concat rank mismatch");
             for d in 0..rank {
                 if d != axis {
-                    assert_eq!(
-                        t.dim(d),
-                        tensors[0].dim(d),
-                        "concat dimension {d} mismatch"
-                    );
+                    assert_eq!(t.dim(d), tensors[0].dim(d), "concat dimension {d} mismatch");
                 }
             }
         }
@@ -334,7 +336,11 @@ impl Tensor {
     /// it must equal `indices.len()`.
     pub fn index_assign(&mut self, axis: usize, indices: &[usize], src: &Tensor) {
         assert!(axis < self.rank(), "index_assign axis out of range");
-        assert_eq!(src.dim(axis), indices.len(), "index_assign source extent mismatch");
+        assert_eq!(
+            src.dim(axis),
+            indices.len(),
+            "index_assign source extent mismatch"
+        );
         let dims = self.dims().to_vec();
         let outer: usize = dims[..axis].iter().product();
         let inner: usize = dims[axis + 1..].iter().product();
@@ -354,9 +360,8 @@ impl Tensor {
     /// Broadcasts the tensor to `dims`, which must be broadcast-compatible.
     pub fn broadcast_to(&self, dims: &[usize]) -> Tensor {
         let target = Shape::new(dims);
-        let bshape = broadcast_shapes(&self.shape, &target).unwrap_or_else(|| {
-            panic!("cannot broadcast {} to {}", self.shape, target)
-        });
+        let bshape = broadcast_shapes(&self.shape, &target)
+            .unwrap_or_else(|| panic!("cannot broadcast {} to {}", self.shape, target));
         assert_eq!(
             bshape, target,
             "broadcast_to target {target} is smaller than source {}",
@@ -371,9 +376,9 @@ impl Tensor {
         out.par_iter_mut().enumerate().for_each(|(flat, v)| {
             let mut rem = flat;
             let mut src = 0usize;
-            for axis in 0..rank {
-                let coord = rem / out_strides[axis];
-                rem %= out_strides[axis];
+            for (axis, &stride) in out_strides.iter().enumerate().take(rank) {
+                let coord = rem / stride;
+                rem %= stride;
                 if axis >= offset {
                     let saxis = axis - offset;
                     let c = if src_dims[saxis] == 1 { 0 } else { coord };
@@ -523,20 +528,25 @@ impl Tensor {
             (3, 3) => {
                 let (ba, m, k) = (self.dim(0), self.dim(1), self.dim(2));
                 let (bb, k2, n) = (other.dim(0), other.dim(1), other.dim(2));
-                assert_eq!(k, k2, "batched matmul inner dimension mismatch: {k} vs {k2}");
+                assert_eq!(
+                    k, k2,
+                    "batched matmul inner dimension mismatch: {k} vs {k2}"
+                );
                 assert!(
                     ba == bb || ba == 1 || bb == 1,
                     "batched matmul batch mismatch: {ba} vs {bb}"
                 );
                 let b = ba.max(bb);
                 let mut out = vec![0.0f32; b * m * n];
-                out.par_chunks_mut(m * n).enumerate().for_each(|(bi, chunk)| {
-                    let ai = if ba == 1 { 0 } else { bi };
-                    let bi2 = if bb == 1 { 0 } else { bi };
-                    let a = &self.data[ai * m * k..(ai + 1) * m * k];
-                    let bmat = &other.data[bi2 * k * n..(bi2 + 1) * k * n];
-                    matmul_block(a, bmat, chunk, m, k, n);
-                });
+                out.par_chunks_mut(m * n)
+                    .enumerate()
+                    .for_each(|(bi, chunk)| {
+                        let ai = if ba == 1 { 0 } else { bi };
+                        let bi2 = if bb == 1 { 0 } else { bi };
+                        let a = &self.data[ai * m * k..(ai + 1) * m * k];
+                        let bmat = &other.data[bi2 * k * n..(bi2 + 1) * k * n];
+                        matmul_block(a, bmat, chunk, m, k, n);
+                    });
                 Tensor::from_vec(out, &[b, m, n])
             }
             (ra, rb) => panic!("matmul supports rank 2×2 or 3×3, got {ra}×{rb}"),

@@ -89,7 +89,7 @@ proptest! {
             let mut sum = 0.0;
             for c in 0..cols {
                 let v = s.at(&[r, c]);
-                prop_assert!(v >= 0.0 && v <= 1.0 + 1e-6);
+                prop_assert!((0.0..=1.0 + 1e-6).contains(&v));
                 sum += v;
             }
             prop_assert!((sum - 1.0).abs() < 1e-4);

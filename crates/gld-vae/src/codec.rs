@@ -21,14 +21,18 @@ fn symbols_to_tensor(symbols: &[i32], dims: &[usize]) -> Tensor {
     Tensor::from_vec(symbols.iter().map(|&s| s as f32).collect(), dims)
 }
 
-fn write_dims(out: &mut Vec<u8>, dims: &[usize]) {
+/// Appends a rank-prefixed dimension list (`u8` rank + `u32` per dim) —
+/// the framing every latent bitstream in the stack uses for tensor shapes.
+pub fn write_dims(out: &mut Vec<u8>, dims: &[usize]) {
     out.push(dims.len() as u8);
     for &d in dims {
         out.extend_from_slice(&(d as u32).to_le_bytes());
     }
 }
 
-fn read_dims(bytes: &[u8]) -> (Vec<usize>, usize) {
+/// Parses a dimension list written by [`write_dims`], returning the dims and
+/// the number of bytes consumed.
+pub fn read_dims(bytes: &[u8]) -> (Vec<usize>, usize) {
     let rank = bytes[0] as usize;
     let mut dims = Vec::with_capacity(rank);
     let mut off = 1;
@@ -97,8 +101,7 @@ impl<'a> LatentCodec<'a> {
         let z_symbols = z_model.decode(&mut dec, z_count);
         let z = symbols_to_tensor(&z_symbols, &z_dims);
         let (mu, sigma) = self.vae.predict_gaussian(&z);
-        let y_symbols =
-            GaussianConditionalModel::new().decode(&mut dec, mu.data(), sigma.data());
+        let y_symbols = GaussianConditionalModel::new().decode(&mut dec, mu.data(), sigma.data());
         symbols_to_tensor(&y_symbols, &y_dims)
     }
 }
@@ -259,8 +262,12 @@ mod tests {
         let vae = vae();
         let ds = generate(DatasetKind::S3d, &FieldSpec::tiny(), 3);
         let codec = FrameCodec::new(&vae);
-        let two = codec.compress(&ds.variables[0].frames.slice_axis(0, 0, 2)).len();
-        let eight = codec.compress(&ds.variables[0].frames.slice_axis(0, 0, 8)).len();
+        let two = codec
+            .compress(&ds.variables[0].frames.slice_axis(0, 0, 2))
+            .len();
+        let eight = codec
+            .compress(&ds.variables[0].frames.slice_axis(0, 0, 8))
+            .len();
         assert!(eight > two);
         assert!(eight < two * 8, "per-frame cost should amortise headers");
     }

@@ -58,7 +58,7 @@ impl VaeConfig {
     /// Latent spatial size for a given input frame size.
     pub fn latent_size(&self, h: usize, w: usize) -> (usize, usize) {
         assert!(
-            h % self.downsample == 0 && w % self.downsample == 0,
+            h.is_multiple_of(self.downsample) && w.is_multiple_of(self.downsample),
             "frame {h}x{w} must be divisible by the downsample factor {}",
             self.downsample
         );

@@ -78,8 +78,17 @@ impl Vae {
     pub fn parameters(&self) -> ParameterSet {
         let mut set = ParameterSet::new();
         for layer in [
-            &self.enc1, &self.enc2, &self.enc3, &self.dec1, &self.dec2, &self.dec3, &self.dec4,
-            &self.henc1, &self.henc2, &self.hdec1, &self.hdec2,
+            &self.enc1,
+            &self.enc2,
+            &self.enc3,
+            &self.dec1,
+            &self.dec2,
+            &self.dec3,
+            &self.dec4,
+            &self.henc1,
+            &self.henc2,
+            &self.hdec1,
+            &self.hdec2,
         ] {
             set.extend(&layer.parameters());
         }
@@ -152,7 +161,12 @@ impl Vae {
     /// `[B, 1, H, W]`, using additive uniform noise as the differentiable
     /// quantisation surrogate.  Returns the scalar loss variable plus
     /// detached diagnostics.
-    pub fn rd_loss(&self, tape: &Tape, frames: &Tensor, rng: &mut TensorRng) -> (Var, RateDistortion) {
+    pub fn rd_loss(
+        &self,
+        tape: &Tape,
+        frames: &Tensor,
+        rng: &mut TensorRng,
+    ) -> (Var, RateDistortion) {
         assert_eq!(frames.rank(), 4, "frames must be [B, 1, H, W]");
         let x = tape.constant(frames.clone());
         let y = self.encode(tape, &x);
@@ -174,7 +188,9 @@ impl Vae {
         let bits_y = gaussian_bits(&y_noisy, &mu, &sigma);
         // Factorized prior over z: zero-mean Gaussian with learnable
         // per-channel scale.
-        let z_scale = self.z_scale(tape).reshape(&[1, self.config.hyper_channels, 1, 1]);
+        let z_scale = self
+            .z_scale(tape)
+            .reshape(&[1, self.config.hyper_channels, 1, 1]);
         let zero = tape.constant(Tensor::zeros(&z_dims));
         let z_scale_full = z_scale.mul(&tape.constant(Tensor::ones(&z_dims)));
         let bits_z = gaussian_bits(&z_noisy, &zero, &z_scale_full);

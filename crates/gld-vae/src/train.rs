@@ -90,7 +90,10 @@ impl VaeTrainer {
     /// Runs `steps` optimisation steps over the given variables and returns
     /// a report.  Training is deterministic for a fixed config seed.
     pub fn train(&mut self, variables: &[Variable], steps: usize) -> TrainReport {
-        assert!(!variables.is_empty(), "training requires at least one variable");
+        assert!(
+            !variables.is_empty(),
+            "training requires at least one variable"
+        );
         let mut initial_loss = f32::NAN;
         let mut final_loss = f32::NAN;
         let mut final_rd = RateDistortion {

@@ -23,7 +23,10 @@ fn main() {
         fine_tune_steps: 0,
         fine_tune_schedule: 16,
     };
-    println!("training the learned compressor on {} variables ...", dataset.variables.len());
+    println!(
+        "training the learned compressor on {} variables ...",
+        dataset.variables.len()
+    );
     let compressor = GldCompressor::train(config, &dataset.variables, budget);
 
     let target_nrmse = 5e-3;
@@ -32,13 +35,22 @@ fn main() {
     for variable in &dataset.variables {
         let (_, ratio, err) = compressor.compress_variable(variable, Some(target_nrmse));
         ours_ratio += ratio / dataset.variables.len() as f64;
-        println!("{:<18} {:>13.1}x {:>12.2e}  ({})", "Ours", ratio, err, variable.name);
+        println!(
+            "{:<18} {:>13.1}x {:>12.2e}  ({})",
+            "Ours", ratio, err, variable.name
+        );
     }
 
     // Rule-based baselines at an absolute bound matched to the same NRMSE.
     for (name, compressor) in [
-        ("SZ3-like", &SzCompressor::new() as &dyn ErrorBoundedCompressor),
-        ("ZFP-like", &ZfpLikeCompressor::new() as &dyn ErrorBoundedCompressor),
+        (
+            "SZ3-like",
+            &SzCompressor::new() as &dyn ErrorBoundedCompressor,
+        ),
+        (
+            "ZFP-like",
+            &ZfpLikeCompressor::new() as &dyn ErrorBoundedCompressor,
+        ),
     ] {
         let mut mean_ratio = 0.0;
         let mut worst_err = 0.0f32;

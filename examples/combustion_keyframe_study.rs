@@ -47,14 +47,21 @@ fn main() {
             let orig = block.slice_axis(0, t, t + 1);
             let rec = recon.slice_axis(0, t, t + 1);
             let err = nrmse(&orig, &rec);
-            let marker = if partition.conditioning.contains(&t) { "*" } else { " " };
+            let marker = if partition.conditioning.contains(&t) {
+                "*"
+            } else {
+                " "
+            };
             print!("{err:.1e}{marker} ");
             if partition.generated.contains(&t) {
                 generated_err += err / partition.generated.len() as f32;
             }
         }
         println!("\n(* = keyframe)   mean generated-frame NRMSE: {generated_err:.2e}");
-        println!("compression ratio without post-processing: {:.1}x", compressed.compression_ratio());
+        println!(
+            "compression ratio without post-processing: {:.1}x",
+            compressed.compression_ratio()
+        );
     }
     println!("\nSee `cargo run -p gld-bench --bin fig2_keyframe_strategies` for the full Figure 2 reproduction.");
 }

@@ -55,7 +55,10 @@ fn main() {
     println!("--- results ---");
     println!("original size     : {} bytes", compressed.original_bytes());
     println!("compressed size   : {} bytes", compressed.total_bytes());
-    println!("  keyframe stream : {} bytes", compressed.keyframe_bytes.len());
+    println!(
+        "  keyframe stream : {} bytes",
+        compressed.keyframe_bytes.len()
+    );
     println!("  error-bound aux : {} bytes", compressed.aux_bytes.len());
     println!("compression ratio : {:.1}x", compressed.compression_ratio());
     println!("requested NRMSE   : {target:.1e}");

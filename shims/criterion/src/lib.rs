@@ -1,0 +1,147 @@
+//! Minimal criterion-compatible benchmark harness for offline builds.
+//!
+//! Provides `Criterion`, `benchmark_group`, `Bencher::iter`, `black_box` and
+//! the `criterion_group!`/`criterion_main!` macros.  Each benchmark runs a
+//! short warm-up followed by `sample_size` timed samples and reports the
+//! median wall-clock time per iteration.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work (re-export of `std::hint::black_box`).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 30,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl ToString, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), 30, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Times `f` and prints the median per-iteration wall-clock time.
+    pub fn bench_function<F>(&mut self, id: impl ToString, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.to_string());
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    // Warm-up sample (also sizes the iteration batch).
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+    if bencher.iters > 0 {
+        per_iter.push(bencher.elapsed / bencher.iters as u32);
+    }
+    for _ in 1..samples {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        if bencher.iters > 0 {
+            per_iter.push(bencher.elapsed / bencher.iters as u32);
+        }
+    }
+    per_iter.sort_unstable();
+    if per_iter.is_empty() {
+        println!("{label:<50} (no iterations)");
+        return;
+    }
+    let median = per_iter[per_iter.len() / 2];
+    let lo = per_iter[0];
+    let hi = per_iter[per_iter.len() - 1];
+    println!(
+        "{label:<50} median {:>12?}   [{:?} .. {:?}]   ({} samples)",
+        median,
+        lo,
+        hi,
+        per_iter.len()
+    );
+}
+
+/// Passed to benchmark closures; times the measured routine.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One measured batch per sample keeps total runtime bounded even for
+        // slow routines (the workloads here are milliseconds to seconds).
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

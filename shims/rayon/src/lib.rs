@@ -1,0 +1,691 @@
+//! Minimal rayon-compatible data-parallel iterators for offline builds.
+//!
+//! The model mirrors rayon's: a parallel iterator is a *splittable producer*
+//! over contiguous index ranges.  Terminal operations cut the producer into
+//! one contiguous piece per worker and drive the pieces on scoped OS threads
+//! (`std::thread::scope`), so `for_each` side effects and `collect` results
+//! are gathered in piece order and ordering-identical to the sequential
+//! path.  Fold-style reductions (`sum`) combine per-piece partials, so —
+//! exactly as with real rayon — floating-point sums may regroup at piece
+//! boundaries and depend on the worker count; code needing bit-stable
+//! aggregates should `collect` and reduce sequentially (as
+//! `gld_core::codec::compress_windows` does).
+//!
+//! Two departures from real rayon, both invisible to callers:
+//!
+//! * there is no persistent worker pool — threads are scoped per terminal
+//!   call.  To keep tiny tensor ops cheap, workloads below an automatic
+//!   weight threshold run inline on the calling thread;
+//! * `with_min_len(n)` doubles as the opt-in for small-`len` workloads whose
+//!   per-item cost is large (e.g. compressing one temporal block per item):
+//!   it bounds the minimum items per piece exactly like rayon's and marks the
+//!   iterator as worth parallelising regardless of the weight heuristic.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Total `f32`-element-sized work below which a terminal op stays inline.
+const AUTO_PARALLEL_WEIGHT: usize = 16_384;
+
+fn worker_count() -> usize {
+    // Same override real rayon honours; useful to force multi-threaded
+    // execution on single-core machines (and to exercise the cross-thread
+    // paths in determinism tests).
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A splittable, contiguous parallel producer.
+pub trait ParallelIterator: Sized + Send {
+    /// Item produced for the consumer.
+    type Item: Send;
+    /// Sequential driver for one piece.
+    type SeqIter: Iterator<Item = Self::Item> + Send;
+
+    /// Number of items left.
+    fn len(&self) -> usize;
+
+    /// True when no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Estimated total work in element-ops (drives the auto threshold).
+    fn weight(&self) -> usize {
+        self.len()
+    }
+
+    /// Explicit minimum items per piece, when set via [`Self::with_min_len`].
+    fn min_split_len(&self) -> Option<usize> {
+        None
+    }
+
+    /// Splits into `[0, index)` and `[index, len)` pieces.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Converts the remaining range into a sequential iterator.
+    fn into_seq(self) -> Self::SeqIter;
+
+    /// Bounds the minimum number of items a piece may hold and opts the
+    /// iterator into parallel execution even when `len` is small.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen {
+            inner: self,
+            min: min.max(1),
+        }
+    }
+
+    /// Maps every item through `f`.
+    fn map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        T: Send,
+        F: Fn(Self::Item) -> T + Sync + Send + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Pairs items positionally with `other` (lengths must match, as in
+    /// rayon's indexed zip).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        assert_eq!(self.len(), other.len(), "zip length mismatch");
+        Zip { a: self, b: other }
+    }
+
+    /// Attaches the global item index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            inner: self,
+            offset: 0,
+        }
+    }
+
+    /// Consumes every item with `f`, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let pieces = split_for_drive(self);
+        if pieces.len() == 1 {
+            for piece in pieces {
+                piece.into_seq().for_each(&f);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            for piece in pieces {
+                let f = &f;
+                scope.spawn(move || piece.into_seq().for_each(f));
+            }
+        });
+    }
+
+    /// Sums the items, combining per-piece partial sums in piece order.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let mut pieces = split_for_drive(self);
+        if pieces.len() == 1 {
+            return pieces.remove(0).into_seq().sum();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = pieces
+                .into_iter()
+                .map(|piece| scope.spawn(move || piece.into_seq().sum::<S>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon shim worker panicked"))
+                .sum()
+        })
+    }
+
+    /// Collects the items in order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        let mut pieces = split_for_drive(self);
+        if pieces.len() == 1 {
+            return pieces.remove(0).into_seq().collect();
+        }
+        let gathered: Vec<Vec<Self::Item>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = pieces
+                .into_iter()
+                .map(|piece| scope.spawn(move || piece.into_seq().collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon shim worker panicked"))
+                .collect()
+        });
+        gathered.into_iter().flatten().collect()
+    }
+}
+
+fn split_for_drive<I: ParallelIterator>(iter: I) -> Vec<I> {
+    let len = iter.len();
+    if len == 0 {
+        return vec![iter];
+    }
+    let pieces = match iter.min_split_len() {
+        Some(min) => len.div_ceil(min).min(worker_count()),
+        None if iter.weight() >= AUTO_PARALLEL_WEIGHT && len >= 2 => worker_count(),
+        None => 1,
+    }
+    .clamp(1, len);
+    let mut out = Vec::with_capacity(pieces);
+    let mut rest = iter;
+    let mut remaining = len;
+    let mut left = pieces;
+    while left > 1 {
+        let take = remaining.div_ceil(left);
+        let (head, tail) = rest.split_at(take);
+        out.push(head);
+        rest = tail;
+        remaining -= take;
+        left -= 1;
+    }
+    out.push(rest);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Producers
+// ---------------------------------------------------------------------------
+
+/// Parallel `&[T]` iterator.
+pub struct Iter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index.min(self.slice.len()));
+        (Iter { slice: a }, Iter { slice: b })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter()
+    }
+}
+
+/// Parallel `&mut [T]` iterator.
+pub struct IterMut<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for IterMut<'a, T> {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = index.min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(mid);
+        (IterMut { slice: a }, IterMut { slice: b })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel non-overlapping `&[T]` chunks.
+pub struct Chunks<'a, T: Sync> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+    type SeqIter = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn weight(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.chunk).min(self.slice.len());
+        let (a, b) = self.slice.split_at(mid);
+        (
+            Chunks {
+                slice: a,
+                chunk: self.chunk,
+            },
+            Chunks {
+                slice: b,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks(self.chunk)
+    }
+}
+
+/// Parallel non-overlapping `&mut [T]` chunks.
+pub struct ChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn weight(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.chunk).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(mid);
+        (
+            ChunksMut {
+                slice: a,
+                chunk: self.chunk,
+            },
+            ChunksMut {
+                slice: b,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks_mut(self.chunk)
+    }
+}
+
+/// Parallel `Range<usize>` iterator.
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    type SeqIter = Range<usize>;
+
+    fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (self.range.start + index).min(self.range.end);
+        (
+            RangeIter {
+                range: self.range.start..mid,
+            },
+            RangeIter {
+                range: mid..self.range.end,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.range
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// See [`ParallelIterator::with_min_len`].
+pub struct MinLen<I> {
+    inner: I,
+    min: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for MinLen<I> {
+    type Item = I::Item;
+    type SeqIter = I::SeqIter;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn weight(&self) -> usize {
+        self.inner.weight()
+    }
+
+    fn min_split_len(&self) -> Option<usize> {
+        Some(self.min)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(index);
+        (
+            MinLen {
+                inner: a,
+                min: self.min,
+            },
+            MinLen {
+                inner: b,
+                min: self.min,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.inner.into_seq()
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, T, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    T: Send,
+    F: Fn(I::Item) -> T + Sync + Send + Clone,
+{
+    type Item = T;
+    type SeqIter = std::iter::Map<I::SeqIter, F>;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn weight(&self) -> usize {
+        self.inner.weight()
+    }
+
+    fn min_split_len(&self) -> Option<usize> {
+        self.inner.min_split_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(index);
+        (
+            Map {
+                inner: a,
+                f: self.f.clone(),
+            },
+            Map {
+                inner: b,
+                f: self.f,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.inner.into_seq().map(self.f)
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type SeqIter = std::iter::Zip<A::SeqIter, B::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn weight(&self) -> usize {
+        self.a.weight().max(self.b.weight())
+    }
+
+    fn min_split_len(&self) -> Option<usize> {
+        match (self.a.min_split_len(), self.b.min_split_len()) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        }
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(index);
+        let (b1, b2) = self.b.split_at(index);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    inner: I,
+    offset: usize,
+}
+
+/// Sequential driver for [`Enumerate`] (tracks the global offset).
+pub struct SeqEnumerate<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for SeqEnumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let idx = self.next;
+        self.next += 1;
+        Some((idx, item))
+    }
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type SeqIter = SeqEnumerate<I::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn weight(&self) -> usize {
+        self.inner.weight()
+    }
+
+    fn min_split_len(&self) -> Option<usize> {
+        self.inner.min_split_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(index);
+        (
+            Enumerate {
+                inner: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                inner: b,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        SeqEnumerate {
+            inner: self.inner.into_seq(),
+            next: self.offset,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// `par_iter`/`par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> Iter<'_, T>;
+    /// Parallel iterator over non-overlapping chunks.
+    fn par_chunks(&self, chunk: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Iter<'_, T> {
+        Iter { slice: self }
+    }
+
+    fn par_chunks(&self, chunk: usize) -> Chunks<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        Chunks { slice: self, chunk }
+    }
+}
+
+/// `par_iter_mut`/`par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> IterMut<'_, T>;
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> IterMut<'_, T> {
+        IterMut { slice: self }
+    }
+
+    fn par_chunks_mut(&mut self, chunk: usize) -> ChunksMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ChunksMut { slice: self, chunk }
+    }
+}
+
+/// Conversion into a parallel iterator (`0..n`, `Vec`, references).
+pub trait IntoParallelIterator {
+    /// Produced item type.
+    type Item: Send;
+    /// Producer type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = Iter<'a, T>;
+
+    fn into_par_iter(self) -> Iter<'a, T> {
+        Iter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = Iter<'a, T>;
+
+    fn into_par_iter(self) -> Iter<'a, T> {
+        Iter { slice: self }
+    }
+}
+
+/// Everything a consumer normally imports.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let data: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = data.par_iter().with_min_len(1).map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_mutates_every_chunk() {
+        let mut data = vec![0f32; 100_000];
+        data.par_chunks_mut(1000)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                for v in chunk.iter_mut() {
+                    *v = i as f32;
+                }
+            });
+        assert_eq!(data[0], 0.0);
+        assert_eq!(data[99_999], 99.0);
+        assert_eq!(data[50_500], 50.0);
+    }
+
+    #[test]
+    fn zip_sum_matches_sequential() {
+        let a: Vec<f32> = (0..50_000).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..50_000).map(|i| (i % 7) as f32).collect();
+        let par: f64 = a
+            .par_iter()
+            .zip(b.par_iter())
+            .map(|(&x, &y)| x as f64 * y as f64)
+            .sum();
+        let seq: f64 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| x as f64 * y as f64)
+            .sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn small_workloads_run_inline_but_stay_correct() {
+        let data = [1, 2, 3];
+        let out: Vec<i32> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..1000)
+            .into_par_iter()
+            .with_min_len(8)
+            .map(|i| i * i)
+            .collect();
+        assert_eq!(squares[31], 961);
+        assert_eq!(squares.len(), 1000);
+    }
+}

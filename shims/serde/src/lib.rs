@@ -1,0 +1,12 @@
+//! Minimal serde facade for offline builds: marker traits plus the no-op
+//! derive macros from `serde_derive`.  See `shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros for offline builds.
+//!
+//! The workspace's persistent formats are all hand-framed binary (see
+//! `gld_core::container`); the serde derives on config/data structs exist so
+//! the types remain drop-in compatible with the real serde ecosystem.  These
+//! shims accept the derive syntax and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,14 @@
+//! Workspace facade crate: re-exports the public API of every GLD crate so
+//! the root-level `tests/` and `examples/` build against one dependency
+//! graph.  See `README.md` for the crate map.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use gld_baselines;
+pub use gld_core;
+pub use gld_datasets;
+pub use gld_diffusion;
+pub use gld_entropy;
+pub use gld_tensor;
+pub use gld_vae;

@@ -1,0 +1,185 @@
+//! Contract tests for the binary container format and the parallel block
+//! pipeline: encode→decode equality, reported sizes matching measured
+//! serialized lengths, header validation, per-block seed derivation and
+//! parallel-vs-sequential bit-identical output.
+
+use gld_baselines::SzCompressor;
+use gld_core::{
+    derive_block_seed, Codec, CodecId, CompressedBlock, Container, ContainerError, ErrorTarget,
+    GldCompressor, GldConfig, LearnedBaseline, LearnedBaselineKind,
+};
+use gld_datasets::{generate, DatasetKind, FieldSpec};
+use gld_diffusion::ConditionalDiffusion;
+use gld_vae::{Vae, VaeConfig};
+
+/// An untrained (but fully functional and deterministic) pipeline — the
+/// container/framing contracts must hold regardless of model quality.
+fn untrained_compressor() -> GldCompressor {
+    let config = GldConfig::tiny();
+    GldCompressor::from_parts(
+        config,
+        Vae::new(config.vae),
+        ConditionalDiffusion::new(config.diffusion),
+    )
+}
+
+#[test]
+fn block_frame_roundtrips_and_total_bytes_is_the_serialized_length() {
+    let compressor = untrained_compressor();
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::tiny(), 5);
+    let block = ds.variables[0].frames.slice_axis(0, 0, 8);
+    for target in [None, Some(1e-2)] {
+        let compressed = compressor.compress_block(&block, target);
+        let frame = compressed.encode();
+        assert_eq!(
+            frame.len(),
+            compressed.total_bytes(),
+            "reported size must equal measured serialized size (target {target:?})"
+        );
+        let decoded = CompressedBlock::decode(&frame).expect("frame decodes");
+        assert_eq!(decoded.frames, compressed.frames);
+        assert_eq!(decoded.frame_norms, compressed.frame_norms);
+        assert_eq!(decoded.latent_range, compressed.latent_range);
+        assert_eq!(decoded.keyframe_bytes, compressed.keyframe_bytes);
+        assert_eq!(decoded.aux_bytes, compressed.aux_bytes);
+        assert_eq!(decoded.sampling_seed, compressed.sampling_seed);
+        assert_eq!(decoded.denoising_steps, compressed.denoising_steps);
+        // The round-tripped block decompresses to the identical tensor.
+        assert_eq!(
+            compressor.decompress_block(&decoded),
+            compressor.decompress_block(&compressed)
+        );
+    }
+}
+
+#[test]
+fn container_stats_report_the_measured_encoded_length() {
+    let compressor = untrained_compressor();
+    let ds = generate(DatasetKind::S3d, &FieldSpec::tiny(), 9);
+    let (container, stats) = Codec::compress_variable(
+        &compressor,
+        &ds.variables[0],
+        compressor.config().block_frames,
+        None,
+    );
+    let encoded = container.encode();
+    assert_eq!(stats.compressed_bytes, encoded.len());
+    assert_eq!(stats.blocks, 2); // 16 frames / N = 8
+    assert_eq!(stats.original_bytes, 16 * 16 * 16 * 4);
+    assert!(stats.compression_ratio > 1.0);
+    // Decoding the container yields per-block reconstructions of the right
+    // shape through the same codec.
+    let decoded = Container::decode(&encoded).expect("container decodes");
+    assert_eq!(decoded, container);
+    let blocks = Codec::decompress_container(&compressor, &decoded).expect("codec id matches");
+    assert_eq!(blocks.len(), 2);
+    assert!(blocks.iter().all(|b| b.dims() == [8, 16, 16]));
+}
+
+#[test]
+fn containers_reject_magic_version_and_codec_mismatches() {
+    let compressor = untrained_compressor();
+    let ds = generate(DatasetKind::Jhtdb, &FieldSpec::tiny(), 13);
+    let (container, _) = Codec::compress_variable(&compressor, &ds.variables[0], 8, None);
+    let good = container.encode();
+
+    let mut bad_magic = good.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(
+        Container::decode(&bad_magic),
+        Err(ContainerError::BadMagic(_))
+    ));
+
+    let mut bad_version = good.clone();
+    bad_version[4] = 0x7F;
+    assert!(matches!(
+        Container::decode(&bad_version),
+        Err(ContainerError::UnsupportedVersion(_))
+    ));
+
+    let mut bad_codec = good.clone();
+    bad_codec[6] = 0xEE;
+    assert!(matches!(
+        Container::decode(&bad_codec),
+        Err(ContainerError::UnknownCodec(0xEE))
+    ));
+
+    assert!(matches!(
+        Container::decode(&good[..good.len() - 3]),
+        Err(ContainerError::Truncated { .. })
+    ));
+
+    // A container from a different codec is refused at decompression.
+    let sz = SzCompressor::new();
+    let (sz_container, _) = Codec::compress_variable(&sz, &ds.variables[0], 8, None);
+    assert_eq!(sz_container.codec(), CodecId::SzLike);
+    assert!(Codec::decompress_container(&compressor, &sz_container).is_err());
+
+    // A block frame whose declared frame count exceeds the bytes present is
+    // rejected as truncated without attempting a huge allocation.
+    let block = ds.variables[0].frames.slice_axis(0, 0, 8);
+    let mut frame = compressor.compress_block(&block, None).encode();
+    frame[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        CompressedBlock::decode(&frame),
+        Err(ContainerError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn distinct_blocks_use_distinct_derived_seeds() {
+    let compressor = untrained_compressor();
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::tiny(), 17);
+    let (container, _) = Codec::compress_variable(&compressor, &ds.variables[0], 8, None);
+    let blocks: Vec<CompressedBlock> = container
+        .blocks()
+        .iter()
+        .map(|frame| CompressedBlock::decode(frame).unwrap())
+        .collect();
+    assert_eq!(blocks.len(), 2);
+    let base = compressor.config().seed;
+    assert_eq!(blocks[0].sampling_seed, derive_block_seed(base, 0));
+    assert_eq!(blocks[1].sampling_seed, derive_block_seed(base, 1));
+    assert_ne!(
+        blocks[0].sampling_seed, blocks[1].sampling_seed,
+        "distinct blocks must not share a noise realisation"
+    );
+    // Seed derivation is stable across processes (documented contract).
+    assert_eq!(derive_block_seed(1, 0), derive_block_seed(1, 0));
+    assert_ne!(derive_block_seed(1, 0), derive_block_seed(2, 0));
+}
+
+#[test]
+fn parallel_and_sequential_compression_are_bit_identical() {
+    // Smooth fields keep the untrained VAE's hyper-latents inside the
+    // entropy models' symbol range; 32 timesteps -> 4 windows of 8.
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 32, 16, 16), 19);
+    let variable = &ds.variables[0];
+
+    let compressor = untrained_compressor();
+    let sz = SzCompressor::new();
+    let vae = Vae::new(VaeConfig::tiny());
+    let vaesr = LearnedBaseline::new(LearnedBaselineKind::VaeSr, &vae, None);
+    let codecs: [&dyn Codec; 3] = [&compressor, &sz, &vaesr];
+
+    for codec in codecs {
+        for target in [None, Some(ErrorTarget::Nrmse(1e-2))] {
+            let (par, par_stats) = codec.compress_variable(variable, 8, target);
+            let (seq, seq_stats) = codec.compress_variable_sequential(variable, 8, target);
+            assert_eq!(
+                par.encode(),
+                seq.encode(),
+                "{}: parallel container differs from sequential",
+                codec.name()
+            );
+            assert_eq!(par_stats.compressed_bytes, seq_stats.compressed_bytes);
+            assert_eq!(par_stats.nrmse, seq_stats.nrmse, "{}", codec.name());
+            assert_eq!(
+                par_stats.compression_ratio,
+                seq_stats.compression_ratio,
+                "{}",
+                codec.name()
+            );
+        }
+    }
+}

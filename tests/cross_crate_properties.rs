@@ -101,11 +101,19 @@ fn normalization_metadata_preserves_extreme_dynamic_range() {
         let stacked = Tensor::concat(&refs, 0);
         let mut rebuilt = Vec::new();
         for (t, &(mean, range)) in params.iter().enumerate() {
-            rebuilt.push(stacked.slice_axis(0, t, t + 1).denormalize_mean_range(mean, range));
+            rebuilt.push(
+                stacked
+                    .slice_axis(0, t, t + 1)
+                    .denormalize_mean_range(mean, range),
+            );
         }
         let refs: Vec<&Tensor> = rebuilt.iter().collect();
         let back = Tensor::concat(&refs, 0);
         let err = nrmse(frames, &back);
-        assert!(err < 1e-6, "variable {} round-trip NRMSE {err}", variable.name);
+        assert!(
+            err < 1e-6,
+            "variable {} round-trip NRMSE {err}",
+            variable.name
+        );
     }
 }

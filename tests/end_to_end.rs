@@ -26,7 +26,10 @@ fn pipeline_runs_on_every_synthetic_dataset() {
         let recon = compressor.decompress_block(&compressed);
         assert_eq!(recon.dims(), block.dims(), "{kind:?}");
         let err = nrmse(&block, &recon);
-        assert!(err <= 1e-2 * 1.01, "{kind:?}: NRMSE {err} exceeds the requested bound");
+        assert!(
+            err <= 1e-2 * 1.01,
+            "{kind:?}: NRMSE {err} exceeds the requested bound"
+        );
         assert!(
             compressed.compression_ratio() > 1.0,
             "{kind:?}: no compression achieved"
@@ -41,10 +44,11 @@ fn compressed_blocks_are_self_describing() {
     let compressor = GldCompressor::train(config, &ds.variables, quick_budget());
     let block = ds.variables[1].frames.slice_axis(0, 0, config.block_frames);
     let compressed = compressor.compress_block(&block, None);
-    // Serialise through serde (the block is a plain data structure) and make
-    // sure a decoder fed the deserialised copy produces identical output.
-    let json = serde_json::to_string(&compressed).expect("serialise");
-    let restored: gld_core::CompressedBlock = serde_json::from_str(&json).expect("deserialise");
+    // Serialise through the binary container frame format and make sure a
+    // decoder fed the decoded copy produces identical output.
+    let frame = compressed.encode();
+    assert_eq!(frame.len(), compressed.total_bytes());
+    let restored = gld_core::CompressedBlock::decode(&frame).expect("decode frame");
     let a = compressor.decompress_block(&compressed);
     let b = compressor.decompress_block(&restored);
     assert_eq!(a, b);
