@@ -1,0 +1,237 @@
+//! Pool-dispatch microbenchmark: persistent work-stealing pool vs the old
+//! scoped-thread dispatch (a thread spawn/join per terminal op), in the
+//! style of `table2_throughput`.
+//!
+//! Three sections:
+//!
+//! 1. **dispatch overhead** — thousands of small parallel ops, where the
+//!    per-op cost is dominated by getting work onto threads.  The scoped
+//!    reference spawns and joins OS threads every call (exactly what the
+//!    pre-pool shim did); the pool path dispatches onto the long-lived
+//!    workers through `par_iter`.
+//! 2. **block workloads** — 8/16/32 SZ3-like block compressions per op with
+//!    skewed per-block cost (every fourth block is 4× larger), the shape of
+//!    `compress_variable` fan-outs.  Work-stealing over oversplit chunks
+//!    absorbs the skew; the scoped reference's one-contiguous-piece-per-
+//!    worker split cannot.
+//! 3. **streaming executor** — variable-level compression through the
+//!    bounded-queue streaming path vs the sequential reference, recording
+//!    the measured peak resident block count next to the queue depth.
+//!
+//! Results land in `results/pool_dispatch.csv`.  Run with
+//! `RAYON_NUM_THREADS=4` (or more) on single-core hosts: with a one-worker
+//! pool both paths degenerate (the pool runs inline, the scoped baseline
+//! spawns a thread the old shim would not have), so only a multi-worker
+//! pool compares the two dispatch mechanisms like for like.
+
+use gld_bench::write_result;
+use gld_core::{Codec, StreamConfig};
+use gld_datasets::{generate, DatasetKind, FieldSpec};
+use gld_tensor::{Tensor, TensorRng};
+use rayon::prelude::*;
+use std::time::Instant;
+
+use gld_baselines::SzCompressor;
+
+fn time_ms<F: FnMut()>(mut f: F, repeats: usize) -> f64 {
+    // One warmup call keeps lazy pool initialisation out of the measurement.
+    f();
+    let start = Instant::now();
+    for _ in 0..repeats {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / repeats as f64
+}
+
+/// The baseline: the dispatch the pre-pool shim performed whenever it went
+/// parallel — split into one contiguous piece per worker, spawn a scoped OS
+/// thread per piece, join them all, every call.  (On a single-worker pool
+/// the old shim collapsed to one inline piece instead; the scoped column
+/// therefore measures the spawn/join cost the old shim paid on any
+/// multi-worker host.)
+fn scoped_dispatch<T: Sync, R: Send>(
+    items: &[T],
+    workers: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let chunk = items.len().div_ceil(workers).max(1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|piece| scope.spawn(|| piece.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("scoped worker panicked"))
+            .collect()
+    })
+}
+
+/// Builds `count` blocks with skewed cost: every fourth block is 32×32,
+/// the rest 16×16 (a 4× element-count skew, as uneven window content
+/// produces in practice).
+fn skewed_blocks(count: usize) -> Vec<Tensor> {
+    let mut rng = TensorRng::new(0xD15BA7C4);
+    (0..count)
+        .map(|i| {
+            let edge = if i % 4 == 0 { 32 } else { 16 };
+            rng.randn(&[8, edge, edge])
+        })
+        .collect()
+}
+
+fn main() {
+    let workers = rayon::current_num_threads();
+    println!("pool-dispatch microbench — {workers} pool workers\n");
+    let mut csv = format!(
+        "section,workload,baseline_ms,pool_ms,speedup,notes\n\
+         meta,pool_workers,,,,{workers} workers\n"
+    );
+
+    // ── 1. dispatch overhead ────────────────────────────────────────────
+    // 4096-element map+sum: real work is microseconds, so the timing is the
+    // dispatch machinery itself.
+    let data: Vec<f32> = (0..4096).map(|i| (i as f32).sin()).collect();
+    let reps = 2_000;
+    let scoped_ms = time_ms(
+        || {
+            let parts = scoped_dispatch(&data, workers, |&x| (x as f64) * (x as f64));
+            assert_eq!(parts.len(), data.len());
+        },
+        reps,
+    );
+    let pool_ms = time_ms(
+        || {
+            let s: f64 = data
+                .par_iter()
+                .with_min_len(64)
+                .map(|&x| (x as f64) * (x as f64))
+                .sum();
+            assert!(s.is_finite());
+        },
+        reps,
+    );
+    println!(
+        "{:<28} scoped {scoped_ms:>9.4} ms   pool {pool_ms:>9.4} ms   {:>6.2}x",
+        "dispatch overhead (4k map)",
+        scoped_ms / pool_ms
+    );
+    csv.push_str(&format!(
+        "dispatch,map_sum_4k,{scoped_ms:.5},{pool_ms:.5},{:.3},{reps} reps\n",
+        scoped_ms / pool_ms
+    ));
+
+    // ── 2. block workloads (the ≥8-block fan-out shape) ─────────────────
+    // First with tiny blocks, where per-op dispatch is a visible fraction
+    // of the work — the direct measurement of "dispatch overhead reduced
+    // on ≥8-block workloads"...
+    let sz = SzCompressor::new();
+    {
+        let mut rng = TensorRng::new(0xB10C);
+        let tiny: Vec<Tensor> = (0..8).map(|_| rng.randn(&[4, 8, 8])).collect();
+        let scoped_ms = time_ms(
+            || {
+                let frames = scoped_dispatch(&tiny, workers, |block| {
+                    Codec::compress_block(&sz, block, None)
+                });
+                assert_eq!(frames.len(), 8);
+            },
+            200,
+        );
+        let pool_ms = time_ms(
+            || {
+                let frames: Vec<Vec<u8>> = tiny
+                    .par_iter()
+                    .with_min_len(1)
+                    .map(|block| Codec::compress_block(&sz, block, None))
+                    .collect();
+                assert_eq!(frames.len(), 8);
+            },
+            200,
+        );
+        println!(
+            "{:<28} scoped {scoped_ms:>9.4} ms   pool {pool_ms:>9.4} ms   {:>6.2}x",
+            "8 tiny blocks",
+            scoped_ms / pool_ms
+        );
+        csv.push_str(&format!(
+            "blocks,tiny_8,{scoped_ms:.5},{pool_ms:.5},{:.3},dispatch-dominated 8-block fan-out\n",
+            scoped_ms / pool_ms
+        ));
+    }
+
+    // ...then with realistic skewed block costs, where the win is bounded
+    // by the dispatch fraction of total work.
+    for count in [8usize, 16, 32] {
+        let blocks = skewed_blocks(count);
+        let scoped_ms = time_ms(
+            || {
+                let frames = scoped_dispatch(&blocks, workers, |block| {
+                    Codec::compress_block(&sz, block, None)
+                });
+                assert_eq!(frames.len(), count);
+            },
+            10,
+        );
+        let pool_ms = time_ms(
+            || {
+                let frames: Vec<Vec<u8>> = blocks
+                    .par_iter()
+                    .with_min_len(1)
+                    .map(|block| Codec::compress_block(&sz, block, None))
+                    .collect();
+                assert_eq!(frames.len(), count);
+            },
+            10,
+        );
+        println!(
+            "{:<28} scoped {scoped_ms:>9.4} ms   pool {pool_ms:>9.4} ms   {:>6.2}x",
+            format!("{count} skewed blocks"),
+            scoped_ms / pool_ms
+        );
+        csv.push_str(&format!(
+            "blocks,skewed_{count},{scoped_ms:.5},{pool_ms:.5},{:.3},every 4th block 4x cost\n",
+            scoped_ms / pool_ms
+        ));
+    }
+
+    // ── 3. streaming executor vs sequential reference ───────────────────
+    let ds = generate(DatasetKind::S3d, &FieldSpec::new(1, 128, 32, 32), 41);
+    let variable = &ds.variables[0];
+    let depth = 2 * workers.max(1);
+    let seq_ms = time_ms(
+        || {
+            let (_, stats) = sz.compress_variable_sequential(variable, 8, None);
+            assert_eq!(stats.blocks, 16);
+        },
+        5,
+    );
+    let mut peak = 0usize;
+    let stream_ms = time_ms(
+        || {
+            let (_, stats, metrics) = sz.compress_variable_streaming(
+                variable,
+                8,
+                None,
+                StreamConfig {
+                    queue_depth: depth,
+                    workers: 0,
+                },
+            );
+            assert_eq!(stats.blocks, 16);
+            peak = metrics.peak_resident;
+        },
+        5,
+    );
+    println!(
+        "{:<28} seq    {seq_ms:>9.4} ms   pool {stream_ms:>9.4} ms   {:>6.2}x   (peak resident {peak}/{depth})",
+        "streaming executor (16 win)",
+        seq_ms / stream_ms
+    );
+    csv.push_str(&format!(
+        "executor,streaming_16_windows,{seq_ms:.5},{stream_ms:.5},{:.3},peak_resident {peak} of depth {depth}\n",
+        seq_ms / stream_ms
+    ));
+
+    write_result("pool_dispatch.csv", &csv);
+}

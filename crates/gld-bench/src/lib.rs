@@ -16,6 +16,7 @@
 //! | `fig6_visual_comparison` | Figure 6 — reconstruction visualisation |
 //! | `table2_throughput` | Table 2 — encode/decode throughput |
 //! | `headline_summary` | §1/§4.7 headline claims |
+//! | `pool_dispatch` | persistent pool vs scoped-thread dispatch, streaming executor |
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 

@@ -8,19 +8,27 @@
 //! four bespoke protocols.
 //!
 //! A codec turns a `[N, H, W]` block into a self-describing byte *frame* and
-//! back.  The provided [`Codec::compress_variable`] method tiles a variable
-//! into temporal windows, compresses the windows **in parallel** (block
+//! back.  The provided [`Codec::compress_variable`] method drives the
+//! **streaming block executor** (`crate::executor`): temporal windows are
+//! pulled lazily, compressed in parallel on the persistent pool (block
 //! index-derived seeds keep the output bit-identical to the sequential
-//! path — see `tests/container_roundtrip.rs`), and packs the frames into a
-//! [`Container`] whose measured encoded length *is* the reported size.
+//! path — see `tests/container_roundtrip.rs`), and emitted in temporal order
+//! into a [`Container`] whose measured encoded length *is* the reported
+//! size, holding at most the configured queue depth of blocks in memory.
+//! [`Codec::compress_variable_into`] streams the encoded container straight
+//! into any `io::Write` without buffering frames at all.
 
 use crate::container::{write_section, ByteReader, CodecId, Container, ContainerError};
 use crate::error_bound::{ErrorBoundConfig, PcaErrorBound};
+use crate::executor::{
+    checked_windows, compress_window_outcome, stream_compress_variable, BlockOutcome, StreamConfig,
+    StreamMetrics,
+};
 use crate::learned_baselines::{LearnedBaseline, LearnedBaselineKind};
 use gld_baselines::{ErrorBoundedCompressor, SzCompressor, ZfpLikeCompressor};
-use gld_datasets::{blocks, Variable};
+use gld_datasets::Variable;
 use gld_tensor::Tensor;
-use rayon::prelude::*;
+use std::io::Write;
 
 /// Reconstruction-quality target for a lossy compressor, in either of the
 /// two conventions the paper's evaluation uses.
@@ -154,9 +162,10 @@ pub trait Codec: Sync {
         self.compress_block_at(block, target, 0)
     }
 
-    /// Compresses every complete temporal window of `variable` in parallel
-    /// and packs the frames into a [`Container`], returning it with the
-    /// shared ratio/NRMSE accounting.  Bit-identical to
+    /// Compresses every complete temporal window of `variable` through the
+    /// streaming block executor (parallel, bounded-memory) and packs the
+    /// frames into a [`Container`], returning it with the shared ratio/NRMSE
+    /// accounting.  Bit-identical to
     /// [`Codec::compress_variable_sequential`].
     fn compress_variable(
         &self,
@@ -164,7 +173,94 @@ pub trait Codec: Sync {
         block_frames: usize,
         target: Option<ErrorTarget>,
     ) -> (Container, VariableStats) {
-        compress_windows(self, variable, block_frames, target, true)
+        let (container, stats, _) = self.compress_variable_streaming(
+            variable,
+            block_frames,
+            target,
+            StreamConfig::default(),
+        );
+        (container, stats)
+    }
+
+    /// [`Codec::compress_variable`] with explicit executor tuning, also
+    /// returning the execution metrics (peak resident blocks, for asserting
+    /// the memory bound).
+    fn compress_variable_streaming(
+        &self,
+        variable: &Variable,
+        block_frames: usize,
+        target: Option<ErrorTarget>,
+        config: StreamConfig,
+    ) -> (Container, VariableStats, StreamMetrics) {
+        let mut container = Container::new(self.id());
+        let mut acc = StatsAccumulator::new();
+        let metrics = stream_compress_variable(
+            self,
+            variable,
+            block_frames,
+            target,
+            config,
+            |_, outcome| {
+                acc.add(&outcome);
+                container.push(outcome.frame);
+                true
+            },
+        );
+        let compressed_bytes = container.encoded_len();
+        (container, acc.finish(compressed_bytes), metrics)
+    }
+
+    /// Streams the compressed variable straight into `writer` as an encoded
+    /// container: frames are written (and dropped) the moment they are next
+    /// in temporal order, so neither the windows *nor* the frames accumulate
+    /// — peak memory is bounded by the executor's queue depth.  The bytes
+    /// written are exactly [`Codec::compress_variable`]'s container encoding.
+    fn compress_variable_into<W: Write>(
+        &self,
+        variable: &Variable,
+        block_frames: usize,
+        target: Option<ErrorTarget>,
+        config: StreamConfig,
+        writer: W,
+    ) -> std::io::Result<(W, VariableStats, StreamMetrics)>
+    where
+        Self: Sized,
+    {
+        // Validate before the header leaves this process: a zero-window
+        // variable must panic (as the other compress paths do) without
+        // first writing a partial container to the caller's file/socket.
+        let (_, count) = checked_windows(variable, block_frames);
+        let mut sink = crate::container::ContainerWriter::new(writer, self.id(), count as u32)?;
+        let mut acc = StatsAccumulator::new();
+        let mut io_error: Option<std::io::Error> = None;
+        let metrics = stream_compress_variable(
+            self,
+            variable,
+            block_frames,
+            target,
+            config,
+            |_, outcome| {
+                acc.add(&outcome);
+                match sink.write_frame(&outcome.frame) {
+                    Ok(()) => true,
+                    Err(e) => {
+                        // Cancel the stream: compressing the remaining
+                        // windows cannot un-fail the sink.
+                        io_error = Some(e);
+                        false
+                    }
+                }
+            },
+        );
+        if let Some(e) = io_error {
+            return Err(e);
+        }
+        // The measured stream length is the reported compressed size —
+        // identical to `Container::encoded_len` for these frames.
+        let compressed_bytes = sink.bytes_written();
+        // `finish` asserts every declared frame arrived.
+        let writer = sink.finish()?;
+        Ok((writer, acc.finish(compressed_bytes), metrics))
     }
 
     /// Sequential reference implementation of [`Codec::compress_variable`],
@@ -175,7 +271,16 @@ pub trait Codec: Sync {
         block_frames: usize,
         target: Option<ErrorTarget>,
     ) -> (Container, VariableStats) {
-        compress_windows(self, variable, block_frames, target, false)
+        let (windows, _) = checked_windows(variable, block_frames);
+        let mut container = Container::new(self.id());
+        let mut acc = StatsAccumulator::new();
+        for (index, window) in windows.enumerate() {
+            let outcome = compress_window_outcome(self, &window.data, target, index as u64);
+            acc.add(&outcome);
+            container.push(outcome.frame);
+        }
+        let compressed_bytes = container.encoded_len();
+        (container, acc.finish(compressed_bytes))
     }
 
     /// Compresses every variable of a dataset (one [`Container`] per
@@ -215,81 +320,49 @@ pub trait Codec: Sync {
     }
 }
 
-/// Per-window partial result, aggregated in window order so parallel and
-/// sequential execution produce identical statistics.
-struct WindowResult {
-    frame: Vec<u8>,
+/// Running aggregation of per-window partials.  Outcomes are added strictly
+/// in temporal order (the executor's ordered emission / the sequential
+/// loop), so parallel and sequential execution produce identical statistics
+/// down to the last bit.
+struct StatsAccumulator {
+    blocks: usize,
     sq_err: f64,
     numel: usize,
     lo: f32,
     hi: f32,
 }
 
-fn compress_windows<C: Codec + ?Sized>(
-    codec: &C,
-    variable: &Variable,
-    block_frames: usize,
-    target: Option<ErrorTarget>,
-    parallel: bool,
-) -> (Container, VariableStats) {
-    let count = blocks::temporal_window_count(variable, block_frames);
-    assert!(
-        count > 0,
-        "variable '{}' has {} timesteps, too few for one {}-frame block",
-        variable.name,
-        variable.timesteps(),
-        block_frames
-    );
-    let process = |index: usize| -> WindowResult {
-        let window = blocks::temporal_window_at(variable, block_frames, index);
-        let frame = codec.compress_block_at(&window.data, target, index as u64);
-        let recon = codec.decompress_block(&frame);
-        let mut sq_err = 0.0f64;
-        for (a, b) in window.data.data().iter().zip(recon.data()) {
-            let d = (*a - *b) as f64;
-            sq_err += d * d;
+impl StatsAccumulator {
+    fn new() -> Self {
+        StatsAccumulator {
+            blocks: 0,
+            sq_err: 0.0,
+            numel: 0,
+            lo: f32::INFINITY,
+            hi: f32::NEG_INFINITY,
         }
-        WindowResult {
-            frame,
-            sq_err,
-            numel: window.data.numel(),
-            lo: window.data.min(),
-            hi: window.data.max(),
-        }
-    };
-    let results: Vec<WindowResult> = if parallel {
-        (0..count)
-            .into_par_iter()
-            .with_min_len(1)
-            .map(process)
-            .collect()
-    } else {
-        (0..count).map(process).collect()
-    };
-
-    let mut container = Container::new(codec.id());
-    let mut sq_err = 0.0f64;
-    let mut numel = 0usize;
-    let mut lo = f32::INFINITY;
-    let mut hi = f32::NEG_INFINITY;
-    for result in results {
-        container.push(result.frame);
-        sq_err += result.sq_err;
-        numel += result.numel;
-        lo = lo.min(result.lo);
-        hi = hi.max(result.hi);
     }
-    let original_bytes = numel * std::mem::size_of::<f32>();
-    let compressed_bytes = container.encoded_len();
-    let stats = VariableStats {
-        blocks: count,
-        original_bytes,
-        compressed_bytes,
-        compression_ratio: original_bytes as f64 / compressed_bytes.max(1) as f64,
-        nrmse: ((sq_err / numel as f64).sqrt() as f32) / (hi - lo).max(1e-30),
-        value_range: (lo, hi),
-    };
-    (container, stats)
+
+    fn add(&mut self, outcome: &BlockOutcome) {
+        self.blocks += 1;
+        self.sq_err += outcome.sq_err;
+        self.numel += outcome.numel;
+        self.lo = self.lo.min(outcome.lo);
+        self.hi = self.hi.max(outcome.hi);
+    }
+
+    fn finish(&self, compressed_bytes: usize) -> VariableStats {
+        let original_bytes = self.numel * std::mem::size_of::<f32>();
+        VariableStats {
+            blocks: self.blocks,
+            original_bytes,
+            compressed_bytes,
+            compression_ratio: original_bytes as f64 / compressed_bytes.max(1) as f64,
+            nrmse: ((self.sq_err / self.numel.max(1) as f64).sqrt() as f32)
+                / (self.hi - self.lo).max(1e-30),
+            value_range: (self.lo, self.hi),
+        }
+    }
 }
 
 /// Default relative point-wise bound applied by the rule-based codecs when

@@ -11,21 +11,37 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"GLDC"
-//! 4       2     format version (currently 1)
+//! 4       2     format version (currently 2; v1 streams still decode)
 //! 6       1     codec id (see [`CodecId`])
 //! 7       1     flags (reserved, must be 0)
 //! 8       4     block count K
-//! 12      ...   K frames, each: u64 payload length + payload bytes
+//! 12      ...   K frames, each:
+//!                 v2:  u64 payload length + payload bytes + u32 CRC-32
+//!                 v1:  u64 payload length + payload bytes
 //! ```
+//!
+//! Version 2 appends a CRC-32/IEEE checksum to every frame, so payload
+//! corruption surfaces as a typed [`ContainerError::ChecksumMismatch`]
+//! naming the damaged block instead of a downstream codec panic.  Decoders
+//! accept both versions (version negotiation was wired in v1: unknown
+//! versions are rejected); [`Container::encode`] always writes v2, and
+//! [`Container::encode_v1`] remains for interop with v1-only readers.
 
+use crate::crc32::crc32;
 use std::fmt;
 use std::io::{Read, Write};
 
 /// Container magic bytes.
 pub const MAGIC: [u8; 4] = *b"GLDC";
 
-/// Current container format version.
-pub const VERSION: u16 = 1;
+/// Current container format version (written by [`Container::encode`]).
+pub const VERSION: u16 = 2;
+
+/// The initial, checksum-less container version (still decodable).
+pub const VERSION_V1: u16 = 1;
+
+/// Bytes of per-frame checksum trailer in a v2 container.
+pub const FRAME_CRC_LEN: usize = 4;
 
 /// Fixed header length in bytes (magic + version + codec + flags + count).
 pub const HEADER_LEN: usize = 12;
@@ -84,6 +100,15 @@ pub enum ContainerError {
     },
     /// Bytes remained after the declared content.
     TrailingBytes(usize),
+    /// A v2 frame's payload does not match its stored CRC-32.
+    ChecksumMismatch {
+        /// Index of the damaged block.
+        block: usize,
+        /// Checksum stored in the stream.
+        stored: u32,
+        /// Checksum computed over the payload actually present.
+        computed: u32,
+    },
     /// A block frame violated its own invariants.
     Corrupt(&'static str),
 }
@@ -109,6 +134,16 @@ impl fmt::Display for ContainerError {
             }
             ContainerError::TrailingBytes(n) => {
                 write!(f, "{n} trailing bytes after container content")
+            }
+            ContainerError::ChecksumMismatch {
+                block,
+                stored,
+                computed,
+            } => {
+                write!(
+                    f,
+                    "block {block} payload corrupt: stored CRC-32 {stored:#010x}, computed {computed:#010x}"
+                )
             }
             ContainerError::Corrupt(what) => write!(f, "corrupt block frame: {what}"),
         }
@@ -197,6 +232,16 @@ pub fn write_section(out: &mut Vec<u8>, payload: &[u8]) {
     out.extend_from_slice(payload);
 }
 
+/// Appends the fixed container header — the one definition shared by the
+/// buffered encoders and the incremental [`ContainerWriter`].
+fn encode_header(out: &mut Vec<u8>, version: u16, codec: CodecId, count: u32) {
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.push(codec as u8);
+    out.push(0); // flags
+    out.extend_from_slice(&count.to_le_bytes());
+}
+
 /// A decoded (or under-construction) container: codec identity plus the
 /// per-block frames, in temporal order.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -239,23 +284,39 @@ impl Container {
         self.blocks.push(frame);
     }
 
-    /// Exact size of [`Container::encode`]'s output, without encoding.
+    /// Exact size of [`Container::encode`]'s output (the current, v2
+    /// format), without encoding.
     pub fn encoded_len(&self) -> usize {
-        HEADER_LEN + self.blocks.iter().map(|b| 8 + b.len()).sum::<usize>()
+        HEADER_LEN
+            + self
+                .blocks
+                .iter()
+                .map(|b| 8 + b.len() + FRAME_CRC_LEN)
+                .sum::<usize>()
     }
 
-    /// Serialises the container to bytes.
+    /// Serialises the container to bytes in the current (v2, per-frame
+    /// CRC-32) format.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.encoded_len());
-        out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
-        out.push(self.codec as u8);
-        out.push(0); // flags
-        out.extend_from_slice(&(self.blocks.len() as u32).to_le_bytes());
+        encode_header(&mut out, VERSION, self.codec, self.blocks.len() as u32);
+        for block in &self.blocks {
+            write_section(&mut out, block);
+            out.extend_from_slice(&crc32(block).to_le_bytes());
+        }
+        debug_assert_eq!(out.len(), self.encoded_len());
+        out
+    }
+
+    /// Serialises the container in the legacy v1 (checksum-less) format, for
+    /// interop with v1-only readers and the version-compat tests.
+    pub fn encode_v1(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(HEADER_LEN + self.blocks.iter().map(|b| 8 + b.len()).sum::<usize>());
+        encode_header(&mut out, VERSION_V1, self.codec, self.blocks.len() as u32);
         for block in &self.blocks {
             write_section(&mut out, block);
         }
-        debug_assert_eq!(out.len(), self.encoded_len());
         out
     }
 
@@ -264,8 +325,9 @@ impl Container {
         writer.write_all(&self.encode())
     }
 
-    /// Parses a container, validating magic, version and codec id, and
-    /// rejecting truncated or over-long input.
+    /// Parses a container, validating magic, version, codec id and (for v2
+    /// streams) every frame's CRC-32, and rejecting truncated or over-long
+    /// input.  Both v1 and v2 streams decode.
     pub fn decode(bytes: &[u8]) -> Result<Self, ContainerError> {
         let mut reader = ByteReader::new(bytes);
         let magic: [u8; 4] = reader.take(4)?.try_into().unwrap();
@@ -273,7 +335,7 @@ impl Container {
             return Err(ContainerError::BadMagic(magic));
         }
         let version = reader.read_u16()?;
-        if version != VERSION {
+        if version != VERSION_V1 && version != VERSION {
             return Err(ContainerError::UnsupportedVersion(version));
         }
         let codec = CodecId::from_u8(reader.read_u8()?)?;
@@ -283,8 +345,20 @@ impl Container {
         }
         let count = reader.read_u32()? as usize;
         let mut blocks = Vec::with_capacity(count.min(1 << 20));
-        for _ in 0..count {
-            blocks.push(reader.read_section()?.to_vec());
+        for index in 0..count {
+            let payload = reader.read_section()?;
+            if version >= VERSION {
+                let stored = reader.read_u32()?;
+                let computed = crc32(payload);
+                if stored != computed {
+                    return Err(ContainerError::ChecksumMismatch {
+                        block: index,
+                        stored,
+                        computed,
+                    });
+                }
+            }
+            blocks.push(payload.to_vec());
         }
         reader.expect_end()?;
         Ok(Container { codec, blocks })
@@ -295,6 +369,74 @@ impl Container {
         let mut bytes = Vec::new();
         reader.read_to_end(&mut bytes)?;
         Ok(Self::decode(&bytes))
+    }
+}
+
+/// Incremental v2 container encoder: writes the header up front and each
+/// frame as it arrives, so a multi-block variable can stream to a file or
+/// socket while later blocks are still being compressed — frames never
+/// accumulate in memory.  This is the sink the streaming block executor
+/// emits into (`Codec::compress_variable_into`).
+pub struct ContainerWriter<W: Write> {
+    writer: W,
+    declared: u32,
+    written: u32,
+    bytes: usize,
+}
+
+impl<W: Write> ContainerWriter<W> {
+    /// Writes the container header for `count` upcoming frames.
+    pub fn new(mut writer: W, codec: CodecId, count: u32) -> std::io::Result<Self> {
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        encode_header(&mut header, VERSION, codec, count);
+        writer.write_all(&header)?;
+        Ok(ContainerWriter {
+            writer,
+            declared: count,
+            written: 0,
+            bytes: header.len(),
+        })
+    }
+
+    /// Appends one frame (length prefix + payload + CRC-32).  Frames must
+    /// arrive in temporal order; the caller may not exceed the declared
+    /// count.
+    pub fn write_frame(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        assert!(
+            self.written < self.declared,
+            "container declared {} frames, attempted to write more",
+            self.declared
+        );
+        self.writer
+            .write_all(&(payload.len() as u64).to_le_bytes())?;
+        self.writer.write_all(payload)?;
+        self.writer.write_all(&crc32(payload).to_le_bytes())?;
+        self.written += 1;
+        self.bytes += 8 + payload.len() + FRAME_CRC_LEN;
+        Ok(())
+    }
+
+    /// Frames written so far.
+    pub fn frames_written(&self) -> u32 {
+        self.written
+    }
+
+    /// Total encoded bytes pushed into the underlying writer so far —
+    /// `Container::encoded_len` for the frames written, measured rather
+    /// than recomputed, so stats cannot drift from the stream.
+    pub fn bytes_written(&self) -> usize {
+        self.bytes
+    }
+
+    /// Finishes the stream, asserting every declared frame arrived, and
+    /// returns the underlying writer.
+    pub fn finish(self) -> std::io::Result<W> {
+        assert_eq!(
+            self.written, self.declared,
+            "container declared {} frames but only {} were written",
+            self.declared, self.written
+        );
+        Ok(self.writer)
     }
 }
 
@@ -380,5 +522,61 @@ mod tests {
         assert_eq!(sink, c.encode());
         let parsed = Container::read_from(&mut sink.as_slice()).unwrap().unwrap();
         assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn v1_streams_still_decode() {
+        let c = sample();
+        let v1 = c.encode_v1();
+        assert_eq!(u16::from_le_bytes([v1[4], v1[5]]), VERSION_V1);
+        assert_eq!(v1.len(), c.encoded_len() - c.blocks().len() * FRAME_CRC_LEN);
+        let back = Container::decode(&v1).unwrap();
+        assert_eq!(back, c, "v1 decode must reproduce the same frames");
+    }
+
+    #[test]
+    fn payload_corruption_is_caught_by_the_frame_crc() {
+        let c = sample();
+        let mut bytes = c.encode();
+        // Flip one bit inside the first frame's payload (first payload byte
+        // sits right after the header and the u64 length prefix).
+        bytes[HEADER_LEN + 8] ^= 0x40;
+        match Container::decode(&bytes) {
+            Err(ContainerError::ChecksumMismatch {
+                block,
+                stored,
+                computed,
+            }) => {
+                assert_eq!(block, 0);
+                assert_ne!(stored, computed);
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+        // The same corruption in a v1 stream goes undetected — exactly the
+        // gap the version bump closes.
+        let mut v1 = c.encode_v1();
+        v1[HEADER_LEN + 8] ^= 0x40;
+        assert!(Container::decode(&v1).is_ok());
+    }
+
+    #[test]
+    fn incremental_writer_matches_buffered_encode() {
+        let c = sample();
+        let writer = ContainerWriter::new(Vec::new(), c.codec(), c.blocks().len() as u32).unwrap();
+        let mut writer = writer;
+        for frame in c.blocks() {
+            writer.write_frame(frame).unwrap();
+        }
+        assert_eq!(writer.frames_written(), 3);
+        let streamed = writer.finish().unwrap();
+        assert_eq!(streamed, c.encode());
+    }
+
+    #[test]
+    #[should_panic(expected = "declared 2 frames but only 1")]
+    fn incremental_writer_rejects_missing_frames() {
+        let mut writer = ContainerWriter::new(Vec::new(), CodecId::Gld, 2).unwrap();
+        writer.write_frame(&[1, 2, 3]).unwrap();
+        let _ = writer.finish();
     }
 }

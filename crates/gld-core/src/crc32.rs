@@ -1,0 +1,66 @@
+//! CRC-32 (IEEE 802.3, the zlib/PNG polynomial) for per-frame container
+//! checksums — implemented in-repo because offline builds cannot pull a
+//! checksum crate.
+//!
+//! The table is built at compile time; the byte-at-a-time loop is fast
+//! enough for container framing (frames are kilobytes, checksumming is
+//! orders of magnitude cheaper than the codecs producing them).
+
+/// Reflected generator polynomial of CRC-32/IEEE.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32/IEEE checksum of `bytes` (init `0xFFFF_FFFF`, final xor, reflected
+/// — identical to zlib's `crc32(0, ...)`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check values for CRC-32/IEEE.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let mut data = vec![0xA5u8; 1024];
+        let clean = crc32(&data);
+        data[512] ^= 0x01;
+        assert_ne!(crc32(&data), clean);
+    }
+}

@@ -1,0 +1,352 @@
+//! Streaming block executor: bounded-memory parallel compression of a
+//! variable's temporal windows.
+//!
+//! The buffered pipeline this replaces materialised every window result
+//! before packing the container, so the pipeline's working set grew with
+//! the variable.  Here three roles run concurrently on the persistent pool
+//! (`rayon::scope`):
+//!
+//! * a **producer** — a claim counter advanced under the flow lock; the
+//!   claimed window itself is materialised (`temporal_window_at`) *outside*
+//!   the lock, so block-sized copies never serialise the other roles.
+//!   Claims are gated by a ticket window: index `i` may only be claimed
+//!   while `i < emitted + queue_depth`, which is the bounded queue — at
+//!   most `queue_depth` blocks exist between materialisation and emission,
+//!   so in-flight blocks are O(depth), not O(variable);
+//! * **one-shot worker jobs** — each claims at most one window, runs
+//!   [`Codec::compress_block_at`] with the window's index (the per-block
+//!   derived seed keeps output bit-identical to the sequential reference),
+//!   posts the outcome to the reorder buffer and exits.  A job that finds
+//!   the ticket window full exits immediately instead of parking, so the
+//!   executor never blocks a pool thread and concurrent executors
+//!   interleave fairly on the shared pool;
+//! * an **ordered collector** (the calling thread) emits outcomes strictly
+//!   in temporal order, tops the pool up with one fresh job per emission,
+//!   and — while its next index is still in flight — helps by claiming and
+//!   compressing blocks itself, so the executor finishes even if every
+//!   pool worker is busy elsewhere.
+//!
+//! Emission order equals claim order equals temporal order, so containers,
+//! statistics and every byte are identical across worker counts, queue
+//! depths and `RAYON_NUM_THREADS` settings (`tests/streaming_executor.rs`).
+
+use crate::codec::{Codec, ErrorTarget};
+use gld_datasets::{blocks, Variable};
+use gld_tensor::Tensor;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+
+/// Tuning for the streaming executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Maximum blocks simultaneously resident between materialisation and
+    /// ordered emission (the bounded queue).  Clamped to at least 1.
+    pub queue_depth: usize,
+    /// Upper bound on one-shot worker jobs kept in flight on the pool; `0`
+    /// means one per pool thread.  The collector always helps, so any
+    /// value makes progress.
+    pub workers: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            // Twice the worker count keeps every worker claimable while the
+            // collector drains, without letting memory balloon.
+            queue_depth: 2 * rayon::current_num_threads(),
+            workers: 0,
+        }
+    }
+}
+
+/// Execution metrics, mainly for tests and benches asserting the memory
+/// bound.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamMetrics {
+    /// Blocks compressed and emitted.
+    pub blocks: usize,
+    /// Peak number of simultaneously resident blocks (claimed but not yet
+    /// emitted).  Bounded by [`StreamConfig::queue_depth`] by construction.
+    pub peak_resident: usize,
+}
+
+/// Everything the collector needs from one compressed window: the container
+/// frame plus the error/range partials the shared accounting aggregates.
+pub struct BlockOutcome {
+    /// The encoded container frame.
+    pub frame: Vec<u8>,
+    /// Sum of squared reconstruction errors over the window.
+    pub sq_err: f64,
+    /// Number of values in the window.
+    pub numel: usize,
+    /// Minimum original value.
+    pub lo: f32,
+    /// Maximum original value.
+    pub hi: f32,
+}
+
+/// Compresses one window through `codec` and measures the reconstruction —
+/// the single definition both the sequential reference and the streaming
+/// executor share, which is what makes them bit-identical.
+pub(crate) fn compress_window_outcome<C: Codec + ?Sized>(
+    codec: &C,
+    window: &Tensor,
+    target: Option<ErrorTarget>,
+    index: u64,
+) -> BlockOutcome {
+    let frame = codec.compress_block_at(window, target, index);
+    let recon = codec.decompress_block(&frame);
+    let mut sq_err = 0.0f64;
+    for (a, b) in window.data().iter().zip(recon.data()) {
+        let d = (*a - *b) as f64;
+        sq_err += d * d;
+    }
+    BlockOutcome {
+        frame,
+        sq_err,
+        numel: window.numel(),
+        lo: window.min(),
+        hi: window.max(),
+    }
+}
+
+/// The streaming iterator over a variable's complete temporal windows plus
+/// their total count — the one definition of the tiling contract (and its
+/// too-few-timesteps diagnostic) shared by every compress path.
+pub(crate) fn checked_windows(
+    variable: &Variable,
+    block_frames: usize,
+) -> (blocks::TemporalWindows<'_>, usize) {
+    let windows = blocks::temporal_windows_iter(variable, block_frames);
+    let count = windows.count_total();
+    assert!(
+        count > 0,
+        "variable '{}' has {} timesteps, too few for one {}-frame block",
+        variable.name,
+        variable.timesteps(),
+        block_frames
+    );
+    (windows, count)
+}
+
+/// Shared flow-control state: the claim counter, the ticket window and the
+/// reorder buffer, all under one lock.
+struct FlowState {
+    /// Lowest unclaimed window index; claims advance it in temporal order.
+    next: usize,
+    emitted: usize,
+    resident: usize,
+    peak_resident: usize,
+    ready: BTreeMap<usize, BlockOutcome>,
+    worker_panicked: bool,
+    /// Set when the emit callback cancels the stream (e.g. the sink hit an
+    /// I/O error): remaining windows are abandoned, not compressed.
+    cancelled: bool,
+}
+
+struct Flow<'a> {
+    variable: &'a Variable,
+    block_frames: usize,
+    count: usize,
+    depth: usize,
+    state: Mutex<FlowState>,
+    /// Collector waits here for the next in-order outcome.
+    outcome_posted: Condvar,
+}
+
+impl Flow<'_> {
+    /// Claims the next window if the ticket window has room, materialising
+    /// the block copy *after* releasing the lock.  Claim order under the
+    /// lock *is* temporal order.  Returns `None` when the window is full or
+    /// every index is claimed — callers exit or wait on the reorder buffer;
+    /// nothing ever parks on a claim.
+    fn try_claim(&self) -> Option<(usize, Tensor)> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.next >= self.count
+            || state.worker_panicked
+            || state.cancelled
+            || state.next >= state.emitted + self.depth
+        {
+            return None;
+        }
+        let index = state.next;
+        state.next += 1;
+        state.resident += 1;
+        state.peak_resident = state.peak_resident.max(state.resident);
+        drop(state);
+        let window = blocks::temporal_window_at(self.variable, self.block_frames, index);
+        Some((index, window.data))
+    }
+
+    /// Posts a finished outcome into the reorder buffer.
+    fn post(&self, index: usize, outcome: BlockOutcome) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.ready.insert(index, outcome);
+        drop(state);
+        self.outcome_posted.notify_all();
+    }
+
+    /// Marks the run failed so the collector stops instead of waiting for a
+    /// block that will never arrive.
+    fn poison(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.worker_panicked = true;
+        drop(state);
+        self.outcome_posted.notify_all();
+    }
+
+    /// Stops the stream early: no further windows are claimed; outstanding
+    /// jobs drain out as no-ops.
+    fn cancel(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.cancelled = true;
+        drop(state);
+        self.outcome_posted.notify_all();
+    }
+}
+
+/// One pool job: claim at most one window, compress it, post the outcome.
+/// Never blocks — a full ticket window or a drained variable makes it a
+/// no-op (the collector tops jobs up as tickets free).  A codec panic
+/// poisons the flow before re-throwing so the collector stops cleanly and
+/// the pool's scope re-throws the original payload.
+fn worker_step<C: Codec + ?Sized>(flow: &Flow<'_>, codec: &C, target: Option<ErrorTarget>) {
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        if let Some((index, window)) = flow.try_claim() {
+            let outcome = compress_window_outcome(codec, &window, target, index as u64);
+            drop(window);
+            flow.post(index, outcome);
+        }
+    }));
+    if let Err(payload) = run {
+        flow.poison();
+        resume_unwind(payload);
+    }
+}
+
+/// Streams every complete temporal window of `variable` through `codec` and
+/// hands the outcomes to `emit` strictly in temporal order, holding at most
+/// `config.queue_depth` blocks in flight.  `emit` runs on the calling
+/// thread; emitting early frames overlaps with compressing later ones.
+/// Returning `false` from `emit` cancels the stream: no further windows are
+/// claimed or compressed (the sink writer uses this to abort on the first
+/// I/O error instead of compressing the rest of the variable for nothing).
+///
+/// A panic inside the codec — on a worker job or on the collector's helping
+/// path — propagates out of this call with its original payload.
+pub fn stream_compress_variable<C, F>(
+    codec: &C,
+    variable: &Variable,
+    block_frames: usize,
+    target: Option<ErrorTarget>,
+    config: StreamConfig,
+    mut emit: F,
+) -> StreamMetrics
+where
+    C: Codec + ?Sized,
+    F: FnMut(usize, BlockOutcome) -> bool,
+{
+    let (_, count) = checked_windows(variable, block_frames);
+    let depth = config.queue_depth.max(1);
+    let lookahead = match config.workers {
+        0 => rayon::current_num_threads(),
+        n => n,
+    }
+    .min(depth)
+    .min(count)
+    .max(1);
+
+    let flow = Flow {
+        variable,
+        block_frames,
+        count,
+        depth,
+        state: Mutex::new(FlowState {
+            next: 0,
+            emitted: 0,
+            resident: 0,
+            peak_resident: 0,
+            ready: BTreeMap::new(),
+            worker_panicked: false,
+            cancelled: false,
+        }),
+        outcome_posted: Condvar::new(),
+    };
+
+    rayon::scope(|scope| {
+        // Guarded like the worker jobs: if `emit` or the helping-path codec
+        // call panics, the flow must be stopped before the panic unwinds
+        // into the scope so outstanding jobs drain as no-ops and the
+        // original payload is re-thrown.
+        let flow = &flow;
+        let collect = catch_unwind(AssertUnwindSafe(|| {
+            let mut spawned = 0usize;
+            let spawn_one = |spawned: &mut usize| {
+                if *spawned < count {
+                    *spawned += 1;
+                    scope.spawn(move || worker_step(flow, codec, target));
+                }
+            };
+            for _ in 0..lookahead {
+                spawn_one(&mut spawned);
+            }
+
+            let mut next_emit = 0usize;
+            while next_emit < count {
+                let mut state = flow.state.lock().unwrap_or_else(|e| e.into_inner());
+                if state.worker_panicked {
+                    // Exit without panicking: the worker's original payload
+                    // is held by its pool batch, and the surrounding scope
+                    // re-throws it once the jobs have drained — panicking
+                    // here would mask the real error with a generic one.
+                    break;
+                }
+                if let Some(outcome) = state.ready.remove(&next_emit) {
+                    state.emitted += 1;
+                    state.resident -= 1;
+                    drop(state);
+                    if !emit(next_emit, outcome) {
+                        flow.cancel();
+                        break;
+                    }
+                    next_emit += 1;
+                    // A ticket just freed: keep the pool topped up with one
+                    // job per emission (one-shot jobs never park, so this
+                    // is the only replenishment point).
+                    spawn_one(&mut spawned);
+                    continue;
+                }
+                drop(state);
+                // The next block is not ready.  Help: claim and compress
+                // one ourselves; if the ticket window is full or everything
+                // is claimed, the block we need is in flight — wait for a
+                // post.
+                if let Some((index, window)) = flow.try_claim() {
+                    let outcome = compress_window_outcome(codec, &window, target, index as u64);
+                    drop(window);
+                    flow.post(index, outcome);
+                } else {
+                    let mut state = flow.state.lock().unwrap_or_else(|e| e.into_inner());
+                    while !state.worker_panicked && !state.ready.contains_key(&next_emit) {
+                        state = flow
+                            .outcome_posted
+                            .wait(state)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            }
+        }));
+        if let Err(payload) = collect {
+            flow.cancel();
+            resume_unwind(payload);
+        }
+    });
+
+    let state = flow.state.into_inner().unwrap_or_else(|e| e.into_inner());
+    debug_assert!(state.cancelled || state.worker_panicked || state.emitted == count);
+    StreamMetrics {
+        blocks: state.emitted,
+        peak_resident: state.peak_resident,
+    }
+}

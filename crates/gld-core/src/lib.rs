@@ -27,15 +27,18 @@
 
 pub mod codec;
 pub mod container;
+pub mod crc32;
 pub mod error_bound;
+pub mod executor;
 pub mod keyframes;
 pub mod learned_baselines;
 pub mod pipeline;
 pub mod sweep;
 
 pub use codec::{Codec, ErrorTarget, VariableStats};
-pub use container::{CodecId, Container, ContainerError};
+pub use container::{CodecId, Container, ContainerError, ContainerWriter};
 pub use error_bound::{ErrorBoundConfig, ErrorBoundOutcome, PcaErrorBound};
+pub use executor::{StreamConfig, StreamMetrics};
 pub use keyframes::{KeyframeStrategy, KeyframeSummary};
 pub use learned_baselines::{LearnedBaseline, LearnedBaselineKind};
 pub use pipeline::{

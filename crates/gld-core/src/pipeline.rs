@@ -557,8 +557,9 @@ impl GldCompressor {
     }
 
     /// Compresses every complete temporal window of a variable through the
-    /// unified [`Codec`] interface (parallel, container-framed), returning
-    /// the decoded per-block structures plus aggregate
+    /// unified [`Codec`] interface (streaming block executor: parallel,
+    /// container-framed, peak memory bounded by the executor queue depth),
+    /// returning the decoded per-block structures plus aggregate
     /// `(compression_ratio, nrmse)` statistics.
     pub fn compress_variable(
         &self,

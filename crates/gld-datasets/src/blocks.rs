@@ -79,6 +79,16 @@ pub struct TemporalWindows<'a> {
     count: usize,
 }
 
+impl TemporalWindows<'_> {
+    /// Total number of complete windows this iterator will yield — the
+    /// count `gld-core`'s compress paths validate and tile against (claim
+    /// indices, container frame counts, derived sampling seeds all range
+    /// over `0..count_total()`).
+    pub fn count_total(&self) -> usize {
+        self.count
+    }
+}
+
 impl Iterator for TemporalWindows<'_> {
     type Item = TemporalWindow;
 

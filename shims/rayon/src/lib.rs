@@ -2,46 +2,53 @@
 //!
 //! The model mirrors rayon's: a parallel iterator is a *splittable producer*
 //! over contiguous index ranges.  Terminal operations cut the producer into
-//! one contiguous piece per worker and drive the pieces on scoped OS threads
-//! (`std::thread::scope`), so `for_each` side effects and `collect` results
-//! are gathered in piece order and ordering-identical to the sequential
-//! path.  Fold-style reductions (`sum`) combine per-piece partials, so —
-//! exactly as with real rayon — floating-point sums may regroup at piece
-//! boundaries and depend on the worker count; code needing bit-stable
-//! aggregates should `collect` and reduce sequentially (as
-//! `gld_core::codec::compress_windows` does).
+//! contiguous pieces and drive the pieces on the crate's **persistent
+//! work-stealing pool** (see [`pool`]): the global pool is lazily created on
+//! first use, honours `RAYON_NUM_THREADS`, and its long-lived workers serve
+//! every subsequent terminal op, so hot tensor ops no longer pay a thread
+//! spawn/join per call.  `for_each` side effects and `collect` results are
+//! gathered in piece order and ordering-identical to the sequential path.
+//! Fold-style reductions (`sum`) combine per-piece partials, so — exactly as
+//! with real rayon — floating-point sums may regroup at piece boundaries and
+//! depend on the piece count; code needing bit-stable aggregates should
+//! `collect` and reduce sequentially (as `gld_core`'s block pipeline does).
 //!
-//! Two departures from real rayon, both invisible to callers:
+//! Scheduling, in brief:
 //!
-//! * there is no persistent worker pool — threads are scoped per terminal
-//!   call.  To keep tiny tensor ops cheap, workloads below an automatic
-//!   weight threshold run inline on the calling thread;
-//! * `with_min_len(n)` doubles as the opt-in for small-`len` workloads whose
-//!   per-item cost is large (e.g. compressing one temporal block per item):
-//!   it bounds the minimum items per piece exactly like rayon's and marks the
-//!   iterator as worth parallelising regardless of the weight heuristic.
+//! * work is split into *more pieces than workers* (`OVERSPLIT`-chunked,
+//!   bounded below by `with_min_len`), and whichever worker frees up first
+//!   takes the next piece — skewed per-piece costs no longer leave workers
+//!   idle behind one contiguous expensive span;
+//! * the submitting thread helps drain its own batch, so terminal ops
+//!   complete even when every pool worker is busy (nested parallelism is
+//!   deadlock-free by construction);
+//! * workloads below an automatic weight threshold run inline on the calling
+//!   thread; `with_min_len(n)` doubles as the opt-in for small-`len`
+//!   workloads whose per-item cost is large (e.g. compressing one temporal
+//!   block per item), exactly as before — it bounds the minimum items per
+//!   piece like rayon's and marks the iterator as worth parallelising
+//!   regardless of the weight heuristic;
+//! * [`scope`] exposes the pool directly for long-lived concurrent jobs (the
+//!   streaming block executor's worker/collector pair in `gld-core`).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
+
+pub mod pool;
+
+pub use pool::{current_num_threads, scope, Scope, ThreadPool};
 
 use std::ops::Range;
 
 /// Total `f32`-element-sized work below which a terminal op stays inline.
 const AUTO_PARALLEL_WEIGHT: usize = 16_384;
 
+/// Pieces per worker a terminal op is cut into: with a shared batch queue, a
+/// few extra pieces per worker let fast workers absorb skew instead of
+/// idling, while keeping per-piece dispatch overhead negligible.
+const OVERSPLIT: usize = 4;
+
 fn worker_count() -> usize {
-    // Same override real rayon honours; useful to force multi-threaded
-    // execution on single-core machines (and to exercise the cross-thread
-    // paths in determinism tests).
-    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    pool::current_num_threads()
 }
 
 /// A splittable, contiguous parallel producer.
@@ -108,7 +115,7 @@ pub trait ParallelIterator: Sized + Send {
         }
     }
 
-    /// Consumes every item with `f`, in parallel.
+    /// Consumes every item with `f`, in parallel on the persistent pool.
     fn for_each<F>(self, f: F)
     where
         F: Fn(Self::Item) + Sync + Send,
@@ -120,15 +127,19 @@ pub trait ParallelIterator: Sized + Send {
             }
             return;
         }
-        std::thread::scope(|scope| {
-            for piece in pieces {
-                let f = &f;
-                scope.spawn(move || piece.into_seq().for_each(f));
-            }
-        });
+        let f = &f;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = pieces
+            .into_iter()
+            .map(|piece| {
+                Box::new(move || piece.into_seq().for_each(f)) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool::join_all(jobs);
     }
 
     /// Sums the items, combining per-piece partial sums in piece order.
+    /// Pieces follow the pool's shared chunking (several per worker), so one
+    /// expensive span is stolen piecemeal instead of serialising a worker.
     fn sum<S>(self) -> S
     where
         S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
@@ -137,19 +148,25 @@ pub trait ParallelIterator: Sized + Send {
         if pieces.len() == 1 {
             return pieces.remove(0).into_seq().sum();
         }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = pieces
-                .into_iter()
-                .map(|piece| scope.spawn(move || piece.into_seq().sum::<S>()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rayon shim worker panicked"))
-                .sum()
-        })
+        let mut partials: Vec<Option<S>> = Vec::new();
+        partials.resize_with(pieces.len(), || None);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = pieces
+            .into_iter()
+            .zip(partials.iter_mut())
+            .map(|(piece, slot)| {
+                Box::new(move || *slot = Some(piece.into_seq().sum::<S>()))
+                    as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool::join_all(jobs);
+        partials
+            .into_iter()
+            .map(|slot| slot.expect("pool batch completed every piece"))
+            .sum()
     }
 
-    /// Collects the items in order.
+    /// Collects the items in order (per-piece buffers concatenated in piece
+    /// order, pieces executed work-stealing style on the pool).
     fn collect<C>(self) -> C
     where
         C: FromIterator<Self::Item>,
@@ -158,17 +175,21 @@ pub trait ParallelIterator: Sized + Send {
         if pieces.len() == 1 {
             return pieces.remove(0).into_seq().collect();
         }
-        let gathered: Vec<Vec<Self::Item>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = pieces
-                .into_iter()
-                .map(|piece| scope.spawn(move || piece.into_seq().collect::<Vec<_>>()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rayon shim worker panicked"))
-                .collect()
-        });
-        gathered.into_iter().flatten().collect()
+        let mut gathered: Vec<Option<Vec<Self::Item>>> = Vec::new();
+        gathered.resize_with(pieces.len(), || None);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = pieces
+            .into_iter()
+            .zip(gathered.iter_mut())
+            .map(|(piece, slot)| {
+                Box::new(move || *slot = Some(piece.into_seq().collect::<Vec<_>>()))
+                    as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool::join_all(jobs);
+        gathered
+            .into_iter()
+            .flat_map(|slot| slot.expect("pool batch completed every piece"))
+            .collect()
     }
 }
 
@@ -177,9 +198,25 @@ fn split_for_drive<I: ParallelIterator>(iter: I) -> Vec<I> {
     if len == 0 {
         return vec![iter];
     }
+    // Every terminal op shares this chunking: aim for OVERSPLIT pieces per
+    // worker (never splitting below an explicit `with_min_len`), so the
+    // pool's first-free-worker-takes-next-piece scheduling absorbs skewed
+    // per-piece costs instead of leaving workers idle.  A single-worker
+    // pool gains nothing from splitting — everything stays inline on the
+    // calling thread, exactly as the pre-pool shim behaved.  `target` is
+    // only evaluated on the arms that go parallel, so sub-threshold
+    // workloads never touch (and never lazily spawn) the global pool.
+    let target = || {
+        let workers = worker_count();
+        if workers == 1 {
+            1
+        } else {
+            workers.saturating_mul(OVERSPLIT)
+        }
+    };
     let pieces = match iter.min_split_len() {
-        Some(min) => len.div_ceil(min).min(worker_count()),
-        None if iter.weight() >= AUTO_PARALLEL_WEIGHT && len >= 2 => worker_count(),
+        Some(min) => len.div_ceil(min).min(target()),
+        None if iter.weight() >= AUTO_PARALLEL_WEIGHT && len >= 2 => target(),
         None => 1,
     }
     .clamp(1, len);

@@ -1,7 +1,9 @@
 //! Contract tests for the binary container format and the parallel block
 //! pipeline: encode→decode equality, reported sizes matching measured
-//! serialized lengths, header validation, per-block seed derivation and
-//! parallel-vs-sequential bit-identical output.
+//! serialized lengths, header validation (v2 writes per-frame CRC-32
+//! trailers; see `tests/streaming_executor.rs` for v1-compat and corruption
+//! detection), per-block seed derivation and parallel-vs-sequential
+//! bit-identical output through the streaming block executor.
 
 use gld_baselines::SzCompressor;
 use gld_core::{

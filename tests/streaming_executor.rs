@@ -1,0 +1,300 @@
+//! Contract tests for the streaming block executor: bounded resident-block
+//! count, ordered emission, bit-identical output across worker counts and
+//! queue depths, and the incremental container writer.
+//!
+//! Cross-process determinism (the `RAYON_NUM_THREADS=1` vs default-pool leg)
+//! follows transitively: every configuration below is asserted equal to the
+//! single-threaded sequential reference, which is trivially independent of
+//! the pool size — and CI runs this whole suite under both
+//! `RAYON_NUM_THREADS=1` and `=8` to exercise the claim in real processes.
+
+use gld_baselines::SzCompressor;
+use gld_core::{
+    Codec, Container, ContainerError, ErrorTarget, GldCompressor, GldConfig, StreamConfig,
+};
+use gld_datasets::{generate, DatasetKind, FieldSpec};
+use gld_diffusion::ConditionalDiffusion;
+use gld_vae::Vae;
+use proptest::prelude::*;
+
+/// An untrained (but fully functional and deterministic) GLD pipeline.
+fn untrained_compressor() -> GldCompressor {
+    let config = GldConfig::tiny();
+    GldCompressor::from_parts(
+        config,
+        Vae::new(config.vae),
+        ConditionalDiffusion::new(config.diffusion),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn streaming_path_roundtrips_and_matches_the_sequential_reference(
+        windows in 1usize..7,
+        block_frames in 1usize..9,
+        slack in 0usize..8,
+        depth in 1usize..6,
+        workers in 0usize..5,
+        seed in 0u64..1_000,
+    ) {
+        // `slack` adds a partial trailing window, which tiling must drop.
+        let timesteps = windows * block_frames + slack % block_frames;
+        let ds = generate(
+            DatasetKind::E3sm,
+            &FieldSpec::new(1, timesteps, 8, 8),
+            seed,
+        );
+        let variable = &ds.variables[0];
+        let sz = SzCompressor::new();
+        let config = StreamConfig { queue_depth: depth, workers };
+        let (container, stats, metrics) =
+            sz.compress_variable_streaming(variable, block_frames, None, config);
+        let (reference, ref_stats) =
+            sz.compress_variable_sequential(variable, block_frames, None);
+
+        prop_assert_eq!(container.encode(), reference.encode());
+        prop_assert_eq!(stats.blocks, windows);
+        prop_assert_eq!(stats.compressed_bytes, ref_stats.compressed_bytes);
+        prop_assert_eq!(stats.nrmse, ref_stats.nrmse);
+        prop_assert!(metrics.peak_resident <= depth,
+            "peak resident {} exceeds queue depth {}", metrics.peak_resident, depth);
+
+        // The emitted container round-trips through the v2 (CRC) format.
+        let decoded = Container::decode(&container.encode()).expect("v2 container decodes");
+        prop_assert_eq!(&decoded, &container);
+        let blocks = sz.decompress_container(&decoded).expect("codec id matches");
+        prop_assert_eq!(blocks.len(), windows);
+    }
+}
+
+#[test]
+fn output_is_bit_identical_across_worker_counts_and_depths() {
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 32, 16, 16), 19);
+    let variable = &ds.variables[0];
+    let compressor = untrained_compressor();
+
+    for target in [None, Some(ErrorTarget::Nrmse(1e-2))] {
+        let (reference, ref_stats) = compressor.compress_variable_sequential(variable, 8, target);
+        let reference_bytes = reference.encode();
+        for workers in [1usize, 2, 8] {
+            for queue_depth in [1usize, 3, 16] {
+                let (container, stats, metrics) = compressor.compress_variable_streaming(
+                    variable,
+                    8,
+                    target,
+                    StreamConfig {
+                        queue_depth,
+                        workers,
+                    },
+                );
+                assert_eq!(
+                    container.encode(),
+                    reference_bytes,
+                    "workers={workers} depth={queue_depth}: output differs from sequential"
+                );
+                assert_eq!(stats.nrmse, ref_stats.nrmse);
+                assert_eq!(stats.compression_ratio, ref_stats.compression_ratio);
+                assert!(metrics.peak_resident <= queue_depth);
+            }
+        }
+    }
+}
+
+#[test]
+fn peak_resident_blocks_stay_within_the_queue_depth() {
+    // 64 timesteps tiled into 16 four-frame windows: plenty of blocks to
+    // overrun an unbounded pipeline, compressed with depth 2.
+    let ds = generate(DatasetKind::S3d, &FieldSpec::new(1, 64, 16, 16), 23);
+    let variable = &ds.variables[0];
+    let sz = SzCompressor::new();
+    let (container, stats, metrics) = sz.compress_variable_streaming(
+        variable,
+        4,
+        None,
+        StreamConfig {
+            queue_depth: 2,
+            workers: 0,
+        },
+    );
+    assert_eq!(metrics.blocks, 16);
+    assert_eq!(stats.blocks, 16);
+    assert_eq!(container.blocks().len(), 16);
+    assert!(
+        metrics.peak_resident <= 2,
+        "peak resident {} blocks with queue depth 2",
+        metrics.peak_resident
+    );
+    // Sanity: with a roomy queue the executor does use the headroom — the
+    // gauge is live, not vacuously zero.
+    assert!(metrics.peak_resident >= 1);
+}
+
+#[test]
+fn writer_sink_streams_the_exact_container_encoding() {
+    let ds = generate(DatasetKind::Jhtdb, &FieldSpec::new(1, 24, 16, 16), 29);
+    let variable = &ds.variables[0];
+    let sz = SzCompressor::new();
+    let (buffered, buffered_stats) = Codec::compress_variable(&sz, variable, 8, None);
+    let (streamed, streamed_stats, metrics) = sz
+        .compress_variable_into(variable, 8, None, StreamConfig::default(), Vec::new())
+        .expect("in-memory writer cannot fail");
+    assert_eq!(streamed, buffered.encode());
+    assert_eq!(streamed_stats, buffered_stats);
+    assert_eq!(metrics.blocks, 3);
+    // And the streamed bytes parse back as a valid v2 container.
+    let decoded = Container::decode(&streamed).expect("streamed container decodes");
+    assert_eq!(&decoded, &buffered);
+}
+
+#[test]
+fn sink_errors_abort_the_stream_instead_of_compressing_on() {
+    #[derive(Debug)]
+    struct FailAfterHeader {
+        written: usize,
+    }
+    impl std::io::Write for FailAfterHeader {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.written >= gld_core::container::HEADER_LEN {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "disk full",
+                ));
+            }
+            self.written += buf.len();
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 64, 16, 16), 37);
+    let variable = &ds.variables[0];
+    let sz = SzCompressor::new();
+    let err = sz
+        .compress_variable_into(
+            variable,
+            4,
+            None,
+            StreamConfig {
+                queue_depth: 2,
+                workers: 1,
+            },
+            FailAfterHeader { written: 0 },
+        )
+        .expect_err("the failing sink must surface its error");
+    assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
+}
+
+#[test]
+fn collector_side_panics_propagate_instead_of_hanging() {
+    // The emit callback always runs on the collector thread; a panic there
+    // must cancel the flow (waking parked workers) and re-throw with the
+    // original payload — a regression here deadlocks instead of failing.
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 64, 16, 16), 43);
+    let variable = &ds.variables[0];
+    let sz = SzCompressor::new();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        gld_core::executor::stream_compress_variable(
+            &sz,
+            variable,
+            4,
+            None,
+            StreamConfig {
+                queue_depth: 2,
+                workers: 2,
+            },
+            |index, _outcome| {
+                if index == 1 {
+                    panic!("emit exploded");
+                }
+                true
+            },
+        )
+    }));
+    let payload = result.expect_err("emit panic must propagate");
+    assert_eq!(
+        payload.downcast_ref::<&str>().copied(),
+        Some("emit exploded"),
+        "the original panic payload must survive"
+    );
+}
+
+#[test]
+fn codec_panics_propagate_with_their_original_payload() {
+    // A codec panic may fire on a pool worker or on the collector's helping
+    // path; both must surface the codec's own message, not a generic one.
+    struct ExplodingCodec(SzCompressor);
+    impl Codec for ExplodingCodec {
+        fn name(&self) -> &str {
+            "exploding"
+        }
+        fn id(&self) -> gld_core::CodecId {
+            gld_core::CodecId::SzLike
+        }
+        fn compress_block_at(
+            &self,
+            block: &gld_tensor::Tensor,
+            target: Option<ErrorTarget>,
+            block_index: u64,
+        ) -> Vec<u8> {
+            if block_index == 2 {
+                panic!("codec exploded at block 2");
+            }
+            self.0.compress_block_at(block, target, block_index)
+        }
+        fn decompress_block(&self, frame: &[u8]) -> gld_tensor::Tensor {
+            self.0.decompress_block(frame)
+        }
+    }
+
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 64, 16, 16), 47);
+    let variable = &ds.variables[0];
+    let codec = ExplodingCodec(SzCompressor::new());
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        codec.compress_variable_streaming(
+            variable,
+            4,
+            None,
+            StreamConfig {
+                queue_depth: 2,
+                workers: 2,
+            },
+        )
+    }));
+    let payload = result.expect_err("codec panic must propagate");
+    assert_eq!(
+        payload.downcast_ref::<&str>().copied(),
+        Some("codec exploded at block 2"),
+        "the codec's own panic message must survive"
+    );
+}
+
+#[test]
+fn v1_containers_decode_and_v2_corruption_is_detected() {
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 16, 16, 16), 31);
+    let variable = &ds.variables[0];
+    let sz = SzCompressor::new();
+    let (container, _) = Codec::compress_variable(&sz, variable, 8, None);
+
+    // Legacy v1 (checksum-less) streams still decode to the same frames.
+    let v1 = container.encode_v1();
+    let from_v1 = Container::decode(&v1).expect("v1 stream decodes");
+    assert_eq!(from_v1, container);
+    assert_eq!(
+        sz.decompress_container(&from_v1).unwrap().len(),
+        container.blocks().len()
+    );
+
+    // Flipping one payload bit in a v2 stream surfaces as a typed checksum
+    // error naming the block, instead of a downstream codec panic.
+    let mut corrupt = container.encode();
+    let byte = gld_core::container::HEADER_LEN + 8 + container.blocks()[0].len() / 2;
+    corrupt[byte] ^= 0x10;
+    assert!(matches!(
+        Container::decode(&corrupt),
+        Err(ContainerError::ChecksumMismatch { block: 0, .. })
+    ));
+}
