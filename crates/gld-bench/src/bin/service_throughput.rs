@@ -1,0 +1,181 @@
+//! Service throughput benchmark: requests per second and p50/p99 latency
+//! through a live in-process sharded compression server, in the style of
+//! `pool_dispatch`.
+//!
+//! Three sections, each swept over client counts:
+//!
+//! 1. **ping** — protocol + dispatch floor (no codec work);
+//! 2. **compress** — SZ3-like containers streamed back from the per-shard
+//!    executors;
+//! 3. **decompress** — containers back into frames.
+//!
+//! Every client thread uses its own connection and key (hash-sharded), so
+//! higher client counts genuinely spread across shards.  Results land in
+//! `results/service_throughput.csv`.
+
+use gld_bench::write_result;
+use gld_core::CodecId;
+use gld_datasets::{generate, DatasetKind, FieldSpec};
+use gld_service::{CodecRegistry, Server, ServiceClient, ServiceConfig};
+use std::time::Instant;
+
+/// Latency percentile over a sorted sample, nearest-rank.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    assert!(!sorted_ms.is_empty());
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+struct RunStats {
+    elapsed_s: f64,
+    req_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Runs `requests_per_client` requests on each of `clients` threads and
+/// merges the per-request latencies.
+fn run(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    requests_per_client: usize,
+    request: impl Fn(&mut ServiceClient, &str, usize) + Sync,
+) -> RunStats {
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let request = &request;
+        let handles: Vec<_> = (0..clients)
+            .map(|client_index| {
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect(addr).expect("connect");
+                    let key = format!("bench-client-{client_index}");
+                    let mut samples = Vec::with_capacity(requests_per_client);
+                    for i in 0..requests_per_client {
+                        let t0 = Instant::now();
+                        request(&mut client, &key, i);
+                        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("bench client thread"))
+            .collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    RunStats {
+        elapsed_s,
+        req_per_s: latencies.len() as f64 / elapsed_s,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+    }
+}
+
+fn main() {
+    let shards = 4;
+    let server = Server::start(
+        ServiceConfig {
+            shards,
+            shard_window: 4,
+            ..ServiceConfig::default()
+        },
+        CodecRegistry::rule_based(),
+    )
+    .expect("start in-process server");
+    let addr = server.local_addr();
+    println!(
+        "service-throughput bench — {shards} shards on {addr}, {} pool workers\n",
+        rayon::current_num_threads()
+    );
+    let mut csv =
+        String::from("section,clients,requests,elapsed_s,req_per_s,p50_ms,p99_ms,notes\n");
+
+    // One variable per client key; compress once up front for the
+    // decompress section.
+    let ds = generate(DatasetKind::S3d, &FieldSpec::new(1, 32, 32, 32), 61);
+    let variable = &ds.variables[0];
+    let container = {
+        let mut client = ServiceClient::connect(addr).expect("connect");
+        client
+            .compress_as(CodecId::SzLike, "bench-warmup", variable, 8, None)
+            .expect("warmup compress")
+    };
+
+    let client_counts = [1usize, 2, 4];
+    let requests = 32usize;
+
+    for &clients in &client_counts {
+        let stats = run(addr, clients, requests, |client, _key, _i| {
+            client.ping().expect("ping");
+        });
+        println!(
+            "ping        {clients} client(s): {:>8.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
+            stats.req_per_s, stats.p50_ms, stats.p99_ms
+        );
+        csv.push_str(&format!(
+            "ping,{clients},{},{:.4},{:.1},{:.4},{:.4},protocol floor\n",
+            clients * requests,
+            stats.elapsed_s,
+            stats.req_per_s,
+            stats.p50_ms,
+            stats.p99_ms
+        ));
+    }
+
+    for &clients in &client_counts {
+        let stats = run(addr, clients, requests, |client, key, _i| {
+            let bytes = client
+                .compress_as(CodecId::SzLike, key, variable, 8, None)
+                .expect("compress");
+            assert!(!bytes.is_empty());
+        });
+        println!(
+            "compress    {clients} client(s): {:>8.1} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
+            stats.req_per_s, stats.p50_ms, stats.p99_ms
+        );
+        csv.push_str(&format!(
+            "compress,{clients},{},{:.4},{:.1},{:.4},{:.4},SZ3-like 32x32x32 via shard executors\n",
+            clients * requests,
+            stats.elapsed_s,
+            stats.req_per_s,
+            stats.p50_ms,
+            stats.p99_ms
+        ));
+    }
+
+    for &clients in &client_counts {
+        let container = &container;
+        let stats = run(addr, clients, requests, move |client, key, _i| {
+            let blocks = client.decompress(key, container).expect("decompress");
+            assert_eq!(blocks.len(), 4);
+        });
+        println!(
+            "decompress  {clients} client(s): {:>8.1} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
+            stats.req_per_s, stats.p50_ms, stats.p99_ms
+        );
+        csv.push_str(&format!(
+            "decompress,{clients},{},{:.4},{:.1},{:.4},{:.4},4-block container to frames\n",
+            clients * requests,
+            stats.elapsed_s,
+            stats.req_per_s,
+            stats.p50_ms,
+            stats.p99_ms
+        ));
+    }
+
+    let metrics = server.shutdown();
+    csv.push_str(&format!(
+        "meta,,,,,,,\"{} requests completed, {} rejected, peak in-flight per shard {:?}\"\n",
+        metrics.completed(),
+        metrics.requests_rejected,
+        metrics
+            .shards
+            .iter()
+            .map(|s| s.peak_in_flight)
+            .collect::<Vec<_>>()
+    ));
+    write_result("service_throughput.csv", &csv);
+}

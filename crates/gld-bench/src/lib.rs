@@ -17,6 +17,7 @@
 //! | `table2_throughput` | Table 2 — encode/decode throughput |
 //! | `headline_summary` | §1/§4.7 headline claims |
 //! | `pool_dispatch` | persistent pool vs scoped-thread dispatch, streaming executor |
+//! | `service_throughput` | sharded service req/s + p50/p99 latency over the `GLDS` protocol |
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 

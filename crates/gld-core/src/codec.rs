@@ -28,7 +28,116 @@ use crate::learned_baselines::{LearnedBaseline, LearnedBaselineKind};
 use gld_baselines::{ErrorBoundedCompressor, SzCompressor, ZfpLikeCompressor};
 use gld_datasets::Variable;
 use gld_tensor::Tensor;
+use std::fmt;
 use std::io::Write;
+
+/// A sink failure during [`compress_variable_to_writer`], carrying how far
+/// the encoded container got before the abort: `frames_emitted` frames were
+/// fully written (a partially written frame does not count).  Long-running
+/// consumers — the sharded service in particular — report this in their
+/// partial-write diagnostics instead of a bare I/O error.
+#[derive(Debug)]
+pub struct StreamWriteError {
+    /// The underlying sink error.
+    pub error: std::io::Error,
+    /// Container frames completely written before the sink failed.  Zero
+    /// when the header itself failed to write.
+    pub frames_emitted: usize,
+}
+
+impl fmt::Display for StreamWriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "container stream aborted after {} complete frame(s): {}",
+            self.frames_emitted, self.error
+        )
+    }
+}
+
+impl std::error::Error for StreamWriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+impl From<StreamWriteError> for std::io::Error {
+    fn from(e: StreamWriteError) -> Self {
+        e.error
+    }
+}
+
+/// Streams the compressed variable straight into `writer` as an encoded
+/// container — the dyn-compatible entry point behind
+/// [`Codec::compress_variable_into`], callable on `&dyn Codec` (the sharded
+/// service routes every registered codec through it).  Frames are written
+/// (and dropped) the moment they are next in temporal order, so neither the
+/// windows nor the frames accumulate — peak memory is bounded by the
+/// executor's queue depth.  The bytes written are exactly
+/// [`Codec::compress_variable`]'s container encoding.
+///
+/// On a sink failure the stream is cancelled (remaining windows are never
+/// compressed) and the returned [`StreamWriteError`] reports how many frames
+/// were completely written before the abort.
+pub fn compress_variable_to_writer<C, W>(
+    codec: &C,
+    variable: &Variable,
+    block_frames: usize,
+    target: Option<ErrorTarget>,
+    config: StreamConfig,
+    writer: W,
+) -> Result<(W, VariableStats, StreamMetrics), StreamWriteError>
+where
+    C: Codec + ?Sized,
+    W: Write,
+{
+    // Validate before the header leaves this process: a zero-window
+    // variable must panic (as the other compress paths do) without first
+    // writing a partial container to the caller's file/socket.
+    let (_, count) = checked_windows(variable, block_frames);
+    let mut sink = crate::container::ContainerWriter::new(writer, codec.id(), count as u32)
+        .map_err(|error| StreamWriteError {
+            error,
+            frames_emitted: 0,
+        })?;
+    let mut acc = StatsAccumulator::new();
+    let mut io_error: Option<std::io::Error> = None;
+    let metrics = stream_compress_variable(
+        codec,
+        variable,
+        block_frames,
+        target,
+        config,
+        |_, outcome| {
+            acc.add(&outcome);
+            match sink.write_frame(&outcome.frame) {
+                Ok(()) => true,
+                Err(e) => {
+                    // Cancel the stream: compressing the remaining windows
+                    // cannot un-fail the sink.
+                    io_error = Some(e);
+                    false
+                }
+            }
+        },
+    );
+    if let Some(error) = io_error {
+        return Err(StreamWriteError {
+            error,
+            frames_emitted: sink.frames_written() as usize,
+        });
+    }
+    // The measured stream length is the reported compressed size — identical
+    // to `Container::encoded_len` for these frames.
+    let compressed_bytes = sink.bytes_written();
+    // `finish` asserts every declared frame arrived.
+    let frames_emitted = sink.frames_written() as usize;
+    let writer = sink.finish().map_err(|error| StreamWriteError {
+        error,
+        frames_emitted,
+    })?;
+    Ok((writer, acc.finish(compressed_bytes), metrics))
+}
 
 /// Reconstruction-quality target for a lossy compressor, in either of the
 /// two conventions the paper's evaluation uses.
@@ -215,6 +324,12 @@ pub trait Codec: Sync {
     /// in temporal order, so neither the windows *nor* the frames accumulate
     /// — peak memory is bounded by the executor's queue depth.  The bytes
     /// written are exactly [`Codec::compress_variable`]'s container encoding.
+    ///
+    /// On a sink failure the remaining windows are abandoned and the
+    /// returned [`StreamWriteError`] carries the number of frames completely
+    /// written before the abort.  (For `&dyn Codec` callers the free
+    /// function [`compress_variable_to_writer`] is the same entry point
+    /// without the `Sized` bound.)
     fn compress_variable_into<W: Write>(
         &self,
         variable: &Variable,
@@ -222,45 +337,11 @@ pub trait Codec: Sync {
         target: Option<ErrorTarget>,
         config: StreamConfig,
         writer: W,
-    ) -> std::io::Result<(W, VariableStats, StreamMetrics)>
+    ) -> Result<(W, VariableStats, StreamMetrics), StreamWriteError>
     where
         Self: Sized,
     {
-        // Validate before the header leaves this process: a zero-window
-        // variable must panic (as the other compress paths do) without
-        // first writing a partial container to the caller's file/socket.
-        let (_, count) = checked_windows(variable, block_frames);
-        let mut sink = crate::container::ContainerWriter::new(writer, self.id(), count as u32)?;
-        let mut acc = StatsAccumulator::new();
-        let mut io_error: Option<std::io::Error> = None;
-        let metrics = stream_compress_variable(
-            self,
-            variable,
-            block_frames,
-            target,
-            config,
-            |_, outcome| {
-                acc.add(&outcome);
-                match sink.write_frame(&outcome.frame) {
-                    Ok(()) => true,
-                    Err(e) => {
-                        // Cancel the stream: compressing the remaining
-                        // windows cannot un-fail the sink.
-                        io_error = Some(e);
-                        false
-                    }
-                }
-            },
-        );
-        if let Some(e) = io_error {
-            return Err(e);
-        }
-        // The measured stream length is the reported compressed size —
-        // identical to `Container::encoded_len` for these frames.
-        let compressed_bytes = sink.bytes_written();
-        // `finish` asserts every declared frame arrived.
-        let writer = sink.finish()?;
-        Ok((writer, acc.finish(compressed_bytes), metrics))
+        compress_variable_to_writer(self, variable, block_frames, target, config, writer)
     }
 
     /// Sequential reference implementation of [`Codec::compress_variable`],

@@ -1,0 +1,101 @@
+//! `gld-service-check` — client-side smoke check against a live
+//! `gld-serviced`, used by CI's boot-the-binary job.
+//!
+//! Connects (retrying while the server boots), negotiates, round-trips
+//! variables through both rule-based codecs, verifies every byte against a
+//! direct in-process `Codec` run, exercises an error path, then asks the
+//! server to shut down.  Any mismatch or refusal exits non-zero.
+//!
+//! ```text
+//! gld-service-check [HOST:PORT]   (default 127.0.0.1:7171)
+//! ```
+
+use gld_baselines::{SzCompressor, ZfpLikeCompressor};
+use gld_core::{Codec, CodecId, Container, ErrorTarget};
+use gld_datasets::{generate, DatasetKind, FieldSpec};
+use gld_service::{ClientError, ServiceClient, Status};
+use std::time::{Duration, Instant};
+
+fn connect_with_retry(addr: &str) -> ServiceClient {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match ServiceClient::connect(addr) {
+            Ok(client) => return client,
+            Err(e) if Instant::now() < deadline => {
+                eprintln!("waiting for {addr}: {e}");
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            Err(e) => panic!("could not reach {addr} within 20s: {e}"),
+        }
+    }
+}
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7171".into());
+    let mut client = connect_with_retry(&addr);
+
+    let info = client
+        .hello(&[CodecId::SzLike, CodecId::ZfpLike])
+        .expect("hello negotiation");
+    println!(
+        "negotiated {:?}; server has {} shard(s), window {}, queue depth {}",
+        info.codec, info.shards, info.shard_window, info.queue_depth
+    );
+    assert_eq!(info.codec, CodecId::SzLike, "first preference wins");
+    client.ping().expect("ping");
+
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(2, 24, 16, 16), 71);
+    let codecs: [(&str, &dyn Codec); 2] = [
+        ("SZ3-like", &SzCompressor::new()),
+        ("ZFP-like", &ZfpLikeCompressor::new()),
+    ];
+    for (name, codec) in codecs {
+        for (variable, target) in ds
+            .variables
+            .iter()
+            .zip([None, Some(ErrorTarget::Nrmse(1e-2))])
+        {
+            let remote = client
+                .compress_as(codec.id(), &variable.name, variable, 8, target)
+                .expect("remote compress");
+            let (local, stats) = codec.compress_variable(variable, 8, target);
+            assert_eq!(
+                remote,
+                local.encode(),
+                "{name}: remote container differs from direct Codec output"
+            );
+            println!(
+                "{name} '{}': {} blocks, {} bytes — bit-identical to local",
+                variable.name, stats.blocks, stats.compressed_bytes
+            );
+
+            let blocks = client
+                .decompress(&variable.name, &remote)
+                .expect("remote decompress");
+            let reference = codec
+                .decompress_container(&Container::decode(&remote).expect("container decodes"))
+                .expect("local decompress");
+            assert_eq!(blocks.len(), reference.len());
+            for (a, b) in blocks.iter().zip(&reference) {
+                assert_eq!(a.dims(), b.dims(), "{name}: block dims differ");
+                assert_eq!(a.data(), b.data(), "{name}: block data differs");
+            }
+        }
+    }
+
+    // Error path: a variable too short for one block must come back as a
+    // typed refusal, not a hung or dead connection.
+    let refusal = client.compress_as(CodecId::SzLike, "too-short", &ds.variables[0], 1_000, None);
+    match refusal {
+        Err(ClientError::Server { status, .. }) => assert_eq!(status, Status::Malformed),
+        other => panic!("expected a Malformed refusal, got {other:?}"),
+    }
+    client
+        .ping()
+        .expect("connection still serves after a refusal");
+
+    client.shutdown_server().expect("shutdown request");
+    println!("service check OK");
+}

@@ -1,0 +1,91 @@
+//! `gld-serviced` — the standalone sharded compression server.
+//!
+//! Serves the rule-based codec registry (SZ3-like, ZFP-like) until a wire
+//! `Shutdown` request arrives, then drains in-flight work, joins every
+//! thread it spawned, and — on Linux — verifies via `/proc/self/status`
+//! that nothing leaked, exiting non-zero otherwise (CI's boot-the-binary
+//! job keys off the exit codes).
+//!
+//! ```text
+//! gld-serviced [--addr HOST:PORT] [--shards N] [--window N]
+//!              [--queue-depth N] [--round-robin]
+//! ```
+
+use gld_service::{CodecRegistry, Server, ServiceConfig, ShardPolicy};
+
+fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    let value = args
+        .next()
+        .unwrap_or_else(|| panic!("{flag} requires a value"));
+    value
+        .parse()
+        .unwrap_or_else(|_| panic!("{flag}: cannot parse {value:?}"))
+}
+
+fn main() {
+    let mut config = ServiceConfig {
+        addr: "127.0.0.1:7171".into(),
+        ..ServiceConfig::default()
+    };
+    let mut args = std::env::args();
+    let _ = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = parse_flag(&mut args, "--addr"),
+            "--shards" => config.shards = parse_flag(&mut args, "--shards"),
+            "--window" => config.shard_window = parse_flag(&mut args, "--window"),
+            "--queue-depth" => config.stream.queue_depth = parse_flag(&mut args, "--queue-depth"),
+            "--round-robin" => config.policy = ShardPolicy::RoundRobin,
+            other => panic!("unknown flag {other:?} (see the crate docs)"),
+        }
+    }
+
+    let shards = config.shards.max(1);
+    let window = config.shard_window.max(1);
+    let server = Server::start(config, CodecRegistry::rule_based()).expect("bind and start server");
+    // The readiness line CI and scripts wait for.
+    println!(
+        "gld-serviced listening on {} ({shards} shards, window {window})",
+        server.local_addr()
+    );
+
+    let metrics = server.wait();
+    println!(
+        "gld-serviced drained: {} request(s), {} block(s), {} connection(s), {} rejected",
+        metrics.completed(),
+        metrics.blocks(),
+        metrics.connections_opened,
+        metrics.requests_rejected,
+    );
+    for (index, shard) in metrics.shards.iter().enumerate() {
+        println!(
+            "  shard {index}: {} completed, peak in-flight {}, peak resident blocks {}",
+            shard.completed, shard.peak_in_flight, shard.peak_resident_blocks
+        );
+    }
+    assert!(
+        metrics.shards.iter().all(|s| s.in_flight == 0),
+        "drained server still reports in-flight work"
+    );
+
+    #[cfg(target_os = "linux")]
+    {
+        // Everything the server spawned is joined; only the main thread and
+        // the process-lifetime rayon pool may remain.
+        let expected = 1 + rayon::current_num_threads();
+        let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+        let threads: usize = status
+            .lines()
+            .find_map(|line| line.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        if threads > expected {
+            eprintln!(
+                "thread leak: {threads} live threads after shutdown, expected at most {expected} \
+                 (main + rayon pool)"
+            );
+            std::process::exit(1);
+        }
+        println!("no leaked threads ({threads} live, expected <= {expected})");
+    }
+}

@@ -1,0 +1,228 @@
+//! Small blocking client for the `GLDS` protocol — what the integration
+//! tests, the `gld-service-check` binary, the `service_throughput` bench and
+//! the root example speak through.
+//!
+//! One [`ServiceClient`] owns one connection and issues one request at a
+//! time (the server processes a connection's requests in order anyway);
+//! concurrency comes from opening more clients, exactly like the tests do.
+
+use crate::protocol::{
+    self, decode_blocks_body, DecompressRequest, FrameHeader, HelloRequest, HelloResponse, Op,
+    ProtocolError, Status,
+};
+use gld_core::{CodecId, ErrorTarget};
+use gld_datasets::Variable;
+use gld_tensor::Tensor;
+use std::fmt;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or dropped.
+    Io(std::io::Error),
+    /// The server's bytes violated the protocol.
+    Protocol(ProtocolError),
+    /// The server answered with a non-`Ok` status and a diagnostic.
+    Server {
+        /// The response status.
+        status: Status,
+        /// The server's UTF-8 diagnostic.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            ClientError::Server { status, message } => {
+                write!(f, "server refused ({status:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// Server info returned by [`ServiceClient::hello`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// The negotiated codec — the session default for later requests.
+    pub codec: CodecId,
+    /// Number of shards the server routes across.
+    pub shards: u32,
+    /// Per-shard bounded in-flight request window.
+    pub shard_window: u32,
+    /// Streaming-executor queue depth per compress call.
+    pub queue_depth: u32,
+}
+
+/// A blocking `GLDS` connection.
+pub struct ServiceClient {
+    stream: TcpStream,
+    next_id: u64,
+    negotiated: Option<CodecId>,
+}
+
+impl ServiceClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ServiceClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(ServiceClient {
+            stream,
+            next_id: 1,
+            negotiated: None,
+        })
+    }
+
+    /// The codec negotiated by the last [`ServiceClient::hello`], if any.
+    pub fn negotiated_codec(&self) -> Option<CodecId> {
+        self.negotiated
+    }
+
+    /// Negotiates a codec (client preference order) and fetches server
+    /// info.  The chosen codec becomes the session default for
+    /// [`ServiceClient::compress`] calls made without an explicit codec.
+    pub fn hello(&mut self, preferences: &[CodecId]) -> Result<ServerInfo, ClientError> {
+        let request = HelloRequest {
+            proposals: preferences.iter().map(|&c| c as u8).collect(),
+        };
+        let (header, body) = self.request(Op::Hello, 0, &request.encode_body())?;
+        let codec = CodecId::from_u8(header.codec)
+            .map_err(|_| ClientError::Protocol(ProtocolError::UnknownCodec(header.codec)))?;
+        let info = HelloResponse::decode_body(&body)?;
+        self.negotiated = Some(codec);
+        Ok(ServerInfo {
+            codec,
+            shards: info.shards,
+            shard_window: info.shard_window,
+            queue_depth: info.queue_depth,
+        })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request(Op::Ping, 0, &[])?;
+        Ok(())
+    }
+
+    /// Compresses `variable` on the server with the session codec from the
+    /// last [`ServiceClient::hello`], returning the encoded `GLDC`
+    /// container — byte-identical to `Codec::compress_variable(...).0.encode()`
+    /// run locally.
+    pub fn compress(
+        &mut self,
+        key: &str,
+        variable: &Variable,
+        block_frames: u32,
+        target: Option<ErrorTarget>,
+    ) -> Result<Vec<u8>, ClientError> {
+        // Codec byte 0 = session default; the server rejects it if no Hello
+        // happened, which maps to the same error as an unknown codec here.
+        self.compress_impl(0, key, variable, block_frames, target)
+    }
+
+    /// [`ServiceClient::compress`] with an explicit codec, independent of
+    /// any negotiation.
+    pub fn compress_as(
+        &mut self,
+        codec: CodecId,
+        key: &str,
+        variable: &Variable,
+        block_frames: u32,
+        target: Option<ErrorTarget>,
+    ) -> Result<Vec<u8>, ClientError> {
+        self.compress_impl(codec as u8, key, variable, block_frames, target)
+    }
+
+    fn compress_impl(
+        &mut self,
+        codec_byte: u8,
+        key: &str,
+        variable: &Variable,
+        block_frames: u32,
+        target: Option<ErrorTarget>,
+    ) -> Result<Vec<u8>, ClientError> {
+        let frames = &variable.frames;
+        assert_eq!(frames.rank(), 3, "variable frames must be [T, H, W]");
+        // Serialise straight from the variable's buffer: no intermediate
+        // owned `Vec<f32>` copy of a possibly huge frame stack.
+        let body = protocol::encode_compress_body(
+            key,
+            block_frames,
+            target,
+            [
+                frames.dim(0) as u32,
+                frames.dim(1) as u32,
+                frames.dim(2) as u32,
+            ],
+            frames.data(),
+        );
+        let (_, body) = self.request(Op::Compress, codec_byte, &body)?;
+        Ok(body)
+    }
+
+    /// Decompresses an encoded `GLDC` container on the server, returning
+    /// the block tensors in temporal order.  `key` must be the variable's
+    /// key so the request lands on the same shard as its compress.
+    pub fn decompress(&mut self, key: &str, container: &[u8]) -> Result<Vec<Tensor>, ClientError> {
+        let request = DecompressRequest {
+            key: key.to_string(),
+            container: container.to_vec(),
+        };
+        let (_, body) = self.request(Op::Decompress, 0, &request.encode_body())?;
+        Ok(decode_blocks_body(&body)?)
+    }
+
+    /// Asks the server to drain in-flight work and exit.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.request(Op::Shutdown, 0, &[])?;
+        Ok(())
+    }
+
+    /// One request/response round trip: write the frame, read the reply,
+    /// check the id echo, and turn non-`Ok` statuses into
+    /// [`ClientError::Server`].
+    fn request(
+        &mut self,
+        op: Op,
+        codec_byte: u8,
+        body: &[u8],
+    ) -> Result<(FrameHeader, Vec<u8>), ClientError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        let header = FrameHeader::request(op, codec_byte, request_id, body.len() as u64);
+        protocol::write_frame(&mut self.stream, &header, body)?;
+        self.stream.flush()?;
+        let (response, response_body) =
+            protocol::read_frame(&mut self.stream, protocol::MAX_BODY_LEN)??;
+        if response.request_id != request_id {
+            return Err(ClientError::Protocol(ProtocolError::Malformed(
+                "response echoes the wrong request id",
+            )));
+        }
+        if response.status != Status::Ok {
+            return Err(ClientError::Server {
+                status: response.status,
+                message: String::from_utf8_lossy(&response_body).into_owned(),
+            });
+        }
+        Ok((response, response_body))
+    }
+}

@@ -1,0 +1,37 @@
+//! # gld-service
+//!
+//! The sharded compression service over the framed `GLDS` wire protocol —
+//! the layer that turns the compression stack into long-lived shared
+//! infrastructure serving many concurrent clients:
+//!
+//! * [`protocol`] — the framed wire protocol (magic + version + op + codec
+//!   negotiation + `u64` length-prefixed bodies) with panic-free, typed
+//!   decoders (fuzzed in `tests/protocol_fuzz.rs`);
+//! * [`router`] — deterministic key-hash shard assignment with a
+//!   round-robin override;
+//! * [`server`] — the TCP server: per-shard worker threads behind bounded
+//!   in-flight admission windows, compress responses streamed straight from
+//!   `gld_core::compress_variable_to_writer`, graceful drain-then-join
+//!   shutdown;
+//! * [`client`] — the small blocking client library the tests, bins,
+//!   benches and examples speak through;
+//! * [`metrics`] — `StreamMetrics`-style service accounting (per-shard
+//!   in-flight gauges and peaks) that the overload tests assert against.
+//!
+//! Binaries: `gld-serviced` (standalone server) and `gld-service-check`
+//! (client smoke check used by CI's boot-the-binary job).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod router;
+pub mod server;
+
+pub use client::{ClientError, ServerInfo, ServiceClient};
+pub use metrics::{ServiceMetricsSnapshot, ShardMetricsSnapshot};
+pub use protocol::{Op, ProtocolError, Status};
+pub use router::{ShardPolicy, ShardRouter};
+pub use server::{CodecRegistry, Server, ServiceConfig};

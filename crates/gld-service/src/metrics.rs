@@ -1,0 +1,228 @@
+//! Service-level accounting, extending the executor's `StreamMetrics` idiom
+//! (gauges whose peaks prove the configured bounds) to the server: per-shard
+//! in-flight request windows, peak resident blocks across compress runs, and
+//! byte counters.  The overload test asserts against these snapshots.
+
+use gld_core::StreamMetrics;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn bump_peak(peak: &AtomicUsize, value: usize) {
+    peak.fetch_max(value, Ordering::AcqRel);
+}
+
+/// Live counters for one shard.  All methods are lock-free; the in-flight
+/// gauge is maintained by the shard queue under its own admission lock, so
+/// gauge and peak move together.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    in_flight: AtomicUsize,
+    peak_in_flight: AtomicUsize,
+    admitted: AtomicUsize,
+    completed: AtomicUsize,
+    blocks: AtomicUsize,
+    peak_resident_blocks: AtomicUsize,
+    bytes_in: AtomicUsize,
+    bytes_out: AtomicUsize,
+}
+
+impl ShardMetrics {
+    /// Records a request entering the shard's window.
+    pub fn admit(&self, request_bytes: usize) {
+        let now = self.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        bump_peak(&self.peak_in_flight, now);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(request_bytes, Ordering::Relaxed);
+    }
+
+    /// Records a request leaving the window (response written or abandoned).
+    pub fn complete(&self, response_bytes: usize) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.bytes_out.fetch_add(response_bytes, Ordering::Relaxed);
+    }
+
+    /// Folds one compress run's executor metrics into the shard account.
+    pub fn record_stream(&self, metrics: &StreamMetrics) {
+        self.blocks.fetch_add(metrics.blocks, Ordering::Relaxed);
+        bump_peak(&self.peak_resident_blocks, metrics.peak_resident);
+    }
+
+    /// Records blocks handled outside the streaming executor (decompress).
+    pub fn record_blocks(&self, blocks: usize) {
+        self.blocks.fetch_add(blocks, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy for assertions and reporting.
+    pub fn snapshot(&self) -> ShardMetricsSnapshot {
+        ShardMetricsSnapshot {
+            in_flight: self.in_flight.load(Ordering::Acquire),
+            peak_in_flight: self.peak_in_flight.load(Ordering::Acquire),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            blocks: self.blocks.load(Ordering::Relaxed),
+            peak_resident_blocks: self.peak_resident_blocks.load(Ordering::Acquire),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one shard's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardMetricsSnapshot {
+    /// Requests admitted to the window and not yet responded.
+    pub in_flight: usize,
+    /// Highest simultaneous in-flight count ever observed — bounded by the
+    /// configured shard window by construction.
+    pub peak_in_flight: usize,
+    /// Total requests admitted.
+    pub admitted: usize,
+    /// Total requests completed (response written or connection gone).
+    pub completed: usize,
+    /// Total container frames processed (compressed or decompressed).
+    pub blocks: usize,
+    /// Highest per-run resident block count reported by the streaming
+    /// executor — bounded by `StreamConfig::queue_depth`.
+    pub peak_resident_blocks: usize,
+    /// Request body bytes admitted.
+    pub bytes_in: usize,
+    /// Response body bytes produced.
+    pub bytes_out: usize,
+}
+
+/// Whole-service accounting: one [`ShardMetrics`] per shard plus
+/// connection-level counters.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    shards: Vec<ShardMetrics>,
+    connections_opened: AtomicUsize,
+    connections_active: AtomicUsize,
+    requests_rejected: AtomicUsize,
+}
+
+impl ServiceMetrics {
+    /// Zeroed metrics for `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        ServiceMetrics {
+            shards: (0..shards.max(1))
+                .map(|_| ShardMetrics::default())
+                .collect(),
+            connections_opened: AtomicUsize::new(0),
+            connections_active: AtomicUsize::new(0),
+            requests_rejected: AtomicUsize::new(0),
+        }
+    }
+
+    /// The per-shard counters.
+    pub fn shard(&self, index: usize) -> &ShardMetrics {
+        &self.shards[index]
+    }
+
+    /// Records a connection being accepted.
+    pub fn connection_opened(&self) {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+        self.connections_active.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Records a connection handler exiting.
+    pub fn connection_closed(&self) {
+        self.connections_active.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Records a request refused before shard admission (protocol error,
+    /// unknown codec, shutdown, over-limit body, ...).
+    pub fn request_rejected(&self) {
+        self.requests_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy for assertions and reporting.
+    pub fn snapshot(&self) -> ServiceMetricsSnapshot {
+        ServiceMetricsSnapshot {
+            shards: self.shards.iter().map(ShardMetrics::snapshot).collect(),
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Acquire),
+            requests_rejected: self.requests_rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of the whole service's counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceMetricsSnapshot {
+    /// Per-shard snapshots, indexed by shard.
+    pub shards: Vec<ShardMetricsSnapshot>,
+    /// Connections accepted over the server's lifetime.
+    pub connections_opened: usize,
+    /// Connections currently being served.
+    pub connections_active: usize,
+    /// Requests refused before shard admission.
+    pub requests_rejected: usize,
+}
+
+impl ServiceMetricsSnapshot {
+    /// Total requests completed across shards.
+    pub fn completed(&self) -> usize {
+        self.shards.iter().map(|s| s.completed).sum()
+    }
+
+    /// Total container frames processed across shards.
+    pub fn blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.blocks).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauges_and_peaks_move_together() {
+        let m = ShardMetrics::default();
+        m.admit(10);
+        m.admit(20);
+        let snap = m.snapshot();
+        assert_eq!(snap.in_flight, 2);
+        assert_eq!(snap.peak_in_flight, 2);
+        assert_eq!(snap.bytes_in, 30);
+        m.complete(5);
+        m.complete(7);
+        let snap = m.snapshot();
+        assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.peak_in_flight, 2, "peak survives the drain");
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.bytes_out, 12);
+    }
+
+    #[test]
+    fn stream_metrics_fold_into_peaks() {
+        let m = ShardMetrics::default();
+        m.record_stream(&StreamMetrics {
+            blocks: 4,
+            peak_resident: 2,
+        });
+        m.record_stream(&StreamMetrics {
+            blocks: 3,
+            peak_resident: 1,
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.blocks, 7);
+        assert_eq!(snap.peak_resident_blocks, 2);
+    }
+
+    #[test]
+    fn service_snapshot_aggregates() {
+        let m = ServiceMetrics::new(2);
+        m.connection_opened();
+        m.shard(0).admit(1);
+        m.shard(0).complete(1);
+        m.shard(1).admit(1);
+        m.shard(1).complete(1);
+        m.request_rejected();
+        m.connection_closed();
+        let snap = m.snapshot();
+        assert_eq!(snap.completed(), 2);
+        assert_eq!(snap.connections_opened, 1);
+        assert_eq!(snap.connections_active, 0);
+        assert_eq!(snap.requests_rejected, 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Shard assignment: which per-shard executor a variable's requests land on.
+//!
+//! The default policy is deterministic — FNV-1a of the variable key modulo
+//! the shard count — so every request for one variable (compress and later
+//! decompress alike) serialises onto the same shard's bounded window, and a
+//! client can predict placement without asking the server.  The round-robin
+//! override spreads key-less or synthetic workloads evenly instead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How the router maps a variable key to a shard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// FNV-1a hash of the key, modulo the shard count (deterministic; the
+    /// default).
+    #[default]
+    HashKey,
+    /// Ignore the key and cycle through shards (spreads load when keys are
+    /// few or skewed).
+    RoundRobin,
+}
+
+/// 64-bit FNV-1a — the deterministic key hash behind [`ShardPolicy::HashKey`]
+/// (stable across processes and architectures; little-endian byte order does
+/// not matter because it consumes bytes).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Maps variable keys to shard indices under the configured policy.
+#[derive(Debug)]
+pub struct ShardRouter {
+    shards: usize,
+    policy: ShardPolicy,
+    next: AtomicUsize,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards (clamped to at least 1).
+    pub fn new(shards: usize, policy: ShardPolicy) -> Self {
+        ShardRouter {
+            shards: shards.max(1),
+            policy,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards routed across.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> ShardPolicy {
+        self.policy
+    }
+
+    /// Routes one request for `key` to a shard index in `0..shards`.
+    pub fn route(&self, key: &str) -> usize {
+        match self.policy {
+            ShardPolicy::HashKey => Self::hash_shard(key, self.shards),
+            ShardPolicy::RoundRobin => self.next.fetch_add(1, Ordering::Relaxed) % self.shards,
+        }
+    }
+
+    /// The deterministic [`ShardPolicy::HashKey`] assignment, exposed so
+    /// clients and tests can predict placement without a router instance.
+    pub fn hash_shard(key: &str, shards: usize) -> usize {
+        (fnv1a(key.as_bytes()) % shards.max(1) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_routing_is_deterministic_and_in_range() {
+        let router = ShardRouter::new(4, ShardPolicy::HashKey);
+        for key in ["temperature", "velocity_u", "species_07", ""] {
+            let shard = router.route(key);
+            assert!(shard < 4);
+            assert_eq!(shard, router.route(key), "same key, same shard");
+            assert_eq!(shard, ShardRouter::hash_shard(key, 4));
+        }
+    }
+
+    #[test]
+    fn hash_routing_spreads_distinct_keys() {
+        // Not a uniformity proof — just that 64 distinct keys do not all
+        // collapse onto one shard.
+        let router = ShardRouter::new(4, ShardPolicy::HashKey);
+        let mut seen = [false; 4];
+        for i in 0..64 {
+            seen[router.route(&format!("variable_{i}"))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all shards reachable: {seen:?}");
+    }
+
+    #[test]
+    fn round_robin_cycles_regardless_of_key() {
+        let router = ShardRouter::new(3, ShardPolicy::RoundRobin);
+        let shards: Vec<usize> = (0..6).map(|_| router.route("same-key")).collect();
+        assert_eq!(shards, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let router = ShardRouter::new(0, ShardPolicy::HashKey);
+        assert_eq!(router.shards(), 1);
+        assert_eq!(router.route("anything"), 0);
+    }
+}

@@ -1,0 +1,1016 @@
+//! The sharded compression server.
+//!
+//! A long-running TCP server speaking the framed `GLDS` protocol
+//! (`crate::protocol`).  One thread accepts connections; each connection
+//! gets a handler thread that parses requests and routes them — by
+//! deterministic key hash or round-robin (`crate::router`) — onto one of a
+//! fixed set of **shards**.  Each shard is a worker thread draining a
+//! bounded admission window: a request is only admitted while the shard has
+//! fewer than `shard_window` requests in flight (admitted but not yet
+//! responded), so a congested or slow-consuming shard pushes back on *its
+//! own* submitters while every other shard keeps flowing.  All shards share
+//! the one persistent `rayon` pool underneath: compress requests run the
+//! bounded-memory streaming executor (`gld_core::executor`) whose collector
+//! helps from the shard thread, so no shard can be starved by another's
+//! pool usage.
+//!
+//! Compress responses are `GLDC` containers streamed straight from
+//! [`gld_core::compress_variable_to_writer`] into the response body (capped
+//! by `max_body`; an over-limit container aborts mid-stream and the
+//! diagnostic reports how many frames were emitted).  Graceful shutdown —
+//! [`Server::shutdown`], or a wire [`Op::Shutdown`] — stops accepting,
+//! lets every admitted request finish and its response be written, then
+//! joins every thread the server spawned.
+
+use crate::metrics::{ServiceMetrics, ServiceMetricsSnapshot, ShardMetrics};
+use crate::protocol::{self, FrameHeader, Op, ProtocolError, RawFrameHeader, Status, HEADER_LEN};
+use crate::router::{ShardPolicy, ShardRouter};
+use gld_baselines::{SzCompressor, ZfpLikeCompressor};
+use gld_core::container::HEADER_LEN as CONTAINER_HEADER_LEN;
+use gld_core::{
+    compress_variable_to_writer, Codec, CodecId, Container, StreamConfig, StreamMetrics,
+};
+use gld_datasets::Variable;
+use gld_tensor::Tensor;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Server tuning.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Number of shards (per-shard worker threads).  Clamped to at least 1.
+    pub shards: usize,
+    /// Maximum requests admitted per shard at once (queued or executing,
+    /// response not yet written).  Clamped to at least 1.
+    pub shard_window: usize,
+    /// Streaming-executor tuning for compress requests.
+    pub stream: StreamConfig,
+    /// Shard-assignment policy.
+    pub policy: ShardPolicy,
+    /// Maximum request *and* response body length in bytes (under the
+    /// protocol's 1 GiB hard cap).
+    pub max_body: u64,
+    /// How often blocked reads wake to check for shutdown.
+    pub poll_interval: Duration,
+    /// Upper bound on one blocking socket write; a slower consumer loses
+    /// its connection (its shard-window slot is released either way).
+    pub write_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 4,
+            shard_window: 4,
+            stream: StreamConfig::default(),
+            policy: ShardPolicy::HashKey,
+            max_body: 256 << 20,
+            poll_interval: Duration::from_millis(25),
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The set of codecs a server instance is willing to run, keyed by
+/// [`CodecId`].  Registration order is irrelevant — negotiation follows the
+/// *client's* preference order.
+#[derive(Clone, Default)]
+pub struct CodecRegistry {
+    codecs: Vec<Arc<dyn Codec + Send + Sync>>,
+}
+
+impl CodecRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        CodecRegistry::default()
+    }
+
+    /// The rule-based default: SZ3-like and ZFP-like (deterministic, fast,
+    /// training-free — what the standalone `gld-serviced` binary runs).
+    pub fn rule_based() -> Self {
+        let mut registry = CodecRegistry::new();
+        registry.register(Arc::new(SzCompressor::new()));
+        registry.register(Arc::new(ZfpLikeCompressor::new()));
+        registry
+    }
+
+    /// Registers `codec`, replacing any previous codec with the same id.
+    pub fn register(&mut self, codec: Arc<dyn Codec + Send + Sync>) {
+        let id = codec.id();
+        self.codecs.retain(|c| c.id() != id);
+        self.codecs.push(codec);
+    }
+
+    /// Looks a codec up by id.
+    pub fn get(&self, id: CodecId) -> Option<Arc<dyn Codec + Send + Sync>> {
+        self.codecs.iter().find(|c| c.id() == id).cloned()
+    }
+
+    /// Registered codec ids.
+    pub fn ids(&self) -> Vec<CodecId> {
+        self.codecs.iter().map(|c| c.id()).collect()
+    }
+
+    /// Picks the first of the client's proposals (raw id bytes, preference
+    /// order) that is registered here — the `Hello` negotiation rule.
+    pub fn negotiate(&self, proposals: &[u8]) -> Option<CodecId> {
+        proposals
+            .iter()
+            .filter_map(|&byte| CodecId::from_u8(byte).ok())
+            .find(|&id| self.get(id).is_some())
+    }
+}
+
+/// One unit of shard work, executed on the shard's worker thread.
+type ShardJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// What a shard job hands back to the connection handler.
+struct ShardResult {
+    status: Status,
+    codec: u8,
+    body: Vec<u8>,
+    stream: Option<StreamMetrics>,
+    blocks: usize,
+}
+
+/// Bounded admission queue for one shard.
+struct ShardQueue {
+    state: Mutex<ShardState>,
+    /// Submitters wait here for the window to open.
+    space: Condvar,
+    /// The shard worker waits here for jobs.
+    work: Condvar,
+}
+
+struct ShardState {
+    jobs: VecDeque<ShardJob>,
+    /// Requests admitted (queued or executing) whose responses are not yet
+    /// written — the quantity the window bounds.
+    in_flight: usize,
+    stop: bool,
+}
+
+impl ShardQueue {
+    fn new() -> Self {
+        ShardQueue {
+            state: Mutex::new(ShardState {
+                jobs: VecDeque::new(),
+                in_flight: 0,
+                stop: false,
+            }),
+            space: Condvar::new(),
+            work: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the shard's window has room, then admits `job`.  This
+    /// blocking is the backpressure: a congested shard stalls exactly the
+    /// handlers submitting to it.  Returns `Err(())` once the shard stopped.
+    /// The metrics gauge moves under the admission lock, so its peak can
+    /// never exceed the window.
+    fn submit(
+        &self,
+        window: usize,
+        metrics: &ShardMetrics,
+        request_bytes: usize,
+        job: ShardJob,
+    ) -> Result<(), ()> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state.in_flight >= window && !state.stop {
+            state = self.space.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        if state.stop {
+            return Err(());
+        }
+        state.in_flight += 1;
+        metrics.admit(request_bytes);
+        state.jobs.push_back(job);
+        drop(state);
+        self.work.notify_one();
+        Ok(())
+    }
+
+    /// Releases one window slot (response written or connection gone).
+    fn release(&self, metrics: &ShardMetrics, response_bytes: usize) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(state.in_flight > 0);
+        state.in_flight -= 1;
+        metrics.complete(response_bytes);
+        drop(state);
+        self.space.notify_one();
+    }
+
+    /// Worker side: next job, or `None` once stopped *and* drained.
+    fn next_job(&self) -> Option<ShardJob> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.stop {
+                return None;
+            }
+            state = self.work.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn stop(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.stop = true;
+        drop(state);
+        self.work.notify_all();
+        self.space.notify_all();
+    }
+}
+
+struct ServerShared {
+    config: ServiceConfig,
+    registry: CodecRegistry,
+    router: ShardRouter,
+    metrics: ServiceMetrics,
+    shards: Vec<ShardQueue>,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    shutdown_cv: (Mutex<bool>, Condvar),
+    handlers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl ServerShared {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Idempotently starts the graceful-shutdown sequence: stop admitting
+    /// connections/requests and wake everything that might be waiting.
+    fn trigger_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the acceptor (it is blocked in `accept`).
+        let _ = TcpStream::connect(self.addr);
+        // Wake `Server::wait`.
+        let (flag, cv) = &self.shutdown_cv;
+        *flag.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cv.notify_all();
+    }
+}
+
+/// A running sharded compression server.
+///
+/// Dropping the handle performs a graceful shutdown; call
+/// [`Server::shutdown`] to do it explicitly or [`Server::wait`] to serve
+/// until a wire [`Op::Shutdown`] arrives.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    accept: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the shard workers and the acceptor, and returns the
+    /// running server.
+    pub fn start(config: ServiceConfig, registry: CodecRegistry) -> std::io::Result<Server> {
+        assert!(!registry.codecs.is_empty(), "registry has no codecs");
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shards = config.shards.max(1);
+        let shared = Arc::new(ServerShared {
+            router: ShardRouter::new(shards, config.policy),
+            metrics: ServiceMetrics::new(shards),
+            shards: (0..shards).map(|_| ShardQueue::new()).collect(),
+            addr,
+            shutdown: AtomicBool::new(false),
+            shutdown_cv: (Mutex::new(false), Condvar::new()),
+            handlers: Mutex::new(Vec::new()),
+            config,
+            registry,
+        });
+        let workers = (0..shards)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("gld-service-shard-{index}"))
+                    .spawn(move || shard_worker(&shared, index))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("gld-service-accept".into())
+                .spawn(move || accept_loop(&shared, listener))
+                .expect("spawn acceptor")
+        };
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A point-in-time copy of the service counters.
+    pub fn metrics(&self) -> ServiceMetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, drain every admitted request
+    /// (responses are written), then join every thread.
+    pub fn shutdown(mut self) -> ServiceMetricsSnapshot {
+        self.shared.trigger_shutdown();
+        self.join_all();
+        self.shared.metrics.snapshot()
+    }
+
+    /// Serves until a wire [`Op::Shutdown`] request arrives, then drains and
+    /// joins exactly like [`Server::shutdown`].
+    pub fn wait(mut self) -> ServiceMetricsSnapshot {
+        {
+            let (flag, cv) = &self.shared.shutdown_cv;
+            let mut done = flag.lock().unwrap_or_else(|e| e.into_inner());
+            while !*done {
+                done = cv.wait(done).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        self.join_all();
+        self.shared.metrics.snapshot()
+    }
+
+    fn join_all(&mut self) {
+        // Acceptor first: once it is gone no new handler threads appear.
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Handlers next: each finishes its in-flight request (the shard
+        // workers are still running and draining) and exits on the flag.
+        let handlers = std::mem::take(
+            &mut *self
+                .shared
+                .handlers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        // Shards last: every admitted job has been executed and responded
+        // to by now, so stopping is an empty-queue no-op.
+        for shard in &self.shared.shards {
+            shard.stop();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shared.trigger_shutdown();
+            self.join_all();
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<ServerShared>, listener: TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.is_shutdown() {
+                    // The wake-up connection (or a late client): refuse.
+                    drop(stream);
+                    break;
+                }
+                shared.metrics.connection_opened();
+                let shared_conn = Arc::clone(shared);
+                let handle = thread::Builder::new()
+                    .name("gld-service-conn".into())
+                    .spawn(move || {
+                        handle_connection(&shared_conn, stream);
+                        shared_conn.metrics.connection_closed();
+                    })
+                    .expect("spawn connection handler");
+                let mut handlers = shared.handlers.lock().unwrap_or_else(|e| e.into_inner());
+                handlers.push(handle);
+                // Reap handlers whose connections already ended, so a
+                // long-running server does not accumulate one unjoined
+                // thread (stack and all) per connection it ever served.
+                let mut live = Vec::with_capacity(handlers.len());
+                for handle in handlers.drain(..) {
+                    if handle.is_finished() {
+                        let _ = handle.join();
+                    } else {
+                        live.push(handle);
+                    }
+                }
+                *handlers = live;
+            }
+            Err(_) => {
+                if shared.is_shutdown() {
+                    break;
+                }
+                // Transient accept failures (EMFILE under fd exhaustion,
+                // ECONNABORTED, ...): back off instead of busy-spinning a
+                // core while the condition persists.
+                thread::sleep(shared.config.poll_interval);
+            }
+        }
+    }
+}
+
+fn shard_worker(shared: &Arc<ServerShared>, index: usize) {
+    while let Some(job) = shared.shards[index].next_job() {
+        job();
+    }
+}
+
+/// Outcome of trying to read `buf.len()` bytes with shutdown polling.
+enum FillOutcome {
+    Filled,
+    /// Peer closed (clean EOF at a frame boundary), mid-frame disconnect, a
+    /// non-timeout I/O error, or shutdown — in every case the connection is
+    /// done.
+    Closed,
+}
+
+/// Reads a `len`-byte frame body, growing the buffer in bounded steps as
+/// bytes actually arrive — a client declaring a large body but trickling
+/// (or never sending) it can only cost memory proportional to what it
+/// transmitted, not to what it declared.
+fn fill_body(shared: &ServerShared, stream: &mut TcpStream, len: usize) -> Option<Vec<u8>> {
+    const STEP: usize = 1 << 20;
+    let mut body = Vec::new();
+    while body.len() < len {
+        let start = body.len();
+        body.resize(start + (len - start).min(STEP), 0);
+        if matches!(
+            fill_exact(shared, stream, &mut body[start..]),
+            FillOutcome::Closed
+        ) {
+            return None;
+        }
+    }
+    Some(body)
+}
+
+/// Reads exactly `buf.len()` bytes, waking every `poll_interval` to check
+/// the shutdown flag (requests not yet fully read when shutdown starts are
+/// abandoned — only *admitted* work is drained).
+fn fill_exact(shared: &ServerShared, stream: &mut TcpStream, buf: &mut [u8]) -> FillOutcome {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return FillOutcome::Closed,
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.is_shutdown() {
+                    return FillOutcome::Closed;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return FillOutcome::Closed,
+        }
+    }
+    FillOutcome::Filled
+}
+
+/// Writes one response frame; an error here ends the connection.
+fn respond(
+    stream: &mut TcpStream,
+    op: Op,
+    codec: u8,
+    status: Status,
+    request_id: u64,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let header = FrameHeader::response(op, codec, status, request_id, body.len() as u64);
+    protocol::write_frame(stream, &header, body)
+}
+
+fn respond_error(
+    stream: &mut TcpStream,
+    op: Op,
+    status: Status,
+    request_id: u64,
+    message: &str,
+) -> std::io::Result<()> {
+    respond(stream, op, 0, status, request_id, message.as_bytes())
+}
+
+fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let mut session_codec: Option<CodecId> = None;
+
+    loop {
+        if shared.is_shutdown() {
+            break;
+        }
+        // ── frame header ────────────────────────────────────────────────
+        let mut header_bytes = [0u8; HEADER_LEN];
+        if matches!(
+            fill_exact(shared, &mut stream, &mut header_bytes),
+            FillOutcome::Closed
+        ) {
+            break;
+        }
+        let raw = match RawFrameHeader::decode(&header_bytes) {
+            Ok(raw) => raw,
+            Err(e) => {
+                // Framing failure: the stream position cannot be trusted.
+                // Answer best-effort (the peer may be mid-garbage) and close.
+                shared.metrics.request_rejected();
+                let _ = respond_error(
+                    &mut stream,
+                    Op::Ping,
+                    protocol::status_for(&e),
+                    0,
+                    &e.to_string(),
+                );
+                break;
+            }
+        };
+        if raw.body_len > shared.config.max_body {
+            // The body is knowably huge; refuse without reading it, then
+            // close (the unread body would desynchronise the stream).
+            shared.metrics.request_rejected();
+            let e = ProtocolError::BodyTooLarge {
+                declared: raw.body_len,
+                max: shared.config.max_body,
+            };
+            let _ = respond_error(
+                &mut stream,
+                Op::Ping,
+                Status::FrameTooLarge,
+                raw.request_id,
+                &e.to_string(),
+            );
+            break;
+        }
+        // ── frame body ──────────────────────────────────────────────────
+        let Some(body) = fill_body(shared, &mut stream, raw.body_len as usize) else {
+            break;
+        };
+        // Framing is intact from here on: errors are answered and the
+        // connection keeps serving.
+        let header = match raw.validate() {
+            Ok(header) => header,
+            Err(e) => {
+                shared.metrics.request_rejected();
+                // No valid op to echo; `Ping` is the designated neutral op
+                // for error responses (the status carries the diagnosis).
+                if respond_error(
+                    &mut stream,
+                    Op::Ping,
+                    protocol::status_for(&e),
+                    raw.request_id,
+                    &e.to_string(),
+                )
+                .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+        };
+        if header.status != Status::Ok {
+            shared.metrics.request_rejected();
+            if respond_error(
+                &mut stream,
+                header.op,
+                Status::Malformed,
+                header.request_id,
+                "request frames must carry status 0",
+            )
+            .is_err()
+            {
+                break;
+            }
+            continue;
+        }
+
+        // ── dispatch ────────────────────────────────────────────────────
+        let keep_going = match header.op {
+            Op::Ping => {
+                respond(&mut stream, Op::Ping, 0, Status::Ok, header.request_id, &[]).is_ok()
+            }
+            Op::Hello => handle_hello(shared, &mut stream, &header, &body, &mut session_codec),
+            Op::Shutdown => {
+                let _ = respond(
+                    &mut stream,
+                    Op::Shutdown,
+                    0,
+                    Status::Ok,
+                    header.request_id,
+                    &[],
+                );
+                shared.trigger_shutdown();
+                false
+            }
+            Op::Compress => handle_compress(shared, &mut stream, &header, &body, session_codec),
+            Op::Decompress => handle_decompress(shared, &mut stream, &header, &body),
+        };
+        if !keep_going {
+            break;
+        }
+    }
+}
+
+fn handle_hello(
+    shared: &Arc<ServerShared>,
+    stream: &mut TcpStream,
+    header: &FrameHeader,
+    body: &[u8],
+    session_codec: &mut Option<CodecId>,
+) -> bool {
+    let request = match protocol::HelloRequest::decode_body(body) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.metrics.request_rejected();
+            return respond_error(
+                stream,
+                Op::Hello,
+                protocol::status_for(&e),
+                header.request_id,
+                &e.to_string(),
+            )
+            .is_ok();
+        }
+    };
+    match shared.registry.negotiate(&request.proposals) {
+        Some(chosen) => {
+            *session_codec = Some(chosen);
+            let info = protocol::HelloResponse {
+                shards: shared.router.shards() as u32,
+                shard_window: shared.config.shard_window.max(1) as u32,
+                queue_depth: shared.config.stream.queue_depth.max(1) as u32,
+            };
+            respond(
+                stream,
+                Op::Hello,
+                chosen as u8,
+                Status::Ok,
+                header.request_id,
+                &info.encode_body(),
+            )
+            .is_ok()
+        }
+        None => {
+            shared.metrics.request_rejected();
+            respond_error(
+                stream,
+                Op::Hello,
+                Status::NoCommonCodec,
+                header.request_id,
+                "none of the proposed codecs is registered on this server",
+            )
+            .is_ok()
+        }
+    }
+}
+
+/// Resolves the codec for a request: an explicit header byte wins, else the
+/// session default from `Hello`.
+fn resolve_codec(
+    shared: &ServerShared,
+    header_codec: u8,
+    session_codec: Option<CodecId>,
+) -> Result<Arc<dyn Codec + Send + Sync>, (Status, String)> {
+    let id = if header_codec != 0 {
+        CodecId::from_u8(header_codec).map_err(|_| {
+            (
+                Status::UnknownCodec,
+                format!("unknown codec id {header_codec}"),
+            )
+        })?
+    } else {
+        session_codec.ok_or((
+            Status::UnknownCodec,
+            "no codec: set the header codec byte or negotiate one with Hello".to_string(),
+        ))?
+    };
+    shared.registry.get(id).ok_or((
+        Status::UnknownCodec,
+        format!("codec {id:?} is not registered"),
+    ))
+}
+
+/// A `Vec` sink that refuses to grow past `limit` — the response-body cap
+/// enforced *during* container streaming, so an over-limit compress aborts
+/// early instead of buffering without bound.
+struct LimitedSink {
+    buf: Vec<u8>,
+    limit: usize,
+}
+
+impl Write for LimitedSink {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        if self.buf.len() + data.len() > self.limit {
+            return Err(std::io::Error::other(format!(
+                "response body limit of {} bytes exceeded",
+                self.limit
+            )));
+        }
+        self.buf.extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "codec panicked".to_string()
+    }
+}
+
+/// Runs one admitted request through its shard and writes the response.
+/// Owns the full admit → execute → respond → release cycle so the window
+/// slot is released on every path.
+fn run_sharded(
+    shared: &Arc<ServerShared>,
+    stream: &mut TcpStream,
+    header: &FrameHeader,
+    shard: usize,
+    request_bytes: usize,
+    job: impl FnOnce() -> ShardResult + Send + 'static,
+) -> bool {
+    let (tx, rx) = sync_channel::<ShardResult>(1);
+    let wrapped: ShardJob = Box::new(move || {
+        let _ = tx.send(job());
+    });
+    let window = shared.config.shard_window.max(1);
+    let metrics = shared.metrics.shard(shard);
+    if shared.shards[shard]
+        .submit(window, metrics, request_bytes, wrapped)
+        .is_err()
+    {
+        shared.metrics.request_rejected();
+        return respond_error(
+            stream,
+            header.op,
+            Status::ShuttingDown,
+            header.request_id,
+            "server is draining",
+        )
+        .is_ok();
+    }
+    let result = rx.recv().unwrap_or(ShardResult {
+        status: Status::ShuttingDown,
+        codec: 0,
+        body: b"shard stopped before the request ran".to_vec(),
+        stream: None,
+        blocks: 0,
+    });
+    if let Some(stream_metrics) = &result.stream {
+        metrics.record_stream(stream_metrics);
+    } else if result.blocks > 0 {
+        metrics.record_blocks(result.blocks);
+    }
+    let ok = respond(
+        stream,
+        header.op,
+        result.codec,
+        result.status,
+        header.request_id,
+        &result.body,
+    )
+    .is_ok();
+    // The slot is held until the response bytes are handed to the socket:
+    // a consumer slower than `write_timeout` keeps its shard's window
+    // occupied (and only its shard's), which is the backpressure contract.
+    shared.shards[shard].release(metrics, result.body.len());
+    ok
+}
+
+fn handle_compress(
+    shared: &Arc<ServerShared>,
+    stream: &mut TcpStream,
+    header: &FrameHeader,
+    body: &[u8],
+    session_codec: Option<CodecId>,
+) -> bool {
+    let request = match protocol::CompressRequest::decode_body(body) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.metrics.request_rejected();
+            return respond_error(
+                stream,
+                Op::Compress,
+                protocol::status_for(&e),
+                header.request_id,
+                &e.to_string(),
+            )
+            .is_ok();
+        }
+    };
+    let codec = match resolve_codec(shared, header.codec, session_codec) {
+        Ok(codec) => codec,
+        Err((status, message)) => {
+            shared.metrics.request_rejected();
+            return respond_error(stream, Op::Compress, status, header.request_id, &message)
+                .is_ok();
+        }
+    };
+    let [t, h, w] = request.dims;
+    if (t as usize) < request.block_frames as usize {
+        // `checked_windows` panics on a zero-window variable; the server
+        // must refuse it as a typed error instead.
+        shared.metrics.request_rejected();
+        let message = format!(
+            "variable has {t} timesteps, too few for one {}-frame block",
+            request.block_frames
+        );
+        return respond_error(
+            stream,
+            Op::Compress,
+            Status::Malformed,
+            header.request_id,
+            &message,
+        )
+        .is_ok();
+    }
+    let shard = shared.router.route(&request.key);
+    let variable = Variable::new(
+        request.key,
+        Tensor::from_vec(request.data, &[t as usize, h as usize, w as usize]),
+    );
+    let block_frames = request.block_frames as usize;
+    let target = request.target;
+    let stream_config = shared.config.stream;
+    let limit = shared.config.max_body as usize;
+    let codec_byte = codec.id() as u8;
+    let request_bytes = body.len();
+
+    run_sharded(shared, stream, header, shard, request_bytes, move || {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            compress_variable_to_writer(
+                codec.as_ref(),
+                &variable,
+                block_frames,
+                target,
+                stream_config,
+                LimitedSink {
+                    buf: Vec::new(),
+                    limit,
+                },
+            )
+        }));
+        match outcome {
+            Ok(Ok((sink, _stats, metrics))) => ShardResult {
+                status: Status::Ok,
+                codec: codec_byte,
+                body: sink.buf,
+                stream: Some(metrics),
+                blocks: 0,
+            },
+            Ok(Err(e)) => ShardResult {
+                // The partial-write diagnostic: how far the container got
+                // before the sink refused (`StreamWriteError::frames_emitted`).
+                status: Status::FrameTooLarge,
+                codec: codec_byte,
+                body: e.to_string().into_bytes(),
+                stream: None,
+                blocks: e.frames_emitted,
+            },
+            Err(payload) => ShardResult {
+                status: Status::Internal,
+                codec: codec_byte,
+                body: panic_message(payload.as_ref()).into_bytes(),
+                stream: None,
+                blocks: 0,
+            },
+        }
+    })
+}
+
+fn handle_decompress(
+    shared: &Arc<ServerShared>,
+    stream: &mut TcpStream,
+    header: &FrameHeader,
+    body: &[u8],
+) -> bool {
+    let request = match protocol::DecompressRequest::decode_body(body) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.metrics.request_rejected();
+            return respond_error(
+                stream,
+                Op::Decompress,
+                protocol::status_for(&e),
+                header.request_id,
+                &e.to_string(),
+            )
+            .is_ok();
+        }
+    };
+    // Cheap pre-admission peek at the container's codec byte; the full
+    // (CRC-checked) decode runs on the shard.
+    if request.container.len() < CONTAINER_HEADER_LEN {
+        shared.metrics.request_rejected();
+        return respond_error(
+            stream,
+            Op::Decompress,
+            Status::BadContainer,
+            header.request_id,
+            "container shorter than its fixed header",
+        )
+        .is_ok();
+    }
+    let codec = match CodecId::from_u8(request.container[6])
+        .ok()
+        .and_then(|id| shared.registry.get(id))
+    {
+        Some(codec) => codec,
+        None => {
+            shared.metrics.request_rejected();
+            return respond_error(
+                stream,
+                Op::Decompress,
+                Status::UnknownCodec,
+                header.request_id,
+                &format!(
+                    "container codec id {} is not registered",
+                    request.container[6]
+                ),
+            )
+            .is_ok();
+        }
+    };
+    let shard = shared.router.route(&request.key);
+    let codec_byte = codec.id() as u8;
+    let container_bytes = request.container;
+    let limit = shared.config.max_body as usize;
+    let request_bytes = body.len();
+
+    run_sharded(shared, stream, header, shard, request_bytes, move || {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let container = Container::decode(&container_bytes)
+                .map_err(|e| (Status::BadContainer, e.to_string()))?;
+            let blocks = codec
+                .decompress_container(&container)
+                .map_err(|e| (Status::BadContainer, e.to_string()))?;
+            let body = protocol::encode_blocks_body(&blocks);
+            if body.len() > limit {
+                return Err((
+                    Status::FrameTooLarge,
+                    format!(
+                        "decompressed body of {} bytes exceeds the {limit}-byte limit",
+                        body.len()
+                    ),
+                ));
+            }
+            Ok((body, blocks.len()))
+        }));
+        match outcome {
+            Ok(Ok((body, blocks))) => ShardResult {
+                status: Status::Ok,
+                codec: codec_byte,
+                body,
+                stream: None,
+                blocks,
+            },
+            Ok(Err((status, message))) => ShardResult {
+                status,
+                codec: codec_byte,
+                body: message.into_bytes(),
+                stream: None,
+                blocks: 0,
+            },
+            Err(payload) => ShardResult {
+                status: Status::Internal,
+                codec: codec_byte,
+                body: panic_message(payload.as_ref()).into_bytes(),
+                stream: None,
+                blocks: 0,
+            },
+        }
+    })
+}

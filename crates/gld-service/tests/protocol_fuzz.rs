@@ -1,0 +1,162 @@
+//! Protocol fuzz battery: the `GLDS` decoders must never panic and must
+//! always yield a typed [`ProtocolError`] on bad input — over arbitrary
+//! bytes, truncations of valid frames, and single-bit flips of valid
+//! request *and* response frames (the corruption-detection idiom of
+//! `tests/container_roundtrip.rs`, pointed at the wire layer).
+
+use gld_core::ErrorTarget;
+use gld_service::protocol::{
+    decode_blocks_body, decode_frame, CompressRequest, DecompressRequest, FrameHeader,
+    HelloRequest, HelloResponse, Op, ProtocolError, RawFrameHeader, Status, HEADER_LEN,
+};
+use gld_tensor::Tensor;
+use proptest::prelude::*;
+
+/// A representative valid compress-request frame to mutate.
+fn valid_compress_frame(key_seed: usize, frames: usize) -> Vec<u8> {
+    let request = CompressRequest {
+        key: format!("variable_{key_seed}"),
+        block_frames: 4,
+        target: Some(ErrorTarget::Nrmse(1e-2)),
+        dims: [frames as u32, 4, 4],
+        data: (0..frames * 16).map(|i| (i as f32).sin()).collect(),
+    };
+    let body = request.encode_body();
+    let header = FrameHeader::request(Op::Compress, 2, 42, body.len() as u64);
+    let mut frame = header.encode().to_vec();
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// A representative valid decompress-response frame (blocks body).
+fn valid_blocks_frame() -> Vec<u8> {
+    let blocks = vec![
+        Tensor::arange(4 * 3 * 3).reshape(&[4, 3, 3]),
+        Tensor::ones(&[2, 3, 3]),
+    ];
+    let body = decode_blocks_roundtrip_body(&blocks);
+    let header = FrameHeader::response(Op::Decompress, 2, Status::Ok, 7, body.len() as u64);
+    let mut frame = header.encode().to_vec();
+    frame.extend_from_slice(&body);
+    frame
+}
+
+fn decode_blocks_roundtrip_body(blocks: &[Tensor]) -> Vec<u8> {
+    gld_service::protocol::encode_blocks_body(blocks)
+}
+
+/// Exercises every decoder layer on one byte string.  Panics propagate and
+/// fail the proptest; anything else is by definition a typed result.
+fn drive_all_decoders(bytes: &[u8]) {
+    let whole = decode_frame(bytes);
+    if let Ok((header, body)) = &whole {
+        // A frame that decodes structurally gets its body parsed under
+        // every op interpretation the server and client use.
+        let _ = header;
+        let _ = CompressRequest::decode_body(body);
+        let _ = DecompressRequest::decode_body(body);
+        let _ = HelloRequest::decode_body(body);
+        let _ = HelloResponse::decode_body(body);
+        let _ = decode_blocks_body(body);
+    }
+    if bytes.len() >= HEADER_LEN {
+        let fixed: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().unwrap();
+        let _ = RawFrameHeader::decode(fixed).map(RawFrameHeader::validate);
+        let _ = FrameHeader::decode(fixed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_any_decoder(
+        bytes in prop::collection::vec(0u32..256, 0..96),
+    ) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        drive_all_decoders(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_bytes_with_valid_magic_never_panic(
+        bytes in prop::collection::vec(0u32..256, 0..96),
+    ) {
+        // Start from protocol-shaped garbage so fuzzing spends its cases
+        // past the magic/version gate instead of dying at byte 0.
+        let mut framed = FrameHeader::request(Op::Compress, 2, 1, 0).encode().to_vec();
+        framed.extend(bytes.into_iter().map(|b| b as u8));
+        // Overwrite the declared body length with the actual tail length so
+        // deeper body decoders run too.
+        let tail = (framed.len() - HEADER_LEN) as u64;
+        framed[24..32].copy_from_slice(&tail.to_le_bytes());
+        drive_all_decoders(&framed);
+    }
+
+    #[test]
+    fn truncations_of_a_valid_frame_always_yield_typed_errors(
+        key in 0usize..1000,
+        frames in 1usize..5,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = valid_compress_frame(key, frames * 4);
+        let cut = ((frame.len() - 1) as f64 * cut_frac) as usize;
+        let result = decode_frame(&frame[..cut]);
+        prop_assert!(
+            matches!(result, Err(ProtocolError::Truncated { .. })),
+            "cut at {cut}/{} must be Truncated, got {result:?}",
+            frame.len()
+        );
+    }
+
+    #[test]
+    fn bit_flipped_request_frames_never_panic(
+        key in 0usize..1000,
+        frames in 1usize..5,
+        flip_frac in 0.0f64..1.0,
+        bit in 0usize..8,
+    ) {
+        let mut frame = valid_compress_frame(key, frames * 4);
+        let at = ((frame.len() - 1) as f64 * flip_frac) as usize;
+        frame[at] ^= 1 << bit;
+        drive_all_decoders(&frame);
+    }
+
+    #[test]
+    fn bit_flipped_response_frames_never_panic(
+        flip_frac in 0.0f64..1.0,
+        bit in 0usize..8,
+    ) {
+        let mut frame = valid_blocks_frame();
+        let at = ((frame.len() - 1) as f64 * flip_frac) as usize;
+        frame[at] ^= 1 << bit;
+        drive_all_decoders(&frame);
+    }
+
+    #[test]
+    fn arbitrary_bodies_never_panic_the_body_decoders(
+        bytes in prop::collection::vec(0u32..256, 0..64),
+    ) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let _ = CompressRequest::decode_body(&bytes);
+        let _ = DecompressRequest::decode_body(&bytes);
+        let _ = HelloRequest::decode_body(&bytes);
+        let _ = HelloResponse::decode_body(&bytes);
+        let _ = decode_blocks_body(&bytes);
+    }
+}
+
+#[test]
+fn every_header_byte_position_survives_exhaustive_single_byte_corruption() {
+    // Exhaustive (not sampled): every header byte set to every value must
+    // decode to Ok or a typed error — never a panic, never an allocation
+    // blow-up.  This nails the magic/version/op/status/reserved/length
+    // boundaries deterministically.
+    let frame = valid_compress_frame(0, 4);
+    for at in 0..HEADER_LEN {
+        for value in 0..=255u8 {
+            let mut corrupt = frame.clone();
+            corrupt[at] = value;
+            let _ = decode_frame(&corrupt);
+        }
+    }
+}

@@ -10,5 +10,6 @@ pub use gld_core;
 pub use gld_datasets;
 pub use gld_diffusion;
 pub use gld_entropy;
+pub use gld_service;
 pub use gld_tensor;
 pub use gld_vae;

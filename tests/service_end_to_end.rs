@@ -1,0 +1,543 @@
+//! Service-grade contract tests for the sharded compression service:
+//!
+//! * **Concurrency** — N client threads × M variables through a live
+//!   in-process server, every round trip bit-identical to a direct
+//!   [`Codec`] call (runs green under `RAYON_NUM_THREADS=1` and `=8`; CI's
+//!   matrix exercises both).
+//! * **Protocol robustness** — the frame decoder never panics on fuzzed
+//!   input, and a live server survives raw garbage on a connection while
+//!   continuing to serve others.
+//! * **Backpressure/overload** — a deliberately slow client (its codec
+//!   gated shut) congests one shard: that shard's in-flight count stays
+//!   within the configured window, submitters beyond the window block, and
+//!   the *other* shard keeps completing work the whole time.
+
+use gld_baselines::SzCompressor;
+use gld_core::{Codec, CodecId, Container, ErrorTarget, GldCompressor, GldConfig, StreamConfig};
+use gld_datasets::{generate, DatasetKind, FieldSpec, Variable};
+use gld_diffusion::ConditionalDiffusion;
+use gld_service::protocol::{self, FrameHeader, Op, Status};
+use gld_service::{
+    ClientError, CodecRegistry, Server, ServiceClient, ServiceConfig, ShardPolicy, ShardRouter,
+};
+use gld_tensor::Tensor;
+use gld_vae::Vae;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// An untrained (but fully functional and deterministic) GLD pipeline.
+fn untrained_compressor() -> GldCompressor {
+    let config = GldConfig::tiny();
+    GldCompressor::from_parts(
+        config,
+        Vae::new(config.vae),
+        ConditionalDiffusion::new(config.diffusion),
+    )
+}
+
+fn start_server(config: ServiceConfig, registry: CodecRegistry) -> Server {
+    Server::start(config, registry).expect("bind an ephemeral port")
+}
+
+fn poll_until(what: &str, deadline: Duration, mut check: impl FnMut() -> bool) {
+    let end = Instant::now() + deadline;
+    while !check() {
+        assert!(Instant::now() < end, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+// ───────────────────────── concurrency ─────────────────────────────────
+
+#[test]
+fn multi_client_round_trips_are_bit_identical_to_direct_codec_calls() {
+    let mut registry = CodecRegistry::rule_based();
+    registry.register(Arc::new(untrained_compressor()));
+    let server = start_server(
+        ServiceConfig {
+            shards: 4,
+            shard_window: 2,
+            ..ServiceConfig::default()
+        },
+        registry,
+    );
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 4;
+    const VARIABLES: usize = 3;
+    let total_requests = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|scope| {
+        for client_index in 0..CLIENTS {
+            let total_requests = Arc::clone(&total_requests);
+            scope.spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect");
+                let info = client
+                    .hello(&[CodecId::SzLike, CodecId::ZfpLike])
+                    .expect("hello");
+                assert_eq!(info.codec, CodecId::SzLike, "first preference wins");
+                assert_eq!(info.shards, 4);
+                assert_eq!(info.shard_window, 2);
+
+                let sz = SzCompressor::new();
+                let gld = untrained_compressor();
+                for variable_index in 0..VARIABLES {
+                    let seed = (client_index * 31 + variable_index) as u64;
+                    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 16, 16, 16), seed);
+                    let variable = &ds.variables[0];
+                    let key = format!("client{client_index}/var{variable_index}");
+
+                    // Alternate codecs and targets across requests.
+                    let (codec, codec_id, target): (&dyn Codec, CodecId, Option<ErrorTarget>) =
+                        if variable_index % 2 == 0 {
+                            (&sz, CodecId::SzLike, Some(ErrorTarget::Nrmse(1e-2)))
+                        } else {
+                            (&gld, CodecId::Gld, None)
+                        };
+
+                    // Remote compress must be bit-identical to a direct
+                    // `Codec::compress_variable` container encoding.
+                    let remote = client
+                        .compress_as(codec_id, &key, variable, 8, target)
+                        .expect("remote compress");
+                    let (local, stats) = codec.compress_variable(variable, 8, target);
+                    assert_eq!(
+                        remote,
+                        local.encode(),
+                        "{key}: remote container differs from direct Codec output"
+                    );
+                    assert_eq!(stats.blocks, 2);
+
+                    // And the remote decompress must match the direct one.
+                    let blocks = client.decompress(&key, &remote).expect("remote decompress");
+                    let reference = codec
+                        .decompress_container(&Container::decode(&remote).expect("decodes"))
+                        .expect("matching codec id");
+                    assert_eq!(blocks.len(), reference.len());
+                    for (a, b) in blocks.iter().zip(&reference) {
+                        assert_eq!(a.dims(), b.dims(), "{key}: block dims differ");
+                        assert_eq!(a.data(), b.data(), "{key}: block data differs");
+                    }
+                    total_requests.fetch_add(2, Ordering::Relaxed);
+                }
+                // Session-default compress (no explicit codec byte) uses the
+                // negotiated codec.
+                let ds = generate(DatasetKind::S3d, &FieldSpec::new(1, 16, 8, 8), 99);
+                let remote = client
+                    .compress(
+                        &format!("client{client_index}/default"),
+                        &ds.variables[0],
+                        8,
+                        None,
+                    )
+                    .expect("session-codec compress");
+                let (local, _) = sz.compress_variable(&ds.variables[0], 8, None);
+                assert_eq!(remote, local.encode());
+                total_requests.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+
+    let metrics = server.shutdown();
+    let expected = total_requests.load(Ordering::Relaxed);
+    assert_eq!(
+        metrics.completed(),
+        expected,
+        "every admitted request completed: {metrics:?}"
+    );
+    assert!(metrics.shards.iter().all(|s| s.in_flight == 0));
+    assert!(
+        metrics.shards.iter().all(|s| s.peak_in_flight <= 2),
+        "no shard ever exceeded its window: {metrics:?}"
+    );
+    assert_eq!(metrics.connections_opened, CLIENTS);
+    assert_eq!(metrics.requests_rejected, 0);
+}
+
+#[test]
+fn deterministic_sharding_pins_a_key_and_round_robin_overrides_it() {
+    // The same key always lands on the hash-assigned shard...
+    let server = start_server(
+        ServiceConfig {
+            shards: 3,
+            ..ServiceConfig::default()
+        },
+        CodecRegistry::rule_based(),
+    );
+    let addr = server.local_addr();
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let ds = generate(DatasetKind::Jhtdb, &FieldSpec::new(1, 8, 8, 8), 5);
+    let key = "pinned-variable";
+    let expected_shard = ShardRouter::hash_shard(key, 3);
+    for _ in 0..3 {
+        client
+            .compress_as(CodecId::SzLike, key, &ds.variables[0], 4, None)
+            .expect("compress");
+    }
+    let metrics = server.shutdown();
+    assert_eq!(metrics.shards[expected_shard].completed, 3);
+    for (index, shard) in metrics.shards.iter().enumerate() {
+        if index != expected_shard {
+            assert_eq!(shard.completed, 0, "hash routing must pin the key");
+        }
+    }
+
+    // ...while round-robin spreads the identical key across shards.
+    let server = start_server(
+        ServiceConfig {
+            shards: 3,
+            policy: ShardPolicy::RoundRobin,
+            ..ServiceConfig::default()
+        },
+        CodecRegistry::rule_based(),
+    );
+    let addr = server.local_addr();
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    for _ in 0..3 {
+        client
+            .compress_as(CodecId::SzLike, key, &ds.variables[0], 4, None)
+            .expect("compress");
+    }
+    let metrics = server.shutdown();
+    assert!(
+        metrics.shards.iter().all(|s| s.completed == 1),
+        "round-robin must spread the same key: {metrics:?}"
+    );
+}
+
+// ───────────────────── protocol robustness ─────────────────────────────
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fuzzed_frames_never_panic_the_decoder(
+        bytes in prop::collection::vec(0u32..256, 0..80),
+    ) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        // Typed result or nothing: a panic here fails the test.
+        let _ = protocol::decode_frame(&bytes);
+        // And with a valid header prefix so body decoders run too.
+        let mut framed = FrameHeader::request(Op::Compress, 2, 1, 0).encode().to_vec();
+        framed.extend_from_slice(&bytes);
+        let tail = bytes.len() as u64;
+        framed[24..32].copy_from_slice(&tail.to_le_bytes());
+        if let Ok((_, body)) = protocol::decode_frame(&framed) {
+            let _ = protocol::CompressRequest::decode_body(body);
+            let _ = protocol::DecompressRequest::decode_body(body);
+            let _ = protocol::HelloRequest::decode_body(body);
+        }
+    }
+}
+
+#[test]
+fn live_server_survives_garbage_and_typed_error_paths() {
+    let server = start_server(ServiceConfig::default(), CodecRegistry::rule_based());
+    let addr = server.local_addr();
+
+    // Raw garbage: the server answers best-effort (or just closes) and the
+    // connection dies — without taking the server down.
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(addr).expect("connect");
+        raw.write_all(b"this is definitely not a GLDS frame, not even close")
+            .expect("write garbage");
+        // Whatever happens on this socket, the server must keep serving.
+    }
+
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 8, 8, 8), 3);
+    let variable = &ds.variables[0];
+    let mut client = ServiceClient::connect(addr).expect("connect after garbage");
+
+    // Unknown codec id.
+    let err = client
+        .compress_as(CodecId::Gld, "k", variable, 4, None)
+        .expect_err("Gld is not registered on this server");
+    assert!(
+        matches!(
+            err,
+            ClientError::Server {
+                status: Status::UnknownCodec,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+
+    // No session codec negotiated and no explicit codec byte.
+    let err = client
+        .compress("k", variable, 4, None)
+        .expect_err("no session codec yet");
+    assert!(
+        matches!(
+            err,
+            ClientError::Server {
+                status: Status::UnknownCodec,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+
+    // Too few timesteps for one block: typed refusal, not a server panic.
+    let err = client
+        .compress_as(CodecId::SzLike, "k", variable, 64, None)
+        .expect_err("8 timesteps cannot fill a 64-frame block");
+    assert!(
+        matches!(
+            err,
+            ClientError::Server {
+                status: Status::Malformed,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+
+    // A corrupt container: typed BadContainer, naming the damage.
+    let good = client
+        .compress_as(CodecId::SzLike, "k", variable, 4, None)
+        .expect("compress");
+    let mut corrupt = good.clone();
+    let at = gld_core::container::HEADER_LEN + 12;
+    corrupt[at] ^= 0x20;
+    let err = client
+        .decompress("k", &corrupt)
+        .expect_err("bit-flipped container");
+    assert!(
+        matches!(
+            err,
+            ClientError::Server {
+                status: Status::BadContainer,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+
+    // The same connection still serves real work after every refusal.
+    let blocks = client.decompress("k", &good).expect("valid decompress");
+    assert_eq!(blocks.len(), 2);
+    let metrics = server.shutdown();
+    assert!(metrics.requests_rejected >= 3, "{metrics:?}");
+}
+
+// ─────────────────── backpressure / overload ───────────────────────────
+
+/// A codec whose compress path blocks on a shared gate — the deterministic
+/// stand-in for a shard whose work drains slowly (as a slow consumer
+/// produces).  Registered under the `Gld` id so the SZ3-like codec on the
+/// other shard stays fast.
+struct GatedCodec {
+    inner: SzCompressor,
+    gate: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl GatedCodec {
+    fn wait_open(&self) {
+        let (lock, cv) = &*self.gate;
+        let mut open = lock.lock().unwrap_or_else(|e| e.into_inner());
+        while !*open {
+            open = cv.wait(open).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+fn open_gate(gate: &Arc<(Mutex<bool>, Condvar)>) {
+    let (lock, cv) = &**gate;
+    *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+    cv.notify_all();
+}
+
+impl Codec for GatedCodec {
+    fn name(&self) -> &str {
+        "gated"
+    }
+    fn id(&self) -> CodecId {
+        CodecId::Gld
+    }
+    fn compress_block_at(
+        &self,
+        block: &Tensor,
+        target: Option<ErrorTarget>,
+        block_index: u64,
+    ) -> Vec<u8> {
+        self.wait_open();
+        self.inner.compress_block_at(block, target, block_index)
+    }
+    fn decompress_block(&self, frame: &[u8]) -> Tensor {
+        self.inner.decompress_block(frame)
+    }
+}
+
+#[test]
+fn overloaded_shard_respects_its_window_while_other_shards_flow() {
+    const WINDOW: usize = 2;
+    const QUEUE_DEPTH: usize = 2;
+    const SLOW_CLIENTS: usize = 4;
+    const FAST_REQUESTS: usize = 6;
+
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let mut registry = CodecRegistry::rule_based();
+    registry.register(Arc::new(GatedCodec {
+        inner: SzCompressor::new(),
+        gate: Arc::clone(&gate),
+    }));
+    let server = start_server(
+        ServiceConfig {
+            shards: 2,
+            shard_window: WINDOW,
+            stream: StreamConfig {
+                queue_depth: QUEUE_DEPTH,
+                workers: 0,
+            },
+            ..ServiceConfig::default()
+        },
+        registry,
+    );
+    let addr = server.local_addr();
+
+    // Pick keys whose deterministic hash assignment pins them to each shard.
+    let slow_key = (0..)
+        .map(|i| format!("slow-{i}"))
+        .find(|k| ShardRouter::hash_shard(k, 2) == 0)
+        .expect("a key hashing to shard 0");
+    let fast_key = (0..)
+        .map(|i| format!("fast-{i}"))
+        .find(|k| ShardRouter::hash_shard(k, 2) == 1)
+        .expect("a key hashing to shard 1");
+
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 16, 8, 8), 13);
+    let slow_variable = ds.variables[0].clone();
+
+    // The deliberately slow side: more congested requests than the window
+    // admits, all pinned to shard 0, none able to finish while the gate is
+    // shut.
+    let slow_threads: Vec<_> = (0..SLOW_CLIENTS)
+        .map(|_| {
+            let slow_key = slow_key.clone();
+            let variable = Variable::new(slow_key.clone(), slow_variable.frames.clone());
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect");
+                client
+                    .compress_as(CodecId::Gld, &slow_key, &variable, 4, None)
+                    .expect("gated compress eventually succeeds")
+            })
+        })
+        .collect();
+
+    // Wait until shard 0's window is saturated: exactly WINDOW admitted,
+    // the remaining submitters blocked in admission — never counted in.
+    poll_until(
+        "shard 0 to saturate its window",
+        Duration::from_secs(60),
+        || server.metrics().shards[0].in_flight == WINDOW,
+    );
+
+    // The other shard must keep completing work the whole time.
+    let sz = SzCompressor::new();
+    let mut fast_client = ServiceClient::connect(addr).expect("connect");
+    for i in 0..FAST_REQUESTS {
+        let ds = generate(
+            DatasetKind::Jhtdb,
+            &FieldSpec::new(1, 16, 8, 8),
+            100 + i as u64,
+        );
+        let remote = fast_client
+            .compress_as(CodecId::SzLike, &fast_key, &ds.variables[0], 4, None)
+            .expect("fast shard must not be stalled by the slow one");
+        let (local, _) = sz.compress_variable(&ds.variables[0], 4, None);
+        assert_eq!(remote, local.encode(), "fast path stays bit-identical");
+    }
+
+    let during = server.metrics();
+    assert_eq!(
+        during.shards[0].in_flight, WINDOW,
+        "congested shard holds exactly its window: {during:?}"
+    );
+    assert!(
+        during.shards[0].peak_in_flight <= WINDOW,
+        "in-flight never exceeded the window: {during:?}"
+    );
+    assert_eq!(
+        during.shards[0].completed, 0,
+        "nothing on the gated shard finished yet"
+    );
+    assert_eq!(
+        during.shards[1].completed, FAST_REQUESTS,
+        "the other shard flowed: {during:?}"
+    );
+
+    // Open the gate: the backlog drains, blocked submitters are admitted,
+    // and every slow client gets its correct container.
+    open_gate(&gate);
+    let reference_codec = GatedCodec {
+        inner: SzCompressor::new(),
+        gate: Arc::clone(&gate),
+    };
+    let reference = {
+        let variable = Variable::new(slow_key.clone(), slow_variable.frames.clone());
+        reference_codec
+            .compress_variable(&variable, 4, None)
+            .0
+            .encode()
+    };
+    for thread in slow_threads {
+        let container = thread.join().expect("slow client thread");
+        assert_eq!(container, reference, "gated responses are still correct");
+    }
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.shards[0].completed, SLOW_CLIENTS);
+    assert!(
+        metrics.shards[0].peak_in_flight <= WINDOW,
+        "window held through the drain: {metrics:?}"
+    );
+    assert!(
+        metrics
+            .shards
+            .iter()
+            .all(|s| s.peak_resident_blocks <= QUEUE_DEPTH),
+        "executor memory bound held per shard: {metrics:?}"
+    );
+    assert!(metrics.shards.iter().all(|s| s.in_flight == 0));
+}
+
+// ───────────────────── graceful shutdown ───────────────────────────────
+
+#[test]
+fn wire_shutdown_drains_and_a_drained_server_refuses_new_connections() {
+    let server = start_server(ServiceConfig::default(), CodecRegistry::rule_based());
+    let addr = server.local_addr();
+
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 16, 8, 8), 17);
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let container = client
+        .compress_as(CodecId::SzLike, "v", &ds.variables[0], 4, None)
+        .expect("compress");
+    assert!(!container.is_empty());
+    client.shutdown_server().expect("shutdown acknowledged");
+
+    // `wait` returns once the wire shutdown has drained everything.
+    let metrics = server.wait();
+    assert_eq!(metrics.completed(), 1);
+    assert!(metrics.shards.iter().all(|s| s.in_flight == 0));
+
+    // The listener is gone: new connections are refused (or reset).
+    let refused = std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+    if let Ok(stream) = refused {
+        // Accepted by a lingering backlog at most — it must not serve.
+        use std::io::Read;
+        let mut probe = stream;
+        probe
+            .set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        assert!(
+            !probe.read(&mut buf).map(|n| n > 0).unwrap_or(false),
+            "a drained server must not answer"
+        );
+    }
+}

@@ -185,7 +185,63 @@ fn sink_errors_abort_the_stream_instead_of_compressing_on() {
             FailAfterHeader { written: 0 },
         )
         .expect_err("the failing sink must surface its error");
-    assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
+    assert_eq!(err.error.kind(), std::io::ErrorKind::WriteZero);
+    assert_eq!(
+        err.frames_emitted, 0,
+        "the sink failed before any complete frame was written"
+    );
+}
+
+#[test]
+fn sink_error_reports_how_many_frames_were_completely_written() {
+    // `ContainerWriter` issues one write for the header and three per frame
+    // (length prefix, payload, CRC).  Failing on the 8th call therefore
+    // interrupts the third frame's length prefix: exactly two frames are
+    // complete, which is what the abort must report (the service's
+    // partial-write diagnostics depend on this).
+    #[derive(Debug)]
+    struct FailOnNthWrite {
+        calls: usize,
+        fail_at: usize,
+    }
+    impl std::io::Write for FailOnNthWrite {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.calls += 1;
+            if self.calls >= self.fail_at {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "peer went away",
+                ));
+            }
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 64, 16, 16), 41);
+    let variable = &ds.variables[0];
+    let sz = SzCompressor::new();
+    let err = sz
+        .compress_variable_into(
+            variable,
+            4,
+            None,
+            StreamConfig {
+                queue_depth: 1,
+                workers: 1,
+            },
+            FailOnNthWrite {
+                calls: 0,
+                fail_at: 1 + 3 * 2 + 1,
+            },
+        )
+        .expect_err("the failing sink must surface its error");
+    assert_eq!(err.error.kind(), std::io::ErrorKind::BrokenPipe);
+    assert_eq!(err.frames_emitted, 2, "two frames were fully written");
+    // The error's display ties both together for diagnostics.
+    assert!(err.to_string().contains("2 complete frame(s)"), "{err}");
 }
 
 #[test]
