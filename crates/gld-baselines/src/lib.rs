@@ -25,14 +25,39 @@
 #![forbid(unsafe_code)]
 
 pub mod header;
+pub mod reference;
 pub mod szlike;
 pub mod zfplike;
 
 pub use header::BlockHeader;
-pub use szlike::SzCompressor;
-pub use zfplike::ZfpLikeCompressor;
+pub use szlike::{SzCompressor, SzScratch};
+pub use zfplike::{ZfpLikeCompressor, ZfpScratch};
 
 use gld_tensor::Tensor;
+use std::fmt;
+
+/// Typed failure of a rule-based codec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The input tensor's rank is outside the supported 1–4 window.
+    UnsupportedRank {
+        /// Rank of the offending tensor.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::UnsupportedRank { rank } => write!(
+                f,
+                "unsupported tensor rank {rank}: rule-based codecs accept rank 1-4"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
 
 /// A lossy compressor that guarantees a point-wise absolute error bound.
 pub trait ErrorBoundedCompressor {
@@ -42,6 +67,13 @@ pub trait ErrorBoundedCompressor {
     /// Compresses `data` so that every reconstructed value differs from the
     /// original by at most `abs_error`.
     fn compress(&self, data: &Tensor, abs_error: f32) -> Vec<u8>;
+
+    /// Fallible variant of [`ErrorBoundedCompressor::compress`]: unsupported
+    /// inputs (e.g. a rank-5 tensor) surface as a typed [`BaselineError`]
+    /// instead of a panic.
+    fn try_compress(&self, data: &Tensor, abs_error: f32) -> Result<Vec<u8>, BaselineError> {
+        Ok(self.compress(data, abs_error))
+    }
 
     /// Reconstructs the tensor from a buffer produced by
     /// [`ErrorBoundedCompressor::compress`].

@@ -6,24 +6,53 @@
 //!    Lorenzo predictor evaluated on already-reconstructed neighbours,
 //! 2. quantise the prediction residual uniformly with bin width `2·eb`
 //!    (which bounds the point-wise error by `eb`),
-//! 3. entropy-code the quantisation codes with a histogram model and an
-//!    arithmetic coder; values whose residual falls outside the code range
-//!    are stored verbatim ("unpredictable" escapes) and therefore carry zero
-//!    error.
+//! 3. entropy-code the quantisation codes with a histogram model and the
+//!    byte-wise range coder; values whose residual falls outside the code
+//!    range are stored verbatim ("unpredictable" escapes) and therefore
+//!    carry zero error.
+//!
+//! The hot path is organised for throughput: the Lorenzo walk is split into
+//! a **boundary** loop (first plane, first row of each plane, first element
+//! of each row — the cells with missing neighbours) and an **interior** loop
+//! that runs branch-free over row slices with hoisted bounds checks, carrying
+//! the three `k-1` neighbour values in registers.  Quantisation selects
+//! between the coded and verbatim paths with branchless min/select logic, and
+//! all per-block buffers come from a caller-provided [`SzScratch`] arena so
+//! steady-state compression performs no allocation beyond the output frame.
+//! `reference::sz_compress` keeps the original scalar walk; the equivalence
+//! suite proves both produce byte-identical frames.
 //!
 //! Like SZ3 itself the method excels on smooth fields, where almost every
 //! residual lands in the zero bin.
 
 use crate::header::{BlockHeader, Codec};
-use crate::ErrorBoundedCompressor;
-use gld_entropy::{ArithmeticDecoder, ArithmeticEncoder, HistogramModel};
+use crate::{BaselineError, ErrorBoundedCompressor};
+use gld_entropy::{HistogramModel, RangeDecoder, RangeEncoder};
 use gld_tensor::Tensor;
 
 /// Largest representable quantisation code; residuals beyond this are stored
 /// as raw floats.
-const MAX_CODE: i32 = 4096;
+pub(crate) const MAX_CODE: i32 = 4096;
 /// Sentinel code marking an unpredictable (verbatim) value.
-const UNPREDICTABLE: i32 = MAX_CODE + 1;
+pub(crate) const UNPREDICTABLE: i32 = MAX_CODE + 1;
+
+/// Reusable per-worker buffers for [`SzCompressor::compress_into`]: the
+/// reconstruction plane, the quantisation codes and the verbatim escapes.
+/// Reusing one `SzScratch` across blocks removes every per-block allocation
+/// except the output frame itself.
+#[derive(Debug, Clone, Default)]
+pub struct SzScratch {
+    recon: Vec<f32>,
+    codes: Vec<i32>,
+    raw: Vec<f32>,
+}
+
+impl SzScratch {
+    /// Creates an empty scratch arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Prediction-based error-bounded compressor (SZ3-like).
 #[derive(Debug, Clone, Copy, Default)]
@@ -37,19 +66,153 @@ impl SzCompressor {
 
     /// Reinterprets an arbitrary rank-1..4 tensor as a 3-D volume
     /// `[planes, rows, cols]` without copying semantics that matter for
-    /// prediction quality: trailing dimensions remain spatial.
-    fn as_volume_dims(dims: &[usize]) -> (usize, usize, usize) {
+    /// prediction quality: trailing dimensions remain spatial.  Rank 5+ is
+    /// a typed error.
+    pub(crate) fn try_as_volume_dims(
+        dims: &[usize],
+    ) -> Result<(usize, usize, usize), BaselineError> {
         match dims.len() {
-            1 => (1, 1, dims[0]),
-            2 => (1, dims[0], dims[1]),
-            3 => (dims[0], dims[1], dims[2]),
-            4 => (dims[0] * dims[1], dims[2], dims[3]),
-            r => panic!("unsupported rank {r}"),
+            1 => Ok((1, 1, dims[0])),
+            2 => Ok((1, dims[0], dims[1])),
+            3 => Ok((dims[0], dims[1], dims[2])),
+            4 => Ok((dims[0] * dims[1], dims[2], dims[3])),
+            rank => Err(BaselineError::UnsupportedRank { rank }),
         }
+    }
+
+    fn as_volume_dims(dims: &[usize]) -> (usize, usize, usize) {
+        Self::try_as_volume_dims(dims).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Compresses `data` into `out` (appended), reusing `scratch` for every
+    /// intermediate buffer.  This is the allocation-free hot path behind
+    /// both [`ErrorBoundedCompressor::compress`] and the streaming
+    /// executor's per-worker arenas; output bytes are identical regardless
+    /// of the scratch's previous contents.
+    pub fn compress_into(
+        &self,
+        data: &Tensor,
+        abs_error: f32,
+        scratch: &mut SzScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), BaselineError> {
+        assert!(abs_error > 0.0, "absolute error bound must be positive");
+        let dims = Self::try_as_volume_dims(data.dims())?;
+        let (d0, d1, d2) = dims;
+        let n = d0 * d1 * d2;
+        assert_eq!(n, data.numel());
+        let src = data.data();
+        let two_eb = 2.0 * abs_error;
+
+        scratch.recon.resize(n, 0.0);
+        scratch.codes.clear();
+        scratch.codes.reserve(n);
+        scratch.raw.clear();
+        let recon = &mut scratch.recon[..];
+        let codes = &mut scratch.codes;
+        let raw = &mut scratch.raw;
+
+        // Pass 1: prediction + quantisation.  Raster order writes every
+        // reconstruction cell before any later cell reads it, so stale
+        // scratch contents can never leak into the output.
+        let plane = d1 * d2;
+        for i in 0..d0 {
+            for j in 0..d1 {
+                let boundary_row = i == 0 || j == 0;
+                let row_start = i * plane + j * d2;
+                // Boundary cells (missing at least one neighbour) take the
+                // generic neighbour-checked path: the whole row when it lies
+                // on the i/j boundary, otherwise just the k == 0 element.
+                let k_end = if boundary_row { d2 } else { 1 };
+                for k in 0..k_end {
+                    let idx = row_start + k;
+                    let val = src[idx];
+                    let pred = lorenzo_predict(recon, dims, i, j, k);
+                    let (code, rec, ok) = quantize_cell(val, pred, two_eb, abs_error);
+                    codes.push(code);
+                    if !ok {
+                        raw.push(val);
+                    }
+                    recon[idx] = rec;
+                }
+                if boundary_row {
+                    continue;
+                }
+                // Interior (i ≥ 1, j ≥ 1, k ≥ 1): branch-free walk over row
+                // slices.  Bounds checks are hoisted into the four slice
+                // constructions; the three k-1 neighbours ride in registers.
+                let (before, cur) = recon.split_at_mut(row_start);
+                let cur_row = &mut cur[..d2];
+                let prev_row = &before[row_start - d2..row_start];
+                let pp_row = &before[row_start - plane..row_start - plane + d2];
+                let ppp_row = &before[row_start - plane - d2..row_start - plane];
+                let src_row = &src[row_start..row_start + d2];
+                let mut left = cur_row[0];
+                let mut pr_left = prev_row[0];
+                let mut pp_left = pp_row[0];
+                let mut ppp_left = ppp_row[0];
+                for k in 1..d2 {
+                    let val = src_row[k];
+                    // Same association order as `lorenzo_predict`, so the
+                    // f32 result is bit-identical to the reference walk.
+                    let pred =
+                        pp_row[k] + prev_row[k] + left - ppp_row[k] - pp_left - pr_left + ppp_left;
+                    let (code, rec, ok) = quantize_cell(val, pred, two_eb, abs_error);
+                    codes.push(code);
+                    if !ok {
+                        raw.push(val);
+                    }
+                    cur_row[k] = rec;
+                    ppp_left = ppp_row[k];
+                    pp_left = pp_row[k];
+                    pr_left = prev_row[k];
+                    left = rec;
+                }
+            }
+        }
+
+        // Pass 2: entropy coding with the table-driven range coder.
+        let model = HistogramModel::fit(codes);
+        BlockHeader::new(Codec::SzLike, data, abs_error).write(out);
+        let model_bytes = model.to_bytes();
+        out.extend_from_slice(&(model_bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&model_bytes);
+        let mut enc = RangeEncoder::new();
+        let mut raw_iter = raw.iter();
+        for &c in codes.iter() {
+            model.encode_symbol(&mut enc, c);
+            if c == UNPREDICTABLE {
+                let raw_v = raw_iter.next().expect("raw value missing");
+                enc.encode_bits_raw(raw_v.to_bits() as u64, 32);
+            }
+        }
+        let stream = enc.finish();
+        out.extend_from_slice(&(stream.len() as u32).to_le_bytes());
+        out.extend_from_slice(&stream);
+        Ok(())
     }
 }
 
-/// 3-D Lorenzo prediction from reconstructed neighbours.
+/// Branchless quantisation of one residual: returns the code to emit, the
+/// reconstructed value and whether the cell was predictable.  Exactly the
+/// decision procedure of the original nested-`if` path (proven bit-identical
+/// by the equivalence suite); the non-short-circuiting `&` lets the compiler
+/// turn the selection into conditional moves.
+#[inline(always)]
+fn quantize_cell(val: f32, pred: f32, two_eb: f32, abs_error: f32) -> (i32, f32, bool) {
+    let q_f = ((val - pred) / two_eb).round();
+    let q_i = q_f as i32;
+    let rec = pred + q_f * two_eb;
+    let ok = (q_f.abs() <= MAX_CODE as f32) & ((rec - val).abs() <= abs_error) & rec.is_finite();
+    (
+        if ok { q_i } else { UNPREDICTABLE },
+        if ok { rec } else { val },
+        ok,
+    )
+}
+
+/// 3-D Lorenzo prediction from reconstructed neighbours (generic
+/// neighbour-checked form, used for boundary cells).
 #[inline]
 fn lorenzo_predict(
     recon: &[f32],
@@ -80,62 +243,14 @@ impl ErrorBoundedCompressor for SzCompressor {
     }
 
     fn compress(&self, data: &Tensor, abs_error: f32) -> Vec<u8> {
-        assert!(abs_error > 0.0, "absolute error bound must be positive");
-        let dims = Self::as_volume_dims(data.dims());
-        let (d0, d1, d2) = dims;
-        let n = d0 * d1 * d2;
-        assert_eq!(n, data.numel());
-        let src = data.data();
-        let mut recon = vec![0.0f32; n];
-        let mut codes = Vec::with_capacity(n);
-        let mut raw_values: Vec<f32> = Vec::new();
-        let two_eb = 2.0 * abs_error;
+        self.try_compress(data, abs_error)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
 
-        // Pass 1: prediction + quantisation.
-        for i in 0..d0 {
-            for j in 0..d1 {
-                for k in 0..d2 {
-                    let idx = (i * d1 + j) * d2 + k;
-                    let val = src[idx];
-                    let pred = lorenzo_predict(&recon, dims, i, j, k);
-                    let diff = val - pred;
-                    let q = (diff / two_eb).round();
-                    if q.abs() <= MAX_CODE as f32 {
-                        let q = q as i32;
-                        let r = pred + q as f32 * two_eb;
-                        if (r - val).abs() <= abs_error && r.is_finite() {
-                            codes.push(q);
-                            recon[idx] = r;
-                            continue;
-                        }
-                    }
-                    codes.push(UNPREDICTABLE);
-                    raw_values.push(val);
-                    recon[idx] = val;
-                }
-            }
-        }
-
-        // Pass 2: entropy coding.
-        let model = HistogramModel::fit(&codes);
+    fn try_compress(&self, data: &Tensor, abs_error: f32) -> Result<Vec<u8>, BaselineError> {
         let mut out = Vec::new();
-        BlockHeader::new(Codec::SzLike, data, abs_error).write(&mut out);
-        let model_bytes = model.to_bytes();
-        out.extend_from_slice(&(model_bytes.len() as u32).to_le_bytes());
-        out.extend_from_slice(&model_bytes);
-        let mut enc = ArithmeticEncoder::new();
-        let mut raw_iter = raw_values.iter();
-        for &c in &codes {
-            model.encode(&mut enc, &[c]);
-            if c == UNPREDICTABLE {
-                let raw = raw_iter.next().expect("raw value missing");
-                enc.encode_bits_raw(raw.to_bits() as u64, 32);
-            }
-        }
-        let stream = enc.finish();
-        out.extend_from_slice(&(stream.len() as u32).to_le_bytes());
-        out.extend_from_slice(&stream);
-        out
+        self.compress_into(data, abs_error, &mut SzScratch::new(), &mut out)?;
+        Ok(out)
     }
 
     fn decompress(&self, bytes: &[u8]) -> Tensor {
@@ -154,20 +269,50 @@ impl ErrorBoundedCompressor for SzCompressor {
         let (d0, d1, d2) = dims;
         let n = header.numel();
         let two_eb = 2.0 * header.abs_error;
-        let mut dec = ArithmeticDecoder::new(stream);
+        let mut dec = RangeDecoder::new(stream);
         let mut recon = vec![0.0f32; n];
+        let plane = d1 * d2;
         for i in 0..d0 {
             for j in 0..d1 {
-                for k in 0..d2 {
-                    let idx = (i * d1 + j) * d2 + k;
-                    let code = model.decode(&mut dec, 1)[0];
-                    if code == UNPREDICTABLE {
-                        let bits = dec.decode_bits_raw(32) as u32;
-                        recon[idx] = f32::from_bits(bits);
+                let boundary_row = i == 0 || j == 0;
+                let row_start = i * plane + j * d2;
+                let k_end = if boundary_row { d2 } else { 1 };
+                for k in 0..k_end {
+                    let idx = row_start + k;
+                    let code = model.decode_symbol(&mut dec);
+                    recon[idx] = if code == UNPREDICTABLE {
+                        f32::from_bits(dec.decode_bits_raw(32) as u32)
                     } else {
                         let pred = lorenzo_predict(&recon, dims, i, j, k);
-                        recon[idx] = pred + code as f32 * two_eb;
-                    }
+                        pred + code as f32 * two_eb
+                    };
+                }
+                if boundary_row {
+                    continue;
+                }
+                let (before, cur) = recon.split_at_mut(row_start);
+                let cur_row = &mut cur[..d2];
+                let prev_row = &before[row_start - d2..row_start];
+                let pp_row = &before[row_start - plane..row_start - plane + d2];
+                let ppp_row = &before[row_start - plane - d2..row_start - plane];
+                let mut left = cur_row[0];
+                let mut pr_left = prev_row[0];
+                let mut pp_left = pp_row[0];
+                let mut ppp_left = ppp_row[0];
+                for k in 1..d2 {
+                    let code = model.decode_symbol(&mut dec);
+                    let rec = if code == UNPREDICTABLE {
+                        f32::from_bits(dec.decode_bits_raw(32) as u32)
+                    } else {
+                        let pred = pp_row[k] + prev_row[k] + left - ppp_row[k] - pp_left - pr_left
+                            + ppp_left;
+                        pred + code as f32 * two_eb
+                    };
+                    cur_row[k] = rec;
+                    ppp_left = ppp_row[k];
+                    pp_left = pp_row[k];
+                    pr_left = prev_row[k];
+                    left = rec;
                 }
             }
         }
@@ -269,6 +414,32 @@ mod tests {
         let (recon, _) = sz.roundtrip(&vol4, 1e-2);
         assert_eq!(recon.dims(), vol4.dims());
         assert!(max_abs_error(&vol4, &recon) <= 1e-2 * 1.0001);
+    }
+
+    #[test]
+    fn rank5_input_is_a_typed_error_not_a_panic() {
+        let sz = SzCompressor::new();
+        let t = Tensor::zeros(&[2, 2, 2, 2, 2]);
+        let err = sz.try_compress(&t, 1e-3).unwrap_err();
+        assert_eq!(err, BaselineError::UnsupportedRank { rank: 5 });
+        assert!(err.to_string().contains("rank 5"));
+    }
+
+    #[test]
+    fn dirty_scratch_produces_identical_frames() {
+        // One scratch reused across blocks of different shapes must yield
+        // exactly the bytes a fresh scratch yields.
+        let mut rng = TensorRng::new(7);
+        let sz = SzCompressor::new();
+        let mut scratch = SzScratch::new();
+        for dims in [vec![4usize, 12, 12], vec![9, 9], vec![2, 3, 5, 7], vec![64]] {
+            let data = rng.randn(&dims).scale(2.0);
+            let mut reused = Vec::new();
+            sz.compress_into(&data, 1e-3, &mut scratch, &mut reused)
+                .unwrap();
+            let fresh = sz.compress(&data, 1e-3);
+            assert_eq!(reused, fresh, "dims {dims:?}");
+        }
     }
 
     #[test]

@@ -6,28 +6,49 @@
 //! spirit as ZFP's lifted transform), the coefficients are uniformly
 //! quantised with a step chosen so that the worst-case reconstruction error
 //! stays below the requested bound, and the quantisation codes are
-//! arithmetic-coded with a histogram model.
+//! range-coded with a histogram model.
 //!
 //! Because the transform is orthonormal along each axis, a per-coefficient
 //! quantisation error of `δ` can grow by at most a factor of `2` per axis in
 //! the reconstructed samples (`Σ|basis| ≤ 2` for the 4-point DCT rows), so a
 //! step of `eb / 8` guarantees `|x − x̂| ≤ eb` for 3-D blocks.
+//!
+//! Hot-path organisation mirrors `szlike`: tiles fully inside the volume
+//! (the vast majority) gather and scatter whole 4-element rows with hoisted
+//! bounds checks, only edge tiles pay the clamped `padded_at` path; the DCT
+//! basis is computed once per process; quantisation is branchless; and the
+//! per-block code/escape vectors come from a caller-provided [`ZfpScratch`].
 
 use crate::header::{BlockHeader, Codec};
-use crate::ErrorBoundedCompressor;
-use gld_entropy::{ArithmeticDecoder, ArithmeticEncoder, HistogramModel};
+use crate::{BaselineError, ErrorBoundedCompressor};
+use gld_entropy::{HistogramModel, RangeDecoder, RangeEncoder};
 use gld_tensor::Tensor;
+use std::sync::OnceLock;
 
 /// Block edge length.
 const BLOCK: usize = 4;
 /// Largest histogram-coded quantisation code; larger magnitudes escape to
 /// raw 32-bit storage.
-const MAX_CODE: i32 = 8191;
+pub(crate) const MAX_CODE: i32 = 8191;
 /// Sentinel marking an escaped coefficient.
-const ESCAPE: i32 = MAX_CODE + 1;
+pub(crate) const ESCAPE: i32 = MAX_CODE + 1;
 /// Worst-case amplification of per-coefficient quantisation error for a
 /// separable 3-D orthonormal DCT (2 per axis).
 const ERROR_AMPLIFICATION: f32 = 8.0;
+
+/// Reusable per-worker buffers for [`ZfpLikeCompressor::compress_into`].
+#[derive(Debug, Clone, Default)]
+pub struct ZfpScratch {
+    codes: Vec<i32>,
+    escapes: Vec<i32>,
+}
+
+impl ZfpScratch {
+    /// Creates an empty scratch arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Transform-based error-bounded compressor (ZFP-like).
 #[derive(Debug, Clone, Copy, Default)]
@@ -39,31 +60,129 @@ impl ZfpLikeCompressor {
         ZfpLikeCompressor
     }
 
-    fn as_volume_dims(dims: &[usize]) -> (usize, usize, usize) {
+    pub(crate) fn try_as_volume_dims(
+        dims: &[usize],
+    ) -> Result<(usize, usize, usize), BaselineError> {
         match dims.len() {
-            1 => (1, 1, dims[0]),
-            2 => (1, dims[0], dims[1]),
-            3 => (dims[0], dims[1], dims[2]),
-            4 => (dims[0] * dims[1], dims[2], dims[3]),
-            r => panic!("unsupported rank {r}"),
+            1 => Ok((1, 1, dims[0])),
+            2 => Ok((1, dims[0], dims[1])),
+            3 => Ok((dims[0], dims[1], dims[2])),
+            4 => Ok((dims[0] * dims[1], dims[2], dims[3])),
+            rank => Err(BaselineError::UnsupportedRank { rank }),
         }
+    }
+
+    fn as_volume_dims(dims: &[usize]) -> (usize, usize, usize) {
+        Self::try_as_volume_dims(dims).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Compresses `data` into `out` (appended), reusing `scratch`.  Output
+    /// bytes are independent of the scratch's previous contents.
+    pub fn compress_into(
+        &self,
+        data: &Tensor,
+        abs_error: f32,
+        scratch: &mut ZfpScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), BaselineError> {
+        assert!(abs_error > 0.0, "absolute error bound must be positive");
+        let (d0, d1, d2) = Self::try_as_volume_dims(data.dims())?;
+        let (p0, p1, p2) = (
+            d0.div_ceil(BLOCK) * BLOCK,
+            d1.div_ceil(BLOCK) * BLOCK,
+            d2.div_ceil(BLOCK) * BLOCK,
+        );
+        let src = data.data();
+        // Pad by edge replication so padding does not create artificial
+        // discontinuities (wasted bits).
+        let padded_at = |i: usize, j: usize, k: usize| -> f32 {
+            let i = i.min(d0 - 1);
+            let j = j.min(d1 - 1);
+            let k = k.min(d2 - 1);
+            src[(i * d1 + j) * d2 + k]
+        };
+        let step = abs_error / ERROR_AMPLIFICATION;
+        scratch.codes.clear();
+        scratch.codes.reserve(p0 * p1 * p2);
+        scratch.escapes.clear();
+        let codes = &mut scratch.codes;
+        let escapes = &mut scratch.escapes;
+        for bi in (0..p0).step_by(BLOCK) {
+            for bj in (0..p1).step_by(BLOCK) {
+                for bk in (0..p2).step_by(BLOCK) {
+                    let mut block = [0.0f32; 64];
+                    if bi + BLOCK <= d0 && bj + BLOCK <= d1 && bk + BLOCK <= d2 {
+                        // Interior tile: whole 4-element rows, no clamping.
+                        for i in 0..BLOCK {
+                            for j in 0..BLOCK {
+                                let base = ((bi + i) * d1 + (bj + j)) * d2 + bk;
+                                block[i * 16 + j * 4..i * 16 + j * 4 + 4]
+                                    .copy_from_slice(&src[base..base + 4]);
+                            }
+                        }
+                    } else {
+                        for i in 0..BLOCK {
+                            for j in 0..BLOCK {
+                                for k in 0..BLOCK {
+                                    block[i * 16 + j * 4 + k] = padded_at(bi + i, bj + j, bk + k);
+                                }
+                            }
+                        }
+                    }
+                    forward_transform(&mut block);
+                    for &c in block.iter() {
+                        let q = (c / step).round();
+                        // Branchless select between the coded and escape
+                        // paths (same decision as the original nested ifs).
+                        let ok = (q.abs() <= MAX_CODE as f32) & q.is_finite();
+                        codes.push(if ok { q as i32 } else { ESCAPE });
+                        if !ok {
+                            escapes.push(q.clamp(i32::MIN as f32, i32::MAX as f32) as i32);
+                        }
+                    }
+                }
+            }
+        }
+
+        let model = HistogramModel::fit(codes);
+        BlockHeader::new(Codec::ZfpLike, data, abs_error).write(out);
+        let model_bytes = model.to_bytes();
+        out.extend_from_slice(&(model_bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&model_bytes);
+        let mut enc = RangeEncoder::new();
+        let mut esc_iter = escapes.iter();
+        for &c in codes.iter() {
+            model.encode_symbol(&mut enc, c);
+            if c == ESCAPE {
+                let raw = *esc_iter.next().expect("escape value missing");
+                enc.encode_bits_raw(raw as u32 as u64, 32);
+            }
+        }
+        let stream = enc.finish();
+        out.extend_from_slice(&(stream.len() as u32).to_le_bytes());
+        out.extend_from_slice(&stream);
+        Ok(())
     }
 }
 
-/// Orthonormal 4-point DCT-II basis (rows are basis vectors).
-fn dct4_basis() -> [[f32; 4]; 4] {
-    let mut m = [[0.0f32; 4]; 4];
-    for (k, row) in m.iter_mut().enumerate() {
-        let scale = if k == 0 {
-            (1.0f32 / 4.0).sqrt()
-        } else {
-            (2.0f32 / 4.0).sqrt()
-        };
-        for (n, v) in row.iter_mut().enumerate() {
-            *v = scale * ((std::f32::consts::PI / 4.0) * (n as f32 + 0.5) * k as f32).cos();
+/// Orthonormal 4-point DCT-II basis (rows are basis vectors), computed once
+/// per process.
+fn dct4_basis() -> &'static [[f32; 4]; 4] {
+    static BASIS: OnceLock<[[f32; 4]; 4]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut m = [[0.0f32; 4]; 4];
+        for (k, row) in m.iter_mut().enumerate() {
+            let scale = if k == 0 {
+                (1.0f32 / 4.0).sqrt()
+            } else {
+                (2.0f32 / 4.0).sqrt()
+            };
+            for (n, v) in row.iter_mut().enumerate() {
+                *v = scale * ((std::f32::consts::PI / 4.0) * (n as f32 + 0.5) * k as f32).cos();
+            }
         }
-    }
-    m
+        m
+    })
 }
 
 /// Applies the 4-point transform (or its inverse) along one axis of a
@@ -125,69 +244,14 @@ impl ErrorBoundedCompressor for ZfpLikeCompressor {
     }
 
     fn compress(&self, data: &Tensor, abs_error: f32) -> Vec<u8> {
-        assert!(abs_error > 0.0, "absolute error bound must be positive");
-        let (d0, d1, d2) = Self::as_volume_dims(data.dims());
-        let (p0, p1, p2) = (
-            d0.div_ceil(BLOCK) * BLOCK,
-            d1.div_ceil(BLOCK) * BLOCK,
-            d2.div_ceil(BLOCK) * BLOCK,
-        );
-        let src = data.data();
-        // Pad by edge replication so padding does not create artificial
-        // discontinuities (wasted bits).
-        let padded_at = |i: usize, j: usize, k: usize| -> f32 {
-            let i = i.min(d0 - 1);
-            let j = j.min(d1 - 1);
-            let k = k.min(d2 - 1);
-            src[(i * d1 + j) * d2 + k]
-        };
-        let step = abs_error / ERROR_AMPLIFICATION;
-        let mut codes: Vec<i32> = Vec::with_capacity(p0 * p1 * p2);
-        let mut escapes: Vec<i32> = Vec::new();
-        for bi in (0..p0).step_by(BLOCK) {
-            for bj in (0..p1).step_by(BLOCK) {
-                for bk in (0..p2).step_by(BLOCK) {
-                    let mut block = [0.0f32; 64];
-                    for i in 0..BLOCK {
-                        for j in 0..BLOCK {
-                            for k in 0..BLOCK {
-                                block[i * 16 + j * 4 + k] = padded_at(bi + i, bj + j, bk + k);
-                            }
-                        }
-                    }
-                    forward_transform(&mut block);
-                    for &c in block.iter() {
-                        let q = (c / step).round();
-                        if q.abs() <= MAX_CODE as f32 && q.is_finite() {
-                            codes.push(q as i32);
-                        } else {
-                            codes.push(ESCAPE);
-                            escapes.push(q.clamp(i32::MIN as f32, i32::MAX as f32) as i32);
-                        }
-                    }
-                }
-            }
-        }
+        self.try_compress(data, abs_error)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
 
-        let model = HistogramModel::fit(&codes);
+    fn try_compress(&self, data: &Tensor, abs_error: f32) -> Result<Vec<u8>, BaselineError> {
         let mut out = Vec::new();
-        BlockHeader::new(Codec::ZfpLike, data, abs_error).write(&mut out);
-        let model_bytes = model.to_bytes();
-        out.extend_from_slice(&(model_bytes.len() as u32).to_le_bytes());
-        out.extend_from_slice(&model_bytes);
-        let mut enc = ArithmeticEncoder::new();
-        let mut esc_iter = escapes.iter();
-        for &c in &codes {
-            model.encode(&mut enc, &[c]);
-            if c == ESCAPE {
-                let raw = *esc_iter.next().expect("escape value missing");
-                enc.encode_bits_raw(raw as u32 as u64, 32);
-            }
-        }
-        let stream = enc.finish();
-        out.extend_from_slice(&(stream.len() as u32).to_le_bytes());
-        out.extend_from_slice(&stream);
-        out
+        self.compress_into(data, abs_error, &mut ZfpScratch::new(), &mut out)?;
+        Ok(out)
     }
 
     fn decompress(&self, bytes: &[u8]) -> Tensor {
@@ -209,14 +273,14 @@ impl ErrorBoundedCompressor for ZfpLikeCompressor {
             d2.div_ceil(BLOCK) * BLOCK,
         );
         let step = header.abs_error / ERROR_AMPLIFICATION;
-        let mut dec = ArithmeticDecoder::new(stream);
+        let mut dec = RangeDecoder::new(stream);
         let mut recon = vec![0.0f32; d0 * d1 * d2];
         for bi in (0..p0).step_by(BLOCK) {
             for bj in (0..p1).step_by(BLOCK) {
                 for bk in (0..p2).step_by(BLOCK) {
                     let mut block = [0.0f32; 64];
                     for v in block.iter_mut() {
-                        let code = model.decode(&mut dec, 1)[0];
+                        let code = model.decode_symbol(&mut dec);
                         let q = if code == ESCAPE {
                             dec.decode_bits_raw(32) as u32 as i32
                         } else {
@@ -225,12 +289,23 @@ impl ErrorBoundedCompressor for ZfpLikeCompressor {
                         *v = q as f32 * step;
                     }
                     inverse_transform(&mut block);
-                    for i in 0..BLOCK {
-                        for j in 0..BLOCK {
-                            for k in 0..BLOCK {
-                                let (gi, gj, gk) = (bi + i, bj + j, bk + k);
-                                if gi < d0 && gj < d1 && gk < d2 {
-                                    recon[(gi * d1 + gj) * d2 + gk] = block[i * 16 + j * 4 + k];
+                    if bi + BLOCK <= d0 && bj + BLOCK <= d1 && bk + BLOCK <= d2 {
+                        // Interior tile: whole-row scatter, no bounds tests.
+                        for i in 0..BLOCK {
+                            for j in 0..BLOCK {
+                                let base = ((bi + i) * d1 + (bj + j)) * d2 + bk;
+                                recon[base..base + 4]
+                                    .copy_from_slice(&block[i * 16 + j * 4..i * 16 + j * 4 + 4]);
+                            }
+                        }
+                    } else {
+                        for i in 0..BLOCK {
+                            for j in 0..BLOCK {
+                                for k in 0..BLOCK {
+                                    let (gi, gj, gk) = (bi + i, bj + j, bk + k);
+                                    if gi < d0 && gj < d1 && gk < d2 {
+                                        recon[(gi * d1 + gj) * d2 + gk] = block[i * 16 + j * 4 + k];
+                                    }
                                 }
                             }
                         }
@@ -327,6 +402,29 @@ mod tests {
         let loose = zfp.compress(frames, 1e-2 * range).len();
         let tight = zfp.compress(frames, 1e-4 * range).len();
         assert!(loose < tight);
+    }
+
+    #[test]
+    fn rank5_input_is_a_typed_error_not_a_panic() {
+        let zfp = ZfpLikeCompressor::new();
+        let t = Tensor::zeros(&[2, 2, 2, 2, 2]);
+        let err = zfp.try_compress(&t, 1e-3).unwrap_err();
+        assert_eq!(err, crate::BaselineError::UnsupportedRank { rank: 5 });
+    }
+
+    #[test]
+    fn dirty_scratch_produces_identical_frames() {
+        let mut rng = TensorRng::new(11);
+        let zfp = ZfpLikeCompressor::new();
+        let mut scratch = ZfpScratch::new();
+        for dims in [vec![4usize, 8, 8], vec![3, 7, 9], vec![5, 5], vec![17]] {
+            let data = rng.randn(&dims).scale(3.0);
+            let mut reused = Vec::new();
+            zfp.compress_into(&data, 0.05, &mut scratch, &mut reused)
+                .unwrap();
+            let fresh = zfp.compress(&data, 0.05);
+            assert_eq!(reused, fresh, "dims {dims:?}");
+        }
     }
 
     #[test]

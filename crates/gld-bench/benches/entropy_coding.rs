@@ -1,8 +1,12 @@
-//! Criterion micro-benchmarks for the entropy-coding substrate: raw range
-//! coding, the Gaussian conditional model and the histogram model.
+//! Criterion micro-benchmarks for the entropy-coding substrate: the
+//! production byte-wise range coder against the reference arithmetic coder,
+//! under the Gaussian conditional and histogram models.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gld_entropy::{ArithmeticDecoder, ArithmeticEncoder, GaussianConditionalModel, HistogramModel};
+use gld_entropy::{
+    ArithmeticDecoder, ArithmeticEncoder, GaussianConditionalModel, HistogramModel, RangeDecoder,
+    RangeEncoder,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -16,7 +20,17 @@ fn bench_entropy(c: &mut Criterion) {
     let histogram = HistogramModel::fit(&symbols);
     let gaussian = GaussianConditionalModel::new();
 
+    let histogram_stream = {
+        let mut enc = RangeEncoder::new();
+        histogram.encode(&mut enc, &symbols);
+        enc.finish()
+    };
     let gaussian_stream = {
+        let mut enc = RangeEncoder::new();
+        gaussian.encode(&mut enc, &symbols, &means, &scales);
+        enc.finish()
+    };
+    let gaussian_stream_arith = {
         let mut enc = ArithmeticEncoder::new();
         gaussian.encode(&mut enc, &symbols, &means, &scales);
         enc.finish()
@@ -24,23 +38,42 @@ fn bench_entropy(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("entropy_coding");
     group.sample_size(20);
-    group.bench_function("histogram_encode_4k", |bench| {
+    group.bench_function("histogram_encode_4k_range", |bench| {
+        bench.iter(|| {
+            let mut enc = RangeEncoder::new();
+            histogram.encode(&mut enc, black_box(&symbols));
+            black_box(enc.finish())
+        })
+    });
+    group.bench_function("histogram_encode_4k_arith", |bench| {
         bench.iter(|| {
             let mut enc = ArithmeticEncoder::new();
             histogram.encode(&mut enc, black_box(&symbols));
             black_box(enc.finish())
         })
     });
-    group.bench_function("gaussian_encode_4k", |bench| {
+    group.bench_function("histogram_decode_4k_range_lut", |bench| {
         bench.iter(|| {
-            let mut enc = ArithmeticEncoder::new();
+            let mut dec = RangeDecoder::new(black_box(&histogram_stream));
+            black_box(histogram.decode(&mut dec, n))
+        })
+    });
+    group.bench_function("gaussian_encode_4k_range", |bench| {
+        bench.iter(|| {
+            let mut enc = RangeEncoder::new();
             gaussian.encode(&mut enc, black_box(&symbols), &means, &scales);
             black_box(enc.finish())
         })
     });
-    group.bench_function("gaussian_decode_4k", |bench| {
+    group.bench_function("gaussian_decode_4k_range", |bench| {
         bench.iter(|| {
-            let mut dec = ArithmeticDecoder::new(black_box(&gaussian_stream));
+            let mut dec = RangeDecoder::new(black_box(&gaussian_stream));
+            black_box(gaussian.decode(&mut dec, &means, &scales))
+        })
+    });
+    group.bench_function("gaussian_decode_4k_arith", |bench| {
+        bench.iter(|| {
+            let mut dec = ArithmeticDecoder::new(black_box(&gaussian_stream_arith));
             black_box(gaussian.decode(&mut dec, &means, &scales))
         })
     });

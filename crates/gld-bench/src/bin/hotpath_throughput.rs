@@ -1,0 +1,323 @@
+//! Hot-path throughput benchmark: per-block compress/decompress speed of
+//! the rule-based codecs, optimized path vs the frozen pre-optimisation
+//! reference, single- and multi-thread.
+//!
+//! Sections:
+//!
+//! 1. **single-thread** — `compress_block_scratch` / `decompress_block`
+//!    over a `[8, 64, 64]` E3SM-like window, against
+//!    `gld_baselines::reference` driven by the pre-optimisation arithmetic
+//!    back end (the exact pre-PR coding path), reporting blocks/s, MB/s and
+//!    p50/p99 latency plus the speedup;
+//! 2. **multi-thread** — `compress_variable_streaming` over a long variable
+//!    on the shared pool (the arena-reusing executor path).
+//!
+//! Results land in `results/hotpath.csv` and `BENCH_hotpath.json` (repo
+//! root).  Flags:
+//!
+//! * `--quick` — short measurement windows (CI mode);
+//! * `--check <baseline.json>` — exit non-zero if any optimized compress
+//!   throughput regresses more than 20% against the committed baseline's
+//!   speedup-vs-reference ratio (speedups are machine-relative, so the gate
+//!   is stable across runner hardware).
+
+use gld_baselines::{reference, ErrorBoundedCompressor, SzCompressor, ZfpLikeCompressor};
+use gld_bench::{write_result, write_root_result};
+use gld_core::{Codec, CodecScratch, StreamConfig};
+use gld_datasets::{generate, DatasetKind, FieldSpec, Variable};
+use gld_entropy::ArithmeticBackend;
+use gld_tensor::Tensor;
+use std::time::Instant;
+
+/// How much a speedup ratio may shrink vs the committed baseline before
+/// `--check` fails the run.
+const REGRESSION_TOLERANCE: f64 = 0.8;
+
+struct Sample {
+    blocks_per_s: f64,
+    mb_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    assert!(!sorted_ms.is_empty());
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+/// Runs `op` repeatedly for ~`window_s` seconds and reports throughput and
+/// latency percentiles.
+fn measure(window_s: f64, bytes_per_block: usize, mut op: impl FnMut()) -> Sample {
+    // Warm up: caches, lazy statics, the shared pool.
+    op();
+    let start = Instant::now();
+    let mut lat_ms = Vec::new();
+    while start.elapsed().as_secs_f64() < window_s {
+        let t0 = Instant::now();
+        op();
+        lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let n = lat_ms.len() as f64;
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Sample {
+        blocks_per_s: n / elapsed,
+        mb_per_s: n * bytes_per_block as f64 / 1e6 / elapsed,
+        p50_ms: percentile(&lat_ms, 50.0),
+        p99_ms: percentile(&lat_ms, 99.0),
+    }
+}
+
+struct Pair {
+    optimized: Sample,
+    reference: Sample,
+}
+
+impl Pair {
+    fn speedup(&self) -> f64 {
+        self.optimized.blocks_per_s / self.reference.blocks_per_s
+    }
+}
+
+fn bench_block_pair(
+    window_s: f64,
+    block: &Tensor,
+    optimized_compress: impl FnMut(),
+    reference_compress: impl FnMut(),
+) -> Pair {
+    let bytes = block.numel() * std::mem::size_of::<f32>();
+    let optimized = measure(window_s, bytes, optimized_compress);
+    let reference = measure(window_s, bytes, reference_compress);
+    Pair {
+        optimized,
+        reference,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).expect("--check needs a path").clone());
+    let window_s = if quick { 0.35 } else { 2.0 };
+
+    // The workload: one streaming-executor window of an E3SM-like field —
+    // the same shape the service compresses per block.
+    let spec = FieldSpec::new(1, 8, 64, 64);
+    let ds = generate(DatasetKind::E3sm, &spec, 16);
+    let frames = &ds.variables[0].frames;
+    let range = frames.max() - frames.min();
+    let eb = 1e-3 * range;
+    let block_bytes = frames.numel() * std::mem::size_of::<f32>();
+
+    let sz = SzCompressor::new();
+    let zfp = ZfpLikeCompressor::new();
+
+    println!(
+        "hotpath_throughput: block [8, 64, 64] ({:.2} MB), eb {eb:.3e}, window {window_s}s, RAYON_NUM_THREADS={}",
+        block_bytes as f64 / 1e6,
+        std::env::var("RAYON_NUM_THREADS").unwrap_or_else(|_| "default".into()),
+    );
+
+    // --- single-thread compress ---------------------------------------
+    // Re-runnable so the regression gate can re-measure with a longer
+    // window before concluding a speedup really regressed.
+    let run_sz_compress = |w: f64| {
+        let mut scratch = CodecScratch::new();
+        bench_block_pair(
+            w,
+            frames,
+            || {
+                std::hint::black_box(sz.compress_block_scratch(frames, None, 0, &mut scratch));
+            },
+            || {
+                std::hint::black_box(reference::sz_compress::<ArithmeticBackend>(frames, eb));
+            },
+        )
+    };
+    let run_zfp_compress = |w: f64| {
+        let mut scratch = CodecScratch::new();
+        bench_block_pair(
+            w,
+            frames,
+            || {
+                std::hint::black_box(zfp.compress_block_scratch(frames, None, 0, &mut scratch));
+            },
+            || {
+                std::hint::black_box(reference::zfp_compress::<ArithmeticBackend>(frames, eb));
+            },
+        )
+    };
+    let sz_compress = run_sz_compress(window_s);
+    let zfp_compress = run_zfp_compress(window_s);
+
+    // --- single-thread decompress -------------------------------------
+    let sz_frame = sz.compress(frames, eb);
+    let sz_ref_frame = reference::sz_compress::<ArithmeticBackend>(frames, eb);
+    let sz_decompress = bench_block_pair(
+        window_s,
+        frames,
+        || {
+            std::hint::black_box(ErrorBoundedCompressor::decompress(&sz, &sz_frame));
+        },
+        || {
+            std::hint::black_box(reference::sz_decompress::<ArithmeticBackend>(&sz_ref_frame));
+        },
+    );
+    let zfp_frame = zfp.compress(frames, eb);
+    let zfp_ref_frame = reference::zfp_compress::<ArithmeticBackend>(frames, eb);
+    let zfp_decompress = bench_block_pair(
+        window_s,
+        frames,
+        || {
+            std::hint::black_box(ErrorBoundedCompressor::decompress(&zfp, &zfp_frame));
+        },
+        || {
+            std::hint::black_box(reference::zfp_decompress::<ArithmeticBackend>(
+                &zfp_ref_frame,
+            ));
+        },
+    );
+
+    // --- multi-thread streaming executor ------------------------------
+    let long = generate(DatasetKind::E3sm, &FieldSpec::new(1, 48, 64, 64), 17);
+    let variable: &Variable = &long.variables[0];
+    let var_bytes = variable.frames.numel() * std::mem::size_of::<f32>();
+    let mt_blocks = variable.timesteps() / 8;
+    let mt = measure(window_s, var_bytes, || {
+        std::hint::black_box(sz.compress_variable_streaming(
+            variable,
+            8,
+            None,
+            StreamConfig::default(),
+        ));
+    });
+
+    // --- report ---------------------------------------------------------
+    let mut csv = String::from(
+        "section,codec,path,blocks_per_s,mb_per_s,p50_ms,p99_ms,speedup_vs_reference\n",
+    );
+    let mut row = |section: &str, codec: &str, path: &str, s: &Sample, speedup: f64| {
+        csv.push_str(&format!(
+            "{section},{codec},{path},{:.2},{:.2},{:.4},{:.4},{:.3}\n",
+            s.blocks_per_s, s.mb_per_s, s.p50_ms, s.p99_ms, speedup
+        ));
+    };
+    for (codec, pair, section) in [
+        ("sz", &sz_compress, "compress"),
+        ("zfp", &zfp_compress, "compress"),
+        ("sz", &sz_decompress, "decompress"),
+        ("zfp", &zfp_decompress, "decompress"),
+    ] {
+        row(section, codec, "optimized", &pair.optimized, pair.speedup());
+        row(section, codec, "reference", &pair.reference, 1.0);
+        println!(
+            "{section:>10} {codec:>4}: optimized {:8.1} blk/s ({:6.1} MB/s, p50 {:.3} ms) vs reference {:8.1} blk/s -> {:.2}x",
+            pair.optimized.blocks_per_s,
+            pair.optimized.mb_per_s,
+            pair.optimized.p50_ms,
+            pair.reference.blocks_per_s,
+            pair.speedup()
+        );
+    }
+    row("compress-variable", "sz", "streaming-pool", &mt, 0.0);
+    println!(
+        "  variable  sz: streaming executor {:6.1} vars/s ({:6.1} MB/s, {} blocks/var)",
+        mt.blocks_per_s, mt.mb_per_s, mt_blocks
+    );
+    write_result("hotpath.csv", &csv);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"block_dims\": [8, 64, 64],\n",
+            "  \"quick\": {quick},\n",
+            "  \"single_thread\": {{\n",
+            "    \"sz\": {{\"compress_blocks_per_s\": {sc:.2}, \"compress_speedup\": {scs:.3},",
+            " \"decompress_blocks_per_s\": {sd:.2}, \"decompress_speedup\": {sds:.3}}},\n",
+            "    \"zfp\": {{\"compress_blocks_per_s\": {zc:.2}, \"compress_speedup\": {zcs:.3},",
+            " \"decompress_blocks_per_s\": {zd:.2}, \"decompress_speedup\": {zds:.3}}}\n",
+            "  }},\n",
+            "  \"streaming_pool\": {{\"sz_vars_per_s\": {mv:.2}, \"sz_mb_per_s\": {mm:.2}}}\n",
+            "}}\n"
+        ),
+        quick = quick,
+        sc = sz_compress.optimized.blocks_per_s,
+        scs = sz_compress.speedup(),
+        sd = sz_decompress.optimized.blocks_per_s,
+        sds = sz_decompress.speedup(),
+        zc = zfp_compress.optimized.blocks_per_s,
+        zcs = zfp_compress.speedup(),
+        zd = zfp_decompress.optimized.blocks_per_s,
+        zds = zfp_decompress.speedup(),
+        mv = mt.blocks_per_s,
+        mm = mt.mb_per_s,
+    );
+    write_root_result("BENCH_hotpath.json", &json);
+
+    // --- regression gate -------------------------------------------------
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        type Rerun<'a> = &'a dyn Fn(f64) -> Pair;
+        let mut checks: [(&str, f64, Rerun); 2] = [
+            (
+                "sz_compress_speedup",
+                sz_compress.speedup(),
+                &run_sz_compress,
+            ),
+            (
+                "zfp_compress_speedup",
+                zfp_compress.speedup(),
+                &run_zfp_compress,
+            ),
+        ];
+        let mut failures = Vec::new();
+        for (key, measured, rerun) in checks.iter_mut() {
+            let expected = json_number(&baseline, key)
+                .unwrap_or_else(|| panic!("baseline {path} missing {key}"));
+            let floor = expected * REGRESSION_TOLERANCE;
+            let mut value = *measured;
+            if value < floor {
+                // A quick window on a noisy shared runner can dip a ratio
+                // spuriously; re-measure once with a longer window before
+                // declaring a regression.
+                let retry = rerun(window_s.max(1.5));
+                println!(
+                    "check {key}: quick measurement {value:.3} below floor, re-measured {:.3}",
+                    retry.speedup()
+                );
+                value = value.max(retry.speedup());
+            }
+            println!("check {key}: measured {value:.3}, baseline {expected:.3}, floor {floor:.3}");
+            if value < floor {
+                failures.push(format!(
+                    "{key} regressed: {value:.3} < {floor:.3} (baseline {expected:.3} - 20%)"
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!(
+                "hotpath throughput regression:\n  {}",
+                failures.join("\n  ")
+            );
+            std::process::exit(1);
+        }
+        println!("regression gate passed");
+    }
+}
+
+/// Minimal `"key": number` extractor — the baseline file is a flat JSON
+/// object we write ourselves, so a full parser would be overkill.
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

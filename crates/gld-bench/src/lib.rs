@@ -126,6 +126,17 @@ pub fn write_result(name: &str, contents: &str) {
     println!("[written] {}", path.display());
 }
 
+/// Writes a text artefact into the repository root (next to `results/`),
+/// used for the `BENCH_*.json` summaries CI consumes.
+pub fn write_root_result(name: &str, contents: &str) {
+    let path = results_dir()
+        .parent()
+        .expect("results dir has a parent")
+        .join(name);
+    std::fs::write(&path, contents).expect("write root result file");
+    println!("[written] {}", path.display());
+}
+
 /// Formats a compression ratio / error pair the way the paper's plots label
 /// points.
 pub fn format_point(ratio: f64, nrmse: f32) -> String {

@@ -25,11 +25,81 @@ use crate::executor::{
     StreamMetrics,
 };
 use crate::learned_baselines::{LearnedBaseline, LearnedBaselineKind};
-use gld_baselines::{ErrorBoundedCompressor, SzCompressor, ZfpLikeCompressor};
+use gld_baselines::{
+    BaselineError, ErrorBoundedCompressor, SzCompressor, SzScratch, ZfpLikeCompressor, ZfpScratch,
+};
 use gld_datasets::Variable;
 use gld_tensor::Tensor;
 use std::fmt;
 use std::io::Write;
+
+/// Typed failure of a block compression through the [`Codec`] trait —
+/// unsupported inputs surface here instead of panicking (e.g. a rank-5
+/// tensor handed to a rule-based codec).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The block's tensor rank is outside what the codec supports.
+    UnsupportedRank {
+        /// Rank of the offending block.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnsupportedRank { rank } => {
+                write!(f, "codec does not support tensor rank {rank}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<BaselineError> for CodecError {
+    fn from(e: BaselineError) -> Self {
+        match e {
+            BaselineError::UnsupportedRank { rank } => CodecError::UnsupportedRank { rank },
+        }
+    }
+}
+
+/// Reusable per-worker scratch arena threaded through the block-compression
+/// hot path: the rule-based codecs' reconstruction/code/escape buffers plus
+/// a rolling output-size hint used to pre-size each frame allocation.
+///
+/// One `CodecScratch` lives per executor worker thread (and one per
+/// sequential compression loop), so steady-state block compression allocates
+/// only the emitted frame itself.  Frames are bit-identical whether the
+/// scratch is fresh or reused — `tests/hotpath_equivalence.rs` proves it.
+#[derive(Debug, Default)]
+pub struct CodecScratch {
+    /// SZ3-like per-block buffers.
+    pub sz: SzScratch,
+    /// ZFP-like per-block buffers.
+    pub zfp: ZfpScratch,
+    frame_hint: usize,
+}
+
+impl CodecScratch {
+    /// Creates an empty scratch arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Capacity to pre-reserve for the next frame: the previous frame's
+    /// length rounded up a little, so steady-state encoding does a single
+    /// allocation per frame with no growth reallocations.
+    pub fn frame_capacity_hint(&self) -> usize {
+        self.frame_hint + self.frame_hint / 8
+    }
+
+    /// Records an emitted frame length for the next hint.
+    pub fn note_frame_len(&mut self, len: usize) {
+        self.frame_hint = len;
+    }
+}
 
 /// A sink failure during [`compress_variable_to_writer`], carrying how far
 /// the encoded container got before the abort: `frames_emitted` frames were
@@ -263,6 +333,34 @@ pub trait Codec: Sync {
         block_index: u64,
     ) -> Vec<u8>;
 
+    /// Fallible variant of [`Codec::compress_block_at`]: inputs the codec
+    /// cannot represent surface as a typed [`CodecError`] instead of a
+    /// panic.  The default delegates to the panicking path (codecs that can
+    /// fail should override).
+    fn try_compress_block_at(
+        &self,
+        block: &Tensor,
+        target: Option<ErrorTarget>,
+        block_index: u64,
+    ) -> Result<Vec<u8>, CodecError> {
+        Ok(self.compress_block_at(block, target, block_index))
+    }
+
+    /// [`Codec::compress_block_at`] with a caller-provided scratch arena.
+    /// Hot codecs override this to reuse `scratch`'s buffers; the output
+    /// bytes must be identical to [`Codec::compress_block_at`] regardless of
+    /// the scratch's previous contents.  The default ignores the scratch.
+    fn compress_block_scratch(
+        &self,
+        block: &Tensor,
+        target: Option<ErrorTarget>,
+        block_index: u64,
+        scratch: &mut CodecScratch,
+    ) -> Vec<u8> {
+        let _ = scratch;
+        self.compress_block_at(block, target, block_index)
+    }
+
     /// Reconstructs a block from a frame produced by this codec.
     fn decompress_block(&self, frame: &[u8]) -> Tensor;
 
@@ -355,8 +453,10 @@ pub trait Codec: Sync {
         let (windows, _) = checked_windows(variable, block_frames);
         let mut container = Container::new(self.id());
         let mut acc = StatsAccumulator::new();
+        let mut scratch = CodecScratch::new();
         for (index, window) in windows.enumerate() {
-            let outcome = compress_window_outcome(self, &window.data, target, index as u64);
+            let outcome =
+                compress_window_outcome(self, &window.data, target, index as u64, &mut scratch);
             acc.add(&outcome);
             container.push(outcome.frame);
         }
@@ -475,6 +575,34 @@ impl Codec for SzCompressor {
         ErrorBoundedCompressor::compress(self, block, rule_based_bound(block, target))
     }
 
+    fn try_compress_block_at(
+        &self,
+        block: &Tensor,
+        target: Option<ErrorTarget>,
+        _block_index: u64,
+    ) -> Result<Vec<u8>, CodecError> {
+        Ok(self.try_compress(block, rule_based_bound(block, target))?)
+    }
+
+    fn compress_block_scratch(
+        &self,
+        block: &Tensor,
+        target: Option<ErrorTarget>,
+        _block_index: u64,
+        scratch: &mut CodecScratch,
+    ) -> Vec<u8> {
+        let mut out = Vec::with_capacity(scratch.frame_capacity_hint());
+        self.compress_into(
+            block,
+            rule_based_bound(block, target),
+            &mut scratch.sz,
+            &mut out,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        scratch.note_frame_len(out.len());
+        out
+    }
+
     fn decompress_block(&self, frame: &[u8]) -> Tensor {
         ErrorBoundedCompressor::decompress(self, frame)
     }
@@ -496,6 +624,34 @@ impl Codec for ZfpLikeCompressor {
         _block_index: u64,
     ) -> Vec<u8> {
         ErrorBoundedCompressor::compress(self, block, rule_based_bound(block, target))
+    }
+
+    fn try_compress_block_at(
+        &self,
+        block: &Tensor,
+        target: Option<ErrorTarget>,
+        _block_index: u64,
+    ) -> Result<Vec<u8>, CodecError> {
+        Ok(self.try_compress(block, rule_based_bound(block, target))?)
+    }
+
+    fn compress_block_scratch(
+        &self,
+        block: &Tensor,
+        target: Option<ErrorTarget>,
+        _block_index: u64,
+        scratch: &mut CodecScratch,
+    ) -> Vec<u8> {
+        let mut out = Vec::with_capacity(scratch.frame_capacity_hint());
+        self.compress_into(
+            block,
+            rule_based_bound(block, target),
+            &mut scratch.zfp,
+            &mut out,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        scratch.note_frame_len(out.len());
+        out
     }
 
     fn decompress_block(&self, frame: &[u8]) -> Tensor {

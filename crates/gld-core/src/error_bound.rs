@@ -16,7 +16,7 @@
 //! coefficients, their indices and per-chunk counts are entropy-coded into
 //! the auxiliary stream whose size enters the compression ratio (Eq. 11).
 
-use gld_entropy::{ArithmeticDecoder, ArithmeticEncoder, HistogramModel};
+use gld_entropy::{HistogramModel, RangeDecoder, RangeEncoder};
 use gld_tensor::eig::principal_components;
 use gld_tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -183,7 +183,7 @@ impl PcaErrorBound {
             aux.extend_from_slice(&(b.len() as u32).to_le_bytes());
             aux.extend_from_slice(&b);
         }
-        let mut enc = ArithmeticEncoder::new();
+        let mut enc = RangeEncoder::new();
         count_model.encode(&mut enc, &count_syms);
         if !indices.is_empty() {
             index_model.encode(&mut enc, &indices);
@@ -222,7 +222,7 @@ impl PcaErrorBound {
         let stream_len = u32::from_le_bytes(aux[off..off + 4].try_into().unwrap()) as usize;
         off += 4;
         let stream = &aux[off..off + stream_len];
-        let mut dec = ArithmeticDecoder::new(stream);
+        let mut dec = RangeDecoder::new(stream);
         let counts = models[0].decode(&mut dec, n_chunks);
         let total_coeffs: usize = counts.iter().map(|&c| c as usize).sum();
         let (indices, codes) = if total_coeffs > 0 {

@@ -30,12 +30,42 @@
 //! statistics and every byte are identical across worker counts, queue
 //! depths and `RAYON_NUM_THREADS` settings (`tests/streaming_executor.rs`).
 
-use crate::codec::{Codec, ErrorTarget};
+use crate::codec::{Codec, CodecScratch, ErrorTarget};
 use gld_datasets::{blocks, Variable};
 use gld_tensor::Tensor;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
+
+thread_local! {
+    /// Per-worker scratch arena: pool workers are persistent, so buffers
+    /// reused across one-shot jobs stop the hot path from allocating per
+    /// block.  Frames are bit-identical to the fresh-scratch path, so reuse
+    /// never leaks state between blocks (or between interleaved executors
+    /// sharing a pool thread).
+    static WORKER_SCRATCH: RefCell<CodecScratch> = RefCell::new(CodecScratch::new());
+}
+
+/// Runs `compress_window_outcome` with this thread's reusable scratch.
+///
+/// The scratch is *taken out* of the thread-local slot for the duration of
+/// the codec call rather than borrowed across it: if the codec's own
+/// internal parallelism ever re-enters this function on the same thread
+/// (work-stealing during a nested join), the re-entrant call simply finds
+/// an empty slot and allocates fresh buffers instead of panicking on a
+/// `RefCell` double-borrow.  Output is identical either way.
+fn compress_window_outcome_pooled<C: Codec + ?Sized>(
+    codec: &C,
+    window: &Tensor,
+    target: Option<ErrorTarget>,
+    index: u64,
+) -> BlockOutcome {
+    let mut scratch = WORKER_SCRATCH.with(|slot| std::mem::take(&mut *slot.borrow_mut()));
+    let outcome = compress_window_outcome(codec, window, target, index, &mut scratch);
+    WORKER_SCRATCH.with(|slot| *slot.borrow_mut() = scratch);
+    outcome
+}
 
 /// Tuning for the streaming executor.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -94,8 +124,9 @@ pub(crate) fn compress_window_outcome<C: Codec + ?Sized>(
     window: &Tensor,
     target: Option<ErrorTarget>,
     index: u64,
+    scratch: &mut CodecScratch,
 ) -> BlockOutcome {
-    let frame = codec.compress_block_at(window, target, index);
+    let frame = codec.compress_block_scratch(window, target, index, scratch);
     let recon = codec.decompress_block(&frame);
     let mut sq_err = 0.0f64;
     for (a, b) in window.data().iter().zip(recon.data()) {
@@ -214,7 +245,7 @@ impl Flow<'_> {
 fn worker_step<C: Codec + ?Sized>(flow: &Flow<'_>, codec: &C, target: Option<ErrorTarget>) {
     let run = catch_unwind(AssertUnwindSafe(|| {
         if let Some((index, window)) = flow.try_claim() {
-            let outcome = compress_window_outcome(codec, &window, target, index as u64);
+            let outcome = compress_window_outcome_pooled(codec, &window, target, index as u64);
             drop(window);
             flow.post(index, outcome);
         }
@@ -323,7 +354,8 @@ where
                 // is claimed, the block we need is in flight — wait for a
                 // post.
                 if let Some((index, window)) = flow.try_claim() {
-                    let outcome = compress_window_outcome(codec, &window, target, index as u64);
+                    let outcome =
+                        compress_window_outcome_pooled(codec, &window, target, index as u64);
                     drop(window);
                     flow.post(index, outcome);
                 } else {

@@ -21,7 +21,7 @@
 //!   block, making it the slowest decoder.
 
 use gld_diffusion::{ConditionalDiffusion, FramePartition};
-use gld_entropy::{ArithmeticDecoder, ArithmeticEncoder, HistogramModel};
+use gld_entropy::{HistogramModel, RangeDecoder, RangeEncoder};
 use gld_tensor::{Tensor, TensorRng};
 use gld_vae::codec::{read_dims, write_dims};
 use gld_vae::{FrameCodec, Vae};
@@ -117,7 +117,7 @@ impl<'a> LearnedBaseline<'a> {
             let codec = FrameCodec::new(self.vae);
             let (normalized, norms) = codec.normalize(block);
             let y = self.vae.quantize_latent(&normalized);
-            let symbols: Vec<i32> = y.data().iter().map(|&v| v.round() as i32).collect();
+            let symbols: Vec<i32> = y.quantized_symbols();
             let model = HistogramModel::fit(&symbols);
             let mut out = Vec::new();
             write_dims(&mut out, block.dims());
@@ -129,7 +129,7 @@ impl<'a> LearnedBaseline<'a> {
             let model_bytes = model.to_bytes();
             out.extend_from_slice(&(model_bytes.len() as u32).to_le_bytes());
             out.extend_from_slice(&model_bytes);
-            let mut enc = ArithmeticEncoder::new();
+            let mut enc = RangeEncoder::new();
             model.encode(&mut enc, &symbols);
             let stream = enc.finish();
             out.extend_from_slice(&(stream.len() as u32).to_le_bytes());
@@ -168,7 +168,7 @@ impl<'a> LearnedBaseline<'a> {
         off += model_len;
         let stream_len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
         off += 4;
-        let mut dec = ArithmeticDecoder::new(&bytes[off..off + stream_len]);
+        let mut dec = RangeDecoder::new(&bytes[off..off + stream_len]);
         let count: usize = y_dims.iter().product();
         let symbols = model.decode(&mut dec, count);
         let y = Tensor::from_vec(symbols.iter().map(|&s| s as f32).collect(), &y_dims);

@@ -35,7 +35,10 @@ pub mod learned_baselines;
 pub mod pipeline;
 pub mod sweep;
 
-pub use codec::{compress_variable_to_writer, Codec, ErrorTarget, StreamWriteError, VariableStats};
+pub use codec::{
+    compress_variable_to_writer, Codec, CodecError, CodecScratch, ErrorTarget, StreamWriteError,
+    VariableStats,
+};
 pub use container::{CodecId, Container, ContainerError, ContainerWriter};
 pub use error_bound::{ErrorBoundConfig, ErrorBoundOutcome, PcaErrorBound};
 pub use executor::{StreamConfig, StreamMetrics};

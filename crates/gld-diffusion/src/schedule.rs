@@ -113,7 +113,8 @@ impl NoiseSchedule {
         t: usize,
         t_prev: Option<usize>,
     ) -> Tensor {
-        let y0 = self.predict_y0(y_t, eps_hat, t).clamp(-3.0, 3.0);
+        let mut y0 = self.predict_y0(y_t, eps_hat, t);
+        y0.clamp_inplace(-3.0, 3.0);
         match t_prev {
             Some(tp) => {
                 let ab_prev = self.alpha_bar(tp);

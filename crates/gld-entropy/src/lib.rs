@@ -2,17 +2,25 @@
 //!
 //! Entropy coding for the GLD compression stack.
 //!
-//! Three pieces live here:
+//! Four pieces live here:
 //!
-//! * [`arith`] — a binary-renormalising arithmetic coder (encoder/decoder
-//!   pair) operating on cumulative-frequency intervals.  This is the
-//!   lossless back end shared by every compressor in the workspace.
+//! * [`range`] — the production **byte-wise range coder**: byte-at-a-time
+//!   renormalisation with carry propagation, division-free bypass bits.
+//!   This is the lossless back end every compressor in the workspace uses
+//!   on its hot path.
+//! * [`arith`] — the original bit-renormalising arithmetic coder, kept as
+//!   the reference back end for the equivalence suite and the hot-path
+//!   benchmark's pre-optimisation baseline.
+//! * [`backend`] — the [`EntropyEncoder`]/[`EntropyDecoder`] traits both
+//!   coders implement, plus [`EntropyBackend`] pairs for parameterising
+//!   whole compression paths.
 //! * [`gaussian`] — numerically careful normal CDF / inverse utilities.
 //! * [`models`] — the symbol models on top of the coder: the
 //!   **Gaussian conditional** model used for VAE latents `y` (whose per
 //!   element mean/scale come from the hyperprior, paper Eq. 1–2), the
-//!   **histogram factorized prior** used for hyper-latents `z`, and a raw
-//!   **bypass** coder for escape values.
+//!   **histogram factorized prior** used for hyper-latents `z` (with a
+//!   precomputed slot→bin table for the decode-side symbol search), and a
+//!   raw **bypass** coder for escape values.
 //!
 //! The crate is deliberately framework-free: it works on plain `i32` symbol
 //! slices so that both the learned compressors (`gld-vae`) and the rule-based
@@ -22,8 +30,14 @@
 #![forbid(unsafe_code)]
 
 pub mod arith;
+pub mod backend;
 pub mod gaussian;
 pub mod models;
+pub mod range;
 
 pub use arith::{ArithmeticDecoder, ArithmeticEncoder};
+pub use backend::{
+    ArithmeticBackend, EntropyBackend, EntropyDecoder, EntropyEncoder, RangeBackend,
+};
 pub use models::{BitCounter, BypassCoder, GaussianConditionalModel, HistogramModel};
+pub use range::{RangeDecoder, RangeEncoder};

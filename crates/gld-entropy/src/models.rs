@@ -1,18 +1,32 @@
-//! Symbol models layered on the arithmetic coder.
+//! Symbol models layered on the entropy coders.
 //!
 //! * [`GaussianConditionalModel`] codes quantised latents `y` whose per
 //!   element mean and scale are predicted by the hyperprior (paper Eq. 1–2).
 //! * [`HistogramModel`] codes hyper-latents `z` with a data-built factorised
 //!   histogram prior that is serialised into the stream header — the
 //!   practical stand-in for the paper's non-parametric density model [4].
+//!   Decoding resolves symbols through a precomputed slot→bin lookup table
+//!   instead of a per-symbol binary search.
 //! * [`BypassCoder`] writes raw integers for escape paths.
 //! * [`BitCounter`] accumulates theoretical code lengths for rate accounting.
+//!
+//! All coding entry points are generic over
+//! [`EntropyEncoder`]/[`EntropyDecoder`], so the same model drives both the
+//! production range coder and the reference arithmetic coder.
 
-use crate::arith::{ArithmeticDecoder, ArithmeticEncoder, MAX_TOTAL};
+use crate::arith::MAX_TOTAL;
+use crate::backend::{EntropyDecoder, EntropyEncoder};
 use crate::gaussian::{normal_cdf, quantized_gaussian_bits};
+use std::cell::OnceCell;
 
 /// Total frequency budget used when quantising probability models.
 const MODEL_TOTAL: u32 = MAX_TOTAL / 2;
+
+/// Upper bound on the decode lookup table length (slots).  1024 slots cover
+/// a full `MODEL_TOTAL` range with a shift of 5 — small enough to stay
+/// cache-resident, large enough that the forward scan after the table hit is
+/// a handful of steps on realistic histograms.
+const LUT_SLOTS: usize = 1024;
 
 /// Number of standard deviations covered by the explicit symbol window of the
 /// Gaussian conditional model; values outside are escape-coded.
@@ -30,14 +44,14 @@ pub struct BypassCoder;
 
 impl BypassCoder {
     /// Encodes a signed 32-bit integer with a zig-zag mapping.
-    pub fn encode_i32(enc: &mut ArithmeticEncoder, value: i32) {
+    pub fn encode_i32<E: EntropyEncoder>(enc: &mut E, value: i32) {
         let zigzag = ((value << 1) ^ (value >> 31)) as u32;
         enc.encode_bits_raw(zigzag as u64, 32);
     }
 
     /// Decodes a signed 32-bit integer written by
     /// [`BypassCoder::encode_i32`].
-    pub fn decode_i32(dec: &mut ArithmeticDecoder<'_>) -> i32 {
+    pub fn decode_i32<D: EntropyDecoder>(dec: &mut D) -> i32 {
         let zigzag = dec.decode_bits_raw(32) as u32;
         ((zigzag >> 1) as i32) ^ -((zigzag & 1) as i32)
     }
@@ -109,9 +123,9 @@ impl GaussianConditionalModel {
     }
 
     /// Encodes `symbols[i]` under `N(means[i], scales[i]²)`.
-    pub fn encode(
+    pub fn encode<E: EntropyEncoder>(
         &self,
-        enc: &mut ArithmeticEncoder,
+        enc: &mut E,
         symbols: &[i32],
         means: &[f32],
         scales: &[f32],
@@ -134,9 +148,9 @@ impl GaussianConditionalModel {
     }
 
     /// Decodes a symbol sequence; `means`/`scales` must match encoding.
-    pub fn decode(
+    pub fn decode<D: EntropyDecoder>(
         &self,
-        dec: &mut ArithmeticDecoder<'_>,
+        dec: &mut D,
         means: &[f32],
         scales: &[f32],
     ) -> Vec<i32> {
@@ -178,12 +192,40 @@ impl GaussianConditionalModel {
 
 /// A static histogram model built from the data itself and shipped in the
 /// stream header — the factorized prior for hyper-latents `z`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Alongside the cumulative-frequency table used for encoding, the model
+/// precomputes a slot→bin lookup table so the decode-side symbol search is a
+/// table hit plus a short forward scan instead of a binary search per
+/// symbol.
+#[derive(Debug, Clone)]
 pub struct HistogramModel {
     min: i32,
     freqs: Vec<u32>,
     cdf: Vec<u32>,
+    /// Decode-side lookup table, built lazily on the first
+    /// [`HistogramModel::decode_symbol`] call so the compress path (which
+    /// only encodes) never pays for it.
+    lut: OnceCell<DecodeLut>,
 }
+
+/// `slots[target >> shift]` is the index of the first bin whose cumulative
+/// interval can contain `target`; the true bin is found by scanning forward
+/// from there (never backward).
+#[derive(Debug, Clone)]
+struct DecodeLut {
+    slots: Vec<u16>,
+    shift: u32,
+}
+
+/// Model identity is its fitted distribution; the lazily built decode table
+/// is derived state and deliberately excluded.
+impl PartialEq for HistogramModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.min == other.min && self.freqs == other.freqs
+    }
+}
+
+impl Eq for HistogramModel {}
 
 impl HistogramModel {
     /// Builds a histogram over the symbol range present in `symbols`.  Only
@@ -257,7 +299,39 @@ impl HistogramModel {
             acc += f;
             cdf.push(acc);
         }
-        HistogramModel { min, freqs, cdf }
+        HistogramModel {
+            min,
+            freqs,
+            cdf,
+            lut: OnceCell::new(),
+        }
+    }
+
+    /// Builds the slot→bin decode table: slot `s` starts at target
+    /// `s << shift` and maps to the bin containing that target.  A
+    /// degenerate total of zero (possible only for a corrupt serialised
+    /// model) or an oversized bin table yields an empty LUT; decoding then
+    /// falls back to the binary-search path.
+    fn build_lut(cdf: &[u32], bins: usize) -> DecodeLut {
+        let total = *cdf.last().unwrap();
+        let mut shift = 0u32;
+        let mut slots = Vec::new();
+        if total > 0 && bins <= usize::from(u16::MAX) {
+            while (((total - 1) >> shift) as usize) + 1 > LUT_SLOTS {
+                shift += 1;
+            }
+            let n_slots = (((total - 1) >> shift) as usize) + 1;
+            slots.reserve_exact(n_slots);
+            let mut bin = 0usize;
+            for s in 0..n_slots {
+                let target = (s as u32) << shift;
+                while cdf[bin + 1] <= target {
+                    bin += 1;
+                }
+                slots.push(bin as u16);
+            }
+        }
+        DecodeLut { slots, shift }
     }
 
     /// Lowest representable symbol.
@@ -319,30 +393,66 @@ impl HistogramModel {
         12 + self.freqs.iter().filter(|&&f| f > 0).count() * 8
     }
 
+    /// Encodes one symbol.  It must lie in the fitted range.
+    #[inline]
+    pub fn encode_symbol<E: EntropyEncoder>(&self, enc: &mut E, s: i32) {
+        assert!(
+            s >= self.min_symbol() && s <= self.max_symbol(),
+            "symbol {s} outside histogram range [{}, {}]",
+            self.min_symbol(),
+            self.max_symbol()
+        );
+        let idx = (s - self.min) as usize;
+        enc.encode(self.cdf[idx], self.cdf[idx + 1], self.total());
+    }
+
     /// Encodes a symbol sequence.  Every symbol must lie in the fitted range.
-    pub fn encode(&self, enc: &mut ArithmeticEncoder, symbols: &[i32]) {
-        let total = self.total();
+    pub fn encode<E: EntropyEncoder>(&self, enc: &mut E, symbols: &[i32]) {
         for &s in symbols {
-            assert!(
-                s >= self.min_symbol() && s <= self.max_symbol(),
-                "symbol {s} outside histogram range [{}, {}]",
-                self.min_symbol(),
-                self.max_symbol()
-            );
-            let idx = (s - self.min) as usize;
-            enc.encode(self.cdf[idx], self.cdf[idx + 1], total);
+            self.encode_symbol(enc, s);
         }
     }
 
-    /// Decodes `count` symbols.
-    pub fn decode(&self, dec: &mut ArithmeticDecoder<'_>, count: usize) -> Vec<i32> {
+    /// Decodes one symbol, resolving the bin through the precomputed
+    /// slot→bin table plus a forward scan.
+    #[inline]
+    pub fn decode_symbol<D: EntropyDecoder>(&self, dec: &mut D) -> i32 {
+        let lut = self
+            .lut
+            .get_or_init(|| Self::build_lut(&self.cdf, self.freqs.len()));
+        if lut.slots.is_empty() {
+            // Degenerate model (deserialised with an oversized or zero-mass
+            // bin table) — fall back to the search path.
+            return self.decode_symbol_binary_search(dec);
+        }
         let total = self.total();
+        let target = dec.decode_target(total);
+        let mut bin = lut.slots[(target >> lut.shift) as usize] as usize;
+        while self.cdf[bin + 1] <= target {
+            bin += 1;
+        }
+        dec.decode_update(self.cdf[bin], self.cdf[bin + 1], total);
+        self.min + bin as i32
+    }
+
+    /// Reference decode path: binary search over the CDF, exactly the
+    /// pre-LUT implementation.  Kept callable so the equivalence suite can
+    /// prove [`HistogramModel::decode_symbol`] resolves identical bins and
+    /// consumes identical stream state.
+    #[doc(hidden)]
+    pub fn decode_symbol_binary_search<D: EntropyDecoder>(&self, dec: &mut D) -> i32 {
+        let total = self.total();
+        let target = dec.decode_target(total);
+        let bin = self.cdf.partition_point(|&c| c <= target) - 1;
+        dec.decode_update(self.cdf[bin], self.cdf[bin + 1], total);
+        self.min + bin as i32
+    }
+
+    /// Decodes `count` symbols.
+    pub fn decode<D: EntropyDecoder>(&self, dec: &mut D, count: usize) -> Vec<i32> {
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
-            let target = dec.decode_target(total);
-            let bin = self.cdf.partition_point(|&c| c <= target) - 1;
-            dec.decode_update(self.cdf[bin], self.cdf[bin + 1], total);
-            out.push(self.min + bin as i32);
+            out.push(self.decode_symbol(dec));
         }
         out
     }
@@ -402,6 +512,7 @@ impl BitCounter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::range::{RangeDecoder, RangeEncoder};
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -418,10 +529,10 @@ mod tests {
             .map(|(&m, &s)| (m + rng.gen_range(-3.0..3.0) * s).round() as i32)
             .collect();
         let model = GaussianConditionalModel::new();
-        let mut enc = ArithmeticEncoder::new();
+        let mut enc = RangeEncoder::new();
         model.encode(&mut enc, &symbols, &means, &scales);
         let bytes = enc.finish();
-        let mut dec = ArithmeticDecoder::new(&bytes);
+        let mut dec = RangeDecoder::new(&bytes);
         let decoded = model.decode(&mut dec, &means, &scales);
         assert_eq!(decoded, symbols);
     }
@@ -433,10 +544,10 @@ mod tests {
         // Symbols far outside the 8-sigma window.
         let symbols = vec![0, 1, 100_000, -70_000, 2, -1, i32::MAX / 2, 0];
         let model = GaussianConditionalModel::new();
-        let mut enc = ArithmeticEncoder::new();
+        let mut enc = RangeEncoder::new();
         model.encode(&mut enc, &symbols, &means, &scales);
         let bytes = enc.finish();
-        let mut dec = ArithmeticDecoder::new(&bytes);
+        let mut dec = RangeDecoder::new(&bytes);
         assert_eq!(model.decode(&mut dec, &means, &scales), symbols);
     }
 
@@ -454,7 +565,7 @@ mod tests {
             let symbols: Vec<i32> = (0..n)
                 .map(|_| (rng.gen_range(-2.0..2.0) * scale).round() as i32)
                 .collect();
-            let mut enc = ArithmeticEncoder::new();
+            let mut enc = RangeEncoder::new();
             model.encode(&mut enc, &symbols, &means, &scales);
             sizes.push(enc.finish().len());
         }
@@ -477,7 +588,7 @@ mod tests {
             .collect();
         let model = GaussianConditionalModel::new();
         let est_bits = model.estimate_bits(&symbols, &means, &scales);
-        let mut enc = ArithmeticEncoder::new();
+        let mut enc = RangeEncoder::new();
         model.encode(&mut enc, &symbols, &means, &scales);
         let actual_bits = (enc.finish().len() * 8) as f64;
         let ratio = actual_bits / est_bits;
@@ -497,10 +608,10 @@ mod tests {
         assert_eq!(used, bytes.len());
         assert_eq!(restored, model);
 
-        let mut enc = ArithmeticEncoder::new();
+        let mut enc = RangeEncoder::new();
         model.encode(&mut enc, &symbols);
         let stream = enc.finish();
-        let mut dec = ArithmeticDecoder::new(&stream);
+        let mut dec = RangeDecoder::new(&stream);
         assert_eq!(restored.decode(&mut dec, symbols.len()), symbols);
     }
 
@@ -518,7 +629,7 @@ mod tests {
             })
             .collect();
         let model = HistogramModel::fit(&symbols);
-        let mut enc = ArithmeticEncoder::new();
+        let mut enc = RangeEncoder::new();
         model.encode(&mut enc, &symbols);
         let bytes = enc.finish().len();
         assert!(
@@ -538,10 +649,10 @@ mod tests {
         let constant = HistogramModel::fit(&[42; 100]);
         assert_eq!(constant.min_symbol(), 42);
         assert_eq!(constant.max_symbol(), 42);
-        let mut enc = ArithmeticEncoder::new();
+        let mut enc = RangeEncoder::new();
         constant.encode(&mut enc, &[42; 100]);
         let stream = enc.finish();
-        let mut dec = ArithmeticDecoder::new(&stream);
+        let mut dec = RangeDecoder::new(&stream);
         assert_eq!(constant.decode(&mut dec, 100), vec![42; 100]);
     }
 
@@ -568,20 +679,20 @@ mod tests {
             let scales: Vec<f32> = (0..n).map(|_| rng.gen_range(0.05..scale.max(0.06))).collect();
             let symbols: Vec<i32> = (0..n).map(|_| rng.gen_range(-200..200)).collect();
             let model = GaussianConditionalModel::new();
-            let mut enc = ArithmeticEncoder::new();
+            let mut enc = RangeEncoder::new();
             model.encode(&mut enc, &symbols, &means, &scales);
             let bytes = enc.finish();
-            let mut dec = ArithmeticDecoder::new(&bytes);
+            let mut dec = RangeDecoder::new(&bytes);
             prop_assert_eq!(model.decode(&mut dec, &means, &scales), symbols);
         }
 
         #[test]
         fn prop_histogram_roundtrip(symbols in prop::collection::vec(-300i32..300, 1..500)) {
             let model = HistogramModel::fit(&symbols);
-            let mut enc = ArithmeticEncoder::new();
+            let mut enc = RangeEncoder::new();
             model.encode(&mut enc, &symbols);
             let bytes = enc.finish();
-            let mut dec = ArithmeticDecoder::new(&bytes);
+            let mut dec = RangeDecoder::new(&bytes);
             prop_assert_eq!(model.decode(&mut dec, symbols.len()), symbols);
         }
     }

@@ -44,10 +44,44 @@ impl Tensor {
         self.map(move |x| x.clamp(lo, hi))
     }
 
+    /// In-place variant of [`Tensor::clamp`] — no intermediate tensor.
+    pub fn clamp_inplace(&mut self, lo: f32, hi: f32) {
+        assert!(lo <= hi, "clamp requires lo <= hi");
+        self.map_inplace(move |x| x.clamp(lo, hi));
+    }
+
     /// Element-wise rounding to the nearest integer (the quantizer used by
     /// the learned compressors at inference time).
     pub fn round(&self) -> Tensor {
         self.map(f32::round)
+    }
+
+    /// In-place variant of [`Tensor::round`] — no intermediate tensor.
+    pub fn round_inplace(&mut self) {
+        self.map_inplace(f32::round);
+    }
+
+    /// Fused round-and-cast of every element into `i32` quantisation
+    /// symbols — one pass, no intermediate rounded tensor.  Equivalent to
+    /// `self.round()` followed by an element-wise `as i32` cast; this is
+    /// the symbolisation step of the learned codecs' inference path.
+    pub fn quantized_symbols(&self) -> Vec<i32> {
+        let mut out = vec![0i32; self.numel()];
+        out.par_iter_mut()
+            .zip(self.data().par_iter())
+            .for_each(|(o, &x)| *o = x.round() as i32);
+        out
+    }
+
+    /// Fused clamp-round-quantize: clamps into `[lo, hi]`, rounds, and
+    /// casts to `i32` symbols in a single pass.
+    pub fn quantized_symbols_clamped(&self, lo: f32, hi: f32) -> Vec<i32> {
+        assert!(lo <= hi, "clamp requires lo <= hi");
+        let mut out = vec![0i32; self.numel()];
+        out.par_iter_mut()
+            .zip(self.data().par_iter())
+            .for_each(|(o, &x)| *o = x.clamp(lo, hi).round() as i32);
+        out
     }
 
     /// Element-wise logistic sigmoid.
@@ -193,6 +227,32 @@ mod tests {
         assert_eq!(t.square().data()[0], 4.0);
         assert_eq!(t.clamp(-1.0, 1.0).data()[0], -1.0);
         assert_eq!(t.round().data()[1], -1.0); // -0.5 rounds away from zero
+    }
+
+    #[test]
+    fn fused_quantize_matches_composed_ops() {
+        let t = Tensor::from_vec(vec![-2.6, -0.5, 0.49, 1.5, 7.2, -9.9], &[6]);
+        let composed: Vec<i32> = t.round().data().iter().map(|&v| v as i32).collect();
+        assert_eq!(t.quantized_symbols(), composed);
+        let composed_clamped: Vec<i32> = t
+            .clamp(-3.0, 2.0)
+            .round()
+            .data()
+            .iter()
+            .map(|&v| v as i32)
+            .collect();
+        assert_eq!(t.quantized_symbols_clamped(-3.0, 2.0), composed_clamped);
+    }
+
+    #[test]
+    fn inplace_variants_match_allocating_ops() {
+        let t = Tensor::from_vec(vec![-2.6, -0.5, 0.49, 1.5], &[4]);
+        let mut r = t.clone();
+        r.round_inplace();
+        assert_eq!(r, t.round());
+        let mut c = t.clone();
+        c.clamp_inplace(-1.0, 1.0);
+        assert_eq!(c, t.clamp(-1.0, 1.0));
     }
 
     #[test]

@@ -10,11 +10,12 @@
 //! directly.
 
 use crate::model::Vae;
-use gld_entropy::{ArithmeticDecoder, ArithmeticEncoder, GaussianConditionalModel, HistogramModel};
+use gld_entropy::{GaussianConditionalModel, HistogramModel, RangeDecoder, RangeEncoder};
 use gld_tensor::Tensor;
 
 fn tensor_to_symbols(t: &Tensor) -> Vec<i32> {
-    t.data().iter().map(|&v| v.round() as i32).collect()
+    // Fused round-and-cast — one pass, no intermediate rounded tensor.
+    t.quantized_symbols()
 }
 
 fn symbols_to_tensor(symbols: &[i32], dims: &[usize]) -> Tensor {
@@ -72,7 +73,7 @@ impl<'a> LatentCodec<'a> {
         out.extend_from_slice(&(model_bytes.len() as u32).to_le_bytes());
         out.extend_from_slice(&model_bytes);
 
-        let mut enc = ArithmeticEncoder::new();
+        let mut enc = RangeEncoder::new();
         z_model.encode(&mut enc, &z_symbols);
         GaussianConditionalModel::new().encode(&mut enc, &y_symbols, mu.data(), sigma.data());
         let stream = enc.finish();
@@ -96,7 +97,7 @@ impl<'a> LatentCodec<'a> {
         off += 4;
         let stream = &bytes[off..off + stream_len];
 
-        let mut dec = ArithmeticDecoder::new(stream);
+        let mut dec = RangeDecoder::new(stream);
         let z_count: usize = z_dims.iter().product();
         let z_symbols = z_model.decode(&mut dec, z_count);
         let z = symbols_to_tensor(&z_symbols, &z_dims);

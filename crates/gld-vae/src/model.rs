@@ -217,7 +217,9 @@ impl Vae {
     pub fn quantize_latent(&self, frames: &Tensor) -> Tensor {
         let tape = Tape::new();
         let x = tape.constant(frames.clone());
-        self.encode(&tape, &x).value().round()
+        let mut y = self.encode(&tape, &x).value();
+        y.round_inplace();
+        y
     }
 
     /// Decodes (possibly generated) quantised latents back to frames.
@@ -231,7 +233,9 @@ impl Vae {
     pub fn quantize_hyper(&self, y_quantized: &Tensor) -> Tensor {
         let tape = Tape::new();
         let y = tape.constant(y_quantized.clone());
-        self.hyper_encode(&tape, &y).value().round()
+        let mut z = self.hyper_encode(&tape, &y).value();
+        z.round_inplace();
+        z
     }
 
     /// Predicts `(μ, σ)` for the latent from a quantised hyper-latent.

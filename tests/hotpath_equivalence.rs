@@ -1,0 +1,270 @@
+//! Equivalence suite for the allocation-free hot path: every optimized
+//! kernel must be **bit-identical** to its frozen pre-optimisation
+//! reference.
+//!
+//! Three layers are pinned down:
+//!
+//! * **entropy** — the table-driven range coder round-trips arbitrary
+//!   histogram streams, the LUT symbol search resolves exactly the same
+//!   bins (and consumes exactly the same stream state) as the binary-search
+//!   reference, and the reference arithmetic back end still decodes its own
+//!   streams through the shared model code;
+//! * **kernels** — the split boundary/interior Lorenzo walk with branchless
+//!   quantisation (`SzCompressor`) and the tiled ZFP-like path produce
+//!   byte-identical frames to `gld_baselines::reference` driven over the
+//!   same range back end, and decompress to bit-identical tensors;
+//! * **arena** — `compress_block_scratch` with an arbitrarily dirty
+//!   `CodecScratch` equals `compress_block_at`, and the streaming executor
+//!   (whose workers reuse thread-local arenas) emits containers
+//!   byte-identical to the sequential reference across worker counts and
+//!   queue depths.  CI runs this file on both `RAYON_NUM_THREADS` legs.
+
+use gld_baselines::{reference, ErrorBoundedCompressor, SzCompressor, ZfpLikeCompressor};
+use gld_core::{Codec, CodecError, CodecScratch, ErrorTarget, StreamConfig};
+use gld_datasets::Variable;
+use gld_entropy::{
+    ArithmeticBackend, EntropyBackend, EntropyEncoder, HistogramModel, RangeBackend, RangeDecoder,
+    RangeEncoder,
+};
+use gld_tensor::{Tensor, TensorRng};
+use proptest::prelude::*;
+
+fn random_tensor(seed: u64, dims: &[usize]) -> Tensor {
+    let mut rng = TensorRng::new(seed);
+    rng.randn(dims).scale(3.0)
+}
+
+/// Shapes mixing ranks, interior-heavy volumes and degenerate edges.
+fn shape_matrix() -> Vec<Vec<usize>> {
+    vec![
+        vec![48],
+        vec![1, 1, 1],
+        vec![7, 9],
+        vec![4, 12, 12],
+        vec![3, 5, 17],
+        vec![1, 16, 16],
+        vec![2, 2, 8, 8],
+        vec![5, 1, 9],
+    ]
+}
+
+// ----------------------------------------------------------------------
+// Entropy layer
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The LUT-driven symbol search and the binary-search reference must
+    /// resolve identical symbols from identical stream state, symbol by
+    /// symbol.
+    #[test]
+    fn lut_decode_equals_binary_search_decode(
+        symbols in prop::collection::vec(-600i32..600, 1..400),
+    ) {
+        let model = HistogramModel::fit(&symbols);
+        let mut enc = RangeEncoder::new();
+        model.encode(&mut enc, &symbols);
+        let bytes = enc.finish();
+        let mut lut_dec = RangeDecoder::new(&bytes);
+        let mut ref_dec = RangeDecoder::new(&bytes);
+        for &expected in &symbols {
+            let via_lut = model.decode_symbol(&mut lut_dec);
+            let via_search = model.decode_symbol_binary_search(&mut ref_dec);
+            prop_assert_eq!(via_lut, expected);
+            prop_assert_eq!(via_search, expected);
+        }
+    }
+
+    /// Both entropy back ends must round-trip the same model-coded stream
+    /// (each over its own bytes — the coders differ on the wire by design).
+    #[test]
+    fn both_backends_roundtrip_histogram_streams(
+        symbols in prop::collection::vec(-50i32..50, 1..300),
+    ) {
+        fn run<B: EntropyBackend>(symbols: &[i32]) -> Vec<i32> {
+            let model = HistogramModel::fit(symbols);
+            let mut enc = B::encoder();
+            model.encode(&mut enc, symbols);
+            let bytes = enc.finish();
+            let mut dec = B::decoder(&bytes);
+            model.decode(&mut dec, symbols.len())
+        }
+        prop_assert_eq!(run::<RangeBackend>(&symbols), symbols.clone());
+        prop_assert_eq!(run::<ArithmeticBackend>(&symbols), symbols);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Kernel layer: optimized vs reference, byte-for-byte
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sz_optimized_kernel_is_bit_identical_to_reference(
+        seed in 0u64..10_000,
+        eb_exp in -4i32..0,
+        d0 in 1usize..5,
+        d1 in 1usize..14,
+        d2 in 1usize..14,
+    ) {
+        let data = random_tensor(seed, &[d0, d1, d2]);
+        let eb = 10f32.powi(eb_exp);
+        let sz = SzCompressor::new();
+        let optimized = sz.compress(&data, eb);
+        let reference = reference::sz_compress::<RangeBackend>(&data, eb);
+        prop_assert_eq!(&optimized, &reference);
+        let fast = sz.decompress(&optimized);
+        let slow = reference::sz_decompress::<RangeBackend>(&reference);
+        prop_assert_eq!(fast.data(), slow.data());
+    }
+
+    #[test]
+    fn zfp_optimized_kernel_is_bit_identical_to_reference(
+        seed in 0u64..10_000,
+        eb in 0.001f32..0.5,
+        d0 in 1usize..6,
+        d1 in 1usize..11,
+        d2 in 1usize..11,
+    ) {
+        let data = random_tensor(seed, &[d0, d1, d2]);
+        let zfp = ZfpLikeCompressor::new();
+        let optimized = zfp.compress(&data, eb);
+        let reference = reference::zfp_compress::<RangeBackend>(&data, eb);
+        prop_assert_eq!(&optimized, &reference);
+        let fast = zfp.decompress(&optimized);
+        let slow = reference::zfp_decompress::<RangeBackend>(&reference);
+        prop_assert_eq!(fast.data(), slow.data());
+    }
+
+    /// Outlier-heavy fields exercise the escape/verbatim path through both
+    /// kernels.
+    #[test]
+    fn escape_paths_are_bit_identical_to_reference(
+        seed in 0u64..10_000,
+        spike in 1e8f32..1e30,
+    ) {
+        let mut data = random_tensor(seed, &[3, 8, 8]);
+        let n = data.numel();
+        let spike_at = (seed as usize * 31) % n;
+        let mut v = data.data().to_vec();
+        v[spike_at] = spike;
+        v[(spike_at + n / 2) % n] = -spike;
+        data = Tensor::from_vec(v, &[3, 8, 8]);
+        let sz = SzCompressor::new();
+        prop_assert_eq!(
+            sz.compress(&data, 1e-3),
+            reference::sz_compress::<RangeBackend>(&data, 1e-3)
+        );
+        let zfp = ZfpLikeCompressor::new();
+        prop_assert_eq!(
+            zfp.compress(&data, 1e-3),
+            reference::zfp_compress::<RangeBackend>(&data, 1e-3)
+        );
+    }
+}
+
+#[test]
+fn rank_matrix_is_bit_identical_to_reference() {
+    for (i, dims) in shape_matrix().into_iter().enumerate() {
+        let data = random_tensor(100 + i as u64, &dims);
+        for eb in [1e-1f32, 1e-3] {
+            assert_eq!(
+                SzCompressor::new().compress(&data, eb),
+                reference::sz_compress::<RangeBackend>(&data, eb),
+                "sz dims {dims:?} eb {eb}"
+            );
+            assert_eq!(
+                ZfpLikeCompressor::new().compress(&data, eb),
+                reference::zfp_compress::<RangeBackend>(&data, eb),
+                "zfp dims {dims:?} eb {eb}"
+            );
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Arena layer: scratch reuse and the streaming executor
+// ----------------------------------------------------------------------
+
+#[test]
+fn dirty_codec_scratch_never_changes_frames() {
+    // One scratch carried across codecs *and* shapes — worst-case staleness.
+    let mut scratch = CodecScratch::new();
+    let sz = SzCompressor::new();
+    let zfp = ZfpLikeCompressor::new();
+    for (i, dims) in shape_matrix().into_iter().enumerate() {
+        let block = random_tensor(200 + i as u64, &dims);
+        for codec in [&sz as &dyn Codec, &zfp] {
+            for target in [
+                None,
+                Some(ErrorTarget::PointwiseAbs(0.01)),
+                Some(ErrorTarget::Nrmse(1e-3)),
+            ] {
+                let fresh = codec.compress_block_at(&block, target, 0);
+                let reused = codec.compress_block_scratch(&block, target, 0, &mut scratch);
+                assert_eq!(fresh, reused, "codec {} dims {dims:?}", codec.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_executor_with_arenas_matches_sequential_reference() {
+    let frames = 18;
+    let t = random_tensor(7, &[frames, 12, 12]);
+    let variable = Variable::new("hotpath-var", t);
+    let sz = SzCompressor::new();
+    let (seq, seq_stats) = sz.compress_variable_sequential(&variable, 3, None);
+    for depth in [1, 2, 7] {
+        for workers in [0, 1, 3] {
+            let (streamed, stats, _) = sz.compress_variable_streaming(
+                &variable,
+                3,
+                None,
+                StreamConfig {
+                    queue_depth: depth,
+                    workers,
+                },
+            );
+            assert_eq!(
+                streamed.encode(),
+                seq.encode(),
+                "depth {depth} workers {workers}"
+            );
+            assert_eq!(stats, seq_stats, "depth {depth} workers {workers}");
+        }
+    }
+}
+
+#[test]
+fn rank5_block_is_a_typed_codec_error_through_the_trait() {
+    let block = Tensor::zeros(&[2, 2, 2, 2, 2]);
+    for codec in [
+        &SzCompressor::new() as &dyn Codec,
+        &ZfpLikeCompressor::new(),
+    ] {
+        let err = codec
+            .try_compress_block_at(&block, None, 0)
+            .expect_err("rank-5 must be rejected");
+        assert_eq!(
+            err,
+            CodecError::UnsupportedRank { rank: 5 },
+            "codec {}",
+            codec.name()
+        );
+        assert!(err.to_string().contains("rank 5"));
+    }
+}
+
+#[test]
+fn rank4_block_still_compresses_through_the_try_path() {
+    let block = random_tensor(9, &[2, 2, 6, 6]);
+    let sz = SzCompressor::new();
+    let frame = sz
+        .try_compress_block_at(&block, None, 0)
+        .expect("rank-4 is supported");
+    assert_eq!(frame, sz.compress_block_at(&block, None, 0));
+}
