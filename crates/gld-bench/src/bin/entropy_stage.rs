@@ -1,0 +1,228 @@
+//! Container v3 entropy-stage benchmark: compression-ratio and throughput
+//! accounting for the per-frame `gld-lz` lossless stage, stage-on (v3)
+//! vs stage-off (v2), over the synthetic-field corpus.
+//!
+//! For every dataset kind × codec the binary compresses each variable,
+//! encodes the container both ways, verifies the staged stream round-trips
+//! **bit-identically** back to the unstaged frames, and measures the stage
+//! codec's own compress/decompress throughput over the real frame payloads.
+//!
+//! Results land in `results/entropy_stage.csv` and
+//! `BENCH_entropy_stage.json` (repo root).  Flags:
+//!
+//! * `--quick` — short measurement windows (CI mode);
+//! * `--check` — exit non-zero unless the stage-on container total is at
+//!   least [`REQUIRED_REDUCTION`] smaller than stage-off on the corpus and
+//!   every staged container round-trips bit-identically (the CI gate).
+
+use gld_baselines::{SzCompressor, ZfpLikeCompressor};
+use gld_bench::{write_result, write_root_result};
+use gld_core::{Codec, Container, ErrorTarget};
+use gld_datasets::{generate, DatasetKind, FieldSpec};
+use gld_lz::LzScratch;
+use std::time::Instant;
+
+/// The gate: stage-on containers must shave at least this fraction off the
+/// stage-off total on the synthetic-field corpus.
+const REQUIRED_REDUCTION: f64 = 0.10;
+
+/// One corpus leg's accounting.
+struct Leg {
+    dataset: &'static str,
+    codec: &'static str,
+    off_bytes: usize,
+    on_bytes: usize,
+    staged_frames: usize,
+    total_frames: usize,
+    roundtrip_ok: bool,
+}
+
+impl Leg {
+    fn reduction(&self) -> f64 {
+        1.0 - self.on_bytes as f64 / self.off_bytes.max(1) as f64
+    }
+}
+
+/// Measures gld-lz compress and decompress MB/s over real frame payloads.
+fn measure_stage_throughput(frames: &[Vec<u8>], window_s: f64) -> (f64, f64) {
+    let mut scratch = LzScratch::new();
+    let total_bytes: usize = frames.iter().map(Vec::len).sum();
+    let staged: Vec<Vec<u8>> = frames
+        .iter()
+        .map(|f| gld_lz::compress(f, &mut scratch))
+        .collect();
+
+    let run = |mut op: Box<dyn FnMut() + '_>| -> f64 {
+        op(); // warm-up
+        let start = Instant::now();
+        let mut passes = 0usize;
+        while start.elapsed().as_secs_f64() < window_s {
+            op();
+            passes += 1;
+        }
+        passes as f64 * total_bytes as f64 / 1e6 / start.elapsed().as_secs_f64()
+    };
+
+    let compress_mb_s = {
+        let mut scratch = LzScratch::new();
+        run(Box::new(|| {
+            for frame in frames {
+                std::hint::black_box(gld_lz::compress(frame, &mut scratch));
+            }
+        }))
+    };
+    let decompress_mb_s = run(Box::new(|| {
+        for (stream, frame) in staged.iter().zip(frames) {
+            std::hint::black_box(gld_lz::decompress(stream, frame.len()).expect("valid stream"));
+        }
+    }));
+    (compress_mb_s, decompress_mb_s)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let window_s = if quick { 0.25 } else { 1.5 };
+
+    // The synthetic-field corpus: every generator kind, the figure-binary
+    // field shape (2 variables × 32 frames of 16×16, four 8-frame windows
+    // each), the paper's mid-curve NRMSE target.
+    let spec = FieldSpec::new(2, 32, 16, 16);
+    let block_frames = 8;
+    let target = Some(ErrorTarget::Nrmse(1e-3));
+    let kinds = [
+        (DatasetKind::E3sm, "e3sm"),
+        (DatasetKind::S3d, "s3d"),
+        (DatasetKind::Jhtdb, "jhtdb"),
+    ];
+    let sz = SzCompressor::new();
+    let zfp = ZfpLikeCompressor::new();
+    let codecs: [(&str, &dyn Codec); 2] = [("sz", &sz), ("zfp", &zfp)];
+
+    let mut legs = Vec::new();
+    let mut all_frames: Vec<Vec<u8>> = Vec::new();
+    for (kind, kind_name) in kinds {
+        let ds = generate(kind, &spec, 29);
+        for (codec_name, codec) in codecs {
+            let mut off_bytes = 0usize;
+            let mut on_bytes = 0usize;
+            let mut staged_frames = 0usize;
+            let mut total_frames = 0usize;
+            let mut roundtrip_ok = true;
+            for variable in &ds.variables {
+                let (container, _) = codec.compress_variable(variable, block_frames, target);
+                let off = container.encode_v2();
+                let on = container.encode();
+                off_bytes += off.len();
+                on_bytes += on.len();
+                total_frames += container.blocks().len();
+                staged_frames += container.staged_frames();
+                // Bit-identical round trip: the staged stream must decode to
+                // exactly the unstaged frames (and the v2 stream to the
+                // same).
+                let decoded = Container::decode(&on).expect("staged container decodes");
+                roundtrip_ok &= decoded == container;
+                roundtrip_ok &= Container::decode(&off).expect("v2 decodes") == container;
+                all_frames.extend(container.blocks().iter().cloned());
+            }
+            legs.push(Leg {
+                dataset: kind_name,
+                codec: codec_name,
+                off_bytes,
+                on_bytes,
+                staged_frames,
+                total_frames,
+                roundtrip_ok,
+            });
+        }
+    }
+
+    let (compress_mb_s, decompress_mb_s) = measure_stage_throughput(&all_frames, window_s);
+
+    let off_total: usize = legs.iter().map(|l| l.off_bytes).sum();
+    let on_total: usize = legs.iter().map(|l| l.on_bytes).sum();
+    let total_reduction = 1.0 - on_total as f64 / off_total.max(1) as f64;
+    let all_roundtrip = legs.iter().all(|l| l.roundtrip_ok);
+
+    let mut csv = String::from(
+        "dataset,codec,stage_off_bytes,stage_on_bytes,reduction,staged_frames,total_frames,roundtrip_ok\n",
+    );
+    for leg in &legs {
+        println!(
+            "{:>6} {:>4}: stage-off {:7} B, stage-on {:7} B  ({:5.1}% smaller, {}/{} frames staged, roundtrip {})",
+            leg.dataset,
+            leg.codec,
+            leg.off_bytes,
+            leg.on_bytes,
+            leg.reduction() * 100.0,
+            leg.staged_frames,
+            leg.total_frames,
+            if leg.roundtrip_ok { "ok" } else { "FAILED" },
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{:.4},{},{},{}\n",
+            leg.dataset,
+            leg.codec,
+            leg.off_bytes,
+            leg.on_bytes,
+            leg.reduction(),
+            leg.staged_frames,
+            leg.total_frames,
+            leg.roundtrip_ok
+        ));
+    }
+    let staged_total: usize = legs.iter().map(|l| l.staged_frames).sum();
+    let frames_total: usize = legs.iter().map(|l| l.total_frames).sum();
+    csv.push_str(&format!(
+        "total,all,{off_total},{on_total},{total_reduction:.4},{staged_total},{frames_total},{all_roundtrip}\n"
+    ));
+    println!(
+        "  total: {off_total} -> {on_total} B ({:.1}% smaller); stage throughput {compress_mb_s:.1} MB/s compress, {decompress_mb_s:.1} MB/s decompress",
+        total_reduction * 100.0
+    );
+    write_result("entropy_stage.csv", &csv);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"quick\": {quick},\n",
+            "  \"stage_off_bytes\": {off},\n",
+            "  \"stage_on_bytes\": {on},\n",
+            "  \"reduction\": {reduction:.4},\n",
+            "  \"required_reduction\": {required:.2},\n",
+            "  \"roundtrip_bit_identical\": {roundtrip},\n",
+            "  \"stage_compress_mb_per_s\": {cmbs:.2},\n",
+            "  \"stage_decompress_mb_per_s\": {dmbs:.2}\n",
+            "}}\n"
+        ),
+        quick = quick,
+        off = off_total,
+        on = on_total,
+        reduction = total_reduction,
+        required = REQUIRED_REDUCTION,
+        roundtrip = all_roundtrip,
+        cmbs = compress_mb_s,
+        dmbs = decompress_mb_s,
+    );
+    write_root_result("BENCH_entropy_stage.json", &json);
+
+    if check {
+        let mut failures = Vec::new();
+        if !all_roundtrip {
+            failures.push("staged containers did not round-trip bit-identically".to_string());
+        }
+        if total_reduction < REQUIRED_REDUCTION {
+            failures.push(format!(
+                "stage-on total only {:.1}% smaller than stage-off (gate: {:.0}%)",
+                total_reduction * 100.0,
+                REQUIRED_REDUCTION * 100.0
+            ));
+        }
+        if !failures.is_empty() {
+            eprintln!("entropy-stage gate failed:\n  {}", failures.join("\n  "));
+            std::process::exit(1);
+        }
+        println!("entropy-stage gate passed");
+    }
+}

@@ -18,7 +18,9 @@
 //! [`Codec::compress_variable_into`] streams the encoded container straight
 //! into any `io::Write` without buffering frames at all.
 
-use crate::container::{write_section, ByteReader, CodecId, Container, ContainerError};
+use crate::container::{
+    write_section, ByteReader, CodecId, Container, ContainerError, ContainerFormat,
+};
 use crate::error_bound::{ErrorBoundConfig, PcaErrorBound};
 use crate::executor::{
     checked_windows, compress_window_outcome, stream_compress_variable, BlockOutcome, StreamConfig,
@@ -29,6 +31,7 @@ use gld_baselines::{
     BaselineError, ErrorBoundedCompressor, SzCompressor, SzScratch, ZfpLikeCompressor, ZfpScratch,
 };
 use gld_datasets::Variable;
+use gld_lz::LzScratch;
 use gld_tensor::Tensor;
 use std::fmt;
 use std::io::Write;
@@ -79,6 +82,10 @@ pub struct CodecScratch {
     pub sz: SzScratch,
     /// ZFP-like per-block buffers.
     pub zfp: ZfpScratch,
+    /// `gld-lz` stage state (hash chains, adaptive models, stream buffer)
+    /// for the container v3 per-frame stage, staged on the same worker
+    /// thread as the codec itself.
+    pub lz: LzScratch,
     frame_hint: usize,
 }
 
@@ -161,15 +168,46 @@ where
     C: Codec + ?Sized,
     W: Write,
 {
+    compress_variable_to_writer_fmt(
+        codec,
+        variable,
+        block_frames,
+        target,
+        config,
+        ContainerFormat::V3,
+        writer,
+    )
+}
+
+/// [`compress_variable_to_writer`] with an explicit container wire format —
+/// the service uses this to answer stage-incapable clients with a v2
+/// (stage-free) stream while staged sessions get v3.  For v3, frames are
+/// staged on the executor's worker threads (through the per-worker
+/// `CodecScratch`); for v2 no staging work is done at all.
+#[allow(clippy::too_many_arguments)]
+pub fn compress_variable_to_writer_fmt<C, W>(
+    codec: &C,
+    variable: &Variable,
+    block_frames: usize,
+    target: Option<ErrorTarget>,
+    config: StreamConfig,
+    format: ContainerFormat,
+    writer: W,
+) -> Result<(W, VariableStats, StreamMetrics), StreamWriteError>
+where
+    C: Codec + ?Sized,
+    W: Write,
+{
     // Validate before the header leaves this process: a zero-window
     // variable must panic (as the other compress paths do) without first
     // writing a partial container to the caller's file/socket.
     let (_, count) = checked_windows(variable, block_frames);
-    let mut sink = crate::container::ContainerWriter::new(writer, codec.id(), count as u32)
-        .map_err(|error| StreamWriteError {
-            error,
-            frames_emitted: 0,
-        })?;
+    let mut sink =
+        crate::container::ContainerWriter::with_format(writer, codec.id(), count as u32, format)
+            .map_err(|error| StreamWriteError {
+                error,
+                frames_emitted: 0,
+            })?;
     let mut acc = StatsAccumulator::new();
     let mut io_error: Option<std::io::Error> = None;
     let metrics = stream_compress_variable(
@@ -178,9 +216,10 @@ where
         block_frames,
         target,
         config,
+        format == ContainerFormat::V3,
         |_, outcome| {
             acc.add(&outcome);
-            match sink.write_frame(&outcome.frame) {
+            match sink.write_staged_frame(&outcome.frame, outcome.lz.as_deref()) {
                 Ok(()) => true,
                 Err(e) => {
                     // Cancel the stream: compressing the remaining windows
@@ -407,9 +446,10 @@ pub trait Codec: Sync {
             block_frames,
             target,
             config,
+            true,
             |_, outcome| {
                 acc.add(&outcome);
-                container.push(outcome.frame);
+                container.push_staged(outcome.frame, outcome.lz);
                 true
             },
         );
@@ -455,10 +495,16 @@ pub trait Codec: Sync {
         let mut acc = StatsAccumulator::new();
         let mut scratch = CodecScratch::new();
         for (index, window) in windows.enumerate() {
-            let outcome =
-                compress_window_outcome(self, &window.data, target, index as u64, &mut scratch);
+            let outcome = compress_window_outcome(
+                self,
+                &window.data,
+                target,
+                index as u64,
+                &mut scratch,
+                true,
+            );
             acc.add(&outcome);
-            container.push(outcome.frame);
+            container.push_staged(outcome.frame, outcome.lz);
         }
         let compressed_bytes = container.encoded_len();
         (container, acc.finish(compressed_bytes))
@@ -493,6 +539,10 @@ pub trait Codec: Sync {
                 "container codec id does not match this codec",
             ));
         }
+        // Cross-build guard: a v1 learned-codec stream predates the range
+        // coder, so running today's entropy decoder over its payloads would
+        // produce garbage — refuse by name instead.
+        container.check_entropy_compat()?;
         Ok(container
             .blocks()
             .iter()

@@ -11,23 +11,56 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"GLDC"
-//! 4       2     format version (currently 2; v1 streams still decode)
+//! 4       2     format version (currently 3; v1/v2 streams still decode)
 //! 6       1     codec id (see [`CodecId`])
-//! 7       1     flags (reserved, must be 0)
+//! 7       1     flags (v1/v2: must be 0; v3: see below, unknown bits ignored)
 //! 8       4     block count K
 //! 12      ...   K frames, each:
-//!                 v2:  u64 payload length + payload bytes + u32 CRC-32
-//!                 v1:  u64 payload length + payload bytes
+//!                 v3:  u8 stage + u64 payload length + payload
+//!                      + u32 CRC-32 over (stage byte ‖ payload)
+//!                 v2:  u64 payload length + payload + u32 CRC-32
+//!                 v1:  u64 payload length + payload
 //! ```
+//!
+//! ## v3: the per-frame lossless stage
+//!
+//! Version 3 runs every frame through the general-purpose `gld-lz` stage
+//! (hash-chain LZ77, sequences range-coded with adaptive models) and keeps
+//! whichever is smaller, recording the choice in the frame's *stage* byte:
+//!
+//! | stage | meaning |
+//! |---|---|
+//! | 0 (`None`) | payload is the codec frame verbatim |
+//! | 1 (`Lz`)   | payload is a `gld-lz` stream; decompress to get the frame |
+//!
+//! The stage squeezes the per-frame fixed costs the codecs cannot remove
+//! themselves — serialised model tables, headers, escape literals — and the
+//! stored-block economics of `gld-lz` guarantee a frame never grows by more
+//! than the one stage byte.  The frame CRC covers the stage byte *and* the
+//! payload, so a corrupted stage marker is caught before the stage decoder
+//! runs.
+//!
+//! The v3 flags byte declares the entropy-coder generation of the frame
+//! payloads: [`FLAG_RANGE_CODED`] is always set by this build's writers, and
+//! a v3 stream *without* it is refused as
+//! [`ContainerError::IncompatibleEntropyCoder`] — the typed cross-build
+//! error for payloads written by a pre-range-coder build.  (Pre-v3 streams
+//! carry no such marker: v2 payloads may come from either side of the
+//! range-coder switch and decode on benefit of the doubt, while v1
+//! learned-codec streams — which can only predate it — are refused with the
+//! same typed error by [`Container::check_entropy_compat`].)  Unknown v3
+//! flag bits are ignored so future markers never hard-break this reader.
 //!
 //! Version 2 appends a CRC-32/IEEE checksum to every frame, so payload
 //! corruption surfaces as a typed [`ContainerError::ChecksumMismatch`]
 //! naming the damaged block instead of a downstream codec panic.  Decoders
-//! accept both versions (version negotiation was wired in v1: unknown
-//! versions are rejected); [`Container::encode`] always writes v2, and
-//! [`Container::encode_v1`] remains for interop with v1-only readers.
+//! accept all three versions; [`Container::encode`] always writes v3, and
+//! [`Container::encode_v2`] / [`Container::encode_v1`] remain for interop
+//! with older readers and the version-compat tests.
 
-use crate::crc32::crc32;
+use crate::crc32::{crc32, Crc32};
+use gld_lz::LzScratch;
+use std::cell::RefCell;
 use std::fmt;
 use std::io::{Read, Write};
 
@@ -35,16 +68,66 @@ use std::io::{Read, Write};
 pub const MAGIC: [u8; 4] = *b"GLDC";
 
 /// Current container format version (written by [`Container::encode`]).
-pub const VERSION: u16 = 2;
+pub const VERSION: u16 = 3;
+
+/// The checksummed but stage-less container version (still decodable;
+/// written for stage-incapable peers by [`Container::encode_v2`]).
+pub const VERSION_V2: u16 = 2;
 
 /// The initial, checksum-less container version (still decodable).
 pub const VERSION_V1: u16 = 1;
 
-/// Bytes of per-frame checksum trailer in a v2 container.
+/// v3 flags bit: frame payloads are entropy-coded with the table-driven
+/// range coder (always set by this build's writers).
+pub const FLAG_RANGE_CODED: u8 = 0b1;
+
+/// Frame stage byte: the payload is the codec frame verbatim.
+pub const STAGE_NONE: u8 = 0;
+
+/// Frame stage byte: the payload is a `gld-lz` stream.
+pub const STAGE_LZ: u8 = 1;
+
+/// Bytes of per-frame checksum trailer in a v2/v3 container.
 pub const FRAME_CRC_LEN: usize = 4;
+
+/// Bytes of per-frame stage marker in a v3 container.
+pub const FRAME_STAGE_LEN: usize = 1;
+
+/// Hard cap on a container's **total** de-staged frame bytes — matches the
+/// wire protocol's body cap.  The budget is shared by every frame of one
+/// decode, so a malicious container of many tiny `Lz` frames each
+/// declaring gigabytes cannot amplify a few wire bytes into unbounded
+/// allocation (each frame's cap is whatever budget the earlier frames left
+/// over).
+pub const MAX_DESTAGE_BUDGET: usize = 1 << 30;
 
 /// Fixed header length in bytes (magic + version + codec + flags + count).
 pub const HEADER_LEN: usize = 12;
+
+thread_local! {
+    /// Stage scratch for the buffered container paths (`push`,
+    /// `from_blocks`, `ContainerWriter::write_frame`); the streaming
+    /// executor carries its own in `CodecScratch`.
+    static STAGE_SCRATCH: RefCell<LzScratch> = RefCell::new(LzScratch::new());
+}
+
+/// Runs the adaptive stage decision for one frame: `Some(stream)` iff the
+/// staged stream is strictly smaller than the frame — the single definition
+/// shared by the buffered paths here and the executor's worker threads
+/// (`CodecScratch`), which is what keeps their containers bit-identical.
+pub fn stage_frame(frame: &[u8], scratch: &mut LzScratch) -> Option<Vec<u8>> {
+    gld_lz::compress_if_smaller(frame, scratch)
+}
+
+fn stage_frame_pooled(frame: &[u8]) -> Option<Vec<u8>> {
+    STAGE_SCRATCH.with(|slot| match slot.try_borrow_mut() {
+        Ok(mut scratch) => stage_frame(frame, &mut scratch),
+        // Re-entrant call on this thread (a codec staging from inside a
+        // staging callback): fall back to a fresh scratch — output is
+        // identical either way.
+        Err(_) => stage_frame(frame, &mut LzScratch::new()),
+    })
+}
 
 /// Identifies which compressor produced the frames in a container.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -80,6 +163,18 @@ impl CodecId {
             other => return Err(ContainerError::UnknownCodec(other)),
         })
     }
+
+    /// Whether this codec's frames embed latent entropy bitstreams from the
+    /// learned pipeline (GLD and the learned baselines).  Containers of
+    /// these codecs at version 1 can only have been written before the
+    /// range-coder switch, which is what
+    /// [`Container::check_entropy_compat`] keys on.
+    pub fn learned(self) -> bool {
+        matches!(
+            self,
+            CodecId::Gld | CodecId::CdcX | CodecId::CdcEps | CodecId::Gcd | CodecId::VaeSr
+        )
+    }
 }
 
 /// Errors produced while decoding a container or a block frame.
@@ -100,14 +195,40 @@ pub enum ContainerError {
     },
     /// Bytes remained after the declared content.
     TrailingBytes(usize),
-    /// A v2 frame's payload does not match its stored CRC-32.
+    /// A v2/v3 frame's content does not match its stored CRC-32.
     ChecksumMismatch {
         /// Index of the damaged block.
         block: usize,
         /// Checksum stored in the stream.
         stored: u32,
-        /// Checksum computed over the payload actually present.
+        /// Checksum computed over the content actually present.
         computed: u32,
+    },
+    /// A v3 frame's stage byte is not a known stage.
+    UnknownStage {
+        /// Index of the offending block.
+        block: usize,
+        /// The unrecognised stage byte.
+        stage: u8,
+    },
+    /// A v3 frame's `Lz` stage payload failed to de-stage.
+    StageDecode {
+        /// Index of the offending block.
+        block: usize,
+        /// The stage decoder's typed failure.
+        error: gld_lz::LzError,
+    },
+    /// The stream's entropy payloads were written by a build whose coder
+    /// this build cannot replay: a v3 stream without [`FLAG_RANGE_CODED`],
+    /// or a v1 learned-codec stream (which can only predate the range
+    /// coder).  v2 streams carry no coder marker and decode on benefit of
+    /// the doubt — re-encode them with a current writer to get the explicit
+    /// v3 marker.
+    IncompatibleEntropyCoder {
+        /// The stream's container version.
+        version: u16,
+        /// The codec whose payloads are unreadable.
+        codec: CodecId,
     },
     /// A block frame violated its own invariants.
     Corrupt(&'static str),
@@ -142,7 +263,21 @@ impl fmt::Display for ContainerError {
             } => {
                 write!(
                     f,
-                    "block {block} payload corrupt: stored CRC-32 {stored:#010x}, computed {computed:#010x}"
+                    "block {block} content corrupt: stored CRC-32 {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            ContainerError::UnknownStage { block, stage } => {
+                write!(f, "block {block} carries unknown stage byte {stage}")
+            }
+            ContainerError::StageDecode { block, error } => {
+                write!(f, "block {block} stage payload failed to decode: {error}")
+            }
+            ContainerError::IncompatibleEntropyCoder { version, codec } => {
+                write!(
+                    f,
+                    "container (version {version}, {codec:?}) carries entropy payloads from a \
+                     pre-range-coder build; this build decodes range-coded payloads only — \
+                     re-encode the variable with a current writer"
                 )
             }
             ContainerError::Corrupt(what) => write!(f, "corrupt block frame: {what}"),
@@ -238,17 +373,102 @@ fn encode_header(out: &mut Vec<u8>, version: u16, codec: CodecId, count: u32) {
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&version.to_le_bytes());
     out.push(codec as u8);
-    out.push(0); // flags
+    out.push(if version >= VERSION {
+        FLAG_RANGE_CODED
+    } else {
+        0
+    });
     out.extend_from_slice(&count.to_le_bytes());
+}
+
+/// Appends one v3 frame: stage byte, length-prefixed payload, CRC over the
+/// stage byte and payload.
+fn encode_v3_frame(out: &mut Vec<u8>, raw: &[u8], lz: Option<&[u8]>) {
+    let (stage, payload) = match lz {
+        Some(staged) => (STAGE_LZ, staged),
+        None => (STAGE_NONE, raw),
+    };
+    out.push(stage);
+    write_section(out, payload);
+    let mut crc = Crc32::new();
+    crc.update(&[stage]);
+    crc.update(payload);
+    out.extend_from_slice(&crc.finish().to_le_bytes());
+}
+
+/// Encoded length of one v3 frame given the stage decision.
+fn v3_frame_len(raw_len: usize, lz_len: Option<usize>) -> usize {
+    FRAME_STAGE_LEN + 8 + lz_len.unwrap_or(raw_len) + FRAME_CRC_LEN
 }
 
 /// A decoded (or under-construction) container: codec identity plus the
 /// per-block frames, in temporal order.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Per-frame stage-decision cache.  Staging is a pure function of the
+/// frame bytes, so `Unknown` entries can always be resolved on demand —
+/// the point of the cache is that hot paths (the executor's workers, v3
+/// decode) already hold the answer, while pure-read paths (decoding a
+/// legacy stream that will never be re-encoded) never pay compressor-grade
+/// CPU for it.
+#[derive(Clone, Debug)]
+enum StageCache {
+    /// Not yet computed (legacy-stream decode); resolved lazily by the v3
+    /// encode paths.
+    Unknown,
+    /// The staged stream beat the raw frame.
+    Lz(Vec<u8>),
+    /// The raw frame is at least as small as its staged stream.
+    Raw,
+}
+
+impl StageCache {
+    /// Staged-payload length of the v3 encode decision for `frame`
+    /// (`None` = the raw frame wins), without cloning a cached stream;
+    /// `Unknown` is resolved on the fly (deterministic, so every
+    /// resolution yields the same answer).
+    fn staged_len(&self, frame: &[u8]) -> Option<usize> {
+        match self {
+            StageCache::Unknown => stage_frame_pooled(frame).map(|s| s.len()),
+            StageCache::Lz(stream) => Some(stream.len()),
+            StageCache::Raw => None,
+        }
+    }
+
+    fn from_decision(lz: Option<Vec<u8>>) -> Self {
+        match lz {
+            Some(stream) => StageCache::Lz(stream),
+            None => StageCache::Raw,
+        }
+    }
+}
+
+/// Frames are held **unstaged** — `blocks()` always returns the codec's own
+/// bytes, whatever version the stream came from — with the adaptive `gld-lz`
+/// stage decision cached alongside each frame so `encoded_len` stays exact
+/// and `encode` never compresses a frame twice.  Logical identity is the
+/// codec plus the raw frames; the cached stage payloads are derived state
+/// and excluded from equality.
+#[derive(Clone, Debug)]
 pub struct Container {
     codec: CodecId,
     blocks: Vec<Vec<u8>>,
+    /// Per-frame stage cache (see [`StageCache`]).
+    staged: Vec<StageCache>,
+    /// The container version this instance was decoded from ([`VERSION`]
+    /// for locally built containers) — what the cross-build
+    /// [`Container::check_entropy_compat`] check keys on.  Derived state,
+    /// excluded from equality; re-encoding always writes the current
+    /// version.
+    wire_version: u16,
 }
+
+impl PartialEq for Container {
+    fn eq(&self, other: &Self) -> bool {
+        self.codec == other.codec && self.blocks == other.blocks
+    }
+}
+
+impl Eq for Container {}
 
 impl Container {
     /// An empty container for `codec`.
@@ -256,12 +476,23 @@ impl Container {
         Container {
             codec,
             blocks: Vec::new(),
+            staged: Vec::new(),
+            wire_version: VERSION,
         }
     }
 
-    /// Wraps existing frames.
+    /// Wraps existing frames (the stage decision is computed per frame).
     pub fn from_blocks(codec: CodecId, blocks: Vec<Vec<u8>>) -> Self {
-        Container { codec, blocks }
+        let staged = blocks
+            .iter()
+            .map(|b| StageCache::from_decision(stage_frame_pooled(b)))
+            .collect();
+        Container {
+            codec,
+            blocks,
+            staged,
+            wire_version: VERSION,
+        }
     }
 
     /// The codec that produced these frames.
@@ -269,7 +500,13 @@ impl Container {
         self.codec
     }
 
-    /// The frames, in temporal order.
+    /// The container version this instance was decoded from, or [`VERSION`]
+    /// for locally built containers.
+    pub fn wire_version(&self) -> u16 {
+        self.wire_version
+    }
+
+    /// The frames, in temporal order (always unstaged codec bytes).
     pub fn blocks(&self) -> &[Vec<u8>] {
         &self.blocks
     }
@@ -279,32 +516,93 @@ impl Container {
         self.blocks
     }
 
-    /// Appends one block frame.
+    /// Appends one block frame, computing its stage decision.
     pub fn push(&mut self, frame: Vec<u8>) {
-        self.blocks.push(frame);
+        let staged = stage_frame_pooled(&frame);
+        self.push_staged(frame, staged);
     }
 
-    /// Exact size of [`Container::encode`]'s output (the current, v2
+    /// Appends one block frame with a stage decision already computed (the
+    /// streaming executor stages on its worker threads; `lz` must be
+    /// exactly [`stage_frame`]'s output for `frame`).
+    pub fn push_staged(&mut self, frame: Vec<u8>, lz: Option<Vec<u8>>) {
+        debug_assert!(
+            lz.as_ref().is_none_or(|s| s.len() < frame.len()),
+            "staged payload must be strictly smaller than the frame"
+        );
+        self.blocks.push(frame);
+        self.staged.push(StageCache::from_decision(lz));
+    }
+
+    /// Number of frames whose v3 encoding takes the `Lz` stage (the staged
+    /// stream beat the raw frame), resolving lazily for frames whose
+    /// decision is not yet cached.
+    pub fn staged_frames(&self) -> usize {
+        self.blocks
+            .iter()
+            .zip(&self.staged)
+            .filter(|(b, s)| s.staged_len(b).is_some())
+            .count()
+    }
+
+    /// Exact size of [`Container::encode`]'s output (the current, v3
     /// format), without encoding.
     pub fn encoded_len(&self) -> usize {
         HEADER_LEN
             + self
                 .blocks
                 .iter()
-                .map(|b| 8 + b.len() + FRAME_CRC_LEN)
+                .zip(&self.staged)
+                .map(|(b, s)| v3_frame_len(b.len(), s.staged_len(b)))
                 .sum::<usize>()
     }
 
-    /// Serialises the container to bytes in the current (v2, per-frame
-    /// CRC-32) format.
+    /// Serialises the container to bytes in the current (v3, per-frame
+    /// stage + CRC-32) format.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.encoded_len());
+        // Capacity from the stage-less upper bound (staged payloads only
+        // shrink frames): an exact `encoded_len` here would resolve every
+        // `Unknown` frame a second time just to pre-size the buffer.
+        let upper = HEADER_LEN
+            + self
+                .blocks
+                .iter()
+                .map(|b| v3_frame_len(b.len(), None))
+                .sum::<usize>();
+        let mut out = Vec::with_capacity(upper);
         encode_header(&mut out, VERSION, self.codec, self.blocks.len() as u32);
+        for (block, s) in self.blocks.iter().zip(&self.staged) {
+            // Borrow cached streams; compress at most once for `Unknown`.
+            match s {
+                StageCache::Raw => encode_v3_frame(&mut out, block, None),
+                StageCache::Lz(stream) => encode_v3_frame(&mut out, block, Some(stream)),
+                StageCache::Unknown => {
+                    let lz = stage_frame_pooled(block);
+                    encode_v3_frame(&mut out, block, lz.as_deref());
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), self.encoded_len());
+        out
+    }
+
+    /// Serialises the container in the v2 (stage-less, per-frame CRC-32)
+    /// format — what stage-incapable peers negotiate and what the
+    /// version-compat tests pin.
+    pub fn encode_v2(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            HEADER_LEN
+                + self
+                    .blocks
+                    .iter()
+                    .map(|b| 8 + b.len() + FRAME_CRC_LEN)
+                    .sum::<usize>(),
+        );
+        encode_header(&mut out, VERSION_V2, self.codec, self.blocks.len() as u32);
         for block in &self.blocks {
             write_section(&mut out, block);
             out.extend_from_slice(&crc32(block).to_le_bytes());
         }
-        debug_assert_eq!(out.len(), self.encoded_len());
         out
     }
 
@@ -325,31 +623,54 @@ impl Container {
         writer.write_all(&self.encode())
     }
 
-    /// Parses a container, validating magic, version, codec id and (for v2
-    /// streams) every frame's CRC-32, and rejecting truncated or over-long
-    /// input.  Both v1 and v2 streams decode.
+    /// Parses a container, validating magic, version, codec id, per-frame
+    /// CRC-32 (v2/v3), stage markers (v3) and the coder-generation flag
+    /// (v3), and rejecting truncated or over-long input.  All of v1, v2 and
+    /// v3 streams decode; frames come back unstaged.
     pub fn decode(bytes: &[u8]) -> Result<Self, ContainerError> {
+        Self::decode_with_budget(bytes, MAX_DESTAGE_BUDGET)
+    }
+
+    /// [`Container::decode`] with an explicit de-stage budget (exposed so
+    /// the budget exhaustion path is testable without gigabyte fixtures).
+    fn decode_with_budget(bytes: &[u8], budget: usize) -> Result<Self, ContainerError> {
         let mut reader = ByteReader::new(bytes);
         let magic: [u8; 4] = reader.take(4)?.try_into().unwrap();
         if magic != MAGIC {
             return Err(ContainerError::BadMagic(magic));
         }
         let version = reader.read_u16()?;
-        if version != VERSION_V1 && version != VERSION {
+        if !(VERSION_V1..=VERSION).contains(&version) {
             return Err(ContainerError::UnsupportedVersion(version));
         }
         let codec = CodecId::from_u8(reader.read_u8()?)?;
         let flags = reader.read_u8()?;
-        if flags != 0 {
-            return Err(ContainerError::Corrupt("nonzero reserved flags"));
+        if version < VERSION {
+            if flags != 0 {
+                return Err(ContainerError::Corrupt("nonzero reserved flags"));
+            }
+        } else if flags & FLAG_RANGE_CODED == 0 {
+            // A v3 stream explicitly declaring pre-range-coder payloads (or
+            // a corrupted flags byte): refuse with the cross-build error
+            // instead of decoding garbage.  Unknown high bits are ignored.
+            return Err(ContainerError::IncompatibleEntropyCoder { version, codec });
         }
         let count = reader.read_u32()? as usize;
         let mut blocks = Vec::with_capacity(count.min(1 << 20));
+        let mut staged = Vec::with_capacity(count.min(1 << 20));
+        // One de-stage budget for the whole container: a frame may only
+        // spend what earlier frames left over, so total decode memory is
+        // bounded no matter how many tiny bomb frames a stream declares.
+        let mut destage_budget = budget;
         for index in 0..count {
-            let payload = reader.read_section()?;
             if version >= VERSION {
+                let stage = reader.read_u8()?;
+                let payload = reader.read_section()?;
                 let stored = reader.read_u32()?;
-                let computed = crc32(payload);
+                let mut crc = Crc32::new();
+                crc.update(&[stage]);
+                crc.update(payload);
+                let computed = crc.finish();
                 if stored != computed {
                     return Err(ContainerError::ChecksumMismatch {
                         block: index,
@@ -357,11 +678,75 @@ impl Container {
                         computed,
                     });
                 }
+                match stage {
+                    STAGE_NONE => {
+                        blocks.push(payload.to_vec());
+                        staged.push(StageCache::Raw);
+                    }
+                    STAGE_LZ => {
+                        let raw = gld_lz::decompress(payload, destage_budget).map_err(|error| {
+                            ContainerError::StageDecode {
+                                block: index,
+                                error,
+                            }
+                        })?;
+                        destage_budget -= raw.len();
+                        blocks.push(raw);
+                        staged.push(StageCache::Lz(payload.to_vec()));
+                    }
+                    other => {
+                        return Err(ContainerError::UnknownStage {
+                            block: index,
+                            stage: other,
+                        })
+                    }
+                }
+            } else {
+                let payload = reader.read_section()?;
+                if version >= VERSION_V2 {
+                    let stored = reader.read_u32()?;
+                    let computed = crc32(payload);
+                    if stored != computed {
+                        return Err(ContainerError::ChecksumMismatch {
+                            block: index,
+                            stored,
+                            computed,
+                        });
+                    }
+                }
+                blocks.push(payload.to_vec());
+                // The stage decision is left unresolved: pure-read callers
+                // (the service's decompress path for legacy uploads) never
+                // pay compressor CPU for it, while a later re-encode
+                // resolves it lazily to exactly what a current writer would
+                // produce.
+                staged.push(StageCache::Unknown);
             }
-            blocks.push(payload.to_vec());
         }
         reader.expect_end()?;
-        Ok(Container { codec, blocks })
+        Ok(Container {
+            codec,
+            blocks,
+            staged,
+            wire_version: version,
+        })
+    }
+
+    /// The typed cross-build compatibility check: refuses streams whose
+    /// entropy payloads this build's coder cannot replay — v1 learned-codec
+    /// streams can only have been written by the pre-range-coder arithmetic
+    /// build, so running today's decoder over them would yield garbage
+    /// latents or a panic deep inside the codec.  `decompress_container`
+    /// (and the service's decompress path under it) runs this before
+    /// touching any payload.
+    pub fn check_entropy_compat(&self) -> Result<(), ContainerError> {
+        if self.wire_version == VERSION_V1 && self.codec.learned() {
+            return Err(ContainerError::IncompatibleEntropyCoder {
+                version: self.wire_version,
+                codec: self.codec,
+            });
+        }
+        Ok(())
     }
 
     /// Reads and parses a container from `reader` (e.g. a file or socket).
@@ -372,47 +757,112 @@ impl Container {
     }
 }
 
-/// Incremental v2 container encoder: writes the header up front and each
-/// frame as it arrives, so a multi-block variable can stream to a file or
-/// socket while later blocks are still being compressed — frames never
-/// accumulate in memory.  This is the sink the streaming block executor
-/// emits into (`Codec::compress_variable_into`).
+/// Which wire format a [`ContainerWriter`] emits — v3 with the per-frame
+/// lossless stage, or the stage-less v2 that pre-stage peers negotiate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ContainerFormat {
+    /// Current format: per-frame adaptive `gld-lz` stage + CRC-32.
+    #[default]
+    V3,
+    /// Legacy checksummed format, frames stored unstaged.
+    V2,
+}
+
+impl ContainerFormat {
+    /// The container version this format writes.
+    pub fn version(self) -> u16 {
+        match self {
+            ContainerFormat::V3 => VERSION,
+            ContainerFormat::V2 => VERSION_V2,
+        }
+    }
+}
+
+/// Incremental container encoder: writes the header up front and each frame
+/// as it arrives, so a multi-block variable can stream to a file or socket
+/// while later blocks are still being compressed — frames never accumulate
+/// in memory.  This is the sink the streaming block executor emits into
+/// (`Codec::compress_variable_into`); the executor stages frames on its
+/// worker threads and hands them to [`ContainerWriter::write_staged_frame`],
+/// while [`ContainerWriter::write_frame`] stages inline for callers without
+/// a scratch.
 pub struct ContainerWriter<W: Write> {
     writer: W,
+    format: ContainerFormat,
     declared: u32,
     written: u32,
     bytes: usize,
+    frame_buf: Vec<u8>,
 }
 
 impl<W: Write> ContainerWriter<W> {
-    /// Writes the container header for `count` upcoming frames.
-    pub fn new(mut writer: W, codec: CodecId, count: u32) -> std::io::Result<Self> {
+    /// Writes the v3 container header for `count` upcoming frames.
+    pub fn new(writer: W, codec: CodecId, count: u32) -> std::io::Result<Self> {
+        Self::with_format(writer, codec, count, ContainerFormat::V3)
+    }
+
+    /// Writes the header of the chosen `format` for `count` upcoming frames.
+    pub fn with_format(
+        mut writer: W,
+        codec: CodecId,
+        count: u32,
+        format: ContainerFormat,
+    ) -> std::io::Result<Self> {
         let mut header = Vec::with_capacity(HEADER_LEN);
-        encode_header(&mut header, VERSION, codec, count);
+        encode_header(&mut header, format.version(), codec, count);
         writer.write_all(&header)?;
         Ok(ContainerWriter {
             writer,
+            format,
             declared: count,
             written: 0,
             bytes: header.len(),
+            frame_buf: Vec::new(),
         })
     }
 
-    /// Appends one frame (length prefix + payload + CRC-32).  Frames must
-    /// arrive in temporal order; the caller may not exceed the declared
-    /// count.
+    /// The wire format this writer emits.
+    pub fn format(&self) -> ContainerFormat {
+        self.format
+    }
+
+    /// Appends one frame, staging it inline when the format calls for it.
+    /// Frames must arrive in temporal order; the caller may not exceed the
+    /// declared count.
     pub fn write_frame(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        match self.format {
+            ContainerFormat::V3 => {
+                let staged = stage_frame_pooled(payload);
+                self.write_staged_frame(payload, staged.as_deref())
+            }
+            ContainerFormat::V2 => self.write_staged_frame(payload, None),
+        }
+    }
+
+    /// Appends one frame whose stage decision was already computed (`lz`
+    /// must be exactly [`stage_frame`]'s output for `raw`; it is ignored by
+    /// a v2 writer).
+    pub fn write_staged_frame(&mut self, raw: &[u8], lz: Option<&[u8]>) -> std::io::Result<()> {
         assert!(
             self.written < self.declared,
             "container declared {} frames, attempted to write more",
             self.declared
         );
-        self.writer
-            .write_all(&(payload.len() as u64).to_le_bytes())?;
-        self.writer.write_all(payload)?;
-        self.writer.write_all(&crc32(payload).to_le_bytes())?;
+        let mut buf = std::mem::take(&mut self.frame_buf);
+        buf.clear();
+        match self.format {
+            ContainerFormat::V3 => encode_v3_frame(&mut buf, raw, lz),
+            ContainerFormat::V2 => {
+                write_section(&mut buf, raw);
+                buf.extend_from_slice(&crc32(raw).to_le_bytes());
+            }
+        }
+        let result = self.writer.write_all(&buf);
+        let len = buf.len();
+        self.frame_buf = buf;
+        result?;
         self.written += 1;
-        self.bytes += 8 + payload.len() + FRAME_CRC_LEN;
+        self.bytes += len;
         Ok(())
     }
 
@@ -456,8 +906,44 @@ mod tests {
         let c = sample();
         let bytes = c.encode();
         assert_eq!(bytes.len(), c.encoded_len());
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), VERSION);
         let back = Container::decode(&bytes).unwrap();
         assert_eq!(back, c);
+        // Re-encoding a decoded container reproduces the stream bit for bit
+        // (the stage decisions ride along).
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn compressible_frames_take_the_lz_stage() {
+        // A frame of 300 repeated bytes must stage (and shrink), and the
+        // declared length must match the stream.
+        let c = sample();
+        let staged_len = c.encode().len();
+        let unstaged_len = c.encode_v2().len();
+        assert!(
+            staged_len < unstaged_len,
+            "stage saved nothing: v3 {staged_len} vs v2 {unstaged_len}"
+        );
+        assert_eq!(Container::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn incompressible_frames_cost_one_stage_byte() {
+        // Pseudo-random frames cannot stage; v3 must cost exactly the v2
+        // length plus one stage byte per frame.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let noise: Vec<u8> = (0..600)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect();
+        let c = Container::from_blocks(CodecId::SzLike, vec![noise]);
+        assert_eq!(c.encode().len(), c.encode_v2().len() + FRAME_STAGE_LEN);
+        assert_eq!(Container::decode(&c.encode()).unwrap(), c);
     }
 
     #[test]
@@ -485,6 +971,75 @@ mod tests {
     }
 
     #[test]
+    fn v3_flags_declare_the_coder_generation() {
+        // Clearing the range-coder bit turns the stream into a declared
+        // pre-range-coder container: typed refusal, not garbage.
+        let mut bytes = sample().encode();
+        assert_eq!(bytes[7] & FLAG_RANGE_CODED, FLAG_RANGE_CODED);
+        bytes[7] &= !FLAG_RANGE_CODED;
+        assert!(matches!(
+            Container::decode(&bytes),
+            Err(ContainerError::IncompatibleEntropyCoder {
+                version: VERSION,
+                codec: CodecId::Gld,
+            })
+        ));
+
+        // Unknown high flag bits are ignored — future markers must not
+        // hard-break this reader.
+        let mut bytes = sample().encode();
+        bytes[7] |= 0b1010_0000;
+        assert_eq!(Container::decode(&bytes).unwrap(), sample());
+    }
+
+    #[test]
+    fn v1_learned_streams_fail_the_entropy_compat_check() {
+        // A v1 learned-codec stream can only have been written by the
+        // pre-range-coder build: the compat check refuses it by name.
+        let learned = sample();
+        let decoded = Container::decode(&learned.encode_v1()).unwrap();
+        assert_eq!(decoded.wire_version(), VERSION_V1);
+        assert_eq!(
+            decoded.check_entropy_compat(),
+            Err(ContainerError::IncompatibleEntropyCoder {
+                version: VERSION_V1,
+                codec: CodecId::Gld,
+            })
+        );
+
+        // Rule-based v1 streams (whose frame layout the compat suite pins)
+        // pass, as do current-version streams of any codec.
+        let rule = Container::from_blocks(CodecId::SzLike, vec![vec![9, 9, 9]]);
+        let decoded = Container::decode(&rule.encode_v1()).unwrap();
+        assert_eq!(decoded.check_entropy_compat(), Ok(()));
+        let decoded = Container::decode(&learned.encode()).unwrap();
+        assert_eq!(decoded.wire_version(), VERSION);
+        assert_eq!(decoded.check_entropy_compat(), Ok(()));
+    }
+
+    #[test]
+    fn destage_budget_is_shared_across_frames() {
+        // Two highly compressible 4 KiB frames.  With a budget that covers
+        // only the first, the second must fail typed — the aggregate bound
+        // that stops a few wire bytes from amplifying into unbounded
+        // allocation (the real budget is MAX_DESTAGE_BUDGET).
+        let frame = vec![7u8; 4096];
+        let c = Container::from_blocks(CodecId::SzLike, vec![frame.clone(), frame.clone()]);
+        let bytes = c.encode();
+        assert_eq!(c.staged_frames(), 2, "both frames must stage");
+        assert_eq!(Container::decode_with_budget(&bytes, 8192).unwrap(), c);
+        match Container::decode_with_budget(&bytes, 6000) {
+            Err(ContainerError::StageDecode { block: 1, error }) => {
+                assert!(
+                    matches!(error, gld_lz::LzError::TooLarge { max: 1904, .. }),
+                    "second frame's cap must be the leftover budget: {error:?}"
+                );
+            }
+            other => panic!("expected StageDecode at block 1, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_truncation_and_trailing_garbage() {
         let bytes = sample().encode();
         for cut in [3, HEADER_LEN - 1, HEADER_LEN + 4, bytes.len() - 1] {
@@ -505,9 +1060,10 @@ mod tests {
 
         // A corrupt u64 section length near usize::MAX must surface as a
         // Truncated error, not an arithmetic-overflow panic (the `needed`
-        // field saturates).
+        // field saturates).  The length prefix sits after the stage byte.
         let mut huge_len = bytes.clone();
-        huge_len[HEADER_LEN..HEADER_LEN + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        huge_len[HEADER_LEN + FRAME_STAGE_LEN..HEADER_LEN + FRAME_STAGE_LEN + 8]
+            .copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(matches!(
             Container::decode(&huge_len),
             Err(ContainerError::Truncated { .. })
@@ -525,13 +1081,28 @@ mod tests {
     }
 
     #[test]
-    fn v1_streams_still_decode() {
+    fn v1_and_v2_streams_still_decode() {
         let c = sample();
         let v1 = c.encode_v1();
         assert_eq!(u16::from_le_bytes([v1[4], v1[5]]), VERSION_V1);
-        assert_eq!(v1.len(), c.encoded_len() - c.blocks().len() * FRAME_CRC_LEN);
         let back = Container::decode(&v1).unwrap();
         assert_eq!(back, c, "v1 decode must reproduce the same frames");
+
+        let v2 = c.encode_v2();
+        assert_eq!(u16::from_le_bytes([v2[4], v2[5]]), VERSION_V2);
+        assert_eq!(
+            v2.len(),
+            HEADER_LEN
+                + c.blocks()
+                    .iter()
+                    .map(|b| 8 + b.len() + FRAME_CRC_LEN)
+                    .sum::<usize>()
+        );
+        let back = Container::decode(&v2).unwrap();
+        assert_eq!(back, c, "v2 decode must reproduce the same frames");
+        // A legacy stream re-encodes to exactly what a current writer
+        // produces for the same frames.
+        assert_eq!(back.encode(), c.encode());
     }
 
     #[test]
@@ -539,8 +1110,8 @@ mod tests {
         let c = sample();
         let mut bytes = c.encode();
         // Flip one bit inside the first frame's payload (first payload byte
-        // sits right after the header and the u64 length prefix).
-        bytes[HEADER_LEN + 8] ^= 0x40;
+        // sits after the header, the stage byte and the u64 length prefix).
+        bytes[HEADER_LEN + FRAME_STAGE_LEN + 8] ^= 0x40;
         match Container::decode(&bytes) {
             Err(ContainerError::ChecksumMismatch {
                 block,
@@ -552,8 +1123,16 @@ mod tests {
             }
             other => panic!("expected ChecksumMismatch, got {other:?}"),
         }
+        // A corrupted *stage byte* is caught by the same CRC — a frame can
+        // never be de-staged the wrong way undetected.
+        let mut bytes = c.encode();
+        bytes[HEADER_LEN] ^= 0x01;
+        assert!(matches!(
+            Container::decode(&bytes),
+            Err(ContainerError::ChecksumMismatch { block: 0, .. })
+        ));
         // The same corruption in a v1 stream goes undetected — exactly the
-        // gap the version bump closes.
+        // gap the v2 version bump closed.
         let mut v1 = c.encode_v1();
         v1[HEADER_LEN + 8] ^= 0x40;
         assert!(Container::decode(&v1).is_ok());
@@ -562,14 +1141,34 @@ mod tests {
     #[test]
     fn incremental_writer_matches_buffered_encode() {
         let c = sample();
-        let writer = ContainerWriter::new(Vec::new(), c.codec(), c.blocks().len() as u32).unwrap();
-        let mut writer = writer;
+        let mut writer =
+            ContainerWriter::new(Vec::new(), c.codec(), c.blocks().len() as u32).unwrap();
         for frame in c.blocks() {
             writer.write_frame(frame).unwrap();
         }
         assert_eq!(writer.frames_written(), 3);
+        assert_eq!(writer.bytes_written(), c.encoded_len());
         let streamed = writer.finish().unwrap();
         assert_eq!(streamed, c.encode());
+    }
+
+    #[test]
+    fn v2_writer_matches_buffered_v2_encode() {
+        let c = sample();
+        let mut writer = ContainerWriter::with_format(
+            Vec::new(),
+            c.codec(),
+            c.blocks().len() as u32,
+            ContainerFormat::V2,
+        )
+        .unwrap();
+        for frame in c.blocks() {
+            writer.write_frame(frame).unwrap();
+        }
+        let streamed = writer.finish().unwrap();
+        assert_eq!(streamed, c.encode_v2());
+        let back = Container::decode(&streamed).unwrap();
+        assert_eq!(back, c);
     }
 
     #[test]

@@ -34,11 +34,42 @@ static TABLE: [u32; 256] = build_table();
 /// CRC-32/IEEE checksum of `bytes` (init `0xFFFF_FFFF`, final xor, reflected
 /// — identical to zlib's `crc32(0, ...)`).
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = u32::MAX;
-    for &byte in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    let mut state = Crc32::new();
+    state.update(bytes);
+    state.finish()
+}
+
+/// Streaming CRC-32/IEEE over multiple slices — `update` calls over the
+/// pieces yield exactly [`crc32`] of their concatenation (the v3 container
+/// checksums a frame's stage byte and payload without gluing them).
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    crc: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
     }
-    !crc
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { crc: u32::MAX }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.crc = (self.crc >> 8) ^ TABLE[((self.crc ^ byte as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// Final checksum value.
+    pub fn finish(self) -> u32 {
+        !self.crc
+    }
 }
 
 #[cfg(test)]
@@ -54,6 +85,17 @@ mod tests {
             crc32(b"The quick brown fox jumps over the lazy dog"),
             0x414F_A339
         );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(3000).collect();
+        for split in [0, 1, 17, 1500, 2999, 3000] {
+            let mut s = Crc32::new();
+            s.update(&data[..split]);
+            s.update(&data[split..]);
+            assert_eq!(s.finish(), crc32(&data), "split at {split}");
+        }
     }
 
     #[test]

@@ -60,9 +60,10 @@ fn compress_window_outcome_pooled<C: Codec + ?Sized>(
     window: &Tensor,
     target: Option<ErrorTarget>,
     index: u64,
+    stage: bool,
 ) -> BlockOutcome {
     let mut scratch = WORKER_SCRATCH.with(|slot| std::mem::take(&mut *slot.borrow_mut()));
-    let outcome = compress_window_outcome(codec, window, target, index, &mut scratch);
+    let outcome = compress_window_outcome(codec, window, target, index, &mut scratch, stage);
     WORKER_SCRATCH.with(|slot| *slot.borrow_mut() = scratch);
     outcome
 }
@@ -104,8 +105,14 @@ pub struct StreamMetrics {
 /// Everything the collector needs from one compressed window: the container
 /// frame plus the error/range partials the shared accounting aggregates.
 pub struct BlockOutcome {
-    /// The encoded container frame.
+    /// The encoded container frame (unstaged codec bytes).
     pub frame: Vec<u8>,
+    /// The frame's `gld-lz` stage stream when it is strictly smaller than
+    /// the frame (the container v3 per-frame stage decision), computed on
+    /// the worker thread through the scratch's `LzScratch` so the ordered
+    /// collector never serialises stage compression.  `None` when the frame
+    /// did not shrink or the caller asked for a stage-free stream.
+    pub lz: Option<Vec<u8>>,
     /// Sum of squared reconstruction errors over the window.
     pub sq_err: f64,
     /// Number of values in the window.
@@ -125,6 +132,7 @@ pub(crate) fn compress_window_outcome<C: Codec + ?Sized>(
     target: Option<ErrorTarget>,
     index: u64,
     scratch: &mut CodecScratch,
+    stage: bool,
 ) -> BlockOutcome {
     let frame = codec.compress_block_scratch(window, target, index, scratch);
     let recon = codec.decompress_block(&frame);
@@ -133,8 +141,14 @@ pub(crate) fn compress_window_outcome<C: Codec + ?Sized>(
         let d = (*a - *b) as f64;
         sq_err += d * d;
     }
+    let lz = if stage {
+        crate::container::stage_frame(&frame, &mut scratch.lz)
+    } else {
+        None
+    };
     BlockOutcome {
         frame,
+        lz,
         sq_err,
         numel: window.numel(),
         lo: window.min(),
@@ -242,10 +256,16 @@ impl Flow<'_> {
 /// no-op (the collector tops jobs up as tickets free).  A codec panic
 /// poisons the flow before re-throwing so the collector stops cleanly and
 /// the pool's scope re-throws the original payload.
-fn worker_step<C: Codec + ?Sized>(flow: &Flow<'_>, codec: &C, target: Option<ErrorTarget>) {
+fn worker_step<C: Codec + ?Sized>(
+    flow: &Flow<'_>,
+    codec: &C,
+    target: Option<ErrorTarget>,
+    stage: bool,
+) {
     let run = catch_unwind(AssertUnwindSafe(|| {
         if let Some((index, window)) = flow.try_claim() {
-            let outcome = compress_window_outcome_pooled(codec, &window, target, index as u64);
+            let outcome =
+                compress_window_outcome_pooled(codec, &window, target, index as u64, stage);
             drop(window);
             flow.post(index, outcome);
         }
@@ -264,6 +284,11 @@ fn worker_step<C: Codec + ?Sized>(flow: &Flow<'_>, codec: &C, target: Option<Err
 /// claimed or compressed (the sink writer uses this to abort on the first
 /// I/O error instead of compressing the rest of the variable for nothing).
 ///
+/// `stage` asks the workers to also run the container v3 `gld-lz` stage
+/// decision per frame (posted in [`BlockOutcome::lz`]); pass `false` when
+/// the frames are headed for a stage-free v2 stream so no staging work is
+/// wasted.
+///
 /// A panic inside the codec — on a worker job or on the collector's helping
 /// path — propagates out of this call with its original payload.
 pub fn stream_compress_variable<C, F>(
@@ -272,6 +297,7 @@ pub fn stream_compress_variable<C, F>(
     block_frames: usize,
     target: Option<ErrorTarget>,
     config: StreamConfig,
+    stage: bool,
     mut emit: F,
 ) -> StreamMetrics
 where
@@ -316,7 +342,7 @@ where
             let spawn_one = |spawned: &mut usize| {
                 if *spawned < count {
                     *spawned += 1;
-                    scope.spawn(move || worker_step(flow, codec, target));
+                    scope.spawn(move || worker_step(flow, codec, target, stage));
                 }
             };
             for _ in 0..lookahead {
@@ -355,7 +381,7 @@ where
                 // post.
                 if let Some((index, window)) = flow.try_claim() {
                     let outcome =
-                        compress_window_outcome_pooled(codec, &window, target, index as u64);
+                        compress_window_outcome_pooled(codec, &window, target, index as u64, stage);
                     drop(window);
                     flow.post(index, outcome);
                 } else {

@@ -20,7 +20,9 @@
 //!   implements, with shared parallel per-variable accounting;
 //! * [`container`] — the framed binary container (`GLDC` magic, version,
 //!   codec id, length-prefixed block frames) that makes compressed output a
-//!   plain byte stream whose measured size is the reported size.
+//!   plain byte stream whose measured size is the reported size; since v3
+//!   every frame runs through the adaptive per-frame `gld-lz` lossless
+//!   stage, keeping whichever of the staged and raw payloads is smaller.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,10 +38,10 @@ pub mod pipeline;
 pub mod sweep;
 
 pub use codec::{
-    compress_variable_to_writer, Codec, CodecError, CodecScratch, ErrorTarget, StreamWriteError,
-    VariableStats,
+    compress_variable_to_writer, compress_variable_to_writer_fmt, Codec, CodecError, CodecScratch,
+    ErrorTarget, StreamWriteError, VariableStats,
 };
-pub use container::{CodecId, Container, ContainerError, ContainerWriter};
+pub use container::{CodecId, Container, ContainerError, ContainerFormat, ContainerWriter};
 pub use error_bound::{ErrorBoundConfig, ErrorBoundOutcome, PcaErrorBound};
 pub use executor::{StreamConfig, StreamMetrics};
 pub use keyframes::{KeyframeStrategy, KeyframeSummary};

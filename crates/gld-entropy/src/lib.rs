@@ -14,6 +14,10 @@
 //! * [`backend`] — the [`EntropyEncoder`]/[`EntropyDecoder`] traits both
 //!   coders implement, plus [`EntropyBackend`] pairs for parameterising
 //!   whole compression paths.
+//! * [`adaptive`] — header-free **adaptive** binary/bit-tree models whose
+//!   probabilities converge on the data as it streams (encoder and decoder
+//!   replay identical updates); the `gld-lz` general lossless stage codes
+//!   its LZ sequences with these.
 //! * [`gaussian`] — numerically careful normal CDF / inverse utilities.
 //! * [`models`] — the symbol models on top of the coder: the
 //!   **Gaussian conditional** model used for VAE latents `y` (whose per
@@ -29,12 +33,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
 pub mod arith;
 pub mod backend;
 pub mod gaussian;
 pub mod models;
 pub mod range;
 
+pub use adaptive::{AdaptiveBitModel, AdaptiveTreeModel};
 pub use arith::{ArithmeticDecoder, ArithmeticEncoder};
 pub use backend::{
     ArithmeticBackend, EntropyBackend, EntropyDecoder, EntropyEncoder, RangeBackend,

@@ -50,12 +50,20 @@ impl Default for RangeEncoder {
 impl RangeEncoder {
     /// Creates an empty encoder.
     pub fn new() -> Self {
+        Self::with_buffer(Vec::new())
+    }
+
+    /// Creates an empty encoder that writes into `buf` (cleared first).
+    /// Recycling the buffer returned by [`RangeEncoder::finish`] lets a hot
+    /// loop re-encode stream after stream with no steady-state allocation.
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
         RangeEncoder {
             low: 0,
             range: u32::MAX,
             cache: 0,
             cache_size: 1,
-            out: Vec::new(),
+            out: buf,
         }
     }
 
@@ -180,6 +188,14 @@ impl<'a> RangeDecoder<'a> {
         let b = self.bytes.get(self.pos).copied().unwrap_or(0);
         self.pos += 1;
         b
+    }
+
+    /// Bytes of input consumed so far, **including** zero padding read past
+    /// the end of the slice.  Hardened decoders compare this against the
+    /// real input length to detect truncated streams instead of decoding
+    /// padding symbols indefinitely.
+    pub fn consumed(&self) -> usize {
+        self.pos
     }
 
     /// Returns the cumulative-frequency position of the next symbol, to be

@@ -1,0 +1,633 @@
+//! # gld-lz
+//!
+//! A general-purpose transparent lossless codec — the zstd-style entropy
+//! stage layered over the domain-specific compressors' frame payloads
+//! (container v3's per-frame `Lz` stage, the service's negotiated response
+//! stage).
+//!
+//! The design is a deliberately small LZ77 + range-coder pipeline:
+//!
+//! * a **greedy/lazy match finder** over a hash-chain window
+//!   ([`LzScratch`] holds the head/chain tables, reset per stream so output
+//!   never depends on scratch history);
+//! * **sequences** — literal bytes and `(length, offset)` matches — coded
+//!   with the byte-wise range coder from `gld-entropy` under header-free
+//!   *adaptive* models ([`gld_entropy::adaptive`]): a flag bit per
+//!   sequence, an adaptive byte tree for literals, and log-slot +
+//!   raw-bits coding for lengths and offsets;
+//! * a **stored-block fallback**: when the coded stream does not beat the
+//!   input, the stream is one tag byte plus the input verbatim, so
+//!   incompressible payloads cost exactly one byte of framing.
+//!
+//! The stream is self-describing (`tag + declared decompressed length`) and
+//! the decoder is hardened the same way the `GLDS` protocol decoders are:
+//! arbitrary, truncated or bit-flipped input never panics, never allocates
+//! beyond the declared decompressed size (which is itself capped by the
+//! caller), and always surfaces a typed [`LzError`]
+//! (`tests/lz_fuzz.rs` mirrors `protocol_fuzz.rs`).
+//!
+//! ## Stream layout
+//!
+//! ```text
+//! byte 0        tag: 0 = stored, 1 = LZ
+//! stored:       the content, verbatim
+//! LZ:           LEB128 decompressed length, then one range-coded stream:
+//!                 per sequence: flag bit (0 = literal, 1 = match)
+//!                   literal: one byte through the adaptive byte tree
+//!                   match:   length  = MIN_MATCH + slot(len tree)
+//!                            offset  = 1 + slot(offset tree)
+//!                 slot(v): k = floor(log2(v+1)) through a 5-bit tree,
+//!                          then the low k bits of v+1 as bypass bits
+//! ```
+//!
+//! Decoding stops exactly when the declared length has been produced; there
+//! is no end marker (the range coder's tail only disambiguates the final
+//! interval).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use gld_entropy::adaptive::{AdaptiveBitModel, AdaptiveTreeModel};
+use gld_entropy::{RangeDecoder, RangeEncoder};
+use std::fmt;
+
+/// Stream tag byte: the content follows verbatim.
+pub const TAG_STORED: u8 = 0;
+
+/// Stream tag byte: LEB128 length + range-coded LZ sequences follow.
+pub const TAG_LZ: u8 = 1;
+
+/// Shortest match the encoder emits (and the decoder's implied minimum).
+pub const MIN_MATCH: usize = 4;
+
+/// Hard cap on a declared decompressed length (1 GiB) — the same bound the
+/// wire protocol puts on a frame body.  Callers typically pass a lower
+/// limit.
+pub const MAX_RAW_LEN: usize = 1 << 30;
+
+/// Hash-table width of the match finder (entries, not bytes).
+const HASH_BITS: u32 = 15;
+
+/// How many chain links the match finder follows before giving up.
+const MAX_CHAIN: usize = 48;
+
+/// Slot-tree width: slots 0..=31 cover every `u32` length/offset.
+const SLOT_BITS: u32 = 5;
+
+/// "No position" marker in the hash head / chain tables.
+const NIL: u32 = u32::MAX;
+
+/// Typed decode failures.  The decoder never panics: arbitrary input yields
+/// either the decompressed bytes or exactly one of these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LzError {
+    /// The stream is empty.
+    Empty,
+    /// The tag byte is neither stored nor LZ.
+    BadTag(u8),
+    /// The declared decompressed length exceeds the caller's limit.
+    TooLarge {
+        /// Length the stream declared.
+        declared: u64,
+        /// Limit the caller enforced.
+        max: usize,
+    },
+    /// The length prefix is malformed or the coded stream ends before the
+    /// declared content was produced.
+    Truncated,
+    /// A match referenced bytes before the start of the output.
+    BadOffset {
+        /// The offending offset.
+        offset: u64,
+        /// Bytes produced when it was decoded.
+        produced: usize,
+    },
+    /// A match would run past the declared decompressed length.
+    Overrun,
+}
+
+impl fmt::Display for LzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LzError::Empty => write!(f, "empty stage stream"),
+            LzError::BadTag(t) => write!(f, "unknown stage stream tag {t}"),
+            LzError::TooLarge { declared, max } => {
+                write!(
+                    f,
+                    "declared decompressed length {declared} exceeds limit {max}"
+                )
+            }
+            LzError::Truncated => write!(f, "stage stream ended before the declared content"),
+            LzError::BadOffset { offset, produced } => {
+                write!(
+                    f,
+                    "match offset {offset} with only {produced} bytes produced"
+                )
+            }
+            LzError::Overrun => write!(f, "match runs past the declared decompressed length"),
+        }
+    }
+}
+
+impl std::error::Error for LzError {}
+
+/// The adaptive models of one sequence stream, bundled so they reset (and
+/// live in [`LzScratch`]) together.
+#[derive(Debug, Clone)]
+struct SequenceModels {
+    flag: AdaptiveBitModel,
+    literal: AdaptiveTreeModel,
+    len_slot: AdaptiveTreeModel,
+    off_slot: AdaptiveTreeModel,
+}
+
+impl SequenceModels {
+    fn new() -> Self {
+        SequenceModels {
+            flag: AdaptiveBitModel::new(),
+            literal: AdaptiveTreeModel::new(8),
+            len_slot: AdaptiveTreeModel::new(SLOT_BITS),
+            off_slot: AdaptiveTreeModel::new(SLOT_BITS),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.flag.reset();
+        self.literal.reset();
+        self.len_slot.reset();
+        self.off_slot.reset();
+    }
+}
+
+/// Reusable compressor state: the match finder's hash head and chain
+/// tables, the adaptive models and the coded-stream buffer.  One scratch
+/// per worker thread makes steady-state stage compression allocation-free
+/// (`CodecScratch` in `gld-core` carries one); every table is reset at the
+/// start of each stream, so **output never depends on what the scratch was
+/// previously used for**.
+#[derive(Debug)]
+pub struct LzScratch {
+    head: Vec<u32>,
+    chain: Vec<u32>,
+    models: SequenceModels,
+    /// Recycled backing buffer for the range encoder's output.
+    stream_buf: Vec<u8>,
+}
+
+impl Default for LzScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LzScratch {
+    /// Creates an empty scratch (tables are allocated lazily on first use).
+    pub fn new() -> Self {
+        LzScratch {
+            head: Vec::new(),
+            chain: Vec::new(),
+            models: SequenceModels::new(),
+            stream_buf: Vec::new(),
+        }
+    }
+
+    fn prepare(&mut self, input_len: usize) {
+        self.head.clear();
+        self.head.resize(1 << HASH_BITS, NIL);
+        self.chain.clear();
+        self.chain.resize(input_len, NIL);
+        self.models.reset();
+    }
+}
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Slot decomposition of a value: `(k, low)` with `v + 1 = (1 << k) | low`.
+#[inline]
+fn slot_of(v: u32) -> (u32, u32) {
+    let n = v + 1;
+    let k = 31 - n.leading_zeros();
+    (k, n - (1 << k))
+}
+
+#[inline]
+fn encode_slot(enc: &mut RangeEncoder, tree: &mut AdaptiveTreeModel, v: u32) {
+    let (k, low) = slot_of(v);
+    tree.encode(enc, k);
+    if k > 0 {
+        enc.encode_bits_raw(u64::from(low), k);
+    }
+}
+
+#[inline]
+fn decode_slot(dec: &mut RangeDecoder<'_>, tree: &mut AdaptiveTreeModel) -> u64 {
+    let k = tree.decode(dec);
+    let low = if k > 0 { dec.decode_bits_raw(k) } else { 0 };
+    ((1u64 << k) | low) - 1
+}
+
+/// Appends a LEB128-encoded `u64`.
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 `u64`, returning it and the bytes consumed.  A prefix
+/// longer than ten bytes (the widest legal `u64`) is rejected as oversized;
+/// bits shifted past the top of the accumulator on a garbage tenth byte are
+/// harmless because the declared length is range-checked by the caller.
+fn read_varint(bytes: &[u8]) -> Result<(u64, usize), LzError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in bytes.iter().enumerate().take(10) {
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((v, i + 1));
+        }
+        shift += 7;
+    }
+    if bytes.len() >= 10 {
+        return Err(LzError::TooLarge {
+            declared: u64::MAX,
+            max: MAX_RAW_LEN,
+        });
+    }
+    Err(LzError::Truncated)
+}
+
+/// The best match the finder produced for one position.
+#[derive(Clone, Copy)]
+struct Match {
+    len: usize,
+    dist: usize,
+}
+
+/// Longest match for `input[at..]` among the (bounded) hash chain, most
+/// recent candidates first — ties therefore resolve to the closest
+/// occurrence, which codes cheapest.
+#[inline]
+fn find_match(input: &[u8], at: usize, head: &[u32], chain: &[u32]) -> Option<Match> {
+    let remaining = input.len() - at;
+    if remaining < MIN_MATCH {
+        return None;
+    }
+    let first4 = &input[at..at + 4];
+    let mut pos = head[hash4(first4)];
+    let mut best: Option<Match> = None;
+    let mut depth = 0usize;
+    while pos != NIL && depth < MAX_CHAIN {
+        let p = pos as usize;
+        // Quick reject on the first four bytes before the full extension.
+        if input[p..p + 4] == *first4 {
+            let mut len = 4;
+            while len < remaining && input[p + len] == input[at + len] {
+                len += 1;
+            }
+            if best.is_none_or(|b| len > b.len) {
+                best = Some(Match { len, dist: at - p });
+                if len == remaining {
+                    break;
+                }
+            }
+        }
+        pos = chain[p];
+        depth += 1;
+    }
+    best
+}
+
+#[inline]
+fn insert(input: &[u8], at: usize, head: &mut [u32], chain: &mut [u32]) {
+    if at + MIN_MATCH <= input.len() {
+        let h = hash4(&input[at..at + 4]);
+        chain[at] = head[h];
+        head[h] = at as u32;
+    }
+}
+
+/// Compresses `input`, appending one self-describing stage stream to `out`.
+/// Incompressible input falls back to a stored block (one tag byte of
+/// framing).  The output depends only on `input`, never on the scratch's
+/// previous contents.
+///
+/// # Panics
+/// Panics if `input` exceeds [`MAX_RAW_LEN`]: the format cannot declare a
+/// larger stream (the decoder clamps every caller cap to [`MAX_RAW_LEN`]),
+/// so silently encoding one would produce a stream no decoder accepts —
+/// and match offsets/lengths past `u32` would wrap.  Frame payloads in this
+/// stack are bounded well below the cap by the wire protocol's body limit.
+pub fn compress_into(input: &[u8], scratch: &mut LzScratch, out: &mut Vec<u8>) {
+    assert!(
+        input.len() <= MAX_RAW_LEN,
+        "input of {} bytes exceeds the stage format's {MAX_RAW_LEN}-byte cap",
+        input.len()
+    );
+    let start = out.len();
+    out.push(TAG_LZ);
+    write_varint(out, input.len() as u64);
+    let prefix = out.len() - start;
+
+    scratch.prepare(input.len());
+    let models = &mut scratch.models;
+    let mut enc = RangeEncoder::with_buffer(std::mem::take(&mut scratch.stream_buf));
+
+    let head = &mut scratch.head;
+    let chain = &mut scratch.chain;
+    let mut i = 0usize;
+    // The lazy step's lookahead match is carried into the next iteration
+    // instead of being recomputed there — the match finder walks each
+    // position's chain once, not twice.
+    let mut pending: Option<Match> = None;
+    while i < input.len() {
+        let found = pending.take().or_else(|| find_match(input, i, head, chain));
+        match found {
+            Some(m) => {
+                // Position `i` joins the chains either way (a match covers
+                // it; a deferring literal emits it) — inserting before the
+                // lookahead lets `i + 1` see it as a candidate source.
+                insert(input, i, head, chain);
+                // Lazy step: if starting one byte later yields a strictly
+                // longer match, emit a literal now and take that match at
+                // the next iteration.
+                let next = if i + 1 < input.len() {
+                    find_match(input, i + 1, head, chain)
+                } else {
+                    None
+                };
+                match next {
+                    Some(n) if n.len > m.len => {
+                        models.flag.encode(&mut enc, false);
+                        models.literal.encode(&mut enc, u32::from(input[i]));
+                        i += 1;
+                        pending = next;
+                    }
+                    _ => {
+                        models.flag.encode(&mut enc, true);
+                        encode_slot(&mut enc, &mut models.len_slot, (m.len - MIN_MATCH) as u32);
+                        encode_slot(&mut enc, &mut models.off_slot, (m.dist - 1) as u32);
+                        for p in i + 1..i + m.len {
+                            insert(input, p, head, chain);
+                        }
+                        i += m.len;
+                    }
+                }
+            }
+            None => {
+                models.flag.encode(&mut enc, false);
+                models.literal.encode(&mut enc, u32::from(input[i]));
+                insert(input, i, head, chain);
+                i += 1;
+            }
+        }
+    }
+
+    let stream = enc.finish();
+    if prefix + stream.len() > input.len() {
+        // Stored fallback: the coded stream cannot beat tag + verbatim.
+        out.truncate(start);
+        out.push(TAG_STORED);
+        out.extend_from_slice(input);
+    } else {
+        out.extend_from_slice(&stream);
+    }
+    scratch.stream_buf = stream;
+}
+
+/// [`compress_into`] returning a fresh `Vec`.
+pub fn compress(input: &[u8], scratch: &mut LzScratch) -> Vec<u8> {
+    let mut out = Vec::new();
+    compress_into(input, scratch, &mut out);
+    out
+}
+
+/// Compresses `input` and returns the stream only when it is **strictly
+/// smaller** than the input — the adaptive per-frame stage decision the v3
+/// container makes (`None` means "store the frame unstaged").
+pub fn compress_if_smaller(input: &[u8], scratch: &mut LzScratch) -> Option<Vec<u8>> {
+    let out = compress(input, scratch);
+    (out.len() < input.len()).then_some(out)
+}
+
+/// Decompresses one stage stream, refusing to produce (or allocate) more
+/// than `max_len` bytes.  Never panics on arbitrary input; see [`LzError`].
+pub fn decompress(stream: &[u8], max_len: usize) -> Result<Vec<u8>, LzError> {
+    let (&tag, rest) = stream.split_first().ok_or(LzError::Empty)?;
+    match tag {
+        TAG_STORED => {
+            if rest.len() > max_len {
+                return Err(LzError::TooLarge {
+                    declared: rest.len() as u64,
+                    max: max_len,
+                });
+            }
+            Ok(rest.to_vec())
+        }
+        TAG_LZ => {
+            let (declared, used) = read_varint(rest)?;
+            let max = max_len.min(MAX_RAW_LEN);
+            if declared > max as u64 {
+                return Err(LzError::TooLarge { declared, max });
+            }
+            decode_sequences(&rest[used..], declared as usize)
+        }
+        other => Err(LzError::BadTag(other)),
+    }
+}
+
+/// Decodes the range-coded sequence stream into exactly `declared` bytes.
+fn decode_sequences(coded: &[u8], declared: usize) -> Result<Vec<u8>, LzError> {
+    let mut models = SequenceModels::new();
+    let mut dec = RangeDecoder::new(coded);
+    // Allocation tracks production (Vec's amortised growth), never the
+    // declared length: a tiny stream declaring gigabytes cannot reserve
+    // them up front.
+    let mut out = Vec::with_capacity(declared.min(1 << 16));
+    while out.len() < declared {
+        // The range decoder pads past the end of its input with zero bytes,
+        // so a truncated stream would otherwise keep yielding symbols
+        // forever; once decoding has consumed meaningfully past the real
+        // input, the stream is known-truncated.  (A finished encoder flushes
+        // at most 5 tail bytes, and renormalisation reads at most 4 bytes
+        // per decoded symbol.)
+        if dec.consumed() > coded.len() + 16 {
+            return Err(LzError::Truncated);
+        }
+        if !models.flag.decode(&mut dec) {
+            out.push(models.literal.decode(&mut dec) as u8);
+            continue;
+        }
+        let len = decode_slot(&mut dec, &mut models.len_slot) + MIN_MATCH as u64;
+        let offset = decode_slot(&mut dec, &mut models.off_slot) + 1;
+        if offset > out.len() as u64 {
+            return Err(LzError::BadOffset {
+                offset,
+                produced: out.len(),
+            });
+        }
+        if out.len() as u64 + len > declared as u64 {
+            return Err(LzError::Overrun);
+        }
+        let from = out.len() - offset as usize;
+        // Byte-wise copy: overlapping matches (offset < len) replicate the
+        // produced prefix, exactly as the encoder's extension allows.
+        for k in 0..len as usize {
+            let byte = out[from + k];
+            out.push(byte);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let mut scratch = LzScratch::new();
+        let stream = compress(data, &mut scratch);
+        decompress(&stream, data.len()).expect("self-produced stream decodes")
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_roundtrip() {
+        for data in [&b""[..], b"a", b"ab", b"abc", b"abcd"] {
+            assert_eq!(roundtrip(data), data);
+        }
+    }
+
+    #[test]
+    fn repetitive_input_compresses_hard() {
+        let data: Vec<u8> = b"scientific-data-block-"
+            .iter()
+            .copied()
+            .cycle()
+            .take(64 * 1024)
+            .collect();
+        let mut scratch = LzScratch::new();
+        let stream = compress(&data, &mut scratch);
+        assert!(
+            stream.len() * 20 < data.len(),
+            "repetitive 64 KiB took {} bytes",
+            stream.len()
+        );
+        assert_eq!(decompress(&stream, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn random_input_falls_back_to_stored() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data: Vec<u8> = (0..4096).map(|_| rng.gen_range(0..256) as u8).collect();
+        let mut scratch = LzScratch::new();
+        let stream = compress(&data, &mut scratch);
+        assert_eq!(stream[0], TAG_STORED, "incompressible input must store");
+        assert_eq!(stream.len(), data.len() + 1, "stored costs one tag byte");
+        assert_eq!(decompress(&stream, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_matches_roundtrip() {
+        // Runs shorter than MIN_MATCH away force offset < length copies.
+        let mut data = vec![7u8; 1000];
+        data.extend([1, 2, 1, 2, 1, 2, 1, 2, 1, 2, 1, 2, 1, 2]);
+        data.extend(vec![0u8; 500]);
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn structured_float_bytes_compress() {
+        // The shape of a serialised model table: little-endian u32s with
+        // mostly-zero high bytes.
+        let data: Vec<u8> = (0u32..4000)
+            .flat_map(|i| ((i % 190) + 1).to_le_bytes())
+            .collect();
+        let mut scratch = LzScratch::new();
+        let stream = compress(&data, &mut scratch);
+        assert!(
+            stream.len() * 2 < data.len(),
+            "structured u32 table took {} of {} bytes",
+            stream.len(),
+            data.len()
+        );
+        assert_eq!(decompress(&stream, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn dirty_scratch_output_is_bit_identical_to_fresh() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let warmup: Vec<u8> = (0..9000).map(|_| rng.gen_range(0..17) as u8).collect();
+        let data: Vec<u8> = (0..6000)
+            .map(|i| ((i as f32).sin() * 30.0) as i8 as u8)
+            .collect();
+
+        let mut fresh = LzScratch::new();
+        let expected = compress(&data, &mut fresh);
+
+        let mut dirty = LzScratch::new();
+        let _ = compress(&warmup, &mut dirty);
+        let _ = compress(&data[..100], &mut dirty);
+        assert_eq!(
+            compress(&data, &mut dirty),
+            expected,
+            "scratch history leaked into the stream"
+        );
+    }
+
+    #[test]
+    fn declared_length_over_limit_is_refused_before_decoding() {
+        let mut scratch = LzScratch::new();
+        let data = vec![5u8; 10_000];
+        let stream = compress(&data, &mut scratch);
+        assert_eq!(stream[0], TAG_LZ);
+        match decompress(&stream, 512) {
+            Err(LzError::TooLarge { declared, max }) => {
+                assert_eq!(declared, 10_000);
+                assert_eq!(max, 512);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // Stored blocks respect the limit too.
+        let mut stored = vec![TAG_STORED];
+        stored.extend_from_slice(&[1, 2, 3, 4]);
+        assert!(matches!(
+            decompress(&stored, 3),
+            Err(LzError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_streams_error_instead_of_spinning() {
+        // A stream declaring far more than its coded body can legitimately
+        // produce must terminate with a typed error, not decode pad-zeros
+        // forever (the declared length here is huge but under the cap).
+        let mut stream = vec![TAG_LZ];
+        write_varint(&mut stream, (200 << 20) as u64);
+        stream.extend_from_slice(&[0x55; 7]);
+        let err = decompress(&stream, 256 << 20).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LzError::Truncated | LzError::BadOffset { .. } | LzError::Overrun
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_tag_and_empty_stream_are_typed() {
+        assert_eq!(decompress(&[], 10), Err(LzError::Empty));
+        assert_eq!(decompress(&[9, 1, 2], 10), Err(LzError::BadTag(9)));
+    }
+}

@@ -1,0 +1,166 @@
+//! Stage-decoder fuzz battery, mirroring the service's `protocol_fuzz.rs`:
+//! the `gld-lz` decoder must never panic, never allocate beyond the
+//! declared (and caller-capped) decompressed size, and always return a
+//! typed [`LzError`] on bad input — over arbitrary bytes, truncations of
+//! valid streams, and single-bit flips of valid streams.
+
+use gld_lz::{compress, decompress, LzError, LzScratch, TAG_LZ, TAG_STORED};
+use proptest::prelude::*;
+
+/// A corpus of byte strings with LZ-relevant structure: runs, periodic
+/// patterns and noise mixed by the seed.
+fn corpus_bytes(seed: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| {
+            let phase = (seed % 7) as usize;
+            match (i / 97 + phase) % 3 {
+                0 => (seed as u8).wrapping_add((i % 11) as u8),
+                1 => ((i * 31 + seed as usize) % 256) as u8,
+                _ => (i as f32 * 0.37).sin().to_bits() as u8,
+            }
+        })
+        .collect()
+}
+
+/// Drives the decoder with a cap and asserts the hardening contract: no
+/// panic (a panic fails the test), output within the cap when `Ok`, typed
+/// error otherwise.
+fn drive_decoder(stream: &[u8], cap: usize) {
+    match decompress(stream, cap) {
+        Ok(out) => assert!(
+            out.len() <= cap,
+            "decoder produced {} bytes past the {cap}-byte cap",
+            out.len()
+        ),
+        Err(
+            LzError::Empty
+            | LzError::BadTag(_)
+            | LzError::TooLarge { .. }
+            | LzError::Truncated
+            | LzError::BadOffset { .. }
+            | LzError::Overrun,
+        ) => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn roundtrip_arbitrary_inputs(bytes in prop::collection::vec(0u32..256, 0..2048)) {
+        let data: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let mut scratch = LzScratch::new();
+        let stream = compress(&data, &mut scratch);
+        prop_assert_eq!(decompress(&stream, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn arbitrary_streams_never_panic(bytes in prop::collection::vec(0u32..256, 0..256)) {
+        let stream: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        drive_decoder(&stream, 1 << 16);
+    }
+
+    #[test]
+    fn arbitrary_lz_tagged_streams_never_panic(
+        bytes in prop::collection::vec(0u32..256, 0..256),
+        declared in 0u64..(1 << 20),
+    ) {
+        // Spend fuzz cases past the tag/length gate: a well-formed prefix
+        // followed by garbage coded bytes.
+        let mut stream = vec![TAG_LZ];
+        let mut v = declared;
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 { stream.push(byte); break; }
+            stream.push(byte | 0x80);
+        }
+        stream.extend(bytes.into_iter().map(|b| b as u8));
+        drive_decoder(&stream, 1 << 20);
+    }
+
+    #[test]
+    fn truncations_of_valid_streams_never_panic(
+        seed in 0u64..500,
+        len in 0usize..4096,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let data = corpus_bytes(seed, len);
+        let mut scratch = LzScratch::new();
+        let stream = compress(&data, &mut scratch);
+        let cut = ((stream.len().saturating_sub(1)) as f64 * cut_frac) as usize;
+        drive_decoder(&stream[..cut], data.len());
+    }
+
+    #[test]
+    fn bit_flipped_streams_never_panic_or_overrun(
+        seed in 0u64..500,
+        len in 1usize..4096,
+        flip_frac in 0.0f64..1.0,
+        bit in 0usize..8,
+    ) {
+        let data = corpus_bytes(seed, len);
+        let mut scratch = LzScratch::new();
+        let mut stream = compress(&data, &mut scratch);
+        let at = ((stream.len() - 1) as f64 * flip_frac) as usize;
+        stream[at] ^= 1 << bit;
+        // A flip may silently decode to different bytes (the container's
+        // per-frame CRC catches that layer); the decoder itself must only
+        // promise no panic and no output past the declared length.
+        drive_decoder(&stream, data.len());
+    }
+
+    #[test]
+    fn caps_are_enforced_before_any_work(
+        declared in 1024u64..(1 << 40),
+        cap in 0usize..1024,
+    ) {
+        // Ranges guarantee declared > cap, so TooLarge must always fire.
+        let mut stream = vec![TAG_LZ];
+        let mut v = declared;
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 { stream.push(byte); break; }
+            stream.push(byte | 0x80);
+        }
+        stream.extend_from_slice(&[0xAA; 32]);
+        prop_assert!(matches!(
+            decompress(&stream, cap),
+            Err(LzError::TooLarge { .. })
+        ));
+    }
+}
+
+#[test]
+fn exhaustive_single_byte_corruption_of_a_valid_stream() {
+    // Deterministic nail-down: every byte of a valid stream set to every
+    // value must decode to Ok-within-cap or a typed error, never a panic
+    // or an allocation blow-up (the cap bounds both).
+    let data = corpus_bytes(3, 1500);
+    let mut scratch = LzScratch::new();
+    let stream = compress(&data, &mut scratch);
+    assert_eq!(stream[0], TAG_LZ, "corpus input should take the LZ path");
+    for at in 0..stream.len().min(64) {
+        for value in 0..=255u8 {
+            let mut corrupt = stream.clone();
+            corrupt[at] = value;
+            drive_decoder(&corrupt, data.len());
+        }
+    }
+}
+
+#[test]
+fn stored_blocks_survive_the_same_battery() {
+    let mut stream = vec![TAG_STORED];
+    stream.extend_from_slice(b"not compressible at this size");
+    let body_len = stream.len() - 1;
+    assert_eq!(decompress(&stream, body_len).unwrap(), &stream[1..]);
+    for at in 0..stream.len() {
+        for value in [0u8, 1, 2, 0x80, 0xFF] {
+            let mut corrupt = stream.clone();
+            corrupt[at] = value;
+            drive_decoder(&corrupt, body_len);
+        }
+    }
+}

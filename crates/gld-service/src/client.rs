@@ -8,14 +8,14 @@
 
 use crate::protocol::{
     self, decode_blocks_body, DecompressRequest, FrameHeader, HelloRequest, HelloResponse, Op,
-    ProtocolError, Status,
+    ProtocolError, Status, EXT_CONTAINER_STAGE,
 };
 use gld_core::{CodecId, ErrorTarget};
 use gld_datasets::Variable;
 use gld_tensor::Tensor;
 use std::fmt;
 use std::io::Write;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -64,6 +64,11 @@ impl From<ProtocolError> for ClientError {
 pub struct ServerInfo {
     /// The negotiated codec — the session default for later requests.
     pub codec: CodecId,
+    /// Whether the session negotiated the container v3 per-frame stage:
+    /// `true` means compress responses arrive as staged v3 containers,
+    /// `false` (an old or opted-out peer on either side) means stage-free
+    /// v2 streams.
+    pub stage: bool,
     /// Number of shards the server routes across.
     pub shards: u32,
     /// Per-shard bounded in-flight request window.
@@ -75,8 +80,12 @@ pub struct ServerInfo {
 /// A blocking `GLDS` connection.
 pub struct ServiceClient {
     stream: TcpStream,
+    /// The connected peer, kept so `hello` can reconnect for its
+    /// legacy-server downgrade retry.
+    addr: SocketAddr,
     next_id: u64,
     negotiated: Option<CodecId>,
+    stage: bool,
 }
 
 impl ServiceClient {
@@ -84,10 +93,13 @@ impl ServiceClient {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ServiceClient> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
+        let addr = stream.peer_addr()?;
         Ok(ServiceClient {
             stream,
+            addr,
             next_id: 1,
             negotiated: None,
+            stage: false,
         })
     }
 
@@ -96,20 +108,77 @@ impl ServiceClient {
         self.negotiated
     }
 
+    /// Whether the session negotiated staged (container v3) compress
+    /// responses in the last [`ServiceClient::hello`].
+    pub fn stage_enabled(&self) -> bool {
+        self.stage
+    }
+
     /// Negotiates a codec (client preference order) and fetches server
-    /// info.  The chosen codec becomes the session default for
-    /// [`ServiceClient::compress`] calls made without an explicit codec.
+    /// info, advertising container-stage support.  The chosen codec becomes
+    /// the session default for [`ServiceClient::compress`] calls made
+    /// without an explicit codec.
+    ///
+    /// Servers predating the stage treat the advertisement byte as a
+    /// framing violation and close the connection; when that happens the
+    /// client reconnects once and retries the `Hello` without the bit, so
+    /// negotiation degrades to a stage-free session instead of failing.
     pub fn hello(&mut self, preferences: &[CodecId]) -> Result<ServerInfo, ClientError> {
+        match self.hello_with_options(preferences, true) {
+            Ok(info) => Ok(info),
+            // A pre-stage server rejects the non-zero reserved byte with a
+            // well-formed error frame that echoes request id 0 and a
+            // Malformed status, then hard-closes — surfacing here as a
+            // protocol violation (wrong request-id echo) or a Malformed
+            // refusal.  Re-dial and speak exactly like a pre-stage client.
+            // Transient I/O failures and statuses a stage-aware server can
+            // answer (NoCommonCodec, ...) are NOT downgraded: the bit was
+            // not the problem, and a silent stage-free session would cost
+            // every later response body — the caller retries those.
+            Err(
+                ClientError::Protocol(_)
+                | ClientError::Server {
+                    status: Status::Malformed,
+                    ..
+                },
+            ) => {
+                let stream = TcpStream::connect(self.addr)?;
+                let _ = stream.set_nodelay(true);
+                self.stream = stream;
+                self.hello_with_options(preferences, false)
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    /// [`ServiceClient::hello`] with the stage advertisement explicit (and
+    /// no downgrade retry): `request_stage: false` speaks exactly like a
+    /// pre-stage client, so compress responses come back as stage-free v2
+    /// containers.
+    pub fn hello_with_options(
+        &mut self,
+        preferences: &[CodecId],
+        request_stage: bool,
+    ) -> Result<ServerInfo, ClientError> {
         let request = HelloRequest {
             proposals: preferences.iter().map(|&c| c as u8).collect(),
         };
-        let (header, body) = self.request(Op::Hello, 0, &request.encode_body())?;
+        let ext = if request_stage {
+            EXT_CONTAINER_STAGE
+        } else {
+            0
+        };
+        let (header, body) = self.request_ext(Op::Hello, 0, ext, &request.encode_body())?;
         let codec = CodecId::from_u8(header.codec)
             .map_err(|_| ClientError::Protocol(ProtocolError::UnknownCodec(header.codec)))?;
         let info = HelloResponse::decode_body(&body)?;
         self.negotiated = Some(codec);
+        // The stage holds only when the server echoed the bit (an old
+        // server leaves the whole byte zero).
+        self.stage = request_stage && header.ext & EXT_CONTAINER_STAGE != 0;
         Ok(ServerInfo {
             codec,
+            stage: self.stage,
             shards: info.shards,
             shard_window: info.shard_window,
             queue_depth: info.queue_depth,
@@ -205,9 +274,20 @@ impl ServiceClient {
         codec_byte: u8,
         body: &[u8],
     ) -> Result<(FrameHeader, Vec<u8>), ClientError> {
+        self.request_ext(op, codec_byte, 0, body)
+    }
+
+    fn request_ext(
+        &mut self,
+        op: Op,
+        codec_byte: u8,
+        ext: u8,
+        body: &[u8],
+    ) -> Result<(FrameHeader, Vec<u8>), ClientError> {
         let request_id = self.next_id;
         self.next_id += 1;
-        let header = FrameHeader::request(op, codec_byte, request_id, body.len() as u64);
+        let header =
+            FrameHeader::request(op, codec_byte, request_id, body.len() as u64).with_ext(ext);
         protocol::write_frame(&mut self.stream, &header, body)?;
         self.stream.flush()?;
         let (response, response_body) =

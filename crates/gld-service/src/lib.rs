@@ -6,7 +6,10 @@
 //!
 //! * [`protocol`] — the framed wire protocol (magic + version + op + codec
 //!   negotiation + `u64` length-prefixed bodies) with panic-free, typed
-//!   decoders (fuzzed in `tests/protocol_fuzz.rs`);
+//!   decoders (fuzzed in `tests/protocol_fuzz.rs`); header byte 9 carries
+//!   capability-and-echo feature bits (unknown bits ignored), bit 0
+//!   negotiating the container v3 per-frame `gld-lz` stage — stage-blind
+//!   clients transparently receive stage-free v2 responses;
 //! * [`router`] — deterministic key-hash shard assignment with a
 //!   round-robin override;
 //! * [`server`] — the TCP server: per-shard worker threads behind bounded

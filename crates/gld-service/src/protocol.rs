@@ -11,11 +11,23 @@
 //! 6       1     op (see [`Op`])
 //! 7       1     codec id (a `CodecId` byte, or 0 = none/session default)
 //! 8       1     status (requests: must be 0; responses: see [`Status`])
-//! 9       7     reserved, must be 0
+//! 9       1     feature bits (`ext`): bit 0 = container-stage support
+//!               ([`EXT_CONTAINER_STAGE`]); unknown bits are **ignored**
+//! 10      6     reserved; decoders ignore the contents
 //! 16      8     request id (echoed verbatim in the response)
 //! 24      8     body length in bytes
 //! 32      ...   body
 //! ```
+//!
+//! Reserved space is negotiation headroom, not a tripwire: decoders ignore
+//! bits they do not understand, so a peer advertising a future feature can
+//! never hard-break this build (the regression suite pins that).  Feature
+//! negotiation is capability-and-echo: a client sets a feature bit in its
+//! [`Op::Hello`] request, and the server echoes the subset it will honour
+//! in the response — a server that never saw the bit simply answers with it
+//! clear and the session proceeds without the feature.  Bit 0 negotiates
+//! the container-v3 per-frame `gld-lz` stage: staged sessions receive v3
+//! compress responses, everything else receives stage-free v2 streams.
 //!
 //! The compress response body is a `GLDC` container exactly as
 //! `Codec::compress_variable` would encode it; the decompress response body
@@ -47,6 +59,12 @@ pub const HEADER_LEN: usize = 32;
 /// rejected before any allocation; servers typically configure a lower
 /// limit on top.
 pub const MAX_BODY_LEN: u64 = 1 << 30;
+
+/// Header feature bit (byte 9, bit 0): the sender understands the container
+/// v3 per-frame lossless stage.  Set by stage-capable clients in `Hello`
+/// requests and echoed by stage-capable servers when the session will use
+/// v3 compress responses.
+pub const EXT_CONTAINER_STAGE: u8 = 0b1;
 
 /// Frame operation, present in requests and echoed in responses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -136,8 +154,6 @@ pub enum ProtocolError {
     UnknownOp(u8),
     /// The status byte is not a known [`Status`].
     UnknownStatus(u8),
-    /// A reserved header byte was non-zero.
-    NonZeroReserved,
     /// The codec id byte is not a known codec.
     UnknownCodec(u8),
     /// The declared body length exceeds the limit in force.
@@ -174,7 +190,6 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::UnknownOp(op) => write!(f, "unknown op byte {op}"),
             ProtocolError::UnknownStatus(s) => write!(f, "unknown status byte {s}"),
-            ProtocolError::NonZeroReserved => write!(f, "non-zero reserved header bytes"),
             ProtocolError::UnknownCodec(id) => write!(f, "unknown codec id {id}"),
             ProtocolError::BodyTooLarge { declared, max } => {
                 write!(f, "declared body of {declared} bytes exceeds limit {max}")
@@ -223,6 +238,8 @@ pub struct FrameHeader {
     pub codec: u8,
     /// Status byte (0 in requests).
     pub status: Status,
+    /// Feature bits (header byte 9); unknown bits are ignored on decode.
+    pub ext: u8,
     /// Request id, echoed verbatim in the response.
     pub request_id: u64,
     /// Declared body length in bytes.
@@ -230,26 +247,34 @@ pub struct FrameHeader {
 }
 
 impl FrameHeader {
-    /// A request header (status `Ok`).
+    /// A request header (status `Ok`, no feature bits).
     pub fn request(op: Op, codec: u8, request_id: u64, body_len: u64) -> Self {
         FrameHeader {
             op,
             codec,
             status: Status::Ok,
+            ext: 0,
             request_id,
             body_len,
         }
     }
 
-    /// A response header echoing `op` and `request_id`.
+    /// A response header echoing `op` and `request_id` (no feature bits).
     pub fn response(op: Op, codec: u8, status: Status, request_id: u64, body_len: u64) -> Self {
         FrameHeader {
             op,
             codec,
             status,
+            ext: 0,
             request_id,
             body_len,
         }
+    }
+
+    /// The same header with the given feature bits (header byte 9).
+    pub fn with_ext(mut self, ext: u8) -> Self {
+        self.ext = ext;
+        self
     }
 
     /// Serialises the header to its 32-byte wire form.
@@ -260,14 +285,16 @@ impl FrameHeader {
         out[6] = self.op as u8;
         out[7] = self.codec;
         out[8] = self.status as u8;
-        // bytes 9..16 reserved, zero
+        out[9] = self.ext;
+        // bytes 10..16 reserved, written zero, ignored on decode
         out[16..24].copy_from_slice(&self.request_id.to_le_bytes());
         out[24..32].copy_from_slice(&self.body_len.to_le_bytes());
         out
     }
 
-    /// Parses a 32-byte header, validating magic, version, op, status,
-    /// reserved bytes and the body-length hard cap ([`MAX_BODY_LEN`]).
+    /// Parses a 32-byte header, validating magic, version, op, status and
+    /// the body-length hard cap ([`MAX_BODY_LEN`]); feature bits pass
+    /// through and reserved bytes are ignored.
     pub fn decode(bytes: &[u8; HEADER_LEN]) -> Result<Self, ProtocolError> {
         RawFrameHeader::decode(bytes)?.validate()
     }
@@ -289,6 +316,8 @@ pub struct RawFrameHeader {
     pub codec: u8,
     /// Unvalidated status byte.
     pub status: u8,
+    /// Feature bits (header byte 9); unknown bits are ignored.
+    pub ext: u8,
     /// Request id.
     pub request_id: u64,
     /// Declared body length (already under [`MAX_BODY_LEN`]).
@@ -306,9 +335,10 @@ impl RawFrameHeader {
         if version != PROTOCOL_VERSION {
             return Err(ProtocolError::UnsupportedVersion(version));
         }
-        if bytes[9..16].iter().any(|&b| b != 0) {
-            return Err(ProtocolError::NonZeroReserved);
-        }
+        // Bytes 9..16 are negotiation headroom: byte 9 carries feature
+        // bits (unknown ones ignored), bytes 10..15 are ignored entirely —
+        // a peer advertising a future feature must never hard-break this
+        // decoder.
         let body_len = u64::from_le_bytes(bytes[24..32].try_into().expect("fixed slice"));
         if body_len > MAX_BODY_LEN {
             return Err(ProtocolError::BodyTooLarge {
@@ -320,6 +350,7 @@ impl RawFrameHeader {
             op: bytes[6],
             codec: bytes[7],
             status: bytes[8],
+            ext: bytes[9],
             request_id: u64::from_le_bytes(bytes[16..24].try_into().expect("fixed slice")),
             body_len,
         })
@@ -331,6 +362,7 @@ impl RawFrameHeader {
             op: Op::from_u8(self.op)?,
             codec: self.codec,
             status: Status::from_u8(self.status)?,
+            ext: self.ext,
             request_id: self.request_id,
             body_len: self.body_len,
         })
@@ -812,18 +844,36 @@ mod tests {
         );
 
         let mut bad = good;
-        bad[12] = 1;
-        assert_eq!(
-            FrameHeader::decode(&bad),
-            Err(ProtocolError::NonZeroReserved)
-        );
-
-        let mut bad = good;
         bad[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(matches!(
             FrameHeader::decode(&bad),
             Err(ProtocolError::BodyTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn unknown_reserved_bits_are_ignored_not_rejected() {
+        // The regression the stage-negotiation bit depends on: a peer
+        // setting feature or reserved bits this build does not know must
+        // still decode (previously any non-zero reserved byte hard-closed
+        // the connection, which would have made every future negotiation
+        // bit a breaking change).
+        let good = FrameHeader::request(Op::Ping, 0, 1, 0).encode();
+        for at in 9..16 {
+            let mut future = good;
+            future[at] = 0xFF;
+            let decoded = FrameHeader::decode(&future).expect("future bits must decode");
+            assert_eq!(decoded.op, Op::Ping);
+            if at == 9 {
+                assert_eq!(decoded.ext, 0xFF, "feature bits pass through");
+            }
+        }
+
+        // Known feature bits round-trip through encode/decode.
+        let header = FrameHeader::request(Op::Hello, 0, 7, 0).with_ext(EXT_CONTAINER_STAGE | 0b100);
+        let decoded = FrameHeader::decode(&header.encode()).unwrap();
+        assert_eq!(decoded, header);
+        assert_eq!(decoded.ext & EXT_CONTAINER_STAGE, EXT_CONTAINER_STAGE);
     }
 
     #[test]

@@ -23,12 +23,15 @@
 //! joins every thread the server spawned.
 
 use crate::metrics::{ServiceMetrics, ServiceMetricsSnapshot, ShardMetrics};
-use crate::protocol::{self, FrameHeader, Op, ProtocolError, RawFrameHeader, Status, HEADER_LEN};
+use crate::protocol::{
+    self, FrameHeader, Op, ProtocolError, RawFrameHeader, Status, EXT_CONTAINER_STAGE, HEADER_LEN,
+};
 use crate::router::{ShardPolicy, ShardRouter};
 use gld_baselines::{SzCompressor, ZfpLikeCompressor};
 use gld_core::container::HEADER_LEN as CONTAINER_HEADER_LEN;
 use gld_core::{
-    compress_variable_to_writer, Codec, CodecId, Container, StreamConfig, StreamMetrics,
+    compress_variable_to_writer_fmt, Codec, CodecId, Container, ContainerFormat, StreamConfig,
+    StreamMetrics,
 };
 use gld_datasets::Variable;
 use gld_tensor::Tensor;
@@ -522,6 +525,10 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let mut session_codec: Option<CodecId> = None;
+    // Whether this session negotiated the container v3 per-frame stage in
+    // `Hello` (old clients never set the bit and transparently receive
+    // stage-free v2 responses).
+    let mut session_stage = false;
 
     loop {
         if shared.is_shutdown() {
@@ -615,7 +622,14 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
             Op::Ping => {
                 respond(&mut stream, Op::Ping, 0, Status::Ok, header.request_id, &[]).is_ok()
             }
-            Op::Hello => handle_hello(shared, &mut stream, &header, &body, &mut session_codec),
+            Op::Hello => handle_hello(
+                shared,
+                &mut stream,
+                &header,
+                &body,
+                &mut session_codec,
+                &mut session_stage,
+            ),
             Op::Shutdown => {
                 let _ = respond(
                     &mut stream,
@@ -628,7 +642,14 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
                 shared.trigger_shutdown();
                 false
             }
-            Op::Compress => handle_compress(shared, &mut stream, &header, &body, session_codec),
+            Op::Compress => handle_compress(
+                shared,
+                &mut stream,
+                &header,
+                &body,
+                session_codec,
+                session_stage,
+            ),
             Op::Decompress => handle_decompress(shared, &mut stream, &header, &body),
         };
         if !keep_going {
@@ -643,6 +664,7 @@ fn handle_hello(
     header: &FrameHeader,
     body: &[u8],
     session_codec: &mut Option<CodecId>,
+    session_stage: &mut bool,
 ) -> bool {
     let request = match protocol::HelloRequest::decode_body(body) {
         Ok(r) => r,
@@ -661,20 +683,28 @@ fn handle_hello(
     match shared.registry.negotiate(&request.proposals) {
         Some(chosen) => {
             *session_codec = Some(chosen);
+            // Capability-and-echo: the stage is on exactly when the client
+            // advertised it, and the echoed bit tells the client so.
+            *session_stage = header.ext & EXT_CONTAINER_STAGE != 0;
             let info = protocol::HelloResponse {
                 shards: shared.router.shards() as u32,
                 shard_window: shared.config.shard_window.max(1) as u32,
                 queue_depth: shared.config.stream.queue_depth.max(1) as u32,
             };
-            respond(
-                stream,
+            let body = info.encode_body();
+            let response = FrameHeader::response(
                 Op::Hello,
                 chosen as u8,
                 Status::Ok,
                 header.request_id,
-                &info.encode_body(),
+                body.len() as u64,
             )
-            .is_ok()
+            .with_ext(if *session_stage {
+                EXT_CONTAINER_STAGE
+            } else {
+                0
+            });
+            protocol::write_frame(stream, &response, &body).is_ok()
         }
         None => {
             shared.metrics.request_rejected();
@@ -816,6 +846,7 @@ fn handle_compress(
     header: &FrameHeader,
     body: &[u8],
     session_codec: Option<CodecId>,
+    session_stage: bool,
 ) -> bool {
     let request = match protocol::CompressRequest::decode_body(body) {
         Ok(r) => r,
@@ -868,15 +899,24 @@ fn handle_compress(
     let limit = shared.config.max_body as usize;
     let codec_byte = codec.id() as u8;
     let request_bytes = body.len();
+    // Stage-negotiated sessions get the v3 (per-frame gld-lz stage)
+    // container; everyone else gets the stage-free v2 stream their decoder
+    // predates the stage for.
+    let format = if session_stage {
+        ContainerFormat::V3
+    } else {
+        ContainerFormat::V2
+    };
 
     run_sharded(shared, stream, header, shard, request_bytes, move || {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            compress_variable_to_writer(
+            compress_variable_to_writer_fmt(
                 codec.as_ref(),
                 &variable,
                 block_frames,
                 target,
                 stream_config,
+                format,
                 LimitedSink {
                     buf: Vec::new(),
                     limit,

@@ -421,6 +421,9 @@ fn overloaded_shard_respects_its_window_while_other_shards_flow() {
             let variable = Variable::new(slow_key.clone(), slow_variable.frames.clone());
             std::thread::spawn(move || {
                 let mut client = ServiceClient::connect(addr).expect("connect");
+                // Negotiate the session (and the container stage) so the
+                // gated responses compare against the staged v3 encoding.
+                client.hello(&[CodecId::Gld]).expect("hello");
                 client
                     .compress_as(CodecId::Gld, &slow_key, &variable, 4, None)
                     .expect("gated compress eventually succeeds")
@@ -439,6 +442,7 @@ fn overloaded_shard_respects_its_window_while_other_shards_flow() {
     // The other shard must keep completing work the whole time.
     let sz = SzCompressor::new();
     let mut fast_client = ServiceClient::connect(addr).expect("connect");
+    fast_client.hello(&[CodecId::SzLike]).expect("hello");
     for i in 0..FAST_REQUESTS {
         let ds = generate(
             DatasetKind::Jhtdb,
@@ -540,4 +544,197 @@ fn wire_shutdown_drains_and_a_drained_server_refuses_new_connections() {
             "a drained server must not answer"
         );
     }
+}
+
+// ─────────────────── container-stage negotiation ───────────────────────
+
+#[test]
+fn stage_negotiation_serves_v3_to_new_clients_and_v2_to_old_ones() {
+    let server = start_server(ServiceConfig::default(), CodecRegistry::rule_based());
+    let addr = server.local_addr();
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 32, 16, 16), 71);
+    let variable = &ds.variables[0];
+    let sz = SzCompressor::new();
+    let (local, _) = Codec::compress_variable(&sz, variable, 8, None);
+
+    // A current client advertises the stage bit, the server echoes it, and
+    // compress responses arrive as staged v3 containers — bit-identical to
+    // the local v3 encoding.
+    let mut staged = ServiceClient::connect(addr).expect("connect");
+    let info = staged.hello(&[CodecId::SzLike]).expect("hello");
+    assert!(info.stage, "stage-capable pair must negotiate the stage");
+    assert!(staged.stage_enabled());
+    let remote_v3 = staged
+        .compress("stage/var", variable, 8, None)
+        .expect("staged compress");
+    assert_eq!(remote_v3, local.encode(), "staged response must be v3");
+    assert_eq!(
+        u16::from_le_bytes([remote_v3[4], remote_v3[5]]),
+        gld_core::container::VERSION
+    );
+
+    // A pre-stage client (reserved byte zero, exactly what an old binary
+    // sends) transparently gets the stage-free v2 stream its decoder
+    // predates the stage for.
+    let mut old = ServiceClient::connect(addr).expect("connect");
+    let info = old
+        .hello_with_options(&[CodecId::SzLike], false)
+        .expect("hello");
+    assert!(!info.stage, "server must not stage for a silent client");
+    assert!(!old.stage_enabled());
+    let remote_v2 = old
+        .compress("stage/var", variable, 8, None)
+        .expect("unstaged compress");
+    assert_eq!(remote_v2, local.encode_v2(), "old client must receive v2");
+    assert_eq!(u16::from_le_bytes([remote_v2[4], remote_v2[5]]), 2);
+    assert!(
+        remote_v3.len() < remote_v2.len(),
+        "the negotiated stage must shrink the response body ({} vs {})",
+        remote_v3.len(),
+        remote_v2.len()
+    );
+
+    // Both containers decompress server-side to identical blocks, whatever
+    // session they are sent over.
+    let a = staged
+        .decompress("stage/var", &remote_v3)
+        .expect("decompress v3");
+    let b = old
+        .decompress("stage/var", &remote_v2)
+        .expect("decompress v2");
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.data(), y.data(), "staged/unstaged reconstructions differ");
+    }
+
+    drop(staged);
+    drop(old);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_feature_bits_in_hello_do_not_break_the_session() {
+    // A hypothetical future client advertising feature bits this server
+    // does not know must still negotiate fine (the reserved-byte relaxation
+    // this stage negotiation is built on).
+    let server = start_server(ServiceConfig::default(), CodecRegistry::rule_based());
+    let addr = server.local_addr();
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    let hello = gld_service::protocol::HelloRequest {
+        proposals: vec![CodecId::SzLike as u8],
+    };
+    let body = hello.encode_body();
+    let header = FrameHeader::request(Op::Hello, 0, 9, body.len() as u64)
+        .with_ext(protocol::EXT_CONTAINER_STAGE | 0b1111_0000);
+    protocol::write_frame(&mut stream, &header, &body).expect("write hello");
+    let (response, _) = protocol::read_frame(&mut stream, protocol::MAX_BODY_LEN)
+        .expect("read")
+        .expect("decode");
+    assert_eq!(response.status, Status::Ok);
+    assert_eq!(
+        response.ext & protocol::EXT_CONTAINER_STAGE,
+        protocol::EXT_CONTAINER_STAGE,
+        "the known bit is echoed; unknown bits are ignored"
+    );
+    assert_eq!(
+        response.ext & 0b1111_0000,
+        0,
+        "the server must not echo bits it does not understand"
+    );
+    drop(stream);
+    server.shutdown();
+}
+
+#[test]
+fn pre_range_coder_containers_get_a_typed_service_refusal() {
+    // A client replaying a stored PR-3-era learned-codec stream (v1
+    // framing) must get the named cross-build diagnostic, not garbage or an
+    // Internal panic status.
+    let mut registry = CodecRegistry::rule_based();
+    registry.register(Arc::new(untrained_compressor()));
+    let server = start_server(ServiceConfig::default(), registry);
+    let addr = server.local_addr();
+
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 16, 16, 16), 73);
+    let gld = untrained_compressor();
+    let (container, _) = Codec::compress_variable(&gld, &ds.variables[0], 8, None);
+    let legacy = container.encode_v1();
+
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    match client.decompress("legacy/var", &legacy) {
+        Err(ClientError::Server { status, message }) => {
+            assert_eq!(status, Status::BadContainer);
+            assert!(
+                message.contains("pre-range-coder"),
+                "diagnostic must name the incompatibility: {message}"
+            );
+        }
+        other => panic!("expected a typed BadContainer refusal, got {other:?}"),
+    }
+    // The connection keeps serving after the refusal.
+    client.ping().expect("connection still alive");
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn hello_downgrades_to_stage_free_against_a_pre_stage_server() {
+    // A faithful stand-in for a server built before the stage bit existed:
+    // any non-zero reserved byte is a framing violation — answer a
+    // best-effort error frame (op Ping, request id 0, exactly the old
+    // code's `respond_error` on a RawFrameHeader failure) and close.  A
+    // zero reserved byte negotiates normally.  The upgraded client's
+    // `hello` must absorb the rejection, re-dial, and come back with a
+    // stage-free session instead of an error.
+    use std::io::{Read as _, Write as _};
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let old_server = std::thread::spawn(move || {
+        for _ in 0..2 {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut header = [0u8; protocol::HEADER_LEN];
+            stream.read_exact(&mut header).expect("read header");
+            if header[9..16].iter().any(|&b| b != 0) {
+                let message = b"non-zero reserved header bytes";
+                let response =
+                    FrameHeader::response(Op::Ping, 0, Status::Malformed, 0, message.len() as u64);
+                stream.write_all(&response.encode()).unwrap();
+                stream.write_all(message).unwrap();
+                continue; // close: the stream position cannot be trusted
+            }
+            let decoded = protocol::FrameHeader::decode(&header).expect("valid header");
+            let mut body = vec![0u8; decoded.body_len as usize];
+            stream.read_exact(&mut body).expect("read body");
+            let request =
+                gld_service::protocol::HelloRequest::decode_body(&body).expect("hello body");
+            let info = gld_service::protocol::HelloResponse {
+                shards: 1,
+                shard_window: 1,
+                queue_depth: 1,
+            };
+            let payload = info.encode_body();
+            let response = FrameHeader::response(
+                Op::Hello,
+                request.proposals[0],
+                Status::Ok,
+                decoded.request_id,
+                payload.len() as u64,
+            );
+            stream.write_all(&response.encode()).unwrap();
+            stream.write_all(&payload).unwrap();
+        }
+    });
+
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let info = client
+        .hello(&[CodecId::SzLike])
+        .expect("hello must downgrade");
+    assert_eq!(info.codec, CodecId::SzLike);
+    assert!(
+        !info.stage,
+        "a pre-stage server can only yield a stage-free session"
+    );
+    assert!(!client.stage_enabled());
+    old_server.join().expect("old-server thread");
 }

@@ -194,11 +194,11 @@ fn sink_errors_abort_the_stream_instead_of_compressing_on() {
 
 #[test]
 fn sink_error_reports_how_many_frames_were_completely_written() {
-    // `ContainerWriter` issues one write for the header and three per frame
-    // (length prefix, payload, CRC).  Failing on the 8th call therefore
-    // interrupts the third frame's length prefix: exactly two frames are
-    // complete, which is what the abort must report (the service's
-    // partial-write diagnostics depend on this).
+    // `ContainerWriter` issues one write for the header and one buffered
+    // write per frame (stage byte + length prefix + payload + CRC).
+    // Failing on the 4th call therefore rejects the third frame whole:
+    // exactly two frames are complete, which is what the abort must report
+    // (the service's partial-write diagnostics depend on this).
     #[derive(Debug)]
     struct FailOnNthWrite {
         calls: usize,
@@ -234,7 +234,7 @@ fn sink_error_reports_how_many_frames_were_completely_written() {
             },
             FailOnNthWrite {
                 calls: 0,
-                fail_at: 1 + 3 * 2 + 1,
+                fail_at: 1 + 2 + 1,
             },
         )
         .expect_err("the failing sink must surface its error");
@@ -262,6 +262,7 @@ fn collector_side_panics_propagate_instead_of_hanging() {
                 queue_depth: 2,
                 workers: 2,
             },
+            true,
             |index, _outcome| {
                 if index == 1 {
                     panic!("emit exploded");
