@@ -12,15 +12,16 @@
 //!    carry zero error.
 //!
 //! The hot path is organised for throughput: the Lorenzo walk is split into
-//! a **boundary** loop (first plane, first row of each plane, first element
-//! of each row — the cells with missing neighbours) and an **interior** loop
-//! that runs branch-free over row slices with hoisted bounds checks, carrying
-//! the three `k-1` neighbour values in registers.  Quantisation selects
-//! between the coded and verbatim paths with branchless min/select logic, and
-//! all per-block buffers come from a caller-provided [`SzScratch`] arena so
+//! a **boundary** loop (first plane, first row and first column of each
+//! plane — the cells with missing neighbours) and an **interior** loop
+//! dispatched through [`gld_kernels`], which runs the branch-free walk with
+//! the best SIMD backend the host supports (AVX2 processes eight cells of
+//! an anti-diagonal wavefront per step).  Quantisation selects between the
+//! coded and verbatim paths with branchless min/select logic, and all
+//! per-block buffers come from a caller-provided [`SzScratch`] arena so
 //! steady-state compression performs no allocation beyond the output frame.
 //! `reference::sz_compress` keeps the original scalar walk; the equivalence
-//! suite proves both produce byte-identical frames.
+//! suite proves every backend produces byte-identical frames.
 //!
 //! Like SZ3 itself the method excels on smooth fields, where almost every
 //! residual lands in the zero bin.
@@ -28,23 +29,21 @@
 use crate::header::{BlockHeader, Codec};
 use crate::{BaselineError, ErrorBoundedCompressor};
 use gld_entropy::{HistogramModel, RangeDecoder, RangeEncoder};
+use gld_kernels::{kernels, sz_quantize_cell, SzPlane};
 use gld_tensor::Tensor;
 
-/// Largest representable quantisation code; residuals beyond this are stored
-/// as raw floats.
-pub(crate) const MAX_CODE: i32 = 4096;
-/// Sentinel code marking an unpredictable (verbatim) value.
-pub(crate) const UNPREDICTABLE: i32 = MAX_CODE + 1;
+/// Sentinel code marking an unpredictable (verbatim) value; residuals whose
+/// code would exceed [`gld_kernels::SZ_MAX_CODE`] are stored as raw floats.
+pub(crate) const UNPREDICTABLE: i32 = gld_kernels::SZ_UNPREDICTABLE;
 
 /// Reusable per-worker buffers for [`SzCompressor::compress_into`]: the
-/// reconstruction plane, the quantisation codes and the verbatim escapes.
-/// Reusing one `SzScratch` across blocks removes every per-block allocation
-/// except the output frame itself.
+/// reconstruction plane and the quantisation codes.  Reusing one `SzScratch`
+/// across blocks removes every per-block allocation except the output frame
+/// itself.
 #[derive(Debug, Clone, Default)]
 pub struct SzScratch {
     recon: Vec<f32>,
     codes: Vec<i32>,
-    raw: Vec<f32>,
 }
 
 impl SzScratch {
@@ -105,85 +104,80 @@ impl SzCompressor {
         let two_eb = 2.0 * abs_error;
 
         scratch.recon.resize(n, 0.0);
-        scratch.codes.clear();
-        scratch.codes.reserve(n);
-        scratch.raw.clear();
+        scratch.codes.resize(n, 0);
         let recon = &mut scratch.recon[..];
-        let codes = &mut scratch.codes;
-        let raw = &mut scratch.raw;
+        let codes = &mut scratch.codes[..];
 
-        // Pass 1: prediction + quantisation.  Raster order writes every
-        // reconstruction cell before any later cell reads it, so stale
-        // scratch contents can never leak into the output.
-        let plane = d1 * d2;
-        for i in 0..d0 {
-            for j in 0..d1 {
-                let boundary_row = i == 0 || j == 0;
-                let row_start = i * plane + j * d2;
-                // Boundary cells (missing at least one neighbour) take the
-                // generic neighbour-checked path: the whole row when it lies
-                // on the i/j boundary, otherwise just the k == 0 element.
-                let k_end = if boundary_row { d2 } else { 1 };
-                for k in 0..k_end {
-                    let idx = row_start + k;
-                    let val = src[idx];
-                    let pred = lorenzo_predict(recon, dims, i, j, k);
-                    let (code, rec, ok) = quantize_cell(val, pred, two_eb, abs_error);
-                    codes.push(code);
-                    if !ok {
-                        raw.push(val);
-                    }
-                    recon[idx] = rec;
-                }
-                if boundary_row {
-                    continue;
-                }
-                // Interior (i ≥ 1, j ≥ 1, k ≥ 1): branch-free walk over row
-                // slices.  Bounds checks are hoisted into the four slice
-                // constructions; the three k-1 neighbours ride in registers.
-                let (before, cur) = recon.split_at_mut(row_start);
-                let cur_row = &mut cur[..d2];
-                let prev_row = &before[row_start - d2..row_start];
-                let pp_row = &before[row_start - plane..row_start - plane + d2];
-                let ppp_row = &before[row_start - plane - d2..row_start - plane];
-                let src_row = &src[row_start..row_start + d2];
-                let mut left = cur_row[0];
-                let mut pr_left = prev_row[0];
-                let mut pp_left = pp_row[0];
-                let mut ppp_left = ppp_row[0];
-                for k in 1..d2 {
-                    let val = src_row[k];
-                    // Same association order as `lorenzo_predict`, so the
-                    // f32 result is bit-identical to the reference walk.
-                    let pred =
-                        pp_row[k] + prev_row[k] + left - ppp_row[k] - pp_left - pr_left + ppp_left;
-                    let (code, rec, ok) = quantize_cell(val, pred, two_eb, abs_error);
-                    codes.push(code);
-                    if !ok {
-                        raw.push(val);
-                    }
-                    cur_row[k] = rec;
-                    ppp_left = ppp_row[k];
-                    pp_left = pp_row[k];
-                    pr_left = prev_row[k];
-                    left = rec;
-                }
-            }
+        // One boundary cell through the generic neighbour-checked path.
+        #[inline(always)]
+        fn boundary_cell(
+            src: &[f32],
+            recon: &mut [f32],
+            codes: &mut [i32],
+            dims: (usize, usize, usize),
+            (i, j, k): (usize, usize, usize),
+            two_eb: f32,
+            abs_error: f32,
+        ) {
+            let idx = (i * dims.1 + j) * dims.2 + k;
+            let pred = lorenzo_predict(recon, dims, i, j, k);
+            let (code, rec, _) = sz_quantize_cell(src[idx], pred, two_eb, abs_error);
+            codes[idx] = code;
+            recon[idx] = rec;
         }
 
-        // Pass 2: entropy coding with the table-driven range coder.
+        // Pass 1: prediction + quantisation.  Boundary cells (missing at
+        // least one neighbour) take the generic path — the whole first
+        // plane, then the first row and first column of each later plane —
+        // before the interior of the plane is handed to the active kernel
+        // backend.  Every cell is written before any later cell reads it,
+        // so stale scratch contents can never leak into the output.
+        let plane = d1 * d2;
+        let kern = kernels();
+        for i in 0..d0 {
+            if i == 0 {
+                for j in 0..d1 {
+                    for k in 0..d2 {
+                        boundary_cell(src, recon, codes, dims, (0, j, k), two_eb, abs_error);
+                    }
+                }
+                continue;
+            }
+            for k in 0..d2 {
+                boundary_cell(src, recon, codes, dims, (i, 0, k), two_eb, abs_error);
+            }
+            for j in 1..d1 {
+                boundary_cell(src, recon, codes, dims, (i, j, 0), two_eb, abs_error);
+            }
+            // Interior (j ≥ 1, k ≥ 1) of this plane: the branch-free walk,
+            // dispatched to the selected scalar/SSE2/AVX2 backend.  Every
+            // backend is proven bit-identical to the reference walk.
+            let (before, cur) = recon.split_at_mut(i * plane);
+            kern.sz_quantize_plane(&mut SzPlane {
+                src: &src[i * plane..(i + 1) * plane],
+                prev: &before[(i - 1) * plane..],
+                recon: &mut cur[..plane],
+                codes: &mut codes[i * plane..(i + 1) * plane],
+                d1,
+                d2,
+                two_eb,
+                abs_error,
+            });
+        }
+
+        // Pass 2: entropy coding with the table-driven range coder.  An
+        // unpredictable cell reconstructs to its source value, so the
+        // verbatim escape stream is just `src` at the escape positions.
         let model = HistogramModel::fit(codes);
         BlockHeader::new(Codec::SzLike, data, abs_error).write(out);
         let model_bytes = model.to_bytes();
         out.extend_from_slice(&(model_bytes.len() as u32).to_le_bytes());
         out.extend_from_slice(&model_bytes);
         let mut enc = RangeEncoder::new();
-        let mut raw_iter = raw.iter();
-        for &c in codes.iter() {
+        for (idx, &c) in codes.iter().enumerate() {
             model.encode_symbol(&mut enc, c);
             if c == UNPREDICTABLE {
-                let raw_v = raw_iter.next().expect("raw value missing");
-                enc.encode_bits_raw(raw_v.to_bits() as u64, 32);
+                enc.encode_bits_raw(src[idx].to_bits() as u64, 32);
             }
         }
         let stream = enc.finish();
@@ -191,24 +185,6 @@ impl SzCompressor {
         out.extend_from_slice(&stream);
         Ok(())
     }
-}
-
-/// Branchless quantisation of one residual: returns the code to emit, the
-/// reconstructed value and whether the cell was predictable.  Exactly the
-/// decision procedure of the original nested-`if` path (proven bit-identical
-/// by the equivalence suite); the non-short-circuiting `&` lets the compiler
-/// turn the selection into conditional moves.
-#[inline(always)]
-fn quantize_cell(val: f32, pred: f32, two_eb: f32, abs_error: f32) -> (i32, f32, bool) {
-    let q_f = ((val - pred) / two_eb).round();
-    let q_i = q_f as i32;
-    let rec = pred + q_f * two_eb;
-    let ok = (q_f.abs() <= MAX_CODE as f32) & ((rec - val).abs() <= abs_error) & rec.is_finite();
-    (
-        if ok { q_i } else { UNPREDICTABLE },
-        if ok { rec } else { val },
-        ok,
-    )
 }
 
 /// 3-D Lorenzo prediction from reconstructed neighbours (generic

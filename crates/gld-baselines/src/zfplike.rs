@@ -16,22 +16,23 @@
 //! Hot-path organisation mirrors `szlike`: tiles fully inside the volume
 //! (the vast majority) gather and scatter whole 4-element rows with hoisted
 //! bounds checks, only edge tiles pay the clamped `padded_at` path; the DCT
-//! basis is computed once per process; quantisation is branchless; and the
-//! per-block code/escape vectors come from a caller-provided [`ZfpScratch`].
+//! basis is computed once per process; the separable transform and the
+//! branchless quantiser dispatch through [`gld_kernels`] to the best SIMD
+//! backend the host supports; and the per-block code/escape vectors come
+//! from a caller-provided [`ZfpScratch`].
 
 use crate::header::{BlockHeader, Codec};
 use crate::{BaselineError, ErrorBoundedCompressor};
 use gld_entropy::{HistogramModel, RangeDecoder, RangeEncoder};
+use gld_kernels::kernels;
 use gld_tensor::Tensor;
 use std::sync::OnceLock;
 
 /// Block edge length.
 const BLOCK: usize = 4;
-/// Largest histogram-coded quantisation code; larger magnitudes escape to
-/// raw 32-bit storage.
-pub(crate) const MAX_CODE: i32 = 8191;
-/// Sentinel marking an escaped coefficient.
-pub(crate) const ESCAPE: i32 = MAX_CODE + 1;
+/// Sentinel marking an escaped coefficient; magnitudes beyond
+/// [`gld_kernels::ZFP_MAX_CODE`] escape to raw 32-bit storage.
+pub(crate) const ESCAPE: i32 = gld_kernels::ZFP_ESCAPE;
 /// Worst-case amplification of per-coefficient quantisation error for a
 /// separable 3-D orthonormal DCT (2 per axis).
 const ERROR_AMPLIFICATION: f32 = 8.0;
@@ -107,6 +108,8 @@ impl ZfpLikeCompressor {
         scratch.escapes.clear();
         let codes = &mut scratch.codes;
         let escapes = &mut scratch.escapes;
+        let kern = kernels();
+        let mut tile_codes = [0i32; 64];
         for bi in (0..p0).step_by(BLOCK) {
             for bj in (0..p1).step_by(BLOCK) {
                 for bk in (0..p2).step_by(BLOCK) {
@@ -129,17 +132,12 @@ impl ZfpLikeCompressor {
                             }
                         }
                     }
-                    forward_transform(&mut block);
-                    for &c in block.iter() {
-                        let q = (c / step).round();
-                        // Branchless select between the coded and escape
-                        // paths (same decision as the original nested ifs).
-                        let ok = (q.abs() <= MAX_CODE as f32) & q.is_finite();
-                        codes.push(if ok { q as i32 } else { ESCAPE });
-                        if !ok {
-                            escapes.push(q.clamp(i32::MIN as f32, i32::MAX as f32) as i32);
-                        }
-                    }
+                    kern.zfp_transform(&mut block, dct4_basis(), false);
+                    // Branchless select between the coded and escape paths
+                    // (same decision as the original nested ifs), vectorised
+                    // by the active backend.
+                    kern.zfp_quantize(&block, step, &mut tile_codes, escapes);
+                    codes.extend_from_slice(&tile_codes);
                 }
             }
         }
@@ -185,57 +183,15 @@ fn dct4_basis() -> &'static [[f32; 4]; 4] {
     })
 }
 
-/// Applies the 4-point transform (or its inverse) along one axis of a
-/// `4×4×4` block stored as a flat array.
-fn transform_axis(block: &mut [f32; 64], axis: usize, inverse: bool) {
-    let basis = dct4_basis();
-    let stride = match axis {
-        0 => 16,
-        1 => 4,
-        2 => 1,
-        _ => unreachable!(),
-    };
-    for a in 0..BLOCK {
-        for b in 0..BLOCK {
-            // Base index of the 4-element line along `axis` at position (a, b)
-            // in the other two axes.
-            let base = match axis {
-                0 => a * 4 + b,
-                1 => a * 16 + b,
-                2 => a * 16 + b * 4,
-                _ => unreachable!(),
-            };
-            let mut line = [0.0f32; 4];
-            for i in 0..BLOCK {
-                line[i] = block[base + i * stride];
-            }
-            let mut out = [0.0f32; 4];
-            for (k, o) in out.iter_mut().enumerate() {
-                let mut acc = 0.0;
-                for (n, &v) in line.iter().enumerate() {
-                    // Forward: y_k = Σ basis[k][n] x_n;  inverse uses the
-                    // transpose (orthonormal).
-                    acc += if inverse { basis[n][k] } else { basis[k][n] } * v;
-                }
-                *o = acc;
-            }
-            for i in 0..BLOCK {
-                block[base + i * stride] = out[i];
-            }
-        }
-    }
-}
-
+/// Full separable forward transform through the active kernel backend
+/// (forward: `y_k = Σ basis[k][n] x_n`; the inverse uses the transpose).
+#[cfg(test)]
 fn forward_transform(block: &mut [f32; 64]) {
-    for axis in 0..3 {
-        transform_axis(block, axis, false);
-    }
+    kernels().zfp_transform(block, dct4_basis(), false);
 }
 
 fn inverse_transform(block: &mut [f32; 64]) {
-    for axis in (0..3).rev() {
-        transform_axis(block, axis, true);
-    }
+    kernels().zfp_transform(block, dct4_basis(), true);
 }
 
 impl ErrorBoundedCompressor for ZfpLikeCompressor {

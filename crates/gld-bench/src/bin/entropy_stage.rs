@@ -11,6 +11,8 @@
 //! `BENCH_entropy_stage.json` (repo root).  Flags:
 //!
 //! * `--quick` — short measurement windows (CI mode);
+//! * `--backend <scalar|sse2|avx2|simd|auto>` — pin the kernel backend the
+//!   stage (and the codecs feeding it) runs on;
 //! * `--check` — exit non-zero unless the stage-on container total is at
 //!   least [`REQUIRED_REDUCTION`] smaller than stage-off on the corpus and
 //!   every staged container round-trips bit-identically (the CI gate).
@@ -83,6 +85,17 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let check = args.iter().any(|a| a == "--check");
+    if let Some(i) = args.iter().position(|a| a == "--backend") {
+        let sel = args.get(i + 1).expect("--backend needs a value");
+        let b = gld_kernels::Backend::parse_selection(sel)
+            .unwrap_or_else(|| panic!("--backend: unknown selection {sel:?}"));
+        gld_kernels::force(b).unwrap_or_else(|e| panic!("--backend: {e}"));
+    }
+    println!(
+        "entropy_stage: kernel backend {} (cpu: {})",
+        gld_kernels::active(),
+        gld_kernels::cpu_features()
+    );
     let window_s = if quick { 0.25 } else { 1.5 };
 
     // The synthetic-field corpus: every generator kind, the figure-binary
@@ -187,6 +200,7 @@ fn main() {
         concat!(
             "{{\n",
             "  \"quick\": {quick},\n",
+            "  \"backend\": \"{backend}\",\n",
             "  \"stage_off_bytes\": {off},\n",
             "  \"stage_on_bytes\": {on},\n",
             "  \"reduction\": {reduction:.4},\n",
@@ -197,6 +211,7 @@ fn main() {
             "}}\n"
         ),
         quick = quick,
+        backend = gld_kernels::active(),
         off = off_total,
         on = on_total,
         reduction = total_reduction,

@@ -44,6 +44,10 @@ pub use codec::{
 pub use container::{CodecId, Container, ContainerError, ContainerFormat, ContainerWriter};
 pub use error_bound::{ErrorBoundConfig, ErrorBoundOutcome, PcaErrorBound};
 pub use executor::{StreamConfig, StreamMetrics};
+/// Kernel backend dispatch (re-exported): the SIMD/scalar inner loops every
+/// codec in this stack runs on, selectable via `GLD_KERNEL_BACKEND` or
+/// [`gld_kernels::force`].
+pub use gld_kernels;
 pub use keyframes::{KeyframeStrategy, KeyframeSummary};
 pub use learned_baselines::{LearnedBaseline, LearnedBaselineKind};
 pub use pipeline::{

@@ -210,11 +210,14 @@ pub struct HistogramModel {
 
 /// `slots[target >> shift]` is the index of the first bin whose cumulative
 /// interval can contain `target`; the true bin is found by scanning forward
-/// from there (never backward).
+/// from there (never backward).  The scan runs on the kernel backend that
+/// was active when the table was built — all backends are bit-identical,
+/// so the choice only affects throughput.
 #[derive(Debug, Clone)]
 struct DecodeLut {
     slots: Vec<u16>,
     shift: u32,
+    backend: gld_kernels::Backend,
 }
 
 /// Model identity is its fitted distribution; the lazily built decode table
@@ -331,7 +334,11 @@ impl HistogramModel {
                 slots.push(bin as u16);
             }
         }
-        DecodeLut { slots, shift }
+        DecodeLut {
+            slots,
+            shift,
+            backend: gld_kernels::active(),
+        }
     }
 
     /// Lowest representable symbol.
@@ -428,8 +435,11 @@ impl HistogramModel {
         let total = self.total();
         let target = dec.decode_target(total);
         let mut bin = lut.slots[(target >> lut.shift) as usize] as usize;
-        while self.cdf[bin + 1] <= target {
-            bin += 1;
+        if self.cdf[bin + 1] <= target {
+            // Slot start fell short of the true bin: hand the forward scan
+            // to the active SIMD backend (the common case — an exact slot
+            // hit — never pays the indirect call).
+            bin = gld_kernels::kernels_for(lut.backend).find_bin(&self.cdf, bin + 1, target);
         }
         dec.decode_update(self.cdf[bin], self.cdf[bin + 1], total);
         self.min + bin as i32

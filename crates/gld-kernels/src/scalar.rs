@@ -1,0 +1,155 @@
+//! Portable scalar reference kernels.  Every SIMD backend is proven
+//! bit-identical to the functions in this module; their bodies are the
+//! semantics of the crate and must only change together with every
+//! accelerated path.
+
+use crate::{SzPlane, SZ_MAX_CODE, SZ_UNPREDICTABLE, ZFP_ESCAPE, ZFP_MAX_CODE};
+
+/// Branchless quantisation of one SZ residual: returns the code to emit,
+/// the reconstructed value and whether the cell was predictable.  The
+/// non-short-circuiting `&` lets the compiler turn the selection into
+/// conditional moves.
+#[inline(always)]
+pub fn sz_quantize_cell(val: f32, pred: f32, two_eb: f32, abs_error: f32) -> (i32, f32, bool) {
+    let q_f = ((val - pred) / two_eb).round();
+    let q_i = q_f as i32;
+    let rec = pred + q_f * two_eb;
+    let ok = (q_f.abs() <= SZ_MAX_CODE as f32) & ((rec - val).abs() <= abs_error) & rec.is_finite();
+    (
+        if ok { q_i } else { SZ_UNPREDICTABLE },
+        if ok { rec } else { val },
+        ok,
+    )
+}
+
+/// Row-wise interior walk of one plane: the allocation-free branchless loop
+/// with the three `k - 1` neighbours carried in registers.  Association
+/// order of the Lorenzo prediction is load-bearing — it matches the frozen
+/// `gld_baselines::reference` walk bit for bit.
+pub(crate) fn sz_plane(p: &mut SzPlane<'_>) {
+    let d2 = p.d2;
+    for j in 1..p.d1 {
+        let row = j * d2;
+        let (before, cur) = p.recon.split_at_mut(row);
+        let cur_row = &mut cur[..d2];
+        let prev_row = &before[row - d2..row];
+        let pp_row = &p.prev[row..row + d2];
+        let ppp_row = &p.prev[row - d2..row];
+        let src_row = &p.src[row..row + d2];
+        let codes_row = &mut p.codes[row..row + d2];
+        let mut left = cur_row[0];
+        let mut pr_left = prev_row[0];
+        let mut pp_left = pp_row[0];
+        let mut ppp_left = ppp_row[0];
+        for k in 1..d2 {
+            let val = src_row[k];
+            let pred = pp_row[k] + prev_row[k] + left - ppp_row[k] - pp_left - pr_left + ppp_left;
+            let (code, rec, _) = sz_quantize_cell(val, pred, p.two_eb, p.abs_error);
+            codes_row[k] = code;
+            cur_row[k] = rec;
+            ppp_left = ppp_row[k];
+            pp_left = pp_row[k];
+            pr_left = prev_row[k];
+            left = rec;
+        }
+    }
+}
+
+/// One 4-point transform pass along `axis` of a flat `4x4x4` tile; the
+/// accumulation order (`acc = 0.0; acc += coef * v` for `n = 0..4`) is
+/// load-bearing for bit-identity.
+fn zfp_transform_axis(block: &mut [f32; 64], basis: &[[f32; 4]; 4], axis: usize, inverse: bool) {
+    let stride = match axis {
+        0 => 16,
+        1 => 4,
+        2 => 1,
+        _ => unreachable!(),
+    };
+    for a in 0..4 {
+        for b in 0..4 {
+            let base = match axis {
+                0 => a * 4 + b,
+                1 => a * 16 + b,
+                2 => a * 16 + b * 4,
+                _ => unreachable!(),
+            };
+            let mut line = [0.0f32; 4];
+            for (i, l) in line.iter_mut().enumerate() {
+                *l = block[base + i * stride];
+            }
+            let mut out = [0.0f32; 4];
+            for (k, o) in out.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (n, &v) in line.iter().enumerate() {
+                    acc += if inverse { basis[n][k] } else { basis[k][n] } * v;
+                }
+                *o = acc;
+            }
+            for (i, &o) in out.iter().enumerate() {
+                block[base + i * stride] = o;
+            }
+        }
+    }
+}
+
+/// Full separable tile transform: axes `0,1,2` forward, `2,1,0` with the
+/// transposed basis for the inverse.
+pub(crate) fn zfp_transform(block: &mut [f32; 64], basis: &[[f32; 4]; 4], inverse: bool) {
+    let axes: [usize; 3] = if inverse { [2, 1, 0] } else { [0, 1, 2] };
+    for axis in axes {
+        zfp_transform_axis(block, basis, axis, inverse);
+    }
+}
+
+/// Branchless tile quantisation; escaped coefficients append their clamped
+/// raw value in tile order.
+pub(crate) fn zfp_quantize(
+    block: &[f32; 64],
+    step: f32,
+    codes: &mut [i32; 64],
+    escapes: &mut Vec<i32>,
+) {
+    for (&c, out) in block.iter().zip(codes.iter_mut()) {
+        let q = (c / step).round();
+        let ok = (q.abs() <= ZFP_MAX_CODE as f32) & q.is_finite();
+        *out = if ok { q as i32 } else { ZFP_ESCAPE };
+        if !ok {
+            escapes.push(q.clamp(i32::MIN as f32, i32::MAX as f32) as i32);
+        }
+    }
+}
+
+/// Forward scan of the histogram CDF from a LUT-provided starting bin.
+#[inline]
+pub(crate) fn find_bin(cdf: &[u32], mut bin: usize, target: u32) -> usize {
+    while cdf[bin + 1] <= target {
+        bin += 1;
+    }
+    bin
+}
+
+/// Longest common prefix of `a` and `b` — the LZ match extension loop.
+#[inline]
+pub(crate) fn match_len(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// The LZ 4-byte hash for one position.
+#[inline(always)]
+pub(crate) fn hash4_one(input: &[u8], at: usize, bits: u32) -> u32 {
+    let v = u32::from_le_bytes([input[at], input[at + 1], input[at + 2], input[at + 3]]);
+    v.wrapping_mul(0x9E37_79B1) >> (32 - bits)
+}
+
+/// Hashes of positions `0..out.len()` of `input`.
+pub(crate) fn hash4_batch(input: &[u8], bits: u32, out: &mut [u32]) {
+    debug_assert!(out.len() + 3 <= input.len() || out.is_empty());
+    for (at, o) in out.iter_mut().enumerate() {
+        *o = hash4_one(input, at, bits);
+    }
+}

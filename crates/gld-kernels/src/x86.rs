@@ -1,0 +1,531 @@
+//! x86-64 SIMD backends.
+//!
+//! [`Sse2Kernels`] uses only the x86-64 baseline instruction set (SSE2), so
+//! it is unconditionally available; [`Avx2Kernels`] is gated on runtime
+//! `is_x86_feature_detected!("avx2")` by the dispatcher in `lib.rs`.
+//!
+//! Everything here is bit-identical to `scalar.rs` by construction:
+//!
+//! * `f32::round` (half away from zero) is emulated as round-to-nearest-even
+//!   plus an exact tie fix-up.  `d = x - rint(x)` is exact (Sterbenz), so
+//!   `|d| == 0.5` detects ties without double rounding; ties resolve as
+//!   `x + copysign(0.5, x)`, which is exact for every representable
+//!   half-integer.  The naive `trunc(x + copysign(0.5, x))` would double
+//!   round (e.g. `0.49999997f32`).  On SSE2 (no `roundps`) `rint` is
+//!   `cvtdq2ps(cvtps2dq(x))` guarded by `|x| < 2^23` — larger magnitudes
+//!   (and NaN, which fails the ordered compare) pass through unchanged,
+//!   exactly like scalar `round`.  The SSE2 conversion uses the MXCSR
+//!   rounding mode, which this workspace never changes from its
+//!   round-to-nearest-even default.
+//! * `cvtps2dq` differs from scalar `as i32` (INT_MIN sentinel vs
+//!   saturation) only for values the `ok` mask already rejects, so the
+//!   difference is never observable.
+//! * Multiplies and adds are separate intrinsics — LLVM does not contract
+//!   them into FMA without fast-math, so lane arithmetic matches scalar
+//!   IEEE ops exactly, in the same association order.
+
+use crate::{
+    scalar, Backend, KernelBackend, SzPlane, SZ_MAX_CODE, SZ_UNPREDICTABLE, ZFP_ESCAPE,
+    ZFP_MAX_CODE,
+};
+use std::arch::x86_64::*;
+
+/// Baseline x86-64 vector kernels (SSE2 only, always available).  The
+/// Lorenzo plane walk and the hash batch stay on the scalar path: both lean
+/// on gathers / 32-bit lane multiplies that SSE2 lacks.
+pub(crate) struct Sse2Kernels;
+
+/// AVX2 kernels (runtime-detected): adds the gathered anti-diagonal Lorenzo
+/// wavefront, 8-wide tile quantisation, 8-wide bin scan, 32-byte match
+/// extension and the interleaved hash batch.
+pub(crate) struct Avx2Kernels;
+
+impl KernelBackend for Sse2Kernels {
+    fn backend(&self) -> Backend {
+        Backend::Sse2
+    }
+
+    fn zfp_transform(&self, block: &mut [f32; 64], basis: &[[f32; 4]; 4], inverse: bool) {
+        // SAFETY: SSE2 is part of the x86-64 ABI.
+        unsafe { zfp_transform_sse2(block, basis, inverse) }
+    }
+
+    fn zfp_quantize(
+        &self,
+        block: &[f32; 64],
+        step: f32,
+        codes: &mut [i32; 64],
+        escapes: &mut Vec<i32>,
+    ) {
+        // SAFETY: SSE2 is part of the x86-64 ABI.
+        unsafe { zfp_quantize_sse2(block, step, codes, escapes) }
+    }
+
+    fn find_bin(&self, cdf: &[u32], bin: usize, target: u32) -> usize {
+        // SAFETY: SSE2 is part of the x86-64 ABI.
+        unsafe { find_bin_sse2(cdf, bin, target) }
+    }
+
+    fn match_len(&self, a: &[u8], b: &[u8]) -> usize {
+        // SAFETY: SSE2 is part of the x86-64 ABI.
+        unsafe { match_len_sse2(a, b) }
+    }
+}
+
+impl KernelBackend for Avx2Kernels {
+    fn backend(&self) -> Backend {
+        Backend::Avx2
+    }
+
+    fn sz_quantize_plane(&self, plane: &mut SzPlane<'_>) {
+        // Gather offsets are 32-bit; a plane that large never occurs, but
+        // degrade safely rather than truncate.
+        if plane.d1 < 2 || plane.d2 < 2 || plane.d1 * plane.d2 > i32::MAX as usize {
+            return scalar::sz_plane(plane);
+        }
+        // SAFETY: the dispatcher only hands out this backend when AVX2 is
+        // detected; slice lengths are checked by the kernel's caller
+        // contract (`SzPlane` invariants) and re-asserted inside.
+        unsafe { sz_quantize_plane_avx2(plane) }
+    }
+
+    fn zfp_transform(&self, block: &mut [f32; 64], basis: &[[f32; 4]; 4], inverse: bool) {
+        // The 4-point lines fit SSE registers exactly; AVX2 adds nothing.
+        // SAFETY: SSE2 is part of the x86-64 ABI.
+        unsafe { zfp_transform_sse2(block, basis, inverse) }
+    }
+
+    fn zfp_quantize(
+        &self,
+        block: &[f32; 64],
+        step: f32,
+        codes: &mut [i32; 64],
+        escapes: &mut Vec<i32>,
+    ) {
+        // SAFETY: AVX2 detected (dispatcher invariant).
+        unsafe { zfp_quantize_avx2(block, step, codes, escapes) }
+    }
+
+    fn find_bin(&self, cdf: &[u32], bin: usize, target: u32) -> usize {
+        // SAFETY: AVX2 detected (dispatcher invariant).
+        unsafe { find_bin_avx2(cdf, bin, target) }
+    }
+
+    fn match_len(&self, a: &[u8], b: &[u8]) -> usize {
+        // SAFETY: AVX2 detected (dispatcher invariant).
+        unsafe { match_len_avx2(a, b) }
+    }
+
+    fn hash4_batch(&self, input: &[u8], bits: u32, out: &mut [u32]) {
+        // SAFETY: AVX2 detected (dispatcher invariant).
+        unsafe { hash4_batch_avx2(input, bits, out) }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Round emulation
+// ----------------------------------------------------------------------
+
+/// Exact `f32::round` (half away from zero) on 8 lanes.  See the module
+/// docs for why the tie fix-up is exact.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn round_half_away_avx2(x: __m256) -> __m256 {
+    let sign = _mm256_set1_ps(-0.0);
+    let half = _mm256_set1_ps(0.5);
+    let t = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(x);
+    let d = _mm256_sub_ps(x, t);
+    let tie = _mm256_cmp_ps::<_CMP_EQ_OQ>(_mm256_andnot_ps(sign, d), half);
+    let away = _mm256_add_ps(x, _mm256_or_ps(_mm256_and_ps(sign, x), half));
+    _mm256_blendv_ps(t, away, tie)
+}
+
+/// Exact `f32::round` on 4 lanes without `roundps`: `rint` via the int
+/// round-trip under a `|x| < 2^23` guard (NaN and huge values pass
+/// through), then the same tie fix-up.
+#[inline]
+unsafe fn round_half_away_sse2(x: __m128) -> __m128 {
+    let sign = _mm_set1_ps(-0.0);
+    let half = _mm_set1_ps(0.5);
+    let abs_x = _mm_andnot_ps(sign, x);
+    let small = _mm_cmplt_ps(abs_x, _mm_set1_ps(8_388_608.0)); // 2^23; NaN -> false
+    let t = _mm_cvtepi32_ps(_mm_cvtps_epi32(x));
+    let d = _mm_sub_ps(x, t);
+    let tie = _mm_cmpeq_ps(_mm_andnot_ps(sign, d), half);
+    let away = _mm_add_ps(x, _mm_or_ps(_mm_and_ps(sign, x), half));
+    let rounded = _mm_or_ps(_mm_and_ps(tie, away), _mm_andnot_ps(tie, t));
+    _mm_or_ps(_mm_and_ps(small, rounded), _mm_andnot_ps(small, x))
+}
+
+// ----------------------------------------------------------------------
+// SZ Lorenzo wavefront
+// ----------------------------------------------------------------------
+
+/// Interior plane walk vectorised along anti-diagonals.
+///
+/// Within a plane, interior cell `(j, k)` depends on `(j, k-1)`, `(j-1, k)`
+/// and `(j-1, k-1)` — all on anti-diagonals `j + k - 1` and `j + k - 2` —
+/// so every cell on one anti-diagonal is independent.  Lanes walk 8
+/// consecutive rows of a diagonal (memory stride `d2 - 1`), neighbours come
+/// in through gathers, and results scatter back through 8 scalar stores
+/// (AVX2 has no scatter).  Leftover diagonal cells take the scalar
+/// quantiser, so output is bit-identical to the row-wise scalar walk for
+/// every plane shape.
+#[target_feature(enable = "avx2")]
+unsafe fn sz_quantize_plane_avx2(p: &mut SzPlane<'_>) {
+    let (d1, d2) = (p.d1, p.d2);
+    let n = d1 * d2;
+    assert!(
+        p.src.len() >= n && p.prev.len() >= n && p.recon.len() >= n && p.codes.len() >= n,
+        "SzPlane slices shorter than d1 * d2"
+    );
+    let src = p.src.as_ptr();
+    let prev = p.prev.as_ptr();
+    let recon = p.recon.as_mut_ptr();
+    let codes = p.codes.as_mut_ptr();
+
+    let two_eb_v = _mm256_set1_ps(p.two_eb);
+    let abs_err_v = _mm256_set1_ps(p.abs_error);
+    let max_code_v = _mm256_set1_ps(SZ_MAX_CODE as f32);
+    let escape_v = _mm256_set1_epi32(SZ_UNPREDICTABLE);
+    let inf_v = _mm256_set1_ps(f32::INFINITY);
+    let sign_v = _mm256_set1_ps(-0.0);
+    let d2_i = d2 as i32;
+    let stride = d2_i - 1;
+    let lane_off = _mm256_mullo_epi32(
+        _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+        _mm256_set1_epi32(stride),
+    );
+
+    for d in 2..=(d1 - 1) + (d2 - 1) {
+        let j_lo = if d + 1 > d2 { d + 1 - d2 } else { 1 };
+        let j_hi = (d1 - 1).min(d - 1); // inclusive
+        let mut j = j_lo;
+        while j + 7 <= j_hi {
+            // Lanes r = 0..8 handle cells (j + r, d - j - r); all gathered
+            // neighbours are on earlier diagonals, already written.
+            let base = (j * d2 + (d - j)) as i32;
+            let idx = _mm256_add_epi32(_mm256_set1_epi32(base), lane_off);
+            let idx_l = _mm256_sub_epi32(idx, _mm256_set1_epi32(1));
+            let idx_u = _mm256_sub_epi32(idx, _mm256_set1_epi32(d2_i));
+            let idx_ul = _mm256_sub_epi32(idx, _mm256_set1_epi32(d2_i + 1));
+            let val = _mm256_i32gather_ps::<4>(src, idx);
+            let pp = _mm256_i32gather_ps::<4>(prev, idx);
+            let ppp = _mm256_i32gather_ps::<4>(prev, idx_u);
+            let pp_left = _mm256_i32gather_ps::<4>(prev, idx_l);
+            let ppp_left = _mm256_i32gather_ps::<4>(prev, idx_ul);
+            let left = _mm256_i32gather_ps::<4>(recon as *const f32, idx_l);
+            let prev_r = _mm256_i32gather_ps::<4>(recon as *const f32, idx_u);
+            let pr_left = _mm256_i32gather_ps::<4>(recon as *const f32, idx_ul);
+
+            // Same association order as the scalar walk:
+            // pp + prev + left - ppp - pp_left - pr_left + ppp_left.
+            let mut pred = _mm256_add_ps(pp, prev_r);
+            pred = _mm256_add_ps(pred, left);
+            pred = _mm256_sub_ps(pred, ppp);
+            pred = _mm256_sub_ps(pred, pp_left);
+            pred = _mm256_sub_ps(pred, pr_left);
+            pred = _mm256_add_ps(pred, ppp_left);
+
+            let q = round_half_away_avx2(_mm256_div_ps(_mm256_sub_ps(val, pred), two_eb_v));
+            let q_i = _mm256_cvtps_epi32(q);
+            let rec_q = _mm256_add_ps(pred, _mm256_mul_ps(q, two_eb_v));
+            let ok = _mm256_and_ps(
+                _mm256_and_ps(
+                    _mm256_cmp_ps::<_CMP_LE_OQ>(_mm256_andnot_ps(sign_v, q), max_code_v),
+                    _mm256_cmp_ps::<_CMP_LE_OQ>(
+                        _mm256_andnot_ps(sign_v, _mm256_sub_ps(rec_q, val)),
+                        abs_err_v,
+                    ),
+                ),
+                _mm256_cmp_ps::<_CMP_LT_OQ>(_mm256_andnot_ps(sign_v, rec_q), inf_v),
+            );
+            let code = _mm256_blendv_epi8(escape_v, q_i, _mm256_castps_si256(ok));
+            let rec = _mm256_blendv_ps(val, rec_q, ok);
+
+            let mut rec_a = [0.0f32; 8];
+            let mut code_a = [0i32; 8];
+            _mm256_storeu_ps(rec_a.as_mut_ptr(), rec);
+            _mm256_storeu_si256(code_a.as_mut_ptr().cast(), code);
+            let mut off = base as usize;
+            for r in 0..8 {
+                *recon.add(off) = rec_a[r];
+                *codes.add(off) = code_a[r];
+                off += d2 - 1;
+            }
+            j += 8;
+        }
+        for jj in j..=j_hi {
+            let idx = jj * d2 + (d - jj);
+            let pred = *prev.add(idx) + *recon.add(idx - d2) + *recon.add(idx - 1)
+                - *prev.add(idx - d2)
+                - *prev.add(idx - 1)
+                - *recon.add(idx - d2 - 1)
+                + *prev.add(idx - d2 - 1);
+            let (code, rec, _) =
+                scalar::sz_quantize_cell(*src.add(idx), pred, p.two_eb, p.abs_error);
+            *codes.add(idx) = code;
+            *recon.add(idx) = rec;
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// ZFP tile transform + quantise
+// ----------------------------------------------------------------------
+
+#[inline]
+unsafe fn transpose4(
+    r0: __m128,
+    r1: __m128,
+    r2: __m128,
+    r3: __m128,
+) -> (__m128, __m128, __m128, __m128) {
+    let t0 = _mm_unpacklo_ps(r0, r1);
+    let t1 = _mm_unpacklo_ps(r2, r3);
+    let t2 = _mm_unpackhi_ps(r0, r1);
+    let t3 = _mm_unpackhi_ps(r2, r3);
+    (
+        _mm_movelh_ps(t0, t1),
+        _mm_movehl_ps(t1, t0),
+        _mm_movelh_ps(t2, t3),
+        _mm_movehl_ps(t3, t2),
+    )
+}
+
+/// Separable tile transform with the four outputs of every 4-point line in
+/// lanes.  Per lane the accumulation is `((((0 + t0) + t1) + t2) + t3)` —
+/// the scalar loop's order, including the signed-zero-relevant leading add.
+unsafe fn zfp_transform_sse2(block: &mut [f32; 64], basis: &[[f32; 4]; 4], inverse: bool) {
+    let r0 = _mm_loadu_ps(basis[0].as_ptr());
+    let r1 = _mm_loadu_ps(basis[1].as_ptr());
+    let r2 = _mm_loadu_ps(basis[2].as_ptr());
+    let r3 = _mm_loadu_ps(basis[3].as_ptr());
+    // c[n] lane k = coefficient of input n for output k.
+    let (c0, c1, c2, c3) = if inverse {
+        (r0, r1, r2, r3) // coef(k, n) = basis[n][k]: rows as-is
+    } else {
+        transpose4(r0, r1, r2, r3) // coef(k, n) = basis[k][n]: columns
+    };
+    let zero = _mm_setzero_ps();
+    let axes: [usize; 3] = if inverse { [2, 1, 0] } else { [0, 1, 2] };
+    for axis in axes {
+        let stride = [16usize, 4, 1][axis];
+        for a in 0..4 {
+            for b in 0..4 {
+                let base = match axis {
+                    0 => a * 4 + b,
+                    1 => a * 16 + b,
+                    _ => a * 16 + b * 4,
+                };
+                let line = if stride == 1 {
+                    _mm_loadu_ps(block.as_ptr().add(base))
+                } else {
+                    _mm_setr_ps(
+                        block[base],
+                        block[base + stride],
+                        block[base + 2 * stride],
+                        block[base + 3 * stride],
+                    )
+                };
+                let mut acc = _mm_add_ps(zero, _mm_mul_ps(c0, _mm_shuffle_ps::<0x00>(line, line)));
+                acc = _mm_add_ps(acc, _mm_mul_ps(c1, _mm_shuffle_ps::<0x55>(line, line)));
+                acc = _mm_add_ps(acc, _mm_mul_ps(c2, _mm_shuffle_ps::<0xAA>(line, line)));
+                acc = _mm_add_ps(acc, _mm_mul_ps(c3, _mm_shuffle_ps::<0xFF>(line, line)));
+                if stride == 1 {
+                    _mm_storeu_ps(block.as_mut_ptr().add(base), acc);
+                } else {
+                    let mut out = [0.0f32; 4];
+                    _mm_storeu_ps(out.as_mut_ptr(), acc);
+                    for (i, &o) in out.iter().enumerate() {
+                        block[base + i * stride] = o;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// 4-wide tile quantisation.  `|q| <= MAX_CODE` already implies `q` is
+/// finite (NaN fails the ordered compare), so one compare reproduces the
+/// scalar `ok`; escape lanes recompute `q` scalar-side, which is exact
+/// because the division and the round emulation are both bit-identical.
+unsafe fn zfp_quantize_sse2(
+    block: &[f32; 64],
+    step: f32,
+    codes: &mut [i32; 64],
+    escapes: &mut Vec<i32>,
+) {
+    let step_v = _mm_set1_ps(step);
+    let max_v = _mm_set1_ps(ZFP_MAX_CODE as f32);
+    let esc_v = _mm_set1_epi32(ZFP_ESCAPE);
+    let sign_v = _mm_set1_ps(-0.0);
+    for i in (0..64).step_by(4) {
+        let c = _mm_loadu_ps(block.as_ptr().add(i));
+        let q = round_half_away_sse2(_mm_div_ps(c, step_v));
+        let ok = _mm_cmple_ps(_mm_andnot_ps(sign_v, q), max_v);
+        let ok_i = _mm_castps_si128(ok);
+        let code = _mm_or_si128(
+            _mm_and_si128(ok_i, _mm_cvtps_epi32(q)),
+            _mm_andnot_si128(ok_i, esc_v),
+        );
+        _mm_storeu_si128(codes.as_mut_ptr().add(i).cast(), code);
+        let m = _mm_movemask_ps(ok);
+        if m != 0xF {
+            for l in 0..4 {
+                if m & (1 << l) == 0 {
+                    let q = (block[i + l] / step).round();
+                    escapes.push(q.clamp(i32::MIN as f32, i32::MAX as f32) as i32);
+                }
+            }
+        }
+    }
+}
+
+/// 8-wide tile quantisation (see [`zfp_quantize_sse2`] for the invariants).
+#[target_feature(enable = "avx2")]
+unsafe fn zfp_quantize_avx2(
+    block: &[f32; 64],
+    step: f32,
+    codes: &mut [i32; 64],
+    escapes: &mut Vec<i32>,
+) {
+    let step_v = _mm256_set1_ps(step);
+    let max_v = _mm256_set1_ps(ZFP_MAX_CODE as f32);
+    let esc_v = _mm256_set1_epi32(ZFP_ESCAPE);
+    let sign_v = _mm256_set1_ps(-0.0);
+    for i in (0..64).step_by(8) {
+        let c = _mm256_loadu_ps(block.as_ptr().add(i));
+        let q = round_half_away_avx2(_mm256_div_ps(c, step_v));
+        let ok = _mm256_cmp_ps::<_CMP_LE_OQ>(_mm256_andnot_ps(sign_v, q), max_v);
+        let code = _mm256_blendv_epi8(esc_v, _mm256_cvtps_epi32(q), _mm256_castps_si256(ok));
+        _mm256_storeu_si256(codes.as_mut_ptr().add(i).cast(), code);
+        let m = _mm256_movemask_ps(ok);
+        if m != 0xFF {
+            for l in 0..8 {
+                if m & (1 << l) == 0 {
+                    let q = (block[i + l] / step).round();
+                    escapes.push(q.clamp(i32::MIN as f32, i32::MAX as f32) as i32);
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Histogram bin scan
+// ----------------------------------------------------------------------
+
+/// Unsigned 32-bit `>` via the sign-flip trick (SSE/AVX only have signed
+/// integer compares).
+#[inline]
+unsafe fn find_bin_sse2(cdf: &[u32], mut bin: usize, target: u32) -> usize {
+    let flip = _mm_set1_epi32(i32::MIN);
+    let target_v = _mm_xor_si128(_mm_set1_epi32(target as i32), flip);
+    while bin + 5 <= cdf.len() {
+        let v = _mm_loadu_si128(cdf.as_ptr().add(bin + 1).cast());
+        let gt = _mm_cmpgt_epi32(_mm_xor_si128(v, flip), target_v);
+        let m = _mm_movemask_ps(_mm_castsi128_ps(gt));
+        if m != 0 {
+            return bin + m.trailing_zeros() as usize;
+        }
+        bin += 4;
+    }
+    scalar::find_bin(cdf, bin, target)
+}
+
+/// 8-wide variant of [`find_bin_sse2`].
+#[target_feature(enable = "avx2")]
+unsafe fn find_bin_avx2(cdf: &[u32], mut bin: usize, target: u32) -> usize {
+    let flip = _mm256_set1_epi32(i32::MIN);
+    let target_v = _mm256_xor_si256(_mm256_set1_epi32(target as i32), flip);
+    while bin + 9 <= cdf.len() {
+        let v = _mm256_loadu_si256(cdf.as_ptr().add(bin + 1).cast());
+        let gt = _mm256_cmpgt_epi32(_mm256_xor_si256(v, flip), target_v);
+        let m = _mm256_movemask_ps(_mm256_castsi256_ps(gt));
+        if m != 0 {
+            return bin + m.trailing_zeros() as usize;
+        }
+        bin += 8;
+    }
+    scalar::find_bin(cdf, bin, target)
+}
+
+// ----------------------------------------------------------------------
+// LZ match extension + hash batch
+// ----------------------------------------------------------------------
+
+unsafe fn match_len_sse2(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i + 16 <= n {
+        let va = _mm_loadu_si128(a.as_ptr().add(i).cast());
+        let vb = _mm_loadu_si128(b.as_ptr().add(i).cast());
+        let m = _mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)) as u32;
+        if m != 0xFFFF {
+            return i + (!m).trailing_zeros() as usize;
+        }
+        i += 16;
+    }
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn match_len_avx2(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i + 32 <= n {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+        let m = _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)) as u32;
+        if m != u32::MAX {
+            return i + (!m).trailing_zeros() as usize;
+        }
+        i += 32;
+    }
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// 32 hashes per iteration: four overlapping 32-byte loads give the 4-byte
+/// windows at byte offsets `i + 4j + m` in lane `j` of load `m`; after the
+/// multiply/shift the four hash vectors are interleaved back into position
+/// order with `unpack{lo,hi}_epi{32,64}` + `permute2x128`.
+#[target_feature(enable = "avx2")]
+unsafe fn hash4_batch_avx2(input: &[u8], bits: u32, out: &mut [u32]) {
+    let n = out.len();
+    let mul = _mm256_set1_epi32(0x9E37_79B1u32 as i32);
+    let shift = _mm_cvtsi32_si128((32 - bits) as i32);
+    let mut i = 0;
+    // Load `m` reads bytes `i + m .. i + m + 32`; `i + 32 <= n` bounds the
+    // furthest byte at `i + 34 < n + 3 <= input.len()`.
+    while i + 32 <= n {
+        let hash = |off: usize| {
+            let v = _mm256_loadu_si256(input.as_ptr().add(i + off).cast());
+            _mm256_srl_epi32(_mm256_mullo_epi32(v, mul), shift)
+        };
+        let (ha, hb, hc, hd) = (hash(0), hash(1), hash(2), hash(3));
+        let t0 = _mm256_unpacklo_epi32(ha, hb);
+        let t1 = _mm256_unpackhi_epi32(ha, hb);
+        let t2 = _mm256_unpacklo_epi32(hc, hd);
+        let t3 = _mm256_unpackhi_epi32(hc, hd);
+        let u0 = _mm256_unpacklo_epi64(t0, t2);
+        let u1 = _mm256_unpackhi_epi64(t0, t2);
+        let u2 = _mm256_unpacklo_epi64(t1, t3);
+        let u3 = _mm256_unpackhi_epi64(t1, t3);
+        let o = out.as_mut_ptr().add(i);
+        _mm256_storeu_si256(o.cast(), _mm256_permute2x128_si256::<0x20>(u0, u1));
+        _mm256_storeu_si256(o.add(8).cast(), _mm256_permute2x128_si256::<0x20>(u2, u3));
+        _mm256_storeu_si256(o.add(16).cast(), _mm256_permute2x128_si256::<0x31>(u0, u1));
+        _mm256_storeu_si256(o.add(24).cast(), _mm256_permute2x128_si256::<0x31>(u2, u3));
+        i += 32;
+    }
+    for (at, slot) in out.iter_mut().enumerate().take(n).skip(i) {
+        *slot = scalar::hash4_one(input, at, bits);
+    }
+}

@@ -49,6 +49,7 @@
 
 use gld_entropy::adaptive::{AdaptiveBitModel, AdaptiveTreeModel};
 use gld_entropy::{RangeDecoder, RangeEncoder};
+use gld_kernels::{kernels, KernelBackend};
 use std::fmt;
 
 /// Stream tag byte: the content follows verbatim.
@@ -169,6 +170,9 @@ impl SequenceModels {
 pub struct LzScratch {
     head: Vec<u32>,
     chain: Vec<u32>,
+    /// Per-position 4-byte hashes, batch-computed up front by the active
+    /// kernel backend so the match-finder loop never rehashes.
+    hashes: Vec<u32>,
     models: SequenceModels,
     /// Recycled backing buffer for the range encoder's output.
     stream_buf: Vec<u8>,
@@ -186,24 +190,22 @@ impl LzScratch {
         LzScratch {
             head: Vec::new(),
             chain: Vec::new(),
+            hashes: Vec::new(),
             models: SequenceModels::new(),
             stream_buf: Vec::new(),
         }
     }
 
-    fn prepare(&mut self, input_len: usize) {
+    fn prepare(&mut self, input: &[u8]) {
         self.head.clear();
         self.head.resize(1 << HASH_BITS, NIL);
         self.chain.clear();
-        self.chain.resize(input_len, NIL);
+        self.chain.resize(input.len(), NIL);
+        self.hashes.clear();
+        self.hashes.resize(input.len().saturating_sub(3), 0);
+        kernels().hash4_batch(input, HASH_BITS, &mut self.hashes);
         self.models.reset();
     }
-}
-
-#[inline]
-fn hash4(bytes: &[u8]) -> usize {
-    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
-    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
 /// Slot decomposition of a value: `(k, low)` with `v + 1 = (1 << k) | low`.
@@ -275,25 +277,31 @@ struct Match {
 
 /// Longest match for `input[at..]` among the (bounded) hash chain, most
 /// recent candidates first — ties therefore resolve to the closest
-/// occurrence, which codes cheapest.
+/// occurrence, which codes cheapest.  Hashes come precomputed from the
+/// scratch's batch table; the extension scan runs on the active backend.
 #[inline]
-fn find_match(input: &[u8], at: usize, head: &[u32], chain: &[u32]) -> Option<Match> {
+fn find_match(
+    input: &[u8],
+    hashes: &[u32],
+    at: usize,
+    head: &[u32],
+    chain: &[u32],
+    kern: &dyn KernelBackend,
+) -> Option<Match> {
     let remaining = input.len() - at;
     if remaining < MIN_MATCH {
         return None;
     }
     let first4 = &input[at..at + 4];
-    let mut pos = head[hash4(first4)];
+    let mut pos = head[hashes[at] as usize];
     let mut best: Option<Match> = None;
     let mut depth = 0usize;
     while pos != NIL && depth < MAX_CHAIN {
         let p = pos as usize;
         // Quick reject on the first four bytes before the full extension.
         if input[p..p + 4] == *first4 {
-            let mut len = 4;
-            while len < remaining && input[p + len] == input[at + len] {
-                len += 1;
-            }
+            let len =
+                4 + kern.match_len(&input[p + 4..p + remaining], &input[at + 4..at + remaining]);
             if best.is_none_or(|b| len > b.len) {
                 best = Some(Match { len, dist: at - p });
                 if len == remaining {
@@ -308,11 +316,10 @@ fn find_match(input: &[u8], at: usize, head: &[u32], chain: &[u32]) -> Option<Ma
 }
 
 #[inline]
-fn insert(input: &[u8], at: usize, head: &mut [u32], chain: &mut [u32]) {
-    if at + MIN_MATCH <= input.len() {
-        let h = hash4(&input[at..at + 4]);
-        chain[at] = head[h];
-        head[h] = at as u32;
+fn insert(hashes: &[u32], at: usize, head: &mut [u32], chain: &mut [u32]) {
+    if let Some(&h) = hashes.get(at) {
+        chain[at] = head[h as usize];
+        head[h as usize] = at as u32;
     }
 }
 
@@ -338,30 +345,34 @@ pub fn compress_into(input: &[u8], scratch: &mut LzScratch, out: &mut Vec<u8>) {
     write_varint(out, input.len() as u64);
     let prefix = out.len() - start;
 
-    scratch.prepare(input.len());
+    scratch.prepare(input);
     let models = &mut scratch.models;
     let mut enc = RangeEncoder::with_buffer(std::mem::take(&mut scratch.stream_buf));
 
+    let kern = kernels();
     let head = &mut scratch.head;
     let chain = &mut scratch.chain;
+    let hashes = &scratch.hashes[..];
     let mut i = 0usize;
     // The lazy step's lookahead match is carried into the next iteration
     // instead of being recomputed there — the match finder walks each
     // position's chain once, not twice.
     let mut pending: Option<Match> = None;
     while i < input.len() {
-        let found = pending.take().or_else(|| find_match(input, i, head, chain));
+        let found = pending
+            .take()
+            .or_else(|| find_match(input, hashes, i, head, chain, kern));
         match found {
             Some(m) => {
                 // Position `i` joins the chains either way (a match covers
                 // it; a deferring literal emits it) — inserting before the
                 // lookahead lets `i + 1` see it as a candidate source.
-                insert(input, i, head, chain);
+                insert(hashes, i, head, chain);
                 // Lazy step: if starting one byte later yields a strictly
                 // longer match, emit a literal now and take that match at
                 // the next iteration.
                 let next = if i + 1 < input.len() {
-                    find_match(input, i + 1, head, chain)
+                    find_match(input, hashes, i + 1, head, chain, kern)
                 } else {
                     None
                 };
@@ -377,7 +388,7 @@ pub fn compress_into(input: &[u8], scratch: &mut LzScratch, out: &mut Vec<u8>) {
                         encode_slot(&mut enc, &mut models.len_slot, (m.len - MIN_MATCH) as u32);
                         encode_slot(&mut enc, &mut models.off_slot, (m.dist - 1) as u32);
                         for p in i + 1..i + m.len {
-                            insert(input, p, head, chain);
+                            insert(hashes, p, head, chain);
                         }
                         i += m.len;
                     }
@@ -386,7 +397,7 @@ pub fn compress_into(input: &[u8], scratch: &mut LzScratch, out: &mut Vec<u8>) {
             None => {
                 models.flag.encode(&mut enc, false);
                 models.literal.encode(&mut enc, u32::from(input[i]));
-                insert(input, i, head, chain);
+                insert(hashes, i, head, chain);
                 i += 1;
             }
         }

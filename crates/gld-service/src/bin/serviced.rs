@@ -42,6 +42,13 @@ fn main() {
 
     let shards = config.shards.max(1);
     let window = config.shard_window.max(1);
+    // Resolve (and report) the kernel backend before accepting work so an
+    // invalid `GLD_KERNEL_BACKEND` fails at boot, not mid-request.
+    println!(
+        "gld-serviced kernel backend: {} (cpu: {})",
+        gld_kernels::active(),
+        gld_kernels::cpu_features()
+    );
     let server = Server::start(config, CodecRegistry::rule_based()).expect("bind and start server");
     // The readiness line CI and scripts wait for.
     println!(

@@ -17,7 +17,12 @@
 //!   `CodecScratch` equals `compress_block_at`, and the streaming executor
 //!   (whose workers reuse thread-local arenas) emits containers
 //!   byte-identical to the sequential reference across worker counts and
-//!   queue depths.  CI runs this file on both `RAYON_NUM_THREADS` legs.
+//!   queue depths.  CI runs this file on both `RAYON_NUM_THREADS` legs;
+//! * **backends** — every SIMD kernel backend the host supports produces
+//!   byte-identical frames, containers and LZ stage streams to the forced
+//!   scalar backend, through the full compressors, across dirty scratch
+//!   reuse and under the parallel executor.  CI additionally runs the whole
+//!   suite with `GLD_KERNEL_BACKEND=scalar`.
 
 use gld_baselines::{reference, ErrorBoundedCompressor, SzCompressor, ZfpLikeCompressor};
 use gld_core::{Codec, CodecError, CodecScratch, ErrorTarget, StreamConfig};
@@ -267,4 +272,160 @@ fn rank4_block_still_compresses_through_the_try_path() {
         .try_compress_block_at(&block, None, 0)
         .expect("rank-4 is supported");
     assert_eq!(frame, sz.compress_block_at(&block, None, 0));
+}
+
+// ----------------------------------------------------------------------
+// Backend layer: every SIMD backend vs forced scalar, through full codecs
+// ----------------------------------------------------------------------
+
+use gld_kernels::Backend;
+use std::sync::Mutex;
+
+/// Serialises tests that force the process-global kernel backend.  (Tests
+/// that *don't* force one are unaffected by a concurrent force: all
+/// backends are bit-identical, which is exactly what this section proves.)
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `op` once per available backend and asserts every backend's output
+/// equals the scalar backend's.
+fn assert_backends_agree<T: PartialEq + std::fmt::Debug>(label: &str, mut op: impl FnMut() -> T) {
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    gld_kernels::force(Backend::Scalar).expect("scalar always available");
+    let expected = op();
+    for backend in gld_kernels::available_backends() {
+        if backend == Backend::Scalar {
+            continue;
+        }
+        gld_kernels::force(backend).expect("listed backends are available");
+        let got = op();
+        assert_eq!(got, expected, "{label}: {backend} diverged from scalar");
+    }
+    gld_kernels::clear_force();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Full SZ and ZFP frames — including decompressed tensors bit-for-bit
+    /// (the decode side exercises the SIMD CDF scan) — must not depend on
+    /// the backend, over random shapes and error bounds.
+    #[test]
+    fn all_backends_produce_identical_frames(
+        seed in 0u64..10_000,
+        eb_exp in -4i32..0,
+        d0 in 1usize..5,
+        d1 in 1usize..14,
+        d2 in 1usize..14,
+    ) {
+        let data = random_tensor(seed, &[d0, d1, d2]);
+        let eb = 10f32.powi(eb_exp);
+        let sz = SzCompressor::new();
+        let zfp = ZfpLikeCompressor::new();
+        assert_backends_agree("sz frame+decode", || {
+            let frame = sz.compress(&data, eb);
+            let bits: Vec<u32> = sz.decompress(&frame).data().iter().map(|v| v.to_bits()).collect();
+            (frame, bits)
+        });
+        assert_backends_agree("zfp frame+decode", || {
+            let frame = zfp.compress(&data, eb);
+            let bits: Vec<u32> = zfp.decompress(&frame).data().iter().map(|v| v.to_bits()).collect();
+            (frame, bits)
+        });
+    }
+
+    /// Escape-heavy fields (huge spikes, non-finite cells) hit the verbatim
+    /// paths of every backend's quantiser.
+    #[test]
+    fn backend_escape_paths_are_identical(
+        seed in 0u64..10_000,
+        spike in 1e8f32..1e30,
+    ) {
+        let mut v = random_tensor(seed, &[3, 8, 8]).data().to_vec();
+        let n = v.len();
+        let spike_at = (seed as usize * 31) % n;
+        v[spike_at] = spike;
+        v[(spike_at + n / 2) % n] = -spike;
+        v[(spike_at + n / 3) % n] = f32::INFINITY;
+        let data = Tensor::from_vec(v, &[3, 8, 8]);
+        let sz = SzCompressor::new();
+        let zfp = ZfpLikeCompressor::new();
+        assert_backends_agree("sz escapes", || sz.compress(&data, 1e-3));
+        assert_backends_agree("zfp escapes", || zfp.compress(&data, 1e-3));
+    }
+
+    /// The LZ stage (batch hashing + SIMD match extension) must emit
+    /// identical stage streams on every backend, for both compressed-frame
+    /// payloads and pathological repetitive input.
+    #[test]
+    fn lz_stage_streams_are_identical_across_backends(
+        seed in 0u64..10_000,
+        period in 1usize..40,
+    ) {
+        let frame = SzCompressor::new().compress(&random_tensor(seed, &[4, 10, 10]), 1e-2);
+        let repetitive: Vec<u8> = (0..2048).map(|i| (i % period) as u8).collect();
+        assert_backends_agree("lz stage", || {
+            let mut scratch = gld_lz::LzScratch::new();
+            (
+                gld_lz::compress(&frame, &mut scratch),
+                gld_lz::compress(&repetitive, &mut scratch),
+            )
+        });
+    }
+}
+
+/// A `CodecScratch` dirtied by one backend then reused by another must not
+/// change any frame — arena reuse and backend dispatch are orthogonal.
+#[test]
+fn dirty_scratch_reused_across_backends_is_identical() {
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let sz = SzCompressor::new();
+    let zfp = ZfpLikeCompressor::new();
+    let backends = gld_kernels::available_backends();
+    let mut scratch = CodecScratch::new();
+    for (i, dims) in shape_matrix().into_iter().enumerate() {
+        let block = random_tensor(300 + i as u64, &dims);
+        for codec in [&sz as &dyn Codec, &zfp] {
+            let fresh = codec.compress_block_at(&block, None, 0);
+            // Rotate through every backend with the same dirty scratch.
+            for &backend in &backends {
+                gld_kernels::force(backend).expect("available");
+                let reused = codec.compress_block_scratch(&block, None, 0, &mut scratch);
+                assert_eq!(
+                    reused,
+                    fresh,
+                    "codec {} dims {dims:?} backend {backend}",
+                    codec.name()
+                );
+            }
+        }
+    }
+    gld_kernels::clear_force();
+}
+
+/// The parallel streaming executor with the best SIMD backend forced must
+/// equal the sequential reference — SIMD dispatch is safe under the
+/// thread-pooled arena path.
+#[test]
+fn streaming_executor_matches_sequential_with_simd_forced() {
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let t = random_tensor(8, &[18, 12, 12]);
+    let variable = Variable::new("backend-var", t);
+    let sz = SzCompressor::new();
+    gld_kernels::force(Backend::Scalar).expect("scalar always available");
+    let (seq, seq_stats) = sz.compress_variable_sequential(&variable, 3, None);
+    gld_kernels::force(gld_kernels::best_available()).expect("best backend is available");
+    for workers in [0, 1, 3] {
+        let (streamed, stats, _) = sz.compress_variable_streaming(
+            &variable,
+            3,
+            None,
+            StreamConfig {
+                queue_depth: 2,
+                workers,
+            },
+        );
+        assert_eq!(streamed.encode(), seq.encode(), "workers {workers}");
+        assert_eq!(stats, seq_stats, "workers {workers}");
+    }
+    gld_kernels::clear_force();
 }
