@@ -33,8 +33,140 @@ pub use header::BlockHeader;
 pub use szlike::{SzCompressor, SzScratch};
 pub use zfplike::{ZfpLikeCompressor, ZfpScratch};
 
+use gld_entropy::HistogramModel;
 use gld_tensor::Tensor;
+use std::borrow::Cow;
 use std::fmt;
+
+/// `model_len` sentinel value marking a frame whose histogram model lives in
+/// the container's shared entropy profile instead of in the frame itself —
+/// the cross-frame model reuse of container v4.  Frames written without a
+/// shared model always carry a real length here (model tables are far below
+/// 4 GiB), so the sentinel is unambiguous.
+pub const SHARED_MODEL_SENTINEL: u32 = u32::MAX;
+
+/// One frame's resolved model section: the model to code symbols with and,
+/// for shared-profile frames, the **overflow symbol** (the shared model's
+/// [`HistogramModel::min_symbol`], by convention the escape bin added
+/// through [`HistogramModel::with_escape`]).  A code equal to the overflow
+/// symbol, or one the model cannot represent, is written as the overflow
+/// symbol followed by the raw 32-bit value — the same bypass idiom the
+/// codecs already use for unpredictable values, so decode stays a single
+/// interleaved stream walk.
+pub(crate) struct ModelSection<'a> {
+    pub model: Cow<'a, HistogramModel>,
+    pub overflow: Option<i32>,
+}
+
+/// Writes one frame's model section and decides how the frame is coded:
+/// against the shared profile model (sentinel length, no table bytes,
+/// out-of-model codes overflow-escaped) or against a per-frame fit embedded
+/// as before.  The choice compares theoretical coded sizes, so a profile
+/// fitted on the variable's first window can never corrupt a later outlier
+/// window — at worst the frame falls back byte-identical to the cold path.
+pub(crate) fn write_model_section<'a>(
+    codes: &[i32],
+    shared: Option<&'a HistogramModel>,
+    out: &mut Vec<u8>,
+) -> ModelSection<'a> {
+    let embedded = HistogramModel::fit(codes);
+    if let Some(model) = shared {
+        let overflow = model.min_symbol();
+        if model.can_encode(overflow) {
+            let overflow_bits = model.symbol_bits(overflow) + 32.0;
+            let shared_bits: f64 = codes
+                .iter()
+                .map(|&c| {
+                    if c != overflow && model.can_encode(c) {
+                        model.symbol_bits(c)
+                    } else {
+                        overflow_bits
+                    }
+                })
+                .sum();
+            let embedded_bits =
+                embedded.estimate_bits(codes) + (embedded.header_bytes() * 8) as f64;
+            if shared_bits <= embedded_bits {
+                out.extend_from_slice(&SHARED_MODEL_SENTINEL.to_le_bytes());
+                return ModelSection {
+                    model: Cow::Borrowed(model),
+                    overflow: Some(overflow),
+                };
+            }
+        }
+    }
+    let bytes = embedded.to_bytes();
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&bytes);
+    ModelSection {
+        model: Cow::Owned(embedded),
+        overflow: None,
+    }
+}
+
+/// Reads one frame's model section: the embedded model, or the caller's
+/// shared profile model (with the overflow convention active) when the
+/// frame carries the sentinel.  The container layer validates the profile
+/// before any payload decodes, so a sentinel frame decoded without a model
+/// is caller misuse, not stream corruption — it panics like the other
+/// malformed-frame asserts on this path.
+pub(crate) fn read_model_section<'a>(
+    bytes: &[u8],
+    off: &mut usize,
+    shared: Option<&'a HistogramModel>,
+) -> ModelSection<'a> {
+    let model_len = u32::from_le_bytes(bytes[*off..*off + 4].try_into().unwrap());
+    *off += 4;
+    if model_len == SHARED_MODEL_SENTINEL {
+        let model =
+            shared.expect("frame references the container's shared model, but none was provided");
+        return ModelSection {
+            overflow: Some(model.min_symbol()),
+            model: Cow::Borrowed(model),
+        };
+    }
+    let model_len = model_len as usize;
+    let (model, used) = HistogramModel::from_bytes(&bytes[*off..*off + model_len]);
+    assert_eq!(used, model_len);
+    *off += model_len;
+    ModelSection {
+        model: Cow::Owned(model),
+        overflow: None,
+    }
+}
+
+/// Decodes one code from a model-section stream: the symbol itself, or —
+/// when the shared-model overflow convention is active and the overflow
+/// symbol comes out — the raw 32-bit value that follows it.
+#[inline(always)]
+pub(crate) fn read_code(
+    model: &HistogramModel,
+    overflow: Option<i32>,
+    dec: &mut gld_entropy::RangeDecoder,
+) -> i32 {
+    let sym = model.decode_symbol(dec);
+    match overflow {
+        Some(o) if sym == o => dec.decode_bits_raw(32) as u32 as i32,
+        _ => sym,
+    }
+}
+
+/// Parses the histogram model embedded in a rule-codec frame — `None` when
+/// the frame references a shared profile model through the sentinel.  This
+/// is how a container-level entropy profile is seeded: compress the first
+/// window cold, lift its embedded model out, and share it with the rest of
+/// the variable.
+pub fn embedded_frame_model(frame: &[u8]) -> Option<HistogramModel> {
+    let (_, mut off) = BlockHeader::read(frame);
+    let model_len = u32::from_le_bytes(frame[off..off + 4].try_into().unwrap());
+    if model_len == SHARED_MODEL_SENTINEL {
+        return None;
+    }
+    off += 4;
+    let (model, used) = HistogramModel::from_bytes(&frame[off..off + model_len as usize]);
+    assert_eq!(used, model_len as usize);
+    Some(model)
+}
 
 /// Typed failure of a rule-based codec.
 #[derive(Clone, Debug, PartialEq, Eq)]

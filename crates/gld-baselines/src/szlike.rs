@@ -95,6 +95,25 @@ impl SzCompressor {
         scratch: &mut SzScratch,
         out: &mut Vec<u8>,
     ) -> Result<(), BaselineError> {
+        self.compress_into_shared(data, abs_error, None, scratch, out)
+    }
+
+    /// [`SzCompressor::compress_into`] with an optional **shared** histogram
+    /// model (the container's cross-frame entropy profile).  When `shared`
+    /// covers every quantisation code of this block the frame references it
+    /// through [`crate::SHARED_MODEL_SENTINEL`] — skipping both the model
+    /// fit and its serialised table — and must be decoded through
+    /// [`SzCompressor::decompress_shared`] with the same model.  Blocks the
+    /// shared model cannot represent fall back to the embedded per-frame
+    /// fit, so reconstruction is unconditionally exact to the cold path.
+    pub fn compress_into_shared(
+        &self,
+        data: &Tensor,
+        abs_error: f32,
+        shared: Option<&gld_entropy::HistogramModel>,
+        scratch: &mut SzScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), BaselineError> {
         assert!(abs_error > 0.0, "absolute error bound must be positive");
         let dims = Self::try_as_volume_dims(data.dims())?;
         let (d0, d1, d2) = dims;
@@ -168,14 +187,21 @@ impl SzCompressor {
         // Pass 2: entropy coding with the table-driven range coder.  An
         // unpredictable cell reconstructs to its source value, so the
         // verbatim escape stream is just `src` at the escape positions.
-        let model = HistogramModel::fit(codes);
+        // Under a shared profile model, codes outside the model's range ride
+        // its overflow symbol plus raw bits instead of forcing a per-frame
+        // refit.
         BlockHeader::new(Codec::SzLike, data, abs_error).write(out);
-        let model_bytes = model.to_bytes();
-        out.extend_from_slice(&(model_bytes.len() as u32).to_le_bytes());
-        out.extend_from_slice(&model_bytes);
+        let section = crate::write_model_section(codes, shared, out);
+        let model = section.model.as_ref();
         let mut enc = RangeEncoder::new();
         for (idx, &c) in codes.iter().enumerate() {
-            model.encode_symbol(&mut enc, c);
+            match section.overflow {
+                Some(overflow) if c == overflow || !model.can_encode(c) => {
+                    model.encode_symbol(&mut enc, overflow);
+                    enc.encode_bits_raw(c as u32 as u64, 32);
+                }
+                _ => model.encode_symbol(&mut enc, c),
+            }
             if c == UNPREDICTABLE {
                 enc.encode_bits_raw(src[idx].to_bits() as u64, 32);
             }
@@ -230,13 +256,21 @@ impl ErrorBoundedCompressor for SzCompressor {
     }
 
     fn decompress(&self, bytes: &[u8]) -> Tensor {
+        self.decompress_shared(bytes, None)
+    }
+}
+
+impl SzCompressor {
+    /// [`ErrorBoundedCompressor::decompress`] with an optional shared
+    /// histogram model: required for frames written through
+    /// [`SzCompressor::compress_into_shared`] that carry the shared-model
+    /// sentinel, ignored by frames embedding their own model.
+    pub fn decompress_shared(&self, bytes: &[u8], shared: Option<&HistogramModel>) -> Tensor {
         let (header, mut off) = BlockHeader::read(bytes);
         assert_eq!(header.codec, Codec::SzLike, "not an SZ3-like stream");
-        let model_len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
-        off += 4;
-        let (model, used) = HistogramModel::from_bytes(&bytes[off..off + model_len]);
-        assert_eq!(used, model_len);
-        off += model_len;
+        let section = crate::read_model_section(bytes, &mut off, shared);
+        let model = section.model.as_ref();
+        let overflow = section.overflow;
         let stream_len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
         off += 4;
         let stream = &bytes[off..off + stream_len];
@@ -255,7 +289,7 @@ impl ErrorBoundedCompressor for SzCompressor {
                 let k_end = if boundary_row { d2 } else { 1 };
                 for k in 0..k_end {
                     let idx = row_start + k;
-                    let code = model.decode_symbol(&mut dec);
+                    let code = crate::read_code(model, overflow, &mut dec);
                     recon[idx] = if code == UNPREDICTABLE {
                         f32::from_bits(dec.decode_bits_raw(32) as u32)
                     } else {
@@ -276,7 +310,7 @@ impl ErrorBoundedCompressor for SzCompressor {
                 let mut pp_left = pp_row[0];
                 let mut ppp_left = ppp_row[0];
                 for k in 1..d2 {
-                    let code = model.decode_symbol(&mut dec);
+                    let code = crate::read_code(model, overflow, &mut dec);
                     let rec = if code == UNPREDICTABLE {
                         f32::from_bits(dec.decode_bits_raw(32) as u32)
                     } else {
@@ -416,6 +450,77 @@ mod tests {
             let fresh = sz.compress(&data, 1e-3);
             assert_eq!(reused, fresh, "dims {dims:?}");
         }
+    }
+
+    #[test]
+    fn shared_model_sentinel_roundtrips_smaller() {
+        let mut rng = TensorRng::new(11);
+        let data = rng.randn(&[4, 16, 16]);
+        let sz = SzCompressor::new();
+        let mut scratch = SzScratch::new();
+        let cold = sz.compress(&data, 1e-3);
+        let model = crate::embedded_frame_model(&cold).expect("cold frame embeds its model");
+        let mut shared = Vec::new();
+        sz.compress_into_shared(&data, 1e-3, Some(&model), &mut scratch, &mut shared)
+            .unwrap();
+        assert!(
+            shared.len() < cold.len(),
+            "shared {} should drop the model table of cold {}",
+            shared.len(),
+            cold.len()
+        );
+        assert!(crate::embedded_frame_model(&shared).is_none());
+        let recon = sz.decompress_shared(&shared, Some(&model));
+        assert_eq!(recon.data(), sz.decompress(&cold).data());
+    }
+
+    #[test]
+    fn shared_model_falls_back_to_embedded_fit_when_overflow_coding_loses() {
+        // A checkerboard quantises to a couple of distinct codes repeated
+        // hundreds of times, all outside a constant-fitted model: paying 32
+        // raw bits per occurrence loses badly to a tiny embedded fit, so
+        // the frame must fall back byte-identical to a cold compress.
+        let sz = SzCompressor::new();
+        let mut scratch = SzScratch::new();
+        let constant = Tensor::full(&[4, 8, 8], 1.0);
+        let narrow = crate::embedded_frame_model(&sz.compress(&constant, 1e-3)).unwrap();
+        let board = Tensor::from_vec(
+            (0..4 * 8 * 8)
+                .map(|i| (((i / 64) + (i / 8) % 8 + i % 8) % 2) as f32)
+                .collect(),
+            &[4, 8, 8],
+        );
+        let mut shared = Vec::new();
+        sz.compress_into_shared(&board, 1e-3, Some(&narrow), &mut scratch, &mut shared)
+            .unwrap();
+        assert_eq!(shared, sz.compress(&board, 1e-3));
+    }
+
+    #[test]
+    fn shared_model_overflow_codes_escaping_values_and_still_wins() {
+        // Noise under a narrow model: almost every code escapes, but raw
+        // 32-bit overflow coding still beats serialising a sparse model with
+        // hundreds of near-unique entries — the frame stays on the shared
+        // model and must round-trip exactly through the overflow path.
+        let sz = SzCompressor::new();
+        let mut scratch = SzScratch::new();
+        let constant = Tensor::full(&[4, 8, 8], 1.0);
+        let narrow = crate::embedded_frame_model(&sz.compress(&constant, 1e-3)).unwrap();
+        let mut rng = TensorRng::new(12);
+        let noise = rng.randn(&[4, 8, 8]).scale(4.0);
+        let mut shared = Vec::new();
+        sz.compress_into_shared(&noise, 1e-3, Some(&narrow), &mut scratch, &mut shared)
+            .unwrap();
+        let cold = sz.compress(&noise, 1e-3);
+        assert!(
+            shared.len() < cold.len(),
+            "overflow coding {} should beat the embedded fit {}",
+            shared.len(),
+            cold.len()
+        );
+        assert!(crate::embedded_frame_model(&shared).is_none());
+        let recon = sz.decompress_shared(&shared, Some(&narrow));
+        assert_eq!(recon.data(), sz.decompress(&cold).data());
     }
 
     #[test]

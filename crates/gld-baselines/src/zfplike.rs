@@ -86,6 +86,23 @@ impl ZfpLikeCompressor {
         scratch: &mut ZfpScratch,
         out: &mut Vec<u8>,
     ) -> Result<(), BaselineError> {
+        self.compress_into_shared(data, abs_error, None, scratch, out)
+    }
+
+    /// [`ZfpLikeCompressor::compress_into`] with an optional **shared**
+    /// histogram model (the container's cross-frame entropy profile): when
+    /// it covers every coefficient code the frame references it through
+    /// [`crate::SHARED_MODEL_SENTINEL`] instead of fitting and embedding its
+    /// own, and must be decoded through
+    /// [`ZfpLikeCompressor::decompress_shared`] with the same model.
+    pub fn compress_into_shared(
+        &self,
+        data: &Tensor,
+        abs_error: f32,
+        shared: Option<&HistogramModel>,
+        scratch: &mut ZfpScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), BaselineError> {
         assert!(abs_error > 0.0, "absolute error bound must be positive");
         let (d0, d1, d2) = Self::try_as_volume_dims(data.dims())?;
         let (p0, p1, p2) = (
@@ -142,15 +159,19 @@ impl ZfpLikeCompressor {
             }
         }
 
-        let model = HistogramModel::fit(codes);
         BlockHeader::new(Codec::ZfpLike, data, abs_error).write(out);
-        let model_bytes = model.to_bytes();
-        out.extend_from_slice(&(model_bytes.len() as u32).to_le_bytes());
-        out.extend_from_slice(&model_bytes);
+        let section = crate::write_model_section(codes, shared, out);
+        let model = section.model.as_ref();
         let mut enc = RangeEncoder::new();
         let mut esc_iter = escapes.iter();
         for &c in codes.iter() {
-            model.encode_symbol(&mut enc, c);
+            match section.overflow {
+                Some(overflow) if c == overflow || !model.can_encode(c) => {
+                    model.encode_symbol(&mut enc, overflow);
+                    enc.encode_bits_raw(c as u32 as u64, 32);
+                }
+                _ => model.encode_symbol(&mut enc, c),
+            }
             if c == ESCAPE {
                 let raw = *esc_iter.next().expect("escape value missing");
                 enc.encode_bits_raw(raw as u32 as u64, 32);
@@ -211,13 +232,21 @@ impl ErrorBoundedCompressor for ZfpLikeCompressor {
     }
 
     fn decompress(&self, bytes: &[u8]) -> Tensor {
+        self.decompress_shared(bytes, None)
+    }
+}
+
+impl ZfpLikeCompressor {
+    /// [`ErrorBoundedCompressor::decompress`] with an optional shared
+    /// histogram model: required for frames written through
+    /// [`ZfpLikeCompressor::compress_into_shared`] that carry the
+    /// shared-model sentinel, ignored by frames embedding their own model.
+    pub fn decompress_shared(&self, bytes: &[u8], shared: Option<&HistogramModel>) -> Tensor {
         let (header, mut off) = BlockHeader::read(bytes);
         assert_eq!(header.codec, Codec::ZfpLike, "not a ZFP-like stream");
-        let model_len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
-        off += 4;
-        let (model, used) = HistogramModel::from_bytes(&bytes[off..off + model_len]);
-        assert_eq!(used, model_len);
-        off += model_len;
+        let section = crate::read_model_section(bytes, &mut off, shared);
+        let model = section.model.as_ref();
+        let overflow = section.overflow;
         let stream_len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
         off += 4;
         let stream = &bytes[off..off + stream_len];
@@ -236,7 +265,7 @@ impl ErrorBoundedCompressor for ZfpLikeCompressor {
                 for bk in (0..p2).step_by(BLOCK) {
                     let mut block = [0.0f32; 64];
                     for v in block.iter_mut() {
-                        let code = model.decode_symbol(&mut dec);
+                        let code = crate::read_code(model, overflow, &mut dec);
                         let q = if code == ESCAPE {
                             dec.decode_bits_raw(32) as u32 as i32
                         } else {
@@ -309,6 +338,77 @@ mod tests {
         for (a, b) in block.iter().zip(original.iter()) {
             assert!((a - b).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn shared_model_sentinel_roundtrips_smaller() {
+        let spec = FieldSpec::new(1, 4, 16, 16);
+        let ds = generate(DatasetKind::Jhtdb, &spec, 9);
+        let data = &ds.variables[0].frames;
+        let zfp = ZfpLikeCompressor::new();
+        let mut scratch = ZfpScratch::new();
+        let cold = zfp.compress(data, 1e-2);
+        let model = crate::embedded_frame_model(&cold).expect("cold frame embeds its model");
+        let mut shared = Vec::new();
+        zfp.compress_into_shared(data, 1e-2, Some(&model), &mut scratch, &mut shared)
+            .unwrap();
+        assert!(
+            shared.len() < cold.len(),
+            "shared {} should drop the model table of cold {}",
+            shared.len(),
+            cold.len()
+        );
+        assert!(crate::embedded_frame_model(&shared).is_none());
+        let recon = zfp.decompress_shared(&shared, Some(&model));
+        assert_eq!(recon.data(), zfp.decompress(&cold).data());
+    }
+
+    #[test]
+    fn shared_model_falls_back_to_embedded_fit_when_overflow_coding_loses() {
+        // A checkerboard's DCT coefficients repeat a handful of distinct
+        // codes across every tile, all outside a constant-fitted model:
+        // raw 32-bit overflow coding per occurrence loses to a tiny
+        // embedded fit, so the frame must fall back byte-identical to cold.
+        let zfp = ZfpLikeCompressor::new();
+        let mut scratch = ZfpScratch::new();
+        let constant = Tensor::full(&[4, 8, 8], 1.0);
+        let narrow = crate::embedded_frame_model(&zfp.compress(&constant, 1e-2)).unwrap();
+        let board = Tensor::from_vec(
+            (0..4 * 8 * 8)
+                .map(|i| (((i / 64) + (i / 8) % 8 + i % 8) % 2) as f32)
+                .collect(),
+            &[4, 8, 8],
+        );
+        let mut shared = Vec::new();
+        zfp.compress_into_shared(&board, 1e-2, Some(&narrow), &mut scratch, &mut shared)
+            .unwrap();
+        assert_eq!(shared, zfp.compress(&board, 1e-2));
+    }
+
+    #[test]
+    fn shared_model_overflow_codes_escaping_values_and_still_wins() {
+        // Noise under a narrow model: overflow coding beats serialising a
+        // near-unique sparse model, so the frame stays shared and must
+        // round-trip exactly through the overflow path.
+        let zfp = ZfpLikeCompressor::new();
+        let mut scratch = ZfpScratch::new();
+        let constant = Tensor::full(&[4, 8, 8], 1.0);
+        let narrow = crate::embedded_frame_model(&zfp.compress(&constant, 1e-2)).unwrap();
+        let mut rng = TensorRng::new(13);
+        let noise = rng.randn(&[4, 8, 8]).scale(4.0);
+        let mut shared = Vec::new();
+        zfp.compress_into_shared(&noise, 1e-2, Some(&narrow), &mut scratch, &mut shared)
+            .unwrap();
+        let cold = zfp.compress(&noise, 1e-2);
+        assert!(
+            shared.len() < cold.len(),
+            "overflow coding {} should beat the embedded fit {}",
+            shared.len(),
+            cold.len()
+        );
+        assert!(crate::embedded_frame_model(&shared).is_none());
+        let recon = zfp.decompress_shared(&shared, Some(&narrow));
+        assert_eq!(recon.data(), zfp.decompress(&cold).data());
     }
 
     #[test]

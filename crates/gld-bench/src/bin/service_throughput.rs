@@ -6,8 +6,9 @@
 //!
 //! 1. **ping** — protocol + dispatch floor (no codec work);
 //! 2. **compress** — SZ3-like containers streamed back from the per-shard
-//!    executors;
-//! 3. **decompress** — containers back into frames.
+//!    executors, once per negotiated container feature level (stage-off
+//!    v2, stage-on v3, shared-profile v4);
+//! 3. **decompress** — each of those containers back into frames.
 //!
 //! Every client thread uses its own connection and key (hash-sharded), so
 //! higher client counts genuinely spread across shards.  Results land in
@@ -26,6 +27,38 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
 }
 
+/// One container feature level the session can negotiate: which `Hello`
+/// bits to advertise, and the container version an SZ3-like compress
+/// response comes back as.
+#[derive(Clone, Copy)]
+struct FeatureLeg {
+    label: &'static str,
+    stage: bool,
+    profiles: bool,
+    notes: &'static str,
+}
+
+const FEATURE_LEGS: [FeatureLeg; 3] = [
+    FeatureLeg {
+        label: "stage-off",
+        stage: false,
+        profiles: false,
+        notes: "v2 containers (pre-stage client)",
+    },
+    FeatureLeg {
+        label: "stage-on",
+        stage: true,
+        profiles: false,
+        notes: "v3 containers (per-frame stage)",
+    },
+    FeatureLeg {
+        label: "profiles",
+        stage: true,
+        profiles: true,
+        notes: "v4 containers (shared profiles + warm stage)",
+    },
+];
+
 struct RunStats {
     elapsed_s: f64,
     req_per_s: f64,
@@ -34,20 +67,25 @@ struct RunStats {
 }
 
 /// Runs `requests_per_client` requests on each of `clients` threads and
-/// merges the per-request latencies.
+/// merges the per-request latencies.  `setup` runs once per connection
+/// before timing starts (feature negotiation lives there, not in the
+/// measured window).
 fn run(
     addr: std::net::SocketAddr,
     clients: usize,
     requests_per_client: usize,
+    setup: impl Fn(&mut ServiceClient) + Sync,
     request: impl Fn(&mut ServiceClient, &str, usize) + Sync,
 ) -> RunStats {
     let start = Instant::now();
     let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let setup = &setup;
         let request = &request;
         let handles: Vec<_> = (0..clients)
             .map(|client_index| {
                 scope.spawn(move || {
                     let mut client = ServiceClient::connect(addr).expect("connect");
+                    setup(&mut client);
                     let key = format!("bench-client-{client_index}");
                     let mut samples = Vec::with_capacity(requests_per_client);
                     for i in 0..requests_per_client {
@@ -93,26 +131,38 @@ fn main() {
     let mut csv =
         String::from("section,clients,requests,elapsed_s,req_per_s,p50_ms,p99_ms,notes\n");
 
-    // One variable per client key; compress once up front for the
-    // decompress section.
+    // One variable per client key; compress once per feature level up front
+    // for the decompress section.
     let ds = generate(DatasetKind::S3d, &FieldSpec::new(1, 32, 32, 32), 61);
     let variable = &ds.variables[0];
-    let container = {
-        let mut client = ServiceClient::connect(addr).expect("connect");
-        client
-            .compress_as(CodecId::SzLike, "bench-warmup", variable, 8, None)
-            .expect("warmup compress")
-    };
+    let containers: Vec<Vec<u8>> = FEATURE_LEGS
+        .iter()
+        .map(|leg| {
+            let mut client = ServiceClient::connect(addr).expect("connect");
+            client
+                .hello_with_options(&[CodecId::SzLike], leg.stage, leg.profiles)
+                .expect("warmup hello");
+            client
+                .compress_as(CodecId::SzLike, "bench-warmup", variable, 8, None)
+                .expect("warmup compress")
+        })
+        .collect();
 
     let client_counts = [1usize, 2, 4];
     let requests = 32usize;
 
     for &clients in &client_counts {
-        let stats = run(addr, clients, requests, |client, _key, _i| {
-            client.ping().expect("ping");
-        });
+        let stats = run(
+            addr,
+            clients,
+            requests,
+            |_client| {},
+            |client, _key, _i| {
+                client.ping().expect("ping");
+            },
+        );
         println!(
-            "ping        {clients} client(s): {:>8.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
+            "ping                  {clients} client(s): {:>8.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
             stats.req_per_s, stats.p50_ms, stats.p99_ms
         );
         csv.push_str(&format!(
@@ -125,45 +175,69 @@ fn main() {
         ));
     }
 
-    for &clients in &client_counts {
-        let stats = run(addr, clients, requests, |client, key, _i| {
-            let bytes = client
-                .compress_as(CodecId::SzLike, key, variable, 8, None)
-                .expect("compress");
-            assert!(!bytes.is_empty());
-        });
-        println!(
-            "compress    {clients} client(s): {:>8.1} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
-            stats.req_per_s, stats.p50_ms, stats.p99_ms
-        );
-        csv.push_str(&format!(
-            "compress,{clients},{},{:.4},{:.1},{:.4},{:.4},SZ3-like 32x32x32 via shard executors\n",
-            clients * requests,
-            stats.elapsed_s,
-            stats.req_per_s,
-            stats.p50_ms,
-            stats.p99_ms
-        ));
+    for leg in &FEATURE_LEGS {
+        for &clients in &client_counts {
+            let stats = run(
+                addr,
+                clients,
+                requests,
+                |client| {
+                    client
+                        .hello_with_options(&[CodecId::SzLike], leg.stage, leg.profiles)
+                        .expect("hello");
+                },
+                |client, key, _i| {
+                    let bytes = client
+                        .compress_as(CodecId::SzLike, key, variable, 8, None)
+                        .expect("compress");
+                    assert!(!bytes.is_empty());
+                },
+            );
+            println!(
+                "compress   {:>9} {clients} client(s): {:>8.1} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
+                leg.label, stats.req_per_s, stats.p50_ms, stats.p99_ms
+            );
+            csv.push_str(&format!(
+                "compress/{},{clients},{},{:.4},{:.1},{:.4},{:.4},SZ3-like 32x32x32 via shard executors: {}\n",
+                leg.label,
+                clients * requests,
+                stats.elapsed_s,
+                stats.req_per_s,
+                stats.p50_ms,
+                stats.p99_ms,
+                leg.notes
+            ));
+        }
     }
 
-    for &clients in &client_counts {
-        let container = &container;
-        let stats = run(addr, clients, requests, move |client, key, _i| {
-            let blocks = client.decompress(key, container).expect("decompress");
-            assert_eq!(blocks.len(), 4);
-        });
-        println!(
-            "decompress  {clients} client(s): {:>8.1} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
-            stats.req_per_s, stats.p50_ms, stats.p99_ms
-        );
-        csv.push_str(&format!(
-            "decompress,{clients},{},{:.4},{:.1},{:.4},{:.4},4-block container to frames\n",
-            clients * requests,
-            stats.elapsed_s,
-            stats.req_per_s,
-            stats.p50_ms,
-            stats.p99_ms
-        ));
+    for (leg, container) in FEATURE_LEGS.iter().zip(&containers) {
+        for &clients in &client_counts {
+            let container = &container[..];
+            let stats = run(
+                addr,
+                clients,
+                requests,
+                |_client| {},
+                move |client, key, _i| {
+                    let blocks = client.decompress(key, container).expect("decompress");
+                    assert_eq!(blocks.len(), 4);
+                },
+            );
+            println!(
+                "decompress {:>9} {clients} client(s): {:>8.1} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
+                leg.label, stats.req_per_s, stats.p50_ms, stats.p99_ms
+            );
+            csv.push_str(&format!(
+                "decompress/{},{clients},{},{:.4},{:.1},{:.4},{:.4},4-block container to frames: {}\n",
+                leg.label,
+                clients * requests,
+                stats.elapsed_s,
+                stats.req_per_s,
+                stats.p50_ms,
+                stats.p99_ms,
+                leg.notes
+            ));
+        }
     }
 
     let metrics = server.shutdown();

@@ -23,18 +23,20 @@ use crate::container::{
 };
 use crate::error_bound::{ErrorBoundConfig, PcaErrorBound};
 use crate::executor::{
-    checked_windows, compress_window_outcome, stream_compress_variable, BlockOutcome, StreamConfig,
-    StreamMetrics,
+    checked_windows, compress_window_outcome, fit_variable_profile, stream_compress_variable,
+    BlockOutcome, StageMode, StreamConfig, StreamMetrics,
 };
 use crate::learned_baselines::{LearnedBaseline, LearnedBaselineKind};
 use gld_baselines::{
     BaselineError, ErrorBoundedCompressor, SzCompressor, SzScratch, ZfpLikeCompressor, ZfpScratch,
 };
 use gld_datasets::Variable;
+use gld_entropy::HistogramModel;
 use gld_lz::LzScratch;
 use gld_tensor::Tensor;
 use std::fmt;
 use std::io::Write;
+use std::sync::Arc;
 
 /// Typed failure of a block compression through the [`Codec`] trait —
 /// unsupported inputs surface here instead of panicking (e.g. a rank-5
@@ -181,9 +183,11 @@ where
 
 /// [`compress_variable_to_writer`] with an explicit container wire format —
 /// the service uses this to answer stage-incapable clients with a v2
-/// (stage-free) stream while staged sessions get v3.  For v3, frames are
-/// staged on the executor's worker threads (through the per-worker
-/// `CodecScratch`); for v2 no staging work is done at all.
+/// (stage-free) stream, staged sessions with v3, and profile-capable
+/// sessions with v4.  For v3, frames are staged cold on the executor's
+/// worker threads (through the per-worker `CodecScratch`); for v4 a shared
+/// coding profile is fitted on the variable's first window and every frame
+/// is coded warm against it; for v2 no staging work is done at all.
 #[allow(clippy::too_many_arguments)]
 pub fn compress_variable_to_writer_fmt<C, W>(
     codec: &C,
@@ -202,12 +206,44 @@ where
     // variable must panic (as the other compress paths do) without first
     // writing a partial container to the caller's file/socket.
     let (_, count) = checked_windows(variable, block_frames);
-    let mut sink =
-        crate::container::ContainerWriter::with_format(writer, codec.id(), count as u32, format)
+    // A v4 stream carries the shared profile table between the header and
+    // the frames, so the profile must be fitted before the first byte leaves
+    // this process; v3/v2 headers need nothing fitted.
+    let (mut sink, stage) = match format {
+        ContainerFormat::V4 => {
+            let warm = Arc::new(fit_variable_profile(codec, variable, block_frames, target));
+            let sink = crate::container::ContainerWriter::with_profile_table(
+                writer,
+                codec.id(),
+                count as u32,
+                std::slice::from_ref(&warm.profile),
+            )
             .map_err(|error| StreamWriteError {
                 error,
                 frames_emitted: 0,
             })?;
+            (sink, StageMode::Shared(warm))
+        }
+        ContainerFormat::V3 | ContainerFormat::V2 => {
+            let sink = crate::container::ContainerWriter::with_format(
+                writer,
+                codec.id(),
+                count as u32,
+                format,
+            )
+            .map_err(|error| StreamWriteError {
+                error,
+                frames_emitted: 0,
+            })?;
+            let stage = if format == ContainerFormat::V3 {
+                StageMode::PerFrame
+            } else {
+                StageMode::Off
+            };
+            (sink, stage)
+        }
+    };
+    let profiled = matches!(stage, StageMode::Shared(_));
     let mut acc = StatsAccumulator::new();
     let mut io_error: Option<std::io::Error> = None;
     let metrics = stream_compress_variable(
@@ -216,10 +252,15 @@ where
         block_frames,
         target,
         config,
-        format == ContainerFormat::V3,
+        stage,
         |_, outcome| {
             acc.add(&outcome);
-            match sink.write_staged_frame(&outcome.frame, outcome.lz.as_deref()) {
+            let wrote = if profiled {
+                sink.write_profiled_frame(&outcome.frame, 1, outcome.lz.as_deref())
+            } else {
+                sink.write_staged_frame(&outcome.frame, outcome.lz.as_deref())
+            };
+            match wrote {
                 Ok(()) => true,
                 Err(e) => {
                     // Cancel the stream: compressing the remaining windows
@@ -403,6 +444,43 @@ pub trait Codec: Sync {
     /// Reconstructs a block from a frame produced by this codec.
     fn decompress_block(&self, frame: &[u8]) -> Tensor;
 
+    /// The histogram model embedded in a frame this codec produced, if its
+    /// format embeds one — the seed for a container-level shared entropy
+    /// profile.  Codecs without a shareable model return `None` (the
+    /// default); they still benefit from a profile's stage warm-start and
+    /// seed dictionary.
+    fn frame_model(&self, frame: &[u8]) -> Option<HistogramModel> {
+        let _ = frame;
+        None
+    }
+
+    /// [`Codec::compress_block_scratch`] against a shared entropy model:
+    /// when the model covers the block's codes, the frame references it
+    /// instead of embedding its own per-frame fit, and must then be decoded
+    /// through [`Codec::decompress_block_shared`] with the same model.  The
+    /// default ignores the model and codes cold — correct for codecs whose
+    /// frames embed no shareable model.
+    fn compress_block_shared(
+        &self,
+        block: &Tensor,
+        target: Option<ErrorTarget>,
+        block_index: u64,
+        scratch: &mut CodecScratch,
+        model: &HistogramModel,
+    ) -> Vec<u8> {
+        let _ = model;
+        self.compress_block_scratch(block, target, block_index, scratch)
+    }
+
+    /// [`Codec::decompress_block`] with the shared model the frame may
+    /// reference.  Frames that embed their own model ignore `model`, so this
+    /// is safe to call on every frame of a profiled container.  The default
+    /// ignores it entirely.
+    fn decompress_block_shared(&self, frame: &[u8], model: Option<&HistogramModel>) -> Tensor {
+        let _ = model;
+        self.decompress_block(frame)
+    }
+
     /// Compresses a standalone block (window index 0).
     fn compress_block(&self, block: &Tensor, target: Option<ErrorTarget>) -> Vec<u8> {
         self.compress_block_at(block, target, 0)
@@ -446,7 +524,7 @@ pub trait Codec: Sync {
             block_frames,
             target,
             config,
-            true,
+            StageMode::PerFrame,
             |_, outcome| {
                 acc.add(&outcome);
                 container.push_staged(outcome.frame, outcome.lz);
@@ -455,6 +533,71 @@ pub trait Codec: Sync {
         );
         let compressed_bytes = container.encoded_len();
         (container, acc.finish(compressed_bytes), metrics)
+    }
+
+    /// [`Codec::compress_variable`] under a shared cross-frame coding
+    /// profile (container v4): the profile is fitted on the variable's
+    /// first temporal window, every frame is coded warm against it — shared
+    /// entropy model, primed stage models, first-block seed dictionary —
+    /// and the returned [`Container`] carries the profile table, encoding as
+    /// v4.  Bit-identical to
+    /// [`Codec::compress_variable_profiled_sequential`].
+    fn compress_variable_profiled(
+        &self,
+        variable: &Variable,
+        block_frames: usize,
+        target: Option<ErrorTarget>,
+        config: StreamConfig,
+    ) -> (Container, VariableStats, StreamMetrics) {
+        let warm = Arc::new(fit_variable_profile(self, variable, block_frames, target));
+        let mut container = Container::with_profiles(self.id(), vec![warm.profile.clone()]);
+        let mut acc = StatsAccumulator::new();
+        let metrics = stream_compress_variable(
+            self,
+            variable,
+            block_frames,
+            target,
+            config,
+            StageMode::Shared(warm),
+            |_, outcome| {
+                acc.add(&outcome);
+                container.push_profiled(outcome.frame, 1, outcome.lz);
+                true
+            },
+        );
+        let compressed_bytes = container.encoded_len();
+        (container, acc.finish(compressed_bytes), metrics)
+    }
+
+    /// Sequential reference implementation of
+    /// [`Codec::compress_variable_profiled`], kept callable so v4
+    /// determinism is testable.
+    fn compress_variable_profiled_sequential(
+        &self,
+        variable: &Variable,
+        block_frames: usize,
+        target: Option<ErrorTarget>,
+    ) -> (Container, VariableStats) {
+        let warm = Arc::new(fit_variable_profile(self, variable, block_frames, target));
+        let stage = StageMode::Shared(warm.clone());
+        let (windows, _) = checked_windows(variable, block_frames);
+        let mut container = Container::with_profiles(self.id(), vec![warm.profile.clone()]);
+        let mut acc = StatsAccumulator::new();
+        let mut scratch = CodecScratch::new();
+        for (index, window) in windows.enumerate() {
+            let outcome = compress_window_outcome(
+                self,
+                &window.data,
+                target,
+                index as u64,
+                &mut scratch,
+                &stage,
+            );
+            acc.add(&outcome);
+            container.push_profiled(outcome.frame, 1, outcome.lz);
+        }
+        let compressed_bytes = container.encoded_len();
+        (container, acc.finish(compressed_bytes))
     }
 
     /// Streams the compressed variable straight into `writer` as an encoded
@@ -501,7 +644,7 @@ pub trait Codec: Sync {
                 target,
                 index as u64,
                 &mut scratch,
-                true,
+                &StageMode::PerFrame,
             );
             acc.add(&outcome);
             container.push_staged(outcome.frame, outcome.lz);
@@ -546,7 +689,15 @@ pub trait Codec: Sync {
         Ok(container
             .blocks()
             .iter()
-            .map(|frame| self.decompress_block(frame))
+            .enumerate()
+            .map(|(index, frame)| {
+                // Frames of a profiled (v4) container may reference the
+                // container's shared entropy model instead of embedding one.
+                let model = container
+                    .profile_for_block(index)
+                    .and_then(|p| p.model.as_ref());
+                self.decompress_block_shared(frame, model)
+            })
             .collect())
     }
 }
@@ -653,8 +804,37 @@ impl Codec for SzCompressor {
         out
     }
 
+    fn compress_block_shared(
+        &self,
+        block: &Tensor,
+        target: Option<ErrorTarget>,
+        _block_index: u64,
+        scratch: &mut CodecScratch,
+        model: &HistogramModel,
+    ) -> Vec<u8> {
+        let mut out = Vec::with_capacity(scratch.frame_capacity_hint());
+        self.compress_into_shared(
+            block,
+            rule_based_bound(block, target),
+            Some(model),
+            &mut scratch.sz,
+            &mut out,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        scratch.note_frame_len(out.len());
+        out
+    }
+
+    fn frame_model(&self, frame: &[u8]) -> Option<HistogramModel> {
+        gld_baselines::embedded_frame_model(frame)
+    }
+
     fn decompress_block(&self, frame: &[u8]) -> Tensor {
         ErrorBoundedCompressor::decompress(self, frame)
+    }
+
+    fn decompress_block_shared(&self, frame: &[u8], model: Option<&HistogramModel>) -> Tensor {
+        self.decompress_shared(frame, model)
     }
 }
 
@@ -704,8 +884,37 @@ impl Codec for ZfpLikeCompressor {
         out
     }
 
+    fn compress_block_shared(
+        &self,
+        block: &Tensor,
+        target: Option<ErrorTarget>,
+        _block_index: u64,
+        scratch: &mut CodecScratch,
+        model: &HistogramModel,
+    ) -> Vec<u8> {
+        let mut out = Vec::with_capacity(scratch.frame_capacity_hint());
+        self.compress_into_shared(
+            block,
+            rule_based_bound(block, target),
+            Some(model),
+            &mut scratch.zfp,
+            &mut out,
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        scratch.note_frame_len(out.len());
+        out
+    }
+
+    fn frame_model(&self, frame: &[u8]) -> Option<HistogramModel> {
+        gld_baselines::embedded_frame_model(frame)
+    }
+
     fn decompress_block(&self, frame: &[u8]) -> Tensor {
         ErrorBoundedCompressor::decompress(self, frame)
+    }
+
+    fn decompress_block_shared(&self, frame: &[u8], model: Option<&HistogramModel>) -> Tensor {
+        self.decompress_shared(frame, model)
     }
 }
 

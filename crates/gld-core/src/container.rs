@@ -11,11 +11,14 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"GLDC"
-//! 4       2     format version (currently 3; v1/v2 streams still decode)
+//! 4       2     format version (3 without profiles, 4 with; v1–v3 decode)
 //! 6       1     codec id (see [`CodecId`])
-//! 7       1     flags (v1/v2: must be 0; v3: see below, unknown bits ignored)
+//! 7       1     flags (v1/v2: must be 0; v3/v4: see below, unknown bits ignored)
 //! 8       4     block count K
-//! 12      ...   K frames, each:
+//! 12      ...   v4 only: the shared entropy-profile table (see below)
+//! ...     ...   K frames, each:
+//!                 v4:  u8 stage + u8 profile id + u64 payload length
+//!                      + payload + u32 CRC-32 over (stage ‖ profile id ‖ payload)
 //!                 v3:  u8 stage + u64 payload length + payload
 //!                      + u32 CRC-32 over (stage byte ‖ payload)
 //!                 v2:  u64 payload length + payload + u32 CRC-32
@@ -53,13 +56,53 @@
 //!
 //! Version 2 appends a CRC-32/IEEE checksum to every frame, so payload
 //! corruption surfaces as a typed [`ContainerError::ChecksumMismatch`]
-//! naming the damaged block instead of a downstream codec panic.  Decoders
-//! accept all three versions; [`Container::encode`] always writes v3, and
-//! [`Container::encode_v2`] / [`Container::encode_v1`] remain for interop
-//! with older readers and the version-compat tests.
+//! naming the damaged block instead of a downstream codec panic.
+//!
+//! ## v4: shared entropy-model profiles
+//!
+//! Version 4 adds a **profile table** between the header and the frames:
+//! entropy models fitted once per variable and referenced by a one-byte
+//! per-frame profile id, so later frames stop paying the per-frame model
+//! serialisation and the stage's cold adaptive-model ramp.  The table is
+//! framed like a frame — its body runs through the same `gld-lz` stage
+//! decision (model histograms and snapshots compress well, and the table
+//! is the fixed cost every shared-coding saving has to amortise) and is
+//! validated against its own CRC-32 before any entry is interpreted:
+//!
+//! ```text
+//! u8            table stage byte (0 = raw body, 1 = gld-lz-staged body)
+//! u64 + bytes   length-prefixed payload (de-stage to recover the body)
+//! u32           CRC-32 over (stage byte ‖ payload)
+//!
+//! body:
+//! u8            profile count P (frames reference 1..=P; 0 = no profile)
+//! P entries:    u8  generation       (must be PROFILE_GENERATION)
+//!               u8  codec id         (must equal the container codec)
+//!               u8  dictionary mode  (0 = none, 1 = the container's first block)
+//!               u64 length + bytes   shared HistogramModel (empty = none)
+//!               u64 length + bytes   gld-lz warm-start snapshot (empty = none)
+//! ```
+//!
+//! A staged (`Lz`) frame whose profile id is non-zero de-stages through the
+//! profile's warm adaptive models, with the container's **first block** as
+//! seed dictionary when the dictionary mode says so (the first block itself
+//! always de-stages dictionary-free — it *is* the dictionary).  A frame's
+//! codec payload may reference the profile's histogram model through the
+//! codec's own sentinel (see `gld-baselines`); the container just guarantees
+//! the profile is validated and available before any payload decodes.
+//! Profile references fail **typed**: unknown ids, damaged tables,
+//! generation or codec mismatches each surface as their own
+//! [`ContainerError`] variant, never a panic.
+//!
+//! Decoders accept all four versions; [`Container::encode`] writes v4 when
+//! the container carries profiles and v3 otherwise ([`Container::encode_v3`]
+//! forces the profile-less current format), and [`Container::encode_v2`] /
+//! [`Container::encode_v1`] remain for interop with older readers and the
+//! version-compat tests.
 
 use crate::crc32::{crc32, Crc32};
-use gld_lz::LzScratch;
+use gld_entropy::HistogramModel;
+use gld_lz::{LzProfile, LzScratch};
 use std::cell::RefCell;
 use std::fmt;
 use std::io::{Read, Write};
@@ -67,8 +110,22 @@ use std::io::{Read, Write};
 /// Container magic bytes.
 pub const MAGIC: [u8; 4] = *b"GLDC";
 
-/// Current container format version (written by [`Container::encode`]).
+/// The staged container version without a profile table (written by
+/// [`Container::encode`] for profile-less containers; the v3 framing rules
+/// apply to every version at or above this one).
 pub const VERSION: u16 = 3;
+
+/// The shared-entropy-profile container version (written by
+/// [`Container::encode`] when the container carries profiles).
+pub const VERSION_V4: u16 = 4;
+
+/// Generation marker of a serialised entropy profile.  Bumped whenever the
+/// coder state a profile snapshots changes shape, so a profile written by an
+/// incompatible build fails typed instead of decoding garbage.
+pub const PROFILE_GENERATION: u8 = 1;
+
+/// Most profiles one container can carry (ids are one byte, 0 = none).
+pub const MAX_PROFILES: usize = 255;
 
 /// The checksummed but stage-less container version (still decodable;
 /// written for stage-incapable peers by [`Container::encode_v2`]).
@@ -117,6 +174,86 @@ thread_local! {
 /// (`CodecScratch`), which is what keeps their containers bit-identical.
 pub fn stage_frame(frame: &[u8], scratch: &mut LzScratch) -> Option<Vec<u8>> {
     gld_lz::compress_if_smaller(frame, scratch)
+}
+
+/// The v4 stage decision under a shared profile: warm adaptive models plus
+/// the profile's seed dictionary.  Same economics as [`stage_frame`] — the
+/// staged stream is returned only when strictly smaller — and the same
+/// single-definition rule: the executor's workers and the buffered paths
+/// both call this, so parallel and sequential v4 containers stay
+/// bit-identical.
+pub fn stage_frame_profiled(
+    frame: &[u8],
+    dict: &[u8],
+    profile: &LzProfile,
+    scratch: &mut LzScratch,
+) -> Option<Vec<u8>> {
+    gld_lz::compress_if_smaller_profiled(frame, dict, profile, scratch)
+}
+
+/// How a profile seeds the stage's match window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(u8)]
+pub enum DictMode {
+    /// No seed dictionary: every frame's window starts empty.
+    #[default]
+    None = 0,
+    /// The container's **first block** (its unstaged codec bytes) seeds the
+    /// window of every later frame.  The first block itself de-stages
+    /// dictionary-free, so the dictionary costs nothing on the wire — the
+    /// decoder reuses bytes it has already produced.
+    FirstBlock = 1,
+}
+
+impl DictMode {
+    fn from_u8(byte: u8) -> Result<Self, ContainerError> {
+        match byte {
+            0 => Ok(DictMode::None),
+            1 => Ok(DictMode::FirstBlock),
+            _ => Err(ContainerError::Corrupt("unknown profile dictionary mode")),
+        }
+    }
+}
+
+/// One shared entropy-model profile: everything a variable's frames reuse
+/// instead of refitting per frame.  Serialised once in the v4 profile table
+/// and referenced by the frames' one-byte profile id.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EntropyProfile {
+    /// Histogram model shared by the frame payloads (codecs reference it
+    /// through their model-external sentinel instead of embedding a
+    /// per-frame copy).  `None` when only the stage is profiled.
+    pub model: Option<HistogramModel>,
+    /// Warm-start snapshot for the `gld-lz` stage's adaptive models.
+    pub lz: Option<LzProfile>,
+    /// How the stage's match window is seeded.
+    pub dict_mode: DictMode,
+}
+
+impl EntropyProfile {
+    /// Serialised size of this profile's table entry in bytes.
+    fn entry_len(&self) -> usize {
+        3 + 8
+            + self.model.as_ref().map_or(0, |m| m.header_bytes())
+            + 8
+            + self.lz.as_ref().map_or(0, |_| gld_lz::PROFILE_BYTES)
+    }
+
+    /// The seed dictionary this profile selects for `block` out of the
+    /// container's unstaged frames (the first block is its own dictionary
+    /// and therefore seeds empty).
+    pub fn dict_for_block<'a>(&self, block: usize, blocks: &'a [Vec<u8>]) -> &'a [u8] {
+        match self.dict_mode {
+            DictMode::None => &[],
+            DictMode::FirstBlock => {
+                if block == 0 {
+                    &[]
+                } else {
+                    blocks.first().map(Vec::as_slice).unwrap_or(&[])
+                }
+            }
+        }
+    }
 }
 
 fn stage_frame_pooled(frame: &[u8]) -> Option<Vec<u8>> {
@@ -230,6 +367,54 @@ pub enum ContainerError {
         /// The codec whose payloads are unreadable.
         codec: CodecId,
     },
+    /// A frame references a profile id the table does not define.
+    UnknownProfile {
+        /// Index of the offending block.
+        block: usize,
+        /// The undefined profile id.
+        profile: u8,
+    },
+    /// The v4 profile table does not match its stored CRC-32.
+    ProfileChecksumMismatch {
+        /// Checksum stored in the stream.
+        stored: u32,
+        /// Checksum computed over the table actually present.
+        computed: u32,
+    },
+    /// A profile entry was written by an incompatible coder generation.
+    ProfileGenerationMismatch {
+        /// Index of the offending profile entry (0-based).
+        profile: usize,
+        /// The generation byte found (this build writes
+        /// [`PROFILE_GENERATION`]).
+        generation: u8,
+    },
+    /// A profile entry's codec id does not match the container's codec.
+    ProfileCodecMismatch {
+        /// Index of the offending profile entry (0-based).
+        profile: usize,
+        /// The codec id byte the entry declares.
+        codec: u8,
+    },
+    /// A profile entry's shared histogram model failed to deserialise.
+    ProfileModel {
+        /// Index of the offending profile entry (0-based).
+        profile: usize,
+        /// The model deserialiser's typed failure.
+        error: gld_entropy::ModelDecodeError,
+    },
+    /// A profile entry's stage warm-start snapshot failed to deserialise.
+    ProfileStage {
+        /// Index of the offending profile entry (0-based).
+        profile: usize,
+        /// The stage codec's typed failure.
+        error: gld_lz::LzError,
+    },
+    /// The v4 profile table's staged body failed to de-stage.
+    ProfileTableDecode {
+        /// The stage decoder's typed failure.
+        error: gld_lz::LzError,
+    },
     /// A block frame violated its own invariants.
     Corrupt(&'static str),
 }
@@ -243,7 +428,7 @@ impl fmt::Display for ContainerError {
             ContainerError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported container version {v}, this build reads {VERSION}"
+                    "unsupported container version {v}, this build reads up to {VERSION_V4}"
                 )
             }
             ContainerError::UnknownCodec(id) => write!(f, "unknown codec id {id}"),
@@ -279,6 +464,40 @@ impl fmt::Display for ContainerError {
                      pre-range-coder build; this build decodes range-coded payloads only — \
                      re-encode the variable with a current writer"
                 )
+            }
+            ContainerError::UnknownProfile { block, profile } => {
+                write!(f, "block {block} references undefined profile id {profile}")
+            }
+            ContainerError::ProfileChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "profile table corrupt: stored CRC-32 {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            ContainerError::ProfileGenerationMismatch {
+                profile,
+                generation,
+            } => {
+                write!(
+                    f,
+                    "profile {profile} written by coder generation {generation}, this build \
+                     reads {PROFILE_GENERATION}"
+                )
+            }
+            ContainerError::ProfileCodecMismatch { profile, codec } => {
+                write!(
+                    f,
+                    "profile {profile} declares codec id {codec}, container codec differs"
+                )
+            }
+            ContainerError::ProfileModel { profile, error } => {
+                write!(f, "profile {profile} histogram model invalid: {error}")
+            }
+            ContainerError::ProfileStage { profile, error } => {
+                write!(f, "profile {profile} stage snapshot invalid: {error}")
+            }
+            ContainerError::ProfileTableDecode { error } => {
+                write!(f, "profile table stage payload failed to decode: {error}")
             }
             ContainerError::Corrupt(what) => write!(f, "corrupt block frame: {what}"),
         }
@@ -401,6 +620,180 @@ fn v3_frame_len(raw_len: usize, lz_len: Option<usize>) -> usize {
     FRAME_STAGE_LEN + 8 + lz_len.unwrap_or(raw_len) + FRAME_CRC_LEN
 }
 
+/// Appends one v4 frame: stage byte, profile id, length-prefixed payload,
+/// CRC over the stage byte, profile id and payload.
+fn encode_v4_frame(out: &mut Vec<u8>, raw: &[u8], profile: u8, lz: Option<&[u8]>) {
+    let (stage, payload) = match lz {
+        Some(staged) => (STAGE_LZ, staged),
+        None => (STAGE_NONE, raw),
+    };
+    out.push(stage);
+    out.push(profile);
+    write_section(out, payload);
+    let mut crc = Crc32::new();
+    crc.update(&[stage, profile]);
+    crc.update(payload);
+    out.extend_from_slice(&crc.finish().to_le_bytes());
+}
+
+/// Encoded length of one v4 frame given the stage decision.
+fn v4_frame_len(raw_len: usize, lz_len: Option<usize>) -> usize {
+    FRAME_STAGE_LEN + 1 + 8 + lz_len.unwrap_or(raw_len) + FRAME_CRC_LEN
+}
+
+/// De-stage allocation cap for a v4 profile table: far above any real table
+/// ([`MAX_PROFILES`] entries of a few KiB each), far below harm.
+const MAX_PROFILE_TABLE_BUDGET: usize = 1 << 22;
+
+/// Serialises the body of a v4 profile table (count byte + entries) — the
+/// bytes the table's own stage decision runs over.
+fn profile_table_body(codec: CodecId, profiles: &[EntropyProfile]) -> Vec<u8> {
+    debug_assert!(!profiles.is_empty() && profiles.len() <= MAX_PROFILES);
+    let mut body = Vec::with_capacity(
+        1 + profiles
+            .iter()
+            .map(EntropyProfile::entry_len)
+            .sum::<usize>(),
+    );
+    body.push(profiles.len() as u8);
+    for profile in profiles {
+        body.push(PROFILE_GENERATION);
+        body.push(codec as u8);
+        body.push(profile.dict_mode as u8);
+        match &profile.model {
+            Some(model) => write_section(&mut body, &model.to_bytes()),
+            None => write_section(&mut body, &[]),
+        }
+        match &profile.lz {
+            Some(lz) => write_section(&mut body, &lz.to_bytes()),
+            None => write_section(&mut body, &[]),
+        }
+    }
+    body
+}
+
+/// Serialised length of a v4 profile table (stage byte + length-prefixed,
+/// possibly staged, body + CRC-32).  Runs the same deterministic stage
+/// decision as [`encode_profile_table`].
+fn profile_table_len(codec: CodecId, profiles: &[EntropyProfile]) -> usize {
+    let body = profile_table_body(codec, profiles);
+    let staged = stage_frame_pooled(&body);
+    FRAME_STAGE_LEN + 8 + staged.map_or(body.len(), |s| s.len()) + 4
+}
+
+/// Appends the v4 profile table: stage byte, length-prefixed body (itself
+/// `gld-lz`-staged when that is strictly smaller — model histograms and
+/// stage snapshots compress well, and the table is the per-variable fixed
+/// cost every shared-coding saving has to amortise), CRC-32 over stage byte
+/// and payload.
+fn encode_profile_table(out: &mut Vec<u8>, codec: CodecId, profiles: &[EntropyProfile]) {
+    let body = profile_table_body(codec, profiles);
+    let staged = stage_frame_pooled(&body);
+    let (stage, payload) = match staged.as_deref() {
+        Some(s) => (STAGE_LZ, s),
+        None => (STAGE_NONE, body.as_slice()),
+    };
+    out.push(stage);
+    write_section(out, payload);
+    let mut crc = Crc32::new();
+    crc.update(&[stage]);
+    crc.update(payload);
+    out.extend_from_slice(&crc.finish().to_le_bytes());
+}
+
+/// Parses and validates the v4 profile table.  Structure first (to find the
+/// table's extent), then the CRC over the wire bytes, then de-staging, and
+/// only then the per-entry semantics — no entry is interpreted before the
+/// bytes are vetted.
+fn decode_profile_table(
+    reader: &mut ByteReader<'_>,
+    codec: CodecId,
+) -> Result<Vec<EntropyProfile>, ContainerError> {
+    let stage = reader.read_u8()?;
+    let payload = reader.read_section()?;
+    let mut crc = Crc32::new();
+    crc.update(&[stage]);
+    crc.update(payload);
+    let computed = crc.finish();
+    let stored = reader.read_u32()?;
+    if stored != computed {
+        return Err(ContainerError::ProfileChecksumMismatch { stored, computed });
+    }
+    let body = match stage {
+        STAGE_NONE => payload.to_vec(),
+        STAGE_LZ => gld_lz::decompress(payload, MAX_PROFILE_TABLE_BUDGET)
+            .map_err(|error| ContainerError::ProfileTableDecode { error })?,
+        _ => return Err(ContainerError::Corrupt("profile table stage byte unknown")),
+    };
+    let mut body_reader = ByteReader::new(&body);
+    let count = body_reader.read_u8()? as usize;
+    if count == 0 {
+        // Writers only emit v4 for containers that carry profiles, so an
+        // empty table can only be damage (and accepting it would break the
+        // decode→re-encode bit-identity invariant).
+        return Err(ContainerError::Corrupt("v4 container without profiles"));
+    }
+    let mut raw = Vec::with_capacity(count);
+    for _ in 0..count {
+        let head: [u8; 3] = body_reader.take(3)?.try_into().unwrap();
+        let model = body_reader.read_section()?;
+        let lz = body_reader.read_section()?;
+        raw.push((head, model, lz));
+    }
+    body_reader.expect_end()?;
+    let mut profiles = Vec::with_capacity(count);
+    for (index, ([generation, entry_codec, dict], model, lz)) in raw.into_iter().enumerate() {
+        if generation != PROFILE_GENERATION {
+            return Err(ContainerError::ProfileGenerationMismatch {
+                profile: index,
+                generation,
+            });
+        }
+        if entry_codec != codec as u8 {
+            return Err(ContainerError::ProfileCodecMismatch {
+                profile: index,
+                codec: entry_codec,
+            });
+        }
+        let dict_mode = DictMode::from_u8(dict)?;
+        let model = if model.is_empty() {
+            None
+        } else {
+            let (parsed, used) = HistogramModel::try_from_bytes(model).map_err(|error| {
+                ContainerError::ProfileModel {
+                    profile: index,
+                    error,
+                }
+            })?;
+            if used != model.len() {
+                return Err(ContainerError::Corrupt(
+                    "profile model section has trailing bytes",
+                ));
+            }
+            // Build the decode LUT once, here: every frame that references
+            // this profile decodes against the same warm clone.
+            parsed.prepare_decode();
+            Some(parsed)
+        };
+        let lz = if lz.is_empty() {
+            None
+        } else {
+            Some(
+                LzProfile::try_from_bytes(lz).map_err(|error| ContainerError::ProfileStage {
+                    profile: index,
+                    error,
+                })?,
+            )
+        };
+        profiles.push(EntropyProfile {
+            model,
+            lz,
+            dict_mode,
+        });
+    }
+    Ok(profiles)
+}
+
 /// A decoded (or under-construction) container: codec identity plus the
 /// per-block frames, in temporal order.
 ///
@@ -454,6 +847,17 @@ pub struct Container {
     blocks: Vec<Vec<u8>>,
     /// Per-frame stage cache (see [`StageCache`]).
     staged: Vec<StageCache>,
+    /// Shared entropy profiles (v4).  Empty for profile-less containers.
+    profiles: Vec<EntropyProfile>,
+    /// Per-frame profile id, parallel to `blocks` whenever `profiles` is
+    /// non-empty (0 = no profile, N = `profiles[N - 1]`).
+    frame_profiles: Vec<u8>,
+    /// Per-frame *profiled* stage cache, parallel to `blocks` whenever
+    /// `profiles` is non-empty: the staged stream under the frame's profile
+    /// (`None` = the raw frame wins).  Kept separate from the cold
+    /// [`StageCache`] because a profiled stream only decodes under its
+    /// profile — `encode_v3` must never reuse it.
+    profiled_lz: Vec<Option<Vec<u8>>>,
     /// The container version this instance was decoded from ([`VERSION`]
     /// for locally built containers) — what the cross-build
     /// [`Container::check_entropy_compat`] check keys on.  Derived state,
@@ -477,8 +881,24 @@ impl Container {
             codec,
             blocks: Vec::new(),
             staged: Vec::new(),
+            profiles: Vec::new(),
+            frame_profiles: Vec::new(),
+            profiled_lz: Vec::new(),
             wire_version: VERSION,
         }
+    }
+
+    /// An empty container carrying shared entropy profiles; frames arrive
+    /// through [`Container::push_profiled`] and [`Container::encode`] writes
+    /// the v4 format.
+    pub fn with_profiles(codec: CodecId, profiles: Vec<EntropyProfile>) -> Self {
+        assert!(
+            profiles.len() <= MAX_PROFILES,
+            "a container carries at most {MAX_PROFILES} profiles"
+        );
+        let mut c = Container::new(codec);
+        c.profiles = profiles;
+        c
     }
 
     /// Wraps existing frames (the stage decision is computed per frame).
@@ -491,6 +911,9 @@ impl Container {
             codec,
             blocks,
             staged,
+            profiles: Vec::new(),
+            frame_profiles: Vec::new(),
+            profiled_lz: Vec::new(),
             wire_version: VERSION,
         }
     }
@@ -530,24 +953,101 @@ impl Container {
             lz.as_ref().is_none_or(|s| s.len() < frame.len()),
             "staged payload must be strictly smaller than the frame"
         );
+        if !self.profiles.is_empty() {
+            // A profiled container keeps its parallel vectors in lock-step;
+            // a plain push is a frame with no profile reference.
+            self.frame_profiles.push(0);
+            self.profiled_lz.push(None);
+        }
         self.blocks.push(frame);
         self.staged.push(StageCache::from_decision(lz));
     }
 
-    /// Number of frames whose v3 encoding takes the `Lz` stage (the staged
-    /// stream beat the raw frame), resolving lazily for frames whose
-    /// decision is not yet cached.
-    pub fn staged_frames(&self) -> usize {
-        self.blocks
-            .iter()
-            .zip(&self.staged)
-            .filter(|(b, s)| s.staged_len(b).is_some())
-            .count()
+    /// Appends one block frame of a profiled container: `profile` is the
+    /// frame's profile id (0 = none, N = the Nth profile) and `lz` the stage
+    /// decision computed under that profile via [`stage_frame_profiled`]
+    /// (`None` = store raw).
+    pub fn push_profiled(&mut self, frame: Vec<u8>, profile: u8, lz: Option<Vec<u8>>) {
+        assert!(
+            (profile as usize) <= self.profiles.len(),
+            "profile id {profile} undefined ({} profiles)",
+            self.profiles.len()
+        );
+        debug_assert!(
+            lz.as_ref().is_none_or(|s| s.len() < frame.len()),
+            "staged payload must be strictly smaller than the frame"
+        );
+        self.frame_profiles.push(profile);
+        self.profiled_lz.push(lz);
+        self.blocks.push(frame);
+        // The cold decision for this frame is unknown (and usually never
+        // needed — only an explicit `encode_v3` downgrade resolves it).
+        self.staged.push(StageCache::Unknown);
     }
 
-    /// Exact size of [`Container::encode`]'s output (the current, v3
-    /// format), without encoding.
+    /// The shared entropy profiles this container carries (empty for
+    /// profile-less containers).
+    pub fn profiles(&self) -> &[EntropyProfile] {
+        &self.profiles
+    }
+
+    /// The profile id of block `index` (0 = none).
+    pub fn frame_profile(&self, index: usize) -> u8 {
+        self.frame_profiles.get(index).copied().unwrap_or(0)
+    }
+
+    /// The profile block `index` references, if any.
+    pub fn profile_for_block(&self, index: usize) -> Option<&EntropyProfile> {
+        match self.frame_profile(index) {
+            0 => None,
+            id => self.profiles.get(id as usize - 1),
+        }
+    }
+
+    /// The staged-payload length frame `index` of a profiled container
+    /// encodes with (`None` = the raw frame wins): the cached profiled
+    /// decision for frames with a profile, the cold decision otherwise.
+    fn v4_staged_len(&self, index: usize) -> Option<usize> {
+        if self.frame_profiles[index] == 0 {
+            self.staged[index].staged_len(&self.blocks[index])
+        } else {
+            self.profiled_lz[index].as_ref().map(Vec::len)
+        }
+    }
+
+    /// Number of frames whose [`Container::encode`] output takes the `Lz`
+    /// stage (the staged stream beat the raw frame) — under each frame's
+    /// profile for a profiled container, cold otherwise — resolving lazily
+    /// for frames whose decision is not yet cached.
+    pub fn staged_frames(&self) -> usize {
+        if self.profiles.is_empty() {
+            self.blocks
+                .iter()
+                .zip(&self.staged)
+                .filter(|(b, s)| s.staged_len(b).is_some())
+                .count()
+        } else {
+            (0..self.blocks.len())
+                .filter(|&i| self.v4_staged_len(i).is_some())
+                .count()
+        }
+    }
+
+    /// Exact size of [`Container::encode`]'s output, without encoding.
     pub fn encoded_len(&self) -> usize {
+        if self.profiles.is_empty() {
+            self.encoded_len_v3()
+        } else {
+            HEADER_LEN
+                + profile_table_len(self.codec, &self.profiles)
+                + (0..self.blocks.len())
+                    .map(|i| v4_frame_len(self.blocks[i].len(), self.v4_staged_len(i)))
+                    .sum::<usize>()
+        }
+    }
+
+    /// Exact size of [`Container::encode_v3`]'s output, without encoding.
+    fn encoded_len_v3(&self) -> usize {
         HEADER_LEN
             + self
                 .blocks
@@ -557,9 +1057,32 @@ impl Container {
                 .sum::<usize>()
     }
 
-    /// Serialises the container to bytes in the current (v3, per-frame
-    /// stage + CRC-32) format.
+    /// Serialised table bytes [`Container::encode`] spends on the shared
+    /// profiles (0 for a profile-less container) — the per-variable fixed
+    /// cost the per-frame savings have to amortise.
+    pub fn profile_table_bytes(&self) -> usize {
+        if self.profiles.is_empty() {
+            0
+        } else {
+            profile_table_len(self.codec, &self.profiles)
+        }
+    }
+
+    /// Serialises the container to bytes: the v4 shared-profile format when
+    /// the container carries profiles, the v3 per-frame format otherwise.
     pub fn encode(&self) -> Vec<u8> {
+        if self.profiles.is_empty() {
+            self.encode_v3()
+        } else {
+            self.encode_v4()
+        }
+    }
+
+    /// Serialises the container in the profile-less v3 (per-frame stage +
+    /// CRC-32) format — the downgrade path for peers without profile
+    /// support.  Profiled stage caches are never reused here (they only
+    /// decode under their profile); cold decisions are resolved lazily.
+    pub fn encode_v3(&self) -> Vec<u8> {
         // Capacity from the stage-less upper bound (staged payloads only
         // shrink frames): an exact `encoded_len` here would resolve every
         // `Unknown` frame a second time just to pre-size the buffer.
@@ -580,6 +1103,37 @@ impl Container {
                     let lz = stage_frame_pooled(block);
                     encode_v3_frame(&mut out, block, lz.as_deref());
                 }
+            }
+        }
+        debug_assert_eq!(out.len(), self.encoded_len_v3());
+        out
+    }
+
+    /// Serialises the container in the v4 shared-profile format.
+    fn encode_v4(&self) -> Vec<u8> {
+        let upper = HEADER_LEN
+            + profile_table_len(self.codec, &self.profiles)
+            + self
+                .blocks
+                .iter()
+                .map(|b| v4_frame_len(b.len(), None))
+                .sum::<usize>();
+        let mut out = Vec::with_capacity(upper);
+        encode_header(&mut out, VERSION_V4, self.codec, self.blocks.len() as u32);
+        encode_profile_table(&mut out, self.codec, &self.profiles);
+        for (index, block) in self.blocks.iter().enumerate() {
+            let profile = self.frame_profiles[index];
+            if profile == 0 {
+                match &self.staged[index] {
+                    StageCache::Raw => encode_v4_frame(&mut out, block, 0, None),
+                    StageCache::Lz(stream) => encode_v4_frame(&mut out, block, 0, Some(stream)),
+                    StageCache::Unknown => {
+                        let lz = stage_frame_pooled(block);
+                        encode_v4_frame(&mut out, block, 0, lz.as_deref());
+                    }
+                }
+            } else {
+                encode_v4_frame(&mut out, block, profile, self.profiled_lz[index].as_deref());
             }
         }
         debug_assert_eq!(out.len(), self.encoded_len());
@@ -624,9 +1178,10 @@ impl Container {
     }
 
     /// Parses a container, validating magic, version, codec id, per-frame
-    /// CRC-32 (v2/v3), stage markers (v3) and the coder-generation flag
-    /// (v3), and rejecting truncated or over-long input.  All of v1, v2 and
-    /// v3 streams decode; frames come back unstaged.
+    /// CRC-32 (v2+), stage markers (v3+), the coder-generation flag (v3+)
+    /// and the profile table with every frame's profile reference (v4), and
+    /// rejecting truncated or over-long input.  All of v1–v4 streams
+    /// decode; frames come back unstaged.
     pub fn decode(bytes: &[u8]) -> Result<Self, ContainerError> {
         Self::decode_with_budget(bytes, MAX_DESTAGE_BUDGET)
     }
@@ -640,7 +1195,7 @@ impl Container {
             return Err(ContainerError::BadMagic(magic));
         }
         let version = reader.read_u16()?;
-        if !(VERSION_V1..=VERSION).contains(&version) {
+        if !(VERSION_V1..=VERSION_V4).contains(&version) {
             return Err(ContainerError::UnsupportedVersion(version));
         }
         let codec = CodecId::from_u8(reader.read_u8()?)?;
@@ -656,14 +1211,90 @@ impl Container {
             return Err(ContainerError::IncompatibleEntropyCoder { version, codec });
         }
         let count = reader.read_u32()? as usize;
+        let profiles = if version == VERSION_V4 {
+            decode_profile_table(&mut reader, codec)?
+        } else {
+            Vec::new()
+        };
         let mut blocks = Vec::with_capacity(count.min(1 << 20));
         let mut staged = Vec::with_capacity(count.min(1 << 20));
+        let mut frame_profiles = Vec::new();
+        let mut profiled_lz = Vec::new();
         // One de-stage budget for the whole container: a frame may only
         // spend what earlier frames left over, so total decode memory is
         // bounded no matter how many tiny bomb frames a stream declares.
         let mut destage_budget = budget;
         for index in 0..count {
-            if version >= VERSION {
+            if version == VERSION_V4 {
+                let stage = reader.read_u8()?;
+                let profile = reader.read_u8()?;
+                let payload = reader.read_section()?;
+                let stored = reader.read_u32()?;
+                let mut crc = Crc32::new();
+                crc.update(&[stage, profile]);
+                crc.update(payload);
+                let computed = crc.finish();
+                if stored != computed {
+                    return Err(ContainerError::ChecksumMismatch {
+                        block: index,
+                        stored,
+                        computed,
+                    });
+                }
+                if profile as usize > profiles.len() {
+                    return Err(ContainerError::UnknownProfile {
+                        block: index,
+                        profile,
+                    });
+                }
+                match stage {
+                    STAGE_NONE => {
+                        blocks.push(payload.to_vec());
+                        // A profiled frame's *cold* decision is unknown —
+                        // stage-raw under the profile says nothing about the
+                        // profile-less stage an `encode_v3` downgrade runs.
+                        staged.push(if profile == 0 {
+                            StageCache::Raw
+                        } else {
+                            StageCache::Unknown
+                        });
+                        frame_profiles.push(profile);
+                        profiled_lz.push(None);
+                    }
+                    STAGE_LZ => {
+                        let raw = if profile == 0 {
+                            gld_lz::decompress(payload, destage_budget)
+                        } else {
+                            let entry = &profiles[profile as usize - 1];
+                            let lz = entry.lz.as_ref().ok_or(ContainerError::Corrupt(
+                                "staged frame references a profile without a stage snapshot",
+                            ))?;
+                            let dict = entry.dict_for_block(index, &blocks);
+                            gld_lz::decompress_profiled(payload, dict, lz, destage_budget)
+                        }
+                        .map_err(|error| ContainerError::StageDecode {
+                            block: index,
+                            error,
+                        })?;
+                        destage_budget -= raw.len();
+                        blocks.push(raw);
+                        if profile == 0 {
+                            staged.push(StageCache::Lz(payload.to_vec()));
+                            profiled_lz.push(None);
+                        } else {
+                            staged.push(StageCache::Unknown);
+                            profiled_lz.push(Some(payload.to_vec()));
+                        }
+                        frame_profiles.push(profile);
+                    }
+                    other => {
+                        return Err(ContainerError::UnknownStage {
+                            block: index,
+                            stage: other,
+                        })
+                    }
+                }
+            } else if version >= VERSION {
                 let stage = reader.read_u8()?;
                 let payload = reader.read_section()?;
                 let stored = reader.read_u32()?;
@@ -728,6 +1359,9 @@ impl Container {
             codec,
             blocks,
             staged,
+            profiles,
+            frame_profiles,
+            profiled_lz,
             wire_version: version,
         })
     }
@@ -757,11 +1391,16 @@ impl Container {
     }
 }
 
-/// Which wire format a [`ContainerWriter`] emits — v3 with the per-frame
-/// lossless stage, or the stage-less v2 that pre-stage peers negotiate.
+/// Which wire format a [`ContainerWriter`] emits — v4 with the shared
+/// profile table, v3 with the per-frame lossless stage, or the stage-less
+/// v2 that pre-stage peers negotiate.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ContainerFormat {
-    /// Current format: per-frame adaptive `gld-lz` stage + CRC-32.
+    /// Shared-profile format: profile table + per-frame profile ids
+    /// (constructed through [`ContainerWriter::with_profile_table`], which
+    /// supplies the profiles the header must carry).
+    V4,
+    /// Per-frame format: adaptive `gld-lz` stage + CRC-32.
     #[default]
     V3,
     /// Legacy checksummed format, frames stored unstaged.
@@ -772,6 +1411,7 @@ impl ContainerFormat {
     /// The container version this format writes.
     pub fn version(self) -> u16 {
         match self {
+            ContainerFormat::V4 => VERSION_V4,
             ContainerFormat::V3 => VERSION,
             ContainerFormat::V2 => VERSION_V2,
         }
@@ -802,12 +1442,18 @@ impl<W: Write> ContainerWriter<W> {
     }
 
     /// Writes the header of the chosen `format` for `count` upcoming frames.
+    /// The v4 format needs its profile table at header time — use
+    /// [`ContainerWriter::with_profile_table`] for it.
     pub fn with_format(
         mut writer: W,
         codec: CodecId,
         count: u32,
         format: ContainerFormat,
     ) -> std::io::Result<Self> {
+        assert!(
+            format != ContainerFormat::V4,
+            "the v4 format carries a profile table; construct it with with_profile_table"
+        );
         let mut header = Vec::with_capacity(HEADER_LEN);
         encode_header(&mut header, format.version(), codec, count);
         writer.write_all(&header)?;
@@ -821,17 +1467,45 @@ impl<W: Write> ContainerWriter<W> {
         })
     }
 
+    /// Writes a v4 container header plus the shared profile table for
+    /// `count` upcoming frames; frames then arrive through
+    /// [`ContainerWriter::write_profiled_frame`].
+    pub fn with_profile_table(
+        mut writer: W,
+        codec: CodecId,
+        count: u32,
+        profiles: &[EntropyProfile],
+    ) -> std::io::Result<Self> {
+        assert!(
+            !profiles.is_empty() && profiles.len() <= MAX_PROFILES,
+            "a v4 container carries 1..={MAX_PROFILES} profiles"
+        );
+        let mut header = Vec::with_capacity(HEADER_LEN + profile_table_len(codec, profiles));
+        encode_header(&mut header, VERSION_V4, codec, count);
+        encode_profile_table(&mut header, codec, profiles);
+        writer.write_all(&header)?;
+        Ok(ContainerWriter {
+            writer,
+            format: ContainerFormat::V4,
+            declared: count,
+            written: 0,
+            bytes: header.len(),
+            frame_buf: Vec::new(),
+        })
+    }
+
     /// The wire format this writer emits.
     pub fn format(&self) -> ContainerFormat {
         self.format
     }
 
-    /// Appends one frame, staging it inline when the format calls for it.
-    /// Frames must arrive in temporal order; the caller may not exceed the
+    /// Appends one frame, staging it inline when the format calls for it
+    /// (a v4 writer stages cold and records no profile reference).  Frames
+    /// must arrive in temporal order; the caller may not exceed the
     /// declared count.
     pub fn write_frame(&mut self, payload: &[u8]) -> std::io::Result<()> {
         match self.format {
-            ContainerFormat::V3 => {
+            ContainerFormat::V4 | ContainerFormat::V3 => {
                 let staged = stage_frame_pooled(payload);
                 self.write_staged_frame(payload, staged.as_deref())
             }
@@ -841,8 +1515,28 @@ impl<W: Write> ContainerWriter<W> {
 
     /// Appends one frame whose stage decision was already computed (`lz`
     /// must be exactly [`stage_frame`]'s output for `raw`; it is ignored by
-    /// a v2 writer).
+    /// a v2 writer, and a v4 writer records it with no profile reference).
     pub fn write_staged_frame(&mut self, raw: &[u8], lz: Option<&[u8]>) -> std::io::Result<()> {
+        self.emit_frame(raw, 0, lz)
+    }
+
+    /// Appends one frame of a v4 container: `profile` is the frame's
+    /// profile id (0 = none) and `lz` the stage decision computed under that
+    /// profile via [`stage_frame_profiled`] (`None` = store raw).
+    pub fn write_profiled_frame(
+        &mut self,
+        raw: &[u8],
+        profile: u8,
+        lz: Option<&[u8]>,
+    ) -> std::io::Result<()> {
+        assert!(
+            self.format == ContainerFormat::V4,
+            "profiled frames require the v4 format"
+        );
+        self.emit_frame(raw, profile, lz)
+    }
+
+    fn emit_frame(&mut self, raw: &[u8], profile: u8, lz: Option<&[u8]>) -> std::io::Result<()> {
         assert!(
             self.written < self.declared,
             "container declared {} frames, attempted to write more",
@@ -851,6 +1545,7 @@ impl<W: Write> ContainerWriter<W> {
         let mut buf = std::mem::take(&mut self.frame_buf);
         buf.clear();
         match self.format {
+            ContainerFormat::V4 => encode_v4_frame(&mut buf, raw, profile, lz),
             ContainerFormat::V3 => encode_v3_frame(&mut buf, raw, lz),
             ContainerFormat::V2 => {
                 write_section(&mut buf, raw);
@@ -1177,5 +1872,320 @@ mod tests {
         let mut writer = ContainerWriter::new(Vec::new(), CodecId::Gld, 2).unwrap();
         writer.write_frame(&[1, 2, 3]).unwrap();
         let _ = writer.finish();
+    }
+
+    /// Pseudo-random bytes: incompressible alone, so only the first-block
+    /// dictionary can make near-copies of them stage.
+    fn noise(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect()
+    }
+
+    /// A v4 container: frame 0 is noise (the dictionary), frame 1 a
+    /// near-copy of it, frame 2 a compressible profile-less frame.
+    fn profiled_sample() -> Container {
+        let f0 = noise(0x5EED, 600);
+        let mut f1 = f0.clone();
+        f1[17] ^= 0x20;
+        f1[303] ^= 0x01;
+        let mut scratch = LzScratch::new();
+        let lz = LzProfile::fit(&f0, &mut scratch);
+        let profile = EntropyProfile {
+            model: None,
+            lz: Some(lz.clone()),
+            dict_mode: DictMode::FirstBlock,
+        };
+        let mut c = Container::with_profiles(CodecId::SzLike, vec![profile]);
+        let s0 = stage_frame_profiled(&f0, &[], &lz, &mut scratch);
+        c.push_profiled(f0.clone(), 1, s0);
+        let s1 = stage_frame_profiled(&f1, &f0, &lz, &mut scratch);
+        assert!(
+            s1.is_some(),
+            "the near-copy must stage under the dictionary"
+        );
+        c.push_profiled(f1, 1, s1);
+        let trailer = vec![9u8; 40];
+        let s2 = stage_frame(&trailer, &mut scratch);
+        c.push_staged(trailer, s2);
+        c
+    }
+
+    #[test]
+    fn v4_roundtrip_preserves_profiles_and_reencodes_bit_identically() {
+        let c = profiled_sample();
+        let bytes = c.encode();
+        assert_eq!(bytes.len(), c.encoded_len());
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), VERSION_V4);
+        let back = Container::decode(&bytes).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.wire_version(), VERSION_V4);
+        assert_eq!(back.profiles(), c.profiles());
+        assert_eq!(back.frame_profile(0), 1);
+        assert_eq!(back.frame_profile(1), 1);
+        assert_eq!(back.frame_profile(2), 0);
+        assert_eq!(
+            back.encode(),
+            bytes,
+            "decode → re-encode must be bit-identical"
+        );
+        assert!(c.profile_table_bytes() > 0);
+        assert_eq!(back.check_entropy_compat(), Ok(()));
+    }
+
+    #[test]
+    fn first_block_dictionary_beats_the_cold_stage() {
+        let c = profiled_sample();
+        let f0 = &c.blocks()[0];
+        let f1 = &c.blocks()[1];
+        let mut scratch = LzScratch::new();
+        // Cold, the near-copy is incompressible noise: the stage stores it.
+        assert!(stage_frame(f1, &mut scratch).is_none());
+        // Under the first-block dictionary it collapses to a few matches.
+        let lz = c.profiles()[0].lz.clone().unwrap();
+        let warm = stage_frame_profiled(f1, f0, &lz, &mut scratch).unwrap();
+        assert!(
+            warm.len() < f1.len() / 4,
+            "dictionary matches should collapse the near-copy: {} vs {}",
+            warm.len(),
+            f1.len()
+        );
+    }
+
+    #[test]
+    fn v4_downgrades_to_v3_per_frame_coding() {
+        // `encode_v3` of a profiled container must produce exactly what a
+        // profile-less writer produces for the same frames — including after
+        // a v4 decode (whose cold stage decisions start out Unknown).
+        let c = profiled_sample();
+        let v3 = c.encode_v3();
+        assert_eq!(u16::from_le_bytes([v3[4], v3[5]]), VERSION);
+        let back = Container::decode(&v3).unwrap();
+        assert_eq!(back, c);
+        assert!(back.profiles().is_empty());
+        assert_eq!(
+            Container::from_blocks(c.codec(), c.blocks().to_vec()).encode(),
+            v3
+        );
+        let from_v4 = Container::decode(&c.encode()).unwrap();
+        assert_eq!(from_v4.encode_v3(), v3);
+    }
+
+    #[test]
+    fn v4_profile_table_corruption_is_caught_before_interpretation() {
+        let c = profiled_sample();
+        let mut bytes = c.encode();
+        // Flip a byte inside the table's (possibly staged) payload, just
+        // past the stage byte and length prefix; the CRC must fire before
+        // any entry is interpreted — bytes are vetted first.
+        bytes[HEADER_LEN + FRAME_STAGE_LEN + 8 + 1] ^= 0x04;
+        assert!(matches!(
+            Container::decode(&bytes),
+            Err(ContainerError::ProfileChecksumMismatch { .. })
+        ));
+        // Truncations inside the table and inside the frames stay typed.
+        let whole = c.encode();
+        for cut in [HEADER_LEN, HEADER_LEN + 2, HEADER_LEN + 40, whole.len() - 2] {
+            assert!(matches!(
+                Container::decode(&whole[..cut]),
+                Err(ContainerError::Truncated { .. })
+            ));
+        }
+    }
+
+    /// A v4 stream with a hand-crafted profile table body (count byte +
+    /// entries), wrapped unstaged with a valid CRC so decode reaches the
+    /// per-entry semantic checks.
+    fn v4_with_table_body(body: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_header(&mut out, VERSION_V4, CodecId::SzLike, 0);
+        out.push(STAGE_NONE);
+        write_section(&mut out, body);
+        let mut crc = Crc32::new();
+        crc.update(&[STAGE_NONE]);
+        crc.update(body);
+        out.extend_from_slice(&crc.finish().to_le_bytes());
+        out
+    }
+
+    /// A v4 stream with a single hand-crafted profile entry.
+    fn v4_with_table_entry(entry: &[u8]) -> Vec<u8> {
+        let mut body = vec![1u8];
+        body.extend_from_slice(entry);
+        v4_with_table_body(&body)
+    }
+
+    fn table_entry(generation: u8, codec: u8, dict: u8, model: &[u8], lz: &[u8]) -> Vec<u8> {
+        let mut e = vec![generation, codec, dict];
+        write_section(&mut e, model);
+        write_section(&mut e, lz);
+        e
+    }
+
+    #[test]
+    fn v4_profile_semantics_fail_typed() {
+        // Generation from an incompatible build.
+        let bytes = v4_with_table_entry(&table_entry(9, CodecId::SzLike as u8, 0, &[], &[]));
+        assert_eq!(
+            Container::decode(&bytes),
+            Err(ContainerError::ProfileGenerationMismatch {
+                profile: 0,
+                generation: 9,
+            })
+        );
+        // Profile fitted for a different codec than the container's.
+        let bytes = v4_with_table_entry(&table_entry(
+            PROFILE_GENERATION,
+            CodecId::Gld as u8,
+            0,
+            &[],
+            &[],
+        ));
+        assert_eq!(
+            Container::decode(&bytes),
+            Err(ContainerError::ProfileCodecMismatch {
+                profile: 0,
+                codec: CodecId::Gld as u8,
+            })
+        );
+        // Unknown dictionary mode.
+        let bytes = v4_with_table_entry(&table_entry(
+            PROFILE_GENERATION,
+            CodecId::SzLike as u8,
+            7,
+            &[],
+            &[],
+        ));
+        assert!(matches!(
+            Container::decode(&bytes),
+            Err(ContainerError::Corrupt(_))
+        ));
+        // Malformed histogram model.
+        let bytes = v4_with_table_entry(&table_entry(
+            PROFILE_GENERATION,
+            CodecId::SzLike as u8,
+            0,
+            &[1, 2, 3],
+            &[],
+        ));
+        assert!(matches!(
+            Container::decode(&bytes),
+            Err(ContainerError::ProfileModel { profile: 0, .. })
+        ));
+        // Wrong-sized stage snapshot.
+        let bytes = v4_with_table_entry(&table_entry(
+            PROFILE_GENERATION,
+            CodecId::SzLike as u8,
+            0,
+            &[],
+            &[0u8; 10],
+        ));
+        assert_eq!(
+            Container::decode(&bytes),
+            Err(ContainerError::ProfileStage {
+                profile: 0,
+                error: gld_lz::LzError::BadProfile {
+                    len: 10,
+                    expected: gld_lz::PROFILE_BYTES,
+                },
+            })
+        );
+        // A v4 stream with an empty table can only be damage.
+        let empty = v4_with_table_body(&[0u8]);
+        assert!(matches!(
+            Container::decode(&empty),
+            Err(ContainerError::Corrupt(_))
+        ));
+        // A staged table whose payload is not a valid stage stream.
+        let mut bad_stage = Vec::new();
+        encode_header(&mut bad_stage, VERSION_V4, CodecId::SzLike, 0);
+        bad_stage.push(STAGE_LZ);
+        write_section(&mut bad_stage, &[0xff, 0xee, 0xdd]);
+        let mut crc = Crc32::new();
+        crc.update(&[STAGE_LZ]);
+        crc.update(&[0xff, 0xee, 0xdd]);
+        bad_stage.extend_from_slice(&crc.finish().to_le_bytes());
+        assert!(matches!(
+            Container::decode(&bad_stage),
+            Err(ContainerError::ProfileTableDecode { .. })
+        ));
+    }
+
+    #[test]
+    fn v4_frame_profile_references_are_validated() {
+        // A frame naming an undefined profile id fails typed.  The writer
+        // does not validate ids against the table, which is exactly what
+        // lets this test produce the stream a buggy peer would.
+        let profiles = [EntropyProfile::default()];
+        let mut w =
+            ContainerWriter::with_profile_table(Vec::new(), CodecId::SzLike, 1, &profiles).unwrap();
+        w.write_profiled_frame(&[1, 2, 3], 5, None).unwrap();
+        let bytes = w.finish().unwrap();
+        assert_eq!(
+            Container::decode(&bytes),
+            Err(ContainerError::UnknownProfile {
+                block: 0,
+                profile: 5,
+            })
+        );
+        // A staged frame referencing a profile without a stage snapshot is
+        // structurally impossible for our writers — typed refusal.
+        let frame = vec![7u8; 256];
+        let mut scratch = LzScratch::new();
+        let staged = stage_frame(&frame, &mut scratch).expect("repetitive frame must stage");
+        let mut w =
+            ContainerWriter::with_profile_table(Vec::new(), CodecId::SzLike, 1, &profiles).unwrap();
+        w.write_profiled_frame(&frame, 1, Some(&staged)).unwrap();
+        let bytes = w.finish().unwrap();
+        assert!(matches!(
+            Container::decode(&bytes),
+            Err(ContainerError::Corrupt(_))
+        ));
+        // Flipping a payload bit in a valid v4 frame is the frame CRC's job.
+        let c = profiled_sample();
+        let mut bytes = c.encode();
+        let last = bytes.len() - FRAME_CRC_LEN - 1;
+        bytes[last] ^= 0x40;
+        assert!(matches!(
+            Container::decode(&bytes),
+            Err(ContainerError::ChecksumMismatch { block: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn v4_writer_matches_buffered_encode() {
+        let c = profiled_sample();
+        let lz = c.profiles()[0].lz.clone().unwrap();
+        let mut scratch = LzScratch::new();
+        let mut w = ContainerWriter::with_profile_table(
+            Vec::new(),
+            c.codec(),
+            c.blocks().len() as u32,
+            c.profiles(),
+        )
+        .unwrap();
+        assert_eq!(w.format(), ContainerFormat::V4);
+        for (index, frame) in c.blocks().iter().enumerate() {
+            match c.frame_profile(index) {
+                0 => {
+                    let staged = stage_frame(frame, &mut scratch);
+                    w.write_staged_frame(frame, staged.as_deref()).unwrap();
+                }
+                id => {
+                    let dict = c.profiles()[id as usize - 1].dict_for_block(index, c.blocks());
+                    let staged = stage_frame_profiled(frame, dict, &lz, &mut scratch);
+                    w.write_profiled_frame(frame, id, staged.as_deref())
+                        .unwrap();
+                }
+            }
+        }
+        assert_eq!(w.bytes_written(), c.encoded_len());
+        assert_eq!(w.finish().unwrap(), c.encode());
     }
 }

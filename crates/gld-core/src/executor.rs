@@ -31,12 +31,15 @@
 //! depths and `RAYON_NUM_THREADS` settings (`tests/streaming_executor.rs`).
 
 use crate::codec::{Codec, CodecScratch, ErrorTarget};
+use crate::container::{DictMode, EntropyProfile};
 use gld_datasets::{blocks, Variable};
+use gld_entropy::HistogramModel;
+use gld_lz::LzProfile;
 use gld_tensor::Tensor;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 thread_local! {
     /// Per-worker scratch arena: pool workers are persistent, so buffers
@@ -60,12 +63,111 @@ fn compress_window_outcome_pooled<C: Codec + ?Sized>(
     window: &Tensor,
     target: Option<ErrorTarget>,
     index: u64,
-    stage: bool,
+    stage: &StageMode,
 ) -> BlockOutcome {
     let mut scratch = WORKER_SCRATCH.with(|slot| std::mem::take(&mut *slot.borrow_mut()));
     let outcome = compress_window_outcome(codec, window, target, index, &mut scratch, stage);
     WORKER_SCRATCH.with(|slot| *slot.borrow_mut() = scratch);
     outcome
+}
+
+/// How each frame runs the container's lossless stage (and, for
+/// [`StageMode::Shared`], its entropy coding) on the worker threads.
+#[derive(Clone, Debug)]
+pub enum StageMode {
+    /// No staging — frames are headed for a stage-free v2 stream.
+    Off,
+    /// Cold per-frame staging (container v3): every frame refits its stage
+    /// models from scratch.
+    PerFrame,
+    /// Warm shared-profile coding (container v4): every frame is coded
+    /// against the variable's fitted [`WarmProfile`] — shared entropy model,
+    /// primed stage models and the first-block seed dictionary — instead of
+    /// refitting per frame.
+    Shared(Arc<WarmProfile>),
+}
+
+/// A cross-frame coding profile fitted on a variable's first temporal
+/// window ([`fit_variable_profile`]): the wire-format [`EntropyProfile`]
+/// the container's table carries, plus the decoded working state the
+/// workers code against.
+#[derive(Clone, Debug)]
+pub struct WarmProfile {
+    /// The profile as serialised into the container's v4 profile table.
+    pub profile: EntropyProfile,
+    /// The stage snapshot every frame warm-starts its adaptive models from
+    /// (the decoded copy of `profile`'s snapshot).
+    pub lz: LzProfile,
+    /// The profiled first-frame bytes — the [`DictMode::FirstBlock`] seed
+    /// dictionary for every later frame's match window.  Empty windows for
+    /// block 0 itself.
+    pub dict: Vec<u8>,
+}
+
+/// Number of temporal windows whose embedded models are pooled into a
+/// variable's shared entropy model.  Sampling a handful of windows spread
+/// across the variable keeps the fit cheap while covering the code range of
+/// windows the first one alone would miss.
+const PROFILE_FIT_WINDOWS: usize = 4;
+
+/// Fits a variable's shared coding profile: a **sample** of its temporal
+/// windows is compressed cold, their embedded entropy models (if the codec
+/// has one) are pooled into one shared histogram with an overflow escape
+/// bin ([`HistogramModel::with_escape`]), the first window is re-coded
+/// under that model, and the stage snapshot plus seed dictionary are fitted
+/// on the resulting frame.  Deterministic — the executor later reproduces
+/// the identical first frame, so the dictionary always matches what the
+/// decoder reconstructs from block 0.
+pub fn fit_variable_profile<C: Codec + ?Sized>(
+    codec: &C,
+    variable: &Variable,
+    block_frames: usize,
+    target: Option<ErrorTarget>,
+) -> WarmProfile {
+    let (_, windows) = checked_windows(variable, block_frames);
+    let mut scratch = CodecScratch::new();
+    let cold = {
+        let window = blocks::temporal_window_at(variable, block_frames, 0);
+        codec.compress_block_scratch(&window.data, target, 0, &mut scratch)
+    };
+    let model = codec.frame_model(&cold).map(|first| {
+        let mut models = vec![first];
+        // Sample later windows evenly (skipping window 0, already fitted).
+        let extra = PROFILE_FIT_WINDOWS.min(windows).saturating_sub(1);
+        for k in 1..=extra {
+            let index = k * (windows - 1) / extra.max(1);
+            if index == 0 {
+                continue;
+            }
+            let window = blocks::temporal_window_at(variable, block_frames, index);
+            let frame =
+                codec.compress_block_scratch(&window.data, target, index as u64, &mut scratch);
+            if let Some(m) = codec.frame_model(&frame) {
+                models.push(m);
+            }
+        }
+        HistogramModel::merged(models.iter())
+            .expect("at least one window model")
+            .with_escape()
+    });
+    let frame0 = match model.as_ref() {
+        Some(m) => {
+            m.prepare_decode();
+            let window = blocks::temporal_window_at(variable, block_frames, 0);
+            codec.compress_block_shared(&window.data, target, 0, &mut scratch, m)
+        }
+        None => cold,
+    };
+    let lz = LzProfile::fit(&frame0, &mut scratch.lz);
+    WarmProfile {
+        profile: EntropyProfile {
+            model,
+            lz: Some(lz.clone()),
+            dict_mode: DictMode::FirstBlock,
+        },
+        lz,
+        dict: frame0,
+    }
 }
 
 /// Tuning for the streaming executor.
@@ -132,19 +234,38 @@ pub(crate) fn compress_window_outcome<C: Codec + ?Sized>(
     target: Option<ErrorTarget>,
     index: u64,
     scratch: &mut CodecScratch,
-    stage: bool,
+    stage: &StageMode,
 ) -> BlockOutcome {
-    let frame = codec.compress_block_scratch(window, target, index, scratch);
-    let recon = codec.decompress_block(&frame);
+    let (frame, recon) = match stage {
+        StageMode::Shared(warm) if warm.profile.model.is_some() => {
+            let model = warm.profile.model.as_ref().unwrap();
+            let frame = codec.compress_block_shared(window, target, index, scratch, model);
+            let recon = codec.decompress_block_shared(&frame, Some(model));
+            (frame, recon)
+        }
+        _ => {
+            let frame = codec.compress_block_scratch(window, target, index, scratch);
+            let recon = codec.decompress_block(&frame);
+            (frame, recon)
+        }
+    };
     let mut sq_err = 0.0f64;
     for (a, b) in window.data().iter().zip(recon.data()) {
         let d = (*a - *b) as f64;
         sq_err += d * d;
     }
-    let lz = if stage {
-        crate::container::stage_frame(&frame, &mut scratch.lz)
-    } else {
-        None
+    let lz = match stage {
+        StageMode::Off => None,
+        StageMode::PerFrame => crate::container::stage_frame(&frame, &mut scratch.lz),
+        StageMode::Shared(warm) => {
+            // Block 0 is the dictionary itself: it de-stages dict-free.
+            let dict = if index == 0 {
+                &[][..]
+            } else {
+                warm.dict.as_slice()
+            };
+            crate::container::stage_frame_profiled(&frame, dict, &warm.lz, &mut scratch.lz)
+        }
     };
     BlockOutcome {
         frame,
@@ -260,7 +381,7 @@ fn worker_step<C: Codec + ?Sized>(
     flow: &Flow<'_>,
     codec: &C,
     target: Option<ErrorTarget>,
-    stage: bool,
+    stage: &StageMode,
 ) {
     let run = catch_unwind(AssertUnwindSafe(|| {
         if let Some((index, window)) = flow.try_claim() {
@@ -284,10 +405,10 @@ fn worker_step<C: Codec + ?Sized>(
 /// claimed or compressed (the sink writer uses this to abort on the first
 /// I/O error instead of compressing the rest of the variable for nothing).
 ///
-/// `stage` asks the workers to also run the container v3 `gld-lz` stage
-/// decision per frame (posted in [`BlockOutcome::lz`]); pass `false` when
-/// the frames are headed for a stage-free v2 stream so no staging work is
-/// wasted.
+/// `stage` selects how the workers run the container's lossless stage per
+/// frame (posted in [`BlockOutcome::lz`]): cold per-frame fits for a v3
+/// stream, warm shared-profile coding for a v4 stream, or no staging at all
+/// for a v2 stream.
 ///
 /// A panic inside the codec — on a worker job or on the collector's helping
 /// path — propagates out of this call with its original payload.
@@ -297,13 +418,14 @@ pub fn stream_compress_variable<C, F>(
     block_frames: usize,
     target: Option<ErrorTarget>,
     config: StreamConfig,
-    stage: bool,
+    stage: StageMode,
     mut emit: F,
 ) -> StreamMetrics
 where
     C: Codec + ?Sized,
     F: FnMut(usize, BlockOutcome) -> bool,
 {
+    let stage = &stage;
     let (_, count) = checked_windows(variable, block_frames);
     let depth = config.queue_depth.max(1);
     let lookahead = match config.workers {

@@ -41,9 +41,11 @@ pub use codec::{
     compress_variable_to_writer, compress_variable_to_writer_fmt, Codec, CodecError, CodecScratch,
     ErrorTarget, StreamWriteError, VariableStats,
 };
-pub use container::{CodecId, Container, ContainerError, ContainerFormat, ContainerWriter};
+pub use container::{
+    CodecId, Container, ContainerError, ContainerFormat, ContainerWriter, DictMode, EntropyProfile,
+};
 pub use error_bound::{ErrorBoundConfig, ErrorBoundOutcome, PcaErrorBound};
-pub use executor::{StreamConfig, StreamMetrics};
+pub use executor::{fit_variable_profile, StageMode, StreamConfig, StreamMetrics, WarmProfile};
 /// Kernel backend dispatch (re-exported): the SIMD/scalar inner loops every
 /// codec in this stack runs on, selectable via `GLD_KERNEL_BACKEND` or
 /// [`gld_kernels::force`].

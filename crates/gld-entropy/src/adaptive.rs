@@ -64,6 +64,27 @@ impl AdaptiveBitModel {
         self.p0 = PROB_INIT;
     }
 
+    /// The current zero-bit probability estimate (out of [`PROB_TOTAL`]).
+    ///
+    /// Together with [`AdaptiveBitModel::from_probability`] this lets a
+    /// trained model be snapshotted into a profile table and restored on the
+    /// decode side, warm-starting a fresh stream at the converged estimate
+    /// instead of the uniform one.
+    pub fn probability(&self) -> u16 {
+        self.p0
+    }
+
+    /// Reconstructs a model at a snapshotted estimate.
+    ///
+    /// The estimate is clamped into the open interval `(0, PROB_TOTAL)` so a
+    /// corrupted or adversarial snapshot can never create an empty coding
+    /// interval: every restored model remains able to code both bit values.
+    pub fn from_probability(p0: u16) -> Self {
+        AdaptiveBitModel {
+            p0: p0.clamp(1, (PROB_TOTAL - 1) as u16),
+        }
+    }
+
     #[inline]
     fn update(&mut self, bit: bool) {
         if bit {
@@ -131,6 +152,34 @@ impl AdaptiveTreeModel {
     /// Symbol width in bits.
     pub fn bits(&self) -> u32 {
         self.bits
+    }
+
+    /// Number of internal bit-model nodes (`1 << bits`).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Appends every node's probability estimate to `out` (root at index 1;
+    /// index 0 is an unused placeholder, emitted too so offsets stay
+    /// trivially `1 << bits` wide).
+    pub fn snapshot_into(&self, out: &mut Vec<u16>) {
+        out.extend(self.nodes.iter().map(AdaptiveBitModel::probability));
+    }
+
+    /// Restores every node from a snapshot produced by
+    /// [`AdaptiveTreeModel::snapshot_into`].  Each probability is clamped
+    /// like [`AdaptiveBitModel::from_probability`], so restoring an
+    /// untrusted snapshot is safe (the tree still codes every symbol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` is not exactly `1 << bits` long — callers validate
+    /// snapshot lengths before restoring.
+    pub fn restore_from(&mut self, probs: &[u16]) {
+        assert_eq!(probs.len(), self.nodes.len(), "snapshot length mismatch");
+        for (node, &p) in self.nodes.iter_mut().zip(probs) {
+            *node = AdaptiveBitModel::from_probability(p);
+        }
     }
 
     /// Encodes `value` (must fit in the tree's width), MSB first.
@@ -236,6 +285,64 @@ mod tests {
         for &v in &data {
             assert_eq!(model.decode(&mut dec), v);
         }
+    }
+
+    #[test]
+    fn snapshot_restore_replays_trained_state() {
+        // Train a bit model, snapshot it, and check the restored copy codes
+        // a fresh stream byte-identically to the original trained model.
+        let mut trained = AdaptiveBitModel::new();
+        let mut warmup = crate::range::RangeEncoder::new();
+        for i in 0..500 {
+            trained.encode(&mut warmup, i % 11 == 0);
+        }
+        let restored = AdaptiveBitModel::from_probability(trained.probability());
+        let payload: Vec<bool> = (0..300).map(|i| i % 13 == 0).collect();
+        let encode_with = |mut m: AdaptiveBitModel| {
+            let mut enc = crate::range::RangeEncoder::new();
+            for &b in &payload {
+                m.encode(&mut enc, b);
+            }
+            enc.finish()
+        };
+        assert_eq!(encode_with(trained), encode_with(restored));
+    }
+
+    #[test]
+    fn restored_probability_is_clamped_off_the_poles() {
+        for p in [0u16, 1, (PROB_TOTAL - 1) as u16, u16::MAX] {
+            let model = AdaptiveBitModel::from_probability(p);
+            assert!(model.probability() >= 1);
+            assert!(u32::from(model.probability()) < PROB_TOTAL);
+            // The restored model must still round-trip both bit values.
+            let bits = [true, false, true, true, false];
+            let mut enc_model = model;
+            let mut enc = crate::range::RangeEncoder::new();
+            for &b in &bits {
+                enc_model.encode(&mut enc, b);
+            }
+            let stream = enc.finish();
+            let mut dec_model = model;
+            let mut dec = crate::range::RangeDecoder::new(&stream);
+            for &b in &bits {
+                assert_eq!(dec_model.decode(&mut dec), b);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_snapshot_roundtrips_through_restore() {
+        let mut trained = AdaptiveTreeModel::new(8);
+        let mut warmup = crate::range::RangeEncoder::new();
+        for i in 0..2000u32 {
+            trained.encode(&mut warmup, i * 7 % 256);
+        }
+        let mut probs = Vec::new();
+        trained.snapshot_into(&mut probs);
+        assert_eq!(probs.len(), trained.node_count());
+        let mut restored = AdaptiveTreeModel::new(8);
+        restored.restore_from(&probs);
+        assert_eq!(restored, trained);
     }
 
     #[test]

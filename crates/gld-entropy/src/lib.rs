@@ -45,5 +45,7 @@ pub use arith::{ArithmeticDecoder, ArithmeticEncoder};
 pub use backend::{
     ArithmeticBackend, EntropyBackend, EntropyDecoder, EntropyEncoder, RangeBackend,
 };
-pub use models::{BitCounter, BypassCoder, GaussianConditionalModel, HistogramModel};
+pub use models::{
+    BitCounter, BypassCoder, GaussianConditionalModel, HistogramModel, ModelDecodeError,
+};
 pub use range::{RangeDecoder, RangeEncoder};

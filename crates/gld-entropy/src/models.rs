@@ -17,7 +17,7 @@
 use crate::arith::MAX_TOTAL;
 use crate::backend::{EntropyDecoder, EntropyEncoder};
 use crate::gaussian::{normal_cdf, quantized_gaussian_bits};
-use std::cell::OnceCell;
+use std::sync::OnceLock;
 
 /// Total frequency budget used when quantising probability models.
 const MODEL_TOTAL: u32 = MAX_TOTAL / 2;
@@ -205,8 +205,57 @@ pub struct HistogramModel {
     /// Decode-side lookup table, built lazily on the first
     /// [`HistogramModel::decode_symbol`] call so the compress path (which
     /// only encodes) never pays for it.
-    lut: OnceCell<DecodeLut>,
+    lut: OnceLock<DecodeLut>,
 }
+
+/// Typed failure of [`HistogramModel::try_from_bytes`] on untrusted input
+/// (profile tables, corrupted containers).  Every variant is a parse-time
+/// rejection — the hardened path never panics and never allocates more than
+/// the model budget allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelDecodeError {
+    /// The serialised header or its entry list ends early.
+    Truncated,
+    /// The declared bin count exceeds what a fitted model can produce, so
+    /// the allocation it implies is rejected before being made.
+    OversizedBins {
+        /// Declared number of bins.
+        bins: usize,
+        /// Largest bin count a fitted model can carry.
+        max: usize,
+    },
+    /// A non-zero entry points outside the declared bin range.
+    BadOffset {
+        /// The offending bin offset.
+        offset: usize,
+        /// Number of declared bins.
+        bins: usize,
+    },
+    /// The frequencies sum to zero or overflow the coder's budget.
+    BadTotal,
+}
+
+impl std::fmt::Display for ModelDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelDecodeError::Truncated => write!(f, "truncated histogram model"),
+            ModelDecodeError::OversizedBins { bins, max } => {
+                write!(f, "histogram model declares {bins} bins (max {max})")
+            }
+            ModelDecodeError::BadOffset { offset, bins } => {
+                write!(f, "histogram entry offset {offset} outside {bins} bins")
+            }
+            ModelDecodeError::BadTotal => {
+                write!(
+                    f,
+                    "histogram frequencies sum to zero or overflow the coder budget"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelDecodeError {}
 
 /// `slots[target >> shift]` is the index of the first bin whose cumulative
 /// interval can contain `target`; the true bin is found by scanning forward
@@ -252,6 +301,39 @@ impl HistogramModel {
         for &s in symbols {
             counts[(s - min) as usize] += 1;
         }
+        Self::from_counts(min, counts)
+    }
+
+    /// Pools several fitted models into one histogram over the union of
+    /// their symbol ranges, summing per-bin frequency mass.  Each input is
+    /// already normalised to the same coding budget, so every model
+    /// contributes equal weight — the cross-frame shared model of container
+    /// v4 is built this way from a sample of a variable's windows.  Returns
+    /// `None` for an empty input.
+    pub fn merged<'a, I>(models: I) -> Option<HistogramModel>
+    where
+        I: IntoIterator<Item = &'a HistogramModel>,
+    {
+        let models: Vec<&HistogramModel> = models.into_iter().collect();
+        let min = models.iter().map(|m| m.min).min()?;
+        let max = models.iter().map(|m| m.max_symbol()).max()?;
+        let bins = (max - min + 1) as usize;
+        assert!(
+            bins <= (MODEL_TOTAL / 2) as usize,
+            "merged symbol range {bins} too wide for a histogram model"
+        );
+        let mut counts = vec![0u64; bins];
+        for m in models {
+            for (i, &f) in m.freqs.iter().enumerate() {
+                counts[(m.min - min) as usize + i] += f as u64;
+            }
+        }
+        Some(Self::from_counts(min, counts))
+    }
+
+    /// Rescales raw per-bin counts to the fixed coding budget and builds the
+    /// model: observed bins keep ≥ 1, unobserved bins stay exactly 0.
+    fn from_counts(min: i32, counts: Vec<u64>) -> Self {
         let total_count: u64 = counts.iter().sum();
         // Rescale observed bins to the fixed coding budget, keeping every
         // observed bin ≥ 1 and unobserved bins at exactly 0.
@@ -306,7 +388,7 @@ impl HistogramModel {
             min,
             freqs,
             cdf,
-            lut: OnceCell::new(),
+            lut: OnceLock::new(),
         }
     }
 
@@ -393,6 +475,115 @@ impl HistogramModel {
             off += 8;
         }
         (Self::from_freqs(min, freqs), off)
+    }
+
+    /// Hardened deserialiser for **untrusted** bytes (profile tables inside
+    /// containers arriving over the wire).  Unlike
+    /// [`HistogramModel::from_bytes`] — which trusts its caller and panics
+    /// on malformed input — this path bounds-checks every read, rejects bin
+    /// counts larger than a fitted model can produce *before* allocating,
+    /// and verifies the frequency total is usable by the coder.
+    pub fn try_from_bytes(bytes: &[u8]) -> Result<(Self, usize), ModelDecodeError> {
+        if bytes.len() < 12 {
+            return Err(ModelDecodeError::Truncated);
+        }
+        let min = i32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        let len = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        let nonzero = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let max_bins = (MODEL_TOTAL / 2) as usize;
+        if len == 0 || len > max_bins {
+            return Err(ModelDecodeError::OversizedBins {
+                bins: len,
+                max: max_bins,
+            });
+        }
+        let need = nonzero
+            .checked_mul(8)
+            .and_then(|n| n.checked_add(12))
+            .ok_or(ModelDecodeError::Truncated)?;
+        if bytes.len() < need {
+            return Err(ModelDecodeError::Truncated);
+        }
+        let mut freqs = vec![0u32; len];
+        let mut off = 12;
+        for _ in 0..nonzero {
+            let idx = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            let f = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+            if idx >= len {
+                return Err(ModelDecodeError::BadOffset {
+                    offset: idx,
+                    bins: len,
+                });
+            }
+            freqs[idx] = f;
+            off += 8;
+        }
+        // Duplicate offsets overwrite, so sum what the model actually holds.
+        let total: u64 = freqs.iter().map(|&f| u64::from(f)).sum();
+        if total == 0 || total > u64::from(MAX_TOTAL) {
+            return Err(ModelDecodeError::BadTotal);
+        }
+        Ok((Self::from_freqs(min, freqs), off))
+    }
+
+    /// Whether `s` can be coded under this model (inside the fitted range
+    /// and carrying non-zero probability mass).  Shared-profile encoders use
+    /// this to decide between the profile model and a per-frame refit.
+    pub fn can_encode(&self, s: i32) -> bool {
+        s >= self.min_symbol() && s <= self.max_symbol() && self.freqs[(s - self.min) as usize] > 0
+    }
+
+    /// Returns a copy of this model extended with one **overflow bin** just
+    /// below its range (the new [`HistogramModel::min_symbol`]).  Shared
+    /// entropy profiles are built through this: a frame coded against the
+    /// profile writes the overflow symbol plus the raw value for any code
+    /// the fitted range cannot represent, so a profile fitted on one window
+    /// stays usable on later windows whose tails reach further.  The bin
+    /// receives a small fixed slice of the coding budget, taken from the
+    /// largest existing bins so the total stays unchanged (a degenerate
+    /// model whose bins cannot give up mass grows the total instead, which
+    /// the coder accepts).
+    pub fn with_escape(&self) -> HistogramModel {
+        let total = self.total();
+        let escape = (total / 64).max(1);
+        let mut freqs = Vec::with_capacity(self.freqs.len() + 1);
+        freqs.push(escape);
+        freqs.extend_from_slice(&self.freqs);
+        let mut sum = total + escape;
+        while sum > total {
+            let largest = freqs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .max_by_key(|(_, &f)| f)
+                .map(|(i, _)| i)
+                .unwrap();
+            let take = (sum - total).min(freqs[largest].saturating_sub(1));
+            if take == 0 {
+                break;
+            }
+            freqs[largest] -= take;
+            sum -= take;
+        }
+        Self::from_freqs(self.min - 1, freqs)
+    }
+
+    /// Theoretical bits to code one symbol under this model.  Cheap enough
+    /// for the per-frame shared-vs-embedded cost decision to call per code.
+    #[inline]
+    pub fn symbol_bits(&self, s: i32) -> f64 {
+        let p = self.freqs[(s - self.min) as usize] as f64 / self.total() as f64;
+        -p.log2()
+    }
+
+    /// Builds the decode lookup table now (idempotent).  Shared-profile
+    /// decoders call this once when a profile is installed, so every frame
+    /// referencing the profile decodes against an already-built table —
+    /// cloning the model clones the warm table with it.
+    pub fn prepare_decode(&self) {
+        let _ = self
+            .lut
+            .get_or_init(|| Self::build_lut(&self.cdf, self.freqs.len()));
     }
 
     /// Size of the serialised header in bytes.
@@ -664,6 +855,64 @@ mod tests {
         let stream = enc.finish();
         let mut dec = RangeDecoder::new(&stream);
         assert_eq!(constant.decode(&mut dec, 100), vec![42; 100]);
+    }
+
+    #[test]
+    fn try_from_bytes_accepts_fitted_models_and_warm_lut_clones() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let symbols: Vec<i32> = (0..4000).map(|_| rng.gen_range(-9..10)).collect();
+        let model = HistogramModel::fit(&symbols);
+        let bytes = model.to_bytes();
+        let (restored, used) = HistogramModel::try_from_bytes(&bytes).expect("valid model");
+        assert_eq!(used, bytes.len());
+        assert_eq!(restored, model);
+        assert!(restored.can_encode(0));
+        assert!(!restored.can_encode(1_000_000));
+        // A prepared model still decodes correctly after cloning (the warm
+        // LUT travels with the clone — the shared-profile fast path).
+        restored.prepare_decode();
+        let cloned = restored.clone();
+        let mut enc = RangeEncoder::new();
+        model.encode(&mut enc, &symbols);
+        let stream = enc.finish();
+        let mut dec = RangeDecoder::new(&stream);
+        assert_eq!(cloned.decode(&mut dec, symbols.len()), symbols);
+    }
+
+    #[test]
+    fn try_from_bytes_rejects_malformed_input_typed() {
+        let model = HistogramModel::fit(&[1, 2, 2, 3, 3, 3]);
+        let good = model.to_bytes();
+        // Truncations anywhere in the stream fail typed, never panic.
+        for cut in 0..good.len() {
+            assert!(HistogramModel::try_from_bytes(&good[..cut]).is_err());
+        }
+        // Oversized bin count: rejected before the allocation is made.
+        let mut huge = good.clone();
+        huge[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            HistogramModel::try_from_bytes(&huge),
+            Err(ModelDecodeError::OversizedBins { .. })
+        ));
+        // Entry offset outside the declared bins.
+        let mut bad_off = good.clone();
+        let entry0 = 12;
+        bad_off[entry0..entry0 + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            HistogramModel::try_from_bytes(&bad_off),
+            Err(ModelDecodeError::BadOffset { .. })
+        ));
+        // All-zero mass is unusable by the coder.
+        let mut zeroed = good.clone();
+        let mut off = 12;
+        while off + 8 <= zeroed.len() {
+            zeroed[off + 4..off + 8].copy_from_slice(&0u32.to_le_bytes());
+            off += 8;
+        }
+        assert!(matches!(
+            HistogramModel::try_from_bytes(&zeroed),
+            Err(ModelDecodeError::BadTotal)
+        ));
     }
 
     #[test]

@@ -47,7 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use gld_entropy::adaptive::{AdaptiveBitModel, AdaptiveTreeModel};
+use gld_entropy::adaptive::{AdaptiveBitModel, AdaptiveTreeModel, PROB_TOTAL};
 use gld_entropy::{RangeDecoder, RangeEncoder};
 use gld_kernels::{kernels, KernelBackend};
 use std::fmt;
@@ -105,6 +105,13 @@ pub enum LzError {
     },
     /// A match would run past the declared decompressed length.
     Overrun,
+    /// A serialised warm-start profile has the wrong size.
+    BadProfile {
+        /// Size of the rejected snapshot in bytes.
+        len: usize,
+        /// The only size a valid snapshot can have.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for LzError {
@@ -126,6 +133,9 @@ impl fmt::Display for LzError {
                 )
             }
             LzError::Overrun => write!(f, "match runs past the declared decompressed length"),
+            LzError::BadProfile { len, expected } => {
+                write!(f, "profile snapshot of {len} bytes, expected {expected}")
+            }
         }
     }
 }
@@ -134,13 +144,21 @@ impl std::error::Error for LzError {}
 
 /// The adaptive models of one sequence stream, bundled so they reset (and
 /// live in [`LzScratch`]) together.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct SequenceModels {
     flag: AdaptiveBitModel,
     literal: AdaptiveTreeModel,
     len_slot: AdaptiveTreeModel,
     off_slot: AdaptiveTreeModel,
 }
+
+/// Number of probability estimates one [`SequenceModels`] snapshot holds:
+/// the flag bit, the byte tree, and the two slot trees.
+const SNAPSHOT_PROBS: usize = 1 + (1 << 8) + (1 << SLOT_BITS) + (1 << SLOT_BITS);
+
+/// Serialised size of a warm-start profile in bytes (one `u16` per
+/// probability, little-endian).
+pub const PROFILE_BYTES: usize = SNAPSHOT_PROBS * 2;
 
 impl SequenceModels {
     fn new() -> Self {
@@ -157,6 +175,246 @@ impl SequenceModels {
         self.literal.reset();
         self.len_slot.reset();
         self.off_slot.reset();
+    }
+
+    /// Flattens every probability estimate, in a fixed field order.
+    fn snapshot(&self) -> Vec<u16> {
+        let mut probs = Vec::with_capacity(SNAPSHOT_PROBS);
+        probs.push(self.flag.probability());
+        self.literal.snapshot_into(&mut probs);
+        self.len_slot.snapshot_into(&mut probs);
+        self.off_slot.snapshot_into(&mut probs);
+        debug_assert_eq!(probs.len(), SNAPSHOT_PROBS);
+        probs
+    }
+
+    /// Rebuilds the model set from a snapshot (`probs` must be exactly
+    /// [`SNAPSHOT_PROBS`] long — callers validate first).  Each estimate is
+    /// clamped off the probability poles on restore, so even an adversarial
+    /// snapshot yields models that can code every symbol.
+    fn restore(probs: &[u16]) -> Self {
+        assert_eq!(probs.len(), SNAPSHOT_PROBS, "snapshot length mismatch");
+        let mut models = SequenceModels::new();
+        models.flag = AdaptiveBitModel::from_probability(probs[0]);
+        let mut off = 1;
+        let lit = models.literal.node_count();
+        models.literal.restore_from(&probs[off..off + lit]);
+        off += lit;
+        let slots = models.len_slot.node_count();
+        models.len_slot.restore_from(&probs[off..off + slots]);
+        off += slots;
+        models.off_slot.restore_from(&probs[off..off + slots]);
+        models
+    }
+}
+
+/// Fixed-point scale of a frozen symbol distribution (total frequency ≈
+/// `1 << 15`, comfortably inside the range coder's `MAX_TOTAL` of `1 << 16`
+/// even after every zero-rounded symbol is bumped to frequency 1).
+const STATIC_SCALE_BITS: u32 = 15;
+
+/// Slot count cap of a frozen model's decode lookup table.
+const STATIC_LUT_SLOTS: usize = 1024;
+
+/// One frozen binary probability: codes like [`AdaptiveBitModel`] but never
+/// adapts, so encode/decode are a single range-coder interval each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StaticBitModel {
+    p0: u16,
+}
+
+impl StaticBitModel {
+    #[inline]
+    fn encode(&self, enc: &mut RangeEncoder, bit: bool) {
+        let p0 = u32::from(self.p0);
+        if bit {
+            enc.encode(p0, PROB_TOTAL, PROB_TOTAL);
+        } else {
+            enc.encode(0, p0, PROB_TOTAL);
+        }
+    }
+
+    #[inline]
+    fn decode(&self, dec: &mut RangeDecoder<'_>) -> bool {
+        let p0 = u32::from(self.p0);
+        let bit = dec.decode_target(PROB_TOTAL) >= p0;
+        if bit {
+            dec.decode_update(p0, PROB_TOTAL, PROB_TOTAL);
+        } else {
+            dec.decode_update(0, p0, PROB_TOTAL);
+        }
+        bit
+    }
+}
+
+/// A frozen order-0 symbol distribution flattened out of an adaptive
+/// bit-tree snapshot: one cumulative-frequency interval per symbol instead
+/// of `bits` adaptive bit codings, plus a slot lookup table on the decode
+/// side.  This is where the warm path's speed comes from — a profiled
+/// literal costs one range-coder operation, not eight bit-model updates.
+///
+/// Derivation is integer-only (fixed-point products of the tree's node
+/// probabilities), so every build and backend derives bit-identical tables
+/// from the same snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct StaticTreeModel {
+    cdf: Vec<u32>,
+    lut: Vec<u16>,
+    shift: u32,
+}
+
+impl StaticTreeModel {
+    /// Flattens a tree snapshot (heap-ordered node probabilities, root at
+    /// index 1) into per-symbol frequencies: each symbol's probability is
+    /// the fixed-point product of its path's branch probabilities.
+    fn from_probs(bits: u32, probs: &[u16]) -> StaticTreeModel {
+        let n = 1usize << bits;
+        debug_assert_eq!(probs.len(), n);
+        let mut cdf = Vec::with_capacity(n + 1);
+        cdf.push(0u32);
+        let mut total = 0u32;
+        for s in 0..n as u32 {
+            let mut ctx = 1usize;
+            let mut acc: u64 = 1 << STATIC_SCALE_BITS;
+            for i in (0..bits).rev() {
+                let bit = (s >> i) & 1 == 1;
+                let p0 = u64::from(probs[ctx].clamp(1, (PROB_TOTAL - 1) as u16));
+                let f = if bit { u64::from(PROB_TOTAL) - p0 } else { p0 };
+                acc = (acc * f) >> 12;
+                ctx = (ctx << 1) | usize::from(bit);
+            }
+            total += (acc as u32).max(1);
+            cdf.push(total);
+        }
+        let mut shift = 0u32;
+        while (((total - 1) >> shift) as usize) + 1 > STATIC_LUT_SLOTS {
+            shift += 1;
+        }
+        let n_slots = (((total - 1) >> shift) as usize) + 1;
+        let mut lut = Vec::with_capacity(n_slots);
+        let mut bin = 0usize;
+        for slot in 0..n_slots {
+            let target = (slot as u32) << shift;
+            while cdf[bin + 1] <= target {
+                bin += 1;
+            }
+            lut.push(bin as u16);
+        }
+        StaticTreeModel { cdf, lut, shift }
+    }
+
+    #[inline]
+    fn total(&self) -> u32 {
+        *self.cdf.last().unwrap()
+    }
+
+    #[inline]
+    fn encode(&self, enc: &mut RangeEncoder, s: u32) {
+        let s = s as usize;
+        enc.encode(self.cdf[s], self.cdf[s + 1], self.total());
+    }
+
+    #[inline]
+    fn decode(&self, dec: &mut RangeDecoder<'_>) -> u32 {
+        let total = self.total();
+        let target = dec.decode_target(total);
+        let mut bin = usize::from(self.lut[(target >> self.shift) as usize]);
+        while self.cdf[bin + 1] <= target {
+            bin += 1;
+        }
+        dec.decode_update(self.cdf[bin], self.cdf[bin + 1], total);
+        bin as u32
+    }
+}
+
+/// The frozen coding tables of one profile, derived deterministically from
+/// the adaptive snapshot.  The warm paths code sequences against these
+/// without any per-symbol model updates (semi-static coding): the snapshot
+/// already carries the converged estimates, so freezing trades a sliver of
+/// in-frame adaptation for a much shorter hot loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct StaticSequenceModels {
+    flag: StaticBitModel,
+    literal: StaticTreeModel,
+    len_slot: StaticTreeModel,
+    off_slot: StaticTreeModel,
+}
+
+impl StaticSequenceModels {
+    fn derive(models: &SequenceModels) -> Self {
+        let probs = models.snapshot();
+        let lit = 1usize << 8;
+        let slots = 1usize << SLOT_BITS;
+        StaticSequenceModels {
+            flag: StaticBitModel {
+                p0: probs[0].clamp(1, (PROB_TOTAL - 1) as u16),
+            },
+            literal: StaticTreeModel::from_probs(8, &probs[1..1 + lit]),
+            len_slot: StaticTreeModel::from_probs(SLOT_BITS, &probs[1 + lit..1 + lit + slots]),
+            off_slot: StaticTreeModel::from_probs(SLOT_BITS, &probs[1 + lit + slots..]),
+        }
+    }
+}
+
+/// A warm-start profile for the stage: the adaptive sequence models of a
+/// previously coded stream, snapshotted after training, plus the frozen
+/// coding tables derived from that snapshot.  Streams compressed with a
+/// profile are coded **semi-statically** against the converged estimates
+/// (no cold-model ramp, no per-symbol adaptation), and — combined with a
+/// seed dictionary — let every frame of a variable reuse what frame 0
+/// taught the coder.
+///
+/// A profile is pure *coder* state: the bytes it produces decode only with
+/// the same profile (the container's profile table carries it exactly once
+/// per variable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LzProfile {
+    models: SequenceModels,
+    frozen: StaticSequenceModels,
+}
+
+impl LzProfile {
+    /// Trains a profile on `sample` by compressing it cold and snapshotting
+    /// the adaptive models afterwards.  The sample itself is discarded —
+    /// callers that also want a seed dictionary pass the sample bytes to
+    /// [`compress_profiled_into`] separately.
+    pub fn fit(sample: &[u8], scratch: &mut LzScratch) -> Self {
+        let mut sink = Vec::new();
+        compress_into(sample, scratch, &mut sink);
+        let models = scratch.models.clone();
+        let frozen = StaticSequenceModels::derive(&models);
+        LzProfile { models, frozen }
+    }
+
+    /// Serialises the profile: every probability estimate as a
+    /// little-endian `u16`, fixed layout, [`PROFILE_BYTES`] total.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(PROFILE_BYTES);
+        for p in self.models.snapshot() {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialises a profile written by [`LzProfile::to_bytes`].  The only
+    /// structural check needed is the exact size; the probability estimates
+    /// themselves are clamped into valid range on restore, so arbitrary
+    /// bytes always yield a usable (if useless) profile — corruption is
+    /// caught by the container's CRCs, not here.
+    pub fn try_from_bytes(bytes: &[u8]) -> Result<Self, LzError> {
+        if bytes.len() != PROFILE_BYTES {
+            return Err(LzError::BadProfile {
+                len: bytes.len(),
+                expected: PROFILE_BYTES,
+            });
+        }
+        let probs: Vec<u16> = bytes
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        let models = SequenceModels::restore(&probs);
+        let frozen = StaticSequenceModels::derive(&models);
+        Ok(LzProfile { models, frozen })
     }
 }
 
@@ -176,6 +434,9 @@ pub struct LzScratch {
     models: SequenceModels,
     /// Recycled backing buffer for the range encoder's output.
     stream_buf: Vec<u8>,
+    /// Dictionary-primed match window (`dict ‖ input`), used only by the
+    /// profiled compression path.
+    window: Vec<u8>,
 }
 
 impl Default for LzScratch {
@@ -193,17 +454,29 @@ impl LzScratch {
             hashes: Vec::new(),
             models: SequenceModels::new(),
             stream_buf: Vec::new(),
+            window: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the match-finder tables over `window` and pre-seeds the
+    /// hash chains with every position below `base` (the dictionary
+    /// prefix), so matching at `base..` can reach back into the dictionary
+    /// from the first byte.
+    fn prepare_tables(&mut self, window: &[u8], base: usize) {
+        self.head.clear();
+        self.head.resize(1 << HASH_BITS, NIL);
+        self.chain.clear();
+        self.chain.resize(window.len(), NIL);
+        self.hashes.clear();
+        self.hashes.resize(window.len().saturating_sub(3), 0);
+        kernels().hash4_batch(window, HASH_BITS, &mut self.hashes);
+        for p in 0..base {
+            insert(&self.hashes, p, &mut self.head, &mut self.chain);
         }
     }
 
     fn prepare(&mut self, input: &[u8]) {
-        self.head.clear();
-        self.head.resize(1 << HASH_BITS, NIL);
-        self.chain.clear();
-        self.chain.resize(input.len(), NIL);
-        self.hashes.clear();
-        self.hashes.resize(input.len().saturating_sub(3), 0);
-        kernels().hash4_batch(input, HASH_BITS, &mut self.hashes);
+        self.prepare_tables(input, 0);
         self.models.reset();
     }
 }
@@ -227,6 +500,22 @@ fn encode_slot(enc: &mut RangeEncoder, tree: &mut AdaptiveTreeModel, v: u32) {
 
 #[inline]
 fn decode_slot(dec: &mut RangeDecoder<'_>, tree: &mut AdaptiveTreeModel) -> u64 {
+    let k = tree.decode(dec);
+    let low = if k > 0 { dec.decode_bits_raw(k) } else { 0 };
+    ((1u64 << k) | low) - 1
+}
+
+#[inline]
+fn encode_slot_static(enc: &mut RangeEncoder, tree: &StaticTreeModel, v: u32) {
+    let (k, low) = slot_of(v);
+    tree.encode(enc, k);
+    if k > 0 {
+        enc.encode_bits_raw(u64::from(low), k);
+    }
+}
+
+#[inline]
+fn decode_slot_static(dec: &mut RangeDecoder<'_>, tree: &StaticTreeModel) -> u64 {
     let k = tree.decode(dec);
     let low = if k > 0 { dec.decode_bits_raw(k) } else { 0 };
     ((1u64 << k) | low) - 1
@@ -346,62 +635,8 @@ pub fn compress_into(input: &[u8], scratch: &mut LzScratch, out: &mut Vec<u8>) {
     let prefix = out.len() - start;
 
     scratch.prepare(input);
-    let models = &mut scratch.models;
     let mut enc = RangeEncoder::with_buffer(std::mem::take(&mut scratch.stream_buf));
-
-    let kern = kernels();
-    let head = &mut scratch.head;
-    let chain = &mut scratch.chain;
-    let hashes = &scratch.hashes[..];
-    let mut i = 0usize;
-    // The lazy step's lookahead match is carried into the next iteration
-    // instead of being recomputed there — the match finder walks each
-    // position's chain once, not twice.
-    let mut pending: Option<Match> = None;
-    while i < input.len() {
-        let found = pending
-            .take()
-            .or_else(|| find_match(input, hashes, i, head, chain, kern));
-        match found {
-            Some(m) => {
-                // Position `i` joins the chains either way (a match covers
-                // it; a deferring literal emits it) — inserting before the
-                // lookahead lets `i + 1` see it as a candidate source.
-                insert(hashes, i, head, chain);
-                // Lazy step: if starting one byte later yields a strictly
-                // longer match, emit a literal now and take that match at
-                // the next iteration.
-                let next = if i + 1 < input.len() {
-                    find_match(input, hashes, i + 1, head, chain, kern)
-                } else {
-                    None
-                };
-                match next {
-                    Some(n) if n.len > m.len => {
-                        models.flag.encode(&mut enc, false);
-                        models.literal.encode(&mut enc, u32::from(input[i]));
-                        i += 1;
-                        pending = next;
-                    }
-                    _ => {
-                        models.flag.encode(&mut enc, true);
-                        encode_slot(&mut enc, &mut models.len_slot, (m.len - MIN_MATCH) as u32);
-                        encode_slot(&mut enc, &mut models.off_slot, (m.dist - 1) as u32);
-                        for p in i + 1..i + m.len {
-                            insert(hashes, p, head, chain);
-                        }
-                        i += m.len;
-                    }
-                }
-            }
-            None => {
-                models.flag.encode(&mut enc, false);
-                models.literal.encode(&mut enc, u32::from(input[i]));
-                insert(hashes, i, head, chain);
-                i += 1;
-            }
-        }
-    }
+    code_sequences(input, 0, scratch, &mut enc);
 
     let stream = enc.finish();
     if prefix + stream.len() > input.len() {
@@ -413,6 +648,127 @@ pub fn compress_into(input: &[u8], scratch: &mut LzScratch, out: &mut Vec<u8>) {
         out.extend_from_slice(&stream);
     }
     scratch.stream_buf = stream;
+}
+
+/// Codes `window[base..]` as one sequence stream against the prepared
+/// scratch tables, where `window[..base]` is a pre-inserted dictionary
+/// prefix matches may reach into (offsets simply extend past the content's
+/// start; the decoder pre-seeds its output with the same prefix).  `base = 0`
+/// is the ordinary dictionary-free stream.
+fn code_sequences(window: &[u8], base: usize, scratch: &mut LzScratch, enc: &mut RangeEncoder) {
+    let models = &mut scratch.models;
+    let kern = kernels();
+    let head = &mut scratch.head;
+    let chain = &mut scratch.chain;
+    let hashes = &scratch.hashes[..];
+    let mut i = base;
+    // The lazy step's lookahead match is carried into the next iteration
+    // instead of being recomputed there — the match finder walks each
+    // position's chain once, not twice.
+    let mut pending: Option<Match> = None;
+    while i < window.len() {
+        let found = pending
+            .take()
+            .or_else(|| find_match(window, hashes, i, head, chain, kern));
+        match found {
+            Some(m) => {
+                // Position `i` joins the chains either way (a match covers
+                // it; a deferring literal emits it) — inserting before the
+                // lookahead lets `i + 1` see it as a candidate source.
+                insert(hashes, i, head, chain);
+                // Lazy step: if starting one byte later yields a strictly
+                // longer match, emit a literal now and take that match at
+                // the next iteration.
+                let next = if i + 1 < window.len() {
+                    find_match(window, hashes, i + 1, head, chain, kern)
+                } else {
+                    None
+                };
+                match next {
+                    Some(n) if n.len > m.len => {
+                        models.flag.encode(enc, false);
+                        models.literal.encode(enc, u32::from(window[i]));
+                        i += 1;
+                        pending = next;
+                    }
+                    _ => {
+                        models.flag.encode(enc, true);
+                        encode_slot(enc, &mut models.len_slot, (m.len - MIN_MATCH) as u32);
+                        encode_slot(enc, &mut models.off_slot, (m.dist - 1) as u32);
+                        for p in i + 1..i + m.len {
+                            insert(hashes, p, head, chain);
+                        }
+                        i += m.len;
+                    }
+                }
+            }
+            None => {
+                models.flag.encode(enc, false);
+                models.literal.encode(enc, u32::from(window[i]));
+                insert(hashes, i, head, chain);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// The warm twin of [`code_sequences`]: identical match finding and stream
+/// layout, but every symbol is coded against the profile's frozen tables —
+/// no model state is cloned, touched or updated.  This keeps the profiled
+/// hot loop to one range-coder interval per literal (versus nine adaptive
+/// bit codings cold), which is where the warm path's stage-compress
+/// speedup comes from.
+fn code_sequences_static(
+    window: &[u8],
+    base: usize,
+    frozen: &StaticSequenceModels,
+    scratch: &mut LzScratch,
+    enc: &mut RangeEncoder,
+) {
+    let kern = kernels();
+    let head = &mut scratch.head;
+    let chain = &mut scratch.chain;
+    let hashes = &scratch.hashes[..];
+    let mut i = base;
+    let mut pending: Option<Match> = None;
+    while i < window.len() {
+        let found = pending
+            .take()
+            .or_else(|| find_match(window, hashes, i, head, chain, kern));
+        match found {
+            Some(m) => {
+                insert(hashes, i, head, chain);
+                let next = if i + 1 < window.len() {
+                    find_match(window, hashes, i + 1, head, chain, kern)
+                } else {
+                    None
+                };
+                match next {
+                    Some(n) if n.len > m.len => {
+                        frozen.flag.encode(enc, false);
+                        frozen.literal.encode(enc, u32::from(window[i]));
+                        i += 1;
+                        pending = next;
+                    }
+                    _ => {
+                        frozen.flag.encode(enc, true);
+                        encode_slot_static(enc, &frozen.len_slot, (m.len - MIN_MATCH) as u32);
+                        encode_slot_static(enc, &frozen.off_slot, (m.dist - 1) as u32);
+                        for p in i + 1..i + m.len {
+                            insert(hashes, p, head, chain);
+                        }
+                        i += m.len;
+                    }
+                }
+            }
+            None => {
+                frozen.flag.encode(enc, false);
+                frozen.literal.encode(enc, u32::from(window[i]));
+                insert(hashes, i, head, chain);
+                i += 1;
+            }
+        }
+    }
 }
 
 /// [`compress_into`] returning a fresh `Vec`.
@@ -427,6 +783,81 @@ pub fn compress(input: &[u8], scratch: &mut LzScratch) -> Vec<u8> {
 /// container makes (`None` means "store the frame unstaged").
 pub fn compress_if_smaller(input: &[u8], scratch: &mut LzScratch) -> Option<Vec<u8>> {
     let out = compress(input, scratch);
+    (out.len() < input.len()).then_some(out)
+}
+
+/// Compresses `input` warm: symbols are coded **semi-statically** against
+/// `profile`'s frozen tables (the converged estimates of the fitting pass,
+/// never updated mid-stream), and matches may reach back into `dict` (a
+/// caller-supplied seed dictionary logically prefixed to the input — the v4
+/// container uses the variable's first frame).  The stream layout is
+/// identical to [`compress_into`]; it simply decodes only with
+/// [`decompress_profiled`] under the same profile and dictionary.
+///
+/// # Panics
+/// Panics if `dict.len() + input.len()` exceeds [`MAX_RAW_LEN`] (offsets
+/// must stay representable), same contract as [`compress_into`].
+pub fn compress_profiled_into(
+    input: &[u8],
+    dict: &[u8],
+    profile: &LzProfile,
+    scratch: &mut LzScratch,
+    out: &mut Vec<u8>,
+) {
+    assert!(
+        dict.len() + input.len() <= MAX_RAW_LEN,
+        "window of {} bytes exceeds the stage format's {MAX_RAW_LEN}-byte cap",
+        dict.len() + input.len()
+    );
+    let start = out.len();
+    out.push(TAG_LZ);
+    write_varint(out, input.len() as u64);
+    let prefix = out.len() - start;
+
+    let mut window = std::mem::take(&mut scratch.window);
+    window.clear();
+    window.extend_from_slice(dict);
+    window.extend_from_slice(input);
+    scratch.prepare_tables(&window, dict.len());
+    let mut enc = RangeEncoder::with_buffer(std::mem::take(&mut scratch.stream_buf));
+    code_sequences_static(&window, dict.len(), &profile.frozen, scratch, &mut enc);
+    scratch.window = window;
+
+    let stream = enc.finish();
+    if prefix + stream.len() > input.len() {
+        // Stored fallback still applies: a warm stream that cannot beat
+        // tag + verbatim stores, and stored blocks decode without the
+        // profile or dictionary at all.
+        out.truncate(start);
+        out.push(TAG_STORED);
+        out.extend_from_slice(input);
+    } else {
+        out.extend_from_slice(&stream);
+    }
+    scratch.stream_buf = stream;
+}
+
+/// [`compress_profiled_into`] returning a fresh `Vec`.
+pub fn compress_profiled(
+    input: &[u8],
+    dict: &[u8],
+    profile: &LzProfile,
+    scratch: &mut LzScratch,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    compress_profiled_into(input, dict, profile, scratch, &mut out);
+    out
+}
+
+/// [`compress_profiled`] with the v3/v4 container's stage decision: the
+/// stream is returned only when strictly smaller than the input.
+pub fn compress_if_smaller_profiled(
+    input: &[u8],
+    dict: &[u8],
+    profile: &LzProfile,
+    scratch: &mut LzScratch,
+) -> Option<Vec<u8>> {
+    let out = compress_profiled(input, dict, profile, scratch);
     (out.len() < input.len()).then_some(out)
 }
 
@@ -450,21 +881,67 @@ pub fn decompress(stream: &[u8], max_len: usize) -> Result<Vec<u8>, LzError> {
             if declared > max as u64 {
                 return Err(LzError::TooLarge { declared, max });
             }
-            decode_sequences(&rest[used..], declared as usize)
+            decode_sequences(&rest[used..], &[], SequenceModels::new(), declared as usize)
         }
         other => Err(LzError::BadTag(other)),
     }
 }
 
-/// Decodes the range-coded sequence stream into exactly `declared` bytes.
-fn decode_sequences(coded: &[u8], declared: usize) -> Result<Vec<u8>, LzError> {
-    let mut models = SequenceModels::new();
+/// Decompresses one stage stream produced by [`compress_profiled_into`]
+/// under the same profile and seed dictionary.  Stored blocks ignore both
+/// (they carry the content verbatim); coded streams decode against the
+/// profile's frozen tables and pre-seed the match window with `dict`.
+/// Hardened exactly like
+/// [`decompress`]: arbitrary bytes yield content or a typed [`LzError`],
+/// never a panic, and the output allocation is bounded by
+/// `dict.len() + max_len`.
+pub fn decompress_profiled(
+    stream: &[u8],
+    dict: &[u8],
+    profile: &LzProfile,
+    max_len: usize,
+) -> Result<Vec<u8>, LzError> {
+    let (&tag, rest) = stream.split_first().ok_or(LzError::Empty)?;
+    match tag {
+        TAG_STORED => {
+            if rest.len() > max_len {
+                return Err(LzError::TooLarge {
+                    declared: rest.len() as u64,
+                    max: max_len,
+                });
+            }
+            Ok(rest.to_vec())
+        }
+        TAG_LZ => {
+            let (declared, used) = read_varint(rest)?;
+            let max = max_len.min(MAX_RAW_LEN);
+            if declared > max as u64 {
+                return Err(LzError::TooLarge { declared, max });
+            }
+            decode_sequences_static(&rest[used..], dict, &profile.frozen, declared as usize)
+        }
+        other => Err(LzError::BadTag(other)),
+    }
+}
+
+/// Decodes the range-coded sequence stream into exactly `declared` bytes of
+/// content.  `dict` pre-seeds the match window (matches may reach into it);
+/// only the content after the dictionary is returned.
+fn decode_sequences(
+    coded: &[u8],
+    dict: &[u8],
+    mut models: SequenceModels,
+    declared: usize,
+) -> Result<Vec<u8>, LzError> {
     let mut dec = RangeDecoder::new(coded);
     // Allocation tracks production (Vec's amortised growth), never the
     // declared length: a tiny stream declaring gigabytes cannot reserve
-    // them up front.
-    let mut out = Vec::with_capacity(declared.min(1 << 16));
-    while out.len() < declared {
+    // them up front.  The dictionary is caller-supplied, already-produced
+    // content, so seeding it up front stays within the caller's own budget.
+    let mut out = Vec::with_capacity((dict.len() + declared.min(1 << 16)).min(MAX_RAW_LEN));
+    out.extend_from_slice(dict);
+    let goal = dict.len() as u64 + declared as u64;
+    while (out.len() as u64) < goal {
         // The range decoder pads past the end of its input with zero bytes,
         // so a truncated stream would otherwise keep yielding symbols
         // forever; once decoding has consumed meaningfully past the real
@@ -486,7 +963,7 @@ fn decode_sequences(coded: &[u8], declared: usize) -> Result<Vec<u8>, LzError> {
                 produced: out.len(),
             });
         }
-        if out.len() as u64 + len > declared as u64 {
+        if out.len() as u64 + len > goal {
             return Err(LzError::Overrun);
         }
         let from = out.len() - offset as usize;
@@ -497,7 +974,56 @@ fn decode_sequences(coded: &[u8], declared: usize) -> Result<Vec<u8>, LzError> {
             out.push(byte);
         }
     }
-    Ok(out)
+    if dict.is_empty() {
+        Ok(out)
+    } else {
+        Ok(out.split_off(dict.len()))
+    }
+}
+
+/// The warm twin of [`decode_sequences`]: the same hardened loop (bounded
+/// allocation, truncation/offset/overrun checks), decoding every symbol
+/// against the profile's frozen tables instead of adaptive models.
+fn decode_sequences_static(
+    coded: &[u8],
+    dict: &[u8],
+    frozen: &StaticSequenceModels,
+    declared: usize,
+) -> Result<Vec<u8>, LzError> {
+    let mut dec = RangeDecoder::new(coded);
+    let mut out = Vec::with_capacity((dict.len() + declared.min(1 << 16)).min(MAX_RAW_LEN));
+    out.extend_from_slice(dict);
+    let goal = dict.len() as u64 + declared as u64;
+    while (out.len() as u64) < goal {
+        if dec.consumed() > coded.len() + 16 {
+            return Err(LzError::Truncated);
+        }
+        if !frozen.flag.decode(&mut dec) {
+            out.push(frozen.literal.decode(&mut dec) as u8);
+            continue;
+        }
+        let len = decode_slot_static(&mut dec, &frozen.len_slot) + MIN_MATCH as u64;
+        let offset = decode_slot_static(&mut dec, &frozen.off_slot) + 1;
+        if offset > out.len() as u64 {
+            return Err(LzError::BadOffset {
+                offset,
+                produced: out.len(),
+            });
+        }
+        if out.len() as u64 + len > goal {
+            return Err(LzError::Overrun);
+        }
+        let from = out.len() - offset as usize;
+        for k in 0..len as usize {
+            let byte = out[from + k];
+            out.push(byte);
+        }
+    }
+    if dict.is_empty() {
+        Ok(out)
+    } else {
+        Ok(out.split_off(dict.len()))
+    }
 }
 
 #[cfg(test)]
@@ -640,5 +1166,114 @@ mod tests {
     fn unknown_tag_and_empty_stream_are_typed() {
         assert_eq!(decompress(&[], 10), Err(LzError::Empty));
         assert_eq!(decompress(&[9, 1, 2], 10), Err(LzError::BadTag(9)));
+    }
+
+    /// Two "frames" of the same synthetic variable: similar but not equal.
+    fn similar_frames() -> (Vec<u8>, Vec<u8>) {
+        let frame = |phase: f32| -> Vec<u8> {
+            (0..3000)
+                .flat_map(|i| {
+                    let v = ((i as f32 * 0.01 + phase).sin() * 120.0) as i16;
+                    v.to_le_bytes()
+                })
+                .collect()
+        };
+        (frame(0.0), frame(0.02))
+    }
+
+    #[test]
+    fn profiled_roundtrip_with_dict_and_warm_models() {
+        let (first, second) = similar_frames();
+        let mut scratch = LzScratch::new();
+        let profile = LzProfile::fit(&first, &mut scratch);
+        let stream = compress_profiled(&second, &first, &profile, &mut scratch);
+        let back = decompress_profiled(&stream, &first, &profile, second.len())
+            .expect("self-produced profiled stream decodes");
+        assert_eq!(back, second);
+        // Empty dictionary (the variable's first frame) round-trips too.
+        let stream0 = compress_profiled(&first, &[], &profile, &mut scratch);
+        assert_eq!(
+            decompress_profiled(&stream0, &[], &profile, first.len()).unwrap(),
+            first
+        );
+    }
+
+    #[test]
+    fn profiled_stream_beats_cold_on_similar_frames() {
+        let (first, second) = similar_frames();
+        let mut scratch = LzScratch::new();
+        let cold = compress(&second, &mut scratch);
+        let profile = LzProfile::fit(&first, &mut scratch);
+        let warm = compress_profiled(&second, &first, &profile, &mut scratch);
+        assert!(
+            warm.len() < cold.len(),
+            "warm {} B not smaller than cold {} B",
+            warm.len(),
+            cold.len()
+        );
+    }
+
+    #[test]
+    fn profiled_output_is_deterministic_across_dirty_scratch() {
+        let (first, second) = similar_frames();
+        let mut fresh = LzScratch::new();
+        let profile = LzProfile::fit(&first, &mut fresh);
+        let expected = compress_profiled(&second, &first, &profile, &mut fresh);
+        let mut dirty = LzScratch::new();
+        let _ = compress(&second, &mut dirty);
+        let _ = compress_profiled(&first, &second, &profile, &mut dirty);
+        assert_eq!(
+            compress_profiled(&second, &first, &profile, &mut dirty),
+            expected,
+            "scratch history leaked into the profiled stream"
+        );
+    }
+
+    #[test]
+    fn profile_serialization_roundtrips_and_rejects_bad_sizes() {
+        let (first, _) = similar_frames();
+        let mut scratch = LzScratch::new();
+        let profile = LzProfile::fit(&first, &mut scratch);
+        let bytes = profile.to_bytes();
+        assert_eq!(bytes.len(), PROFILE_BYTES);
+        let restored = LzProfile::try_from_bytes(&bytes).expect("valid profile");
+        assert_eq!(restored, profile);
+        for bad_len in [0usize, 1, PROFILE_BYTES - 1, PROFILE_BYTES + 1] {
+            assert!(matches!(
+                LzProfile::try_from_bytes(&vec![0u8; bad_len]),
+                Err(LzError::BadProfile { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn adversarial_profile_bytes_still_yield_a_working_coder() {
+        // All-zero and all-ones snapshots would put every probability on a
+        // pole; the clamped restore must still round-trip data.
+        let (_, data) = similar_frames();
+        for fill in [0x00u8, 0xFF] {
+            let profile = LzProfile::try_from_bytes(&vec![fill; PROFILE_BYTES]).unwrap();
+            let mut scratch = LzScratch::new();
+            let stream = compress_profiled(&data, &[], &profile, &mut scratch);
+            assert_eq!(
+                decompress_profiled(&stream, &[], &profile, data.len()).unwrap(),
+                data
+            );
+        }
+    }
+
+    #[test]
+    fn profiled_stored_fallback_decodes_without_dict_help() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let dict: Vec<u8> = (0..512).map(|_| rng.gen_range(0..256) as u8).collect();
+        let noise: Vec<u8> = (0..2048).map(|_| rng.gen_range(0..256) as u8).collect();
+        let mut scratch = LzScratch::new();
+        let profile = LzProfile::fit(&dict, &mut scratch);
+        let stream = compress_profiled(&noise, &dict, &profile, &mut scratch);
+        assert_eq!(stream[0], TAG_STORED, "incompressible input must store");
+        assert_eq!(
+            decompress_profiled(&stream, &dict, &profile, noise.len()).unwrap(),
+            noise
+        );
     }
 }

@@ -4,7 +4,10 @@
 //! typed [`LzError`] on bad input — over arbitrary bytes, truncations of
 //! valid streams, and single-bit flips of valid streams.
 
-use gld_lz::{compress, decompress, LzError, LzScratch, TAG_LZ, TAG_STORED};
+use gld_lz::{
+    compress, compress_profiled, decompress, decompress_profiled, LzError, LzProfile, LzScratch,
+    PROFILE_BYTES, TAG_LZ, TAG_STORED,
+};
 use proptest::prelude::*;
 
 /// A corpus of byte strings with LZ-relevant structure: runs, periodic
@@ -26,7 +29,17 @@ fn corpus_bytes(seed: u64, len: usize) -> Vec<u8> {
 /// panic (a panic fails the test), output within the cap when `Ok`, typed
 /// error otherwise.
 fn drive_decoder(stream: &[u8], cap: usize) {
-    match decompress(stream, cap) {
+    assert_contract(decompress(stream, cap), cap);
+}
+
+/// Same contract through the profiled decoder: warm models and a seed
+/// dictionary must not weaken the hardening in any way.
+fn drive_profiled_decoder(stream: &[u8], dict: &[u8], profile: &LzProfile, cap: usize) {
+    assert_contract(decompress_profiled(stream, dict, profile, cap), cap);
+}
+
+fn assert_contract(result: Result<Vec<u8>, LzError>, cap: usize) {
+    match result {
         Ok(out) => assert!(
             out.len() <= cap,
             "decoder produced {} bytes past the {cap}-byte cap",
@@ -38,9 +51,18 @@ fn drive_decoder(stream: &[u8], cap: usize) {
             | LzError::TooLarge { .. }
             | LzError::Truncated
             | LzError::BadOffset { .. }
-            | LzError::Overrun,
+            | LzError::Overrun
+            | LzError::BadProfile { .. },
         ) => {}
     }
+}
+
+/// A deterministic trained profile + dictionary pair for the profiled fuzz
+/// legs, derived from the corpus generator.
+fn corpus_profile(seed: u64) -> (LzProfile, Vec<u8>) {
+    let dict = corpus_bytes(seed, 1024);
+    let mut scratch = LzScratch::new();
+    (LzProfile::fit(&dict, &mut scratch), dict)
 }
 
 proptest! {
@@ -129,6 +151,82 @@ proptest! {
             decompress(&stream, cap),
             Err(LzError::TooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn profiled_roundtrip_arbitrary_inputs(
+        bytes in prop::collection::vec(0u32..256, 0..2048),
+        seed in 0u64..100,
+    ) {
+        let data: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let (profile, dict) = corpus_profile(seed);
+        let mut scratch = LzScratch::new();
+        let stream = compress_profiled(&data, &dict, &profile, &mut scratch);
+        prop_assert_eq!(
+            decompress_profiled(&stream, &dict, &profile, data.len()).unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn profiled_decoder_survives_arbitrary_streams(
+        bytes in prop::collection::vec(0u32..256, 0..256),
+        seed in 0u64..100,
+    ) {
+        let stream: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let (profile, dict) = corpus_profile(seed);
+        drive_profiled_decoder(&stream, &dict, &profile, 1 << 16);
+    }
+
+    #[test]
+    fn profiled_decoder_survives_truncations_and_flips(
+        seed in 0u64..500,
+        len in 1usize..4096,
+        frac in 0.0f64..1.0,
+        bit in 0usize..9,
+    ) {
+        let data = corpus_bytes(seed, len);
+        let (profile, dict) = corpus_profile(seed.wrapping_add(1));
+        let mut scratch = LzScratch::new();
+        let mut stream = compress_profiled(&data, &dict, &profile, &mut scratch);
+        let at = ((stream.len() - 1) as f64 * frac) as usize;
+        if bit == 8 {
+            // Truncation leg.
+            stream.truncate(at);
+        } else {
+            stream[at] ^= 1 << bit;
+        }
+        drive_profiled_decoder(&stream, &dict, &profile, data.len());
+        // A profiled stream fed to the wrong decoder state (no dictionary,
+        // cold models) must also stay panic-free — that is exactly what a
+        // frame/profile mismatch inside a corrupted container looks like.
+        drive_decoder(&stream, data.len());
+        drive_profiled_decoder(&stream, &[], &profile, data.len());
+    }
+
+    #[test]
+    fn profile_deserialiser_never_panics(
+        bytes in prop::collection::vec(0u32..256, 0..(PROFILE_BYTES + 8)),
+    ) {
+        let raw: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        match LzProfile::try_from_bytes(&raw) {
+            Ok(profile) => {
+                // Whatever estimates the bytes implied, the restored profile
+                // must be a usable coder.
+                let data = corpus_bytes(7, 512);
+                let mut scratch = LzScratch::new();
+                let stream = compress_profiled(&data, &[], &profile, &mut scratch);
+                prop_assert_eq!(
+                    decompress_profiled(&stream, &[], &profile, data.len()).unwrap(),
+                    data
+                );
+            }
+            Err(LzError::BadProfile { len, expected }) => {
+                prop_assert_eq!(len, raw.len());
+                prop_assert_eq!(expected, PROFILE_BYTES);
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
     }
 }
 

@@ -8,7 +8,7 @@
 
 use crate::protocol::{
     self, decode_blocks_body, DecompressRequest, FrameHeader, HelloRequest, HelloResponse, Op,
-    ProtocolError, Status, EXT_CONTAINER_STAGE,
+    ProtocolError, Status, EXT_CONTAINER_STAGE, EXT_SHARED_PROFILES,
 };
 use gld_core::{CodecId, ErrorTarget};
 use gld_datasets::Variable;
@@ -69,6 +69,12 @@ pub struct ServerInfo {
     /// `false` (an old or opted-out peer on either side) means stage-free
     /// v2 streams.
     pub stage: bool,
+    /// Whether the session negotiated container v4 shared entropy-model
+    /// profiles: `true` means compress responses arrive as v4 containers
+    /// (one coding profile fitted per variable, every frame coded warm
+    /// against it), and takes precedence over `stage`.  `false` downgrades
+    /// to whatever `stage` says.
+    pub profiles: bool,
     /// Number of shards the server routes across.
     pub shards: u32,
     /// Per-shard bounded in-flight request window.
@@ -86,6 +92,7 @@ pub struct ServiceClient {
     next_id: u64,
     negotiated: Option<CodecId>,
     stage: bool,
+    profiles: bool,
 }
 
 impl ServiceClient {
@@ -100,6 +107,7 @@ impl ServiceClient {
             next_id: 1,
             negotiated: None,
             stage: false,
+            profiles: false,
         })
     }
 
@@ -114,17 +122,25 @@ impl ServiceClient {
         self.stage
     }
 
+    /// Whether the session negotiated shared-profile (container v4)
+    /// compress responses in the last [`ServiceClient::hello`].
+    pub fn profiles_enabled(&self) -> bool {
+        self.profiles
+    }
+
     /// Negotiates a codec (client preference order) and fetches server
-    /// info, advertising container-stage support.  The chosen codec becomes
-    /// the session default for [`ServiceClient::compress`] calls made
-    /// without an explicit codec.
+    /// info, advertising container-stage and shared-profile support.  The
+    /// chosen codec becomes the session default for
+    /// [`ServiceClient::compress`] calls made without an explicit codec.
     ///
     /// Servers predating the stage treat the advertisement byte as a
     /// framing violation and close the connection; when that happens the
-    /// client reconnects once and retries the `Hello` without the bit, so
+    /// client reconnects once and retries the `Hello` without the bits, so
     /// negotiation degrades to a stage-free session instead of failing.
+    /// (A server that knows the stage but not the profiles simply echoes
+    /// the profile bit clear — no retry needed.)
     pub fn hello(&mut self, preferences: &[CodecId]) -> Result<ServerInfo, ClientError> {
-        match self.hello_with_options(preferences, true) {
+        match self.hello_with_options(preferences, true, true) {
             Ok(info) => Ok(info),
             // A pre-stage server rejects the non-zero reserved byte with a
             // well-formed error frame that echoes request id 0 and a
@@ -145,40 +161,46 @@ impl ServiceClient {
                 let stream = TcpStream::connect(self.addr)?;
                 let _ = stream.set_nodelay(true);
                 self.stream = stream;
-                self.hello_with_options(preferences, false)
+                self.hello_with_options(preferences, false, false)
             }
             Err(other) => Err(other),
         }
     }
 
-    /// [`ServiceClient::hello`] with the stage advertisement explicit (and
-    /// no downgrade retry): `request_stage: false` speaks exactly like a
-    /// pre-stage client, so compress responses come back as stage-free v2
-    /// containers.
+    /// [`ServiceClient::hello`] with the feature advertisements explicit
+    /// (and no downgrade retry): `request_stage: false` speaks exactly like
+    /// a pre-stage client, so compress responses come back as stage-free v2
+    /// containers; `request_profiles: false` speaks like a pre-profile
+    /// client and caps the session at v3.
     pub fn hello_with_options(
         &mut self,
         preferences: &[CodecId],
         request_stage: bool,
+        request_profiles: bool,
     ) -> Result<ServerInfo, ClientError> {
         let request = HelloRequest {
             proposals: preferences.iter().map(|&c| c as u8).collect(),
         };
-        let ext = if request_stage {
-            EXT_CONTAINER_STAGE
-        } else {
-            0
-        };
+        let mut ext = 0u8;
+        if request_stage {
+            ext |= EXT_CONTAINER_STAGE;
+        }
+        if request_profiles {
+            ext |= EXT_SHARED_PROFILES;
+        }
         let (header, body) = self.request_ext(Op::Hello, 0, ext, &request.encode_body())?;
         let codec = CodecId::from_u8(header.codec)
             .map_err(|_| ClientError::Protocol(ProtocolError::UnknownCodec(header.codec)))?;
         let info = HelloResponse::decode_body(&body)?;
         self.negotiated = Some(codec);
-        // The stage holds only when the server echoed the bit (an old
-        // server leaves the whole byte zero).
+        // A feature holds only when the server echoed its bit (an old
+        // server leaves the bit — or the whole byte — zero).
         self.stage = request_stage && header.ext & EXT_CONTAINER_STAGE != 0;
+        self.profiles = request_profiles && header.ext & EXT_SHARED_PROFILES != 0;
         Ok(ServerInfo {
             codec,
             stage: self.stage,
+            profiles: self.profiles,
             shards: info.shards,
             shard_window: info.shard_window,
             queue_depth: info.queue_depth,

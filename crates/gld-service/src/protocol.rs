@@ -12,7 +12,8 @@
 //! 7       1     codec id (a `CodecId` byte, or 0 = none/session default)
 //! 8       1     status (requests: must be 0; responses: see [`Status`])
 //! 9       1     feature bits (`ext`): bit 0 = container-stage support
-//!               ([`EXT_CONTAINER_STAGE`]); unknown bits are **ignored**
+//!               ([`EXT_CONTAINER_STAGE`]), bit 1 = shared-profile support
+//!               ([`EXT_SHARED_PROFILES`]); unknown bits are **ignored**
 //! 10      6     reserved; decoders ignore the contents
 //! 16      8     request id (echoed verbatim in the response)
 //! 24      8     body length in bytes
@@ -26,8 +27,9 @@
 //! [`Op::Hello`] request, and the server echoes the subset it will honour
 //! in the response — a server that never saw the bit simply answers with it
 //! clear and the session proceeds without the feature.  Bit 0 negotiates
-//! the container-v3 per-frame `gld-lz` stage: staged sessions receive v3
-//! compress responses, everything else receives stage-free v2 streams.
+//! the container-v3 per-frame `gld-lz` stage; bit 1 negotiates container-v4
+//! shared entropy-model profiles.  Profile sessions receive v4 compress
+//! responses, staged sessions v3, everything else stage-free v2 streams.
 //!
 //! The compress response body is a `GLDC` container exactly as
 //! `Codec::compress_variable` would encode it; the decompress response body
@@ -65,6 +67,14 @@ pub const MAX_BODY_LEN: u64 = 1 << 30;
 /// requests and echoed by stage-capable servers when the session will use
 /// v3 compress responses.
 pub const EXT_CONTAINER_STAGE: u8 = 0b1;
+
+/// Header feature bit (byte 9, bit 1): the sender understands container v4
+/// shared entropy-model profiles.  Set by profile-capable clients in `Hello`
+/// requests and echoed by profile-capable servers when the session will use
+/// v4 compress responses (a shared coding profile fitted once per variable,
+/// serving every frame warm).  Peers that predate the bit ignore it — the
+/// session transparently downgrades to v3 (or v2) streams.
+pub const EXT_SHARED_PROFILES: u8 = 0b10;
 
 /// Frame operation, present in requests and echoed in responses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

@@ -24,7 +24,8 @@
 
 use crate::metrics::{ServiceMetrics, ServiceMetricsSnapshot, ShardMetrics};
 use crate::protocol::{
-    self, FrameHeader, Op, ProtocolError, RawFrameHeader, Status, EXT_CONTAINER_STAGE, HEADER_LEN,
+    self, FrameHeader, Op, ProtocolError, RawFrameHeader, Status, EXT_CONTAINER_STAGE,
+    EXT_SHARED_PROFILES, HEADER_LEN,
 };
 use crate::router::{ShardPolicy, ShardRouter};
 use gld_baselines::{SzCompressor, ZfpLikeCompressor};
@@ -529,6 +530,9 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
     // `Hello` (old clients never set the bit and transparently receive
     // stage-free v2 responses).
     let mut session_stage = false;
+    // Whether this session negotiated container v4 shared profiles in
+    // `Hello`; takes precedence over the stage for compress responses.
+    let mut session_profiles = false;
 
     loop {
         if shared.is_shutdown() {
@@ -629,6 +633,7 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
                 &body,
                 &mut session_codec,
                 &mut session_stage,
+                &mut session_profiles,
             ),
             Op::Shutdown => {
                 let _ = respond(
@@ -649,6 +654,7 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
                 &body,
                 session_codec,
                 session_stage,
+                session_profiles,
             ),
             Op::Decompress => handle_decompress(shared, &mut stream, &header, &body),
         };
@@ -658,6 +664,7 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_hello(
     shared: &Arc<ServerShared>,
     stream: &mut TcpStream,
@@ -665,6 +672,7 @@ fn handle_hello(
     body: &[u8],
     session_codec: &mut Option<CodecId>,
     session_stage: &mut bool,
+    session_profiles: &mut bool,
 ) -> bool {
     let request = match protocol::HelloRequest::decode_body(body) {
         Ok(r) => r,
@@ -683,15 +691,23 @@ fn handle_hello(
     match shared.registry.negotiate(&request.proposals) {
         Some(chosen) => {
             *session_codec = Some(chosen);
-            // Capability-and-echo: the stage is on exactly when the client
+            // Capability-and-echo: a feature is on exactly when the client
             // advertised it, and the echoed bit tells the client so.
             *session_stage = header.ext & EXT_CONTAINER_STAGE != 0;
+            *session_profiles = header.ext & EXT_SHARED_PROFILES != 0;
             let info = protocol::HelloResponse {
                 shards: shared.router.shards() as u32,
                 shard_window: shared.config.shard_window.max(1) as u32,
                 queue_depth: shared.config.stream.queue_depth.max(1) as u32,
             };
             let body = info.encode_body();
+            let mut echo = 0u8;
+            if *session_stage {
+                echo |= EXT_CONTAINER_STAGE;
+            }
+            if *session_profiles {
+                echo |= EXT_SHARED_PROFILES;
+            }
             let response = FrameHeader::response(
                 Op::Hello,
                 chosen as u8,
@@ -699,11 +715,7 @@ fn handle_hello(
                 header.request_id,
                 body.len() as u64,
             )
-            .with_ext(if *session_stage {
-                EXT_CONTAINER_STAGE
-            } else {
-                0
-            });
+            .with_ext(echo);
             protocol::write_frame(stream, &response, &body).is_ok()
         }
         None => {
@@ -840,6 +852,7 @@ fn run_sharded(
     ok
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_compress(
     shared: &Arc<ServerShared>,
     stream: &mut TcpStream,
@@ -847,6 +860,7 @@ fn handle_compress(
     body: &[u8],
     session_codec: Option<CodecId>,
     session_stage: bool,
+    session_profiles: bool,
 ) -> bool {
     let request = match protocol::CompressRequest::decode_body(body) {
         Ok(r) => r,
@@ -899,10 +913,13 @@ fn handle_compress(
     let limit = shared.config.max_body as usize;
     let codec_byte = codec.id() as u8;
     let request_bytes = body.len();
-    // Stage-negotiated sessions get the v3 (per-frame gld-lz stage)
-    // container; everyone else gets the stage-free v2 stream their decoder
+    // Profile-negotiated sessions get the v4 (shared coding profile)
+    // container, stage-negotiated sessions the v3 (per-frame gld-lz stage)
+    // one; everyone else gets the stage-free v2 stream their decoder
     // predates the stage for.
-    let format = if session_stage {
+    let format = if session_profiles {
+        ContainerFormat::V4
+    } else if session_stage {
         ContainerFormat::V3
     } else {
         ContainerFormat::V2

@@ -8,7 +8,7 @@
 use gld_baselines::SzCompressor;
 use gld_core::{
     derive_block_seed, Codec, CodecId, CompressedBlock, Container, ContainerError, ErrorTarget,
-    GldCompressor, GldConfig, LearnedBaseline, LearnedBaselineKind,
+    GldCompressor, GldConfig, LearnedBaseline, LearnedBaselineKind, StreamConfig,
 };
 use gld_datasets::{generate, DatasetKind, FieldSpec};
 use gld_diffusion::ConditionalDiffusion;
@@ -273,4 +273,79 @@ fn learned_codec_frames_stage_and_roundtrip() {
         container.blocks(),
         "frames must come back unstaged and bit-identical"
     );
+}
+
+#[test]
+fn v4_profiled_parallel_matches_sequential_and_decodes_like_v3() {
+    // Container v4 (shared profiles + warm stage) must be deterministic
+    // across the parallel executor and the sequential reference, survive an
+    // encode→decode→encode cycle bit-identically, and reconstruct the same
+    // blocks as the cold per-frame v3 encoding of the same variable.
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 32, 16, 16), 31);
+    let variable = &ds.variables[0];
+    let sz = SzCompressor::new();
+    let target = Some(ErrorTarget::Nrmse(1e-3));
+
+    let (seq, seq_stats) = sz.compress_variable_profiled_sequential(variable, 8, target);
+    let v4 = seq.encode();
+    for workers in [0, 1, 3] {
+        let (par, par_stats, _) = sz.compress_variable_profiled(
+            variable,
+            8,
+            target,
+            StreamConfig {
+                queue_depth: 2,
+                workers,
+            },
+        );
+        assert_eq!(
+            par.encode(),
+            v4,
+            "parallel v4 container differs from sequential (workers {workers})"
+        );
+        assert_eq!(par_stats.compressed_bytes, seq_stats.compressed_bytes);
+        assert_eq!(par_stats.nrmse, seq_stats.nrmse);
+    }
+
+    let decoded = Container::decode(&v4).expect("v4 decodes");
+    assert_eq!(decoded, seq);
+    assert_eq!(decoded.encode(), v4, "v4 re-encode must be bit-identical");
+
+    // Warm (v4) and cold (v3 stage-on) containers of the same variable
+    // reconstruct bit-identical blocks: the profile changes only the coding,
+    // never the content.
+    let (cold, _) = Codec::compress_variable(&sz, variable, 8, target);
+    let warm_blocks = sz.decompress_container(&decoded).expect("v4 decompresses");
+    let cold_blocks = sz.decompress_container(&cold).expect("v3 decompresses");
+    assert_eq!(warm_blocks.len(), cold_blocks.len());
+    for (w, c) in warm_blocks.iter().zip(&cold_blocks) {
+        assert_eq!(w.data(), c.data(), "v4 and v3 reconstructions diverge");
+    }
+}
+
+#[test]
+fn v4_profile_table_corruption_fails_typed_not_panicking() {
+    // Single-bit damage anywhere in the profile table must surface as a
+    // typed decode error (the table is CRC-framed), never a panic or a
+    // silently-wrong container.
+    let ds = generate(DatasetKind::S3d, &FieldSpec::new(1, 16, 12, 12), 37);
+    let sz = SzCompressor::new();
+    let (container, _) = sz.compress_variable_profiled_sequential(&ds.variables[0], 8, None);
+    let v4 = container.encode();
+
+    // The profile table starts right after the fixed header; sweep a prefix
+    // of it (every table starts with stage byte + section length + body).
+    let table_start = gld_core::container::HEADER_LEN;
+    for offset in table_start..(table_start + 48).min(v4.len()) {
+        let mut corrupt = v4.clone();
+        corrupt[offset] ^= 0x10;
+        match Container::decode(&corrupt) {
+            Err(_) => {}
+            Ok(decoded) => panic!(
+                "flipping byte {offset} in the profile table decoded silently \
+                 ({} profiles)",
+                decoded.profiles().len()
+            ),
+        }
+    }
 }

@@ -25,7 +25,7 @@
 //!   suite with `GLD_KERNEL_BACKEND=scalar`.
 
 use gld_baselines::{reference, ErrorBoundedCompressor, SzCompressor, ZfpLikeCompressor};
-use gld_core::{Codec, CodecError, CodecScratch, ErrorTarget, StreamConfig};
+use gld_core::{Codec, CodecError, CodecScratch, Container, ErrorTarget, StreamConfig};
 use gld_datasets::Variable;
 use gld_entropy::{
     ArithmeticBackend, EntropyBackend, EntropyEncoder, HistogramModel, RangeBackend, RangeDecoder,
@@ -400,6 +400,35 @@ fn dirty_scratch_reused_across_backends_is_identical() {
         }
     }
     gld_kernels::clear_force();
+}
+
+/// Container v4 (shared profiles + warm semi-static stage) must encode to
+/// the same bytes on every kernel backend: profile fitting, the frozen
+/// coding tables, and the dictionary-primed match finder all sit on top of
+/// backend-dispatched kernels, and a v4 container written on an AVX2 host
+/// must decode warm on a scalar one.
+#[test]
+fn v4_profiled_containers_are_identical_across_backends() {
+    let t = random_tensor(41, &[24, 12, 12]);
+    let variable = Variable::new("profile-var", t);
+    let sz = SzCompressor::new();
+    let zfp = ZfpLikeCompressor::new();
+    assert_backends_agree("sz v4 profiled", || {
+        let (container, _) = sz.compress_variable_profiled_sequential(&variable, 8, None);
+        let v4 = container.encode();
+        let blocks = sz
+            .decompress_container(&Container::decode(&v4).expect("v4 decodes"))
+            .expect("v4 decompresses");
+        let bits: Vec<Vec<u32>> = blocks
+            .iter()
+            .map(|b| b.data().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        (v4, bits)
+    });
+    assert_backends_agree("zfp v4 profiled", || {
+        let (container, _) = zfp.compress_variable_profiled_sequential(&variable, 8, None);
+        container.encode()
+    });
 }
 
 /// The parallel streaming executor with the best SIMD backend forced must

@@ -78,6 +78,7 @@ fn multi_client_round_trips_are_bit_identical_to_direct_codec_calls() {
                     .hello(&[CodecId::SzLike, CodecId::ZfpLike])
                     .expect("hello");
                 assert_eq!(info.codec, CodecId::SzLike, "first preference wins");
+                assert!(info.profiles, "current peers negotiate shared profiles");
                 assert_eq!(info.shards, 4);
                 assert_eq!(info.shard_window, 2);
 
@@ -98,11 +99,17 @@ fn multi_client_round_trips_are_bit_identical_to_direct_codec_calls() {
                         };
 
                     // Remote compress must be bit-identical to a direct
-                    // `Codec::compress_variable` container encoding.
+                    // profiled (container v4, the negotiated session format)
+                    // `Codec` container encoding.
                     let remote = client
                         .compress_as(codec_id, &key, variable, 8, target)
                         .expect("remote compress");
-                    let (local, stats) = codec.compress_variable(variable, 8, target);
+                    let (local, stats, _) = codec.compress_variable_profiled(
+                        variable,
+                        8,
+                        target,
+                        StreamConfig::default(),
+                    );
                     assert_eq!(
                         remote,
                         local.encode(),
@@ -133,7 +140,12 @@ fn multi_client_round_trips_are_bit_identical_to_direct_codec_calls() {
                         None,
                     )
                     .expect("session-codec compress");
-                let (local, _) = sz.compress_variable(&ds.variables[0], 8, None);
+                let (local, _, _) = sz.compress_variable_profiled(
+                    &ds.variables[0],
+                    8,
+                    None,
+                    StreamConfig::default(),
+                );
                 assert_eq!(remote, local.encode());
                 total_requests.fetch_add(1, Ordering::Relaxed);
             });
@@ -421,9 +433,11 @@ fn overloaded_shard_respects_its_window_while_other_shards_flow() {
             let variable = Variable::new(slow_key.clone(), slow_variable.frames.clone());
             std::thread::spawn(move || {
                 let mut client = ServiceClient::connect(addr).expect("connect");
-                // Negotiate the session (and the container stage) so the
+                // Negotiate the session (stage only, no profiles) so the
                 // gated responses compare against the staged v3 encoding.
-                client.hello(&[CodecId::Gld]).expect("hello");
+                client
+                    .hello_with_options(&[CodecId::Gld], true, false)
+                    .expect("hello");
                 client
                     .compress_as(CodecId::Gld, &slow_key, &variable, 4, None)
                     .expect("gated compress eventually succeeds")
@@ -442,7 +456,9 @@ fn overloaded_shard_respects_its_window_while_other_shards_flow() {
     // The other shard must keep completing work the whole time.
     let sz = SzCompressor::new();
     let mut fast_client = ServiceClient::connect(addr).expect("connect");
-    fast_client.hello(&[CodecId::SzLike]).expect("hello");
+    fast_client
+        .hello_with_options(&[CodecId::SzLike], true, false)
+        .expect("hello");
     for i in 0..FAST_REQUESTS {
         let ds = generate(
             DatasetKind::Jhtdb,
@@ -557,13 +573,17 @@ fn stage_negotiation_serves_v3_to_new_clients_and_v2_to_old_ones() {
     let sz = SzCompressor::new();
     let (local, _) = Codec::compress_variable(&sz, variable, 8, None);
 
-    // A current client advertises the stage bit, the server echoes it, and
-    // compress responses arrive as staged v3 containers — bit-identical to
-    // the local v3 encoding.
+    // A stage-era client advertises the stage bit alone, the server echoes
+    // it, and compress responses arrive as staged v3 containers —
+    // bit-identical to the local v3 encoding.
     let mut staged = ServiceClient::connect(addr).expect("connect");
-    let info = staged.hello(&[CodecId::SzLike]).expect("hello");
+    let info = staged
+        .hello_with_options(&[CodecId::SzLike], true, false)
+        .expect("hello");
     assert!(info.stage, "stage-capable pair must negotiate the stage");
     assert!(staged.stage_enabled());
+    assert!(!info.profiles, "profiles were not requested");
+    assert!(!staged.profiles_enabled());
     let remote_v3 = staged
         .compress("stage/var", variable, 8, None)
         .expect("staged compress");
@@ -578,7 +598,7 @@ fn stage_negotiation_serves_v3_to_new_clients_and_v2_to_old_ones() {
     // predates the stage for.
     let mut old = ServiceClient::connect(addr).expect("connect");
     let info = old
-        .hello_with_options(&[CodecId::SzLike], false)
+        .hello_with_options(&[CodecId::SzLike], false, false)
         .expect("hello");
     assert!(!info.stage, "server must not stage for a silent client");
     assert!(!old.stage_enabled());
@@ -609,6 +629,81 @@ fn stage_negotiation_serves_v3_to_new_clients_and_v2_to_old_ones() {
 
     drop(staged);
     drop(old);
+    server.shutdown();
+}
+
+#[test]
+fn profile_negotiation_serves_v4_warm_containers_and_downgrades_cleanly() {
+    let server = start_server(ServiceConfig::default(), CodecRegistry::rule_based());
+    let addr = server.local_addr();
+    let ds = generate(DatasetKind::S3d, &FieldSpec::new(1, 32, 16, 16), 41);
+    let variable = &ds.variables[0];
+    let sz = SzCompressor::new();
+    let target = Some(ErrorTarget::Nrmse(1e-3));
+
+    // A current client's default hello advertises both feature bits; the
+    // server echoes both and compress responses arrive as v4 containers —
+    // bit-identical to the local profiled encoding.
+    let mut warm = ServiceClient::connect(addr).expect("connect");
+    let info = warm.hello(&[CodecId::SzLike]).expect("hello");
+    assert!(
+        info.profiles,
+        "profile-capable pair must negotiate profiles"
+    );
+    assert!(info.stage, "the stage bit is negotiated independently");
+    assert!(warm.profiles_enabled());
+    let remote_v4 = warm
+        .compress("profiles/var", variable, 8, target)
+        .expect("profiled compress");
+    let (local, _, _) = sz.compress_variable_profiled(variable, 8, target, StreamConfig::default());
+    assert_eq!(
+        remote_v4,
+        local.encode(),
+        "profiled response must match the local v4 encoding"
+    );
+    assert_eq!(
+        u16::from_le_bytes([remote_v4[4], remote_v4[5]]),
+        gld_core::container::VERSION_V4
+    );
+
+    // A warm container must cost no more than the per-frame staged v3
+    // stream for the same variable, even carrying its profile table.
+    let (cold, _) = Codec::compress_variable(&sz, variable, 8, target);
+    let cold_v3 = cold.encode();
+    assert!(
+        remote_v4.len() <= cold_v3.len(),
+        "shared profiles must not grow the container ({} vs {})",
+        remote_v4.len(),
+        cold_v3.len()
+    );
+
+    // A stage-era client that never learned the profile bit is capped at
+    // the staged v3 stream; the bits downgrade independently.
+    let mut staged = ServiceClient::connect(addr).expect("connect");
+    let info = staged
+        .hello_with_options(&[CodecId::SzLike], true, false)
+        .expect("hello");
+    assert!(info.stage && !info.profiles);
+    let remote_v3 = staged
+        .compress("profiles/var", variable, 8, target)
+        .expect("staged compress");
+    assert_eq!(remote_v3, cold_v3, "stage-only session must stay on v3");
+
+    // Both containers decompress server-side to identical blocks, whatever
+    // session carries them.
+    let a = warm
+        .decompress("profiles/var", &remote_v4)
+        .expect("decompress v4");
+    let b = staged
+        .decompress("profiles/var", &remote_v3)
+        .expect("decompress v3");
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.data(), y.data(), "warm/cold reconstructions differ");
+    }
+
+    drop(warm);
+    drop(staged);
     server.shutdown();
 }
 

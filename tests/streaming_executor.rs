@@ -262,7 +262,7 @@ fn collector_side_panics_propagate_instead_of_hanging() {
                 queue_depth: 2,
                 workers: 2,
             },
-            true,
+            gld_core::StageMode::PerFrame,
             |index, _outcome| {
                 if index == 1 {
                     panic!("emit exploded");
