@@ -13,11 +13,21 @@
 //! Every client thread uses its own connection and key (hash-sharded), so
 //! higher client counts genuinely spread across shards.  Results land in
 //! `results/service_throughput.csv`.
+//!
+//! A fourth **pipelined** section drives `--pipelined-clients N` (default
+//! 4) keepalive connections, each keeping a window of requests in flight
+//! over the [`PipelinedClient`], with per-request latency matched back by
+//! request id and every compress verified bit-identical to a blocking
+//! response for the same key.  `--check` enforces the floor: deep-window
+//! pipelined ping throughput must be at least 2x the one-outstanding
+//! baseline — the same connections and machinery, window clamped to 1 —
+//! from the same run.
 
 use gld_bench::write_result;
 use gld_core::CodecId;
 use gld_datasets::{generate, DatasetKind, FieldSpec};
-use gld_service::{CodecRegistry, Server, ServiceClient, ServiceConfig};
+use gld_service::{CodecRegistry, PipelinedClient, Reply, Server, ServiceClient, ServiceConfig};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Latency percentile over a sorted sample, nearest-rank.
@@ -112,7 +122,86 @@ fn run(
     }
 }
 
+/// Runs `requests_per_client` pipelined requests on each of `clients`
+/// threads, keeping up to `window` outstanding per connection.  Latency is
+/// submit-to-reply, matched by request id (so it includes pipeline
+/// queueing — the price of the window is part of the number).
+fn run_pipelined(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    requests_per_client: usize,
+    window: usize,
+    setup: impl Fn(&mut ServiceClient, &str) -> Option<Vec<u8>> + Sync,
+    submit: impl Fn(&mut PipelinedClient, &str) -> u64 + Sync,
+    verify: impl Fn(&str, Option<&[u8]>, &Reply) + Sync,
+) -> RunStats {
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let setup = &setup;
+        let submit = &submit;
+        let verify = &verify;
+        let handles: Vec<_> = (0..clients)
+            .map(|client_index| {
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect(addr).expect("connect");
+                    let key = format!("bench-client-{client_index}");
+                    let reference = setup(&mut client, &key);
+                    let mut pipe = client.into_pipelined();
+                    let mut submitted: HashMap<u64, Instant> = HashMap::new();
+                    let mut sent = 0usize;
+                    let mut samples = Vec::with_capacity(requests_per_client);
+                    while samples.len() < requests_per_client {
+                        // Refill in half-window bursts so submits batch into
+                        // one write instead of degenerating to one write per
+                        // reply in steady state.
+                        if sent < requests_per_client && pipe.outstanding() <= window / 2 {
+                            while sent < requests_per_client && pipe.outstanding() < window {
+                                let id = submit(&mut pipe, &key);
+                                submitted.insert(id, Instant::now());
+                                sent += 1;
+                            }
+                        }
+                        let (id, reply) = pipe.recv().expect("pipelined recv");
+                        let t0 = submitted.remove(&id).expect("reply matches a submit");
+                        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+                        verify(&key, reference.as_deref(), &reply);
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("pipelined bench client thread"))
+            .collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    RunStats {
+        elapsed_s,
+        req_per_s: latencies.len() as f64 / elapsed_s,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+    }
+}
+
 fn main() {
+    let mut pipelined_clients = 4usize;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--pipelined-clients" => {
+                pipelined_clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--pipelined-clients takes a count");
+            }
+            "--check" => check = true,
+            other => panic!("unknown flag {other:?} (see the crate docs)"),
+        }
+    }
+
     let shards = 4;
     let server = Server::start(
         ServiceConfig {
@@ -150,13 +239,20 @@ fn main() {
 
     let client_counts = [1usize, 2, 4];
     let requests = 32usize;
+    // Pings are microseconds each: sample enough of them that the req/s
+    // figures (and the `--check` floor below) are stable run to run.
+    let ping_requests = 4096usize;
 
     for &clients in &client_counts {
         let stats = run(
             addr,
             clients,
-            requests,
-            |_client| {},
+            ping_requests,
+            |client| {
+                for _ in 0..32 {
+                    client.ping().expect("warmup ping");
+                }
+            },
             |client, _key, _i| {
                 client.ping().expect("ping");
             },
@@ -167,7 +263,7 @@ fn main() {
         );
         csv.push_str(&format!(
             "ping,{clients},{},{:.4},{:.1},{:.4},{:.4},protocol floor\n",
-            clients * requests,
+            clients * ping_requests,
             stats.elapsed_s,
             stats.req_per_s,
             stats.p50_ms,
@@ -238,6 +334,125 @@ fn main() {
                 leg.notes
             ));
         }
+    }
+
+    // ── pipelined section ──────────────────────────────────────────────
+    // Many keepalive connections, each a window of requests deep.  Ping
+    // measures the event-loop dispatch ceiling; compress verifies every
+    // pipelined response bit-identical to a blocking response for the same
+    // key taken during setup.
+    const PIPE_WINDOW: usize = 64;
+    let pipelined_pings = 8192usize;
+
+    // The one-outstanding baseline for the `--check` floor: identical
+    // connections, threads and client machinery, window clamped to 1 —
+    // what these exact clients achieve without pipelining.
+    let baseline_stats = run_pipelined(
+        addr,
+        pipelined_clients,
+        pipelined_pings / 8,
+        1,
+        |client, _key| {
+            for _ in 0..32 {
+                client.ping().expect("warmup ping");
+            }
+            None
+        },
+        |pipe, _key| pipe.submit_ping().expect("submit ping"),
+        |_key, _reference, reply| assert!(matches!(reply, Reply::Pong)),
+    );
+    println!(
+        "\npipelined ping        {pipelined_clients} conn(s) x 1 deep: {:>9.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
+        baseline_stats.req_per_s, baseline_stats.p50_ms, baseline_stats.p99_ms
+    );
+    csv.push_str(&format!(
+        "pipelined-ping-window1,{pipelined_clients},{},{:.4},{:.1},{:.4},{:.4},one-outstanding baseline\n",
+        pipelined_clients * (pipelined_pings / 8),
+        baseline_stats.elapsed_s,
+        baseline_stats.req_per_s,
+        baseline_stats.p50_ms,
+        baseline_stats.p99_ms
+    ));
+
+    let ping_stats = run_pipelined(
+        addr,
+        pipelined_clients,
+        pipelined_pings,
+        PIPE_WINDOW,
+        |client, _key| {
+            for _ in 0..32 {
+                client.ping().expect("warmup ping");
+            }
+            None
+        },
+        |pipe, _key| pipe.submit_ping().expect("submit ping"),
+        |_key, _reference, reply| assert!(matches!(reply, Reply::Pong)),
+    );
+    println!(
+        "pipelined ping        {pipelined_clients} conn(s) x {PIPE_WINDOW} deep: {:>8.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
+        ping_stats.req_per_s, ping_stats.p50_ms, ping_stats.p99_ms
+    );
+    csv.push_str(&format!(
+        "pipelined-ping,{pipelined_clients},{},{:.4},{:.1},{:.4},{:.4},window {PIPE_WINDOW} per conn\n",
+        pipelined_clients * pipelined_pings,
+        ping_stats.elapsed_s,
+        ping_stats.req_per_s,
+        ping_stats.p50_ms,
+        ping_stats.p99_ms
+    ));
+
+    let compress_stats = run_pipelined(
+        addr,
+        pipelined_clients,
+        16,
+        8,
+        |client, key| {
+            client.hello(&[CodecId::SzLike]).expect("hello");
+            Some(
+                client
+                    .compress_as(CodecId::SzLike, key, variable, 8, None)
+                    .expect("blocking reference compress"),
+            )
+        },
+        |pipe, key| {
+            pipe.submit_compress(key, variable, 8, None)
+                .expect("submit compress")
+        },
+        |key, reference, reply| match reply {
+            Reply::Compressed(bytes) => assert_eq!(
+                Some(bytes.as_slice()),
+                reference,
+                "{key}: pipelined compress differs from the blocking response"
+            ),
+            other => panic!("{key}: expected a compress reply, got {other:?}"),
+        },
+    );
+    println!(
+        "pipelined compress    {pipelined_clients} conn(s) x 8 deep: {:>8.1} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
+        compress_stats.req_per_s, compress_stats.p50_ms, compress_stats.p99_ms
+    );
+    csv.push_str(&format!(
+        "pipelined-compress,{pipelined_clients},{},{:.4},{:.1},{:.4},{:.4},SZ3-like 32x32x32 bit-identical to blocking\n",
+        pipelined_clients * 16,
+        compress_stats.elapsed_s,
+        compress_stats.req_per_s,
+        compress_stats.p50_ms,
+        compress_stats.p99_ms
+    ));
+
+    if check {
+        let floor = 2.0 * baseline_stats.req_per_s;
+        assert!(
+            ping_stats.req_per_s >= floor,
+            "--check: pipelined ping {:.0} req/s is under the floor of 2x the one-outstanding \
+             baseline ({:.0} req/s over the same connections)",
+            ping_stats.req_per_s,
+            floor
+        );
+        println!(
+            "check OK: pipelined ping {:.0} req/s >= 2x one-outstanding baseline ({:.0} req/s)",
+            ping_stats.req_per_s, baseline_stats.req_per_s
+        );
     }
 
     let metrics = server.shutdown();

@@ -6,14 +6,22 @@
 //! direct in-process `Codec` run, exercises an error path, then asks the
 //! server to shut down.  Any mismatch or refusal exits non-zero.
 //!
+//! With `--pipelined` it instead exercises the pipelined client mode:
+//! many keepalive connections each keep several requests outstanding,
+//! replies are matched back by request id (out-of-order allowed), the
+//! pipelined compress bytes are checked bit-identical to a blocking
+//! compress of the same variable, and the `Status` op's per-shard
+//! counters are asserted against the negotiated topology.
+//!
 //! ```text
-//! gld-service-check [HOST:PORT]   (default 127.0.0.1:7171)
+//! gld-service-check [--pipelined] [HOST:PORT]   (default 127.0.0.1:7171)
 //! ```
 
 use gld_baselines::{SzCompressor, ZfpLikeCompressor};
-use gld_core::{Codec, CodecId, Container, ErrorTarget};
+use gld_core::{Codec, CodecId, Container, ErrorTarget, StreamConfig};
 use gld_datasets::{generate, DatasetKind, FieldSpec};
-use gld_service::{ClientError, ServiceClient, Status};
+use gld_service::{ClientError, Reply, ServiceClient, Status};
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 fn connect_with_retry(addr: &str) -> ServiceClient {
@@ -30,10 +38,111 @@ fn connect_with_retry(addr: &str) -> ServiceClient {
     }
 }
 
+/// Pipelined smoke check: 32 keepalive connections, each with a mixed
+/// window of ping/compress/status/decompress submits matched back by
+/// request id, verified bit-identical against one blocking compress.
+fn pipelined_check(addr: &str) {
+    let mut blocking = connect_with_retry(addr);
+    let info = blocking
+        .hello(&[CodecId::SzLike, CodecId::ZfpLike])
+        .expect("hello negotiation");
+    println!(
+        "pipelined check: server has {} shard(s), window {}",
+        info.shards, info.shard_window
+    );
+
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(2, 24, 16, 16), 71);
+    let variable = &ds.variables[0];
+    let reference = blocking
+        .compress(&variable.name, variable, 8, None)
+        .expect("blocking compress reference");
+    let codec = SzCompressor::new();
+    let local_blocks = codec
+        .decompress_container(&Container::decode(&reference).expect("container decodes"))
+        .expect("local decompress");
+
+    const CONNS: usize = 32;
+    for conn in 0..CONNS {
+        let mut setup = connect_with_retry(addr);
+        setup
+            .hello(&[CodecId::SzLike, CodecId::ZfpLike])
+            .expect("hello negotiation");
+        let mut pipe = setup.into_pipelined();
+
+        let mut expected = HashMap::new();
+        expected.insert(pipe.submit_ping().expect("submit ping"), "ping");
+        expected.insert(
+            pipe.submit_compress(&variable.name, variable, 8, None)
+                .expect("submit compress"),
+            "compress",
+        );
+        expected.insert(pipe.submit_status().expect("submit status"), "status");
+        expected.insert(
+            pipe.submit_decompress(&variable.name, &reference)
+                .expect("submit decompress"),
+            "decompress",
+        );
+        expected.insert(pipe.submit_ping().expect("submit ping"), "ping");
+        assert_eq!(pipe.outstanding(), 5);
+
+        for (id, reply) in pipe.drain().expect("drain pipelined replies") {
+            let kind = expected
+                .remove(&id)
+                .expect("reply id matches an outstanding submit");
+            match (kind, reply) {
+                ("ping", Reply::Pong) => {}
+                ("compress", Reply::Compressed(bytes)) => assert_eq!(
+                    bytes, reference,
+                    "pipelined compress differs from blocking compress"
+                ),
+                ("status", Reply::ServerStatus(status)) => {
+                    assert_eq!(
+                        status.shards.len(),
+                        info.shards as usize,
+                        "Status shard count differs from hello topology"
+                    );
+                    assert!(status.connections_active >= 1, "we are connected");
+                }
+                ("decompress", Reply::Decompressed(blocks)) => {
+                    assert_eq!(blocks.len(), local_blocks.len());
+                    for (a, b) in blocks.iter().zip(&local_blocks) {
+                        assert_eq!(a.data(), b.data(), "pipelined decompress differs");
+                    }
+                }
+                (kind, other) => panic!("conn {conn}: {kind} answered with {other:?}"),
+            }
+        }
+        assert!(expected.is_empty(), "every submit answered exactly once");
+    }
+
+    let status = blocking.status().expect("status op");
+    let completed: u64 = status.shards.iter().map(|s| s.completed).sum();
+    assert!(
+        completed as usize >= CONNS,
+        "per-shard completed counters should cover the pipelined compresses"
+    );
+    println!(
+        "{CONNS} pipelined connections OK ({} codec requests completed server-side)",
+        completed
+    );
+
+    blocking.shutdown_server().expect("shutdown request");
+    println!("pipelined service check OK");
+}
+
 fn main() {
-    let addr = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "127.0.0.1:7171".into());
+    let mut pipelined = false;
+    let mut addr = "127.0.0.1:7171".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--pipelined" => pipelined = true,
+            other => addr = other.to_string(),
+        }
+    }
+    if pipelined {
+        pipelined_check(&addr);
+        return;
+    }
     let mut client = connect_with_retry(&addr);
 
     let info = client
@@ -44,6 +153,10 @@ fn main() {
         info.codec, info.shards, info.shard_window, info.queue_depth
     );
     assert_eq!(info.codec, CodecId::SzLike, "first preference wins");
+    assert!(
+        info.profiles,
+        "default hello advertises shared profiles and the server knows them"
+    );
     client.ping().expect("ping");
 
     let ds = generate(DatasetKind::E3sm, &FieldSpec::new(2, 24, 16, 16), 71);
@@ -60,7 +173,11 @@ fn main() {
             let remote = client
                 .compress_as(codec.id(), &variable.name, variable, 8, target)
                 .expect("remote compress");
-            let (local, stats) = codec.compress_variable(variable, 8, target);
+            // The default hello negotiated shared profiles, so the session's
+            // compress responses are v4 containers — the local oracle is the
+            // profiled path, not the per-frame-staged `compress_variable`.
+            let (local, stats, _) =
+                codec.compress_variable_profiled(variable, 8, target, StreamConfig::default());
             assert_eq!(
                 remote,
                 local.encode(),

@@ -9,9 +9,10 @@
 //! ```text
 //! gld-serviced [--addr HOST:PORT] [--shards N] [--window N]
 //!              [--queue-depth N] [--round-robin]
+//!              [--max-outstanding N] [--rate-limit CAPACITY:PER_SEC]
 //! ```
 
-use gld_service::{CodecRegistry, Server, ServiceConfig, ShardPolicy};
+use gld_service::{CodecRegistry, RateLimit, Server, ServiceConfig, ShardPolicy};
 
 fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
     let value = args
@@ -36,12 +37,27 @@ fn main() {
             "--window" => config.shard_window = parse_flag(&mut args, "--window"),
             "--queue-depth" => config.stream.queue_depth = parse_flag(&mut args, "--queue-depth"),
             "--round-robin" => config.policy = ShardPolicy::RoundRobin,
+            "--max-outstanding" => {
+                config.max_outstanding = parse_flag(&mut args, "--max-outstanding")
+            }
+            "--rate-limit" => {
+                let spec: String = parse_flag(&mut args, "--rate-limit");
+                let (capacity, per_sec) = spec
+                    .split_once(':')
+                    .expect("--rate-limit takes CAPACITY:PER_SEC");
+                config.rate_limit = Some(RateLimit {
+                    capacity: capacity.parse().expect("--rate-limit capacity"),
+                    refill_per_sec: per_sec.parse().expect("--rate-limit per-second refill"),
+                });
+            }
             other => panic!("unknown flag {other:?} (see the crate docs)"),
         }
     }
 
     let shards = config.shards.max(1);
     let window = config.shard_window.max(1);
+    #[cfg(target_os = "linux")]
+    let fds_at_boot = open_fds();
     // Resolve (and report) the kernel backend before accepting work so an
     // invalid `GLD_KERNEL_BACKEND` fails at boot, not mid-request.
     println!(
@@ -94,5 +110,24 @@ fn main() {
             std::process::exit(1);
         }
         println!("no leaked threads ({threads} live, expected <= {expected})");
+
+        // Every connection, the listener, the epoll instance and the waker
+        // are closed by the drain; the fd table must be back to its boot
+        // size (the probe itself opens one fd in both measurements).
+        let fds_after = open_fds();
+        if fds_after > fds_at_boot {
+            eprintln!("fd leak: {fds_after} open fds after shutdown, {fds_at_boot} at boot");
+            std::process::exit(1);
+        }
+        println!("no leaked fds ({fds_after} open, {fds_at_boot} at boot)");
     }
+}
+
+/// Counts `/proc/self/fd` entries (includes the readdir fd itself — equally
+/// in both the boot and post-drain measurements, so the comparison holds).
+#[cfg(target_os = "linux")]
+fn open_fds() -> usize {
+    std::fs::read_dir("/proc/self/fd")
+        .map(|entries| entries.count())
+        .unwrap_or(0)
 }

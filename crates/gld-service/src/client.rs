@@ -1,18 +1,22 @@
-//! Small blocking client for the `GLDS` protocol — what the integration
-//! tests, the `gld-service-check` binary, the `service_throughput` bench and
-//! the root example speak through.
+//! Blocking clients for the `GLDS` protocol — what the integration tests,
+//! the `gld-service-check` binary, the `service_throughput` bench and the
+//! root example speak through.
 //!
 //! One [`ServiceClient`] owns one connection and issues one request at a
-//! time (the server processes a connection's requests in order anyway);
-//! concurrency comes from opening more clients, exactly like the tests do.
+//! time; concurrency comes from opening more clients, exactly like the
+//! tests do.  For throughput over a *single* connection, convert with
+//! [`ServiceClient::into_pipelined`]: a [`PipelinedClient`] submits many
+//! requests without waiting and receives replies **as the server finishes
+//! them — possibly out of order — matched by request id**.
 
 use crate::protocol::{
     self, decode_blocks_body, DecompressRequest, FrameHeader, HelloRequest, HelloResponse, Op,
-    ProtocolError, Status, EXT_CONTAINER_STAGE, EXT_SHARED_PROFILES,
+    ProtocolError, Status, StatusResponse, EXT_CONTAINER_STAGE, EXT_SHARED_PROFILES,
 };
 use gld_core::{CodecId, ErrorTarget};
 use gld_datasets::Variable;
 use gld_tensor::Tensor;
+use std::collections::HashMap;
 use std::fmt;
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -281,10 +285,30 @@ impl ServiceClient {
         Ok(decode_blocks_body(&body)?)
     }
 
+    /// Fetches the server's live counters ([`Op::Status`]): service-wide
+    /// connection/rejection totals plus per-shard load.
+    pub fn status(&mut self) -> Result<StatusResponse, ClientError> {
+        let (_, body) = self.request(Op::Status, 0, &[])?;
+        Ok(StatusResponse::decode_body(&body)?)
+    }
+
     /// Asks the server to drain in-flight work and exit.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         self.request(Op::Shutdown, 0, &[])?;
         Ok(())
+    }
+
+    /// Converts this connection into a [`PipelinedClient`], keeping the
+    /// negotiated session (codec, stage, profiles) and the request-id
+    /// sequence.  The wire connection is the same one — only the calling
+    /// discipline changes.
+    pub fn into_pipelined(self) -> PipelinedClient {
+        PipelinedClient {
+            reader: std::io::BufReader::new(self.stream),
+            wbuf: Vec::new(),
+            next_id: self.next_id,
+            pending: HashMap::new(),
+        }
     }
 
     /// One request/response round trip: write the frame, read the reply,
@@ -326,5 +350,197 @@ impl ServiceClient {
             });
         }
         Ok((response, response_body))
+    }
+}
+
+/// One decoded pipelined reply, paired with its request id by
+/// [`PipelinedClient::recv`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// A `Ping` answered.
+    Pong,
+    /// A compress response: the encoded `GLDC` container.
+    Compressed(Vec<u8>),
+    /// A decompress response: the block tensors in temporal order.
+    Decompressed(Vec<Tensor>),
+    /// A `Status` response: the server's live counters.
+    ServerStatus(StatusResponse),
+    /// A `Shutdown` acknowledged.
+    ShutdownAck,
+    /// The server refused this request with a typed status (including
+    /// [`Status::RateLimited`]) and a diagnostic; the connection itself is
+    /// still healthy and other outstanding requests proceed.
+    Refused {
+        /// The refusal status.
+        status: Status,
+        /// The server's UTF-8 diagnostic.
+        message: String,
+    },
+}
+
+/// A pipelined `GLDS` connection: submit many requests without waiting,
+/// then receive replies **in whatever order the server finishes them**,
+/// matched by request id.
+///
+/// Make one via [`ServiceClient::into_pipelined`] after negotiating the
+/// session with `hello` — the negotiated codec remains the session default
+/// on the server side, so `submit_compress` with codec byte 0 keeps using
+/// it.  Per-request refusals (rate limit, malformed body, ...) come back as
+/// [`Reply::Refused`] rather than an `Err`, because an `Err` from
+/// [`recv`](PipelinedClient::recv) means the *connection* is unusable.
+///
+/// The server bounds unanswered codec requests per connection
+/// (`max_outstanding`, surfaced by `Op::Status`); a client that submits past
+/// the bound is simply not read until replies drain, so `submit_*` may block
+/// once the socket buffers fill.  Interleave submits with `recv` — or use
+/// [`drain`](PipelinedClient::drain) — to keep the pipeline moving.
+///
+/// Submits are **batched**: `submit_*` encodes into a client-side buffer,
+/// and the buffer goes out in one write on the next
+/// [`recv`](PipelinedClient::recv)/[`drain`](PipelinedClient::drain) (or an
+/// explicit [`flush`](PipelinedClient::flush)).  A burst of small requests
+/// costs one syscall, not one per frame — the client-side half of what
+/// makes pipelining outrun one-outstanding round trips.
+pub struct PipelinedClient {
+    reader: std::io::BufReader<TcpStream>,
+    /// Encoded-but-unsent request frames, flushed in one write.
+    wbuf: Vec<u8>,
+    next_id: u64,
+    /// Ops in flight, keyed by request id — how replies are decoded.
+    pending: HashMap<u64, Op>,
+}
+
+impl PipelinedClient {
+    /// Requests submitted and not yet received.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn submit(&mut self, op: Op, codec_byte: u8, body: &[u8]) -> Result<u64, ClientError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        let header = FrameHeader::request(op, codec_byte, request_id, body.len() as u64);
+        protocol::write_frame(&mut self.wbuf, &header, body)?;
+        self.pending.insert(request_id, op);
+        Ok(request_id)
+    }
+
+    /// Sends every buffered submit in one write.  Called automatically by
+    /// [`recv`](PipelinedClient::recv); call it directly to push requests
+    /// out without waiting for a reply.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        if !self.wbuf.is_empty() {
+            self.reader.get_mut().write_all(&self.wbuf)?;
+            self.wbuf.clear();
+        }
+        Ok(())
+    }
+
+    /// Submits a liveness probe; returns its request id.
+    pub fn submit_ping(&mut self) -> Result<u64, ClientError> {
+        self.submit(Op::Ping, 0, &[])
+    }
+
+    /// Submits a status probe; returns its request id.
+    pub fn submit_status(&mut self) -> Result<u64, ClientError> {
+        self.submit(Op::Status, 0, &[])
+    }
+
+    /// Submits a compress of `variable` under the session codec; returns its
+    /// request id.  The eventual [`Reply::Compressed`] container is
+    /// byte-identical to the blocking [`ServiceClient::compress`] response.
+    pub fn submit_compress(
+        &mut self,
+        key: &str,
+        variable: &Variable,
+        block_frames: u32,
+        target: Option<ErrorTarget>,
+    ) -> Result<u64, ClientError> {
+        self.submit_compress_as(0, key, variable, block_frames, target)
+    }
+
+    /// [`PipelinedClient::submit_compress`] with an explicit codec byte
+    /// (a `CodecId as u8`, or 0 for the session default).
+    pub fn submit_compress_as(
+        &mut self,
+        codec_byte: u8,
+        key: &str,
+        variable: &Variable,
+        block_frames: u32,
+        target: Option<ErrorTarget>,
+    ) -> Result<u64, ClientError> {
+        let frames = &variable.frames;
+        assert_eq!(frames.rank(), 3, "variable frames must be [T, H, W]");
+        let body = protocol::encode_compress_body(
+            key,
+            block_frames,
+            target,
+            [
+                frames.dim(0) as u32,
+                frames.dim(1) as u32,
+                frames.dim(2) as u32,
+            ],
+            frames.data(),
+        );
+        self.submit(Op::Compress, codec_byte, &body)
+    }
+
+    /// Submits a decompress of an encoded `GLDC` container; returns its
+    /// request id.  `key` must be the variable's key so the request lands
+    /// on the same shard as its compress.
+    pub fn submit_decompress(&mut self, key: &str, container: &[u8]) -> Result<u64, ClientError> {
+        let request = DecompressRequest {
+            key: key.to_string(),
+            container: container.to_vec(),
+        };
+        self.submit(Op::Decompress, 0, &request.encode_body())
+    }
+
+    /// Submits a shutdown request; returns its request id.  The server
+    /// still answers every other outstanding request while draining.
+    pub fn submit_shutdown(&mut self) -> Result<u64, ClientError> {
+        self.submit(Op::Shutdown, 0, &[])
+    }
+
+    /// Blocks for the next reply — **not necessarily the oldest submit** —
+    /// and returns it with the request id it answers.  An `Err` means the
+    /// connection is broken (I/O failure, a protocol violation, or a reply
+    /// to an id that was never submitted); per-request refusals are
+    /// [`Reply::Refused`].
+    pub fn recv(&mut self) -> Result<(u64, Reply), ClientError> {
+        self.flush()?;
+        let (header, body) = protocol::read_frame(&mut self.reader, protocol::MAX_BODY_LEN)??;
+        let Some(op) = self.pending.remove(&header.request_id) else {
+            return Err(ClientError::Protocol(ProtocolError::Malformed(
+                "response echoes a request id that is not outstanding",
+            )));
+        };
+        if header.status != Status::Ok {
+            return Ok((
+                header.request_id,
+                Reply::Refused {
+                    status: header.status,
+                    message: String::from_utf8_lossy(&body).into_owned(),
+                },
+            ));
+        }
+        let reply = match op {
+            Op::Ping | Op::Hello => Reply::Pong,
+            Op::Compress => Reply::Compressed(body),
+            Op::Decompress => Reply::Decompressed(decode_blocks_body(&body)?),
+            Op::Status => Reply::ServerStatus(StatusResponse::decode_body(&body)?),
+            Op::Shutdown => Reply::ShutdownAck,
+        };
+        Ok((header.request_id, reply))
+    }
+
+    /// Receives until nothing is outstanding, returning every reply in
+    /// arrival order (id-tagged).
+    pub fn drain(&mut self) -> Result<Vec<(u64, Reply)>, ClientError> {
+        let mut replies = Vec::with_capacity(self.pending.len());
+        while !self.pending.is_empty() {
+            replies.push(self.recv()?);
+        }
+        Ok(replies)
     }
 }

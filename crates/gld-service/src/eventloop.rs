@@ -1,0 +1,779 @@
+//! The readiness-driven connection front end.
+//!
+//! One loop thread owns an [`epoll::Poller`], the listening socket, and every
+//! connection's state machine; shard workers stay exactly as they were —
+//! codec work never runs here.  The division of labour:
+//!
+//! * **Loop thread** (this module): accept, non-blocking reads into a
+//!   [`StreamParser`](crate::protocol::StreamParser) per connection, request
+//!   admission (per-connection outstanding bound, optional token-bucket rate
+//!   limit, per-shard windows), inline ops (`Ping`, `Hello`, `Status`,
+//!   `Shutdown`), response serialisation into per-connection write buffers,
+//!   non-blocking flushes, connection reaping, graceful drain.
+//! * **Shard workers** (`server.rs`): run admitted compress/decompress jobs
+//!   and push a completion + waker notification back to the loop.
+//!
+//! Pipelining falls out of the design: every parsed request carries its own
+//! id, responses are enqueued the moment their work completes, and nothing
+//! forces completion order across shards — so responses go out **out of
+//! order** and clients match on the echoed id.
+//!
+//! Backpressure is per connection.  A connection stops being *read* — its
+//! epoll read interest is dropped, so a level-triggered poller stays quiet —
+//! while it has `max_outstanding` codec requests unanswered or its write
+//! buffer is over the backlog threshold; every other connection keeps
+//! flowing.  A peer that stops draining its responses is reaped after
+//! `write_timeout` without progress; a half-closed peer (read side EOF) is
+//! served its remaining responses, then reaped.
+
+use crate::protocol::{
+    self, FrameHeader, Op, RawFrameHeader, Status, StatusResponse, StreamEvent, StreamParser,
+};
+use crate::server::{
+    prepare_compress, prepare_decompress, Completion, Prepared, ServerShared, Session, ShardJob,
+};
+use epoll::{Event, Interest, Poller};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Poller token of the listening socket.
+const LISTENER_TOKEN: u64 = 0;
+/// Poller token of the cross-thread waker.
+pub(crate) const WAKER_TOKEN: u64 = 1;
+/// First token handed to an accepted connection (tokens are never reused).
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Write-buffer backlog (bytes unflushed) above which a connection's reads
+/// pause until the peer drains responses.
+const READ_PAUSE_BACKLOG: usize = 1 << 20;
+
+/// Per-connection token bucket limiting admissions of codec work.
+struct TokenBucket {
+    tokens: f64,
+    capacity: f64,
+    refill_per_sec: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn new(capacity: u32, refill_per_sec: f64, now: Instant) -> Self {
+        TokenBucket {
+            tokens: capacity as f64,
+            capacity: capacity as f64,
+            refill_per_sec: refill_per_sec.max(0.0),
+            last: now,
+        }
+    }
+
+    fn try_take(&mut self, now: Instant) -> bool {
+        let dt = now.saturating_duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * self.refill_per_sec).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One request parsed off a connection, waiting for its shard's window.
+struct PendingRequest {
+    conn: u64,
+    request_id: u64,
+    op: Op,
+    request_bytes: usize,
+    job: ShardJob,
+}
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    parser: StreamParser,
+    /// Serialised responses not yet accepted by the kernel; `out_pos` marks
+    /// the flushed prefix.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Codec requests parsed off this connection and not yet answered
+    /// (pending or admitted) — the per-connection outstanding bound.
+    outstanding: usize,
+    session: Session,
+    bucket: Option<TokenBucket>,
+    /// Peer sent EOF (half close): serve what is owed, then reap.
+    read_closed: bool,
+    /// A framing violation poisoned the stream: flush the error response,
+    /// then close.
+    fatal: bool,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// Last instant the kernel accepted response bytes (or the buffer was
+    /// empty) — the stalled-writer clock.
+    last_write_progress: Instant,
+}
+
+impl Conn {
+    fn backlog(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// Reads are paused while the connection is over either admission bound
+    /// (or done reading for good).
+    fn reads_paused(&self, max_outstanding: usize) -> bool {
+        self.read_closed
+            || self.fatal
+            || self.outstanding >= max_outstanding
+            || self.backlog() > READ_PAUSE_BACKLOG
+    }
+
+    fn desired_interest(&self, max_outstanding: usize, draining: bool) -> Interest {
+        Interest {
+            readable: !draining && !self.reads_paused(max_outstanding),
+            writable: self.backlog() > 0,
+        }
+    }
+}
+
+/// The loop state: owned by exactly one thread for the server's lifetime.
+pub(crate) struct EventLoop {
+    shared: Arc<ServerShared>,
+    poller: Poller,
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, Conn>,
+    /// Requests waiting for their shard's window, per shard.
+    pending: Vec<VecDeque<PendingRequest>>,
+    /// Loop-authoritative admitted-but-uncompleted count, per shard.
+    in_flight: Vec<usize>,
+    next_token: u64,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+}
+
+impl EventLoop {
+    pub(crate) fn new(shared: Arc<ServerShared>, poller: Poller, listener: TcpListener) -> Self {
+        let shards = shared.shards.len();
+        EventLoop {
+            shared,
+            poller,
+            listener: Some(listener),
+            conns: HashMap::new(),
+            pending: (0..shards).map(|_| VecDeque::new()).collect(),
+            in_flight: vec![0; shards],
+            next_token: FIRST_CONN_TOKEN,
+            draining: false,
+            drain_deadline: None,
+        }
+    }
+
+    /// Runs until the graceful drain completes: listener closed, every
+    /// admitted request completed, every response flushed (or its consumer
+    /// timed out).
+    pub(crate) fn run(mut self) {
+        if let Some(listener) = &self.listener {
+            listener
+                .set_nonblocking(true)
+                .expect("nonblocking listener");
+            self.poller
+                .add(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)
+                .expect("register listener");
+        }
+        let mut events: Vec<Event> = Vec::with_capacity(256);
+        loop {
+            let timeout = Some(self.shared.config.poll_interval);
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // A broken poller cannot serve; force the drain path.
+                self.shared.trigger_shutdown();
+            }
+            for &event in &events {
+                match event.token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKER_TOKEN => self.shared.waker.drain(),
+                    token => self.conn_ready(token, event),
+                }
+            }
+            let touched = self.drain_completions();
+            for conn in touched {
+                self.pump_conn(conn);
+            }
+            for shard in 0..self.pending.len() {
+                self.try_admit(shard);
+            }
+            if self.shared.is_shutdown() && !self.draining {
+                self.begin_drain();
+            }
+            self.reap();
+            if self.draining && self.conns.is_empty() && self.in_flight.iter().all(|&n| n == 0) {
+                return;
+            }
+        }
+    }
+
+    // ── accept ──────────────────────────────────────────────────────────
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if self.draining {
+                        drop(stream);
+                        continue;
+                    }
+                    self.register_conn(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Transient failures (ECONNABORTED, EMFILE...): level-
+                // triggered readiness re-fires next tick, which is the
+                // back-off.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let token = self.next_token;
+        self.next_token += 1;
+        let now = Instant::now();
+        let conn = Conn {
+            parser: StreamParser::new(self.shared.config.max_body),
+            out: Vec::new(),
+            out_pos: 0,
+            outstanding: 0,
+            session: Session::default(),
+            bucket: self
+                .shared
+                .config
+                .rate_limit
+                .as_ref()
+                .map(|rl| TokenBucket::new(rl.capacity, rl.refill_per_sec, now)),
+            read_closed: false,
+            fatal: false,
+            interest: Interest::READABLE,
+            last_write_progress: now,
+            stream,
+        };
+        if self
+            .poller
+            .add(conn.stream.as_raw_fd(), token, Interest::READABLE)
+            .is_err()
+        {
+            return;
+        }
+        self.shared.metrics.connection_opened();
+        self.conns.insert(token, conn);
+    }
+
+    // ── per-connection I/O ──────────────────────────────────────────────
+
+    fn conn_ready(&mut self, token: u64, event: Event) {
+        if !self.conns.contains_key(&token) {
+            return; // closed earlier in this batch
+        }
+        if event.error {
+            self.close_conn(token);
+            return;
+        }
+        if event.readable || event.hangup {
+            self.read_conn(token);
+        }
+        if event.writable {
+            self.flush_conn(token);
+        }
+        self.pump_conn(token);
+    }
+
+    /// Reads until `WouldBlock`, EOF, or this connection's backpressure
+    /// bound, parsing frames as the bytes arrive.
+    fn read_conn(&mut self, token: u64) {
+        let max_outstanding = self.shared.config.max_outstanding;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.reads_paused(max_outstanding) {
+                return;
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    return;
+                }
+                Ok(n) => {
+                    conn.parser.push(&chunk[..n]);
+                    self.parse_frames(token);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drains every complete frame the parser holds, respecting the
+    /// connection's admission bounds between frames.
+    fn parse_frames(&mut self, token: u64) {
+        let max_outstanding = self.shared.config.max_outstanding;
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.fatal || conn.outstanding >= max_outstanding {
+                return;
+            }
+            match conn.parser.next_event() {
+                StreamEvent::Incomplete => return,
+                StreamEvent::Frame(raw, body) => self.process_frame(token, raw, body),
+                StreamEvent::Fatal { error, request_id } => {
+                    // The stream position is untrustworthy: answer best-
+                    // effort (`Ping` is the neutral op for undecodable
+                    // requests), flush, close.
+                    self.shared.metrics.request_rejected();
+                    let status = protocol::status_for(&error);
+                    let message = error.to_string();
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.fatal = true;
+                    }
+                    self.enqueue_response(
+                        token,
+                        Op::Ping,
+                        0,
+                        status,
+                        request_id,
+                        message.as_bytes(),
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    fn process_frame(&mut self, token: u64, raw: RawFrameHeader, body: Vec<u8>) {
+        let header = match raw.validate() {
+            Ok(header) => header,
+            Err(e) => {
+                // Framing is intact (the parser consumed the declared body),
+                // so an unknown op or status is answered and the connection
+                // keeps serving — exactly the two-stage decode contract.
+                self.shared.metrics.request_rejected();
+                let status = protocol::status_for(&e);
+                let message = e.to_string();
+                self.enqueue_response(
+                    token,
+                    Op::Ping,
+                    0,
+                    status,
+                    raw.request_id,
+                    message.as_bytes(),
+                );
+                return;
+            }
+        };
+        if header.status != Status::Ok {
+            self.shared.metrics.request_rejected();
+            self.enqueue_response(
+                token,
+                header.op,
+                0,
+                Status::Malformed,
+                header.request_id,
+                b"request frames must carry status 0",
+            );
+            return;
+        }
+        match header.op {
+            Op::Ping => {
+                self.enqueue_response(token, Op::Ping, 0, Status::Ok, header.request_id, &[]);
+            }
+            Op::Hello => self.handle_hello(token, &header, &body),
+            Op::Status => self.handle_status(token, &header, &body),
+            Op::Shutdown => {
+                self.enqueue_response(token, Op::Shutdown, 0, Status::Ok, header.request_id, &[]);
+                self.shared.trigger_shutdown();
+            }
+            Op::Compress | Op::Decompress => self.handle_codec_op(token, &header, body),
+        }
+    }
+
+    fn handle_hello(&mut self, token: u64, header: &FrameHeader, body: &[u8]) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        match crate::server::negotiate_hello(&self.shared, header, body, &mut conn.session) {
+            Ok((response, body)) => {
+                let frame = protocol::encode_frame(&response, &body);
+                self.enqueue_raw(token, frame);
+            }
+            Err((status, message)) => {
+                self.shared.metrics.request_rejected();
+                self.enqueue_response(
+                    token,
+                    Op::Hello,
+                    0,
+                    status,
+                    header.request_id,
+                    message.as_bytes(),
+                );
+            }
+        }
+    }
+
+    fn handle_status(&mut self, token: u64, header: &FrameHeader, body: &[u8]) {
+        if !body.is_empty() {
+            self.shared.metrics.request_rejected();
+            self.enqueue_response(
+                token,
+                Op::Status,
+                0,
+                Status::Malformed,
+                header.request_id,
+                b"status requests carry an empty body",
+            );
+            return;
+        }
+        let snapshot = self.shared.metrics.snapshot();
+        let response = StatusResponse {
+            connections_active: snapshot.connections_active as u64,
+            connections_opened: snapshot.connections_opened as u64,
+            requests_rejected: snapshot.requests_rejected as u64,
+            rate_limited: snapshot.requests_rate_limited as u64,
+            shards: snapshot
+                .shards
+                .iter()
+                .map(|s| protocol::ShardStatus {
+                    in_flight: s.in_flight as u64,
+                    peak_in_flight: s.peak_in_flight as u64,
+                    admitted: s.admitted as u64,
+                    completed: s.completed as u64,
+                    blocks: s.blocks as u64,
+                    peak_resident_blocks: s.peak_resident_blocks as u64,
+                    bytes_in: s.bytes_in as u64,
+                    bytes_out: s.bytes_out as u64,
+                })
+                .collect(),
+        };
+        let body = response.encode_body();
+        self.enqueue_response(token, Op::Status, 0, Status::Ok, header.request_id, &body);
+    }
+
+    /// Compress/decompress: rate limit, decode + precheck inline, then queue
+    /// for the shard window.
+    fn handle_codec_op(&mut self, token: u64, header: &FrameHeader, body: Vec<u8>) {
+        if self.draining {
+            self.shared.metrics.request_rejected();
+            self.enqueue_response(
+                token,
+                header.op,
+                0,
+                Status::ShuttingDown,
+                header.request_id,
+                b"server is draining",
+            );
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if let Some(bucket) = &mut conn.bucket {
+            if !bucket.try_take(Instant::now()) {
+                self.shared.metrics.request_rate_limited();
+                self.enqueue_response(
+                    token,
+                    header.op,
+                    0,
+                    Status::RateLimited,
+                    header.request_id,
+                    b"per-connection admission budget exhausted, retry later",
+                );
+                return;
+            }
+        }
+        let session = conn.session;
+        let prepared = match header.op {
+            Op::Compress => prepare_compress(&self.shared, header, &body, &session),
+            _ => prepare_decompress(&self.shared, &body),
+        };
+        match prepared {
+            Prepared::Refuse { status, message } => {
+                self.shared.metrics.request_rejected();
+                self.enqueue_response(
+                    token,
+                    header.op,
+                    0,
+                    status,
+                    header.request_id,
+                    message.as_bytes(),
+                );
+            }
+            Prepared::Job { shard, job } => {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                conn.outstanding += 1;
+                self.pending[shard].push_back(PendingRequest {
+                    conn: token,
+                    request_id: header.request_id,
+                    op: header.op,
+                    request_bytes: body.len(),
+                    job,
+                });
+                self.try_admit(shard);
+            }
+        }
+    }
+
+    // ── admission & completion ──────────────────────────────────────────
+
+    /// Moves pending requests into the shard while its window has room.
+    /// The loop thread is the only admitter, so the in-flight gauge can
+    /// never exceed the window.
+    fn try_admit(&mut self, shard: usize) {
+        let window = self.shared.config.shard_window.max(1);
+        while self.in_flight[shard] < window {
+            let Some(request) = self.pending[shard].pop_front() else {
+                return;
+            };
+            if !self.conns.contains_key(&request.conn) {
+                // Connection died before its request was admitted; the
+                // request dies with it, never charging the window.
+                continue;
+            }
+            self.in_flight[shard] += 1;
+            self.shared
+                .metrics
+                .shard(shard)
+                .admit(request.request_bytes);
+            let shared = Arc::clone(&self.shared);
+            let PendingRequest {
+                conn,
+                request_id,
+                op,
+                job,
+                ..
+            } = request;
+            let wrapped: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let result = job();
+                shared.push_completion(Completion {
+                    conn,
+                    shard,
+                    request_id,
+                    op,
+                    result,
+                });
+            });
+            self.shared.shards[shard].push(wrapped);
+        }
+    }
+
+    /// Applies every completion the workers have queued: release the window
+    /// slot, account metrics, hand the response to its connection (which may
+    /// be gone — the slot is released either way).  Returns the connections
+    /// that received responses.
+    fn drain_completions(&mut self) -> Vec<u64> {
+        let completions = self.shared.take_completions();
+        let mut touched = Vec::new();
+        for completion in completions {
+            let shard_metrics = self.shared.metrics.shard(completion.shard);
+            if let Some(stream_metrics) = &completion.result.stream {
+                shard_metrics.record_stream(stream_metrics);
+            } else if completion.result.blocks > 0 {
+                shard_metrics.record_blocks(completion.result.blocks);
+            }
+            shard_metrics.complete(completion.result.body.len());
+            debug_assert!(self.in_flight[completion.shard] > 0);
+            self.in_flight[completion.shard] -= 1;
+            if let Some(conn) = self.conns.get_mut(&completion.conn) {
+                debug_assert!(conn.outstanding > 0);
+                conn.outstanding -= 1;
+                self.enqueue_response(
+                    completion.conn,
+                    completion.op,
+                    completion.result.codec,
+                    completion.result.status,
+                    completion.request_id,
+                    &completion.result.body,
+                );
+                touched.push(completion.conn);
+            }
+        }
+        touched
+    }
+
+    // ── write path ──────────────────────────────────────────────────────
+
+    fn enqueue_response(
+        &mut self,
+        token: u64,
+        op: Op,
+        codec: u8,
+        status: Status,
+        request_id: u64,
+        body: &[u8],
+    ) {
+        let header = FrameHeader::response(op, codec, status, request_id, body.len() as u64);
+        let frame = protocol::encode_frame(&header, body);
+        self.enqueue_raw(token, frame);
+    }
+
+    fn enqueue_raw(&mut self, token: u64, frame: Vec<u8>) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.out.extend_from_slice(&frame);
+        self.flush_conn(token);
+    }
+
+    /// Writes buffered response bytes until the kernel pushes back.
+    fn flush_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let mut broken = false;
+        while conn.out_pos < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    broken = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.last_write_progress = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    broken = true;
+                    break;
+                }
+            }
+        }
+        if broken {
+            self.close_conn(token);
+            return;
+        }
+        if conn.out_pos == conn.out.len() {
+            conn.out.clear();
+            conn.out_pos = 0;
+            conn.last_write_progress = Instant::now();
+        } else if conn.out_pos > READ_PAUSE_BACKLOG && conn.out_pos >= conn.out.len() / 2 {
+            // Reclaim the flushed prefix so a long-lived pipelined
+            // connection's buffer does not grow monotonically.
+            conn.out.drain(..conn.out_pos);
+            conn.out_pos = 0;
+        }
+    }
+
+    /// Re-evaluates a connection after any state change: parse newly
+    /// unblocked frames, flush, and sync poller interest.
+    fn pump_conn(&mut self, token: u64) {
+        self.parse_frames(token);
+        let max_outstanding = self.shared.config.max_outstanding;
+        let draining = self.draining;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let desired = conn.desired_interest(max_outstanding, draining);
+        if desired != conn.interest {
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, desired)
+                .is_err()
+            {
+                self.close_conn(token);
+                return;
+            }
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.interest = desired;
+            }
+        }
+    }
+
+    // ── lifecycle ───────────────────────────────────────────────────────
+
+    fn close_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let _ = self.poller.delete(conn.stream.as_raw_fd());
+        self.shared.metrics.connection_closed();
+        // Unadmitted requests die with the connection (admitted ones finish
+        // on their shard; their completions release the slots).
+        for queue in &mut self.pending {
+            queue.retain(|p| p.conn != token);
+        }
+    }
+
+    /// Closes finished connections and reaps stalled writers.
+    fn reap(&mut self) {
+        let now = Instant::now();
+        let write_timeout = self.shared.config.write_timeout;
+        let force = self
+            .drain_deadline
+            .map(|deadline| now >= deadline)
+            .unwrap_or(false);
+        let done: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| {
+                let idle = conn.outstanding == 0 && conn.backlog() == 0;
+                let finished = idle && (conn.read_closed || conn.fatal || self.draining);
+                let stalled = conn.backlog() > 0
+                    && now.saturating_duration_since(conn.last_write_progress) > write_timeout;
+                finished || stalled || force
+            })
+            .map(|(&token, _)| token)
+            .collect();
+        for token in done {
+            self.close_conn(token);
+        }
+    }
+
+    /// Starts the graceful drain: close the listener, refuse unadmitted
+    /// requests, stop reading, let admitted work finish and flush.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.drain_deadline = Some(Instant::now() + self.shared.config.write_timeout);
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.delete(listener.as_raw_fd());
+            // Dropping the listener closes the socket: late connects are
+            // refused by the kernel, not left dangling.
+        }
+        let pending: Vec<PendingRequest> = self
+            .pending
+            .iter_mut()
+            .flat_map(|queue| queue.drain(..))
+            .collect();
+        for request in pending {
+            if let Some(conn) = self.conns.get_mut(&request.conn) {
+                conn.outstanding -= 1;
+            }
+            self.shared.metrics.request_rejected();
+            self.enqueue_response(
+                request.conn,
+                request.op,
+                0,
+                Status::ShuttingDown,
+                request.request_id,
+                b"server is draining",
+            );
+        }
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.pump_conn(token);
+        }
+    }
+}

@@ -12,14 +12,19 @@
 //!   clients transparently receive stage-free v2 responses;
 //! * [`router`] — deterministic key-hash shard assignment with a
 //!   round-robin override;
-//! * [`server`] — the TCP server: per-shard worker threads behind bounded
-//!   in-flight admission windows, compress responses streamed straight from
-//!   `gld_core::compress_variable_to_writer`, graceful drain-then-join
-//!   shutdown;
-//! * [`client`] — the small blocking client library the tests, bins,
-//!   benches and examples speak through;
+//! * [`server`] — the TCP server: a readiness-driven event loop front end
+//!   (epoll over the in-repo shim) with pipelined keepalive connections,
+//!   per-connection admission control (outstanding bound + optional token
+//!   bucket → [`Status::RateLimited`]), per-shard worker threads behind
+//!   bounded in-flight admission windows, compress responses streamed
+//!   straight from `gld_core::compress_variable_to_writer`, graceful
+//!   drain-then-join shutdown;
+//! * [`client`] — the blocking client library the tests, bins, benches and
+//!   examples speak through, plus [`PipelinedClient`] for many-outstanding
+//!   request streams matched by request id;
 //! * [`metrics`] — `StreamMetrics`-style service accounting (per-shard
-//!   in-flight gauges and peaks) that the overload tests assert against.
+//!   in-flight gauges and peaks) that the overload tests assert against,
+//!   served over the wire by [`Op::Status`].
 //!
 //! Binaries: `gld-serviced` (standalone server) and `gld-service-check`
 //! (client smoke check used by CI's boot-the-binary job).
@@ -28,13 +33,14 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+mod eventloop;
 pub mod metrics;
 pub mod protocol;
 pub mod router;
 pub mod server;
 
-pub use client::{ClientError, ServerInfo, ServiceClient};
+pub use client::{ClientError, PipelinedClient, Reply, ServerInfo, ServiceClient};
 pub use metrics::{ServiceMetricsSnapshot, ShardMetricsSnapshot};
-pub use protocol::{Op, ProtocolError, Status};
+pub use protocol::{Op, ProtocolError, Status, StatusResponse};
 pub use router::{ShardPolicy, ShardRouter};
-pub use server::{CodecRegistry, Server, ServiceConfig};
+pub use server::{CodecRegistry, RateLimit, Server, ServiceConfig};

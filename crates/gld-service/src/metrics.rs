@@ -98,6 +98,7 @@ pub struct ServiceMetrics {
     connections_opened: AtomicUsize,
     connections_active: AtomicUsize,
     requests_rejected: AtomicUsize,
+    requests_rate_limited: AtomicUsize,
 }
 
 impl ServiceMetrics {
@@ -110,6 +111,7 @@ impl ServiceMetrics {
             connections_opened: AtomicUsize::new(0),
             connections_active: AtomicUsize::new(0),
             requests_rejected: AtomicUsize::new(0),
+            requests_rate_limited: AtomicUsize::new(0),
         }
     }
 
@@ -135,6 +137,13 @@ impl ServiceMetrics {
         self.requests_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a request refused by the per-connection token bucket (also
+    /// counted in `requests_rejected`).
+    pub fn request_rate_limited(&self) {
+        self.requests_rate_limited.fetch_add(1, Ordering::Relaxed);
+        self.requests_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough copy for assertions and reporting.
     pub fn snapshot(&self) -> ServiceMetricsSnapshot {
         ServiceMetricsSnapshot {
@@ -142,6 +151,7 @@ impl ServiceMetrics {
             connections_opened: self.connections_opened.load(Ordering::Relaxed),
             connections_active: self.connections_active.load(Ordering::Acquire),
             requests_rejected: self.requests_rejected.load(Ordering::Relaxed),
+            requests_rate_limited: self.requests_rate_limited.load(Ordering::Relaxed),
         }
     }
 }
@@ -157,6 +167,9 @@ pub struct ServiceMetricsSnapshot {
     pub connections_active: usize,
     /// Requests refused before shard admission.
     pub requests_rejected: usize,
+    /// Requests refused with `Status::RateLimited` specifically (a subset
+    /// of `requests_rejected`).
+    pub requests_rate_limited: usize,
 }
 
 impl ServiceMetricsSnapshot {

@@ -37,6 +37,18 @@
 //! the client lists codec ids in preference order and the server answers
 //! with the first one it has registered (or [`Status::NoCommonCodec`]).
 //!
+//! **Pipelining.**  The request id (bytes 16..24) is the multiplexing key:
+//! a client may send any number of requests down one connection without
+//! waiting, and the server answers each frame with its id echoed verbatim —
+//! **in whatever order the work completes**.  Responses to a pipelined
+//! stream are therefore matched by id, never by arrival order (the blocking
+//! one-outstanding-request client keeps working unchanged, since with a
+//! single id in flight order is vacuous).  Servers bound the number of
+//! unanswered requests per connection and may rate-limit codec work with
+//! [`Status::RateLimited`]; [`Op::Status`] exposes per-shard load so health
+//! checks are first-class.  [`StreamParser`] is the incremental frame
+//! assembler both ends use on a non-blocking stream.
+//!
 //! Every decoder in this module is panic-free on arbitrary input: malformed,
 //! truncated or bit-flipped bytes surface as a typed [`ProtocolError`]
 //! (`tests/protocol_fuzz.rs` and the cross-crate `service_end_to_end` suite
@@ -90,6 +102,9 @@ pub enum Op {
     Ping = 4,
     /// Ask the server to drain in-flight work and exit.
     Shutdown = 5,
+    /// Health/ops probe: empty request body, response body is a
+    /// [`StatusResponse`] (service counters + per-shard load).
+    Status = 6,
 }
 
 impl Op {
@@ -101,6 +116,7 @@ impl Op {
             3 => Op::Decompress,
             4 => Op::Ping,
             5 => Op::Shutdown,
+            6 => Op::Status,
             other => return Err(ProtocolError::UnknownOp(other)),
         })
     }
@@ -131,6 +147,10 @@ pub enum Status {
     ShuttingDown = 8,
     /// The codec failed internally (the diagnostic names the failure).
     Internal = 9,
+    /// The connection exceeded its admission budget (token bucket); the
+    /// request was refused without being admitted.  Retry later — the
+    /// connection itself stays healthy.
+    RateLimited = 10,
 }
 
 impl Status {
@@ -147,6 +167,7 @@ impl Status {
             7 => Status::FrameTooLarge,
             8 => Status::ShuttingDown,
             9 => Status::Internal,
+            10 => Status::RateLimited,
             other => return Err(ProtocolError::UnknownStatus(other)),
         })
     }
@@ -494,6 +515,10 @@ impl<'a> BodyReader<'a> {
         Ok(self.inner.read_u32()?)
     }
 
+    fn read_u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(self.inner.read_u64()?)
+    }
+
     fn read_f32(&mut self) -> Result<f32, ProtocolError> {
         Ok(self.inner.read_f32()?)
     }
@@ -745,6 +770,232 @@ impl HelloResponse {
             shard_window,
             queue_depth,
         })
+    }
+}
+
+/// Per-shard load counters in an [`Op::Status`] response.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Requests admitted to the shard and not yet completed.
+    pub in_flight: u64,
+    /// High-water mark of `in_flight` (bounded by the shard window).
+    pub peak_in_flight: u64,
+    /// Requests ever admitted.
+    pub admitted: u64,
+    /// Requests completed (including ones whose connection died first).
+    pub completed: u64,
+    /// Compressed blocks produced by this shard.
+    pub blocks: u64,
+    /// High-water mark of blocks resident in a streaming compress call.
+    pub peak_resident_blocks: u64,
+    /// Request payload bytes admitted.
+    pub bytes_in: u64,
+    /// Response payload bytes produced.
+    pub bytes_out: u64,
+}
+
+/// The payload of an `Ok` [`Op::Status`] response: service-wide counters
+/// plus one [`ShardStatus`] per shard.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatusResponse {
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Connections ever accepted.
+    pub connections_opened: u64,
+    /// Requests refused with a typed error status before admission.
+    pub requests_rejected: u64,
+    /// Requests refused with [`Status::RateLimited`] specifically.
+    pub rate_limited: u64,
+    /// Per-shard load, indexed by shard.
+    pub shards: Vec<ShardStatus>,
+}
+
+impl StatusResponse {
+    /// Serialises the response body.
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(36 + self.shards.len() * 64);
+        out.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.connections_active.to_le_bytes());
+        out.extend_from_slice(&self.connections_opened.to_le_bytes());
+        out.extend_from_slice(&self.requests_rejected.to_le_bytes());
+        out.extend_from_slice(&self.rate_limited.to_le_bytes());
+        for shard in &self.shards {
+            for field in [
+                shard.in_flight,
+                shard.peak_in_flight,
+                shard.admitted,
+                shard.completed,
+                shard.blocks,
+                shard.peak_resident_blocks,
+                shard.bytes_in,
+                shard.bytes_out,
+            ] {
+                out.extend_from_slice(&field.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a response body.  The shard count is validated against the
+    /// bytes actually present before any allocation.
+    pub fn decode_body(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let mut reader = BodyReader::new(bytes);
+        let count = reader.read_u32()? as usize;
+        let connections_active = reader.read_u64()?;
+        let connections_opened = reader.read_u64()?;
+        let requests_rejected = reader.read_u64()?;
+        let rate_limited = reader.read_u64()?;
+        if count.checked_mul(64) != Some(reader.remaining()) {
+            return Err(ProtocolError::Malformed(
+                "status shard table does not match its declared count",
+            ));
+        }
+        let mut shards = Vec::with_capacity(count);
+        for _ in 0..count {
+            shards.push(ShardStatus {
+                in_flight: reader.read_u64()?,
+                peak_in_flight: reader.read_u64()?,
+                admitted: reader.read_u64()?,
+                completed: reader.read_u64()?,
+                blocks: reader.read_u64()?,
+                peak_resident_blocks: reader.read_u64()?,
+                bytes_in: reader.read_u64()?,
+                bytes_out: reader.read_u64()?,
+            });
+        }
+        reader.expect_end()?;
+        Ok(StatusResponse {
+            connections_active,
+            connections_opened,
+            requests_rejected,
+            rate_limited,
+            shards,
+        })
+    }
+}
+
+/// One step of [`StreamParser::next_event`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// A complete frame: framing-validated header (op/status/codec bytes
+    /// still raw — see [`RawFrameHeader::validate`]) plus its body.
+    Frame(RawFrameHeader, Vec<u8>),
+    /// More bytes are needed before the next frame completes.
+    Incomplete,
+    /// An unrecoverable framing violation: the stream position can no longer
+    /// be trusted, so the connection must close after a best-effort error
+    /// response.  `request_id` is the offending frame's id when the header
+    /// parsed far enough to recover it, else 0.  The parser is poisoned —
+    /// every subsequent call repeats this event.
+    Fatal {
+        /// What broke.
+        error: ProtocolError,
+        /// Best-effort id for the error response (0 if unrecoverable).
+        request_id: u64,
+    },
+}
+
+/// Incremental `GLDS` frame assembler for non-blocking streams.
+///
+/// Bytes arrive in arbitrary slices via [`push`](StreamParser::push) —
+/// split anywhere, including mid-header and mid-body — and complete frames
+/// come out of [`next_event`](StreamParser::next_event) in order.  The
+/// buffer grows only as bytes actually arrive, so a header declaring a huge
+/// body costs nothing until the peer really sends it; a body over `max_body`
+/// is refused as soon as the header is readable.  Framing violations poison
+/// the parser (see [`StreamEvent::Fatal`]): after garbage there is no way to
+/// know where the next frame starts, so resynchronisation is never
+/// attempted.  Never panics on arbitrary input.
+#[derive(Debug)]
+pub struct StreamParser {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted when it dominates the buffer.
+    start: usize,
+    max_body: u64,
+    poisoned: Option<(ProtocolError, u64)>,
+}
+
+impl StreamParser {
+    /// A parser enforcing `max_body` (capped at [`MAX_BODY_LEN`]) per frame.
+    pub fn new(max_body: u64) -> Self {
+        StreamParser {
+            buf: Vec::new(),
+            start: 0,
+            max_body: max_body.min(MAX_BODY_LEN),
+            poisoned: None,
+        }
+    }
+
+    /// Appends newly received bytes.  Ignored once the parser is poisoned.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_some() {
+            return;
+        }
+        if self.start > 0 && self.start >= self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Extracts the next complete frame, if the buffer holds one.
+    pub fn next_event(&mut self) -> StreamEvent {
+        if let Some((error, request_id)) = &self.poisoned {
+            return StreamEvent::Fatal {
+                error: error.clone(),
+                request_id: *request_id,
+            };
+        }
+        if self.buffered() < HEADER_LEN {
+            return StreamEvent::Incomplete;
+        }
+        let header_bytes: &[u8; HEADER_LEN] = self.buf[self.start..self.start + HEADER_LEN]
+            .try_into()
+            .expect("fixed slice");
+        let raw = match RawFrameHeader::decode(header_bytes) {
+            Ok(raw) => raw,
+            Err(error) => {
+                // Bytes 16..24 are the id — recoverable iff the magic and
+                // version already validated (BodyTooLarge is the only
+                // decode error past that point).
+                let request_id = if matches!(error, ProtocolError::BodyTooLarge { .. }) {
+                    u64::from_le_bytes(header_bytes[16..24].try_into().expect("fixed slice"))
+                } else {
+                    0
+                };
+                return self.poison(error, request_id);
+            }
+        };
+        if raw.body_len > self.max_body {
+            let error = ProtocolError::BodyTooLarge {
+                declared: raw.body_len,
+                max: self.max_body,
+            };
+            return self.poison(error, raw.request_id);
+        }
+        let frame_len = HEADER_LEN + raw.body_len as usize;
+        if self.buffered() < frame_len {
+            return StreamEvent::Incomplete;
+        }
+        let body = self.buf[self.start + HEADER_LEN..self.start + frame_len].to_vec();
+        self.start += frame_len;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        StreamEvent::Frame(raw, body)
+    }
+
+    fn poison(&mut self, error: ProtocolError, request_id: u64) -> StreamEvent {
+        self.poisoned = Some((error.clone(), request_id));
+        self.buf = Vec::new();
+        self.start = 0;
+        StreamEvent::Fatal { error, request_id }
     }
 }
 
@@ -1018,6 +1269,136 @@ mod tests {
         let mut corrupt = body;
         corrupt[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_blocks_body(&corrupt).is_err());
+    }
+
+    #[test]
+    fn status_response_roundtrips_and_rejects_bad_counts() {
+        let status = StatusResponse {
+            connections_active: 3,
+            connections_opened: 41,
+            requests_rejected: 2,
+            rate_limited: 1,
+            shards: vec![
+                ShardStatus {
+                    in_flight: 1,
+                    peak_in_flight: 2,
+                    admitted: 10,
+                    completed: 9,
+                    blocks: 40,
+                    peak_resident_blocks: 8,
+                    bytes_in: 1 << 20,
+                    bytes_out: 1 << 18,
+                },
+                ShardStatus::default(),
+            ],
+        };
+        let body = status.encode_body();
+        assert_eq!(StatusResponse::decode_body(&body).unwrap(), status);
+
+        // A corrupt shard count cannot trigger a huge allocation.
+        let mut corrupt = body.clone();
+        corrupt[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(StatusResponse::decode_body(&corrupt).is_err());
+        assert!(StatusResponse::decode_body(&body[..body.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn stream_parser_reassembles_frames_split_anywhere() {
+        let frames = [
+            encode_frame(&FrameHeader::request(Op::Ping, 0, 7, 0), &[]),
+            encode_frame(
+                &FrameHeader::request(Op::Compress, 2, 9, 5),
+                &[1, 2, 3, 4, 5],
+            ),
+            encode_frame(
+                &FrameHeader::response(Op::Status, 0, Status::RateLimited, 7, 2),
+                &[8, 9],
+            ),
+        ];
+        let stream: Vec<u8> = frames.iter().flatten().copied().collect();
+
+        // One byte at a time: every split boundary exercised.
+        let mut parser = StreamParser::new(MAX_BODY_LEN);
+        let mut out = Vec::new();
+        for byte in &stream {
+            parser.push(std::slice::from_ref(byte));
+            loop {
+                match parser.next_event() {
+                    StreamEvent::Frame(raw, body) => out.push((raw, body)),
+                    StreamEvent::Incomplete => break,
+                    StreamEvent::Fatal { error, .. } => panic!("unexpected fatal: {error}"),
+                }
+            }
+        }
+        assert_eq!(out.len(), 3);
+        for (frame, (raw, body)) in frames.iter().zip(&out) {
+            let reencoded = encode_frame(&raw.validate().unwrap().with_ext(raw.ext), body);
+            assert_eq!(&reencoded, frame);
+        }
+        assert_eq!(parser.buffered(), 0);
+
+        // The whole stream in one push parses identically.
+        let mut parser = StreamParser::new(MAX_BODY_LEN);
+        parser.push(&stream);
+        let mut all_at_once = Vec::new();
+        while let StreamEvent::Frame(raw, body) = parser.next_event() {
+            all_at_once.push((raw, body));
+        }
+        assert_eq!(all_at_once, out);
+    }
+
+    #[test]
+    fn stream_parser_poisons_on_garbage_and_stays_poisoned() {
+        let good = encode_frame(&FrameHeader::request(Op::Ping, 0, 3, 0), &[]);
+        let mut parser = StreamParser::new(MAX_BODY_LEN);
+        parser.push(&good);
+        parser.push(b"and now thirty-two bytes of junk!");
+        assert!(matches!(parser.next_event(), StreamEvent::Frame(raw, _) if raw.request_id == 3));
+        let fatal = parser.next_event();
+        assert!(
+            matches!(
+                fatal,
+                StreamEvent::Fatal {
+                    error: ProtocolError::BadMagic(_),
+                    request_id: 0,
+                }
+            ),
+            "got {fatal:?}"
+        );
+        // Poisoned: further pushes are ignored, the event repeats.
+        parser.push(&good);
+        assert_eq!(parser.next_event(), fatal);
+        assert_eq!(parser.buffered(), 0);
+    }
+
+    #[test]
+    fn stream_parser_enforces_the_configured_body_cap_with_the_request_id() {
+        let mut parser = StreamParser::new(16);
+        let header = FrameHeader::request(Op::Compress, 2, 0xABCD, 17);
+        parser.push(&header.encode());
+        assert!(matches!(
+            parser.next_event(),
+            StreamEvent::Fatal {
+                error: ProtocolError::BodyTooLarge {
+                    declared: 17,
+                    max: 16
+                },
+                request_id: 0xABCD,
+            }
+        ));
+
+        // The protocol hard cap also recovers the id (magic+version valid).
+        let mut parser = StreamParser::new(MAX_BODY_LEN);
+        let mut raw = FrameHeader::request(Op::Compress, 2, 0x77, 0).encode();
+        raw[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        parser.push(&raw);
+        assert!(matches!(
+            parser.next_event(),
+            StreamEvent::Fatal {
+                error: ProtocolError::BodyTooLarge { .. },
+                request_id: 0x77,
+            }
+        ));
     }
 
     #[test]

@@ -1,32 +1,38 @@
 //! The sharded compression server.
 //!
 //! A long-running TCP server speaking the framed `GLDS` protocol
-//! (`crate::protocol`).  One thread accepts connections; each connection
-//! gets a handler thread that parses requests and routes them — by
-//! deterministic key hash or round-robin (`crate::router`) — onto one of a
-//! fixed set of **shards**.  Each shard is a worker thread draining a
-//! bounded admission window: a request is only admitted while the shard has
-//! fewer than `shard_window` requests in flight (admitted but not yet
-//! responded), so a congested or slow-consuming shard pushes back on *its
-//! own* submitters while every other shard keeps flowing.  All shards share
-//! the one persistent `rayon` pool underneath: compress requests run the
-//! bounded-memory streaming executor (`gld_core::executor`) whose collector
-//! helps from the shard thread, so no shard can be starved by another's
-//! pool usage.
+//! (`crate::protocol`).  The front end is a single readiness-driven event
+//! loop (`crate::eventloop`, over the in-repo `epoll` shim): it accepts
+//! connections, assembles frames incrementally off non-blocking sockets,
+//! answers protocol-level ops (`Ping`, `Hello`, `Status`, `Shutdown`)
+//! inline, and routes codec work — by deterministic key hash or round-robin
+//! (`crate::router`) — onto one of a fixed set of **shards**.  Each shard is
+//! a worker thread draining a bounded admission window: a request is only
+//! admitted while the shard has fewer than `shard_window` requests in flight
+//! (admitted but not yet completed), so a congested shard queues *its own*
+//! submitters' requests while every other shard keeps flowing.  All shards
+//! share the one persistent `rayon` pool underneath: compress requests run
+//! the bounded-memory streaming executor (`gld_core::executor`) whose
+//! collector helps from the shard thread, so no shard can be starved by
+//! another's pool usage.
+//!
+//! Connections are kept alive and **pipelined**: a client may have up to
+//! `max_outstanding` codec requests unanswered on one connection, responses
+//! are written as their shards finish — out of order, matched by request
+//! id — and an optional per-connection token bucket refuses excess codec
+//! work with [`Status::RateLimited`].
 //!
 //! Compress responses are `GLDC` containers streamed straight from
 //! [`gld_core::compress_variable_to_writer`] into the response body (capped
 //! by `max_body`; an over-limit container aborts mid-stream and the
 //! diagnostic reports how many frames were emitted).  Graceful shutdown —
 //! [`Server::shutdown`], or a wire [`Op::Shutdown`] — stops accepting,
-//! lets every admitted request finish and its response be written, then
-//! joins every thread the server spawned.
+//! refuses unadmitted requests, lets every admitted request finish and its
+//! response flush, then joins every thread the server spawned.
 
-use crate::metrics::{ServiceMetrics, ServiceMetricsSnapshot, ShardMetrics};
-use crate::protocol::{
-    self, FrameHeader, Op, ProtocolError, RawFrameHeader, Status, EXT_CONTAINER_STAGE,
-    EXT_SHARED_PROFILES, HEADER_LEN,
-};
+use crate::eventloop::{EventLoop, WAKER_TOKEN};
+use crate::metrics::{ServiceMetrics, ServiceMetricsSnapshot};
+use crate::protocol::{self, FrameHeader, Op, Status, EXT_CONTAINER_STAGE, EXT_SHARED_PROFILES};
 use crate::router::{ShardPolicy, ShardRouter};
 use gld_baselines::{SzCompressor, ZfpLikeCompressor};
 use gld_core::container::HEADER_LEN as CONTAINER_HEADER_LEN;
@@ -37,14 +43,23 @@ use gld_core::{
 use gld_datasets::Variable;
 use gld_tensor::Tensor;
 use std::collections::VecDeque;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Duration;
+
+/// Per-connection token-bucket admission budget for codec work (compress
+/// and decompress; `Ping`/`Hello`/`Status` are never rate limited).
+#[derive(Clone, Copy, Debug)]
+pub struct RateLimit {
+    /// Bucket capacity: the largest burst admitted at once.
+    pub capacity: u32,
+    /// Sustained admissions per second once the burst is spent.
+    pub refill_per_sec: f64,
+}
 
 /// Server tuning.
 #[derive(Clone, Debug)]
@@ -54,7 +69,7 @@ pub struct ServiceConfig {
     /// Number of shards (per-shard worker threads).  Clamped to at least 1.
     pub shards: usize,
     /// Maximum requests admitted per shard at once (queued or executing,
-    /// response not yet written).  Clamped to at least 1.
+    /// completion not yet processed).  Clamped to at least 1.
     pub shard_window: usize,
     /// Streaming-executor tuning for compress requests.
     pub stream: StreamConfig,
@@ -63,11 +78,20 @@ pub struct ServiceConfig {
     /// Maximum request *and* response body length in bytes (under the
     /// protocol's 1 GiB hard cap).
     pub max_body: u64,
-    /// How often blocked reads wake to check for shutdown.
+    /// The event loop's idle tick: how often reaping, rate-limit refill and
+    /// the shutdown flag are checked when no fd is ready.
     pub poll_interval: Duration,
-    /// Upper bound on one blocking socket write; a slower consumer loses
-    /// its connection (its shard-window slot is released either way).
+    /// A connection whose peer accepts no response bytes for this long is
+    /// reaped (its admitted work still completes and releases its window
+    /// slots); also the drain deadline for flushing final responses.
     pub write_timeout: Duration,
+    /// Maximum codec requests one connection may have unanswered before the
+    /// server stops reading from it — the pipelining depth.  Clamped to at
+    /// least 1.
+    pub max_outstanding: usize,
+    /// Optional per-connection token bucket on codec-work admissions;
+    /// `None` (the default) admits everything the windows accept.
+    pub rate_limit: Option<RateLimit>,
 }
 
 impl Default for ServiceConfig {
@@ -81,6 +105,8 @@ impl Default for ServiceConfig {
             max_body: 256 << 20,
             poll_interval: Duration::from_millis(25),
             write_timeout: Duration::from_secs(30),
+            max_outstanding: 32,
+            rate_limit: None,
         }
     }
 }
@@ -135,87 +161,74 @@ impl CodecRegistry {
     }
 }
 
-/// One unit of shard work, executed on the shard's worker thread.
-type ShardJob = Box<dyn FnOnce() + Send + 'static>;
+/// A codec job prepared by the event loop, executed on a shard worker.
+pub(crate) type ShardJob = Box<dyn FnOnce() -> ShardResult + Send + 'static>;
 
-/// What a shard job hands back to the connection handler.
-struct ShardResult {
-    status: Status,
-    codec: u8,
-    body: Vec<u8>,
-    stream: Option<StreamMetrics>,
-    blocks: usize,
+/// A wrapped job as the shard queue stores it (result delivery included).
+type WorkItem = Box<dyn FnOnce() + Send + 'static>;
+
+/// What a shard job hands back to the event loop.
+pub(crate) struct ShardResult {
+    pub(crate) status: Status,
+    pub(crate) codec: u8,
+    pub(crate) body: Vec<u8>,
+    pub(crate) stream: Option<StreamMetrics>,
+    pub(crate) blocks: usize,
 }
 
-/// Bounded admission queue for one shard.
-struct ShardQueue {
-    state: Mutex<ShardState>,
-    /// Submitters wait here for the window to open.
-    space: Condvar,
-    /// The shard worker waits here for jobs.
+/// A finished shard job on its way back to the event loop.
+pub(crate) struct Completion {
+    pub(crate) conn: u64,
+    pub(crate) shard: usize,
+    pub(crate) request_id: u64,
+    pub(crate) op: Op,
+    pub(crate) result: ShardResult,
+}
+
+/// Negotiated session state for one connection (set by `Hello`).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Session {
+    /// Codec chosen in `Hello`, used when a request's codec byte is 0.
+    pub(crate) codec: Option<CodecId>,
+    /// Container v3 per-frame stage negotiated.
+    pub(crate) stage: bool,
+    /// Container v4 shared profiles negotiated (wins over `stage`).
+    pub(crate) profiles: bool,
+}
+
+/// Job queue for one shard.  Admission control lives in the event loop (the
+/// only submitter), so this is just a condvar-parked work queue.
+pub(crate) struct ShardQueue {
+    state: Mutex<ShardQueueState>,
     work: Condvar,
 }
 
-struct ShardState {
-    jobs: VecDeque<ShardJob>,
-    /// Requests admitted (queued or executing) whose responses are not yet
-    /// written — the quantity the window bounds.
-    in_flight: usize,
+struct ShardQueueState {
+    jobs: VecDeque<WorkItem>,
     stop: bool,
 }
 
 impl ShardQueue {
     fn new() -> Self {
         ShardQueue {
-            state: Mutex::new(ShardState {
+            state: Mutex::new(ShardQueueState {
                 jobs: VecDeque::new(),
-                in_flight: 0,
                 stop: false,
             }),
-            space: Condvar::new(),
             work: Condvar::new(),
         }
     }
 
-    /// Blocks until the shard's window has room, then admits `job`.  This
-    /// blocking is the backpressure: a congested shard stalls exactly the
-    /// handlers submitting to it.  Returns `Err(())` once the shard stopped.
-    /// The metrics gauge moves under the admission lock, so its peak can
-    /// never exceed the window.
-    fn submit(
-        &self,
-        window: usize,
-        metrics: &ShardMetrics,
-        request_bytes: usize,
-        job: ShardJob,
-    ) -> Result<(), ()> {
+    /// Hands an admitted job to the shard worker.
+    pub(crate) fn push(&self, job: WorkItem) {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        while state.in_flight >= window && !state.stop {
-            state = self.space.wait(state).unwrap_or_else(|e| e.into_inner());
-        }
-        if state.stop {
-            return Err(());
-        }
-        state.in_flight += 1;
-        metrics.admit(request_bytes);
         state.jobs.push_back(job);
         drop(state);
         self.work.notify_one();
-        Ok(())
-    }
-
-    /// Releases one window slot (response written or connection gone).
-    fn release(&self, metrics: &ShardMetrics, response_bytes: usize) {
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        debug_assert!(state.in_flight > 0);
-        state.in_flight -= 1;
-        metrics.complete(response_bytes);
-        drop(state);
-        self.space.notify_one();
     }
 
     /// Worker side: next job, or `None` once stopped *and* drained.
-    fn next_job(&self) -> Option<ShardJob> {
+    fn next_job(&self) -> Option<WorkItem> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(job) = state.jobs.pop_front() {
@@ -233,39 +246,53 @@ impl ShardQueue {
         state.stop = true;
         drop(state);
         self.work.notify_all();
-        self.space.notify_all();
     }
 }
 
-struct ServerShared {
-    config: ServiceConfig,
-    registry: CodecRegistry,
-    router: ShardRouter,
-    metrics: ServiceMetrics,
-    shards: Vec<ShardQueue>,
+pub(crate) struct ServerShared {
+    pub(crate) config: ServiceConfig,
+    pub(crate) registry: CodecRegistry,
+    pub(crate) router: ShardRouter,
+    pub(crate) metrics: ServiceMetrics,
+    pub(crate) shards: Vec<ShardQueue>,
+    pub(crate) waker: epoll::Waker,
+    completions: Mutex<Vec<Completion>>,
     addr: SocketAddr,
     shutdown: AtomicBool,
     shutdown_cv: (Mutex<bool>, Condvar),
-    handlers: Mutex<Vec<thread::JoinHandle<()>>>,
 }
 
 impl ServerShared {
-    fn is_shutdown(&self) -> bool {
+    pub(crate) fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
     }
 
-    /// Idempotently starts the graceful-shutdown sequence: stop admitting
-    /// connections/requests and wake everything that might be waiting.
-    fn trigger_shutdown(&self) {
+    /// Idempotently starts the graceful-shutdown sequence: flag the event
+    /// loop (which stops accepting and drains) and wake everything waiting.
+    pub(crate) fn trigger_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
-        // Wake the acceptor (it is blocked in `accept`).
-        let _ = TcpStream::connect(self.addr);
+        // Wake the event loop out of its poll.
+        let _ = self.waker.notify();
         // Wake `Server::wait`.
         let (flag, cv) = &self.shutdown_cv;
         *flag.lock().unwrap_or_else(|e| e.into_inner()) = true;
         cv.notify_all();
+    }
+
+    /// Worker side: queue a finished job's result and wake the loop.
+    pub(crate) fn push_completion(&self, completion: Completion) {
+        let mut completions = self.completions.lock().unwrap_or_else(|e| e.into_inner());
+        completions.push(completion);
+        drop(completions);
+        let _ = self.waker.notify();
+    }
+
+    /// Loop side: take every queued completion.
+    pub(crate) fn take_completions(&self) -> Vec<Completion> {
+        let mut completions = self.completions.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *completions)
     }
 }
 
@@ -276,26 +303,29 @@ impl ServerShared {
 /// until a wire [`Op::Shutdown`] arrives.
 pub struct Server {
     shared: Arc<ServerShared>,
-    accept: Option<thread::JoinHandle<()>>,
+    event_loop: Option<thread::JoinHandle<()>>,
     workers: Vec<thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds, spawns the shard workers and the acceptor, and returns the
+    /// Binds, spawns the shard workers and the event loop, and returns the
     /// running server.
     pub fn start(config: ServiceConfig, registry: CodecRegistry) -> std::io::Result<Server> {
         assert!(!registry.codecs.is_empty(), "registry has no codecs");
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shards = config.shards.max(1);
+        let poller = epoll::Poller::new()?;
+        let waker = epoll::Waker::new(&poller, WAKER_TOKEN)?;
         let shared = Arc::new(ServerShared {
             router: ShardRouter::new(shards, config.policy),
             metrics: ServiceMetrics::new(shards),
             shards: (0..shards).map(|_| ShardQueue::new()).collect(),
+            waker,
+            completions: Mutex::new(Vec::new()),
             addr,
             shutdown: AtomicBool::new(false),
             shutdown_cv: (Mutex::new(false), Condvar::new()),
-            handlers: Mutex::new(Vec::new()),
             config,
             registry,
         });
@@ -308,16 +338,16 @@ impl Server {
                     .expect("spawn shard worker")
             })
             .collect();
-        let accept = {
+        let event_loop = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
-                .name("gld-service-accept".into())
-                .spawn(move || accept_loop(&shared, listener))
-                .expect("spawn acceptor")
+                .name("gld-service-loop".into())
+                .spawn(move || EventLoop::new(shared, poller, listener).run())
+                .expect("spawn event loop")
         };
         Ok(Server {
             shared,
-            accept: Some(accept),
+            event_loop: Some(event_loop),
             workers,
         })
     }
@@ -355,24 +385,14 @@ impl Server {
     }
 
     fn join_all(&mut self) {
-        // Acceptor first: once it is gone no new handler threads appear.
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        // The event loop first: it owns the drain (refuse new work, complete
+        // admitted work, flush responses, close connections) and exits only
+        // when the drain is done.
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
         }
-        // Handlers next: each finishes its in-flight request (the shard
-        // workers are still running and draining) and exits on the flag.
-        let handlers = std::mem::take(
-            &mut *self
-                .shared
-                .handlers
-                .lock()
-                .unwrap_or_else(|e| e.into_inner()),
-        );
-        for handle in handlers {
-            let _ = handle.join();
-        }
-        // Shards last: every admitted job has been executed and responded
-        // to by now, so stopping is an empty-queue no-op.
+        // Shards last: every admitted job has completed by now, so stopping
+        // is an empty-queue no-op.
         for shard in &self.shared.shards {
             shard.stop();
         }
@@ -384,55 +404,9 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.accept.is_some() {
+        if self.event_loop.is_some() {
             self.shared.trigger_shutdown();
             self.join_all();
-        }
-    }
-}
-
-fn accept_loop(shared: &Arc<ServerShared>, listener: TcpListener) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if shared.is_shutdown() {
-                    // The wake-up connection (or a late client): refuse.
-                    drop(stream);
-                    break;
-                }
-                shared.metrics.connection_opened();
-                let shared_conn = Arc::clone(shared);
-                let handle = thread::Builder::new()
-                    .name("gld-service-conn".into())
-                    .spawn(move || {
-                        handle_connection(&shared_conn, stream);
-                        shared_conn.metrics.connection_closed();
-                    })
-                    .expect("spawn connection handler");
-                let mut handlers = shared.handlers.lock().unwrap_or_else(|e| e.into_inner());
-                handlers.push(handle);
-                // Reap handlers whose connections already ended, so a
-                // long-running server does not accumulate one unjoined
-                // thread (stack and all) per connection it ever served.
-                let mut live = Vec::with_capacity(handlers.len());
-                for handle in handlers.drain(..) {
-                    if handle.is_finished() {
-                        let _ = handle.join();
-                    } else {
-                        live.push(handle);
-                    }
-                }
-                *handlers = live;
-            }
-            Err(_) => {
-                if shared.is_shutdown() {
-                    break;
-                }
-                // Transient accept failures (EMFILE under fd exhaustion,
-                // ECONNABORTED, ...): back off instead of busy-spinning a
-                // core while the condition persists.
-                thread::sleep(shared.config.poll_interval);
-            }
         }
     }
 }
@@ -443,293 +417,65 @@ fn shard_worker(shared: &Arc<ServerShared>, index: usize) {
     }
 }
 
-/// Outcome of trying to read `buf.len()` bytes with shutdown polling.
-enum FillOutcome {
-    Filled,
-    /// Peer closed (clean EOF at a frame boundary), mid-frame disconnect, a
-    /// non-timeout I/O error, or shutdown — in every case the connection is
-    /// done.
-    Closed,
+/// Outcome of preparing a codec request on the event loop: refused with a
+/// typed status, or a job ready for its shard's admission window.
+pub(crate) enum Prepared {
+    Refuse { status: Status, message: String },
+    Job { shard: usize, job: ShardJob },
 }
 
-/// Reads a `len`-byte frame body, growing the buffer in bounded steps as
-/// bytes actually arrive — a client declaring a large body but trickling
-/// (or never sending) it can only cost memory proportional to what it
-/// transmitted, not to what it declared.
-fn fill_body(shared: &ServerShared, stream: &mut TcpStream, len: usize) -> Option<Vec<u8>> {
-    const STEP: usize = 1 << 20;
-    let mut body = Vec::new();
-    while body.len() < len {
-        let start = body.len();
-        body.resize(start + (len - start).min(STEP), 0);
-        if matches!(
-            fill_exact(shared, stream, &mut body[start..]),
-            FillOutcome::Closed
-        ) {
-            return None;
-        }
-    }
-    Some(body)
-}
-
-/// Reads exactly `buf.len()` bytes, waking every `poll_interval` to check
-/// the shutdown flag (requests not yet fully read when shutdown starts are
-/// abandoned — only *admitted* work is drained).
-fn fill_exact(shared: &ServerShared, stream: &mut TcpStream, buf: &mut [u8]) -> FillOutcome {
-    let mut filled = 0usize;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => return FillOutcome::Closed,
-            Ok(n) => filled += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if shared.is_shutdown() {
-                    return FillOutcome::Closed;
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return FillOutcome::Closed,
-        }
-    }
-    FillOutcome::Filled
-}
-
-/// Writes one response frame; an error here ends the connection.
-fn respond(
-    stream: &mut TcpStream,
-    op: Op,
-    codec: u8,
-    status: Status,
-    request_id: u64,
-    body: &[u8],
-) -> std::io::Result<()> {
-    let header = FrameHeader::response(op, codec, status, request_id, body.len() as u64);
-    protocol::write_frame(stream, &header, body)
-}
-
-fn respond_error(
-    stream: &mut TcpStream,
-    op: Op,
-    status: Status,
-    request_id: u64,
-    message: &str,
-) -> std::io::Result<()> {
-    respond(stream, op, 0, status, request_id, message.as_bytes())
-}
-
-fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let mut session_codec: Option<CodecId> = None;
-    // Whether this session negotiated the container v3 per-frame stage in
-    // `Hello` (old clients never set the bit and transparently receive
-    // stage-free v2 responses).
-    let mut session_stage = false;
-    // Whether this session negotiated container v4 shared profiles in
-    // `Hello`; takes precedence over the stage for compress responses.
-    let mut session_profiles = false;
-
-    loop {
-        if shared.is_shutdown() {
-            break;
-        }
-        // ── frame header ────────────────────────────────────────────────
-        let mut header_bytes = [0u8; HEADER_LEN];
-        if matches!(
-            fill_exact(shared, &mut stream, &mut header_bytes),
-            FillOutcome::Closed
-        ) {
-            break;
-        }
-        let raw = match RawFrameHeader::decode(&header_bytes) {
-            Ok(raw) => raw,
-            Err(e) => {
-                // Framing failure: the stream position cannot be trusted.
-                // Answer best-effort (the peer may be mid-garbage) and close.
-                shared.metrics.request_rejected();
-                let _ = respond_error(
-                    &mut stream,
-                    Op::Ping,
-                    protocol::status_for(&e),
-                    0,
-                    &e.to_string(),
-                );
-                break;
-            }
-        };
-        if raw.body_len > shared.config.max_body {
-            // The body is knowably huge; refuse without reading it, then
-            // close (the unread body would desynchronise the stream).
-            shared.metrics.request_rejected();
-            let e = ProtocolError::BodyTooLarge {
-                declared: raw.body_len,
-                max: shared.config.max_body,
-            };
-            let _ = respond_error(
-                &mut stream,
-                Op::Ping,
-                Status::FrameTooLarge,
-                raw.request_id,
-                &e.to_string(),
-            );
-            break;
-        }
-        // ── frame body ──────────────────────────────────────────────────
-        let Some(body) = fill_body(shared, &mut stream, raw.body_len as usize) else {
-            break;
-        };
-        // Framing is intact from here on: errors are answered and the
-        // connection keeps serving.
-        let header = match raw.validate() {
-            Ok(header) => header,
-            Err(e) => {
-                shared.metrics.request_rejected();
-                // No valid op to echo; `Ping` is the designated neutral op
-                // for error responses (the status carries the diagnosis).
-                if respond_error(
-                    &mut stream,
-                    Op::Ping,
-                    protocol::status_for(&e),
-                    raw.request_id,
-                    &e.to_string(),
-                )
-                .is_err()
-                {
-                    break;
-                }
-                continue;
-            }
-        };
-        if header.status != Status::Ok {
-            shared.metrics.request_rejected();
-            if respond_error(
-                &mut stream,
-                header.op,
-                Status::Malformed,
-                header.request_id,
-                "request frames must carry status 0",
-            )
-            .is_err()
-            {
-                break;
-            }
-            continue;
-        }
-
-        // ── dispatch ────────────────────────────────────────────────────
-        let keep_going = match header.op {
-            Op::Ping => {
-                respond(&mut stream, Op::Ping, 0, Status::Ok, header.request_id, &[]).is_ok()
-            }
-            Op::Hello => handle_hello(
-                shared,
-                &mut stream,
-                &header,
-                &body,
-                &mut session_codec,
-                &mut session_stage,
-                &mut session_profiles,
-            ),
-            Op::Shutdown => {
-                let _ = respond(
-                    &mut stream,
-                    Op::Shutdown,
-                    0,
-                    Status::Ok,
-                    header.request_id,
-                    &[],
-                );
-                shared.trigger_shutdown();
-                false
-            }
-            Op::Compress => handle_compress(
-                shared,
-                &mut stream,
-                &header,
-                &body,
-                session_codec,
-                session_stage,
-                session_profiles,
-            ),
-            Op::Decompress => handle_decompress(shared, &mut stream, &header, &body),
-        };
-        if !keep_going {
-            break;
+impl Prepared {
+    fn refuse(status: Status, message: impl Into<String>) -> Self {
+        Prepared::Refuse {
+            status,
+            message: message.into(),
         }
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn handle_hello(
-    shared: &Arc<ServerShared>,
-    stream: &mut TcpStream,
+/// Runs `Hello` negotiation: picks the codec, mutates the session (codec +
+/// feature bits), and returns the ready-to-send response frame parts.
+pub(crate) fn negotiate_hello(
+    shared: &ServerShared,
     header: &FrameHeader,
     body: &[u8],
-    session_codec: &mut Option<CodecId>,
-    session_stage: &mut bool,
-    session_profiles: &mut bool,
-) -> bool {
-    let request = match protocol::HelloRequest::decode_body(body) {
-        Ok(r) => r,
-        Err(e) => {
-            shared.metrics.request_rejected();
-            return respond_error(
-                stream,
-                Op::Hello,
-                protocol::status_for(&e),
-                header.request_id,
-                &e.to_string(),
-            )
-            .is_ok();
-        }
+    session: &mut Session,
+) -> Result<(FrameHeader, Vec<u8>), (Status, String)> {
+    let request = protocol::HelloRequest::decode_body(body)
+        .map_err(|e| (protocol::status_for(&e), e.to_string()))?;
+    let Some(chosen) = shared.registry.negotiate(&request.proposals) else {
+        return Err((
+            Status::NoCommonCodec,
+            "none of the proposed codecs is registered on this server".into(),
+        ));
     };
-    match shared.registry.negotiate(&request.proposals) {
-        Some(chosen) => {
-            *session_codec = Some(chosen);
-            // Capability-and-echo: a feature is on exactly when the client
-            // advertised it, and the echoed bit tells the client so.
-            *session_stage = header.ext & EXT_CONTAINER_STAGE != 0;
-            *session_profiles = header.ext & EXT_SHARED_PROFILES != 0;
-            let info = protocol::HelloResponse {
-                shards: shared.router.shards() as u32,
-                shard_window: shared.config.shard_window.max(1) as u32,
-                queue_depth: shared.config.stream.queue_depth.max(1) as u32,
-            };
-            let body = info.encode_body();
-            let mut echo = 0u8;
-            if *session_stage {
-                echo |= EXT_CONTAINER_STAGE;
-            }
-            if *session_profiles {
-                echo |= EXT_SHARED_PROFILES;
-            }
-            let response = FrameHeader::response(
-                Op::Hello,
-                chosen as u8,
-                Status::Ok,
-                header.request_id,
-                body.len() as u64,
-            )
-            .with_ext(echo);
-            protocol::write_frame(stream, &response, &body).is_ok()
-        }
-        None => {
-            shared.metrics.request_rejected();
-            respond_error(
-                stream,
-                Op::Hello,
-                Status::NoCommonCodec,
-                header.request_id,
-                "none of the proposed codecs is registered on this server",
-            )
-            .is_ok()
-        }
+    session.codec = Some(chosen);
+    // Capability-and-echo: a feature is on exactly when the client
+    // advertised it, and the echoed bit tells the client so.
+    session.stage = header.ext & EXT_CONTAINER_STAGE != 0;
+    session.profiles = header.ext & EXT_SHARED_PROFILES != 0;
+    let info = protocol::HelloResponse {
+        shards: shared.router.shards() as u32,
+        shard_window: shared.config.shard_window.max(1) as u32,
+        queue_depth: shared.config.stream.queue_depth.max(1) as u32,
+    };
+    let body = info.encode_body();
+    let mut echo = 0u8;
+    if session.stage {
+        echo |= EXT_CONTAINER_STAGE;
     }
+    if session.profiles {
+        echo |= EXT_SHARED_PROFILES;
+    }
+    let response = FrameHeader::response(
+        Op::Hello,
+        chosen as u8,
+        Status::Ok,
+        header.request_id,
+        body.len() as u64,
+    )
+    .with_ext(echo);
+    Ok((response, body))
 }
 
 /// Resolves the codec for a request: an explicit header byte wins, else the
@@ -793,114 +539,34 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs one admitted request through its shard and writes the response.
-/// Owns the full admit → execute → respond → release cycle so the window
-/// slot is released on every path.
-fn run_sharded(
-    shared: &Arc<ServerShared>,
-    stream: &mut TcpStream,
-    header: &FrameHeader,
-    shard: usize,
-    request_bytes: usize,
-    job: impl FnOnce() -> ShardResult + Send + 'static,
-) -> bool {
-    let (tx, rx) = sync_channel::<ShardResult>(1);
-    let wrapped: ShardJob = Box::new(move || {
-        let _ = tx.send(job());
-    });
-    let window = shared.config.shard_window.max(1);
-    let metrics = shared.metrics.shard(shard);
-    if shared.shards[shard]
-        .submit(window, metrics, request_bytes, wrapped)
-        .is_err()
-    {
-        shared.metrics.request_rejected();
-        return respond_error(
-            stream,
-            header.op,
-            Status::ShuttingDown,
-            header.request_id,
-            "server is draining",
-        )
-        .is_ok();
-    }
-    let result = rx.recv().unwrap_or(ShardResult {
-        status: Status::ShuttingDown,
-        codec: 0,
-        body: b"shard stopped before the request ran".to_vec(),
-        stream: None,
-        blocks: 0,
-    });
-    if let Some(stream_metrics) = &result.stream {
-        metrics.record_stream(stream_metrics);
-    } else if result.blocks > 0 {
-        metrics.record_blocks(result.blocks);
-    }
-    let ok = respond(
-        stream,
-        header.op,
-        result.codec,
-        result.status,
-        header.request_id,
-        &result.body,
-    )
-    .is_ok();
-    // The slot is held until the response bytes are handed to the socket:
-    // a consumer slower than `write_timeout` keeps its shard's window
-    // occupied (and only its shard's), which is the backpressure contract.
-    shared.shards[shard].release(metrics, result.body.len());
-    ok
-}
-
-#[allow(clippy::too_many_arguments)]
-fn handle_compress(
-    shared: &Arc<ServerShared>,
-    stream: &mut TcpStream,
+/// Validates a compress request and builds its shard job.  Runs on the
+/// event loop — everything here is decode + cheap checks; the codec work is
+/// inside the returned closure.
+pub(crate) fn prepare_compress(
+    shared: &ServerShared,
     header: &FrameHeader,
     body: &[u8],
-    session_codec: Option<CodecId>,
-    session_stage: bool,
-    session_profiles: bool,
-) -> bool {
+    session: &Session,
+) -> Prepared {
     let request = match protocol::CompressRequest::decode_body(body) {
         Ok(r) => r,
-        Err(e) => {
-            shared.metrics.request_rejected();
-            return respond_error(
-                stream,
-                Op::Compress,
-                protocol::status_for(&e),
-                header.request_id,
-                &e.to_string(),
-            )
-            .is_ok();
-        }
+        Err(e) => return Prepared::refuse(protocol::status_for(&e), e.to_string()),
     };
-    let codec = match resolve_codec(shared, header.codec, session_codec) {
+    let codec = match resolve_codec(shared, header.codec, session.codec) {
         Ok(codec) => codec,
-        Err((status, message)) => {
-            shared.metrics.request_rejected();
-            return respond_error(stream, Op::Compress, status, header.request_id, &message)
-                .is_ok();
-        }
+        Err((status, message)) => return Prepared::refuse(status, message),
     };
     let [t, h, w] = request.dims;
     if (t as usize) < request.block_frames as usize {
         // `checked_windows` panics on a zero-window variable; the server
         // must refuse it as a typed error instead.
-        shared.metrics.request_rejected();
-        let message = format!(
-            "variable has {t} timesteps, too few for one {}-frame block",
-            request.block_frames
-        );
-        return respond_error(
-            stream,
-            Op::Compress,
+        return Prepared::refuse(
             Status::Malformed,
-            header.request_id,
-            &message,
-        )
-        .is_ok();
+            format!(
+                "variable has {t} timesteps, too few for one {}-frame block",
+                request.block_frames
+            ),
+        );
     }
     let shard = shared.router.route(&request.key);
     let variable = Variable::new(
@@ -912,20 +578,19 @@ fn handle_compress(
     let stream_config = shared.config.stream;
     let limit = shared.config.max_body as usize;
     let codec_byte = codec.id() as u8;
-    let request_bytes = body.len();
     // Profile-negotiated sessions get the v4 (shared coding profile)
     // container, stage-negotiated sessions the v3 (per-frame gld-lz stage)
     // one; everyone else gets the stage-free v2 stream their decoder
     // predates the stage for.
-    let format = if session_profiles {
+    let format = if session.profiles {
         ContainerFormat::V4
-    } else if session_stage {
+    } else if session.stage {
         ContainerFormat::V3
     } else {
         ContainerFormat::V2
     };
 
-    run_sharded(shared, stream, header, shard, request_bytes, move || {
+    let job: ShardJob = Box::new(move || {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             compress_variable_to_writer_fmt(
                 codec.as_ref(),
@@ -965,41 +630,23 @@ fn handle_compress(
                 blocks: 0,
             },
         }
-    })
+    });
+    Prepared::Job { shard, job }
 }
 
-fn handle_decompress(
-    shared: &Arc<ServerShared>,
-    stream: &mut TcpStream,
-    header: &FrameHeader,
-    body: &[u8],
-) -> bool {
+/// Validates a decompress request and builds its shard job.  The cheap
+/// pre-admission checks (length, codec byte) run here; the full CRC-checked
+/// container decode runs on the shard.
+pub(crate) fn prepare_decompress(shared: &ServerShared, body: &[u8]) -> Prepared {
     let request = match protocol::DecompressRequest::decode_body(body) {
         Ok(r) => r,
-        Err(e) => {
-            shared.metrics.request_rejected();
-            return respond_error(
-                stream,
-                Op::Decompress,
-                protocol::status_for(&e),
-                header.request_id,
-                &e.to_string(),
-            )
-            .is_ok();
-        }
+        Err(e) => return Prepared::refuse(protocol::status_for(&e), e.to_string()),
     };
-    // Cheap pre-admission peek at the container's codec byte; the full
-    // (CRC-checked) decode runs on the shard.
     if request.container.len() < CONTAINER_HEADER_LEN {
-        shared.metrics.request_rejected();
-        return respond_error(
-            stream,
-            Op::Decompress,
+        return Prepared::refuse(
             Status::BadContainer,
-            header.request_id,
             "container shorter than its fixed header",
-        )
-        .is_ok();
+        );
     }
     let codec = match CodecId::from_u8(request.container[6])
         .ok()
@@ -1007,27 +654,21 @@ fn handle_decompress(
     {
         Some(codec) => codec,
         None => {
-            shared.metrics.request_rejected();
-            return respond_error(
-                stream,
-                Op::Decompress,
+            return Prepared::refuse(
                 Status::UnknownCodec,
-                header.request_id,
-                &format!(
+                format!(
                     "container codec id {} is not registered",
                     request.container[6]
                 ),
-            )
-            .is_ok();
+            );
         }
     };
     let shard = shared.router.route(&request.key);
     let codec_byte = codec.id() as u8;
     let container_bytes = request.container;
     let limit = shared.config.max_body as usize;
-    let request_bytes = body.len();
 
-    run_sharded(shared, stream, header, shard, request_bytes, move || {
+    let job: ShardJob = Box::new(move || {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let container = Container::decode(&container_bytes)
                 .map_err(|e| (Status::BadContainer, e.to_string()))?;
@@ -1069,5 +710,6 @@ fn handle_decompress(
                 blocks: 0,
             },
         }
-    })
+    });
+    Prepared::Job { shard, job }
 }

@@ -3,12 +3,21 @@
 //! bytes, truncations of valid frames, and single-bit flips of valid
 //! request *and* response frames (the corruption-detection idiom of
 //! `tests/container_roundtrip.rs`, pointed at the wire layer).
+//!
+//! The pipelined half of the battery points the same discipline at
+//! [`StreamParser`], the incremental decoder behind the event-loop front
+//! end: multi-frame streams with interleaved, duplicate and out-of-order
+//! request ids must reassemble identically however the bytes are split,
+//! and garbage anywhere in the stream must poison the parser (typed
+//! `Fatal`, sticky, no desync) — never panic it.
 
 use gld_core::ErrorTarget;
 use gld_service::protocol::{
-    decode_blocks_body, decode_frame, CompressRequest, DecompressRequest, FrameHeader,
-    HelloRequest, HelloResponse, Op, ProtocolError, RawFrameHeader, Status, HEADER_LEN,
+    self, decode_blocks_body, decode_frame, CompressRequest, DecompressRequest, FrameHeader,
+    HelloRequest, HelloResponse, Op, ProtocolError, RawFrameHeader, Status, StreamEvent,
+    StreamParser, HEADER_LEN, MAX_BODY_LEN,
 };
+use gld_service::{CodecRegistry, Server, ServiceConfig};
 use gld_tensor::Tensor;
 use proptest::prelude::*;
 
@@ -143,6 +152,209 @@ proptest! {
         let _ = HelloResponse::decode_body(&bytes);
         let _ = decode_blocks_body(&bytes);
     }
+}
+
+// ─────────────────── pipelined stream fuzzing ──────────────────────────
+
+/// One valid frame for a pipelined stream: a ping (empty body) or a small
+/// compress request, carrying an arbitrary — possibly duplicate — id.
+fn pipelined_frame(request_id: u64, kind: u8) -> Vec<u8> {
+    if kind.is_multiple_of(2) {
+        FrameHeader::request(Op::Ping, 0, request_id, 0)
+            .encode()
+            .to_vec()
+    } else {
+        let body = CompressRequest {
+            key: format!("pipelined_{request_id}"),
+            block_frames: 2,
+            target: None,
+            dims: [2, 2, 2],
+            data: vec![kind as f32; 8],
+        }
+        .encode_body();
+        let header = FrameHeader::request(Op::Compress, 2, request_id, body.len() as u64);
+        let mut frame = header.encode().to_vec();
+        frame.extend_from_slice(&body);
+        frame
+    }
+}
+
+/// Feeds `stream` to a fresh parser in the given chunk sizes (cycled) and
+/// returns every event the parser produced, pumping after each push.
+fn pump_in_chunks(stream: &[u8], chunks: &[usize]) -> Vec<StreamEvent> {
+    let mut parser = StreamParser::new(MAX_BODY_LEN);
+    let mut events = Vec::new();
+    let mut at = 0;
+    let mut chunk_index = 0;
+    while at < stream.len() {
+        let step = chunks
+            .get(chunk_index % chunks.len().max(1))
+            .copied()
+            .unwrap_or(stream.len())
+            .max(1)
+            .min(stream.len() - at);
+        chunk_index += 1;
+        parser.push(&stream[at..at + step]);
+        at += step;
+        loop {
+            match parser.next_event() {
+                StreamEvent::Incomplete => break,
+                fatal @ StreamEvent::Fatal { .. } => {
+                    events.push(fatal);
+                    return events;
+                }
+                frame => events.push(frame),
+            }
+        }
+    }
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pipelined_streams_reassemble_identically_at_every_split(
+        // Duplicate and out-of-order ids by construction: ids are drawn
+        // from a tiny range, in arbitrary order.  Each spec packs an id
+        // (spec / 4) and a frame kind (spec % 4).
+        specs in prop::collection::vec(0u32..20, 1..6),
+        chunks in prop::collection::vec(1usize..96, 1..16),
+    ) {
+        let mut stream = Vec::new();
+        let mut expected = Vec::new();
+        for &spec in &specs {
+            let (id, kind) = ((spec / 4) as u64, (spec % 4) as u8);
+            let frame = pipelined_frame(id, kind);
+            let (header, body) = decode_frame(&frame).expect("generator emits valid frames");
+            expected.push((header.request_id, header.op, body.to_vec()));
+            stream.extend_from_slice(&frame);
+        }
+
+        let events = pump_in_chunks(&stream, &chunks);
+        prop_assert_eq!(events.len(), expected.len());
+        for (event, (id, op, body)) in events.into_iter().zip(expected) {
+            match event {
+                StreamEvent::Frame(raw, raw_body) => {
+                    prop_assert_eq!(raw.request_id, id);
+                    prop_assert_eq!(raw.op, op as u8);
+                    prop_assert_eq!(raw_body, body);
+                }
+                other => return Err(TestCaseError::fail(format!("expected a frame, got {other:?}"))),
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_streams_poison_the_parser_without_panicking(
+        bytes in prop::collection::vec(0u32..256, 0..128),
+        chunks in prop::collection::vec(1usize..32, 1..8),
+    ) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let mut parser = StreamParser::new(MAX_BODY_LEN);
+        let mut at = 0;
+        let mut chunk_index = 0;
+        let mut fatal = None;
+        while at < bytes.len() {
+            let step = chunks[chunk_index % chunks.len()].min(bytes.len() - at);
+            chunk_index += 1;
+            parser.push(&bytes[at..at + step]);
+            at += step;
+            loop {
+                match parser.next_event() {
+                    StreamEvent::Incomplete => break,
+                    StreamEvent::Fatal { error, request_id } => {
+                        fatal = Some((error, request_id));
+                        break;
+                    }
+                    StreamEvent::Frame(..) => {} // garbage may contain no valid magic
+                }
+            }
+            if fatal.is_some() {
+                break;
+            }
+        }
+        if let Some((error, request_id)) = fatal {
+            // Poisoning is sticky: the same typed event repeats, and
+            // later pushes are ignored rather than re-synchronised.
+            let buffered = parser.buffered();
+            parser.push(&FrameHeader::request(Op::Ping, 0, 1, 0).encode());
+            prop_assert_eq!(parser.buffered(), buffered);
+            match parser.next_event() {
+                StreamEvent::Fatal { error: again, request_id: id_again } => {
+                    prop_assert_eq!(again, error);
+                    prop_assert_eq!(id_again, request_id);
+                }
+                other => return Err(TestCaseError::fail(format!("poison must stick, got {other:?}"))),
+            }
+        }
+    }
+
+    #[test]
+    fn mid_pipeline_garbage_never_desyncs_earlier_frames(
+        specs in prop::collection::vec(0u32..20, 1..4),
+        garbage in prop::collection::vec(0u32..256, HEADER_LEN..64),
+    ) {
+        // Clean frames followed by bytes that cannot open a frame: every
+        // clean frame parses intact, then the parser poisons — it never
+        // reinterprets garbage as a frame boundary.
+        let mut stream = Vec::new();
+        for &spec in &specs {
+            stream.extend_from_slice(&pipelined_frame((spec / 4) as u64, (spec % 4) as u8));
+        }
+        let mut garbage: Vec<u8> = garbage.into_iter().map(|b| b as u8).collect();
+        garbage[0] = b'X'; // guaranteed magic mismatch
+        stream.extend_from_slice(&garbage);
+
+        let events = pump_in_chunks(&stream, &[7]);
+        prop_assert_eq!(events.len(), specs.len() + 1);
+        for (event, &spec) in events.iter().zip(&specs) {
+            match event {
+                StreamEvent::Frame(raw, _) => prop_assert_eq!(raw.request_id, (spec / 4) as u64),
+                other => return Err(TestCaseError::fail(format!("expected a frame, got {other:?}"))),
+            }
+        }
+        prop_assert!(
+            matches!(events.last(), Some(StreamEvent::Fatal { .. })),
+            "garbage after clean frames must poison: {:?}",
+            events.last()
+        );
+    }
+}
+
+#[test]
+fn live_server_answers_batched_duplicate_and_out_of_order_ids() {
+    // Request ids are the client's correlation key, not a server-side
+    // uniqueness constraint: a single write carrying ids [7, 7, 3] gets
+    // exactly three responses whose id multiset is {3, 7, 7}.
+    use std::io::Write as _;
+    let server =
+        Server::start(ServiceConfig::default(), CodecRegistry::rule_based()).expect("start");
+    let addr = server.local_addr();
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+
+    let mut batch = Vec::new();
+    for id in [7u64, 7, 3] {
+        batch.extend_from_slice(&FrameHeader::request(Op::Ping, 0, id, 0).encode());
+    }
+    stream.write_all(&batch).expect("one write, three frames");
+
+    let mut answered = Vec::new();
+    for _ in 0..3 {
+        let (header, _) = protocol::read_frame(&mut stream, MAX_BODY_LEN)
+            .expect("read")
+            .expect("decode");
+        assert_eq!(header.status, Status::Ok);
+        answered.push(header.request_id);
+    }
+    answered.sort_unstable();
+    assert_eq!(
+        answered,
+        [3, 7, 7],
+        "every submitted id answered exactly once"
+    );
+    drop(stream);
+    server.shutdown();
 }
 
 #[test]

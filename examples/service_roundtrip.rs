@@ -8,7 +8,7 @@
 //! ```
 
 use gld_baselines::SzCompressor;
-use gld_core::{Codec, CodecId, Container, ErrorTarget};
+use gld_core::{Codec, CodecId, Container, ErrorTarget, StreamConfig};
 use gld_datasets::{generate, DatasetKind, FieldSpec};
 use gld_service::{CodecRegistry, Server, ServiceClient, ServiceConfig};
 
@@ -47,7 +47,14 @@ fn main() {
     let remote = client
         .compress(&variable.name, variable, 8, target)
         .expect("remote compress");
-    let (local, stats) = SzCompressor::new().compress_variable(variable, 8, target);
+    // The default hello negotiates container v4 shared profiles, so the
+    // matching local call is the profiled one.
+    let (local, stats, _) = SzCompressor::new().compress_variable_profiled(
+        variable,
+        8,
+        target,
+        StreamConfig::default(),
+    );
     assert_eq!(remote, local.encode(), "remote must equal a direct call");
     println!(
         "compressed '{}': {} blocks, {} -> {} bytes (CR {:.1}x), bit-identical to local",

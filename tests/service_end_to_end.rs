@@ -18,7 +18,8 @@ use gld_datasets::{generate, DatasetKind, FieldSpec, Variable};
 use gld_diffusion::ConditionalDiffusion;
 use gld_service::protocol::{self, FrameHeader, Op, Status};
 use gld_service::{
-    ClientError, CodecRegistry, Server, ServiceClient, ServiceConfig, ShardPolicy, ShardRouter,
+    ClientError, CodecRegistry, RateLimit, Reply, Server, ServiceClient, ServiceConfig,
+    ShardPolicy, ShardRouter,
 };
 use gld_tensor::Tensor;
 use gld_vae::Vae;
@@ -523,6 +524,207 @@ fn overloaded_shard_respects_its_window_while_other_shards_flow() {
         "executor memory bound held per shard: {metrics:?}"
     );
     assert!(metrics.shards.iter().all(|s| s.in_flight == 0));
+}
+
+// ──────────────────────── pipelining ───────────────────────────────────
+
+#[test]
+fn soak_200_keepalive_connections_pipelining_mixed_ops_stay_bit_identical() {
+    // 200+ keepalive connections, each holding a pipelined window of mixed
+    // ping/compress/decompress requests open at once, every response
+    // matched back by request id and bit-identical to a local `Codec` call.
+    const CONNS: usize = 200;
+    const VARIANTS: usize = 8;
+
+    let server = start_server(
+        ServiceConfig {
+            shards: 2,
+            ..ServiceConfig::default()
+        },
+        CodecRegistry::rule_based(),
+    );
+    let addr = server.local_addr();
+
+    // Tiny distinct variables, with local profiled (v4, the negotiated
+    // session format) references computed once.
+    let sz = SzCompressor::new();
+    let references: Vec<_> = (0..VARIANTS)
+        .map(|i| {
+            let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 8, 8, 8), i as u64);
+            let variable = ds.variables[0].clone();
+            let (container, _, _) =
+                sz.compress_variable_profiled(&variable, 8, None, StreamConfig::default());
+            let encoded = container.encode();
+            let blocks = sz
+                .decompress_container(&Container::decode(&encoded).expect("decodes"))
+                .expect("local decompress");
+            (variable, encoded, blocks)
+        })
+        .collect();
+
+    // Open every connection and submit each one's full window before
+    // draining any of them: the server holds 200 live pipelined
+    // connections with outstanding work simultaneously.
+    let mut pipes = Vec::with_capacity(CONNS);
+    for conn in 0..CONNS {
+        let mut client = ServiceClient::connect(addr).expect("connect");
+        client.hello(&[CodecId::SzLike]).expect("hello");
+        let mut pipe = client.into_pipelined();
+        let (variable, encoded, _) = &references[conn % VARIANTS];
+        let key = format!("soak/{}", conn % VARIANTS);
+        let mut ids = std::collections::HashMap::new();
+        ids.insert(pipe.submit_ping().expect("submit ping"), "ping");
+        ids.insert(
+            pipe.submit_compress(&key, variable, 8, None)
+                .expect("submit compress"),
+            "compress",
+        );
+        ids.insert(
+            pipe.submit_decompress(&key, encoded)
+                .expect("submit decompress"),
+            "decompress",
+        );
+        ids.insert(pipe.submit_ping().expect("submit ping"), "ping");
+        pipes.push((pipe, ids, conn % VARIANTS));
+    }
+
+    for (mut pipe, mut ids, variant) in pipes {
+        let (_, encoded, blocks) = &references[variant];
+        for (id, reply) in pipe.drain().expect("drain") {
+            match (ids.remove(&id).expect("id matches a submit"), reply) {
+                ("ping", Reply::Pong) => {}
+                ("compress", Reply::Compressed(bytes)) => {
+                    assert_eq!(&bytes, encoded, "pipelined compress differs from local");
+                }
+                ("decompress", Reply::Decompressed(got)) => {
+                    assert_eq!(got.len(), blocks.len());
+                    for (a, b) in got.iter().zip(blocks) {
+                        assert_eq!(a.data(), b.data(), "pipelined decompress differs");
+                    }
+                }
+                (kind, other) => panic!("{kind} answered with {other:?}"),
+            }
+        }
+        assert!(ids.is_empty(), "every submit answered exactly once");
+    }
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.connections_opened, CONNS);
+    assert_eq!(metrics.completed(), CONNS * 2, "2 codec ops per connection");
+    assert_eq!(metrics.requests_rejected, 0);
+    assert!(metrics.shards.iter().all(|s| s.in_flight == 0));
+}
+
+#[test]
+fn responses_come_back_out_of_order_when_earlier_work_is_slower() {
+    // The pipelining contract in one picture: a gated compress submitted
+    // FIRST is answered AFTER a ping submitted behind it — the request id,
+    // not arrival order, is the correlation key.
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let mut registry = CodecRegistry::rule_based();
+    registry.register(Arc::new(GatedCodec {
+        inner: SzCompressor::new(),
+        gate: Arc::clone(&gate),
+    }));
+    let server = start_server(ServiceConfig::default(), registry);
+    let addr = server.local_addr();
+
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 8, 8, 8), 21);
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    client
+        .hello_with_options(&[CodecId::Gld], true, false)
+        .expect("hello");
+    let mut pipe = client.into_pipelined();
+
+    let compress_id = pipe
+        .submit_compress("gated", &ds.variables[0], 4, None)
+        .expect("submit gated compress");
+    let ping_id = pipe.submit_ping().expect("submit ping behind it");
+
+    let (first, reply) = pipe.recv().expect("first reply");
+    assert_eq!(first, ping_id, "the ping overtakes the gated compress");
+    assert!(matches!(reply, Reply::Pong));
+
+    open_gate(&gate);
+    let (second, reply) = pipe.recv().expect("second reply");
+    assert_eq!(second, compress_id);
+    let reference = GatedCodec {
+        inner: SzCompressor::new(),
+        gate: Arc::clone(&gate),
+    }
+    .compress_variable(&ds.variables[0], 4, None)
+    .0
+    .encode();
+    match reply {
+        Reply::Compressed(bytes) => assert_eq!(bytes, reference),
+        other => panic!("expected the compress, got {other:?}"),
+    }
+    drop(pipe);
+    server.shutdown();
+}
+
+#[test]
+fn rate_limited_codec_ops_get_a_typed_status_and_the_connection_survives() {
+    // A token bucket of 2 with no refill: the first two compresses pass,
+    // the next three come back `RateLimited` — typed, per-request, with
+    // the connection (and its pings, which are not rate-limited) intact.
+    let server = start_server(
+        ServiceConfig {
+            rate_limit: Some(RateLimit {
+                capacity: 2,
+                refill_per_sec: 0.0,
+            }),
+            ..ServiceConfig::default()
+        },
+        CodecRegistry::rule_based(),
+    );
+    let addr = server.local_addr();
+
+    let ds = generate(DatasetKind::E3sm, &FieldSpec::new(1, 8, 8, 8), 31);
+    let variable = &ds.variables[0];
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    client.hello(&[CodecId::SzLike]).expect("hello");
+    let mut pipe = client.into_pipelined();
+
+    let mut ids = Vec::new();
+    for i in 0..5 {
+        ids.push(
+            pipe.submit_compress(&format!("rl/{i}"), variable, 8, None)
+                .expect("submit compress"),
+        );
+    }
+    let ping_id = pipe.submit_ping().expect("pings are not rate-limited");
+
+    let mut compressed = 0;
+    let mut limited = 0;
+    let mut ponged = 0;
+    for (id, reply) in pipe.drain().expect("drain") {
+        match reply {
+            Reply::Compressed(_) => {
+                assert!(ids.contains(&id));
+                compressed += 1;
+            }
+            Reply::Refused { status, .. } => {
+                assert_eq!(status, Status::RateLimited, "typed rate-limit status");
+                assert!(ids.contains(&id));
+                limited += 1;
+            }
+            Reply::Pong => {
+                assert_eq!(id, ping_id);
+                ponged += 1;
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!((compressed, limited, ponged), (2, 3, 1));
+
+    // The connection keeps serving, and the refusals are accounted.
+    pipe.submit_ping().expect("submit after refusals");
+    pipe.drain().expect("connection still healthy");
+    let metrics = server.shutdown();
+    assert_eq!(metrics.requests_rate_limited, 3);
+    assert!(metrics.requests_rejected >= 3);
+    assert_eq!(metrics.completed(), 2);
 }
 
 // ───────────────────── graceful shutdown ───────────────────────────────
