@@ -1,0 +1,71 @@
+//! `chaos_proxy` — standalone front end for the chaos TCP proxy in
+//! `gld_service::chaos`, used by CI's chaos smoke job to put a fault
+//! injector between `gld-service-check` and `gld-serviced`.
+//!
+//! ```text
+//! chaos_proxy --upstream HOST:PORT [--seed N]
+//!             [--latency MS:PROB] [--partial PROB] [--corrupt PROB]
+//!             [--stall MS:PROB] [--reset PROB] [--budget N]
+//! ```
+//!
+//! Prints `chaos-proxy listening on HOST:PORT` once ready (the readiness
+//! line scripts wait for, mirroring `gld-serviced`), then serves until
+//! killed.  Probabilities are per forwarded chunk, in `[0, 1]`.
+
+use gld_service::chaos::{ChaosConfig, ChaosProxy};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    let value = args
+        .next()
+        .unwrap_or_else(|| panic!("{flag} requires a value"));
+    value
+        .parse()
+        .unwrap_or_else(|_| panic!("{flag}: cannot parse {value:?}"))
+}
+
+/// Parses `MS:PROB` into a `(Duration, probability)` pair.
+fn parse_timed(spec: &str, flag: &str) -> (Duration, f64) {
+    let (ms, prob) = spec
+        .split_once(':')
+        .unwrap_or_else(|| panic!("{flag} takes MS:PROB"));
+    (
+        Duration::from_millis(ms.parse().unwrap_or_else(|_| panic!("{flag} milliseconds"))),
+        prob.parse()
+            .unwrap_or_else(|_| panic!("{flag} probability")),
+    )
+}
+
+fn main() {
+    let mut upstream: Option<SocketAddr> = None;
+    let mut config = ChaosConfig::default();
+    let mut args = std::env::args();
+    let _ = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--upstream" => upstream = Some(parse_flag(&mut args, "--upstream")),
+            "--seed" => config.seed = parse_flag(&mut args, "--seed"),
+            "--latency" => {
+                let spec: String = parse_flag(&mut args, "--latency");
+                config.latency = Some(parse_timed(&spec, "--latency"));
+            }
+            "--partial" => config.partial_write_prob = parse_flag(&mut args, "--partial"),
+            "--corrupt" => config.corrupt_prob = parse_flag(&mut args, "--corrupt"),
+            "--stall" => {
+                let spec: String = parse_flag(&mut args, "--stall");
+                config.stall = Some(parse_timed(&spec, "--stall"));
+            }
+            "--reset" => config.reset_prob = parse_flag(&mut args, "--reset"),
+            "--budget" => config.fault_budget = Some(parse_flag(&mut args, "--budget")),
+            other => panic!("unknown flag {other:?} (see the crate docs)"),
+        }
+    }
+    let upstream = upstream.expect("--upstream HOST:PORT is required");
+    let proxy = ChaosProxy::start(upstream, config).expect("bind chaos proxy");
+    // The readiness line scripts wait for.
+    println!("chaos-proxy listening on {} -> {upstream}", proxy.addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -600,6 +600,39 @@ fn encode_header(out: &mut Vec<u8>, version: u16, codec: CodecId, count: u32) {
     out.extend_from_slice(&count.to_le_bytes());
 }
 
+/// The `container.frame` failpoint: with `corrupt` armed, flips the last
+/// pre-CRC byte of the frame just appended to `out` — after its checksum
+/// was computed, so the damage models exactly the stored-container bit-rot
+/// [`Container::decode_salvage`] exists to survive.
+fn inject_frame_fault(out: &mut [u8]) {
+    if !fail::active() {
+        return;
+    }
+    match fail::check("container.frame") {
+        Some(fail::Action::Corrupt) => {
+            let at = out.len() - FRAME_CRC_LEN - 1;
+            out[at] ^= 0xFF;
+        }
+        Some(fail::Action::Delay(d)) => std::thread::sleep(d),
+        _ => {}
+    }
+}
+
+/// The `container.destage` failpoint: forces a stage-decode failure (or a
+/// stall) as if the staged payload were unreadable.
+fn inject_destage_fault() -> Option<ContainerError> {
+    if !fail::active() {
+        return None;
+    }
+    match fail::check("container.destage")? {
+        fail::Action::Delay(d) => {
+            std::thread::sleep(d);
+            None
+        }
+        _ => Some(ContainerError::Corrupt("injected de-stage fault")),
+    }
+}
+
 /// Appends one v3 frame: stage byte, length-prefixed payload, CRC over the
 /// stage byte and payload.
 fn encode_v3_frame(out: &mut Vec<u8>, raw: &[u8], lz: Option<&[u8]>) {
@@ -613,6 +646,7 @@ fn encode_v3_frame(out: &mut Vec<u8>, raw: &[u8], lz: Option<&[u8]>) {
     crc.update(&[stage]);
     crc.update(payload);
     out.extend_from_slice(&crc.finish().to_le_bytes());
+    inject_frame_fault(out);
 }
 
 /// Encoded length of one v3 frame given the stage decision.
@@ -634,6 +668,7 @@ fn encode_v4_frame(out: &mut Vec<u8>, raw: &[u8], profile: u8, lz: Option<&[u8]>
     crc.update(&[stage, profile]);
     crc.update(payload);
     out.extend_from_slice(&crc.finish().to_le_bytes());
+    inject_frame_fault(out);
 }
 
 /// Encoded length of one v4 frame given the stage decision.
@@ -1262,6 +1297,9 @@ impl Container {
                         profiled_lz.push(None);
                     }
                     STAGE_LZ => {
+                        if let Some(e) = inject_destage_fault() {
+                            return Err(e);
+                        }
                         let raw = if profile == 0 {
                             gld_lz::decompress(payload, destage_budget)
                         } else {
@@ -1315,6 +1353,9 @@ impl Container {
                         staged.push(StageCache::Raw);
                     }
                     STAGE_LZ => {
+                        if let Some(e) = inject_destage_fault() {
+                            return Err(e);
+                        }
                         let raw = gld_lz::decompress(payload, destage_budget).map_err(|error| {
                             ContainerError::StageDecode {
                                 block: index,
@@ -1389,6 +1430,464 @@ impl Container {
         reader.read_to_end(&mut bytes)?;
         Ok(Self::decode(&bytes))
     }
+
+    /// Best-effort decode of a damaged container: where [`Container::decode`]
+    /// fails the whole stream on the first bad byte, salvage keeps every
+    /// frame whose checksum still holds and reports the rest as typed
+    /// losses instead.
+    ///
+    /// What it survives, per damage site:
+    ///
+    /// * **Frame payload / CRC damage** — the frame is lost, every other
+    ///   frame is recovered (the per-frame CRC is the oracle).
+    /// * **Frame length-prefix damage** — framing is re-synchronised by
+    ///   scanning for the next offset from which a checksum-valid frame
+    ///   chain runs to the end of the input; the frames behind the damage
+    ///   come back under their correct indices.
+    /// * **A damaged v4 profile table** — profile-referencing staged frames
+    ///   are lost (their coder state is gone), but cold frames (profile id
+    ///   0) and raw-stored frames still decode.
+    /// * **A lost dictionary frame** — v4 frames whose profile seeds the
+    ///   stage window from block 0 ([`DictMode::FirstBlock`]) are reported
+    ///   lost when block 0 itself did not survive, instead of de-staging
+    ///   garbage.
+    /// * **Truncation** — everything before the cut is recovered.
+    ///
+    /// Only an unusable fixed header (bad magic, unknown version or codec,
+    /// an incompatible coder flag) makes salvage itself fail: without it
+    /// there is no codec identity to hand the frames to.  v1 streams carry
+    /// no checksums, so their salvage is structural only — undetected
+    /// corruption decodes as-is, exactly like [`Container::decode`].
+    ///
+    /// Recovered frames are bit-identical to the originals (CRC-vetted,
+    /// v2+); the report pairs every lost index with the typed reason, so
+    /// `recovered + lost = declared` accounts for every frame.
+    pub fn decode_salvage(bytes: &[u8]) -> Result<Salvage, ContainerError> {
+        let mut reader = ByteReader::new(bytes);
+        let magic: [u8; 4] = reader.take(4)?.try_into().unwrap();
+        if magic != MAGIC {
+            return Err(ContainerError::BadMagic(magic));
+        }
+        let version = reader.read_u16()?;
+        if !(VERSION_V1..=VERSION_V4).contains(&version) {
+            return Err(ContainerError::UnsupportedVersion(version));
+        }
+        let codec = CodecId::from_u8(reader.read_u8()?)?;
+        let flags = reader.read_u8()?;
+        if version < VERSION {
+            if flags != 0 {
+                return Err(ContainerError::Corrupt("nonzero reserved flags"));
+            }
+        } else if flags & FLAG_RANGE_CODED == 0 {
+            return Err(ContainerError::IncompatibleEntropyCoder { version, codec });
+        }
+        let declared = reader.read_u32()? as usize;
+        // Bound every allocation by what the input could physically hold: a
+        // corrupted count byte must not become an allocation bomb.
+        let min_frame = match version {
+            VERSION_V4 => FRAME_STAGE_LEN + 1 + 8 + FRAME_CRC_LEN,
+            VERSION => FRAME_STAGE_LEN + 8 + FRAME_CRC_LEN,
+            VERSION_V2 => 8 + FRAME_CRC_LEN,
+            _ => 8,
+        };
+        let count = declared.min(bytes.len().saturating_sub(reader.pos) / min_frame + 1);
+
+        let mut profiles = Vec::new();
+        let mut profile_table_error = None;
+        let mut needs_resync = false;
+        if version == VERSION_V4 {
+            let table_start = reader.pos;
+            match decode_profile_table(&mut reader, codec) {
+                Ok(p) => profiles = p,
+                Err(error) => {
+                    profile_table_error = Some(error);
+                    // Find the table's extent structurally (stage byte +
+                    // length-prefixed payload + CRC) so the frames behind it
+                    // stay reachable — but only trust that extent when a
+                    // checksum-valid frame chain actually starts there.  A
+                    // damaged table *length prefix* fails the test and falls
+                    // into the frame-chain resync instead.
+                    let extent = {
+                        let mut probe = ByteReader::new(bytes);
+                        probe.pos = table_start;
+                        probe
+                            .read_u8()
+                            .and_then(|_| probe.read_section())
+                            .and_then(|_| probe.read_u32())
+                            .map(|_| probe.pos)
+                    };
+                    match extent {
+                        Ok(end)
+                            if (count == 0 && end == bytes.len())
+                                || salvage_scan_chain(bytes, end, version, count)
+                                    == Some(count) =>
+                        {
+                            reader.pos = end;
+                        }
+                        _ => {
+                            // Rewind so the resync scan starts at the
+                            // damaged table, not wherever its decode died.
+                            reader.pos = table_start;
+                            needs_resync = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut frames: Vec<Option<Vec<u8>>> = Vec::with_capacity(count.min(1 << 20));
+        let mut lost: Vec<LostFrame> = Vec::new();
+        let mut budget = MAX_DESTAGE_BUDGET;
+        let mut index = 0usize;
+        let unreachable = ContainerError::Corrupt("frame unreachable behind damaged framing");
+
+        // Marks every frame up to (not including) `upto` as lost.
+        fn lose_until(
+            upto: usize,
+            index: &mut usize,
+            frames: &mut Vec<Option<Vec<u8>>>,
+            lost: &mut Vec<LostFrame>,
+            error: &ContainerError,
+        ) {
+            while *index < upto {
+                frames.push(None);
+                lost.push(LostFrame {
+                    block: *index,
+                    error: error.clone(),
+                });
+                *index += 1;
+            }
+        }
+
+        if needs_resync {
+            match salvage_resync(bytes, reader.pos + 1, version, count) {
+                Some((offset, found)) => {
+                    lose_until(
+                        count - found,
+                        &mut index,
+                        &mut frames,
+                        &mut lost,
+                        &unreachable,
+                    );
+                    reader.pos = offset;
+                }
+                None => lose_until(count, &mut index, &mut frames, &mut lost, &unreachable),
+            }
+        }
+
+        while index < count {
+            match salvage_parse_frame(bytes, reader.pos, version, index) {
+                Ok((stage, profile, payload, next)) => {
+                    reader.pos = next;
+                    match salvage_destage(
+                        stage,
+                        profile,
+                        payload,
+                        index,
+                        version,
+                        &profiles,
+                        profile_table_error.is_some(),
+                        &frames,
+                        &mut budget,
+                    ) {
+                        Ok(block) => frames.push(Some(block)),
+                        Err(error) => {
+                            frames.push(None);
+                            lost.push(LostFrame {
+                                block: index,
+                                error,
+                            });
+                        }
+                    }
+                    index += 1;
+                }
+                Err(damage) => {
+                    let scan_from = reader.pos + 1;
+                    frames.push(None);
+                    lost.push(LostFrame {
+                        block: index,
+                        error: damage.error,
+                    });
+                    index += 1;
+                    // First try trusting the frame's declared extent —
+                    // payload or checksum damage leaves the boundaries
+                    // intact, and the stream behind them validates.
+                    if let Some(skip) = damage.skip_to {
+                        if skip == bytes.len()
+                            || salvage_parse_frame(bytes, skip, version, index).is_ok()
+                        {
+                            reader.pos = skip;
+                            continue;
+                        }
+                    }
+                    // The length prefix itself is untrustworthy: hunt for
+                    // the next offset from which a checksum-valid frame
+                    // chain reaches the end of the input, and map its
+                    // frames back onto the trailing indices.
+                    match salvage_resync(bytes, scan_from, version, count - index) {
+                        Some((offset, found)) => {
+                            lose_until(
+                                count - found,
+                                &mut index,
+                                &mut frames,
+                                &mut lost,
+                                &unreachable,
+                            );
+                            reader.pos = offset;
+                        }
+                        None => lose_until(count, &mut index, &mut frames, &mut lost, &unreachable),
+                    }
+                }
+            }
+        }
+
+        Ok(Salvage {
+            frames,
+            report: SalvageReport {
+                codec,
+                version,
+                declared_frames: declared,
+                lost,
+                profile_table_error,
+            },
+        })
+    }
+}
+
+/// One frame [`Container::decode_salvage`] could not recover.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LostFrame {
+    /// The frame's index in the container's declared order.
+    pub block: usize,
+    /// Why it is unrecoverable.
+    pub error: ContainerError,
+}
+
+/// What [`Container::decode_salvage`] learned about a damaged container.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SalvageReport {
+    /// The codec the container's frames belong to.
+    pub codec: CodecId,
+    /// Container wire version.
+    pub version: u16,
+    /// The header's frame count — what an undamaged decode would return.
+    pub declared_frames: usize,
+    /// Every unrecovered frame in index order, with its typed reason.
+    pub lost: Vec<LostFrame>,
+    /// The error that invalidated the v4 profile table, when it was hit:
+    /// profile-referencing staged frames are lost, cold frames survive.
+    pub profile_table_error: Option<ContainerError>,
+}
+
+/// Best-effort decode result: one slot per declared frame — recovered
+/// bytes or `None` — plus the account of what was lost and why.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Salvage {
+    /// `frames[i]` holds frame `i`'s bytes when it was recovered.
+    pub frames: Vec<Option<Vec<u8>>>,
+    /// Recovery/loss accounting for the whole container.
+    pub report: SalvageReport,
+}
+
+impl Salvage {
+    /// Number of recovered frames.
+    pub fn recovered(&self) -> usize {
+        self.frames.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Indices of the recovered frames, ascending.
+    pub fn recovered_indices(&self) -> Vec<usize> {
+        self.frames
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|_| i))
+            .collect()
+    }
+
+    /// Whether every declared frame came back and the profile table (if
+    /// any) was intact — i.e. the container needed no salvage at all.
+    pub fn is_complete(&self) -> bool {
+        self.report.lost.is_empty()
+            && self.report.profile_table_error.is_none()
+            && self.frames.len() == self.report.declared_frames
+    }
+}
+
+/// Structural damage found while parsing one frame during salvage.
+struct FrameDamage {
+    error: ContainerError,
+    /// Where the frame's length prefix claims the next frame starts, when
+    /// the prefix itself was readable and in bounds.  `None` when even the
+    /// framing is unreadable (truncation, out-of-range section length).
+    skip_to: Option<usize>,
+}
+
+/// Parses the frame at `pos` without de-staging it: `(stage, profile,
+/// payload, next_pos)` when the frame is structurally sound and (v2+) its
+/// checksum holds.  Versions below v4 report profile 0; versions below v3
+/// report [`STAGE_NONE`].
+fn salvage_parse_frame(
+    bytes: &[u8],
+    pos: usize,
+    version: u16,
+    block: usize,
+) -> Result<(u8, u8, &[u8], usize), FrameDamage> {
+    let mut reader = ByteReader::new(bytes);
+    reader.pos = pos;
+    let hard = |error: ContainerError| FrameDamage {
+        error,
+        skip_to: None,
+    };
+    if version == VERSION_V1 {
+        let payload = reader.read_section().map_err(hard)?;
+        return Ok((STAGE_NONE, 0, payload, reader.pos));
+    }
+    if version == VERSION_V2 {
+        let payload = reader.read_section().map_err(hard)?;
+        let stored = reader.read_u32().map_err(hard)?;
+        let next = reader.pos;
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(FrameDamage {
+                error: ContainerError::ChecksumMismatch {
+                    block,
+                    stored,
+                    computed,
+                },
+                skip_to: Some(next),
+            });
+        }
+        return Ok((STAGE_NONE, 0, payload, next));
+    }
+    let stage = reader.read_u8().map_err(hard)?;
+    let profile = if version == VERSION_V4 {
+        reader.read_u8().map_err(hard)?
+    } else {
+        0
+    };
+    let payload = reader.read_section().map_err(hard)?;
+    let stored = reader.read_u32().map_err(hard)?;
+    let next = reader.pos;
+    let mut crc = Crc32::new();
+    if version == VERSION_V4 {
+        crc.update(&[stage, profile]);
+    } else {
+        crc.update(&[stage]);
+    }
+    crc.update(payload);
+    let computed = crc.finish();
+    if stored != computed {
+        return Err(FrameDamage {
+            error: ContainerError::ChecksumMismatch {
+                block,
+                stored,
+                computed,
+            },
+            skip_to: Some(next),
+        });
+    }
+    if stage > STAGE_LZ {
+        return Err(FrameDamage {
+            error: ContainerError::UnknownStage { block, stage },
+            skip_to: Some(next),
+        });
+    }
+    Ok((stage, profile, payload, next))
+}
+
+/// Counts the checksum-valid frame chain running from `start` to *exactly*
+/// the end of the input.  `None` when any frame fails, the chain overruns
+/// `max_frames`, or (v1) there is no checksum oracle to validate against.
+/// Cheap at bogus offsets: a random 8-byte length prefix is almost always
+/// out of bounds and rejects before any checksum work.
+fn salvage_scan_chain(
+    bytes: &[u8],
+    start: usize,
+    version: u16,
+    max_frames: usize,
+) -> Option<usize> {
+    if version == VERSION_V1 {
+        return None;
+    }
+    let mut pos = start;
+    let mut frames = 0usize;
+    while pos < bytes.len() {
+        let (_, _, _, next) = salvage_parse_frame(bytes, pos, version, 0).ok()?;
+        frames += 1;
+        if frames > max_frames {
+            return None;
+        }
+        pos = next;
+    }
+    (frames > 0).then_some(frames)
+}
+
+/// Scans forward from `from` for the first offset where a checksum-valid
+/// frame chain of at most `max_frames` frames reaches exactly the end of
+/// the input — the resynchronisation point after framing damage.
+fn salvage_resync(
+    bytes: &[u8],
+    from: usize,
+    version: u16,
+    max_frames: usize,
+) -> Option<(usize, usize)> {
+    if max_frames == 0 {
+        return None;
+    }
+    (from..bytes.len()).find_map(|start| {
+        salvage_scan_chain(bytes, start, version, max_frames).map(|frames| (start, frames))
+    })
+}
+
+/// De-stages one structurally-sound frame during salvage, resolving its
+/// profile against whatever survived of the table and its dictionary
+/// against whatever earlier frames were recovered.
+#[allow(clippy::too_many_arguments)]
+fn salvage_destage(
+    stage: u8,
+    profile: u8,
+    payload: &[u8],
+    block: usize,
+    version: u16,
+    profiles: &[EntropyProfile],
+    table_lost: bool,
+    frames: &[Option<Vec<u8>>],
+    budget: &mut usize,
+) -> Result<Vec<u8>, ContainerError> {
+    if stage == STAGE_NONE {
+        return Ok(payload.to_vec());
+    }
+    let raw = if version == VERSION_V4 && profile != 0 {
+        if table_lost {
+            return Err(ContainerError::Corrupt(
+                "staged frame references the damaged profile table",
+            ));
+        }
+        let entry = profiles
+            .get(profile as usize - 1)
+            .ok_or(ContainerError::UnknownProfile { block, profile })?;
+        let lz = entry.lz.as_ref().ok_or(ContainerError::Corrupt(
+            "staged frame references a profile without a stage snapshot",
+        ))?;
+        let dict: &[u8] = match entry.dict_mode {
+            DictMode::None => &[],
+            DictMode::FirstBlock if block == 0 => &[],
+            DictMode::FirstBlock => match frames.first().and_then(|f| f.as_deref()) {
+                Some(first) => first,
+                None => {
+                    return Err(ContainerError::Corrupt(
+                        "dictionary frame (block 0) was not recovered",
+                    ))
+                }
+            },
+        };
+        gld_lz::decompress_profiled(payload, dict, lz, *budget)
+    } else {
+        gld_lz::decompress(payload, *budget)
+    }
+    .map_err(|error| ContainerError::StageDecode { block, error })?;
+    *budget = (*budget).saturating_sub(raw.len());
+    Ok(raw)
 }
 
 /// Which wire format a [`ContainerWriter`] emits — v4 with the shared

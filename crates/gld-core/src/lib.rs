@@ -43,6 +43,7 @@ pub use codec::{
 };
 pub use container::{
     CodecId, Container, ContainerError, ContainerFormat, ContainerWriter, DictMode, EntropyProfile,
+    LostFrame, Salvage, SalvageReport,
 };
 pub use error_bound::{ErrorBoundConfig, ErrorBoundOutcome, PcaErrorBound};
 pub use executor::{fit_variable_profile, StageMode, StreamConfig, StreamMetrics, WarmProfile};

@@ -20,18 +20,26 @@
 use gld_baselines::{SzCompressor, ZfpLikeCompressor};
 use gld_core::{Codec, CodecId, Container, ErrorTarget, StreamConfig};
 use gld_datasets::{generate, DatasetKind, FieldSpec};
-use gld_service::{ClientError, Reply, ServiceClient, Status};
+use gld_service::{Backoff, ClientError, Reply, ServiceClient, Status};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 fn connect_with_retry(addr: &str) -> ServiceClient {
+    // The same jittered exponential backoff `ResilientClient` uses, seeded
+    // per process so parallel checks against one booting server do not
+    // busy-dial in lockstep.
+    let mut backoff = Backoff::new(
+        Duration::from_millis(50),
+        Duration::from_secs(2),
+        std::process::id() as u64,
+    );
     let deadline = Instant::now() + Duration::from_secs(20);
     loop {
         match ServiceClient::connect(addr) {
             Ok(client) => return client,
             Err(e) if Instant::now() < deadline => {
                 eprintln!("waiting for {addr}: {e}");
-                std::thread::sleep(Duration::from_millis(250));
+                backoff.sleep();
             }
             Err(e) => panic!("could not reach {addr} within 20s: {e}"),
         }

@@ -10,6 +10,7 @@
 //! gld-serviced [--addr HOST:PORT] [--shards N] [--window N]
 //!              [--queue-depth N] [--round-robin]
 //!              [--max-outstanding N] [--rate-limit CAPACITY:PER_SEC]
+//!              [--idle-timeout SECS] [--op-deadline MS]
 //! ```
 
 use gld_service::{CodecRegistry, RateLimit, Server, ServiceConfig, ShardPolicy};
@@ -49,6 +50,18 @@ fn main() {
                     capacity: capacity.parse().expect("--rate-limit capacity"),
                     refill_per_sec: per_sec.parse().expect("--rate-limit per-second refill"),
                 });
+            }
+            "--idle-timeout" => {
+                config.idle_timeout = Some(std::time::Duration::from_secs(parse_flag(
+                    &mut args,
+                    "--idle-timeout",
+                )));
+            }
+            "--op-deadline" => {
+                config.op_deadline = Some(std::time::Duration::from_millis(parse_flag(
+                    &mut args,
+                    "--op-deadline",
+                )));
             }
             other => panic!("unknown flag {other:?} (see the crate docs)"),
         }

@@ -1,0 +1,350 @@
+//! Chaos TCP proxy: a man-in-the-middle for resilience testing that
+//! forwards bytes between clients and one upstream server while injecting
+//! latency, partial writes, byte corruption, stalls, and connection
+//! resets.  Shared by `tests/service_chaos.rs` and the `gld-bench`
+//! `chaos_proxy` binary (the CI smoke job boots `gld-serviced` behind it
+//! and gates on `gld-service-check`).
+//!
+//! Fault decisions come from a deterministic xorshift stream, so a seeded
+//! run injects the same faults at the same byte boundaries every time.
+//! An optional **fault budget** caps total injections; once it is spent
+//! the proxy turns transparent, which guarantees that a workload driven by
+//! a retrying client eventually completes.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What the proxy injects, and how often.  Probabilities are per forwarded
+/// chunk (one upstream or downstream `read`), in `[0, 1]`.  The default is
+/// fully transparent.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Seed for the deterministic fault stream.
+    pub seed: u64,
+    /// Added one-way delay: `(delay, probability)`.
+    pub latency: Option<(Duration, f64)>,
+    /// Probability of splitting a chunk into two writes with a small pause
+    /// between them (exercises partial-read reassembly on both sides).
+    pub partial_write_prob: f64,
+    /// Probability of flipping one byte in a chunk (exercises checksum and
+    /// protocol validation downstream).
+    pub corrupt_prob: f64,
+    /// A long one-way pause, `(duration, probability)` (exercises read
+    /// timeouts).
+    pub stall: Option<(Duration, f64)>,
+    /// Probability of killing the connection mid-chunk (exercises
+    /// reconnect-and-retry).
+    pub reset_prob: f64,
+    /// Cap on total injected faults; `None` is unlimited.  A spent budget
+    /// makes the proxy transparent, so retried workloads terminate.
+    pub fault_budget: Option<u64>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0x9E37_79B9_7F4A_7C15,
+            latency: None,
+            partial_write_prob: 0.0,
+            corrupt_prob: 0.0,
+            stall: None,
+            reset_prob: 0.0,
+            fault_budget: None,
+        }
+    }
+}
+
+struct ProxyShared {
+    config: ChaosConfig,
+    shutdown: AtomicBool,
+    /// Remaining fault budget (`u64::MAX` when unlimited).
+    budget: AtomicU64,
+    faults: AtomicU64,
+    rng: Mutex<u64>,
+}
+
+impl ProxyShared {
+    /// Rolls the fault stream against `prob`; a win consumes one unit of
+    /// budget and counts as an injected fault.
+    fn roll(&self, prob: f64) -> bool {
+        if prob <= 0.0 {
+            return false;
+        }
+        let unit = {
+            let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+            *rng ^= *rng << 13;
+            *rng ^= *rng >> 7;
+            *rng ^= *rng << 17;
+            (*rng >> 11) as f64 / (1u64 << 53) as f64
+        };
+        if unit >= prob {
+            return false;
+        }
+        // Spend budget; a spent budget refuses the fault (transparent mode).
+        if self
+            .budget
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| b.checked_sub(1))
+            .is_err()
+        {
+            return false;
+        }
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// A uniform index into `len` bytes (for picking the byte to corrupt).
+    fn pick(&self, len: usize) -> usize {
+        let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        (*rng >> 11) as usize % len.max(1)
+    }
+}
+
+/// A running chaos proxy.  Dropping it (or calling
+/// [`ChaosProxy::stop`]) shuts the listener and every relay down.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral local port and starts proxying every accepted
+    /// connection to `upstream` under `config`'s fault schedule.
+    pub fn start(upstream: SocketAddr, config: ChaosConfig) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let budget = config.fault_budget.unwrap_or(u64::MAX);
+        let seed = config.seed | 1;
+        let shared = Arc::new(ProxyShared {
+            config,
+            shutdown: AtomicBool::new(false),
+            budget: AtomicU64::new(budget),
+            faults: AtomicU64::new(0),
+            rng: Mutex::new(seed),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            let mut relays: Vec<JoinHandle<()>> = Vec::new();
+            loop {
+                if accept_shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        match TcpStream::connect(upstream) {
+                            Ok(server) => {
+                                let _ = client.set_nodelay(true);
+                                let _ = server.set_nodelay(true);
+                                // Two relay threads per connection, one per
+                                // direction; each rolls its own faults.
+                                if let (Ok(c2), Ok(s2)) = (client.try_clone(), server.try_clone()) {
+                                    let up = Arc::clone(&accept_shared);
+                                    let down = Arc::clone(&accept_shared);
+                                    relays.push(std::thread::spawn(move || {
+                                        relay(client, server, up);
+                                    }));
+                                    relays.push(std::thread::spawn(move || {
+                                        relay(s2, c2, down);
+                                    }));
+                                }
+                            }
+                            // Upstream refused: drop the client, exactly
+                            // like a dead server would.
+                            Err(_) => drop(client),
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+            for relay in relays {
+                let _ = relay.join();
+            }
+        });
+        Ok(ChaosProxy {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listening address — what clients dial instead of the
+    /// real server.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.shared.faults.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, tears every relay down, and joins the threads.
+    pub fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Forwards `src` to `dst` chunk by chunk, rolling the fault schedule per
+/// chunk, until EOF, an unrecoverable socket error, an injected reset, or
+/// proxy shutdown.
+fn relay(mut src: TcpStream, mut dst: TcpStream, shared: Arc<ProxyShared>) {
+    // Short read timeout so the shutdown flag is observed promptly.
+    let _ = src.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        match src.read(&mut chunk) {
+            Ok(0) => {
+                // Propagate the half-close so protocol-level EOF semantics
+                // survive the proxy.
+                let _ = dst.shutdown(Shutdown::Write);
+                break;
+            }
+            Ok(n) => {
+                let config = &shared.config;
+                if shared.roll(config.reset_prob) {
+                    let _ = src.shutdown(Shutdown::Both);
+                    let _ = dst.shutdown(Shutdown::Both);
+                    break;
+                }
+                if let Some((duration, prob)) = config.stall {
+                    if shared.roll(prob) {
+                        std::thread::sleep(duration);
+                    }
+                }
+                if let Some((delay, prob)) = config.latency {
+                    if shared.roll(prob) {
+                        std::thread::sleep(delay);
+                    }
+                }
+                if shared.roll(config.corrupt_prob) {
+                    let at = shared.pick(n);
+                    chunk[at] ^= 0xFF;
+                }
+                let split = if n > 1 && shared.roll(config.partial_write_prob) {
+                    1 + shared.pick(n - 1)
+                } else {
+                    n
+                };
+                if dst.write_all(&chunk[..split]).is_err() {
+                    let _ = src.shutdown(Shutdown::Both);
+                    break;
+                }
+                if split < n {
+                    let _ = dst.flush();
+                    std::thread::sleep(Duration::from_millis(2));
+                    if dst.write_all(&chunk[split..n]).is_err() {
+                        let _ = src.shutdown(Shutdown::Both);
+                        break;
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(_) => {
+                let _ = dst.shutdown(Shutdown::Both);
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An echo server good enough to proxy against.
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let addr = listener.local_addr().expect("echo addr");
+        let thread = std::thread::spawn(move || {
+            // Serve exactly the connections the tests open.
+            for stream in listener.incoming().take(2) {
+                let Ok(mut stream) = stream else { break };
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 1024];
+                    while let Ok(n) = stream.read(&mut buf) {
+                        if n == 0 || stream.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, thread)
+    }
+
+    #[test]
+    fn transparent_proxy_relays_bytes_both_ways() {
+        let (upstream, _echo) = echo_server();
+        let mut proxy = ChaosProxy::start(upstream, ChaosConfig::default()).expect("proxy");
+        let mut client = TcpStream::connect(proxy.addr()).expect("dial proxy");
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        client.write_all(b"chaos says hi").expect("send");
+        let mut back = [0u8; 13];
+        client.read_exact(&mut back).expect("echo back");
+        assert_eq!(&back, b"chaos says hi");
+        assert_eq!(proxy.faults_injected(), 0, "transparent by default");
+        proxy.stop();
+    }
+
+    #[test]
+    fn fault_budget_caps_injections_then_goes_transparent() {
+        let (upstream, _echo) = echo_server();
+        let mut proxy = ChaosProxy::start(
+            upstream,
+            ChaosConfig {
+                corrupt_prob: 1.0,
+                fault_budget: Some(1),
+                ..ChaosConfig::default()
+            },
+        )
+        .expect("proxy");
+        let mut client = TcpStream::connect(proxy.addr()).expect("dial proxy");
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        // First chunk eats the whole budget (corrupted on the way up),
+        // later chunks pass untouched.
+        client.write_all(b"aaaa").expect("send");
+        let mut first = [0u8; 4];
+        client.read_exact(&mut first).expect("echo back");
+        assert_ne!(&first, b"aaaa", "the single budgeted fault fired");
+        client.write_all(b"bbbb").expect("send");
+        let mut second = [0u8; 4];
+        client.read_exact(&mut second).expect("echo back");
+        assert_eq!(&second, b"bbbb", "budget spent, proxy is transparent");
+        assert_eq!(proxy.faults_injected(), 1);
+        proxy.stop();
+    }
+}

@@ -115,6 +115,53 @@ impl ServiceClient {
         })
     }
 
+    /// Connects with a bound on how long the TCP dial may take.  The
+    /// address must resolve to at least one socket address; each candidate
+    /// is tried with the full `timeout`.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: std::time::Duration,
+    ) -> std::io::Result<ServiceClient> {
+        let mut last = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, timeout) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let addr = stream.peer_addr()?;
+                    return Ok(ServiceClient {
+                        stream,
+                        addr,
+                        next_id: 1,
+                        negotiated: None,
+                        stage: false,
+                        profiles: false,
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to no socket addresses",
+            )
+        }))
+    }
+
+    /// Bounds every blocking socket read and write on this connection
+    /// (`None` blocks forever — the default).  With a timeout set, a stalled
+    /// server surfaces as [`ClientError::Io`] with `WouldBlock`/`TimedOut`
+    /// instead of hanging the caller.
+    pub fn set_io_timeouts(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    /// The peer this client dialled.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
     /// The codec negotiated by the last [`ServiceClient::hello`], if any.
     pub fn negotiated_codec(&self) -> Option<CodecId> {
         self.negotiated

@@ -88,6 +88,9 @@ struct PendingRequest {
     request_id: u64,
     op: Op,
     request_bytes: usize,
+    /// When `--op-deadline` is set: the instant after which this request is
+    /// answered [`Status::DeadlineExceeded`] instead of being started.
+    deadline: Option<Instant>,
     job: ShardJob,
 }
 
@@ -114,6 +117,8 @@ struct Conn {
     /// Last instant the kernel accepted response bytes (or the buffer was
     /// empty) — the stalled-writer clock.
     last_write_progress: Instant,
+    /// Last instant the peer sent bytes — the `--idle-timeout` clock.
+    last_activity: Instant,
 }
 
 impl Conn {
@@ -202,6 +207,7 @@ impl EventLoop {
             for shard in 0..self.pending.len() {
                 self.try_admit(shard);
             }
+            self.expire_pending();
             if self.shared.is_shutdown() && !self.draining {
                 self.begin_drain();
             }
@@ -261,6 +267,7 @@ impl EventLoop {
             fatal: false,
             interest: Interest::READABLE,
             last_write_progress: now,
+            last_activity: now,
             stream,
         };
         if self
@@ -305,12 +312,38 @@ impl EventLoop {
             if conn.reads_paused(max_outstanding) {
                 return;
             }
-            match conn.stream.read(&mut chunk) {
+            let result = if fail::active() {
+                // The `service.read` failpoint sits between the socket and
+                // the parser: injected errors flow through the match arms
+                // below exactly like real kernel failures.
+                match fail::check("service.read") {
+                    Some(fail::Action::ErrIo) => {
+                        Err(std::io::Error::other("injected fault at service.read"))
+                    }
+                    Some(fail::Action::ErrInterrupted) => {
+                        Err(std::io::ErrorKind::Interrupted.into())
+                    }
+                    Some(fail::Action::Delay(d)) => {
+                        std::thread::sleep(d);
+                        conn.stream.read(&mut chunk)
+                    }
+                    Some(fail::Action::Corrupt) => conn.stream.read(&mut chunk).inspect(|&n| {
+                        if n > 0 {
+                            chunk[0] ^= 0xFF;
+                        }
+                    }),
+                    None => conn.stream.read(&mut chunk),
+                }
+            } else {
+                conn.stream.read(&mut chunk)
+            };
+            match result {
                 Ok(0) => {
                     conn.read_closed = true;
                     return;
                 }
                 Ok(n) => {
+                    conn.last_activity = Instant::now();
                     conn.parser.push(&chunk[..n]);
                     self.parse_frames(token);
                 }
@@ -451,6 +484,9 @@ impl EventLoop {
             connections_opened: snapshot.connections_opened as u64,
             requests_rejected: snapshot.requests_rejected as u64,
             rate_limited: snapshot.requests_rate_limited as u64,
+            deadlines_exceeded: snapshot.deadlines_exceeded as u64,
+            reaped_idle: snapshot.connections_reaped_idle as u64,
+            faults_injected: fail::total_hits(),
             shards: snapshot
                 .shards
                 .iter()
@@ -484,6 +520,28 @@ impl EventLoop {
                 b"server is draining",
             );
             return;
+        }
+        if fail::active() {
+            // The `shard.submit` failpoint sits before shard hand-off: an
+            // injected error refuses the request with a typed status (the
+            // op was never admitted, so it is safe to retry); a delay
+            // models a slow submission path.
+            match fail::check("shard.submit") {
+                Some(fail::Action::ErrIo) | Some(fail::Action::Corrupt) => {
+                    self.shared.metrics.request_rejected();
+                    self.enqueue_response(
+                        token,
+                        header.op,
+                        0,
+                        Status::Internal,
+                        header.request_id,
+                        b"injected fault at shard.submit",
+                    );
+                    return;
+                }
+                Some(fail::Action::Delay(d)) => std::thread::sleep(d),
+                Some(fail::Action::ErrInterrupted) | None => {}
+            }
         }
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
@@ -524,11 +582,13 @@ impl EventLoop {
                     return;
                 };
                 conn.outstanding += 1;
+                let deadline = self.shared.config.op_deadline.map(|d| Instant::now() + d);
                 self.pending[shard].push_back(PendingRequest {
                     conn: token,
                     request_id: header.request_id,
                     op: header.op,
                     request_bytes: body.len(),
+                    deadline,
                     job,
                 });
                 self.try_admit(shard);
@@ -550,6 +610,15 @@ impl EventLoop {
             if !self.conns.contains_key(&request.conn) {
                 // Connection died before its request was admitted; the
                 // request dies with it, never charging the window.
+                continue;
+            }
+            if request
+                .deadline
+                .is_some_and(|deadline| Instant::now() >= deadline)
+            {
+                // The request sat out its execution deadline waiting for a
+                // window slot: answer instead of starting stale work.
+                self.expire_request(request.conn, request.op, request.request_id);
                 continue;
             }
             self.in_flight[shard] += 1;
@@ -576,6 +645,48 @@ impl EventLoop {
                 });
             });
             self.shared.shards[shard].push(wrapped);
+        }
+    }
+
+    /// Answers one queued request with [`Status::DeadlineExceeded`] and
+    /// releases its outstanding slot (it was never admitted, so no shard
+    /// window is charged).
+    fn expire_request(&mut self, token: u64, op: Op, request_id: u64) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.outstanding = conn.outstanding.saturating_sub(1);
+        }
+        self.shared.metrics.deadline_exceeded();
+        self.enqueue_response(
+            token,
+            op,
+            0,
+            Status::DeadlineExceeded,
+            request_id,
+            b"request exceeded its execution deadline before a shard could start it",
+        );
+    }
+
+    /// Sweeps every shard's pending queue for requests past their deadline,
+    /// answering them promptly instead of waiting for a window slot to
+    /// surface them.  Runs each idle tick; a no-op without `--op-deadline`.
+    fn expire_pending(&mut self) {
+        if self.shared.config.op_deadline.is_none() {
+            return;
+        }
+        let now = Instant::now();
+        let mut expired = Vec::new();
+        for queue in &mut self.pending {
+            queue.retain(|request| {
+                let overdue = request.deadline.is_some_and(|deadline| now >= deadline);
+                if overdue {
+                    expired.push((request.conn, request.op, request.request_id));
+                }
+                !overdue
+            });
+        }
+        for (token, op, request_id) in expired {
+            self.expire_request(token, op, request_id);
+            self.pump_conn(token);
         }
     }
 
@@ -644,7 +755,31 @@ impl EventLoop {
         };
         let mut broken = false;
         while conn.out_pos < conn.out.len() {
-            match conn.stream.write(&conn.out[conn.out_pos..]) {
+            let result = if fail::active() {
+                // The `service.write` failpoint mirrors `service.read`:
+                // injected outcomes take the same arms as kernel ones.
+                match fail::check("service.write") {
+                    Some(fail::Action::ErrIo) => {
+                        Err(std::io::Error::other("injected fault at service.write"))
+                    }
+                    Some(fail::Action::ErrInterrupted) => {
+                        Err(std::io::ErrorKind::Interrupted.into())
+                    }
+                    Some(fail::Action::Delay(d)) => {
+                        std::thread::sleep(d);
+                        conn.stream.write(&conn.out[conn.out_pos..])
+                    }
+                    Some(fail::Action::Corrupt) => {
+                        let at = conn.out_pos;
+                        conn.out[at] ^= 0xFF;
+                        conn.stream.write(&conn.out[conn.out_pos..])
+                    }
+                    None => conn.stream.write(&conn.out[conn.out_pos..]),
+                }
+            } else {
+                conn.stream.write(&conn.out[conn.out_pos..])
+            };
+            match result {
                 Ok(0) => {
                     broken = true;
                     break;
@@ -717,27 +852,42 @@ impl EventLoop {
         }
     }
 
-    /// Closes finished connections and reaps stalled writers.
+    /// Closes finished connections, reaps stalled writers, and — with
+    /// `--idle-timeout` — reaps silent keepalives that would otherwise hold
+    /// their fd forever.
     fn reap(&mut self) {
         let now = Instant::now();
         let write_timeout = self.shared.config.write_timeout;
+        let idle_timeout = self.shared.config.idle_timeout;
         let force = self
             .drain_deadline
             .map(|deadline| now >= deadline)
             .unwrap_or(false);
-        let done: Vec<u64> = self
+        let done: Vec<(u64, bool)> = self
             .conns
             .iter()
-            .filter(|(_, conn)| {
+            .filter_map(|(&token, conn)| {
                 let idle = conn.outstanding == 0 && conn.backlog() == 0;
                 let finished = idle && (conn.read_closed || conn.fatal || self.draining);
                 let stalled = conn.backlog() > 0
                     && now.saturating_duration_since(conn.last_write_progress) > write_timeout;
-                finished || stalled || force
+                if finished || stalled || force {
+                    return Some((token, false));
+                }
+                // The idle-timeout arm: a connection owed nothing (no
+                // outstanding work, no unflushed bytes) whose peer has been
+                // silent past the configured timeout.
+                let idle_expired = idle
+                    && idle_timeout.is_some_and(|timeout| {
+                        now.saturating_duration_since(conn.last_activity) > timeout
+                    });
+                idle_expired.then_some((token, true))
             })
-            .map(|(&token, _)| token)
             .collect();
-        for token in done {
+        for (token, idle_reaped) in done {
+            if idle_reaped {
+                self.shared.metrics.connection_reaped_idle();
+            }
             self.close_conn(token);
         }
     }

@@ -24,7 +24,17 @@
 //!   request streams matched by request id;
 //! * [`metrics`] — `StreamMetrics`-style service accounting (per-shard
 //!   in-flight gauges and peaks) that the overload tests assert against,
-//!   served over the wire by [`Op::Status`].
+//!   served over the wire by [`Op::Status`];
+//! * [`resilient`] — the self-healing client: connect/request deadlines,
+//!   jittered exponential backoff, automatic reconnect with full `Hello`
+//!   re-negotiation, typed exhaustion;
+//! * [`chaos`] — the fault-injecting TCP proxy the resilience tests and
+//!   the CI chaos smoke job put between client and server.
+//!
+//! Fault injection: the whole service is instrumented with `GLD_FAILPOINTS`
+//! failpoints (`service.read`, `service.write`, `shard.submit`, plus
+//! `container.frame`/`container.destage` in `gld-core`) — zero-cost when
+//! unset, see the `fail` shim crate.
 //!
 //! Binaries: `gld-serviced` (standalone server) and `gld-service-check`
 //! (client smoke check used by CI's boot-the-binary job).
@@ -32,15 +42,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod client;
 mod eventloop;
 pub mod metrics;
 pub mod protocol;
+pub mod resilient;
 pub mod router;
 pub mod server;
 
+pub use chaos::{ChaosConfig, ChaosProxy};
 pub use client::{ClientError, PipelinedClient, Reply, ServerInfo, ServiceClient};
 pub use metrics::{ServiceMetricsSnapshot, ShardMetricsSnapshot};
 pub use protocol::{Op, ProtocolError, Status, StatusResponse};
+pub use resilient::{Backoff, ResilientClient, ResilientError, RetryPolicy};
 pub use router::{ShardPolicy, ShardRouter};
 pub use server::{CodecRegistry, RateLimit, Server, ServiceConfig};

@@ -99,6 +99,8 @@ pub struct ServiceMetrics {
     connections_active: AtomicUsize,
     requests_rejected: AtomicUsize,
     requests_rate_limited: AtomicUsize,
+    deadlines_exceeded: AtomicUsize,
+    connections_reaped_idle: AtomicUsize,
 }
 
 impl ServiceMetrics {
@@ -112,6 +114,8 @@ impl ServiceMetrics {
             connections_active: AtomicUsize::new(0),
             requests_rejected: AtomicUsize::new(0),
             requests_rate_limited: AtomicUsize::new(0),
+            deadlines_exceeded: AtomicUsize::new(0),
+            connections_reaped_idle: AtomicUsize::new(0),
         }
     }
 
@@ -144,6 +148,18 @@ impl ServiceMetrics {
         self.requests_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a request answered with `Status::DeadlineExceeded` (also
+    /// counted in `requests_rejected`).
+    pub fn deadline_exceeded(&self) {
+        self.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+        self.requests_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an idle connection closed by the `--idle-timeout` reaper.
+    pub fn connection_reaped_idle(&self) {
+        self.connections_reaped_idle.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough copy for assertions and reporting.
     pub fn snapshot(&self) -> ServiceMetricsSnapshot {
         ServiceMetricsSnapshot {
@@ -152,6 +168,8 @@ impl ServiceMetrics {
             connections_active: self.connections_active.load(Ordering::Acquire),
             requests_rejected: self.requests_rejected.load(Ordering::Relaxed),
             requests_rate_limited: self.requests_rate_limited.load(Ordering::Relaxed),
+            deadlines_exceeded: self.deadlines_exceeded.load(Ordering::Relaxed),
+            connections_reaped_idle: self.connections_reaped_idle.load(Ordering::Relaxed),
         }
     }
 }
@@ -170,6 +188,11 @@ pub struct ServiceMetricsSnapshot {
     /// Requests refused with `Status::RateLimited` specifically (a subset
     /// of `requests_rejected`).
     pub requests_rate_limited: usize,
+    /// Requests answered with `Status::DeadlineExceeded` (a subset of
+    /// `requests_rejected`).
+    pub deadlines_exceeded: usize,
+    /// Idle connections closed by the `--idle-timeout` reaper.
+    pub connections_reaped_idle: usize,
 }
 
 impl ServiceMetricsSnapshot {

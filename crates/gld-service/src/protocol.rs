@@ -151,6 +151,11 @@ pub enum Status {
     /// request was refused without being admitted.  Retry later — the
     /// connection itself stays healthy.
     RateLimited = 10,
+    /// The request sat past its per-op execution deadline (`--op-deadline`)
+    /// before a shard could finish it.  The work was abandoned or its
+    /// result discarded; the connection stays healthy and the op is safe
+    /// to retry (compress/decompress are pure).
+    DeadlineExceeded = 11,
 }
 
 impl Status {
@@ -168,6 +173,7 @@ impl Status {
             8 => Status::ShuttingDown,
             9 => Status::Internal,
             10 => Status::RateLimited,
+            11 => Status::DeadlineExceeded,
             other => return Err(ProtocolError::UnknownStatus(other)),
         })
     }
@@ -806,6 +812,13 @@ pub struct StatusResponse {
     pub requests_rejected: u64,
     /// Requests refused with [`Status::RateLimited`] specifically.
     pub rate_limited: u64,
+    /// Requests answered with [`Status::DeadlineExceeded`].
+    pub deadlines_exceeded: u64,
+    /// Idle connections closed by the `--idle-timeout` reaper.
+    pub reaped_idle: u64,
+    /// Faults fired by the `GLD_FAILPOINTS` injection registry since
+    /// process start (0 in normal operation).
+    pub faults_injected: u64,
     /// Per-shard load, indexed by shard.
     pub shards: Vec<ShardStatus>,
 }
@@ -813,12 +826,15 @@ pub struct StatusResponse {
 impl StatusResponse {
     /// Serialises the response body.
     pub fn encode_body(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(36 + self.shards.len() * 64);
+        let mut out = Vec::with_capacity(60 + self.shards.len() * 64);
         out.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
         out.extend_from_slice(&self.connections_active.to_le_bytes());
         out.extend_from_slice(&self.connections_opened.to_le_bytes());
         out.extend_from_slice(&self.requests_rejected.to_le_bytes());
         out.extend_from_slice(&self.rate_limited.to_le_bytes());
+        out.extend_from_slice(&self.deadlines_exceeded.to_le_bytes());
+        out.extend_from_slice(&self.reaped_idle.to_le_bytes());
+        out.extend_from_slice(&self.faults_injected.to_le_bytes());
         for shard in &self.shards {
             for field in [
                 shard.in_flight,
@@ -845,6 +861,9 @@ impl StatusResponse {
         let connections_opened = reader.read_u64()?;
         let requests_rejected = reader.read_u64()?;
         let rate_limited = reader.read_u64()?;
+        let deadlines_exceeded = reader.read_u64()?;
+        let reaped_idle = reader.read_u64()?;
+        let faults_injected = reader.read_u64()?;
         if count.checked_mul(64) != Some(reader.remaining()) {
             return Err(ProtocolError::Malformed(
                 "status shard table does not match its declared count",
@@ -869,6 +888,9 @@ impl StatusResponse {
             connections_opened,
             requests_rejected,
             rate_limited,
+            deadlines_exceeded,
+            reaped_idle,
+            faults_injected,
             shards,
         })
     }
@@ -1278,6 +1300,9 @@ mod tests {
             connections_opened: 41,
             requests_rejected: 2,
             rate_limited: 1,
+            deadlines_exceeded: 4,
+            reaped_idle: 6,
+            faults_injected: 17,
             shards: vec![
                 ShardStatus {
                     in_flight: 1,

@@ -92,6 +92,16 @@ pub struct ServiceConfig {
     /// Optional per-connection token bucket on codec-work admissions;
     /// `None` (the default) admits everything the windows accept.
     pub rate_limit: Option<RateLimit>,
+    /// A connection with no inbound traffic for this long is reaped at the
+    /// idle tick (`None`, the default, keeps silent keepalives forever).
+    /// Connections with admitted work still in flight are never idle-reaped.
+    pub idle_timeout: Option<Duration>,
+    /// Per-op execution deadline, measured from the moment the request
+    /// frame is parsed.  A request that has not *started* executing by its
+    /// deadline is answered with `Status::DeadlineExceeded` instead of
+    /// being run; work already on a shard completes normally (jobs are not
+    /// interruptible).  `None` (the default) never expires requests.
+    pub op_deadline: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -107,6 +117,8 @@ impl Default for ServiceConfig {
             write_timeout: Duration::from_secs(30),
             max_outstanding: 32,
             rate_limit: None,
+            idle_timeout: None,
+            op_deadline: None,
         }
     }
 }

@@ -1,0 +1,29 @@
+//! The one-time `GLD_FAILPOINTS` bootstrap, exercised in a pristine
+//! process (integration tests get their own binary, and nothing here
+//! touches the registry before the env var is in place).
+//!
+//! Regression coverage: the bootstrap once routed through `configure`,
+//! which re-entered the bootstrap's own `Once` — a self-deadlock that
+//! wedged the first instrumented thread of any process started with the
+//! env var set.  `active()` returning at all is the heart of this test.
+
+use std::time::Duration;
+
+#[test]
+fn env_var_arms_the_registry_on_first_use() {
+    // Edition 2021: `set_var` is safe.  This runs before any registry
+    // call in this process, so first `active()` takes the env path.
+    std::env::set_var("GLD_FAILPOINTS", "env.point=delay:5ms;env.other=err_io:50%");
+
+    assert!(fail::active(), "the env spec must arm the registry");
+    assert_eq!(
+        fail::check("env.point"),
+        Some(fail::Action::Delay(Duration::from_millis(5)))
+    );
+    assert_eq!(fail::check("env.unarmed"), None);
+
+    // Programmatic configuration still replaces the env spec outright.
+    fail::configure("env.point=off").expect("reconfigure");
+    assert!(!fail::active(), "the override disarmed everything");
+    assert_eq!(fail::check("env.point"), None);
+}

@@ -1,0 +1,92 @@
+//! Failpoint-driven fault injection against the container codec paths.
+//!
+//! The failpoint registry is process-global, so this file is its own test
+//! binary — `fail::configure` here cannot leak into the other integration
+//! suites — and within the binary every test serialises through one gate.
+
+use gld_core::{CodecId, Container, ContainerError};
+use std::sync::Mutex;
+
+/// Serialises failpoint configurations across this binary's tests and
+/// guarantees the registry is disarmed again afterwards.
+fn with_failpoints<R>(spec: &str, f: impl FnOnce() -> R) -> R {
+    static GATE: Mutex<()> = Mutex::new(());
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    fail::configure(spec).expect("failpoint spec parses");
+    let result = f();
+    fail::configure("").expect("disarm");
+    result
+}
+
+/// Three compressible frames: all of them take the `gld-lz` stage, so both
+/// the frame-encode and the de-stage failpoints have something to hit.
+fn staged_sample() -> Container {
+    let mut c = Container::new(CodecId::ZfpLike);
+    for i in 0..3u8 {
+        c.push(vec![i; 200]);
+    }
+    c
+}
+
+#[test]
+fn injected_frame_bit_rot_fails_decode_and_salvages_cleanly() {
+    let container = staged_sample();
+    let clean = container.encode();
+
+    // `container.frame=corrupt` flips one pre-CRC payload byte of the first
+    // frame encoded after its checksum is computed — stored bit-rot.
+    let hits_before = fail::total_hits();
+    let damaged = with_failpoints("container.frame=corrupt:1", || container.encode());
+    assert!(fail::total_hits() > hits_before, "the failpoint fired");
+    assert_ne!(damaged, clean, "the encoding carries the injected damage");
+
+    // The strict decode refuses the whole stream at the damaged frame...
+    match Container::decode(&damaged) {
+        Err(ContainerError::ChecksumMismatch { block: 0, .. }) => {}
+        other => panic!("expected a frame-0 checksum mismatch, got {other:?}"),
+    }
+
+    // ...while salvage recovers everything else bit-identically.
+    let salvage = Container::decode_salvage(&damaged).expect("header is intact");
+    let lost: Vec<usize> = salvage.report.lost.iter().map(|l| l.block).collect();
+    assert_eq!(lost, vec![0], "exactly the bit-rotted frame is lost");
+    assert_eq!(salvage.recovered_indices(), vec![1, 2]);
+    for index in [1usize, 2] {
+        assert_eq!(
+            salvage.frames[index].as_ref().expect("recovered"),
+            &container.blocks()[index],
+            "recovered frame {index} must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn injected_destage_fault_surfaces_as_a_typed_container_error() {
+    let bytes = staged_sample().encode();
+
+    // Armed, the de-stage path reports the frame unreadable...
+    let error = with_failpoints("container.destage=corrupt:1", || {
+        Container::decode(&bytes).expect_err("injected de-stage fault")
+    });
+    match error {
+        ContainerError::Corrupt(reason) => assert!(
+            reason.contains("injected"),
+            "the injected fault is labelled as such: {reason}"
+        ),
+        other => panic!("expected a Corrupt de-stage error, got {other:?}"),
+    }
+
+    // ...and disarmed, the very same bytes decode fine: the fault was in
+    // the harness, not the data.
+    let back = Container::decode(&bytes).expect("decodes once disarmed");
+    assert_eq!(back.blocks(), staged_sample().blocks());
+}
+
+#[test]
+fn probability_zero_failpoints_never_fire() {
+    let container = staged_sample();
+    let clean = container.encode();
+    let encoded = with_failpoints("container.frame=corrupt:0%", || container.encode());
+    assert_eq!(encoded, clean, "a 0% failpoint must be a no-op");
+    assert!(Container::decode(&encoded).is_ok());
+}
