@@ -8,9 +8,11 @@
 //!             [--stall MS:PROB] [--reset PROB] [--budget N]
 //! ```
 //!
-//! Prints `chaos-proxy listening on HOST:PORT` once ready (the readiness
-//! line scripts wait for, mirroring `gld-serviced`), then serves until
-//! killed.  Probabilities are per forwarded chunk, in `[0, 1]`.
+//! Prints `chaos-proxy listening on HOST:PORT` on stdout once ready (the
+//! readiness line scripts wait for, mirroring `gld-serviced` — kept off
+//! the logger so it survives `GLD_LOG=off`), then serves until killed.
+//! Diagnostics go through the `gld-obs` structured logger on stderr.
+//! Probabilities are per forwarded chunk, in `[0, 1]`.
 
 use gld_service::chaos::{ChaosConfig, ChaosProxy};
 use std::net::SocketAddr;
@@ -63,7 +65,14 @@ fn main() {
     }
     let upstream = upstream.expect("--upstream HOST:PORT is required");
     let proxy = ChaosProxy::start(upstream, config).expect("bind chaos proxy");
-    // The readiness line scripts wait for.
+    gld_obs::log_info!(
+        "chaos-proxy",
+        addr = proxy.addr(),
+        upstream = upstream;
+        "proxy started"
+    );
+    // The readiness line scripts wait for (stdout, not the logger: it is
+    // machine-scraped and must survive GLD_LOG=off).
     println!("chaos-proxy listening on {} -> {upstream}", proxy.addr());
     loop {
         std::thread::sleep(Duration::from_secs(3600));

@@ -12,7 +12,11 @@
 //!
 //! Every client thread uses its own connection and key (hash-sharded), so
 //! higher client counts genuinely spread across shards.  Results land in
-//! `results/service_throughput.csv`.
+//! `results/service_throughput.csv`; next to the client-observed p50/p99
+//! each row carries the **server-side** per-op p50/p99, scraped from the
+//! live `--metrics-addr` Prometheus endpoint after the section's requests
+//! (cumulative per op — the gap between the columns is the wire plus
+//! client-side time).
 //!
 //! A fourth **pipelined** section drives `--pipelined-clients N` (default
 //! 4) keepalive connections, each keeping a window of requests in flight
@@ -35,6 +39,45 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     assert!(!sorted_ms.is_empty());
     let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
     sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+/// One HTTP/1.0 GET against the live server's `--metrics-addr` endpoint,
+/// returning the Prometheus exposition body — the same scrape CI's smoke
+/// job performs.
+fn scrape_metrics(addr: std::net::SocketAddr) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect metrics endpoint");
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("write metrics request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read metrics response");
+    let (_, body) = response
+        .split_once("\r\n\r\n")
+        .expect("HTTP header/body split");
+    body.to_string()
+}
+
+/// Server-side `(p50_ms, p99_ms)` for one op, scraped from the endpoint's
+/// derived `glds_request_duration_ns_quantile` gauges.  Cumulative over the
+/// whole run so far (histograms never reset), which is why each section
+/// scrapes immediately after its own requests.
+fn server_latency_ms(addr: std::net::SocketAddr, op: &str) -> (f64, f64) {
+    let body = scrape_metrics(addr);
+    let needle = format!("op=\"{op}\"");
+    let quantile = |q: &str| {
+        gld_obs::registry::scrape_value(
+            &body,
+            "glds_request_duration_ns",
+            "_quantile",
+            &[&needle, &format!("q=\"{q}\"")],
+        )
+        .unwrap_or_else(|| panic!("endpoint serves a {op} {q} quantile"))
+            / 1e6
+    };
+    (quantile("0.5"), quantile("0.99"))
 }
 
 /// One container feature level the session can negotiate: which `Hello`
@@ -207,18 +250,21 @@ fn main() {
         ServiceConfig {
             shards,
             shard_window: 4,
+            metrics_addr: Some("127.0.0.1:0".into()),
             ..ServiceConfig::default()
         },
         CodecRegistry::rule_based(),
     )
     .expect("start in-process server");
     let addr = server.local_addr();
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint is up");
     println!(
         "service-throughput bench — {shards} shards on {addr}, {} pool workers\n",
         rayon::current_num_threads()
     );
-    let mut csv =
-        String::from("section,clients,requests,elapsed_s,req_per_s,p50_ms,p99_ms,notes\n");
+    let mut csv = String::from(
+        "section,clients,requests,elapsed_s,req_per_s,p50_ms,p99_ms,server_p50_ms,server_p99_ms,notes\n",
+    );
 
     // One variable per client key; compress once per feature level up front
     // for the decompress section.
@@ -257,12 +303,13 @@ fn main() {
                 client.ping().expect("ping");
             },
         );
+        let (server_p50, server_p99) = server_latency_ms(metrics_addr, "ping");
         println!(
-            "ping                  {clients} client(s): {:>8.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
+            "ping                  {clients} client(s): {:>8.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms   server p50 {server_p50:.3} p99 {server_p99:.3}",
             stats.req_per_s, stats.p50_ms, stats.p99_ms
         );
         csv.push_str(&format!(
-            "ping,{clients},{},{:.4},{:.1},{:.4},{:.4},protocol floor\n",
+            "ping,{clients},{},{:.4},{:.1},{:.4},{:.4},{server_p50:.4},{server_p99:.4},protocol floor\n",
             clients * ping_requests,
             stats.elapsed_s,
             stats.req_per_s,
@@ -289,12 +336,13 @@ fn main() {
                     assert!(!bytes.is_empty());
                 },
             );
+            let (server_p50, server_p99) = server_latency_ms(metrics_addr, "compress");
             println!(
-                "compress   {:>9} {clients} client(s): {:>8.1} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
+                "compress   {:>9} {clients} client(s): {:>8.1} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms   server p50 {server_p50:.3} p99 {server_p99:.3}",
                 leg.label, stats.req_per_s, stats.p50_ms, stats.p99_ms
             );
             csv.push_str(&format!(
-                "compress/{},{clients},{},{:.4},{:.1},{:.4},{:.4},SZ3-like 32x32x32 via shard executors: {}\n",
+                "compress/{},{clients},{},{:.4},{:.1},{:.4},{:.4},{server_p50:.4},{server_p99:.4},SZ3-like 32x32x32 via shard executors: {}\n",
                 leg.label,
                 clients * requests,
                 stats.elapsed_s,
@@ -319,12 +367,13 @@ fn main() {
                     assert_eq!(blocks.len(), 4);
                 },
             );
+            let (server_p50, server_p99) = server_latency_ms(metrics_addr, "decompress");
             println!(
-                "decompress {:>9} {clients} client(s): {:>8.1} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
+                "decompress {:>9} {clients} client(s): {:>8.1} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms   server p50 {server_p50:.3} p99 {server_p99:.3}",
                 leg.label, stats.req_per_s, stats.p50_ms, stats.p99_ms
             );
             csv.push_str(&format!(
-                "decompress/{},{clients},{},{:.4},{:.1},{:.4},{:.4},4-block container to frames: {}\n",
+                "decompress/{},{clients},{},{:.4},{:.1},{:.4},{:.4},{server_p50:.4},{server_p99:.4},4-block container to frames: {}\n",
                 leg.label,
                 clients * requests,
                 stats.elapsed_s,
@@ -365,8 +414,9 @@ fn main() {
         "\npipelined ping        {pipelined_clients} conn(s) x 1 deep: {:>9.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
         baseline_stats.req_per_s, baseline_stats.p50_ms, baseline_stats.p99_ms
     );
+    let (server_p50, server_p99) = server_latency_ms(metrics_addr, "ping");
     csv.push_str(&format!(
-        "pipelined-ping-window1,{pipelined_clients},{},{:.4},{:.1},{:.4},{:.4},one-outstanding baseline\n",
+        "pipelined-ping-window1,{pipelined_clients},{},{:.4},{:.1},{:.4},{:.4},{server_p50:.4},{server_p99:.4},one-outstanding baseline\n",
         pipelined_clients * (pipelined_pings / 8),
         baseline_stats.elapsed_s,
         baseline_stats.req_per_s,
@@ -392,8 +442,9 @@ fn main() {
         "pipelined ping        {pipelined_clients} conn(s) x {PIPE_WINDOW} deep: {:>8.0} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
         ping_stats.req_per_s, ping_stats.p50_ms, ping_stats.p99_ms
     );
+    let (server_p50, server_p99) = server_latency_ms(metrics_addr, "ping");
     csv.push_str(&format!(
-        "pipelined-ping,{pipelined_clients},{},{:.4},{:.1},{:.4},{:.4},window {PIPE_WINDOW} per conn\n",
+        "pipelined-ping,{pipelined_clients},{},{:.4},{:.1},{:.4},{:.4},{server_p50:.4},{server_p99:.4},window {PIPE_WINDOW} per conn\n",
         pipelined_clients * pipelined_pings,
         ping_stats.elapsed_s,
         ping_stats.req_per_s,
@@ -431,8 +482,9 @@ fn main() {
         "pipelined compress    {pipelined_clients} conn(s) x 8 deep: {:>8.1} req/s   p50 {:>7.3} ms   p99 {:>7.3} ms",
         compress_stats.req_per_s, compress_stats.p50_ms, compress_stats.p99_ms
     );
+    let (server_p50, server_p99) = server_latency_ms(metrics_addr, "compress");
     csv.push_str(&format!(
-        "pipelined-compress,{pipelined_clients},{},{:.4},{:.1},{:.4},{:.4},SZ3-like 32x32x32 bit-identical to blocking\n",
+        "pipelined-compress,{pipelined_clients},{},{:.4},{:.1},{:.4},{:.4},{server_p50:.4},{server_p99:.4},SZ3-like 32x32x32 bit-identical to blocking\n",
         pipelined_clients * 16,
         compress_stats.elapsed_s,
         compress_stats.req_per_s,
@@ -457,7 +509,7 @@ fn main() {
 
     let metrics = server.shutdown();
     csv.push_str(&format!(
-        "meta,,,,,,,\"{} requests completed, {} rejected, peak in-flight per shard {:?}\"\n",
+        "meta,,,,,,,,,\"{} requests completed, {} rejected, peak in-flight per shard {:?}\"\n",
         metrics.completed(),
         metrics.requests_rejected,
         metrics

@@ -173,7 +173,18 @@ thread_local! {
 /// shared by the buffered paths here and the executor's worker threads
 /// (`CodecScratch`), which is what keeps their containers bit-identical.
 pub fn stage_frame(frame: &[u8], scratch: &mut LzScratch) -> Option<Vec<u8>> {
-    gld_lz::compress_if_smaller(frame, scratch)
+    let t0_ns = gld_obs::now_ns();
+    let staged = gld_lz::compress_if_smaller(frame, scratch);
+    stage_lz_ns().record(gld_obs::now_ns().saturating_sub(t0_ns));
+    staged
+}
+
+/// Pre-resolved stage-latency histogram (`gld_stage_lz_ns`): covers the
+/// whole per-frame stage decision — compress plus the smaller-than-input
+/// test — on every path, cold or warm.  One registry lookup per process.
+fn stage_lz_ns() -> &'static gld_obs::Histogram {
+    static H: std::sync::OnceLock<std::sync::Arc<gld_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| gld_obs::registry::histogram("gld_stage_lz_ns", &[]))
 }
 
 /// The v4 stage decision under a shared profile: warm adaptive models plus
@@ -188,7 +199,10 @@ pub fn stage_frame_profiled(
     profile: &LzProfile,
     scratch: &mut LzScratch,
 ) -> Option<Vec<u8>> {
-    gld_lz::compress_if_smaller_profiled(frame, dict, profile, scratch)
+    let t0_ns = gld_obs::now_ns();
+    let staged = gld_lz::compress_if_smaller_profiled(frame, dict, profile, scratch);
+    stage_lz_ns().record(gld_obs::now_ns().saturating_sub(t0_ns));
+    staged
 }
 
 /// How a profile seeds the stage's match window.

@@ -236,6 +236,16 @@ pub(crate) fn compress_window_outcome<C: Codec + ?Sized>(
     scratch: &mut CodecScratch,
     stage: &StageMode,
 ) -> BlockOutcome {
+    // Per-block codec timing: one pre-resolved histogram handle per
+    // process, so the worker hot path pays two atomic adds, never the
+    // registry lock.
+    fn encode_ns() -> &'static gld_obs::Histogram {
+        static H: std::sync::OnceLock<std::sync::Arc<gld_obs::Histogram>> =
+            std::sync::OnceLock::new();
+        H.get_or_init(|| gld_obs::registry::histogram("gld_block_encode_ns", &[]))
+    }
+    let _span = gld_obs::span::SpanGuard::enter("block.encode", 0, index);
+    let t0_ns = gld_obs::now_ns();
     let (frame, recon) = match stage {
         StageMode::Shared(warm) if warm.profile.model.is_some() => {
             let model = warm.profile.model.as_ref().unwrap();
@@ -249,6 +259,7 @@ pub(crate) fn compress_window_outcome<C: Codec + ?Sized>(
             (frame, recon)
         }
     };
+    encode_ns().record(gld_obs::now_ns().saturating_sub(t0_ns));
     let mut sq_err = 0.0f64;
     for (a, b) in window.data().iter().zip(recon.data()) {
         let d = (*a - *b) as f64;

@@ -52,6 +52,19 @@ use gld_entropy::{RangeDecoder, RangeEncoder};
 use gld_kernels::{kernels, KernelBackend};
 use std::fmt;
 
+/// Pre-resolved latency histograms for the stage's public entry points:
+/// one registry lookup per process per family, a couple of atomic adds per
+/// record — the codec hot loops never touch the registry lock.
+fn compress_ns() -> &'static gld_obs::Histogram {
+    static H: std::sync::OnceLock<std::sync::Arc<gld_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| gld_obs::registry::histogram("gld_lz_compress_ns", &[]))
+}
+
+fn decompress_ns() -> &'static gld_obs::Histogram {
+    static H: std::sync::OnceLock<std::sync::Arc<gld_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| gld_obs::registry::histogram("gld_lz_decompress_ns", &[]))
+}
+
 /// Stream tag byte: the content follows verbatim.
 pub const TAG_STORED: u8 = 0;
 
@@ -629,6 +642,7 @@ pub fn compress_into(input: &[u8], scratch: &mut LzScratch, out: &mut Vec<u8>) {
         "input of {} bytes exceeds the stage format's {MAX_RAW_LEN}-byte cap",
         input.len()
     );
+    let t0_ns = gld_obs::now_ns();
     let start = out.len();
     out.push(TAG_LZ);
     write_varint(out, input.len() as u64);
@@ -648,6 +662,7 @@ pub fn compress_into(input: &[u8], scratch: &mut LzScratch, out: &mut Vec<u8>) {
         out.extend_from_slice(&stream);
     }
     scratch.stream_buf = stream;
+    compress_ns().record(gld_obs::now_ns().saturating_sub(t0_ns));
 }
 
 /// Codes `window[base..]` as one sequence stream against the prepared
@@ -809,6 +824,7 @@ pub fn compress_profiled_into(
         "window of {} bytes exceeds the stage format's {MAX_RAW_LEN}-byte cap",
         dict.len() + input.len()
     );
+    let t0_ns = gld_obs::now_ns();
     let start = out.len();
     out.push(TAG_LZ);
     write_varint(out, input.len() as u64);
@@ -835,6 +851,7 @@ pub fn compress_profiled_into(
         out.extend_from_slice(&stream);
     }
     scratch.stream_buf = stream;
+    compress_ns().record(gld_obs::now_ns().saturating_sub(t0_ns));
 }
 
 /// [`compress_profiled_into`] returning a fresh `Vec`.
@@ -864,27 +881,32 @@ pub fn compress_if_smaller_profiled(
 /// Decompresses one stage stream, refusing to produce (or allocate) more
 /// than `max_len` bytes.  Never panics on arbitrary input; see [`LzError`].
 pub fn decompress(stream: &[u8], max_len: usize) -> Result<Vec<u8>, LzError> {
-    let (&tag, rest) = stream.split_first().ok_or(LzError::Empty)?;
-    match tag {
-        TAG_STORED => {
-            if rest.len() > max_len {
-                return Err(LzError::TooLarge {
-                    declared: rest.len() as u64,
-                    max: max_len,
-                });
+    let t0_ns = gld_obs::now_ns();
+    let result = (|| {
+        let (&tag, rest) = stream.split_first().ok_or(LzError::Empty)?;
+        match tag {
+            TAG_STORED => {
+                if rest.len() > max_len {
+                    return Err(LzError::TooLarge {
+                        declared: rest.len() as u64,
+                        max: max_len,
+                    });
+                }
+                Ok(rest.to_vec())
             }
-            Ok(rest.to_vec())
-        }
-        TAG_LZ => {
-            let (declared, used) = read_varint(rest)?;
-            let max = max_len.min(MAX_RAW_LEN);
-            if declared > max as u64 {
-                return Err(LzError::TooLarge { declared, max });
+            TAG_LZ => {
+                let (declared, used) = read_varint(rest)?;
+                let max = max_len.min(MAX_RAW_LEN);
+                if declared > max as u64 {
+                    return Err(LzError::TooLarge { declared, max });
+                }
+                decode_sequences(&rest[used..], &[], SequenceModels::new(), declared as usize)
             }
-            decode_sequences(&rest[used..], &[], SequenceModels::new(), declared as usize)
+            other => Err(LzError::BadTag(other)),
         }
-        other => Err(LzError::BadTag(other)),
-    }
+    })();
+    decompress_ns().record(gld_obs::now_ns().saturating_sub(t0_ns));
+    result
 }
 
 /// Decompresses one stage stream produced by [`compress_profiled_into`]
@@ -901,27 +923,32 @@ pub fn decompress_profiled(
     profile: &LzProfile,
     max_len: usize,
 ) -> Result<Vec<u8>, LzError> {
-    let (&tag, rest) = stream.split_first().ok_or(LzError::Empty)?;
-    match tag {
-        TAG_STORED => {
-            if rest.len() > max_len {
-                return Err(LzError::TooLarge {
-                    declared: rest.len() as u64,
-                    max: max_len,
-                });
+    let t0_ns = gld_obs::now_ns();
+    let result = (|| {
+        let (&tag, rest) = stream.split_first().ok_or(LzError::Empty)?;
+        match tag {
+            TAG_STORED => {
+                if rest.len() > max_len {
+                    return Err(LzError::TooLarge {
+                        declared: rest.len() as u64,
+                        max: max_len,
+                    });
+                }
+                Ok(rest.to_vec())
             }
-            Ok(rest.to_vec())
-        }
-        TAG_LZ => {
-            let (declared, used) = read_varint(rest)?;
-            let max = max_len.min(MAX_RAW_LEN);
-            if declared > max as u64 {
-                return Err(LzError::TooLarge { declared, max });
+            TAG_LZ => {
+                let (declared, used) = read_varint(rest)?;
+                let max = max_len.min(MAX_RAW_LEN);
+                if declared > max as u64 {
+                    return Err(LzError::TooLarge { declared, max });
+                }
+                decode_sequences_static(&rest[used..], dict, &profile.frozen, declared as usize)
             }
-            decode_sequences_static(&rest[used..], dict, &profile.frozen, declared as usize)
+            other => Err(LzError::BadTag(other)),
         }
-        other => Err(LzError::BadTag(other)),
-    }
+    })();
+    decompress_ns().record(gld_obs::now_ns().saturating_sub(t0_ns));
+    result
 }
 
 /// Decodes the range-coded sequence stream into exactly `declared` bytes of

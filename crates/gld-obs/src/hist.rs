@@ -1,0 +1,301 @@
+//! Fixed-bucket log2-scale histograms for latency-style `u64` samples
+//! (nanoseconds by convention).
+//!
+//! The bucket layout is the classic HDR-lite scheme: values below 16 get
+//! one exact bucket each; above that, each power-of-two range is split into
+//! 16 linear sub-buckets, so any recorded value lands in a bucket whose
+//! width is at most 1/16 of its lower bound.  [`Histogram::record`] is
+//! lock-free and allocation-free (three relaxed atomic RMWs plus two
+//! `fetch_min`/`fetch_max`); snapshots are mergeable and interpolate
+//! percentiles inside the containing bucket, so an estimate is always in
+//! the same bucket as the exact nearest-rank sample.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each power-of-two range splits into `2^SUB_BITS`
+/// linear buckets, bounding relative quantile error at `2^-SUB_BITS`.
+pub const SUB_BITS: u32 = 4;
+/// Sub-buckets per power-of-two range (16).
+pub const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range.
+pub const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// The bucket index holding `value`.
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros() as usize;
+    let exp = msb - SUB_BITS as usize;
+    let sub = ((value >> exp) as usize) - SUB;
+    (msb - SUB_BITS as usize + 1) * SUB + sub
+}
+
+/// The half-open `[lo, hi)` value range of bucket `index` (`hi` saturates
+/// at `u64::MAX` for the topmost bucket).
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB {
+        return (index as u64, index as u64 + 1);
+    }
+    let major = index / SUB;
+    let sub = (index % SUB) as u64;
+    let exp = (major - 1) as u32;
+    let lo = (SUB as u64 + sub) << exp;
+    (lo, lo.saturating_add(1u64 << exp))
+}
+
+/// A concurrent log2-bucket histogram.  All methods are lock-free;
+/// [`Histogram::record`] never allocates.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the buckets.  Concurrent recording makes the
+    /// copy "consistent enough": every sample fully recorded before the
+    /// call is included.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        let sum = self.sum.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Shorthand: the interpolated quantile of the live buckets.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        self.snapshot().value_at_quantile(q)
+    }
+}
+
+/// A point-in-time, mergeable copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_bounds`]).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self`.  Merging is associative and commutative:
+    /// any merge order of per-thread (or per-process) snapshots yields the
+    /// same totals, buckets, and therefore the same percentiles.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The interpolated value at quantile `q` in `[0, 1]` (nearest-rank,
+    /// linear interpolation inside the containing bucket).  The estimate is
+    /// guaranteed to land in the same bucket as the exact nearest-rank
+    /// sample, so its relative error is bounded by the bucket resolution
+    /// (`2^-SUB_BITS`, plus nothing at all below 16 where buckets are
+    /// exact).  Returns 0 on an empty histogram.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= rank {
+                let (lo, hi) = bucket_bounds(index);
+                let width = hi - lo;
+                let into = rank - cum; // 1..=n
+                let offset = (width as u128 * into as u128 / (n as u128 + 1)) as u64;
+                return (lo + offset.min(width.saturating_sub(1)))
+                    .clamp(self.min, self.max.max(self.min));
+            }
+            cum += n;
+        }
+        self.max
+    }
+
+    /// p50 shorthand.
+    pub fn p50(&self) -> u64 {
+        self.value_at_quantile(0.50)
+    }
+
+    /// p90 shorthand.
+    pub fn p90(&self) -> u64 {
+        self.value_at_quantile(0.90)
+    }
+
+    /// p99 shorthand.
+    pub fn p99(&self) -> u64 {
+        self.value_at_quantile(0.99)
+    }
+
+    /// p99.9 shorthand.
+    pub fn p999(&self) -> u64 {
+        self.value_at_quantile(0.999)
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound_inclusive, cumulative_count)`
+    /// pairs — the shape Prometheus `_bucket{le=...}` lines want.
+    pub fn cumulative_nonzero(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cum += n;
+            out.push((bucket_bounds(index).1 - 1, cum));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bounds_agree() {
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 100, 1000, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v, "lo {lo} > v {v}");
+            assert!(v < hi || hi == u64::MAX, "v {v} >= hi {hi}");
+        }
+        // Buckets tile the axis: consecutive indices share a boundary.
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_bounds(i).1, bucket_bounds(i + 1).0, "gap at {i}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 16);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 15);
+        assert_eq!(s.value_at_quantile(1.0), 15);
+    }
+
+    #[test]
+    fn quantile_lands_in_the_exact_sample_bucket() {
+        let h = Histogram::new();
+        let mut values: Vec<u64> = (0..1000).map(|i| (i * i * 37 + 11) % 1_000_000).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let s = h.snapshot();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let est = s.value_at_quantile(q);
+            assert_eq!(
+                bucket_index(est),
+                bucket_index(exact),
+                "q={q}: est {est} not in exact sample {exact}'s bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..500u64 {
+            let v = v * 13 % 4096;
+            if v % 2 == 0 { &a } else { &b }.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+}

@@ -1,0 +1,157 @@
+//! A hand-rolled HTTP/1.0 metrics responder on a dedicated thread.
+//!
+//! [`serve`] binds a listener and answers `GET /metrics` (or `/`) with the
+//! renderer's output as `text/plain; version=0.0.4` — the Prometheus text
+//! exposition content type — closing each connection after one response
+//! (HTTP/1.0 semantics, no keep-alive state to manage).  The accept loop
+//! is non-blocking with a short park, so [`MetricsServer::stop`] (or drop)
+//! joins promptly.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The renderer a metrics server calls per scrape.
+pub type Renderer = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// A running metrics endpoint; dropping it stops and joins the thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and serves `render()` to every scrape on a dedicated
+/// thread named `gld-obs-metrics`.
+pub fn serve(addr: impl ToSocketAddrs, render: Renderer) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("gld-obs-metrics".into())
+        .spawn(move || accept_loop(&listener, &stop_flag, &render))
+        .expect("spawn metrics thread");
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, render: &Renderer) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One short-lived scrape at a time: Prometheus polls are
+                // sparse, and serialising them keeps the thread budget at 1.
+                let _ = answer(stream, render);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+fn answer(mut stream: TcpStream, render: &Renderer) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    // Read until the end of the request head (or 8 KiB — more is abuse).
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let mut parts = request_line.split(|&b| b == b' ');
+    let method = parts.next().unwrap_or(&[]);
+    let path = parts.next().unwrap_or(&[]);
+    let (status, body) = if method != b"GET" {
+        ("405 Method Not Allowed", "method not allowed\n".to_string())
+    } else if path == b"/metrics" || path == b"/" {
+        ("200 OK", render())
+    } else {
+        ("404 Not Found", "try /metrics\n".to_string())
+    };
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_the_rendered_text_and_404s_elsewhere() {
+        let server = serve(
+            "127.0.0.1:0",
+            Arc::new(|| "demo_total 42\n".to_string()) as Renderer,
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let ok = get(addr, "/metrics");
+        assert!(ok.starts_with("HTTP/1.0 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("text/plain; version=0.0.4"));
+        assert!(ok.ends_with("demo_total 42\n"));
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"));
+        server.stop();
+    }
+}

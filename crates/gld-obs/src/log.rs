@@ -1,0 +1,292 @@
+//! Leveled structured logging.
+//!
+//! Configured by `GLD_LOG=level[,json]` (or programmatically via [`init`]):
+//! `level` is one of `off`, `error`, `warn`, `info` (the default), `debug`,
+//! `trace`; appending `,json` switches the sink from the human-readable
+//! line format to JSON-lines.  Events go to **stderr** in one write each,
+//! and every emitted event is also appended to a bounded ring the flight
+//! recorder drains.
+//!
+//! Use the macros ([`log_error!`](crate::log_error), [`log_warn!`](crate::log_warn),
+//! [`log_info!`](crate::log_info), [`log_debug!`](crate::log_debug)) —
+//! free-form `key=value` context goes before the format string:
+//!
+//! ```
+//! gld_obs::log_info!("serviced", conn = 3, req = 9; "admitted {} bytes", 128);
+//! ```
+
+use crate::now_ns;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Mutex, OnceLock};
+
+/// Log severity, ordered `Error < Warn < Info < Debug < Trace`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The process (or a connection) is in trouble.
+    Error,
+    /// Unexpected but survivable.
+    Warn,
+    /// Lifecycle events worth a line in production.
+    Info,
+    /// Per-request noise for debugging.
+    Debug,
+    /// Everything.
+    Trace,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+struct Config {
+    /// `None` means logging is off.
+    level: Option<Level>,
+    json: bool,
+}
+
+static CONFIG: OnceLock<Config> = OnceLock::new();
+
+fn parse_env() -> Config {
+    let spec = std::env::var("GLD_LOG").unwrap_or_default();
+    let mut level = Some(Level::Info);
+    let mut json = false;
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        match part.to_ascii_lowercase().as_str() {
+            "off" | "none" => level = None,
+            "error" => level = Some(Level::Error),
+            "warn" => level = Some(Level::Warn),
+            "info" => level = Some(Level::Info),
+            "debug" => level = Some(Level::Debug),
+            "trace" => level = Some(Level::Trace),
+            "json" => json = true,
+            _ => {} // Unknown words are ignored, like unknown ext bits.
+        }
+    }
+    Config { level, json }
+}
+
+fn config() -> &'static Config {
+    CONFIG.get_or_init(parse_env)
+}
+
+/// Sets the level and format explicitly, overriding `GLD_LOG`.  First call
+/// wins (including the implicit env-driven one); later calls are no-ops.
+pub fn init(level: Option<Level>, json: bool) {
+    let _ = CONFIG.set(Config { level, json });
+}
+
+/// Whether events at `level` are currently emitted.
+pub fn enabled(level: Level) -> bool {
+    config().level.is_some_and(|max| level <= max)
+}
+
+/// One structured log event, as the flight recorder retains it.
+#[derive(Clone, Debug)]
+pub struct LogEvent {
+    /// Nanoseconds since the [`crate::now_ns`] epoch.
+    pub t_ns: u64,
+    /// Severity.
+    pub level: Level,
+    /// Component name (e.g. `"serviced"`).
+    pub target: String,
+    /// `key=value` context pairs.
+    pub fields: Vec<(&'static str, String)>,
+    /// The formatted message.
+    pub msg: String,
+}
+
+/// Log events retained for the flight recorder.
+pub const LOG_RING_CAPACITY: usize = 512;
+
+fn log_ring() -> &'static Mutex<VecDeque<LogEvent>> {
+    static RING: OnceLock<Mutex<VecDeque<LogEvent>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(LOG_RING_CAPACITY)))
+}
+
+/// Recent log events, oldest first — the flight recorder's log feed.
+pub fn collect() -> Vec<LogEvent> {
+    log_ring()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .cloned()
+        .collect()
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Emits one event (the macros call this).  Events below the configured
+/// level are dropped before any formatting by the macro's `enabled` check;
+/// calling this directly always records into the flight ring.
+pub fn emit(level: Level, target: &str, fields: Vec<(&'static str, String)>, msg: String) {
+    let event = LogEvent {
+        t_ns: now_ns(),
+        level,
+        target: target.to_string(),
+        fields,
+        msg,
+    };
+    {
+        let mut ring = log_ring().lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == LOG_RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(event.clone());
+    }
+    if !enabled(level) {
+        return;
+    }
+    let line = if config().json {
+        render_json(&event)
+    } else {
+        render_human(&event)
+    };
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "{line}");
+}
+
+fn render_human(e: &LogEvent) -> String {
+    let secs = e.t_ns as f64 / 1e9;
+    let mut line = format!(
+        "[{secs:10.6}] {:5} {}: {}",
+        e.level.as_str().to_ascii_uppercase(),
+        e.target,
+        e.msg
+    );
+    for (k, v) in &e.fields {
+        line.push_str(&format!(" {k}={v}"));
+    }
+    line
+}
+
+/// The JSON-lines rendering shared by the logger sink and the flight
+/// recorder dump.
+pub fn render_json(e: &LogEvent) -> String {
+    let mut line = format!(
+        "{{\"kind\":\"log\",\"t_ns\":{},\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\"",
+        e.t_ns,
+        e.level.as_str(),
+        json_escape(&e.target),
+        json_escape(&e.msg)
+    );
+    for (k, v) in &e.fields {
+        line.push_str(&format!(",\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+    }
+    line.push('}');
+    line
+}
+
+/// Core logging macro: `gld_log!(Level::Info, "target", k = v; "fmt {}", arg)`.
+/// Prefer the per-level wrappers.
+#[macro_export]
+macro_rules! gld_log {
+    ($level:expr, $target:expr, $($key:ident = $value:expr),+ ; $($fmt:tt)+) => {
+        if $crate::log::enabled($level) {
+            $crate::log::emit(
+                $level,
+                $target,
+                vec![$((stringify!($key), format!("{}", $value))),+],
+                format!($($fmt)+),
+            );
+        }
+    };
+    ($level:expr, $target:expr, $($fmt:tt)+) => {
+        if $crate::log::enabled($level) {
+            $crate::log::emit($level, $target, Vec::new(), format!($($fmt)+));
+        }
+    };
+}
+
+/// `log_error!("target", conn = 3; "msg {}", x)` — error-level event.
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($rest:tt)+) => {
+        $crate::gld_log!($crate::log::Level::Error, $target, $($rest)+)
+    };
+}
+
+/// Warn-level event; see [`log_error!`](crate::log_error).
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($rest:tt)+) => {
+        $crate::gld_log!($crate::log::Level::Warn, $target, $($rest)+)
+    };
+}
+
+/// Info-level event; see [`log_error!`](crate::log_error).
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($rest:tt)+) => {
+        $crate::gld_log!($crate::log::Level::Info, $target, $($rest)+)
+    };
+}
+
+/// Debug-level event; see [`log_error!`](crate::log_error).
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($rest:tt)+) => {
+        $crate::gld_log!($crate::log::Level::Debug, $target, $($rest)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Trace);
+        if std::env::var("GLD_LOG").is_err() {
+            let c = parse_env();
+            assert_eq!(c.level, Some(Level::Info));
+            assert!(!c.json);
+        }
+    }
+
+    #[test]
+    fn emit_lands_in_the_flight_ring() {
+        // Bypass the macro's `enabled` gate so the test is independent of
+        // whatever GLD_LOG the environment carries.
+        emit(
+            Level::Info,
+            "test-log",
+            vec![("conn", "1".to_string())],
+            format!("hello {}", "ring"),
+        );
+        let events = collect();
+        let e = events
+            .iter()
+            .rev()
+            .find(|e| e.target == "test-log")
+            .expect("logged");
+        assert_eq!(e.msg, "hello ring");
+        assert_eq!(e.fields, vec![("conn", "1".to_string())]);
+        let json = render_json(e);
+        assert!(json.contains("\"kind\":\"log\""));
+        assert!(json.contains("\"conn\":\"1\""));
+    }
+}

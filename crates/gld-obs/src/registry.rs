@@ -1,0 +1,339 @@
+//! The process-global metric registry: named histograms, counters, and
+//! gauges, each optionally labelled, rendered as Prometheus text
+//! exposition (format 0.0.4).
+//!
+//! Handles are `Arc`s resolved once (typically into a `OnceLock` at the
+//! instrumentation site) so the hot path never touches the registry lock.
+//! Families and label sets are registered on first use; re-requesting the
+//! same `(family, labels)` pair returns the same instrument.
+
+use crate::hist::Histogram;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct Entry<T> {
+    family: String,
+    labels: String,
+    instrument: Arc<T>,
+}
+
+/// A registry of named instruments.  One process-global instance lives
+/// behind [`global`]; tests may build private ones.
+#[derive(Default)]
+pub struct Registry {
+    hists: Mutex<Vec<Entry<Histogram>>>,
+    counters: Mutex<Vec<Entry<Counter>>>,
+    gauges: Mutex<Vec<Entry<Gauge>>>,
+}
+
+/// Canonical `key1="v1",key2="v2"` form of a label set.
+fn label_string(labels: &[(&str, &str)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn get_or_insert<T: Default>(
+    entries: &Mutex<Vec<Entry<T>>>,
+    family: &str,
+    labels: &[(&str, &str)],
+) -> Arc<T> {
+    let labels = label_string(labels);
+    let mut entries = entries.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(entry) = entries
+        .iter()
+        .find(|e| e.family == family && e.labels == labels)
+    {
+        return Arc::clone(&entry.instrument);
+    }
+    let instrument = Arc::new(T::default());
+    entries.push(Entry {
+        family: family.to_string(),
+        labels,
+        instrument: Arc::clone(&instrument),
+    });
+    instrument
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The histogram for `(family, labels)`, registered on first use.
+    pub fn histogram(&self, family: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        get_or_insert(&self.hists, family, labels)
+    }
+
+    /// The counter for `(family, labels)`, registered on first use.
+    pub fn counter(&self, family: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        get_or_insert(&self.counters, family, labels)
+    }
+
+    /// The gauge for `(family, labels)`, registered on first use.
+    pub fn gauge(&self, family: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, family, labels)
+    }
+
+    /// Every registered histogram as `(family, labels, snapshot)`.
+    pub fn histogram_snapshots(&self) -> Vec<(String, String, crate::HistogramSnapshot)> {
+        let hists = self.hists.lock().unwrap_or_else(|e| e.into_inner());
+        hists
+            .iter()
+            .map(|e| (e.family.clone(), e.labels.clone(), e.instrument.snapshot()))
+            .collect()
+    }
+
+    /// Renders every instrument in Prometheus text exposition format:
+    /// `# TYPE` lines per family, `_bucket{le=...}`/`_sum`/`_count` series
+    /// per histogram (non-empty buckets only, `le` in integer nanoseconds),
+    /// plus a derived `<family>_quantile{q=...}` gauge family carrying the
+    /// interpolated p50/p90/p99/p99.9 so scrapers need no bucket math.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        // Series are grouped by family (one `# TYPE` line each), sorted so
+        // late-registered label sets of an existing family do not split it.
+        let mut scalars: Vec<(String, String, String, &str)> = Vec::new();
+        {
+            let counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+            for entry in counters.iter() {
+                scalars.push((
+                    entry.family.clone(),
+                    entry.labels.clone(),
+                    entry.instrument.get().to_string(),
+                    "counter",
+                ));
+            }
+        }
+        {
+            let gauges = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+            for entry in gauges.iter() {
+                scalars.push((
+                    entry.family.clone(),
+                    entry.labels.clone(),
+                    entry.instrument.get().to_string(),
+                    "gauge",
+                ));
+            }
+        }
+        scalars.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        let mut last_family = String::new();
+        for (family, labels, value, kind) in &scalars {
+            if *family != last_family {
+                out.push_str(&format!("# TYPE {family} {kind}\n"));
+                last_family = family.clone();
+            }
+            out.push_str(&render_line(family, "", labels, value));
+        }
+        let mut hists = self.histogram_snapshots();
+        hists.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        let mut last_family = String::new();
+        for (family, labels, snapshot) in &hists {
+            if *family != last_family {
+                out.push_str(&format!("# TYPE {family} histogram\n"));
+                last_family = family.clone();
+            }
+            for (le, cum) in snapshot.cumulative_nonzero() {
+                let le_label = join_labels(labels, &format!("le=\"{le}\""));
+                out.push_str(&render_line(family, "_bucket", &le_label, &cum.to_string()));
+            }
+            let inf_label = join_labels(labels, "le=\"+Inf\"");
+            out.push_str(&render_line(
+                family,
+                "_bucket",
+                &inf_label,
+                &snapshot.count.to_string(),
+            ));
+            out.push_str(&render_line(
+                family,
+                "_sum",
+                labels,
+                &snapshot.sum.to_string(),
+            ));
+            out.push_str(&render_line(
+                family,
+                "_count",
+                labels,
+                &snapshot.count.to_string(),
+            ));
+        }
+        // Derived quantile gauges come after every histogram family so no
+        // family's series are split by another's.
+        let mut last_family = String::new();
+        for (family, labels, snapshot) in &hists {
+            if *family != last_family {
+                out.push_str(&format!("# TYPE {family}_quantile gauge\n"));
+                last_family = family.clone();
+            }
+            for (q, value) in [
+                ("0.5", snapshot.p50()),
+                ("0.9", snapshot.p90()),
+                ("0.99", snapshot.p99()),
+                ("0.999", snapshot.p999()),
+            ] {
+                let q_label = join_labels(labels, &format!("q=\"{q}\""));
+                out.push_str(&render_line(
+                    family,
+                    "_quantile",
+                    &q_label,
+                    &value.to_string(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn join_labels(labels: &str, extra: &str) -> String {
+    if labels.is_empty() {
+        extra.to_string()
+    } else {
+        format!("{labels},{extra}")
+    }
+}
+
+fn render_line(family: &str, suffix: &str, labels: &str, value: &str) -> String {
+    if labels.is_empty() {
+        format!("{family}{suffix} {value}\n")
+    } else {
+        format!("{family}{suffix}{{{labels}}} {value}\n")
+    }
+}
+
+/// The process-global registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Shorthand: a histogram from the [`global`] registry.
+pub fn histogram(family: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+    global().histogram(family, labels)
+}
+
+/// Shorthand: a counter from the [`global`] registry.
+pub fn counter(family: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+    global().counter(family, labels)
+}
+
+/// Shorthand: a gauge from the [`global`] registry.
+pub fn gauge(family: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+    global().gauge(family, labels)
+}
+
+/// Extracts one sample value from rendered exposition text: the line whose
+/// name is `family` (plus `suffix`, e.g. `"_quantile"`) and whose label
+/// block contains every `needle` given.  The parser the bench and CI
+/// scrapers share, so "scraping the endpoint" never regex-drifts from the
+/// renderer.
+pub fn scrape_value(text: &str, family: &str, suffix: &str, needles: &[&str]) -> Option<f64> {
+    let name = format!("{family}{suffix}");
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ')?;
+        let (line_name, labels) = match series.split_once('{') {
+            Some((n, rest)) => (n, rest.trim_end_matches('}')),
+            None => (series, ""),
+        };
+        if line_name != name {
+            continue;
+        }
+        if needles.iter().all(|n| labels.contains(n)) {
+            return value.parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_family_and_labels_share_the_instrument() {
+        let r = Registry::new();
+        let a = r.counter("x_total", &[("op", "ping")]);
+        let b = r.counter("x_total", &[("op", "ping")]);
+        let c = r.counter("x_total", &[("op", "status")]);
+        a.inc();
+        b.inc();
+        c.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn render_and_scrape_round_trip() {
+        let r = Registry::new();
+        r.counter("demo_total", &[("op", "ping")]).add(7);
+        r.gauge("demo_active", &[]).set(3);
+        let h = r.histogram("demo_ns", &[("op", "ping")]);
+        for v in [10u64, 100, 1000, 10_000] {
+            h.record(v);
+        }
+        let text = r.render();
+        assert_eq!(
+            scrape_value(&text, "demo_total", "", &["op=\"ping\""]),
+            Some(7.0)
+        );
+        assert_eq!(scrape_value(&text, "demo_active", "", &[]), Some(3.0));
+        assert_eq!(
+            scrape_value(&text, "demo_ns", "_count", &["op=\"ping\""]),
+            Some(4.0)
+        );
+        let p50 = scrape_value(&text, "demo_ns", "_quantile", &["op=\"ping\"", "q=\"0.5\""]);
+        assert!(p50.is_some());
+        // Cumulative buckets are non-decreasing and end at the count.
+        let mut last = 0.0;
+        for line in text.lines() {
+            if line.starts_with("demo_ns_bucket") {
+                let v: f64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+                assert!(v >= last);
+                last = v;
+            }
+        }
+        assert_eq!(last, 4.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Lightweight span tracing.
+//!
+//! A span is a named monotonic start/stop interval, optionally tagged with
+//! connection and request ids.  Finished spans go into a bounded
+//! **per-thread ring** (capacity [`RING_CAPACITY`]): recording locks only
+//! the calling thread's own ring mutex — uncontended except while a flight
+//! dump is collecting — so the hot paths pay a thread-local lookup plus a
+//! few stores.  The rings are registered globally; [`collect`] merges every
+//! thread's recent spans for the flight recorder.
+//!
+//! Scope-shaped spans use the [`span!`](crate::span!) macro (guard records
+//! on drop); intervals measured across callbacks use [`record`] directly.
+
+use crate::now_ns;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Spans retained per thread: old events are overwritten ring-style.
+pub const RING_CAPACITY: usize = 512;
+
+/// One finished span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Start, nanoseconds since the [`crate::now_ns`] epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Static span name, e.g. `"shard.execute"`.
+    pub name: &'static str,
+    /// Connection id (0 when not applicable).
+    pub conn: u64,
+    /// Request id (0 when not applicable).
+    pub req: u64,
+}
+
+struct ThreadRing {
+    buf: Mutex<VecDeque<SpanEvent>>,
+}
+
+fn rings() -> &'static Mutex<Vec<Arc<ThreadRing>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<ThreadRing>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL_RING: Arc<ThreadRing> = {
+        let ring = Arc::new(ThreadRing {
+            buf: Mutex::new(VecDeque::with_capacity(RING_CAPACITY)),
+        });
+        rings()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&ring));
+        ring
+    };
+}
+
+fn push(event: SpanEvent) {
+    LOCAL_RING.with(|ring| {
+        let mut buf = ring.buf.lock().unwrap_or_else(|e| e.into_inner());
+        if buf.len() == RING_CAPACITY {
+            buf.pop_front();
+        }
+        buf.push_back(event);
+    });
+}
+
+/// Records a finished span measured externally (timestamps from
+/// [`crate::now_ns`]).  `end_ns < start_ns` is clamped to zero duration.
+pub fn record(name: &'static str, start_ns: u64, end_ns: u64, conn: u64, req: u64) {
+    push(SpanEvent {
+        start_ns,
+        dur_ns: end_ns.saturating_sub(start_ns),
+        name,
+        conn,
+        req,
+    });
+}
+
+/// Every thread's recent spans, merged and sorted by start time — the
+/// flight recorder's span feed.
+pub fn collect() -> Vec<SpanEvent> {
+    let rings: Vec<Arc<ThreadRing>> = rings()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(Arc::clone)
+        .collect();
+    let mut events = Vec::new();
+    for ring in rings {
+        let buf = ring.buf.lock().unwrap_or_else(|e| e.into_inner());
+        events.extend(buf.iter().copied());
+    }
+    events.sort_by_key(|e| e.start_ns);
+    events
+}
+
+/// An open span: records into the current thread's ring when dropped (or
+/// explicitly via [`SpanGuard::end`], returning the duration).
+#[must_use = "a span measures the scope holding the guard"]
+pub struct SpanGuard {
+    name: &'static str,
+    start_ns: u64,
+    conn: u64,
+    req: u64,
+    armed: bool,
+}
+
+impl SpanGuard {
+    /// Opens a span now.  Prefer the [`span!`](crate::span!) macro.
+    pub fn enter(name: &'static str, conn: u64, req: u64) -> Self {
+        SpanGuard {
+            name,
+            start_ns: now_ns(),
+            conn,
+            req,
+            armed: true,
+        }
+    }
+
+    /// Ends the span now, recording it and returning its duration in
+    /// nanoseconds.
+    pub fn end(mut self) -> u64 {
+        self.armed = false;
+        let end = now_ns();
+        record(self.name, self.start_ns, end, self.conn, self.req);
+        end.saturating_sub(self.start_ns)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            record(self.name, self.start_ns, now_ns(), self.conn, self.req);
+        }
+    }
+}
+
+/// Opens a [`SpanGuard`] recording the enclosing scope:
+/// `span!("shard.execute")` or `span!("shard.execute", conn, req)`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name, 0, 0)
+    };
+    ($name:expr, $conn:expr, $req:expr) => {
+        $crate::span::SpanGuard::enter($name, $conn, $req)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_records_on_drop_and_rings_are_bounded() {
+        {
+            let _g = crate::span!("test.scope", 7, 9);
+        }
+        let events = collect();
+        let e = events
+            .iter()
+            .rev()
+            .find(|e| e.name == "test.scope")
+            .expect("span recorded");
+        assert_eq!((e.conn, e.req), (7, 9));
+        for _ in 0..2 * RING_CAPACITY {
+            record("test.flood", 0, 1, 0, 0);
+        }
+        let floods = collect().iter().filter(|e| e.name == "test.flood").count();
+        assert!(floods <= RING_CAPACITY);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based coverage for the log2-bucket histogram: the percentile
+//! error bound against exact sorted samples, exact totals under concurrent
+//! multi-thread recording, and snapshot-merge associativity.
+
+use gld_obs::hist::{bucket_bounds, bucket_index, SUB};
+use gld_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Records every value into a fresh histogram.
+fn recorded(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// The exact nearest-rank percentile of `sorted` at quantile `q`, matching
+/// the rank rule `value_at_quantile` uses.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn quantile_estimates_stay_within_the_bucket_error_bound(
+        values in prop::collection::vec(0u64..50_000_000, 1..400),
+    ) {
+        let h = recorded(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let snapshot = h.snapshot();
+        prop_assert_eq!(snapshot.count, values.len() as u64);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = exact_percentile(&sorted, q);
+            let est = snapshot.value_at_quantile(q);
+            // The estimate must land in the exact sample's bucket, whose
+            // width is at most 1/SUB of its lower bound (and 1 below SUB,
+            // where buckets are exact) — the documented error bound.
+            prop_assert_eq!(bucket_index(est), bucket_index(exact));
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            let width = hi - lo;
+            prop_assert!(
+                width <= (lo / SUB as u64).max(1),
+                "bucket [{}, {}) wider than lo/{}", lo, hi, SUB
+            );
+            prop_assert!(est.abs_diff(exact) < width.max(1));
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing(
+        per_thread in prop::collection::vec(
+            prop::collection::vec(0u64..1_000_000, 1..64),
+            2..5,
+        ),
+    ) {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for chunk in &per_thread {
+                let h = &h;
+                scope.spawn(move || {
+                    for &v in chunk {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let expected_count: u64 = per_thread.iter().map(|c| c.len() as u64).sum();
+        let expected_sum: u64 = per_thread.iter().flatten().sum();
+        prop_assert_eq!(h.count(), expected_count);
+        prop_assert_eq!(h.sum(), expected_sum);
+        prop_assert_eq!(h.snapshot().buckets.iter().sum::<u64>(), expected_count);
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative_and_matches_combined_recording(
+        a in prop::collection::vec(0u64..1_000_000, 0..64),
+        b in prop::collection::vec(0u64..1_000_000, 0..64),
+        c in prop::collection::vec(0u64..1_000_000, 0..64),
+    ) {
+        let (sa, sb, sc) = (
+            recorded(&a).snapshot(),
+            recorded(&b).snapshot(),
+            recorded(&c).snapshot(),
+        );
+
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        // ...and both equal recording everything into one histogram.
+        let mut all: Vec<u64> = Vec::new();
+        all.extend(&a);
+        all.extend(&b);
+        all.extend(&c);
+        let combined = recorded(&all).snapshot();
+        prop_assert_eq!(&left, &combined);
+
+        // The identity element: merging an empty snapshot changes nothing.
+        let mut padded = left.clone();
+        padded.merge(&HistogramSnapshot::default());
+        prop_assert_eq!(&padded, &left);
+    }
+}

@@ -13,15 +13,24 @@
 //! compress of the same variable, and the `Status` op's per-shard
 //! counters are asserted against the negotiated topology.
 //!
+//! With `--verify-metrics HOST:PORT` the check additionally scrapes the
+//! server's `--metrics-addr` Prometheus endpoint and cross-checks the
+//! exposition against the wire `Status` summaries: the required metric
+//! families must be present and every per-op count/p50/p99 must agree
+//! exactly with the trailer (both read the same cumulative histograms).
+//!
 //! ```text
-//! gld-service-check [--pipelined] [HOST:PORT]   (default 127.0.0.1:7171)
+//! gld-service-check [--pipelined] [--verify-metrics HOST:PORT] [HOST:PORT]
+//!                   (default 127.0.0.1:7171)
 //! ```
 
 use gld_baselines::{SzCompressor, ZfpLikeCompressor};
 use gld_core::{Codec, CodecId, Container, ErrorTarget, StreamConfig};
 use gld_datasets::{generate, DatasetKind, FieldSpec};
-use gld_service::{Backoff, ClientError, Reply, ServiceClient, Status};
+use gld_service::{Backoff, ClientError, Op, Reply, ServiceClient, Status};
 use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 fn connect_with_retry(addr: &str) -> ServiceClient {
@@ -38,7 +47,7 @@ fn connect_with_retry(addr: &str) -> ServiceClient {
         match ServiceClient::connect(addr) {
             Ok(client) => return client,
             Err(e) if Instant::now() < deadline => {
-                eprintln!("waiting for {addr}: {e}");
+                gld_obs::log_debug!("service-check", addr = addr, err = e; "waiting for server");
                 backoff.sleep();
             }
             Err(e) => panic!("could not reach {addr} within 20s: {e}"),
@@ -54,9 +63,11 @@ fn pipelined_check(addr: &str) {
     let info = blocking
         .hello(&[CodecId::SzLike, CodecId::ZfpLike])
         .expect("hello negotiation");
-    println!(
-        "pipelined check: server has {} shard(s), window {}",
-        info.shards, info.shard_window
+    gld_obs::log_info!(
+        "service-check",
+        shards = info.shards,
+        window = info.shard_window;
+        "pipelined check: negotiated"
     );
 
     let ds = generate(DatasetKind::E3sm, &FieldSpec::new(2, 24, 16, 16), 71);
@@ -129,21 +140,139 @@ fn pipelined_check(addr: &str) {
         completed as usize >= CONNS,
         "per-shard completed counters should cover the pipelined compresses"
     );
-    println!(
-        "{CONNS} pipelined connections OK ({} codec requests completed server-side)",
-        completed
+    gld_obs::log_info!(
+        "service-check",
+        connections = CONNS,
+        completed = completed;
+        "pipelined connections OK"
     );
 
     blocking.shutdown_server().expect("shutdown request");
-    println!("pipelined service check OK");
+    gld_obs::log_info!("service-check", "pipelined service check OK");
+}
+
+/// One HTTP/1.0 GET against the `--metrics-addr` endpoint, returning the
+/// exposition body (the same scrape CI performs with curl).
+fn scrape_metrics(metrics_addr: &str) -> String {
+    let mut stream = TcpStream::connect(metrics_addr).expect("connect metrics endpoint");
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("write scrape request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read scrape response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("HTTP header/body split");
+    assert!(
+        head.starts_with("HTTP/1.0 200"),
+        "metrics endpoint refused the scrape: {head}"
+    );
+    body.to_string()
+}
+
+/// Scrapes the metrics endpoint and cross-checks it against the wire
+/// `Status` summaries.  The status request is the only traffic between the
+/// trailer build and the scrape, so every non-status op row must agree
+/// exactly (the status op's own total lands in the histogram *after* its
+/// summaries were built, so that one row lags by design).
+fn verify_metrics_endpoint(client: &mut ServiceClient, metrics_addr: &str) {
+    let status = client.status().expect("status with summaries");
+    let summaries = status
+        .summaries
+        .expect("server echoes the negotiated summaries trailer");
+    let body = scrape_metrics(metrics_addr);
+
+    for family in [
+        "glds_request_duration_ns",
+        "glds_stage_duration_ns",
+        "glds_connections_active",
+        "glds_connections_opened_total",
+        "glds_requests_completed_total",
+        "glds_requests_rejected_total",
+        "glds_requests_rate_limited_total",
+        "glds_deadlines_exceeded_total",
+        "glds_rejected_other_total",
+        "glds_shard_in_flight",
+    ] {
+        assert!(
+            body.contains(&format!("# TYPE {family} ")),
+            "family {family} missing from the exposition"
+        );
+    }
+
+    let mut rows_checked = 0u32;
+    for row in &summaries.ops {
+        let op = Op::from_u8(row.op).expect("summary rows carry valid ops");
+        if op == Op::Status {
+            continue;
+        }
+        let name = match op {
+            Op::Hello => "hello",
+            Op::Compress => "compress",
+            Op::Decompress => "decompress",
+            Op::Ping => "ping",
+            Op::Shutdown => "shutdown",
+            Op::Status => unreachable!(),
+        };
+        let needle = format!("op=\"{name}\"");
+        let count = gld_obs::registry::scrape_value(
+            &body,
+            "glds_request_duration_ns",
+            "_count",
+            &[&needle],
+        )
+        .unwrap_or_else(|| panic!("endpoint misses the {name} histogram"));
+        assert_eq!(count as u64, row.count, "{name}: count disagrees");
+        for (q, expected) in [("0.5", row.p50_ns), ("0.99", row.p99_ns)] {
+            let got = gld_obs::registry::scrape_value(
+                &body,
+                "glds_request_duration_ns",
+                "_quantile",
+                &[&needle, &format!("q=\"{q}\"")],
+            )
+            .unwrap_or_else(|| panic!("endpoint misses the {name} q={q} gauge"));
+            assert_eq!(got as u64, expected, "{name}: q={q} disagrees");
+        }
+        rows_checked += 1;
+    }
+    assert!(rows_checked > 0, "served ops produce summary rows");
+
+    let value = |family| {
+        gld_obs::registry::scrape_value(&body, family, "", &[])
+            .unwrap_or_else(|| panic!("{family} missing"))
+    };
+    let rejected = value("glds_requests_rejected_total");
+    let rate_limited = value("glds_requests_rate_limited_total");
+    let deadlines = value("glds_deadlines_exceeded_total");
+    let other = value("glds_rejected_other_total");
+    assert_eq!(
+        rejected,
+        rate_limited + deadlines + other,
+        "rejection roll-up must equal the sum of its disjoint causes"
+    );
+    assert_eq!(other as u64, summaries.rejected_other);
+
+    gld_obs::log_info!(
+        "service-check",
+        ops = rows_checked,
+        rejected = rejected;
+        "metrics endpoint agrees with Status summaries"
+    );
 }
 
 fn main() {
     let mut pipelined = false;
     let mut addr = "127.0.0.1:7171".to_string();
-    for arg in std::env::args().skip(1) {
+    let mut verify_metrics: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--pipelined" => pipelined = true,
+            "--verify-metrics" => {
+                verify_metrics = Some(args.next().expect("--verify-metrics takes HOST:PORT"))
+            }
             other => addr = other.to_string(),
         }
     }
@@ -156,9 +285,13 @@ fn main() {
     let info = client
         .hello(&[CodecId::SzLike, CodecId::ZfpLike])
         .expect("hello negotiation");
-    println!(
-        "negotiated {:?}; server has {} shard(s), window {}, queue depth {}",
-        info.codec, info.shards, info.shard_window, info.queue_depth
+    gld_obs::log_info!(
+        "service-check",
+        codec = format!("{:?}", info.codec),
+        shards = info.shards,
+        window = info.shard_window,
+        queue_depth = info.queue_depth;
+        "negotiated"
     );
     assert_eq!(info.codec, CodecId::SzLike, "first preference wins");
     assert!(
@@ -191,9 +324,13 @@ fn main() {
                 local.encode(),
                 "{name}: remote container differs from direct Codec output"
             );
-            println!(
-                "{name} '{}': {} blocks, {} bytes — bit-identical to local",
-                variable.name, stats.blocks, stats.compressed_bytes
+            gld_obs::log_info!(
+                "service-check",
+                codec = name,
+                variable = variable.name,
+                blocks = stats.blocks,
+                bytes = stats.compressed_bytes;
+                "round trip bit-identical to local"
             );
 
             let blocks = client
@@ -221,6 +358,10 @@ fn main() {
         .ping()
         .expect("connection still serves after a refusal");
 
+    if let Some(metrics_addr) = &verify_metrics {
+        verify_metrics_endpoint(&mut client, metrics_addr);
+    }
+
     client.shutdown_server().expect("shutdown request");
-    println!("service check OK");
+    gld_obs::log_info!("service-check", "service check OK");
 }

@@ -11,7 +11,13 @@
 //!              [--queue-depth N] [--round-robin]
 //!              [--max-outstanding N] [--rate-limit CAPACITY:PER_SEC]
 //!              [--idle-timeout SECS] [--op-deadline MS]
+//!              [--metrics-addr HOST:PORT] [--flight-dump PATH]
 //! ```
+//!
+//! All diagnostics go through the `gld-obs` structured logger (stderr,
+//! `GLD_LOG=level[,json]`).  `--metrics-addr` serves Prometheus text
+//! exposition over HTTP/1.0; `--flight-dump PATH` routes flight-recorder
+//! dumps (panic, fatal I/O) to a file instead of stderr.
 
 use gld_service::{CodecRegistry, RateLimit, Server, ServiceConfig, ShardPolicy};
 
@@ -25,6 +31,7 @@ fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T 
 }
 
 fn main() {
+    gld_obs::flight::install_panic_hook();
     let mut config = ServiceConfig {
         addr: "127.0.0.1:7171".into(),
         ..ServiceConfig::default()
@@ -34,6 +41,10 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => config.addr = parse_flag(&mut args, "--addr"),
+            "--metrics-addr" => config.metrics_addr = Some(parse_flag(&mut args, "--metrics-addr")),
+            "--flight-dump" => {
+                gld_obs::flight::set_dump_path(Some(parse_flag(&mut args, "--flight-dump")))
+            }
             "--shards" => config.shards = parse_flag(&mut args, "--shards"),
             "--window" => config.shard_window = parse_flag(&mut args, "--window"),
             "--queue-depth" => config.stream.queue_depth = parse_flag(&mut args, "--queue-depth"),
@@ -73,30 +84,40 @@ fn main() {
     let fds_at_boot = open_fds();
     // Resolve (and report) the kernel backend before accepting work so an
     // invalid `GLD_KERNEL_BACKEND` fails at boot, not mid-request.
-    println!(
-        "gld-serviced kernel backend: {} (cpu: {})",
-        gld_kernels::active(),
-        gld_kernels::cpu_features()
+    gld_obs::log_info!(
+        "serviced",
+        backend = gld_kernels::active(),
+        cpu = gld_kernels::cpu_features();
+        "kernel backend resolved"
     );
     let server = Server::start(config, CodecRegistry::rule_based()).expect("bind and start server");
-    // The readiness line CI and scripts wait for.
+    // The readiness line CI and scripts wait for (stdout, not the logger:
+    // it is machine-scraped and must survive GLD_LOG=off).
     println!(
         "gld-serviced listening on {} ({shards} shards, window {window})",
         server.local_addr()
     );
+    if let Some(metrics_addr) = server.metrics_addr() {
+        println!("gld-serviced metrics on http://{metrics_addr}/metrics");
+    }
 
     let metrics = server.wait();
-    println!(
-        "gld-serviced drained: {} request(s), {} block(s), {} connection(s), {} rejected",
-        metrics.completed(),
-        metrics.blocks(),
-        metrics.connections_opened,
-        metrics.requests_rejected,
+    gld_obs::log_info!(
+        "serviced",
+        requests = metrics.completed(),
+        blocks = metrics.blocks(),
+        connections = metrics.connections_opened,
+        rejected = metrics.requests_rejected;
+        "drained"
     );
     for (index, shard) in metrics.shards.iter().enumerate() {
-        println!(
-            "  shard {index}: {} completed, peak in-flight {}, peak resident blocks {}",
-            shard.completed, shard.peak_in_flight, shard.peak_resident_blocks
+        gld_obs::log_info!(
+            "serviced",
+            shard = index,
+            completed = shard.completed,
+            peak_in_flight = shard.peak_in_flight,
+            peak_resident_blocks = shard.peak_resident_blocks;
+            "shard drained"
         );
     }
     assert!(
@@ -116,23 +137,40 @@ fn main() {
             .and_then(|v| v.trim().parse().ok())
             .unwrap_or(0);
         if threads > expected {
-            eprintln!(
-                "thread leak: {threads} live threads after shutdown, expected at most {expected} \
-                 (main + rayon pool)"
+            gld_obs::log_error!(
+                "serviced",
+                live = threads,
+                expected = expected;
+                "thread leak after shutdown"
             );
             std::process::exit(1);
         }
-        println!("no leaked threads ({threads} live, expected <= {expected})");
+        gld_obs::log_info!(
+            "serviced",
+            live = threads,
+            expected = expected;
+            "no leaked threads"
+        );
 
         // Every connection, the listener, the epoll instance and the waker
         // are closed by the drain; the fd table must be back to its boot
         // size (the probe itself opens one fd in both measurements).
         let fds_after = open_fds();
         if fds_after > fds_at_boot {
-            eprintln!("fd leak: {fds_after} open fds after shutdown, {fds_at_boot} at boot");
+            gld_obs::log_error!(
+                "serviced",
+                open = fds_after,
+                at_boot = fds_at_boot;
+                "fd leak after shutdown"
+            );
             std::process::exit(1);
         }
-        println!("no leaked fds ({fds_after} open, {fds_at_boot} at boot)");
+        gld_obs::log_info!(
+            "serviced",
+            open = fds_after,
+            at_boot = fds_at_boot;
+            "no leaked fds"
+        );
     }
 }
 

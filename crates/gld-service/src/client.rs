@@ -333,9 +333,12 @@ impl ServiceClient {
     }
 
     /// Fetches the server's live counters ([`Op::Status`]): service-wide
-    /// connection/rejection totals plus per-shard load.
+    /// connection/rejection totals plus per-shard load.  The request
+    /// advertises [`protocol::EXT_STATUS_SUMMARIES`]; a server that knows
+    /// the bit echoes it and appends per-op latency summaries, which land
+    /// in [`StatusResponse::summaries`] (`None` from older servers).
     pub fn status(&mut self) -> Result<StatusResponse, ClientError> {
-        let (_, body) = self.request(Op::Status, 0, &[])?;
+        let (_, body) = self.request_ext(Op::Status, 0, protocol::EXT_STATUS_SUMMARIES, &[])?;
         Ok(StatusResponse::decode_body(&body)?)
     }
 
@@ -464,9 +467,20 @@ impl PipelinedClient {
     }
 
     fn submit(&mut self, op: Op, codec_byte: u8, body: &[u8]) -> Result<u64, ClientError> {
+        self.submit_ext(op, codec_byte, 0, body)
+    }
+
+    fn submit_ext(
+        &mut self,
+        op: Op,
+        codec_byte: u8,
+        ext: u8,
+        body: &[u8],
+    ) -> Result<u64, ClientError> {
         let request_id = self.next_id;
         self.next_id += 1;
-        let header = FrameHeader::request(op, codec_byte, request_id, body.len() as u64);
+        let header =
+            FrameHeader::request(op, codec_byte, request_id, body.len() as u64).with_ext(ext);
         protocol::write_frame(&mut self.wbuf, &header, body)?;
         self.pending.insert(request_id, op);
         Ok(request_id)
@@ -488,9 +502,12 @@ impl PipelinedClient {
         self.submit(Op::Ping, 0, &[])
     }
 
-    /// Submits a status probe; returns its request id.
+    /// Submits a status probe; returns its request id.  Advertises
+    /// [`protocol::EXT_STATUS_SUMMARIES`] so the eventual
+    /// [`Reply::ServerStatus`] carries per-op latency summaries when the
+    /// server supports them.
     pub fn submit_status(&mut self) -> Result<u64, ClientError> {
-        self.submit(Op::Status, 0, &[])
+        self.submit_ext(Op::Status, 0, protocol::EXT_STATUS_SUMMARIES, &[])
     }
 
     /// Submits a compress of `variable` under the session codec; returns its

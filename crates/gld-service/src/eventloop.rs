@@ -33,6 +33,7 @@ use crate::server::{
     prepare_compress, prepare_decompress, Completion, Prepared, ServerShared, Session, ShardJob,
 };
 use epoll::{Event, Interest, Poller};
+use gld_obs::{now_ns, registry, span, Histogram};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -50,6 +51,98 @@ const FIRST_CONN_TOKEN: u64 = 2;
 /// Write-buffer backlog (bytes unflushed) above which a connection's reads
 /// pause until the peer drains responses.
 const READ_PAUSE_BACKLOG: usize = 1 << 20;
+
+/// Label values for the per-op request histograms, indexed by `Op as u8 - 1`.
+const OP_NAMES: [&str; 6] = [
+    "hello",
+    "compress",
+    "decompress",
+    "ping",
+    "shutdown",
+    "status",
+];
+
+/// The lowercase label value for `op` in metric families.
+pub(crate) fn op_name(op: Op) -> &'static str {
+    OP_NAMES[op as u8 as usize - 1]
+}
+
+/// Pre-resolved histogram handles for the loop's hot paths, so recording a
+/// latency never touches the registry lock.
+///
+/// The stage histograms tile a request's server-side life contiguously —
+/// `parse` (frame start → queued/answered), `queue_wait` (queued →
+/// admitted), `execute` (admitted → response enqueued), `write` (enqueued →
+/// flushed to the kernel) — with shared boundary timestamps, so for every
+/// request that flushes, the four segment durations sum exactly to its
+/// `glds_request_duration_ns` total.
+pub(crate) struct LoopObs {
+    totals: [Arc<Histogram>; 6],
+    parse: Arc<Histogram>,
+    queue_wait: Arc<Histogram>,
+    execute: Arc<Histogram>,
+    write: Arc<Histogram>,
+}
+
+impl LoopObs {
+    pub(crate) fn new() -> Self {
+        let stage = |name| registry::histogram("glds_stage_duration_ns", &[("stage", name)]);
+        LoopObs {
+            totals: OP_NAMES
+                .map(|name| registry::histogram("glds_request_duration_ns", &[("op", name)])),
+            parse: stage("parse"),
+            queue_wait: stage("queue_wait"),
+            execute: stage("execute"),
+            write: stage("write"),
+        }
+    }
+
+    fn total(&self, op: Op) -> &Histogram {
+        &self.totals[op as u8 as usize - 1]
+    }
+
+    /// Snapshot of the per-op total histogram (for `Status` summaries).
+    pub(crate) fn total_snapshot(&self, op: Op) -> gld_obs::HistogramSnapshot {
+        self.total(op).snapshot()
+    }
+}
+
+/// Server-side timestamps a response carries into the write buffer, so the
+/// flush path can attribute the `write` stage and the per-op total.
+#[derive(Clone, Copy)]
+enum RespTiming {
+    /// Answered inline on the loop thread (ping/hello/status/refusals):
+    /// `parse` covers frame start → enqueue.
+    Inline { t0_ns: u64 },
+    /// A codec response whose shard job completed: `parse` and `queue_wait`
+    /// were recorded earlier; `execute` covers admit → enqueue.
+    Completed { t0_ns: u64, admit_ns: u64 },
+    /// A codec request answered without executing (deadline expiry, drain
+    /// refusal): `parse` was recorded when it queued; `queue_wait` covers
+    /// queued → enqueue and `execute` is skipped.
+    Expired { t0_ns: u64, parsed_ns: u64 },
+}
+
+impl RespTiming {
+    fn t0_ns(self) -> u64 {
+        match self {
+            RespTiming::Inline { t0_ns }
+            | RespTiming::Completed { t0_ns, .. }
+            | RespTiming::Expired { t0_ns, .. } => t0_ns,
+        }
+    }
+}
+
+/// One enqueued response awaiting its kernel flush, keyed by the absolute
+/// enqueued-byte offset at which it ends.  Offsets are monotonic counters,
+/// so buffer compaction in `flush_conn` never invalidates them.
+struct WriteTrack {
+    end: u64,
+    enq_ns: u64,
+    t0_ns: u64,
+    op: Op,
+    request_id: u64,
+}
 
 /// Per-connection token bucket limiting admissions of codec work.
 struct TokenBucket {
@@ -91,6 +184,11 @@ struct PendingRequest {
     /// When `--op-deadline` is set: the instant after which this request is
     /// answered [`Status::DeadlineExceeded`] instead of being started.
     deadline: Option<Instant>,
+    /// Frame-start timestamp ([`now_ns`]) — the request's latency origin.
+    t0_ns: u64,
+    /// When the request finished parsing and entered this queue; the
+    /// `parse` stage was recorded against `t0_ns..parsed_ns`.
+    parsed_ns: u64,
     job: ShardJob,
 }
 
@@ -119,6 +217,12 @@ struct Conn {
     last_write_progress: Instant,
     /// Last instant the peer sent bytes — the `--idle-timeout` clock.
     last_activity: Instant,
+    /// Monotonic count of response bytes ever appended to `out`.
+    bytes_enqueued: u64,
+    /// Monotonic count of response bytes the kernel has accepted.
+    bytes_flushed: u64,
+    /// Enqueued responses not yet fully flushed, in enqueue order.
+    write_track: VecDeque<WriteTrack>,
 }
 
 impl Conn {
@@ -156,6 +260,7 @@ pub(crate) struct EventLoop {
     next_token: u64,
     draining: bool,
     drain_deadline: Option<Instant>,
+    obs: LoopObs,
 }
 
 impl EventLoop {
@@ -171,6 +276,7 @@ impl EventLoop {
             next_token: FIRST_CONN_TOKEN,
             draining: false,
             drain_deadline: None,
+            obs: LoopObs::new(),
         }
     }
 
@@ -190,7 +296,12 @@ impl EventLoop {
         loop {
             let timeout = Some(self.shared.config.poll_interval);
             if self.poller.wait(&mut events, timeout).is_err() {
-                // A broken poller cannot serve; force the drain path.
+                // A broken poller cannot serve; leave a postmortem timeline
+                // and force the drain path.
+                if !self.shared.is_shutdown() {
+                    gld_obs::log_error!("eventloop", "poller failed, draining");
+                    gld_obs::flight::dump("poller-failed");
+                }
                 self.shared.trigger_shutdown();
             }
             for &event in &events {
@@ -268,6 +379,9 @@ impl EventLoop {
             interest: Interest::READABLE,
             last_write_progress: now,
             last_activity: now,
+            bytes_enqueued: 0,
+            bytes_flushed: 0,
+            write_track: VecDeque::new(),
             stream,
         };
         if self
@@ -375,7 +489,13 @@ impl EventLoop {
                     // The stream position is untrustworthy: answer best-
                     // effort (`Ping` is the neutral op for undecodable
                     // requests), flush, close.
-                    self.shared.metrics.request_rejected();
+                    self.shared.metrics.request_rejected_other();
+                    gld_obs::log_warn!(
+                        "eventloop",
+                        conn = token,
+                        req = request_id;
+                        "framing violation, closing connection: {error}"
+                    );
                     let status = protocol::status_for(&error);
                     let message = error.to_string();
                     if let Some(conn) = self.conns.get_mut(&token) {
@@ -388,6 +508,7 @@ impl EventLoop {
                         status,
                         request_id,
                         message.as_bytes(),
+                        RespTiming::Inline { t0_ns: now_ns() },
                     );
                     return;
                 }
@@ -396,13 +517,15 @@ impl EventLoop {
     }
 
     fn process_frame(&mut self, token: u64, raw: RawFrameHeader, body: Vec<u8>) {
+        // The latency origin every stage of this request measures from.
+        let t0_ns = now_ns();
         let header = match raw.validate() {
             Ok(header) => header,
             Err(e) => {
                 // Framing is intact (the parser consumed the declared body),
                 // so an unknown op or status is answered and the connection
                 // keeps serving — exactly the two-stage decode contract.
-                self.shared.metrics.request_rejected();
+                self.shared.metrics.request_rejected_other();
                 let status = protocol::status_for(&e);
                 let message = e.to_string();
                 self.enqueue_response(
@@ -412,12 +535,13 @@ impl EventLoop {
                     status,
                     raw.request_id,
                     message.as_bytes(),
+                    RespTiming::Inline { t0_ns },
                 );
                 return;
             }
         };
         if header.status != Status::Ok {
-            self.shared.metrics.request_rejected();
+            self.shared.metrics.request_rejected_other();
             self.enqueue_response(
                 token,
                 header.op,
@@ -425,34 +549,58 @@ impl EventLoop {
                 Status::Malformed,
                 header.request_id,
                 b"request frames must carry status 0",
+                RespTiming::Inline { t0_ns },
             );
             return;
         }
         match header.op {
             Op::Ping => {
-                self.enqueue_response(token, Op::Ping, 0, Status::Ok, header.request_id, &[]);
+                self.enqueue_response(
+                    token,
+                    Op::Ping,
+                    0,
+                    Status::Ok,
+                    header.request_id,
+                    &[],
+                    RespTiming::Inline { t0_ns },
+                );
             }
-            Op::Hello => self.handle_hello(token, &header, &body),
-            Op::Status => self.handle_status(token, &header, &body),
+            Op::Hello => self.handle_hello(token, &header, &body, t0_ns),
+            Op::Status => self.handle_status(token, &header, &body, t0_ns),
             Op::Shutdown => {
-                self.enqueue_response(token, Op::Shutdown, 0, Status::Ok, header.request_id, &[]);
+                gld_obs::log_info!("eventloop", conn = token; "wire shutdown requested");
+                self.enqueue_response(
+                    token,
+                    Op::Shutdown,
+                    0,
+                    Status::Ok,
+                    header.request_id,
+                    &[],
+                    RespTiming::Inline { t0_ns },
+                );
                 self.shared.trigger_shutdown();
             }
-            Op::Compress | Op::Decompress => self.handle_codec_op(token, &header, body),
+            Op::Compress | Op::Decompress => self.handle_codec_op(token, &header, body, t0_ns),
         }
     }
 
-    fn handle_hello(&mut self, token: u64, header: &FrameHeader, body: &[u8]) {
+    fn handle_hello(&mut self, token: u64, header: &FrameHeader, body: &[u8], t0_ns: u64) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
         match crate::server::negotiate_hello(&self.shared, header, body, &mut conn.session) {
             Ok((response, body)) => {
                 let frame = protocol::encode_frame(&response, &body);
-                self.enqueue_raw(token, frame);
+                self.enqueue_raw(
+                    token,
+                    Op::Hello,
+                    header.request_id,
+                    RespTiming::Inline { t0_ns },
+                    frame,
+                );
             }
             Err((status, message)) => {
-                self.shared.metrics.request_rejected();
+                self.shared.metrics.request_rejected_other();
                 self.enqueue_response(
                     token,
                     Op::Hello,
@@ -460,14 +608,15 @@ impl EventLoop {
                     status,
                     header.request_id,
                     message.as_bytes(),
+                    RespTiming::Inline { t0_ns },
                 );
             }
         }
     }
 
-    fn handle_status(&mut self, token: u64, header: &FrameHeader, body: &[u8]) {
+    fn handle_status(&mut self, token: u64, header: &FrameHeader, body: &[u8], t0_ns: u64) {
         if !body.is_empty() {
-            self.shared.metrics.request_rejected();
+            self.shared.metrics.request_rejected_other();
             self.enqueue_response(
                 token,
                 Op::Status,
@@ -475,10 +624,37 @@ impl EventLoop {
                 Status::Malformed,
                 header.request_id,
                 b"status requests carry an empty body",
+                RespTiming::Inline { t0_ns },
             );
             return;
         }
         let snapshot = self.shared.metrics.snapshot();
+        // Capability-and-echo, per request: a client that set the summary
+        // bit gets the trailer and the echoed bit; anyone else gets the
+        // legacy body byte-for-byte.
+        let wants_summaries = header.ext & protocol::EXT_STATUS_SUMMARIES != 0;
+        let summaries = wants_summaries.then(|| protocol::StatusSummaries {
+            rejected_other: snapshot.rejected_other as u64,
+            ops: [
+                Op::Hello,
+                Op::Compress,
+                Op::Decompress,
+                Op::Ping,
+                Op::Shutdown,
+                Op::Status,
+            ]
+            .iter()
+            .filter_map(|&op| {
+                let hist = self.obs.total_snapshot(op);
+                (hist.count > 0).then_some(protocol::OpLatency {
+                    op: op as u8,
+                    count: hist.count,
+                    p50_ns: hist.p50(),
+                    p99_ns: hist.p99(),
+                })
+            })
+            .collect(),
+        });
         let response = StatusResponse {
             connections_active: snapshot.connections_active as u64,
             connections_opened: snapshot.connections_opened as u64,
@@ -501,16 +677,39 @@ impl EventLoop {
                     bytes_out: s.bytes_out as u64,
                 })
                 .collect(),
+            summaries,
         };
         let body = response.encode_body();
-        self.enqueue_response(token, Op::Status, 0, Status::Ok, header.request_id, &body);
+        let echo = if wants_summaries {
+            protocol::EXT_STATUS_SUMMARIES
+        } else {
+            0
+        };
+        let frame = protocol::encode_frame(
+            &FrameHeader::response(
+                Op::Status,
+                0,
+                Status::Ok,
+                header.request_id,
+                body.len() as u64,
+            )
+            .with_ext(echo),
+            &body,
+        );
+        self.enqueue_raw(
+            token,
+            Op::Status,
+            header.request_id,
+            RespTiming::Inline { t0_ns },
+            frame,
+        );
     }
 
     /// Compress/decompress: rate limit, decode + precheck inline, then queue
     /// for the shard window.
-    fn handle_codec_op(&mut self, token: u64, header: &FrameHeader, body: Vec<u8>) {
+    fn handle_codec_op(&mut self, token: u64, header: &FrameHeader, body: Vec<u8>, t0_ns: u64) {
         if self.draining {
-            self.shared.metrics.request_rejected();
+            self.shared.metrics.request_rejected_other();
             self.enqueue_response(
                 token,
                 header.op,
@@ -518,6 +717,7 @@ impl EventLoop {
                 Status::ShuttingDown,
                 header.request_id,
                 b"server is draining",
+                RespTiming::Inline { t0_ns },
             );
             return;
         }
@@ -528,7 +728,7 @@ impl EventLoop {
             // models a slow submission path.
             match fail::check("shard.submit") {
                 Some(fail::Action::ErrIo) | Some(fail::Action::Corrupt) => {
-                    self.shared.metrics.request_rejected();
+                    self.shared.metrics.request_rejected_other();
                     self.enqueue_response(
                         token,
                         header.op,
@@ -536,6 +736,7 @@ impl EventLoop {
                         Status::Internal,
                         header.request_id,
                         b"injected fault at shard.submit",
+                        RespTiming::Inline { t0_ns },
                     );
                     return;
                 }
@@ -556,6 +757,7 @@ impl EventLoop {
                     Status::RateLimited,
                     header.request_id,
                     b"per-connection admission budget exhausted, retry later",
+                    RespTiming::Inline { t0_ns },
                 );
                 return;
             }
@@ -567,7 +769,7 @@ impl EventLoop {
         };
         match prepared {
             Prepared::Refuse { status, message } => {
-                self.shared.metrics.request_rejected();
+                self.shared.metrics.request_rejected_other();
                 self.enqueue_response(
                     token,
                     header.op,
@@ -575,6 +777,7 @@ impl EventLoop {
                     status,
                     header.request_id,
                     message.as_bytes(),
+                    RespTiming::Inline { t0_ns },
                 );
             }
             Prepared::Job { shard, job } => {
@@ -583,12 +786,19 @@ impl EventLoop {
                 };
                 conn.outstanding += 1;
                 let deadline = self.shared.config.op_deadline.map(|d| Instant::now() + d);
+                // The request is decoded and queued: close the `parse`
+                // stage here so `queue_wait` starts at the same boundary.
+                let parsed_ns = now_ns();
+                self.obs.parse.record(parsed_ns.saturating_sub(t0_ns));
+                span::record("req.parse", t0_ns, parsed_ns, token, header.request_id);
                 self.pending[shard].push_back(PendingRequest {
                     conn: token,
                     request_id: header.request_id,
                     op: header.op,
                     request_bytes: body.len(),
                     deadline,
+                    t0_ns,
+                    parsed_ns,
                     job,
                 });
                 self.try_admit(shard);
@@ -618,7 +828,13 @@ impl EventLoop {
             {
                 // The request sat out its execution deadline waiting for a
                 // window slot: answer instead of starting stale work.
-                self.expire_request(request.conn, request.op, request.request_id);
+                self.expire_request(
+                    request.conn,
+                    request.op,
+                    request.request_id,
+                    request.t0_ns,
+                    request.parsed_ns,
+                );
                 continue;
             }
             self.in_flight[shard] += 1;
@@ -632,16 +848,30 @@ impl EventLoop {
                 request_id,
                 op,
                 job,
+                t0_ns,
+                parsed_ns,
                 ..
             } = request;
+            // Admission closes the `queue_wait` stage; `execute` starts at
+            // the same boundary and closes when the completion is enqueued.
+            let admit_ns = now_ns();
+            self.obs
+                .queue_wait
+                .record(admit_ns.saturating_sub(parsed_ns));
+            span::record("req.queue_wait", parsed_ns, admit_ns, conn, request_id);
             let wrapped: Box<dyn FnOnce() + Send> = Box::new(move || {
-                let result = job();
+                let result = {
+                    let _guard = gld_obs::span!("shard.execute", conn, request_id);
+                    job()
+                };
                 shared.push_completion(Completion {
                     conn,
                     shard,
                     request_id,
                     op,
                     result,
+                    t0_ns,
+                    admit_ns,
                 });
             });
             self.shared.shards[shard].push(wrapped);
@@ -651,11 +881,18 @@ impl EventLoop {
     /// Answers one queued request with [`Status::DeadlineExceeded`] and
     /// releases its outstanding slot (it was never admitted, so no shard
     /// window is charged).
-    fn expire_request(&mut self, token: u64, op: Op, request_id: u64) {
+    fn expire_request(&mut self, token: u64, op: Op, request_id: u64, t0_ns: u64, parsed_ns: u64) {
         if let Some(conn) = self.conns.get_mut(&token) {
             conn.outstanding = conn.outstanding.saturating_sub(1);
         }
         self.shared.metrics.deadline_exceeded();
+        gld_obs::log_debug!(
+            "eventloop",
+            conn = token,
+            req = request_id,
+            op = op_name(op);
+            "request expired before admission"
+        );
         self.enqueue_response(
             token,
             op,
@@ -663,6 +900,7 @@ impl EventLoop {
             Status::DeadlineExceeded,
             request_id,
             b"request exceeded its execution deadline before a shard could start it",
+            RespTiming::Expired { t0_ns, parsed_ns },
         );
     }
 
@@ -679,13 +917,19 @@ impl EventLoop {
             queue.retain(|request| {
                 let overdue = request.deadline.is_some_and(|deadline| now >= deadline);
                 if overdue {
-                    expired.push((request.conn, request.op, request.request_id));
+                    expired.push((
+                        request.conn,
+                        request.op,
+                        request.request_id,
+                        request.t0_ns,
+                        request.parsed_ns,
+                    ));
                 }
                 !overdue
             });
         }
-        for (token, op, request_id) in expired {
-            self.expire_request(token, op, request_id);
+        for (token, op, request_id, t0_ns, parsed_ns) in expired {
+            self.expire_request(token, op, request_id, t0_ns, parsed_ns);
             self.pump_conn(token);
         }
     }
@@ -717,6 +961,10 @@ impl EventLoop {
                     completion.result.status,
                     completion.request_id,
                     &completion.result.body,
+                    RespTiming::Completed {
+                        t0_ns: completion.t0_ns,
+                        admit_ns: completion.admit_ns,
+                    },
                 );
                 touched.push(completion.conn);
             }
@@ -726,6 +974,7 @@ impl EventLoop {
 
     // ── write path ──────────────────────────────────────────────────────
 
+    #[allow(clippy::too_many_arguments)]
     fn enqueue_response(
         &mut self,
         token: u64,
@@ -734,16 +983,51 @@ impl EventLoop {
         status: Status,
         request_id: u64,
         body: &[u8],
+        timing: RespTiming,
     ) {
         let header = FrameHeader::response(op, codec, status, request_id, body.len() as u64);
         let frame = protocol::encode_frame(&header, body);
-        self.enqueue_raw(token, frame);
+        self.enqueue_raw(token, op, request_id, timing, frame);
     }
 
-    fn enqueue_raw(&mut self, token: u64, frame: Vec<u8>) {
+    /// Appends a serialised response frame to the connection's out buffer,
+    /// closing the stage that ended here (`parse` for inline answers,
+    /// `execute` for completions, `queue_wait` for expiries) and opening
+    /// the `write` stage at the same boundary.
+    fn enqueue_raw(
+        &mut self,
+        token: u64,
+        op: Op,
+        request_id: u64,
+        timing: RespTiming,
+        frame: Vec<u8>,
+    ) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
+        let enq_ns = now_ns();
+        match timing {
+            RespTiming::Inline { t0_ns } => {
+                self.obs.parse.record(enq_ns.saturating_sub(t0_ns));
+                span::record("req.parse", t0_ns, enq_ns, token, request_id);
+            }
+            RespTiming::Completed { admit_ns, .. } => {
+                self.obs.execute.record(enq_ns.saturating_sub(admit_ns));
+                span::record("req.execute", admit_ns, enq_ns, token, request_id);
+            }
+            RespTiming::Expired { parsed_ns, .. } => {
+                self.obs.queue_wait.record(enq_ns.saturating_sub(parsed_ns));
+                span::record("req.queue_wait", parsed_ns, enq_ns, token, request_id);
+            }
+        }
+        conn.bytes_enqueued += frame.len() as u64;
+        conn.write_track.push_back(WriteTrack {
+            end: conn.bytes_enqueued,
+            enq_ns,
+            t0_ns: timing.t0_ns(),
+            op,
+            request_id,
+        });
         conn.out.extend_from_slice(&frame);
         self.flush_conn(token);
     }
@@ -786,6 +1070,7 @@ impl EventLoop {
                 }
                 Ok(n) => {
                     conn.out_pos += n;
+                    conn.bytes_flushed += n as u64;
                     conn.last_write_progress = Instant::now();
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -794,6 +1079,27 @@ impl EventLoop {
                     broken = true;
                     break;
                 }
+            }
+        }
+        // Every response the kernel has now fully accepted closes its
+        // `write` stage and records the per-op total (both ending at this
+        // flush instant, so the four stages tile the total exactly).
+        if conn
+            .write_track
+            .front()
+            .is_some_and(|t| t.end <= conn.bytes_flushed)
+        {
+            let flush_ns = now_ns();
+            while let Some(track) = conn.write_track.front() {
+                if track.end > conn.bytes_flushed {
+                    break;
+                }
+                let track = conn.write_track.pop_front().expect("front exists");
+                self.obs.write.record(flush_ns.saturating_sub(track.enq_ns));
+                self.obs
+                    .total(track.op)
+                    .record(flush_ns.saturating_sub(track.t0_ns));
+                span::record("req.write", track.enq_ns, flush_ns, token, track.request_id);
             }
         }
         if broken {
@@ -895,6 +1201,11 @@ impl EventLoop {
     /// Starts the graceful drain: close the listener, refuse unadmitted
     /// requests, stop reading, let admitted work finish and flush.
     fn begin_drain(&mut self) {
+        gld_obs::log_info!(
+            "eventloop",
+            conns = self.conns.len();
+            "draining: listener closed, unadmitted work refused"
+        );
         self.draining = true;
         self.drain_deadline = Some(Instant::now() + self.shared.config.write_timeout);
         if let Some(listener) = self.listener.take() {
@@ -911,7 +1222,7 @@ impl EventLoop {
             if let Some(conn) = self.conns.get_mut(&request.conn) {
                 conn.outstanding -= 1;
             }
-            self.shared.metrics.request_rejected();
+            self.shared.metrics.request_rejected_other();
             self.enqueue_response(
                 request.conn,
                 request.op,
@@ -919,6 +1230,10 @@ impl EventLoop {
                 Status::ShuttingDown,
                 request.request_id,
                 b"server is draining",
+                RespTiming::Expired {
+                    t0_ns: request.t0_ns,
+                    parsed_ns: request.parsed_ns,
+                },
             );
         }
         let tokens: Vec<u64> = self.conns.keys().copied().collect();

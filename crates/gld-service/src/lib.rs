@@ -54,7 +54,7 @@ pub mod server;
 pub use chaos::{ChaosConfig, ChaosProxy};
 pub use client::{ClientError, PipelinedClient, Reply, ServerInfo, ServiceClient};
 pub use metrics::{ServiceMetricsSnapshot, ShardMetricsSnapshot};
-pub use protocol::{Op, ProtocolError, Status, StatusResponse};
+pub use protocol::{Op, OpLatency, ProtocolError, Status, StatusResponse, StatusSummaries};
 pub use resilient::{Backoff, ResilientClient, ResilientError, RetryPolicy};
 pub use router::{ShardPolicy, ShardRouter};
 pub use server::{CodecRegistry, RateLimit, Server, ServiceConfig};

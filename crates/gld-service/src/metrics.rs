@@ -97,7 +97,7 @@ pub struct ServiceMetrics {
     shards: Vec<ShardMetrics>,
     connections_opened: AtomicUsize,
     connections_active: AtomicUsize,
-    requests_rejected: AtomicUsize,
+    rejected_other: AtomicUsize,
     requests_rate_limited: AtomicUsize,
     deadlines_exceeded: AtomicUsize,
     connections_reaped_idle: AtomicUsize,
@@ -112,7 +112,7 @@ impl ServiceMetrics {
                 .collect(),
             connections_opened: AtomicUsize::new(0),
             connections_active: AtomicUsize::new(0),
-            requests_rejected: AtomicUsize::new(0),
+            rejected_other: AtomicUsize::new(0),
             requests_rate_limited: AtomicUsize::new(0),
             deadlines_exceeded: AtomicUsize::new(0),
             connections_reaped_idle: AtomicUsize::new(0),
@@ -135,24 +135,25 @@ impl ServiceMetrics {
         self.connections_active.fetch_sub(1, Ordering::AcqRel);
     }
 
-    /// Records a request refused before shard admission (protocol error,
-    /// unknown codec, shutdown, over-limit body, ...).
-    pub fn request_rejected(&self) {
-        self.requests_rejected.fetch_add(1, Ordering::Relaxed);
+    /// Records a request refused before shard admission for a reason other
+    /// than rate limiting or deadline expiry (protocol error, unknown
+    /// codec, shutdown, over-limit body, ...).  The three rejection
+    /// counters are **disjoint**; `requests_rejected` in the snapshot is
+    /// always their sum.
+    pub fn request_rejected_other(&self) {
+        self.rejected_other.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records a request refused by the per-connection token bucket (also
-    /// counted in `requests_rejected`).
+    /// Records a request refused by the per-connection token bucket.
+    /// Disjoint from the other rejection counters.
     pub fn request_rate_limited(&self) {
         self.requests_rate_limited.fetch_add(1, Ordering::Relaxed);
-        self.requests_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records a request answered with `Status::DeadlineExceeded` (also
-    /// counted in `requests_rejected`).
+    /// Records a request answered with `Status::DeadlineExceeded`.
+    /// Disjoint from the other rejection counters.
     pub fn deadline_exceeded(&self) {
         self.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
-        self.requests_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records an idle connection closed by the `--idle-timeout` reaper.
@@ -162,19 +163,30 @@ impl ServiceMetrics {
 
     /// A consistent-enough copy for assertions and reporting.
     pub fn snapshot(&self) -> ServiceMetricsSnapshot {
+        let rejected_other = self.rejected_other.load(Ordering::Relaxed);
+        let requests_rate_limited = self.requests_rate_limited.load(Ordering::Relaxed);
+        let deadlines_exceeded = self.deadlines_exceeded.load(Ordering::Relaxed);
         ServiceMetricsSnapshot {
             shards: self.shards.iter().map(ShardMetrics::snapshot).collect(),
             connections_opened: self.connections_opened.load(Ordering::Relaxed),
             connections_active: self.connections_active.load(Ordering::Acquire),
-            requests_rejected: self.requests_rejected.load(Ordering::Relaxed),
-            requests_rate_limited: self.requests_rate_limited.load(Ordering::Relaxed),
-            deadlines_exceeded: self.deadlines_exceeded.load(Ordering::Relaxed),
+            requests_rejected: rejected_other + requests_rate_limited + deadlines_exceeded,
+            requests_rate_limited,
+            deadlines_exceeded,
+            rejected_other,
             connections_reaped_idle: self.connections_reaped_idle.load(Ordering::Relaxed),
         }
     }
 }
 
 /// Point-in-time copy of the whole service's counters.
+///
+/// The three rejection-cause counters are **disjoint** — every refused
+/// request is counted under exactly one of `requests_rate_limited`,
+/// `deadlines_exceeded`, or `rejected_other` — and the roll-up invariant
+/// `requests_rejected == requests_rate_limited + deadlines_exceeded +
+/// rejected_other` holds by construction (the roll-up is derived at
+/// snapshot time, never stored).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServiceMetricsSnapshot {
     /// Per-shard snapshots, indexed by shard.
@@ -183,14 +195,16 @@ pub struct ServiceMetricsSnapshot {
     pub connections_opened: usize,
     /// Connections currently being served.
     pub connections_active: usize,
-    /// Requests refused before shard admission.
+    /// Requests refused before shard admission, for any reason: the sum of
+    /// the three disjoint cause counters below.
     pub requests_rejected: usize,
-    /// Requests refused with `Status::RateLimited` specifically (a subset
-    /// of `requests_rejected`).
+    /// Requests refused with `Status::RateLimited` specifically.
     pub requests_rate_limited: usize,
-    /// Requests answered with `Status::DeadlineExceeded` (a subset of
-    /// `requests_rejected`).
+    /// Requests answered with `Status::DeadlineExceeded`.
     pub deadlines_exceeded: usize,
+    /// Requests refused for any other reason (protocol error, unknown
+    /// codec, oversized body, drain refusal, ...).
+    pub rejected_other: usize,
     /// Idle connections closed by the `--idle-timeout` reaper.
     pub connections_reaped_idle: usize,
 }
@@ -253,12 +267,32 @@ mod tests {
         m.shard(0).complete(1);
         m.shard(1).admit(1);
         m.shard(1).complete(1);
-        m.request_rejected();
+        m.request_rejected_other();
         m.connection_closed();
         let snap = m.snapshot();
         assert_eq!(snap.completed(), 2);
         assert_eq!(snap.connections_opened, 1);
         assert_eq!(snap.connections_active, 0);
         assert_eq!(snap.requests_rejected, 1);
+        assert_eq!(snap.rejected_other, 1);
+    }
+
+    #[test]
+    fn rejection_causes_are_disjoint_and_sum_to_the_rollup() {
+        let m = ServiceMetrics::new(1);
+        m.request_rate_limited();
+        m.request_rate_limited();
+        m.deadline_exceeded();
+        m.request_rejected_other();
+        let snap = m.snapshot();
+        assert_eq!(snap.requests_rate_limited, 2);
+        assert_eq!(snap.deadlines_exceeded, 1);
+        assert_eq!(snap.rejected_other, 1);
+        assert_eq!(
+            snap.requests_rejected,
+            snap.requests_rate_limited + snap.deadlines_exceeded + snap.rejected_other,
+            "the roll-up is the sum of the disjoint causes"
+        );
+        assert_eq!(snap.requests_rejected, 4);
     }
 }

@@ -13,7 +13,9 @@
 //! 8       1     status (requests: must be 0; responses: see [`Status`])
 //! 9       1     feature bits (`ext`): bit 0 = container-stage support
 //!               ([`EXT_CONTAINER_STAGE`]), bit 1 = shared-profile support
-//!               ([`EXT_SHARED_PROFILES`]); unknown bits are **ignored**
+//!               ([`EXT_SHARED_PROFILES`]), bit 2 = status latency
+//!               summaries ([`EXT_STATUS_SUMMARIES`]); unknown bits are
+//!               **ignored**
 //! 10      6     reserved; decoders ignore the contents
 //! 16      8     request id (echoed verbatim in the response)
 //! 24      8     body length in bytes
@@ -87,6 +89,15 @@ pub const EXT_CONTAINER_STAGE: u8 = 0b1;
 /// serving every frame warm).  Peers that predate the bit ignore it — the
 /// session transparently downgrades to v3 (or v2) streams.
 pub const EXT_SHARED_PROFILES: u8 = 0b10;
+
+/// Header feature bit (byte 9, bit 2): the sender understands the
+/// latency-summary extension of [`Op::Status`] responses.  A client sets it
+/// on a `Status` *request*; a summary-capable server echoes the bit and
+/// appends a [`StatusSummaries`] section (per-op request counts with p50/p99
+/// latencies, sourced from the server's lock-free histograms) after the
+/// shard table.  Peers that predate the bit ignore it and the response body
+/// stays byte-identical to the legacy layout.
+pub const EXT_STATUS_SUMMARIES: u8 = 0b100;
 
 /// Frame operation, present in requests and echoed in responses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -800,15 +811,53 @@ pub struct ShardStatus {
     pub bytes_out: u64,
 }
 
+/// Per-op latency summary in the [`EXT_STATUS_SUMMARIES`] section of a
+/// [`StatusResponse`]: the op byte, how many requests of that op the
+/// server's histogram has recorded, and its p50/p99 estimates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpLatency {
+    /// The [`Op`] byte this row summarises.
+    pub op: u8,
+    /// Requests of this op recorded since process start.
+    pub count: u64,
+    /// Median server-side latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile server-side latency in nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// The negotiated trailer of a [`StatusResponse`]: present only when the
+/// client set [`EXT_STATUS_SUMMARIES`] on its `Status` request and the
+/// server echoed the bit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatusSummaries {
+    /// Requests refused for reasons other than rate limiting or deadline
+    /// expiry (malformed frames, oversized bodies, drain refusals, ...).
+    /// Together with the top-level counters the invariant is
+    /// `requests_rejected == rate_limited + deadlines_exceeded + rejected_other`.
+    pub rejected_other: u64,
+    /// Per-op latency rows, one per op the server has served at least once.
+    pub ops: Vec<OpLatency>,
+}
+
+impl StatusSummaries {
+    /// The summary row for `op`, if the server has served it.
+    pub fn op(&self, op: Op) -> Option<&OpLatency> {
+        self.ops.iter().find(|row| row.op == op as u8)
+    }
+}
+
 /// The payload of an `Ok` [`Op::Status`] response: service-wide counters
-/// plus one [`ShardStatus`] per shard.
+/// plus one [`ShardStatus`] per shard, and — when the request negotiated
+/// [`EXT_STATUS_SUMMARIES`] — per-op latency summaries.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatusResponse {
     /// Connections currently open.
     pub connections_active: u64,
     /// Connections ever accepted.
     pub connections_opened: u64,
-    /// Requests refused with a typed error status before admission.
+    /// Requests refused with a typed error status before admission; always
+    /// equal to `rate_limited + deadlines_exceeded + rejected_other`.
     pub requests_rejected: u64,
     /// Requests refused with [`Status::RateLimited`] specifically.
     pub rate_limited: u64,
@@ -821,6 +870,9 @@ pub struct StatusResponse {
     pub faults_injected: u64,
     /// Per-shard load, indexed by shard.
     pub shards: Vec<ShardStatus>,
+    /// Latency summaries (`None` unless the session negotiated
+    /// [`EXT_STATUS_SUMMARIES`]).
+    pub summaries: Option<StatusSummaries>,
 }
 
 impl StatusResponse {
@@ -849,11 +901,24 @@ impl StatusResponse {
                 out.extend_from_slice(&field.to_le_bytes());
             }
         }
+        if let Some(summaries) = &self.summaries {
+            out.extend_from_slice(&summaries.rejected_other.to_le_bytes());
+            out.extend_from_slice(&(summaries.ops.len() as u32).to_le_bytes());
+            for row in &summaries.ops {
+                out.push(row.op);
+                out.extend_from_slice(&row.count.to_le_bytes());
+                out.extend_from_slice(&row.p50_ns.to_le_bytes());
+                out.extend_from_slice(&row.p99_ns.to_le_bytes());
+            }
+        }
         out
     }
 
     /// Parses a response body.  The shard count is validated against the
-    /// bytes actually present before any allocation.
+    /// bytes actually present before any allocation.  Bytes remaining after
+    /// the shard table are parsed as the [`EXT_STATUS_SUMMARIES`] trailer;
+    /// a legacy body ending at the shard table decodes with
+    /// `summaries: None`.
     pub fn decode_body(bytes: &[u8]) -> Result<Self, ProtocolError> {
         let mut reader = BodyReader::new(bytes);
         let count = reader.read_u32()? as usize;
@@ -864,10 +929,13 @@ impl StatusResponse {
         let deadlines_exceeded = reader.read_u64()?;
         let reaped_idle = reader.read_u64()?;
         let faults_injected = reader.read_u64()?;
-        if count.checked_mul(64) != Some(reader.remaining()) {
-            return Err(ProtocolError::Malformed(
-                "status shard table does not match its declared count",
-            ));
+        match count.checked_mul(64) {
+            Some(table) if table <= reader.remaining() => {}
+            _ => {
+                return Err(ProtocolError::Malformed(
+                    "status shard table does not match its declared count",
+                ))
+            }
         }
         let mut shards = Vec::with_capacity(count);
         for _ in 0..count {
@@ -882,6 +950,31 @@ impl StatusResponse {
                 bytes_out: reader.read_u64()?,
             });
         }
+        let summaries = if reader.remaining() > 0 {
+            let rejected_other = reader.read_u64()?;
+            let n_ops = reader.read_u32()? as usize;
+            // 25 bytes per row: op byte + three u64 fields.
+            if n_ops.checked_mul(25) != Some(reader.remaining()) {
+                return Err(ProtocolError::Malformed(
+                    "status summary table does not match its declared count",
+                ));
+            }
+            let mut ops = Vec::with_capacity(n_ops);
+            for _ in 0..n_ops {
+                ops.push(OpLatency {
+                    op: reader.read_u8()?,
+                    count: reader.read_u64()?,
+                    p50_ns: reader.read_u64()?,
+                    p99_ns: reader.read_u64()?,
+                });
+            }
+            Some(StatusSummaries {
+                rejected_other,
+                ops,
+            })
+        } else {
+            None
+        };
         reader.expect_end()?;
         Ok(StatusResponse {
             connections_active,
@@ -892,6 +985,7 @@ impl StatusResponse {
             reaped_idle,
             faults_injected,
             shards,
+            summaries,
         })
     }
 }
@@ -1316,6 +1410,7 @@ mod tests {
                 },
                 ShardStatus::default(),
             ],
+            summaries: None,
         };
         let body = status.encode_body();
         assert_eq!(StatusResponse::decode_body(&body).unwrap(), status);
@@ -1324,6 +1419,34 @@ mod tests {
         let mut corrupt = body.clone();
         corrupt[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(StatusResponse::decode_body(&corrupt).is_err());
+        assert!(StatusResponse::decode_body(&body[..body.len() - 1]).is_err());
+
+        // The negotiated summaries trailer round-trips, and truncating it
+        // is detected rather than misparsed as a legacy body.
+        let mut with_summaries = status.clone();
+        with_summaries.summaries = Some(StatusSummaries {
+            rejected_other: 7,
+            ops: vec![
+                OpLatency {
+                    op: Op::Compress as u8,
+                    count: 100,
+                    p50_ns: 1_000_000,
+                    p99_ns: 9_000_000,
+                },
+                OpLatency {
+                    op: Op::Ping as u8,
+                    count: 12,
+                    p50_ns: 800,
+                    p99_ns: 3_000,
+                },
+            ],
+        });
+        let body = with_summaries.encode_body();
+        let decoded = StatusResponse::decode_body(&body).unwrap();
+        assert_eq!(decoded, with_summaries);
+        let summaries = decoded.summaries.unwrap();
+        assert_eq!(summaries.op(Op::Compress).unwrap().count, 100);
+        assert!(summaries.op(Op::Shutdown).is_none());
         assert!(StatusResponse::decode_body(&body[..body.len() - 1]).is_err());
     }
 

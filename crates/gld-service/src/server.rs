@@ -102,6 +102,10 @@ pub struct ServiceConfig {
     /// being run; work already on a shard completes normally (jobs are not
     /// interruptible).  `None` (the default) never expires requests.
     pub op_deadline: Option<Duration>,
+    /// Address for the Prometheus text-exposition metrics endpoint
+    /// (`127.0.0.1:0` picks an ephemeral port; see
+    /// [`Server::metrics_addr`]).  `None` (the default) serves no endpoint.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -119,6 +123,7 @@ impl Default for ServiceConfig {
             rate_limit: None,
             idle_timeout: None,
             op_deadline: None,
+            metrics_addr: None,
         }
     }
 }
@@ -195,6 +200,11 @@ pub(crate) struct Completion {
     pub(crate) request_id: u64,
     pub(crate) op: Op,
     pub(crate) result: ShardResult,
+    /// The request's frame-start timestamp ([`gld_obs::now_ns`]).
+    pub(crate) t0_ns: u64,
+    /// When the loop admitted the request to its shard — the `execute`
+    /// stage measures from here to response enqueue.
+    pub(crate) admit_ns: u64,
 }
 
 /// Negotiated session state for one connection (set by `Hello`).
@@ -317,6 +327,7 @@ pub struct Server {
     shared: Arc<ServerShared>,
     event_loop: Option<thread::JoinHandle<()>>,
     workers: Vec<thread::JoinHandle<()>>,
+    metrics_endpoint: Option<gld_obs::http::MetricsServer>,
 }
 
 impl Server {
@@ -357,16 +368,39 @@ impl Server {
                 .spawn(move || EventLoop::new(shared, poller, listener).run())
                 .expect("spawn event loop")
         };
+        let metrics_endpoint = match shared.config.metrics_addr.clone() {
+            Some(metrics_addr) => {
+                let render_shared = Arc::clone(&shared);
+                let renderer: gld_obs::http::Renderer =
+                    Arc::new(move || render_metrics(&render_shared));
+                Some(gld_obs::http::serve(metrics_addr.as_str(), renderer)?)
+            }
+            None => None,
+        };
+        gld_obs::log_info!(
+            "server",
+            addr = addr,
+            shards = shards;
+            "serving"
+        );
         Ok(Server {
             shared,
             event_loop: Some(event_loop),
             workers,
+            metrics_endpoint,
         })
     }
 
     /// The bound address (resolves `:0` to the actual port).
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The metrics endpoint's bound address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_endpoint
+            .as_ref()
+            .map(gld_obs::http::MetricsServer::local_addr)
     }
 
     /// A point-in-time copy of the service counters.
@@ -411,6 +445,9 @@ impl Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        if let Some(endpoint) = self.metrics_endpoint.take() {
+            endpoint.stop();
+        }
     }
 }
 
@@ -427,6 +464,58 @@ fn shard_worker(shared: &Arc<ServerShared>, index: usize) {
     while let Some(job) = shared.shards[index].next_job() {
         job();
     }
+}
+
+/// One scrape of the metrics endpoint: the process-global registry (latency
+/// histograms and their derived quantiles) plus the service counters and
+/// gauges, all in Prometheus text exposition format.  The service counters
+/// are staged through a scratch registry so the renderer — grouping,
+/// sorting, `# TYPE` lines — is the one the global families use.
+fn render_metrics(shared: &ServerShared) -> String {
+    let snapshot = shared.metrics.snapshot();
+    let scratch = gld_obs::Registry::new();
+    scratch
+        .gauge("glds_connections_active", &[])
+        .set(snapshot.connections_active as i64);
+    for (family, value) in [
+        ("glds_connections_opened_total", snapshot.connections_opened),
+        ("glds_requests_completed_total", snapshot.completed()),
+        ("glds_requests_rejected_total", snapshot.requests_rejected),
+        (
+            "glds_requests_rate_limited_total",
+            snapshot.requests_rate_limited,
+        ),
+        ("glds_deadlines_exceeded_total", snapshot.deadlines_exceeded),
+        ("glds_rejected_other_total", snapshot.rejected_other),
+        (
+            "glds_connections_reaped_idle_total",
+            snapshot.connections_reaped_idle,
+        ),
+        ("glds_blocks_total", snapshot.blocks()),
+    ] {
+        scratch.counter(family, &[]).add(value as u64);
+    }
+    scratch
+        .counter("glds_faults_injected_total", &[])
+        .add(fail::total_hits());
+    for (index, shard) in snapshot.shards.iter().enumerate() {
+        let shard_label = index.to_string();
+        let labels: [(&str, &str); 1] = [("shard", shard_label.as_str())];
+        scratch
+            .gauge("glds_shard_in_flight", &labels)
+            .set(shard.in_flight as i64);
+        for (family, value) in [
+            ("glds_shard_admitted_total", shard.admitted),
+            ("glds_shard_completed_total", shard.completed),
+            ("glds_shard_bytes_in_total", shard.bytes_in),
+            ("glds_shard_bytes_out_total", shard.bytes_out),
+        ] {
+            scratch.counter(family, &labels).add(value as u64);
+        }
+    }
+    let mut out = gld_obs::registry::global().render();
+    out.push_str(&scratch.render());
+    out
 }
 
 /// Outcome of preparing a codec request on the event loop: refused with a

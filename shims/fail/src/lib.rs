@@ -23,6 +23,8 @@
 //! | `err_intr` | a transient `ErrorKind::Interrupted` (callers retry)     |
 //! | `delay:DUR`| sleep for `DUR` (`50ms`, `2s`)                           |
 //! | `corrupt`  | flip a byte in the data the site is handling             |
+//! | `panic`    | panic at the site (exercises crash paths such as the     |
+//! |            | flight recorder's panic-hook dump)                       |
 //! | `off`      | disarm (useful to override an inherited env var)         |
 //!
 //! Any action takes optional modifiers, `:`-separated in any order:
@@ -59,7 +61,9 @@ pub enum Action {
 /// One armed failpoint's state.
 #[derive(Clone, Debug)]
 struct Point {
-    action: Action,
+    /// `None` is the `panic` pseudo-action, handled inside [`check`] so
+    /// every instrumented site supports it without a match arm.
+    action: Option<Action>,
     /// Firing probability in [0, 1] (1 = always).
     probability: f64,
     /// Remaining firings, `None` = unlimited.
@@ -181,10 +185,13 @@ fn parse_action(spec: &str) -> Result<Option<Point>, String> {
     }
     let action = match kind {
         "off" => return Ok(None),
-        "err_io" => Action::ErrIo,
-        "err_intr" | "err_interrupted" => Action::ErrInterrupted,
-        "delay" => Action::Delay(delay.ok_or("delay takes a duration, e.g. delay:50ms")?),
-        "corrupt" => Action::Corrupt,
+        "err_io" => Some(Action::ErrIo),
+        "err_intr" | "err_interrupted" => Some(Action::ErrInterrupted),
+        "delay" => Some(Action::Delay(
+            delay.ok_or("delay takes a duration, e.g. delay:50ms")?,
+        )),
+        "corrupt" => Some(Action::Corrupt),
+        "panic" => None,
         other => return Err(format!("unknown failpoint action {other:?}")),
     };
     Ok(Some(Point {
@@ -221,7 +228,15 @@ pub fn check(name: &str) -> Option<Action> {
     }
     point.hits += 1;
     TOTAL_HITS.fetch_add(1, Ordering::Relaxed);
-    Some(point.action)
+    let action = point.action;
+    if action.is_none() {
+        // The `panic` pseudo-action: unwind from here so the site never
+        // needs its own arm.  The registry lock is released first — a
+        // panic hook dumping diagnostics may want `total_hits`.
+        drop(registry);
+        panic!("injected panic at failpoint {name}");
+    }
+    action
 }
 
 /// [`check`] specialised for I/O sites: `Delay` sleeps here and injects

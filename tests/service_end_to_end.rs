@@ -334,7 +334,17 @@ fn live_server_survives_garbage_and_typed_error_paths() {
     let blocks = client.decompress("k", &good).expect("valid decompress");
     assert_eq!(blocks.len(), 2);
     let metrics = server.shutdown();
-    assert!(metrics.requests_rejected >= 3, "{metrics:?}");
+    // Protocol/container refusals land in the disjoint `rejected_other`
+    // cause bucket (nothing here was rate-limited or expired), and the
+    // roll-up is always the sum of the causes.
+    assert!(metrics.rejected_other >= 3, "{metrics:?}");
+    assert_eq!(metrics.requests_rate_limited, 0);
+    assert_eq!(metrics.deadlines_exceeded, 0);
+    assert_eq!(
+        metrics.requests_rejected,
+        metrics.rejected_other + metrics.requests_rate_limited + metrics.deadlines_exceeded,
+        "{metrics:?}"
+    );
 }
 
 // ─────────────────── backpressure / overload ───────────────────────────
@@ -539,11 +549,13 @@ fn soak_200_keepalive_connections_pipelining_mixed_ops_stay_bit_identical() {
     let server = start_server(
         ServiceConfig {
             shards: 2,
+            metrics_addr: Some("127.0.0.1:0".into()),
             ..ServiceConfig::default()
         },
         CodecRegistry::rule_based(),
     );
     let addr = server.local_addr();
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint is up");
 
     // Tiny distinct variables, with local profiled (v4, the negotiated
     // session format) references computed once.
@@ -586,6 +598,28 @@ fn soak_200_keepalive_connections_pipelining_mixed_ops_stay_bit_identical() {
         );
         ids.insert(pipe.submit_ping().expect("submit ping"), "ping");
         pipes.push((pipe, ids, conn % VARIANTS));
+    }
+
+    // Mid-soak, with 200 pipelined connections live and outstanding work
+    // queued, the metrics endpoint must still serve valid exposition.
+    {
+        use std::io::{Read, Write};
+        let mut stream =
+            std::net::TcpStream::connect(metrics_addr).expect("connect metrics endpoint");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+            .expect("write scrape");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read scrape");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+        assert!(head.starts_with("HTTP/1.0 200"), "scrape refused: {head}");
+        let active = gld_obs::registry::scrape_value(body, "glds_connections_active", "", &[])
+            .expect("active-connections gauge");
+        assert_eq!(active as usize, CONNS, "every soak connection is live");
+        assert!(
+            body.contains("# TYPE glds_request_duration_ns histogram"),
+            "latency families served under load"
+        );
     }
 
     for (mut pipe, mut ids, variant) in pipes {
@@ -723,7 +757,11 @@ fn rate_limited_codec_ops_get_a_typed_status_and_the_connection_survives() {
     pipe.drain().expect("connection still healthy");
     let metrics = server.shutdown();
     assert_eq!(metrics.requests_rate_limited, 3);
-    assert!(metrics.requests_rejected >= 3);
+    // Rate-limited refusals are counted under their own disjoint cause,
+    // never double-counted into `rejected_other`; the roll-up is the sum.
+    assert_eq!(metrics.rejected_other, 0, "{metrics:?}");
+    assert_eq!(metrics.deadlines_exceeded, 0);
+    assert_eq!(metrics.requests_rejected, 3, "{metrics:?}");
     assert_eq!(metrics.completed(), 2);
 }
 
